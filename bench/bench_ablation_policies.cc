@@ -1,0 +1,116 @@
+// Ablation: enhanced-client design choices against a simulated remote store.
+// Sweeps write policy x cache_encoded x workload mix and reports mean
+// read/write latency plus server round trips — quantifying the trade-offs
+// DESIGN.md calls out (write-through vs invalidate vs TTL-only, plaintext
+// vs encrypted cache contents).
+
+#include <cstdio>
+
+#include "cache/lru_cache.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "dscl/enhanced_store.h"
+#include "dscl/transformer.h"
+#include "figures_common.h"
+#include "store/memory_store.h"
+#include "store/overhead_store.h"
+
+namespace dstore {
+namespace {
+
+// A local stand-in for a remote store: 500 us per operation.
+std::shared_ptr<KeyValueStore> MakeSlowStore() {
+  OverheadStore::Overheads overheads;
+  overheads.per_op_nanos = 500'000;
+  return std::make_shared<OverheadStore>(std::make_shared<MemoryStore>(),
+                                         overheads);
+}
+
+struct Variant {
+  const char* name;
+  EnhancedStore::WritePolicy policy;
+  bool cache_encoded;
+};
+
+struct Row {
+  double read_ms;
+  double write_ms;
+};
+
+Row RunVariant(const Variant& variant, double read_fraction, int ops) {
+  auto base = MakeSlowStore();
+  auto cache = std::make_shared<ExpiringCache>(
+      std::make_unique<LruCache>(256u << 20), RealClock::Default());
+  auto chain = MakeStandardChain(
+      std::make_unique<GzipCodec>(),
+      std::move(AesCbcCipher::MakeWithSeed(Bytes(16, 1), 1)).value());
+  EnhancedStore::Options options;
+  options.write_policy = variant.policy;
+  options.cache_ttl_nanos = 0;
+  options.cache_encoded = variant.cache_encoded;
+  EnhancedStore store(base, cache, *chain, options);
+
+  Random rng(7);
+  constexpr int kKeys = 64;
+  for (int i = 0; i < kKeys; ++i) {
+    store.Put("k" + std::to_string(i), MakeValue(rng.CompressibleBytes(20000, 0.6)))
+        .ok();
+  }
+
+  RealClock clock;
+  double read_ms = 0, write_ms = 0;
+  int reads = 0, writes = 0;
+  for (int op = 0; op < ops; ++op) {
+    const std::string key = "k" + std::to_string(rng.Uniform(kKeys));
+    if (rng.Bernoulli(read_fraction)) {
+      Stopwatch watch(&clock);
+      store.Get(key).ok();
+      read_ms += watch.ElapsedMillis();
+      ++reads;
+    } else {
+      Stopwatch watch(&clock);
+      store.Put(key, MakeValue(rng.CompressibleBytes(20000, 0.6))).ok();
+      write_ms += watch.ElapsedMillis();
+      ++writes;
+    }
+  }
+  return Row{reads == 0 ? 0 : read_ms / reads,
+             writes == 0 ? 0 : write_ms / writes};
+}
+
+}  // namespace
+}  // namespace dstore
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+  using namespace dstore::bench;
+  const FigureOptions options = ParseFigureOptions(argc, argv);
+
+  const Variant variants[] = {
+      {"write_through_plain", EnhancedStore::WritePolicy::kWriteThrough, false},
+      {"write_through_encoded", EnhancedStore::WritePolicy::kWriteThrough,
+       true},
+      {"invalidate_plain", EnhancedStore::WritePolicy::kInvalidate, false},
+      {"bypass_plain", EnhancedStore::WritePolicy::kBypass, false},
+  };
+
+  std::printf("== ablation: enhanced-client write policies (20 KB values, "
+              "0.5 ms store, 64 keys, 400 ops) ==\n");
+  std::printf("# %-24s %12s %12s %12s %12s\n", "variant", "r90_read_ms",
+              "r90_write_ms", "r50_read_ms", "r50_write_ms");
+  std::vector<std::vector<double>> table_rows;
+  for (const Variant& variant : variants) {
+    const Row read_heavy = RunVariant(variant, 0.9, 400);
+    const Row mixed = RunVariant(variant, 0.5, 400);
+    std::printf("  %-24s %12.4f %12.4f %12.4f %12.4f\n", variant.name,
+                read_heavy.read_ms, read_heavy.write_ms, mixed.read_ms,
+                mixed.write_ms);
+    table_rows.push_back({read_heavy.read_ms, read_heavy.write_ms,
+                          mixed.read_ms, mixed.write_ms});
+  }
+  EmitTable(options, "ablation_policies",
+            "enhanced-client write-policy ablation",
+            {"r90_read_ms", "r90_write_ms", "r50_read_ms", "r50_write_ms"},
+            table_rows);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Fig. 9: average time to read data as a function of data
+// size, for all five data stores. Expected shape: cloud1 > cloud2 >> local
+// stores; redis beats file for small objects but loses for >= ~50 KB; redis
+// clearly beats sql for small objects, converging for large ones.
+
+#include <cstdio>
+
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+  using namespace dstore::bench;
+
+  const FigureOptions options = ParseFigureOptions(argc, argv);
+  auto env = FigureEnv::Make(options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  WorkloadGenerator generator(MakeWorkloadConfig(options));
+  const std::vector<std::string> stores = (*env)->store_names();
+
+  // rows[size_index] = {size, read_ms per store...}
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> columns = {"size_bytes"};
+  bool first_store = true;
+  for (const std::string& name : stores) {
+    auto points = generator.MeasureStore((*env)->store(name).get());
+    if (!points.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   points.status().ToString().c_str());
+      return 1;
+    }
+    columns.push_back(name + "_read_ms");
+    for (size_t i = 0; i < points->size(); ++i) {
+      if (first_store) {
+        rows.push_back({static_cast<double>((*points)[i].size)});
+      }
+      rows[i].push_back((*points)[i].read_ms);
+    }
+    first_store = false;
+  }
+
+  EmitTable(options, "fig09", "read latency vs object size (all stores)",
+            columns, rows);
+  return 0;
+}

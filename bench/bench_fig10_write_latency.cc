@@ -1,0 +1,45 @@
+// Reproduces paper Fig. 10: average time to write data as a function of
+// data size, for all five data stores. Expected shape: cloud1 highest, then
+// cloud2; sql has the highest local write latency (fsync'd commits); writes
+// exceed reads across stores.
+
+#include <cstdio>
+
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+  using namespace dstore::bench;
+
+  const FigureOptions options = ParseFigureOptions(argc, argv);
+  auto env = FigureEnv::Make(options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  WorkloadGenerator generator(MakeWorkloadConfig(options));
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> columns = {"size_bytes"};
+  bool first_store = true;
+  for (const std::string& name : (*env)->store_names()) {
+    auto points = generator.MeasureStore((*env)->store(name).get());
+    if (!points.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   points.status().ToString().c_str());
+      return 1;
+    }
+    columns.push_back(name + "_write_ms");
+    for (size_t i = 0; i < points->size(); ++i) {
+      if (first_store) {
+        rows.push_back({static_cast<double>((*points)[i].size)});
+      }
+      rows[i].push_back((*points)[i].write_ms);
+    }
+    first_store = false;
+  }
+
+  EmitTable(options, "fig10", "write latency vs object size (all stores)",
+            columns, rows);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 11: Cloud Store 1 reads with in-process caching, read latency vs object size at
+// cache hit rates of 0/25/50/75/100%.
+
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  return dstore::bench::RunCachedReadFigure(
+      argc, argv, "fig11", "Cloud Store 1 reads with in-process caching", "cloud1",
+      /*remote_cache=*/false);
+}

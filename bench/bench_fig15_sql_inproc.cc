@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 15: SQL store reads with in-process caching, read latency vs object size at
+// cache hit rates of 0/25/50/75/100%.
+
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  return dstore::bench::RunCachedReadFigure(
+      argc, argv, "fig15", "SQL store reads with in-process caching", "sql",
+      /*remote_cache=*/false);
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Fig. 20: time to encrypt and decrypt data using AES with
+// 128-bit keys, as a function of data size. Expected shape: encryption and
+// decryption times are similar (AES is symmetric) and scale linearly.
+
+#include <cstdio>
+
+#include "crypto/cipher.h"
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+  using namespace dstore::bench;
+
+  const FigureOptions options = ParseFigureOptions(argc, argv);
+  auto cipher = AesCbcCipher::Make(Bytes(16, 0x5a));  // AES-128
+  if (!cipher.ok()) {
+    std::fprintf(stderr, "cipher setup failed: %s\n",
+                 cipher.status().ToString().c_str());
+    return 1;
+  }
+
+  WorkloadGenerator::Config config = MakeWorkloadConfig(options);
+  config.ops_per_size = 8;  // crypto is cheap; more reps for stable numbers
+  WorkloadGenerator generator(config);
+  auto points = generator.MeasureCipher(cipher->get());
+  if (!points.ok()) {
+    std::fprintf(stderr, "measurement failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<double>> rows;
+  for (const auto& point : *points) {
+    rows.push_back({static_cast<double>(point.size), point.forward_ms,
+                    point.backward_ms});
+  }
+  EmitTable(options, "fig20", "AES-128 encryption/decryption time vs size",
+            {"size_bytes", "encrypt_ms", "decrypt_ms"}, rows);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 21: time to compress and decompress data using gzip
+// as a function of data size. Expected shape: compression several times
+// slower than decompression; decompression roughly comparable to the
+// AES times in Fig. 20.
+
+#include <cstdio>
+
+#include "compress/codec.h"
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+  using namespace dstore::bench;
+
+  const FigureOptions options = ParseFigureOptions(argc, argv);
+  GzipCodec codec;
+
+  WorkloadGenerator::Config config = MakeWorkloadConfig(options);
+  config.ops_per_size = 4;
+  config.redundancy = 0.5;  // text-like compressibility
+  WorkloadGenerator generator(config);
+  auto points = generator.MeasureCodec(&codec);
+  if (!points.ok()) {
+    std::fprintf(stderr, "measurement failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<double>> rows;
+  for (const auto& point : *points) {
+    rows.push_back({static_cast<double>(point.size), point.forward_ms,
+                    point.backward_ms, point.ratio});
+  }
+  EmitTable(options, "fig21", "gzip compression/decompression time vs size",
+            {"size_bytes", "compress_ms", "decompress_ms", "ratio"}, rows);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Microbenchmarks and ablations for the cache substrate: LRU vs GDS, shard
+// count sensitivity, and the cost of copy-on-store isolation (the design
+// trade-off discussed in paper Section III).
+
+#include <benchmark/benchmark.h>
+
+#include "cache/copying_cache.h"
+#include "cache/expiring_cache.h"
+#include "cache/gds_cache.h"
+#include "cache/lru_cache.h"
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace dstore {
+namespace {
+
+constexpr size_t kCapacity = 256u << 20;
+
+std::vector<std::string> MakeKeys(int count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (int i = 0; i < count; ++i) keys.push_back("key" + std::to_string(i));
+  return keys;
+}
+
+void BM_LruCacheGetHit(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  LruCache cache(kCapacity);
+  Random rng(1);
+  const auto keys = MakeKeys(256);
+  for (const auto& key : keys) {
+    cache.Put(key, MakeValue(rng.RandomBytes(value_size)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto value = cache.Get(keys[i++ & 255]);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(value_size));
+}
+BENCHMARK(BM_LruCacheGetHit)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_LruCacheGetMiss(benchmark::State& state) {
+  LruCache cache(kCapacity);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto value = cache.Get("missing" + std::to_string(i++ & 1023));
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_LruCacheGetMiss);
+
+void BM_LruCachePut(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  LruCache cache(kCapacity);
+  Random rng(2);
+  const ValuePtr value = MakeValue(rng.RandomBytes(value_size));
+  size_t i = 0;
+  for (auto _ : state) {
+    cache.Put("key" + std::to_string(i++ & 4095), value);
+  }
+}
+BENCHMARK(BM_LruCachePut)->Arg(100)->Arg(100000);
+
+// Ablation: shard count under single-threaded access (locking overhead) —
+// more shards should not hurt.
+void BM_LruCacheShardSweep(benchmark::State& state) {
+  LruCache cache(kCapacity, static_cast<size_t>(state.range(0)));
+  Random rng(3);
+  const auto keys = MakeKeys(1024);
+  for (const auto& key : keys) cache.Put(key, MakeValue(rng.RandomBytes(128)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(keys[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_LruCacheShardSweep)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Contended access: shards reduce lock contention.
+void BM_LruCacheContended(benchmark::State& state) {
+  static LruCache* cache = nullptr;
+  static std::vector<std::string>* keys = nullptr;
+  if (state.thread_index() == 0) {
+    cache = new LruCache(kCapacity, static_cast<size_t>(state.range(0)));
+    keys = new std::vector<std::string>(MakeKeys(1024));
+    Random rng(4);
+    for (const auto& key : *keys) {
+      cache->Put(key, MakeValue(rng.RandomBytes(128)));
+    }
+  }
+  size_t i = static_cast<size_t>(state.thread_index()) * 37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->Get((*keys)[i++ & 1023]));
+  }
+  if (state.thread_index() == 0) {
+    // Leak on purpose: other threads may still be in their epilogue.
+  }
+}
+BENCHMARK(BM_LruCacheContended)->Arg(1)->Arg(16)->Threads(4);
+
+void BM_GdsCacheGetHit(benchmark::State& state) {
+  GdsCache cache(kCapacity);
+  Random rng(5);
+  const auto keys = MakeKeys(256);
+  for (const auto& key : keys) cache.Put(key, MakeValue(rng.RandomBytes(1000)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(keys[i++ & 255]));
+  }
+}
+BENCHMARK(BM_GdsCacheGetHit);
+
+// Copy-on-store isolation cost vs reference caching (paper Section III).
+void BM_CacheReferenceVsCopy(benchmark::State& state) {
+  const bool copying = state.range(0) != 0;
+  const size_t value_size = static_cast<size_t>(state.range(1));
+  std::unique_ptr<Cache> cache = std::make_unique<LruCache>(kCapacity);
+  if (copying) cache = std::make_unique<CopyingCache>(std::move(cache));
+  Random rng(6);
+  cache->Put("key", MakeValue(rng.RandomBytes(value_size)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->Get("key"));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(value_size));
+}
+BENCHMARK(BM_CacheReferenceVsCopy)
+    ->Args({0, 10000})
+    ->Args({1, 10000})
+    ->Args({0, 1000000})
+    ->Args({1, 1000000});
+
+// Expiration-management overhead above the raw cache.
+void BM_ExpiringCacheOverhead(benchmark::State& state) {
+  SimulatedClock clock;
+  ExpiringCache cache(std::make_unique<LruCache>(kCapacity), &clock);
+  Random rng(7);
+  cache.PutWithTtl("key", MakeValue(rng.RandomBytes(1000)), 1'000'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("key"));
+  }
+}
+BENCHMARK(BM_ExpiringCacheOverhead);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Microbenchmarks for the crypto substrate: AES modes, key sizes, SHA-256,
+// HMAC, and PBKDF2.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "crypto/cipher.h"
+#include "crypto/sha256.h"
+
+namespace dstore {
+namespace {
+
+Bytes TestData(size_t n) {
+  Random rng(11);
+  return rng.RandomBytes(n);
+}
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  auto cipher =
+      std::move(AesCbcCipher::MakeWithSeed(Bytes(16, 1), 1)).value();
+  const Bytes data = TestData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher->Encrypt(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(1000)->Arg(100000);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  auto cipher =
+      std::move(AesCbcCipher::MakeWithSeed(Bytes(16, 1), 1)).value();
+  const Bytes encrypted =
+      std::move(cipher->Encrypt(TestData(static_cast<size_t>(state.range(0)))))
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher->Decrypt(encrypted));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(1000)->Arg(100000);
+
+void BM_AesCtrEncrypt(benchmark::State& state) {
+  auto cipher =
+      std::move(AesCtrCipher::MakeWithSeed(Bytes(16, 2), 2)).value();
+  const Bytes data = TestData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher->Encrypt(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCtrEncrypt)->Arg(1000)->Arg(100000);
+
+// Key-size ablation: AES-128 vs AES-256 (more rounds).
+void BM_AesKeySize(benchmark::State& state) {
+  auto cipher =
+      std::move(AesCbcCipher::MakeWithSeed(
+                    Bytes(static_cast<size_t>(state.range(0)), 3), 3))
+          .value();
+  const Bytes data = TestData(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher->Encrypt(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_AesKeySize)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_AuthenticatedOverhead(benchmark::State& state) {
+  auto inner = std::move(AesCbcCipher::MakeWithSeed(Bytes(16, 4), 4)).value();
+  AuthenticatedCipher cipher(std::move(inner), ToBytes("mac-key"));
+  const Bytes data = TestData(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.Encrypt(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_AuthenticatedOverhead);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = TestData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1000)->Arg(1000000);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = ToBytes("hmac key");
+  const Bytes data = TestData(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Pbkdf2(benchmark::State& state) {
+  const Bytes password = ToBytes("correct horse battery staple");
+  const Bytes salt = ToBytes("salt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Pbkdf2HmacSha256(
+        password, salt, static_cast<uint32_t>(state.range(0)), 32));
+  }
+}
+BENCHMARK(BM_Pbkdf2)->Arg(1000)->Arg(4096);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Microbenchmarks for the delta-encoding substrate: window-size ablation,
+// encode/apply throughput vs change density.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "delta/delta.h"
+#include "delta/rolling_hash.h"
+
+namespace dstore {
+namespace {
+
+struct Versions {
+  Bytes base;
+  Bytes target;
+};
+
+Versions MakeVersions(size_t size, int edits) {
+  Random rng(31);
+  Versions v;
+  v.base = rng.RandomBytes(size);
+  v.target = v.base;
+  for (int i = 0; i < edits; ++i) {
+    v.target[rng.Uniform(v.target.size())] ^= 0x77;
+  }
+  return v;
+}
+
+void BM_DeltaEncode(benchmark::State& state) {
+  const auto versions =
+      MakeVersions(100000, static_cast<int>(state.range(0)));
+  DeltaStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EncodeDelta(versions.base, versions.target, {}, &stats));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+  state.counters["delta_bytes"] =
+      static_cast<double>(stats.added_bytes + 10 * stats.copy_ops);
+}
+BENCHMARK(BM_DeltaEncode)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_DeltaApply(benchmark::State& state) {
+  const auto versions = MakeVersions(100000, 100);
+  const Bytes delta = EncodeDelta(versions.base, versions.target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyDelta(versions.base, delta));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_DeltaApply);
+
+// Window-size ablation (the paper's WINDOW_SIZE trade-off): small windows
+// find more matches but cost more encode time and delta framing.
+void BM_DeltaWindowSweep(benchmark::State& state) {
+  const auto versions = MakeVersions(100000, 200);
+  DeltaOptions options;
+  options.window_size = static_cast<size_t>(state.range(0));
+  size_t delta_size = 0;
+  for (auto _ : state) {
+    const Bytes delta = EncodeDelta(versions.base, versions.target, options);
+    delta_size = delta.size();
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.counters["delta_size"] = static_cast<double>(delta_size);
+}
+BENCHMARK(BM_DeltaWindowSweep)->Arg(4)->Arg(5)->Arg(8)->Arg(16)->Arg(64);
+
+// Index-stride ablation: encode speed vs delta size.
+void BM_DeltaStrideSweep(benchmark::State& state) {
+  const auto versions = MakeVersions(100000, 200);
+  DeltaOptions options;
+  options.index_stride = static_cast<size_t>(state.range(0));
+  size_t delta_size = 0;
+  for (auto _ : state) {
+    const Bytes delta = EncodeDelta(versions.base, versions.target, options);
+    delta_size = delta.size();
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.counters["delta_size"] = static_cast<double>(delta_size);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_DeltaStrideSweep)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RollingHashThroughput(benchmark::State& state) {
+  Random rng(32);
+  const Bytes data = rng.RandomBytes(1 << 20);
+  RollingHash hasher(16);
+  for (auto _ : state) {
+    uint64_t h = hasher.Hash(data.data());
+    for (size_t i = 0; i + 16 < data.size(); ++i) {
+      h = hasher.Roll(h, data[i], data[i + 16]);
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_RollingHashThroughput);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Microbenchmarks for the async substrate: future completion, callback
+// dispatch, thread-pool submission, and the async-vs-sync batching win the
+// UDSM's nonblocking interface exists for.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/listenable_future.h"
+#include "common/thread_pool.h"
+#include "store/memory_store.h"
+#include "udsm/async_store.h"
+
+namespace dstore {
+namespace {
+
+void BM_PromiseSetGet(benchmark::State& state) {
+  for (auto _ : state) {
+    Promise<int> promise;
+    auto future = promise.GetFuture();
+    promise.Set(42);
+    benchmark::DoNotOptimize(future.Get());
+  }
+}
+BENCHMARK(BM_PromiseSetGet);
+
+void BM_FutureListenerInline(benchmark::State& state) {
+  for (auto _ : state) {
+    Promise<int> promise;
+    auto future = promise.GetFuture();
+    int captured = 0;
+    future.AddListener([&captured](const int& v) { captured = v; });
+    promise.Set(7);
+    benchmark::DoNotOptimize(captured);
+  }
+}
+BENCHMARK(BM_FutureListenerInline);
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (auto _ : state) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  benchmark::DoNotOptimize(counter.load());
+}
+BENCHMARK(BM_ThreadPoolSubmit);
+
+void BM_RunAsyncRoundTrip(benchmark::State& state) {
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    auto future = RunAsync<int>(&pool, [] { return 1; });
+    benchmark::DoNotOptimize(future.Get());
+  }
+}
+BENCHMARK(BM_RunAsyncRoundTrip);
+
+// The headline async win: issuing N slow operations concurrently instead of
+// serially. Store ops sleep 1 ms; batch of 16.
+void BM_SyncVsAsyncBatch(benchmark::State& state) {
+  class SlowStore : public MemoryStore {
+   public:
+    StatusOr<ValuePtr> Get(const std::string& key) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return MemoryStore::Get(key);
+    }
+  };
+  const bool async_mode = state.range(0) != 0;
+  auto store = std::make_shared<SlowStore>();
+  for (int i = 0; i < 16; ++i) {
+    store->PutString("k" + std::to_string(i), "v");
+  }
+  ThreadPool pool(16);
+  AsyncStore async(store, &pool);
+
+  for (auto _ : state) {
+    if (async_mode) {
+      std::vector<ListenableFuture<StatusOr<ValuePtr>>> futures;
+      futures.reserve(16);
+      for (int i = 0; i < 16; ++i) {
+        futures.push_back(async.GetAsync("k" + std::to_string(i)));
+      }
+      for (auto& future : futures) benchmark::DoNotOptimize(future.Get());
+    } else {
+      for (int i = 0; i < 16; ++i) {
+        benchmark::DoNotOptimize(store->Get("k" + std::to_string(i)));
+      }
+    }
+  }
+  state.SetLabel(async_mode ? "async" : "sync");
+}
+BENCHMARK(BM_SyncVsAsyncBatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Thread-pool size ablation for the async interface.
+void BM_AsyncPoolSizeSweep(benchmark::State& state) {
+  class SlowStore : public MemoryStore {
+   public:
+    StatusOr<ValuePtr> Get(const std::string& key) override {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return MemoryStore::Get(key);
+    }
+  };
+  auto store = std::make_shared<SlowStore>();
+  store->PutString("k", "v");
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  AsyncStore async(store, &pool);
+  for (auto _ : state) {
+    std::vector<ListenableFuture<StatusOr<ValuePtr>>> futures;
+    for (int i = 0; i < 32; ++i) futures.push_back(async.GetAsync("k"));
+    for (auto& future : futures) benchmark::DoNotOptimize(future.Get());
+  }
+}
+BENCHMARK(BM_AsyncPoolSizeSweep)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

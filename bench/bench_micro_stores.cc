@@ -1,0 +1,150 @@
+// Microbenchmarks for the store substrate, including the fsync ablation
+// behind the SQL store's write/read asymmetry and the enhanced client's
+// cache win.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "cache/lru_cache.h"
+#include "common/random.h"
+#include "dscl/enhanced_store.h"
+#include "store/file_store.h"
+#include "store/memory_store.h"
+#include "store/sql/database.h"
+
+namespace dstore {
+namespace {
+
+std::filesystem::path BenchDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dstore_microbench_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+void BM_MemoryStorePutGet(benchmark::State& state) {
+  MemoryStore store;
+  Random rng(1);
+  const ValuePtr value =
+      MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    store.Put("k", value);
+    benchmark::DoNotOptimize(store.Get("k"));
+  }
+}
+BENCHMARK(BM_MemoryStorePutGet)->Arg(100)->Arg(100000);
+
+void BM_FileStoreWrite(benchmark::State& state) {
+  auto store = std::move(FileStore::Open(BenchDir() / "file_w")).value();
+  Random rng(2);
+  const ValuePtr value =
+      MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0))));
+  size_t i = 0;
+  for (auto _ : state) {
+    store->Put("k" + std::to_string(i++ & 63), value);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FileStoreWrite)->Arg(1000)->Arg(1000000);
+
+void BM_FileStoreRead(benchmark::State& state) {
+  auto store = std::move(FileStore::Open(BenchDir() / "file_r")).value();
+  Random rng(3);
+  store->Put("k", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get("k"));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FileStoreRead)->Arg(1000)->Arg(1000000);
+
+// fsync ablation: the cost of durable commits, which is what separates SQL
+// writes from reads in Fig. 10.
+void BM_SqlInsertSyncAblation(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  sql::Database::Options options;
+  options.sync_commits = sync;
+  static int db_counter = 0;
+  auto db = std::move(sql::Database::Open(
+                          (BenchDir() / ("db" + std::to_string(db_counter++)))
+                              .string(),
+                          options))
+                .value();
+  if (!db->Execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto result = db->Execute("INSERT INTO t VALUES (" + std::to_string(i++) +
+                              ", 'value')");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(sync ? "fsync" : "no-fsync");
+}
+BENCHMARK(BM_SqlInsertSyncAblation)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SqlSelectByPk(benchmark::State& state) {
+  sql::Database db;
+  db.Execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").ok();
+  for (int i = 0; i < 10000; ++i) {
+    db.Execute("INSERT INTO t VALUES (" + std::to_string(i) + ", 'row')").ok();
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.Execute("SELECT v FROM t WHERE id = " + std::to_string(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_SqlSelectByPk);
+
+void BM_SqlSelectScanVsIndex(benchmark::State& state) {
+  // Ablation: the same predicate with (PK index) and without (full scan).
+  const bool indexed = state.range(0) != 0;
+  sql::Database db;
+  db.Execute(indexed ? "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)"
+                     : "CREATE TABLE t (id INTEGER, v INTEGER)")
+      .ok();
+  for (int i = 0; i < 5000; ++i) {
+    db.Execute("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+               std::to_string(i * 2) + ")")
+        .ok();
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.Execute("SELECT v FROM t WHERE id = " + std::to_string(i++ % 5000)));
+  }
+  state.SetLabel(indexed ? "pk-index" : "full-scan");
+}
+BENCHMARK(BM_SqlSelectScanVsIndex)->Arg(1)->Arg(0);
+
+// Enhanced client: cached read vs direct read from a file store.
+void BM_EnhancedStoreCachedRead(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  auto base = std::shared_ptr<KeyValueStore>(
+      std::move(FileStore::Open(BenchDir() / "enh")).value());
+  std::shared_ptr<ExpiringCache> cache;
+  if (cached) {
+    cache = std::make_shared<ExpiringCache>(
+        std::make_unique<LruCache>(256u << 20), RealClock::Default());
+  }
+  EnhancedStore store(base, cache, nullptr, {});
+  Random rng(4);
+  store.Put("k", MakeValue(rng.RandomBytes(100000))).ok();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("k"));
+  }
+  state.SetLabel(cached ? "cached" : "uncached");
+}
+BENCHMARK(BM_EnhancedStoreCachedRead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+#include "figures_common.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cache/lru_cache.h"
+#include "net/latency_model.h"
+#include "store/cloud_client.h"
+#include "store/cloud_server.h"
+#include "store/file_store.h"
+#include "store/overhead_store.h"
+#include "store/remote_cache.h"
+#include "store/sql_client.h"
+#include "store/sql_server.h"
+
+namespace dstore::bench {
+
+FigureOptions ParseFigureOptions(int argc, char** argv) {
+  FigureOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--wan-scale=")) {
+      options.wan_scale = std::atof(v);
+    } else if (const char* v = value_of("--ops=")) {
+      options.ops_per_size = std::atoi(v);
+    } else if (const char* v = value_of("--runs=")) {
+      options.runs = std::atoi(v);
+    } else if (const char* v = value_of("--out-dir=")) {
+      options.out_dir = v;
+    } else if (const char* v = value_of("--file-overhead-us=")) {
+      options.file_overhead_us = std::atof(v);
+    } else if (const char* v = value_of("--sql-overhead-us=")) {
+      options.sql_overhead_us = std::atof(v);
+    } else if (const char* v = value_of("--redis-overhead-us=")) {
+      options.redis_overhead_us = std::atof(v);
+    } else if (const char* v = value_of("--max-size=")) {
+      const size_t max_size = std::strtoull(v, nullptr, 10);
+      std::vector<size_t> kept;
+      for (size_t s : options.sizes) {
+        if (s <= max_size) kept.push_back(s);
+      }
+      options.sizes = kept;
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "flags: --wan-scale=F --ops=N --runs=N --out-dir=P "
+                   "--max-size=BYTES\n");
+    }
+  }
+  return options;
+}
+
+struct FigureEnv::Impl {
+  std::filesystem::path temp_root;
+  std::unique_ptr<SqlServer> sql_server;
+  std::unique_ptr<CloudStoreServer> cloud1_server;
+  std::unique_ptr<CloudStoreServer> cloud2_server;
+  std::unique_ptr<RemoteCacheServer> cache_server;
+
+  std::shared_ptr<KeyValueStore> file;
+  std::shared_ptr<KeyValueStore> sql;
+  std::shared_ptr<KeyValueStore> cloud1;
+  std::shared_ptr<KeyValueStore> cloud2;
+  std::shared_ptr<KeyValueStore> redis;
+};
+
+FigureEnv::FigureEnv() : impl_(std::make_unique<Impl>()) {}
+
+FigureEnv::~FigureEnv() {
+  if (impl_ == nullptr) return;
+  if (impl_->sql_server) impl_->sql_server->Stop();
+  if (impl_->cloud1_server) impl_->cloud1_server->Stop();
+  if (impl_->cloud2_server) impl_->cloud2_server->Stop();
+  if (impl_->cache_server) impl_->cache_server->Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(impl_->temp_root, ec);
+}
+
+StatusOr<std::unique_ptr<FigureEnv>> FigureEnv::Make(
+    const FigureOptions& options) {
+  auto env = std::unique_ptr<FigureEnv>(new FigureEnv());
+  env->options_ = options;
+  Impl& impl = *env->impl_;
+
+  impl.temp_root = std::filesystem::temp_directory_path() /
+                   ("dstore_bench_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::create_directories(impl.temp_root, ec);
+
+  // Client-stack overhead modeling (see store/overhead_store.h): the paper
+  // measures Java clients whose fixed per-call cost dominates small-object
+  // latency for local stores. Wrap each local store accordingly.
+  auto with_overhead = [](std::shared_ptr<KeyValueStore> store,
+                          double per_op_us) -> std::shared_ptr<KeyValueStore> {
+    if (per_op_us <= 0) return store;
+    OverheadStore::Overheads overheads;
+    overheads.per_op_nanos = static_cast<int64_t>(per_op_us * 1000.0);
+    return std::make_shared<OverheadStore>(std::move(store), overheads);
+  };
+
+  // File system store.
+  DSTORE_ASSIGN_OR_RETURN(auto file_store,
+                          FileStore::Open(impl.temp_root / "file_store"));
+  impl.file = with_overhead(
+      std::shared_ptr<KeyValueStore>(std::move(file_store)),
+      options.file_overhead_us);
+
+  // SQL store behind a local socket, durable with fsync'd commits (the
+  // paper's "writes involve costly commit operations").
+  DSTORE_ASSIGN_OR_RETURN(
+      impl.sql_server,
+      SqlServer::Start((impl.temp_root / "sql_db").string()));
+  DSTORE_ASSIGN_OR_RETURN(
+      auto sql_client, SqlClient::Connect("127.0.0.1", impl.sql_server->port()));
+  impl.sql = with_overhead(std::shared_ptr<KeyValueStore>(std::move(sql_client)),
+                           options.sql_overhead_us);
+
+  // Cloud stores with their WAN latency models.
+  DSTORE_ASSIGN_OR_RETURN(
+      impl.cloud1_server,
+      CloudStoreServer::Start(std::make_unique<WanLatency>(
+          CloudStore1Profile(options.wan_scale), options.seed)));
+  DSTORE_ASSIGN_OR_RETURN(
+      auto cloud1_client,
+      CloudStoreClient::Connect("127.0.0.1", impl.cloud1_server->port(),
+                                "cloud1"));
+  impl.cloud1 = std::shared_ptr<KeyValueStore>(std::move(cloud1_client));
+
+  DSTORE_ASSIGN_OR_RETURN(
+      impl.cloud2_server,
+      CloudStoreServer::Start(std::make_unique<WanLatency>(
+          CloudStore2Profile(options.wan_scale), options.seed + 1)));
+  DSTORE_ASSIGN_OR_RETURN(
+      auto cloud2_client,
+      CloudStoreClient::Connect("127.0.0.1", impl.cloud2_server->port(),
+                                "cloud2"));
+  impl.cloud2 = std::shared_ptr<KeyValueStore>(std::move(cloud2_client));
+
+  // Remote-process cache, doubling as the Redis-like data store.
+  DSTORE_ASSIGN_OR_RETURN(
+      impl.cache_server,
+      RemoteCacheServer::Start(std::make_unique<LruCache>(1ull << 31)));
+  DSTORE_ASSIGN_OR_RETURN(
+      auto conn,
+      RemoteCacheConnection::Connect("127.0.0.1", impl.cache_server->port()));
+  impl.redis = with_overhead(std::make_shared<RemoteCacheStore>(conn),
+                             options.redis_overhead_us);
+
+  return env;
+}
+
+std::shared_ptr<KeyValueStore> FigureEnv::store(const std::string& name) const {
+  if (name == "file") return impl_->file;
+  if (name == "sql") return impl_->sql;
+  if (name == "cloud1") return impl_->cloud1;
+  if (name == "cloud2") return impl_->cloud2;
+  if (name == "redis") return impl_->redis;
+  return nullptr;
+}
+
+std::vector<std::string> FigureEnv::store_names() const {
+  return {"file", "sql", "cloud1", "cloud2", "redis"};
+}
+
+std::unique_ptr<Cache> FigureEnv::MakeInProcessCache() const {
+  return std::make_unique<LruCache>(1ull << 31);
+}
+
+StatusOr<std::unique_ptr<Cache>> FigureEnv::MakeRemoteProcessCache() const {
+  DSTORE_ASSIGN_OR_RETURN(
+      auto conn,
+      RemoteCacheConnection::Connect("127.0.0.1",
+                                     impl_->cache_server->port()));
+  return std::unique_ptr<Cache>(new RemoteCache(std::move(conn)));
+}
+
+WorkloadGenerator::Config MakeWorkloadConfig(const FigureOptions& options) {
+  WorkloadGenerator::Config config;
+  config.sizes = options.sizes;
+  config.ops_per_size = options.ops_per_size;
+  config.runs = options.runs;
+  config.seed = options.seed;
+  return config;
+}
+
+void EmitTable(const FigureOptions& options, const std::string& figure_id,
+               const std::string& title,
+               const std::vector<std::string>& columns,
+               const std::vector<std::vector<double>>& rows) {
+  std::printf("== %s: %s ==\n", figure_id.c_str(), title.c_str());
+  std::printf("#");
+  for (const auto& column : columns) std::printf(" %12s", column.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf(" ");
+    for (double value : row) std::printf(" %12.4g", value);
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  const std::string path = options.out_dir + "/" + figure_id + ".dat";
+  const Status written = WorkloadGenerator::WriteTable(path, columns, rows);
+  if (!written.ok()) {
+    std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+  }
+}
+
+int RunCachedReadFigure(int argc, char** argv, const std::string& figure_id,
+                        const std::string& title, const std::string& store_name,
+                        bool remote_cache) {
+  const FigureOptions options = ParseFigureOptions(argc, argv);
+  auto env = FigureEnv::Make(options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<Cache> cache;
+  if (remote_cache) {
+    auto remote = (*env)->MakeRemoteProcessCache();
+    if (!remote.ok()) {
+      std::fprintf(stderr, "remote cache failed: %s\n",
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    cache = *std::move(remote);
+  } else {
+    cache = (*env)->MakeInProcessCache();
+  }
+
+  WorkloadGenerator generator(MakeWorkloadConfig(options));
+  auto points =
+      generator.MeasureCachedReads((*env)->store(store_name).get(), cache.get());
+  if (!points.ok()) {
+    std::fprintf(stderr, "measurement failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<double>> rows;
+  for (const auto& point : *points) {
+    std::vector<double> row = {static_cast<double>(point.size)};
+    for (double ms : point.extrapolated_ms) row.push_back(ms);
+    rows.push_back(std::move(row));
+  }
+  EmitTable(options, figure_id, title,
+            {"size_bytes", "no_cache_ms", "hit25_ms", "hit50_ms", "hit75_ms",
+             "hit100_ms"},
+            rows);
+  return 0;
+}
+
+}  // namespace dstore::bench

@@ -1,0 +1,94 @@
+#ifndef DSTORE_BENCH_FIGURES_COMMON_H_
+#define DSTORE_BENCH_FIGURES_COMMON_H_
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/status.h"
+#include "store/key_value.h"
+#include "udsm/workload.h"
+
+namespace dstore::bench {
+
+// Shared harness for the per-figure benchmark binaries. Each binary
+// regenerates one table/figure from the paper's evaluation (Section V)
+// using the UDSM workload generator against the five data stores:
+//
+//   file    - FileStore on the local file system
+//   sql     - embedded SQL engine behind a local socket (MySQL stand-in)
+//   cloud1  - simulated commercial cloud store, high latency & variance
+//   cloud2  - simulated commercial cloud store, lower latency
+//   redis   - remote-process cache used as a data store (Redis stand-in)
+//
+// WAN latencies are scaled down by --wan-scale (default 0.05, i.e. Cloud
+// Store 1 median RTT 5 ms instead of the paper's ~100 ms) so the full
+// figure suite runs in seconds; pass --wan-scale=1 to reproduce
+// paper-magnitude latencies. The latency *shape* (orderings, crossovers,
+// variability ranking) is scale-invariant by construction.
+
+struct FigureOptions {
+  double wan_scale = 0.05;
+  // Modeled Java-client-stack overheads (paper measured Java clients; see
+  // store/overhead_store.h). Microseconds per operation; 0 disables.
+  double file_overhead_us = 120.0;
+  double sql_overhead_us = 250.0;
+  double redis_overhead_us = 60.0;
+  std::vector<size_t> sizes = {1,      10,      100,    1000,
+                               10000,  100000,  1000000};
+  int ops_per_size = 3;
+  int runs = 2;
+  uint64_t seed = 42;
+  std::string out_dir = "bench_results";
+};
+
+// Parses --wan-scale=X --ops=N --runs=N --out-dir=PATH --max-size=BYTES
+// --file-overhead-us=X --sql-overhead-us=X --redis-overhead-us=X.
+FigureOptions ParseFigureOptions(int argc, char** argv);
+
+// All five stores plus their server machinery, kept alive together.
+class FigureEnv {
+ public:
+  static StatusOr<std::unique_ptr<FigureEnv>> Make(const FigureOptions& options);
+  ~FigureEnv();
+
+  // Store accessors by the names above. Null for unknown names.
+  std::shared_ptr<KeyValueStore> store(const std::string& name) const;
+  std::vector<std::string> store_names() const;
+
+  // A fresh in-process cache (LRU, ample capacity).
+  std::unique_ptr<Cache> MakeInProcessCache() const;
+  // A client to the shared remote-process cache server.
+  StatusOr<std::unique_ptr<Cache>> MakeRemoteProcessCache() const;
+
+  const FigureOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  FigureEnv();
+  FigureOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Builds the WorkloadGenerator config matching `options`.
+WorkloadGenerator::Config MakeWorkloadConfig(const FigureOptions& options);
+
+// Prints a table (header + rows) to stdout and writes it as a gnuplot .dat
+// under options.out_dir. Values are milliseconds unless stated otherwise.
+void EmitTable(const FigureOptions& options, const std::string& figure_id,
+               const std::string& title,
+               const std::vector<std::string>& columns,
+               const std::vector<std::vector<double>>& rows);
+
+// Runs the Fig. 11-19 style experiment: read latency for `store_name`
+// with the given cache at hit rates {0,25,50,75,100}%, then emits the table.
+// Returns non-zero on failure (for main()).
+int RunCachedReadFigure(int argc, char** argv, const std::string& figure_id,
+                        const std::string& title, const std::string& store_name,
+                        bool remote_cache);
+
+}  // namespace dstore::bench
+
+#endif  // DSTORE_BENCH_FIGURES_COMMON_H_

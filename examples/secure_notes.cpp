@@ -1,0 +1,90 @@
+// Secure notes: an enhanced data store client that transparently
+// compresses and encrypts everything it stores (paper Sections II-III).
+//
+// The application code only sees the plain KeyValueStore interface; the
+// EnhancedStore decorator runs each note through gzip and AES-128-CBC (via
+// a PBKDF2-derived key) before it reaches the backing file store, and keeps
+// a plaintext in-process cache for fast rereads. The demo prints what is
+// actually on disk to show the server/file system never sees plaintext.
+//
+//   ./secure_notes
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cache/lru_cache.h"
+#include "dscl/enhanced_store.h"
+#include "dscl/transformer.h"
+#include "store/file_store.h"
+
+using namespace dstore;
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path() / "secure_notes";
+  auto backing = FileStore::Open(dir);
+  if (!backing.ok()) {
+    std::fprintf(stderr, "open: %s\n", backing.status().ToString().c_str());
+    return 1;
+  }
+  auto base = std::shared_ptr<KeyValueStore>(std::move(*backing));
+
+  // compress -> encrypt pipeline; key derived from a passphrase.
+  auto cipher = MakePassphraseCipher("hunter2, but stronger",
+                                     /*authenticated=*/true);
+  if (!cipher.ok()) {
+    std::fprintf(stderr, "cipher: %s\n", cipher.status().ToString().c_str());
+    return 1;
+  }
+  auto chain = MakeStandardChain(std::make_unique<GzipCodec>(),
+                                 *std::move(cipher));
+  if (!chain.ok()) return 1;
+
+  auto cache = std::make_shared<ExpiringCache>(
+      std::make_unique<LruCache>(16u << 20), RealClock::Default());
+  EnhancedStore notes(base, cache, *chain, EnhancedStore::Options{});
+
+  // Store some notes through the enhanced client.
+  const std::pair<const char*, const char*> entries[] = {
+      {"notes/todo", "buy milk, refactor the cache layer, call mom"},
+      {"notes/idea", "what if the cache revalidated with etags? (it does)"},
+      {"notes/secret", "the launch code is 0000 0000 0000 0000"},
+  };
+  for (const auto& [key, text] : entries) {
+    if (!notes.PutString(key, text).ok()) {
+      std::fprintf(stderr, "put failed for %s\n", key);
+      return 1;
+    }
+  }
+
+  // Read back through the client: plaintext.
+  for (const auto& [key, text] : entries) {
+    auto value = notes.GetString(key);
+    std::printf("client reads %-13s -> %s\n", key,
+                value.ok() ? value->c_str() : "<error>");
+  }
+
+  // Read the same keys straight from the backing store: ciphertext.
+  auto raw = base->Get("notes/secret");
+  if (raw.ok()) {
+    std::printf("\non disk, notes/secret is %zu bytes of ciphertext: ",
+                (*raw)->size());
+    for (size_t i = 0; i < 16 && i < (*raw)->size(); ++i) {
+      std::printf("%02x", (**raw)[i]);
+    }
+    std::printf("...\n");
+    const std::string as_text = ToString(**raw);
+    std::printf("plaintext visible on disk? %s\n",
+                as_text.find("launch code") == std::string::npos ? "no"
+                                                                 : "YES (bug!)");
+  }
+
+  const auto stats = notes.Stats();
+  std::printf("\ncache hits=%llu misses=%llu (hits served without touching "
+              "the file system)\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

@@ -1,0 +1,235 @@
+// udsm_cli: a scriptable shell over the Universal Data Store Manager.
+// Reads commands from stdin (one per line), so it works interactively and
+// in pipelines:
+//
+//   printf 'open db file /tmp/mydb\nuse db\nput greeting hello\nget greeting\n' \
+//     | ./udsm_cli
+//
+// Commands:
+//   open NAME TYPE [PATH]   register a store (TYPE: memory | file | sql)
+//   use NAME                select the current store
+//   stores                  list registered stores
+//   put KEY VALUE...        store a value (VALUE may contain spaces)
+//   get KEY                 print a value
+//   del KEY                 delete a key
+//   has KEY                 existence check
+//   ls                      list keys
+//   count                   number of entries
+//   clear                   delete everything in the current store
+//   sql STATEMENT...        run SQL against a sql-type store
+//   monitor                 print the performance monitor report
+//   help                    this text
+//   quit                    exit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "store/file_store.h"
+#include "store/memory_store.h"
+#include "store/sql_client.h"
+#include "store/sql_server.h"
+#include "udsm/udsm.h"
+
+using namespace dstore;
+
+namespace {
+
+constexpr char kHelp[] =
+    "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
+    "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
+    "          help | quit\n";
+
+struct Shell {
+  Udsm udsm;
+  std::string current;
+  // Keep SQL servers alive for the session.
+  std::vector<std::unique_ptr<SqlServer>> sql_servers;
+
+  KeyValueStore* Current() {
+    if (current.empty()) {
+      std::printf("error: no store selected (use `open` then `use`)\n");
+      return nullptr;
+    }
+    KeyValueStore* store = udsm.GetStore(current);
+    if (store == nullptr) {
+      std::printf("error: store '%s' vanished\n", current.c_str());
+    }
+    return store;
+  }
+
+  void Open(std::istringstream& args) {
+    std::string name, type, path;
+    args >> name >> type;
+    std::getline(args, path);
+    while (!path.empty() && path.front() == ' ') path.erase(path.begin());
+    if (name.empty() || type.empty()) {
+      std::printf("usage: open NAME TYPE [PATH]\n");
+      return;
+    }
+    Status status;
+    if (type == "memory") {
+      status = udsm.RegisterStore(name, std::make_shared<MemoryStore>());
+    } else if (type == "file") {
+      if (path.empty()) path = "/tmp/udsm_cli_" + name;
+      auto store = FileStore::Open(path);
+      status = store.ok()
+                   ? udsm.RegisterStore(
+                         name, std::shared_ptr<KeyValueStore>(
+                                   *std::move(store)))
+                   : store.status();
+    } else if (type == "sql") {
+      auto server = SqlServer::Start(path);  // empty path = in-memory
+      if (!server.ok()) {
+        status = server.status();
+      } else {
+        auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+        if (!client.ok()) {
+          status = client.status();
+        } else {
+          sql_servers.push_back(*std::move(server));
+          status = udsm.RegisterStore(
+              name, std::shared_ptr<KeyValueStore>(*std::move(client)));
+        }
+      }
+    } else {
+      std::printf("unknown store type '%s' (memory|file|sql)\n", type.c_str());
+      return;
+    }
+    if (status.ok()) {
+      std::printf("opened %s (%s)\n", name.c_str(), type.c_str());
+      if (current.empty()) current = name;
+    } else {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  }
+
+  void Dispatch(const std::string& line) {
+    std::istringstream args(line);
+    std::string command;
+    args >> command;
+    if (command.empty()) return;
+
+    if (command == "help") {
+      std::fputs(kHelp, stdout);
+    } else if (command == "open") {
+      Open(args);
+    } else if (command == "use") {
+      std::string name;
+      args >> name;
+      if (udsm.GetStore(name) == nullptr) {
+        std::printf("error: no store named '%s'\n", name.c_str());
+      } else {
+        current = name;
+        std::printf("using %s\n", name.c_str());
+      }
+    } else if (command == "stores") {
+      for (const std::string& name : udsm.StoreNames()) {
+        std::printf("%s%s\n", name.c_str(), name == current ? " *" : "");
+      }
+    } else if (command == "put") {
+      std::string key, value;
+      args >> key;
+      std::getline(args, value);
+      if (!value.empty() && value.front() == ' ') value.erase(value.begin());
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      const Status status = store->PutString(key, value);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    } else if (command == "get") {
+      std::string key;
+      args >> key;
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      auto value = store->GetString(key);
+      std::printf("%s\n", value.ok() ? value->c_str()
+                                     : value.status().ToString().c_str());
+    } else if (command == "del") {
+      std::string key;
+      args >> key;
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      const Status status = store->Delete(key);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    } else if (command == "has") {
+      std::string key;
+      args >> key;
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      auto present = store->Contains(key);
+      std::printf("%s\n", present.ok() ? (*present ? "yes" : "no")
+                                       : present.status().ToString().c_str());
+    } else if (command == "ls") {
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      auto keys = store->ListKeys();
+      if (!keys.ok()) {
+        std::printf("%s\n", keys.status().ToString().c_str());
+        return;
+      }
+      std::sort(keys->begin(), keys->end());
+      for (const std::string& key : *keys) std::printf("%s\n", key.c_str());
+    } else if (command == "count") {
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      auto count = store->Count();
+      if (count.ok()) {
+        std::printf("%zu\n", *count);
+      } else {
+        std::printf("%s\n", count.status().ToString().c_str());
+      }
+    } else if (command == "clear") {
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      const Status status = store->Clear();
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    } else if (command == "sql") {
+      std::string statement;
+      std::getline(args, statement);
+      SqlClient* native = udsm.GetNative<SqlClient>(current);
+      if (native == nullptr) {
+        std::printf("error: '%s' is not a sql store\n", current.c_str());
+        return;
+      }
+      auto result = native->Execute(statement);
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        return;
+      }
+      if (!result->columns.empty()) {
+        for (size_t i = 0; i < result->columns.size(); ++i) {
+          std::printf(i == 0 ? "%s" : " | %s", result->columns[i].c_str());
+        }
+        std::printf("\n");
+        for (const auto& row : result->rows) {
+          for (size_t i = 0; i < row.size(); ++i) {
+            std::printf(i == 0 ? "%s" : " | %s",
+                        row[i].ToDisplayString().c_str());
+          }
+          std::printf("\n");
+        }
+      } else {
+        std::printf("ok (%llu rows affected)\n",
+                    static_cast<unsigned long long>(result->rows_affected));
+      }
+    } else if (command == "monitor") {
+      std::fputs(udsm.monitor()->Report().c_str(), stdout);
+    } else {
+      std::printf("unknown command '%s' (try `help`)\n", command.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    shell.Dispatch(line);
+  }
+  for (auto& server : shell.sql_servers) server->Stop();
+  return 0;
+}

@@ -1,0 +1,59 @@
+# Plots every figure's .dat from bench_results/ as PNGs, matching the
+# paper's log-log axes. Run the bench binaries first, then:
+#
+#   gnuplot scripts/plot_figures.gp
+#
+# Output: bench_results/figNN.png
+
+set datafile commentschars "#"
+set terminal pngcairo size 900,600
+set logscale xy
+set xlabel "Object size (bytes)"
+set ylabel "Latency (milliseconds)"
+set key top left
+set grid
+
+set output "bench_results/fig09.png"
+set title "Fig. 9: read latency vs object size"
+plot "bench_results/fig09.dat" using 1:2 with linespoints title "file system", \
+     "" using 1:3 with linespoints title "SQL store", \
+     "" using 1:4 with linespoints title "Cloud Store 1", \
+     "" using 1:5 with linespoints title "Cloud Store 2", \
+     "" using 1:6 with linespoints title "Redis-style"
+
+set output "bench_results/fig10.png"
+set title "Fig. 10: write latency vs object size"
+plot "bench_results/fig10.dat" using 1:2 with linespoints title "file system", \
+     "" using 1:3 with linespoints title "SQL store", \
+     "" using 1:4 with linespoints title "Cloud Store 1", \
+     "" using 1:5 with linespoints title "Cloud Store 2", \
+     "" using 1:6 with linespoints title "Redis-style"
+
+# Figs. 11-19: one hit-rate family per store x cache type.
+do for [fig in "fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19"] {
+  set output sprintf("bench_results/%s.png", fig)
+  set title sprintf("%s: cached reads at 0/25/50/75/100%% hit rates", fig)
+  plot sprintf("bench_results/%s.dat", fig) \
+          using 1:2 with linespoints title "no caching", \
+       "" using 1:3 with linespoints title "25% hit rate", \
+       "" using 1:4 with linespoints title "50% hit rate", \
+       "" using 1:5 with linespoints title "75% hit rate", \
+       "" using 1:6 with linespoints title "100% hit rate"
+}
+
+set output "bench_results/fig20.png"
+set title "Fig. 20: AES-128 encryption/decryption time"
+plot "bench_results/fig20.dat" using 1:2 with linespoints title "encrypt", \
+     "" using 1:3 with linespoints title "decrypt"
+
+set output "bench_results/fig21.png"
+set title "Fig. 21: gzip compression/decompression time"
+plot "bench_results/fig21.dat" using 1:2 with linespoints title "compress", \
+     "" using 1:3 with linespoints title "decompress"
+
+set output "bench_results/delta_fraction.png"
+set title "Delta encoding: delta size vs fraction changed (100 KB objects)"
+set xlabel "Fraction of object changed"
+set ylabel "Delta size / full object size"
+plot "bench_results/delta_fraction.dat" using 1:2 with linespoints \
+     title "delta/full"

@@ -1,0 +1,87 @@
+#ifndef DSTORE_CACHE_CACHE_H_
+#define DSTORE_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore {
+
+// Counters every Cache implementation maintains. Hit rate is the headline
+// number the paper's workload generator sweeps (Figs. 11-19).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t puts = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+// The DSCL Cache interface (paper Section III): "The DSCL also supports
+// multiple different types of caches via a Cache interface which defines how
+// an application interacts with caches." In-process caches (LruCache,
+// GdsCache) and the remote-process cache client all implement it, so a data
+// store client can swap cache types without code changes.
+//
+// Values are immutable refcounted buffers; an in-process Get returns the
+// stored buffer itself — no copy, no serialization (which is why in-process
+// read latency is flat in object size, Figs. 11/13/15/17/19).
+//
+// Expiration times are deliberately NOT part of this interface: the DSCL
+// manages them above the cache (see ExpiringCache), because not all caches
+// support expiration and because expired-but-possibly-valid entries must be
+// retained for revalidation.
+class Cache {
+ public:
+  virtual ~Cache() = default;
+
+  // Inserts or replaces `key`. May trigger evictions.
+  virtual Status Put(const std::string& key, ValuePtr value) = 0;
+
+  // Returns the cached value or NotFound.
+  virtual StatusOr<ValuePtr> Get(const std::string& key) = 0;
+
+  // Removes `key`; OK even if absent.
+  virtual Status Delete(const std::string& key) = 0;
+
+  // Removes everything.
+  virtual void Clear() = 0;
+
+  // True if `key` is present (does not count as a hit or miss).
+  virtual bool Contains(const std::string& key) const = 0;
+
+  // Number of cached entries.
+  virtual size_t EntryCount() const = 0;
+
+  // Sum of charges (approximately bytes) currently cached.
+  virtual size_t ChargeUsed() const = 0;
+
+  virtual CacheStats Stats() const = 0;
+
+  virtual std::string Name() const = 0;
+
+  // All currently cached keys, for warm-state persistence (paper Section
+  // III: data can be saved before shutdown so a restarted cache "can
+  // quickly be brought to a warm state") and diagnostics. Caches that
+  // cannot enumerate return NotSupported.
+  virtual StatusOr<std::vector<std::string>> Keys() const {
+    return Status::NotSupported(Name() + " cache does not enumerate keys");
+  }
+};
+
+// Charge accounting shared by implementations: key bytes + value bytes +
+// a small fixed per-entry overhead.
+inline size_t EntryCharge(const std::string& key, const ValuePtr& value) {
+  return key.size() + (value ? value->size() : 0) + 64;
+}
+
+}  // namespace dstore
+
+#endif  // DSTORE_CACHE_CACHE_H_

@@ -1,0 +1,140 @@
+#include "cache/clock_cache.h"
+
+namespace dstore {
+
+ClockCache::ClockCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+void ClockCache::EvictOne() {
+  if (index_.empty()) return;
+  // Sweep: give referenced entries a second chance, evict the first
+  // unreferenced occupied slot.
+  for (;;) {
+    if (slots_.empty()) return;
+    hand_ = (hand_ + 1) % slots_.size();
+    Slot& slot = slots_[hand_];
+    if (!slot.occupied) continue;
+    if (slot.referenced) {
+      slot.referenced = false;
+      continue;
+    }
+    charge_used_ -= slot.charge;
+    index_.erase(slot.key);
+    slot = Slot{};
+    free_slots_.push_back(hand_);
+    ++stats_.evictions;
+    return;
+  }
+}
+
+void ClockCache::EvictUntilFits() {
+  while (charge_used_ > capacity_bytes_ && !index_.empty()) {
+    EvictOne();
+  }
+}
+
+Status ClockCache::Put(const std::string& key, ValuePtr value) {
+  const size_t charge = EntryCharge(key, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Slot& slot = slots_[it->second];
+    charge_used_ -= slot.charge;
+    slot.value = std::move(value);
+    slot.charge = charge;
+    slot.referenced = true;
+    charge_used_ += charge;
+    EvictUntilFits();
+    return Status::OK();
+  }
+
+  size_t slot_index;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_index];
+  slot.key = key;
+  slot.value = std::move(value);
+  slot.charge = charge;
+  // Fresh entries start unreferenced: they earn their second chance with a
+  // hit. (Inserting referenced would let a burst of one-shot inserts evict
+  // hot entries, since a sweep through all-referenced slots victimizes the
+  // first entry it cleared.)
+  slot.referenced = false;
+  slot.occupied = true;
+  index_.emplace(key, slot_index);
+  charge_used_ += charge;
+  EvictUntilFits();
+  return Status::OK();
+}
+
+StatusOr<ValuePtr> ClockCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return Status::NotFound("key not in cache");
+  }
+  Slot& slot = slots_[it->second];
+  slot.referenced = true;  // the entire hit-path bookkeeping: one bit
+  ++stats_.hits;
+  return slot.value;
+}
+
+Status ClockCache::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Slot& slot = slots_[it->second];
+    charge_used_ -= slot.charge;
+    free_slots_.push_back(it->second);
+    slot = Slot{};
+    index_.erase(it);
+  }
+  return Status::OK();
+}
+
+void ClockCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  index_.clear();
+  free_slots_.clear();
+  hand_ = 0;
+  charge_used_ = 0;
+}
+
+bool ClockCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) > 0;
+}
+
+size_t ClockCache::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+size_t ClockCache::ChargeUsed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charge_used_;
+}
+
+StatusOr<std::vector<std::string>> ClockCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, slot] : index_) keys.push_back(key);
+  return keys;
+}
+
+CacheStats ClockCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dstore

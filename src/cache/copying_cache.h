@@ -1,0 +1,52 @@
+#ifndef DSTORE_CACHE_COPYING_CACHE_H_
+#define DSTORE_CACHE_COPYING_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/cache.h"
+
+namespace dstore {
+
+// Copy-on-store / copy-on-load wrapper. The paper notes the trade-off for
+// in-process caches (Section III): caching a reference is fastest but means
+// "changes to the object from the application will change the cached object
+// itself"; "a copy of the object can be made before the object is cached"
+// at the price of copying overhead. This wrapper provides the copying
+// variant so applications (and the ablation benchmarks) can pick either.
+class CopyingCache : public Cache {
+ public:
+  explicit CopyingCache(std::unique_ptr<Cache> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Put(const std::string& key, ValuePtr value) override {
+    if (value == nullptr) return inner_->Put(key, nullptr);
+    return inner_->Put(key, std::make_shared<const Bytes>(*value));
+  }
+
+  StatusOr<ValuePtr> Get(const std::string& key) override {
+    DSTORE_ASSIGN_OR_RETURN(ValuePtr value, inner_->Get(key));
+    if (value == nullptr) return value;
+    return ValuePtr(std::make_shared<const Bytes>(*value));
+  }
+
+  Status Delete(const std::string& key) override { return inner_->Delete(key); }
+  void Clear() override { inner_->Clear(); }
+  bool Contains(const std::string& key) const override {
+    return inner_->Contains(key);
+  }
+  size_t EntryCount() const override { return inner_->EntryCount(); }
+  size_t ChargeUsed() const override { return inner_->ChargeUsed(); }
+  CacheStats Stats() const override { return inner_->Stats(); }
+  std::string Name() const override { return inner_->Name() + "+copy"; }
+  StatusOr<std::vector<std::string>> Keys() const override {
+    return inner_->Keys();
+  }
+
+ private:
+  std::unique_ptr<Cache> inner_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_CACHE_COPYING_CACHE_H_

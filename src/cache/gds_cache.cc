@@ -1,0 +1,114 @@
+#include "cache/gds_cache.h"
+
+namespace dstore {
+
+GdsCache::GdsCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+void GdsCache::Refresh(const std::string& key, Entry* entry) {
+  entry->priority =
+      inflation_ + entry->cost / static_cast<double>(entry->charge);
+  heap_.erase(entry->heap_it);
+  entry->heap_it = heap_.emplace(entry->priority, key);
+}
+
+void GdsCache::EvictIfNeeded() {
+  while (charge_used_ > capacity_bytes_ && !heap_.empty()) {
+    const auto victim_it = heap_.begin();
+    inflation_ = victim_it->first;  // L rises to the evicted priority
+    const std::string victim_key = victim_it->second;
+    auto entry_it = entries_.find(victim_key);
+    charge_used_ -= entry_it->second.charge;
+    heap_.erase(victim_it);
+    entries_.erase(entry_it);
+    ++stats_.evictions;
+  }
+}
+
+Status GdsCache::Put(const std::string& key, ValuePtr value) {
+  return PutWithCost(key, std::move(value), 1.0);
+}
+
+Status GdsCache::PutWithCost(const std::string& key, ValuePtr value,
+                             double cost) {
+  if (cost <= 0) cost = 1.0;
+  const size_t charge = EntryCharge(key, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    charge_used_ -= it->second.charge;
+    heap_.erase(it->second.heap_it);
+    entries_.erase(it);
+  }
+  Entry entry;
+  entry.value = std::move(value);
+  entry.charge = charge;
+  entry.cost = cost;
+  entry.priority = inflation_ + cost / static_cast<double>(charge);
+  entry.heap_it = heap_.emplace(entry.priority, key);
+  charge_used_ += charge;
+  entries_.emplace(key, std::move(entry));
+  EvictIfNeeded();
+  return Status::OK();
+}
+
+StatusOr<ValuePtr> GdsCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Status::NotFound("key not in cache");
+  }
+  ++stats_.hits;
+  Refresh(key, &it->second);
+  return it->second.value;
+}
+
+Status GdsCache::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    charge_used_ -= it->second.charge;
+    heap_.erase(it->second.heap_it);
+    entries_.erase(it);
+  }
+  return Status::OK();
+}
+
+void GdsCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  heap_.clear();
+  charge_used_ = 0;
+  inflation_ = 0.0;
+}
+
+bool GdsCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+size_t GdsCache::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t GdsCache::ChargeUsed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charge_used_;
+}
+
+StatusOr<std::vector<std::string>> GdsCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+CacheStats GdsCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dstore

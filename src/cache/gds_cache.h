@@ -1,0 +1,65 @@
+#ifndef DSTORE_CACHE_GDS_CACHE_H_
+#define DSTORE_CACHE_GDS_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace dstore {
+
+// Greedy-Dual-Size replacement cache (the alternative to LRU the paper
+// cites, [20] Cao & Irani): each entry gets priority H = L + cost/size,
+// where L is an aging "inflation" value raised to the priority of each
+// evicted entry. Large objects with low fetch cost are evicted first;
+// frequently re-referenced entries get their H refreshed and survive.
+//
+// `cost` models the latency of refetching from the backing store; callers
+// that know per-key fetch costs (e.g. a cloud store vs a local store) pass
+// them to PutWithCost, making the cache favor expensive-to-miss objects.
+class GdsCache : public Cache {
+ public:
+  explicit GdsCache(size_t capacity_bytes);
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  void Clear() override;
+  bool Contains(const std::string& key) const override;
+  size_t EntryCount() const override;
+  size_t ChargeUsed() const override;
+  CacheStats Stats() const override;
+  std::string Name() const override { return "gds"; }
+  StatusOr<std::vector<std::string>> Keys() const override;
+
+  // Put with an explicit refetch cost (default cost is 1.0).
+  Status PutWithCost(const std::string& key, ValuePtr value, double cost);
+
+ private:
+  struct Entry {
+    ValuePtr value;
+    size_t charge;
+    double cost;
+    double priority;  // H value
+    std::multimap<double, std::string>::iterator heap_it;
+  };
+
+  // Caller holds mu_. Recomputes priority and repositions in the heap.
+  void Refresh(const std::string& key, Entry* entry);
+  void EvictIfNeeded();
+
+  const size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  // Priority-ordered index (lowest H first = next eviction victim).
+  std::multimap<double, std::string> heap_;
+  double inflation_ = 0.0;  // L
+  size_t charge_used_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_CACHE_GDS_CACHE_H_

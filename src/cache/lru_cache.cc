@@ -1,0 +1,143 @@
+#include "cache/lru_cache.h"
+
+#include "common/hash.h"
+
+namespace dstore {
+
+namespace {
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+LruCache::LruCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  const size_t shards = RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards);
+  shard_mask_ = shards - 1;
+  shard_capacity_ = capacity_bytes / shards;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+LruCache::Shard& LruCache::ShardFor(const std::string& key) {
+  return *shards_[Fnv1a64(key) & shard_mask_];
+}
+
+const LruCache::Shard& LruCache::ShardFor(const std::string& key) const {
+  return *shards_[Fnv1a64(key) & shard_mask_];
+}
+
+void LruCache::EvictIfNeeded(Shard* shard) {
+  while (shard->charge_used > shard_capacity_ && !shard->lru.empty()) {
+    const Entry& victim = shard->lru.back();
+    shard->charge_used -= victim.charge;
+    shard->map.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->stats.evictions;
+  }
+}
+
+Status LruCache::Put(const std::string& key, ValuePtr value) {
+  Shard& shard = ShardFor(key);
+  const size_t charge = EntryCharge(key, value);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.puts;
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.charge_used -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(value), charge});
+  shard.map[key] = shard.lru.begin();
+  shard.charge_used += charge;
+  EvictIfNeeded(&shard);
+  return Status::OK();
+}
+
+StatusOr<ValuePtr> LruCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.stats.misses;
+    return Status::NotFound("key not in cache");
+  }
+  ++shard.stats.hits;
+  // Move to front (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+Status LruCache::Delete(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.charge_used -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  return Status::OK();
+}
+
+void LruCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->charge_used = 0;
+  }
+}
+
+bool LruCache::Contains(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.count(key) > 0;
+}
+
+size_t LruCache::EntryCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+size_t LruCache::ChargeUsed() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->charge_used;
+  }
+  return total;
+}
+
+StatusOr<std::vector<std::string>> LruCache::Keys() const {
+  std::vector<std::string> keys;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, it] : shard->map) keys.push_back(key);
+  }
+  return keys;
+}
+
+CacheStats LruCache::Stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.puts += shard->stats.puts;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace dstore

@@ -1,0 +1,68 @@
+#ifndef DSTORE_CACHE_LRU_CACHE_H_
+#define DSTORE_CACHE_LRU_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace dstore {
+
+// Thread-safe in-process LRU cache with a byte-capacity budget, sharded by
+// key hash to reduce lock contention — the C++ counterpart of the Guava
+// cache the paper uses as its in-process cache. Stores ValuePtr directly
+// ("the object (or a reference to it) can be stored directly in the cache",
+// paper Section III), so hits return without copying.
+class LruCache : public Cache {
+ public:
+  // `capacity_bytes` is the total charge budget across all shards.
+  // `num_shards` must be a power of two (rounded up internally).
+  explicit LruCache(size_t capacity_bytes, size_t num_shards = 16);
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  void Clear() override;
+  bool Contains(const std::string& key) const override;
+  size_t EntryCount() const override;
+  size_t ChargeUsed() const override;
+  CacheStats Stats() const override;
+  std::string Name() const override { return "lru"; }
+  StatusOr<std::vector<std::string>> Keys() const override;
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    ValuePtr value;
+    size_t charge;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    size_t charge_used = 0;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  // Evicts from the back of `shard` until it fits its budget. Caller holds
+  // the shard lock.
+  void EvictIfNeeded(Shard* shard);
+
+  size_t capacity_bytes_;
+  size_t shard_capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_CACHE_LRU_CACHE_H_

@@ -1,0 +1,156 @@
+#include "cache/ring_cache.h"
+
+#include "common/hash.h"
+
+namespace dstore {
+
+namespace {
+
+// FNV-1a mixes its high bits poorly on short inputs, which clusters ring
+// positions; finish with a splitmix64 avalanche so positions and key
+// lookups spread across the full 64-bit ring.
+uint64_t RingHash(const std::string& s) {
+  uint64_t z = Fnv1a64(s);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RingCache::RingCache(std::vector<Node> nodes, size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {
+  for (Node& node : nodes) {
+    nodes_.emplace(node.name, std::move(node.cache));
+  }
+  RebuildRing();
+}
+
+void RingCache::RebuildRing() {
+  ring_.clear();
+  for (const auto& [name, cache] : nodes_) {
+    for (size_t v = 0; v < virtual_nodes_; ++v) {
+      const std::string point = name + "#" + std::to_string(v);
+      ring_.emplace(RingHash(point), name);
+    }
+  }
+}
+
+Cache* RingCache::Route(const std::string& key) const {
+  if (ring_.empty()) return nullptr;
+  // First ring point at or after the key's hash, wrapping around.
+  auto it = ring_.lower_bound(RingHash(key));
+  if (it == ring_.end()) it = ring_.begin();
+  return nodes_.at(it->second).get();
+}
+
+Status RingCache::Put(const std::string& key, ValuePtr value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cache* node = Route(key);
+  if (node == nullptr) return Status::Unavailable("ring has no nodes");
+  return node->Put(key, std::move(value));
+}
+
+StatusOr<ValuePtr> RingCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cache* node = Route(key);
+  if (node == nullptr) return Status::Unavailable("ring has no nodes");
+  return node->Get(key);
+}
+
+Status RingCache::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cache* node = Route(key);
+  if (node == nullptr) return Status::Unavailable("ring has no nodes");
+  return node->Delete(key);
+}
+
+void RingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, cache] : nodes_) cache->Clear();
+}
+
+bool RingCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cache* node = Route(key);
+  return node != nullptr && node->Contains(key);
+}
+
+size_t RingCache::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, cache] : nodes_) total += cache->EntryCount();
+  return total;
+}
+
+size_t RingCache::ChargeUsed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, cache] : nodes_) total += cache->ChargeUsed();
+  return total;
+}
+
+CacheStats RingCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats total;
+  for (const auto& [name, cache] : nodes_) {
+    const CacheStats stats = cache->Stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.puts += stats.puts;
+    total.evictions += stats.evictions;
+  }
+  return total;
+}
+
+std::string RingCache::Name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "ring(" + std::to_string(nodes_.size()) + " nodes)";
+}
+
+StatusOr<std::vector<std::string>> RingCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (const auto& [name, cache] : nodes_) {
+    DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> node_keys, cache->Keys());
+    keys.insert(keys.end(), node_keys.begin(), node_keys.end());
+  }
+  return keys;
+}
+
+Status RingCache::AddNode(Node node) {
+  if (node.cache == nullptr || node.name.empty()) {
+    return Status::InvalidArgument("node needs a name and a cache");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(node.name) > 0) {
+    return Status::AlreadyExists("node already in ring: " + node.name);
+  }
+  nodes_.emplace(node.name, std::move(node.cache));
+  RebuildRing();
+  return Status::OK();
+}
+
+Status RingCache::RemoveNode(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.erase(name) == 0) {
+    return Status::NotFound("no such ring node: " + name);
+  }
+  RebuildRing();
+  return Status::OK();
+}
+
+size_t RingCache::node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+std::string RingCache::NodeFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return "";
+  auto it = ring_.lower_bound(RingHash(key));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace dstore

@@ -1,0 +1,69 @@
+#ifndef DSTORE_CACHE_RING_CACHE_H_
+#define DSTORE_CACHE_RING_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace dstore {
+
+// Consistent-hash router over multiple cache nodes — the scaling story the
+// paper sketches for remote-process caches ("remote process caches can
+// often be scaled across multiple processes and nodes to handle high
+// request rates and increase availability", Section III; its related work
+// discusses load balancing across memcached servers).
+//
+// Each node is any Cache implementation — typically a RemoteCache client to
+// a distinct server process. Keys map to nodes via a hash ring with virtual
+// nodes, so adding or removing a node remaps only ~1/N of the key space
+// (the rest keep their cached entries).
+class RingCache : public Cache {
+ public:
+  struct Node {
+    std::string name;  // unique, stable identity (feeds the ring hash)
+    std::shared_ptr<Cache> cache;
+  };
+
+  // `virtual_nodes` ring points per node; more = smoother balance.
+  explicit RingCache(std::vector<Node> nodes, size_t virtual_nodes = 64);
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  void Clear() override;
+  bool Contains(const std::string& key) const override;
+  size_t EntryCount() const override;
+  size_t ChargeUsed() const override;
+  CacheStats Stats() const override;
+  std::string Name() const override;
+  StatusOr<std::vector<std::string>> Keys() const override;
+
+  // Topology changes. AddNode/RemoveNode only redirect future lookups;
+  // entries cached on their old nodes age out by eviction (standard
+  // consistent-hashing behaviour — no migration).
+  Status AddNode(Node node);
+  Status RemoveNode(const std::string& name);
+  size_t node_count() const;
+
+  // The node `key` currently routes to (for tests and diagnostics).
+  std::string NodeFor(const std::string& key) const;
+
+ private:
+  // Caller holds mu_.
+  Cache* Route(const std::string& key) const;
+  void RebuildRing();
+
+  size_t virtual_nodes_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Cache>> nodes_;
+  // ring position -> node name
+  std::map<uint64_t, std::string> ring_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_CACHE_RING_CACHE_H_

@@ -1,0 +1,113 @@
+#include "common/bytes.h"
+
+namespace dstore {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(const Bytes& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+StatusOr<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void PutFixed32(Bytes* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void PutFixed64(Bytes* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(src[i]) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(src[i]) << (8 * i);
+  }
+  return value;
+}
+
+void PutVarint64(Bytes* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  dst->push_back(static_cast<uint8_t>(value));
+}
+
+StatusOr<uint64_t> GetVarint64(const Bytes& src, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < src.size() && shift <= 63) {
+    uint8_t byte = src[*pos];
+    ++(*pos);
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+void PutLengthPrefixed(Bytes* dst, const Bytes& slice) {
+  PutVarint64(dst, slice.size());
+  dst->insert(dst->end(), slice.begin(), slice.end());
+}
+
+void PutLengthPrefixed(Bytes* dst, std::string_view slice) {
+  PutVarint64(dst, slice.size());
+  dst->insert(dst->end(), slice.begin(), slice.end());
+}
+
+StatusOr<Bytes> GetLengthPrefixed(const Bytes& src, size_t* pos) {
+  DSTORE_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(src, pos));
+  if (*pos + len > src.size()) {
+    return Status::Corruption("length-prefixed slice extends past buffer");
+  }
+  Bytes out(src.begin() + static_cast<ptrdiff_t>(*pos),
+            src.begin() + static_cast<ptrdiff_t>(*pos + len));
+  *pos += len;
+  return out;
+}
+
+}  // namespace dstore

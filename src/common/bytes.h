@@ -1,0 +1,73 @@
+#ifndef DSTORE_COMMON_BYTES_H_
+#define DSTORE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dstore {
+
+// The library-wide byte-string type. Values stored in data stores and caches
+// are byte arrays; typed values go through a Serializer (see serializer.h).
+using Bytes = std::vector<uint8_t>;
+
+// Values handed to in-process caches are immutable and refcounted so a cache
+// hit can return the stored buffer without copying or serializing it — the
+// property that makes in-process cache reads O(1) in object size (paper
+// Section V). Callers that need a mutable buffer make an explicit copy.
+using ValuePtr = std::shared_ptr<const Bytes>;
+
+// Wraps `bytes` in a shared immutable value.
+inline ValuePtr MakeValue(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+inline ValuePtr MakeValue(std::string_view text) {
+  return std::make_shared<const Bytes>(text.begin(), text.end());
+}
+
+// Conversions between text and bytes.
+inline Bytes ToBytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+inline std::string ToString(const Bytes& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+inline std::string_view AsStringView(const Bytes& bytes) {
+  return std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size());
+}
+
+// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(const Bytes& bytes);
+
+// Inverse of HexEncode; fails on odd length or non-hex characters.
+StatusOr<Bytes> HexDecode(std::string_view hex);
+
+// Little-endian fixed-width integer coding, used by file formats and wire
+// protocols throughout the library.
+void PutFixed32(Bytes* dst, uint32_t value);
+void PutFixed64(Bytes* dst, uint64_t value);
+uint32_t DecodeFixed32(const uint8_t* src);
+uint64_t DecodeFixed64(const uint8_t* src);
+
+// Varint coding (LEB128), used by the delta encoder and SQL row format.
+void PutVarint64(Bytes* dst, uint64_t value);
+// Decodes a varint starting at (*pos) within `src`; advances *pos past it.
+StatusOr<uint64_t> GetVarint64(const Bytes& src, size_t* pos);
+
+// Appends a length-prefixed (varint) byte slice.
+void PutLengthPrefixed(Bytes* dst, const Bytes& slice);
+void PutLengthPrefixed(Bytes* dst, std::string_view slice);
+// Decodes a length-prefixed slice starting at (*pos); advances *pos.
+StatusOr<Bytes> GetLengthPrefixed(const Bytes& src, size_t* pos);
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_BYTES_H_

@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace dstore {
+
+int64_t RealClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepFor(int64_t nanos) {
+  if (nanos <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+RealClock* RealClock::Default() {
+  static RealClock* const kInstance = new RealClock();
+  return kInstance;
+}
+
+}  // namespace dstore

@@ -1,0 +1,73 @@
+#ifndef DSTORE_COMMON_CLOCK_H_
+#define DSTORE_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace dstore {
+
+// Time source abstraction. Production code uses RealClock; unit tests use
+// SimulatedClock so cache expiration and latency models are deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic time in nanoseconds. Only differences are meaningful.
+  virtual int64_t NowNanos() const = 0;
+
+  // Blocks (or advances virtual time) for `nanos` nanoseconds.
+  virtual void SleepFor(int64_t nanos) = 0;
+
+  int64_t NowMicros() const { return NowNanos() / 1000; }
+  int64_t NowMillis() const { return NowNanos() / 1000000; }
+};
+
+// Wall/monotonic clock backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowNanos() const override;
+  void SleepFor(int64_t nanos) override;
+
+  // Process-wide shared instance.
+  static RealClock* Default();
+};
+
+// Manually advanced clock for tests. SleepFor advances the virtual time
+// immediately and wakes any waiters.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() const override { return now_.load(); }
+  void SleepFor(int64_t nanos) override { Advance(nanos); }
+
+  void Advance(int64_t nanos) { now_.fetch_add(nanos); }
+  void SetNanos(int64_t nanos) { now_.store(nanos); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+// Measures elapsed time against a Clock. Construction starts the timer.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock)
+      : clock_(clock), start_nanos_(clock->NowNanos()) {}
+
+  int64_t ElapsedNanos() const { return clock_->NowNanos() - start_nanos_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  void Restart() { start_nanos_ = clock_->NowNanos(); }
+
+ private:
+  const Clock* clock_;
+  int64_t start_nanos_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_CLOCK_H_

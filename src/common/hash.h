@@ -1,0 +1,20 @@
+#ifndef DSTORE_COMMON_HASH_H_
+#define DSTORE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dstore {
+
+// FNV-1a 64-bit hash. Used for cache sharding and hash-table buckets; not
+// for integrity (see compress/crc32.h) or security (see crypto/sha256.h).
+uint64_t Fnv1a64(const void* data, size_t len);
+
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_HASH_H_

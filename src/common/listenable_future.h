@@ -1,0 +1,156 @@
+#ifndef DSTORE_COMMON_LISTENABLE_FUTURE_H_
+#define DSTORE_COMMON_LISTENABLE_FUTURE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace dstore {
+
+// A future with completion callbacks — the C++ analogue of Guava's
+// ListenableFuture, which the paper's Java UDSM uses for its asynchronous
+// interface (Section II.A): callers can block on the result (Get), poll
+// (IsDone), or register callbacks to run when the result arrives
+// (AddListener), optionally on an executor thread pool.
+//
+// T is the complete result type; asynchronous store operations use
+// ListenableFuture<Status> and ListenableFuture<StatusOr<ValuePtr>>.
+// Futures are cheap shared handles; copies observe the same result.
+template <typename T>
+class ListenableFuture {
+ public:
+  using Listener = std::function<void(const T&)>;
+
+  // True once a value has been set.
+  bool IsDone() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  // Blocks until the value is available and returns a copy of it.
+  T Get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->value.has_value(); });
+    return *state_->value;
+  }
+
+  // Blocks up to `timeout`; returns nullopt if the future is still pending.
+  std::optional<T> Get(std::chrono::nanoseconds timeout) const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!state_->cv.wait_for(lock, timeout,
+                             [this] { return state_->value.has_value(); })) {
+      return std::nullopt;
+    }
+    return *state_->value;
+  }
+
+  // Registers `listener` to run when the future completes. If `executor` is
+  // non-null the listener is dispatched onto it; otherwise it runs on the
+  // completing thread (or inline, if the future is already complete).
+  void AddListener(Listener listener, ThreadPool* executor = nullptr) {
+    const T* ready = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (!state_->value.has_value()) {
+        state_->listeners.emplace_back(std::move(listener), executor);
+        return;
+      }
+      ready = &*state_->value;
+    }
+    // Already complete: the value is immutable from here on, so it is safe
+    // to read it outside the lock.
+    Dispatch(state_, std::move(listener), executor, *ready);
+  }
+
+  // Returns a future holding fn(result). `fn` runs where the listener would.
+  template <typename U>
+  ListenableFuture<U> Then(std::function<U(const T&)> fn,
+                           ThreadPool* executor = nullptr) {
+    auto next = std::make_shared<typename ListenableFuture<U>::State>();
+    AddListener(
+        [next, fn = std::move(fn)](const T& value) {
+          ListenableFuture<U>::Complete(next, fn(value));
+        },
+        executor);
+    return ListenableFuture<U>(next);
+  }
+
+ private:
+  template <typename U>
+  friend class Promise;
+  template <typename U>
+  friend class ListenableFuture;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+    std::vector<std::pair<Listener, ThreadPool*>> listeners;
+  };
+
+  explicit ListenableFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  static void Dispatch(const std::shared_ptr<State>& state, Listener listener,
+                       ThreadPool* executor, const T& value) {
+    if (executor != nullptr) {
+      // Capture the state to keep the value alive for the deferred call.
+      executor->Submit(
+          [state, listener = std::move(listener)] { listener(*state->value); });
+    } else {
+      listener(value);
+    }
+  }
+
+  static void Complete(const std::shared_ptr<State>& state, T value) {
+    std::vector<std::pair<Listener, ThreadPool*>> to_run;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->value.has_value()) return;  // first completion wins
+      state->value.emplace(std::move(value));
+      to_run.swap(state->listeners);
+    }
+    state->cv.notify_all();
+    for (auto& [listener, executor] : to_run) {
+      Dispatch(state, std::move(listener), executor, *state->value);
+    }
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+// Producer side of a ListenableFuture.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<typename ListenableFuture<T>::State>()) {}
+
+  ListenableFuture<T> GetFuture() const { return ListenableFuture<T>(state_); }
+
+  // Completes the future. Only the first Set has any effect.
+  void Set(T value) const {
+    ListenableFuture<T>::Complete(state_, std::move(value));
+  }
+
+ private:
+  std::shared_ptr<typename ListenableFuture<T>::State> state_;
+};
+
+// Runs `fn` on `pool` and exposes its result as a ListenableFuture.
+template <typename T>
+ListenableFuture<T> RunAsync(ThreadPool* pool, std::function<T()> fn) {
+  Promise<T> promise;
+  pool->Submit([promise, fn = std::move(fn)] { promise.Set(fn()); });
+  return promise.GetFuture();
+}
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_LISTENABLE_FUTURE_H_

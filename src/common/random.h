@@ -1,0 +1,56 @@
+#ifndef DSTORE_COMMON_RANDOM_H_
+#define DSTORE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dstore {
+
+// Deterministic, seedable PRNG (xoshiro256**). Used for workload generation
+// and latency models so experiments are reproducible. Not cryptographically
+// secure; the crypto module derives IVs from it only in tests.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform on [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // exp(mu + sigma * N(0,1)) — the WAN latency model's base distribution.
+  double LogNormal(double mu, double sigma);
+
+  // Mean-`mean` exponential variate.
+  double Exponential(double mean);
+
+  // `n` uniformly random bytes.
+  Bytes RandomBytes(size_t n);
+
+  // `n` bytes of synthetic data whose gzip compressibility is controlled by
+  // `redundancy` in [0, 1]: 0 is incompressible random data, 1 is a single
+  // repeated pattern. Used by the workload generator (paper Section II.A:
+  // "the workload generator can synthetically generate data objects").
+  Bytes CompressibleBytes(size_t n, double redundancy);
+
+ private:
+  uint64_t state_[4];
+  // Box-Muller produces pairs; cache the spare.
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_RANDOM_H_

@@ -1,0 +1,183 @@
+#ifndef DSTORE_COMMON_STATUS_H_
+#define DSTORE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dstore {
+
+// Error codes used across the library. Modeled after the RocksDB/Arrow
+// convention: every fallible operation returns a Status (or StatusOr<T>)
+// instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kNotSupported = 5,
+  kUnavailable = 6,
+  kTimedOut = 7,
+  kAlreadyExists = 8,
+  kInternal = 9,
+  // A cached entry exists but its expiration time has elapsed. The DSCL
+  // deliberately retains expired entries so callers can revalidate them with
+  // the server instead of refetching (paper Section III).
+  kExpired = 10,
+};
+
+// Returns a stable human-readable name for `code`, e.g. "NotFound".
+std::string_view StatusCodeToString(StatusCode code);
+
+// A lightweight success-or-error result. Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Expired(std::string msg = "") {
+    return Status(StatusCode::kExpired, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsExpired() const { return code_ == StatusCode::kExpired; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Never holds an Ok
+// status without a value.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // (the absl::StatusOr convention).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dstore
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define DSTORE_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::dstore::Status _dstore_status = (expr);       \
+    if (!_dstore_status.ok()) return _dstore_status; \
+  } while (0)
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status,
+// otherwise assigns the value to `lhs`.
+#define DSTORE_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  DSTORE_ASSIGN_OR_RETURN_IMPL_(                         \
+      DSTORE_STATUS_CONCAT_(_dstore_statusor, __LINE__), lhs, rexpr)
+
+#define DSTORE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define DSTORE_STATUS_CONCAT_(a, b) DSTORE_STATUS_CONCAT_IMPL_(a, b)
+#define DSTORE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DSTORE_COMMON_STATUS_H_

@@ -1,0 +1,59 @@
+#ifndef DSTORE_COMMON_THREAD_POOL_H_
+#define DSTORE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dstore {
+
+// Fixed-size thread pool. The UDSM's asynchronous interface dispatches every
+// nonblocking data store call onto a pool like this instead of spawning a
+// thread per call — "since creating a new thread is expensive, the UDSM uses
+// thread pools" (paper Section II.A). The pool size is a constructor
+// parameter, mirroring the paper's configuration parameter.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  // Enqueues `task` for execution on some pool thread. Tasks submitted after
+  // Shutdown() are silently dropped.
+  void Submit(std::function<void()> task);
+
+  // Stops accepting tasks, finishes everything already queued, joins workers.
+  // Idempotent; also called by the destructor.
+  void Shutdown();
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Number of tasks currently queued (excludes running tasks).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,72 @@
+#include "compress/bitstream.h"
+
+namespace dstore {
+
+void BitWriter::WriteBits(uint32_t bits, int count) {
+  bit_buffer_ |= static_cast<uint64_t>(bits & ((1ull << count) - 1))
+                 << bit_count_;
+  bit_count_ += count;
+  while (bit_count_ >= 8) {
+    out_->push_back(static_cast<uint8_t>(bit_buffer_));
+    bit_buffer_ >>= 8;
+    bit_count_ -= 8;
+  }
+}
+
+void BitWriter::WriteHuffmanCode(uint32_t code, int length) {
+  // Reverse the code so its MSB goes out first (RFC 1951 §3.1.1).
+  uint32_t reversed = 0;
+  for (int i = 0; i < length; ++i) {
+    reversed = (reversed << 1) | ((code >> i) & 1);
+  }
+  WriteBits(reversed, length);
+}
+
+void BitWriter::AlignToByte() {
+  if (bit_count_ > 0) {
+    out_->push_back(static_cast<uint8_t>(bit_buffer_));
+    bit_buffer_ = 0;
+    bit_count_ = 0;
+  }
+}
+
+void BitWriter::WriteBytes(const uint8_t* data, size_t len) {
+  out_->insert(out_->end(), data, data + len);
+}
+
+StatusOr<uint32_t> BitReader::ReadBits(int count) {
+  while (bit_count_ < count) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("bitstream ended unexpectedly");
+    }
+    bit_buffer_ |= static_cast<uint64_t>(data_[pos_++]) << bit_count_;
+    bit_count_ += 8;
+  }
+  const uint32_t value =
+      static_cast<uint32_t>(bit_buffer_ & ((1ull << count) - 1));
+  bit_buffer_ >>= count;
+  bit_count_ -= count;
+  return value;
+}
+
+void BitReader::AlignToByte() {
+  // ReadBits never leaves 8 or more buffered bits, so the buffer holds at
+  // most a partial byte; discarding it lands on the next byte boundary.
+  bit_buffer_ = 0;
+  bit_count_ = 0;
+}
+
+Status BitReader::ReadBytes(uint8_t* out, size_t len) {
+  if (bit_count_ != 0) {
+    return Status::Internal("ReadBytes requires byte alignment");
+  }
+  if (pos_ + len > data_.size()) {
+    return Status::Corruption("bitstream ended unexpectedly");
+  }
+  std::copy(data_.begin() + static_cast<ptrdiff_t>(pos_),
+            data_.begin() + static_cast<ptrdiff_t>(pos_ + len), out);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace dstore

@@ -1,0 +1,67 @@
+#ifndef DSTORE_COMPRESS_BITSTREAM_H_
+#define DSTORE_COMPRESS_BITSTREAM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore {
+
+// LSB-first bit writer, matching DEFLATE's bit packing: bits are written into
+// each byte starting at the least significant position (RFC 1951 §3.1.1).
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes* out) : out_(out) {}
+
+  // Writes the low `count` bits of `bits`, LSB first. count <= 32.
+  void WriteBits(uint32_t bits, int count);
+
+  // Writes a Huffman code, which RFC 1951 packs starting from the code's
+  // most significant bit — i.e. the code must be emitted bit-reversed.
+  void WriteHuffmanCode(uint32_t code, int length);
+
+  // Pads the current byte with zero bits so the stream is byte-aligned.
+  void AlignToByte();
+
+  // Appends raw bytes; the stream must be byte-aligned.
+  void WriteBytes(const uint8_t* data, size_t len);
+
+  // Flushes any buffered partial byte. Call once at the end.
+  void Finish() { AlignToByte(); }
+
+ private:
+  Bytes* out_;
+  uint64_t bit_buffer_ = 0;
+  int bit_count_ = 0;
+};
+
+// LSB-first bit reader over a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(const Bytes& data) : data_(data) {}
+
+  // Reads `count` bits (LSB first). Fails past end of input.
+  StatusOr<uint32_t> ReadBits(int count);
+
+  // Discards buffered bits so the next read starts at a byte boundary.
+  void AlignToByte();
+
+  // Copies `len` aligned bytes into `out`.
+  Status ReadBytes(uint8_t* out, size_t len);
+
+  // Byte position of the next unread byte (after AlignToByte).
+  size_t BytePosition() const { return pos_; }
+
+  bool AtEnd() const { return pos_ >= data_.size() && bit_count_ == 0; }
+
+ private:
+  const Bytes& data_;
+  size_t pos_ = 0;
+  uint64_t bit_buffer_ = 0;
+  int bit_count_ = 0;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMPRESS_BITSTREAM_H_

@@ -1,0 +1,15 @@
+#include "compress/codec.h"
+
+#include "compress/gzip.h"
+
+namespace dstore {
+
+StatusOr<Bytes> GzipCodec::Compress(const Bytes& input) {
+  return GzipCompress(input, level_);
+}
+
+StatusOr<Bytes> GzipCodec::Decompress(const Bytes& input) {
+  return GzipDecompress(input);
+}
+
+}  // namespace dstore

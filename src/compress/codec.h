@@ -1,0 +1,68 @@
+#ifndef DSTORE_COMPRESS_CODEC_H_
+#define DSTORE_COMPRESS_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "compress/deflate.h"
+
+namespace dstore {
+
+// Pluggable compression algorithm for the DSCL. Like the Cipher interface,
+// this mirrors the paper's modular design: clients compress values before
+// sending them to the server to cut transfer size and storage cost.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual StatusOr<Bytes> Compress(const Bytes& input) = 0;
+  virtual StatusOr<Bytes> Decompress(const Bytes& input) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Pass-through codec.
+class IdentityCodec : public Codec {
+ public:
+  StatusOr<Bytes> Compress(const Bytes& input) override { return input; }
+  StatusOr<Bytes> Decompress(const Bytes& input) override { return input; }
+  std::string name() const override { return "identity"; }
+};
+
+// gzip (RFC 1952) codec over the from-scratch DEFLATE implementation.
+class GzipCodec : public Codec {
+ public:
+  explicit GzipCodec(DeflateLevel level = DeflateLevel::kDefault)
+      : level_(level) {}
+
+  StatusOr<Bytes> Compress(const Bytes& input) override;
+  StatusOr<Bytes> Decompress(const Bytes& input) override;
+  std::string name() const override { return "gzip"; }
+
+ private:
+  DeflateLevel level_;
+};
+
+// Raw DEFLATE codec (no gzip container); smaller framing, no checksum.
+class DeflateCodec : public Codec {
+ public:
+  explicit DeflateCodec(DeflateLevel level = DeflateLevel::kDefault)
+      : level_(level) {}
+
+  StatusOr<Bytes> Compress(const Bytes& input) override {
+    return DeflateCompress(input, level_);
+  }
+  StatusOr<Bytes> Decompress(const Bytes& input) override {
+    return DeflateDecompress(input);
+  }
+  std::string name() const override { return "deflate"; }
+
+ private:
+  DeflateLevel level_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMPRESS_CODEC_H_

@@ -1,0 +1,22 @@
+#ifndef DSTORE_COMPRESS_CRC32_H_
+#define DSTORE_COMPRESS_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dstore {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum used
+// by the gzip container and by store file formats for corruption detection.
+// `seed` allows incremental computation: pass the previous result.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(const Bytes& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMPRESS_CRC32_H_

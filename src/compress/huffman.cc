@@ -1,0 +1,157 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dstore {
+
+namespace {
+
+struct Package {
+  uint64_t weight;
+  // Leaf symbols contained in this package (with multiplicity across merges).
+  std::vector<int> symbols;
+};
+
+bool WeightLess(const Package& a, const Package& b) {
+  return a.weight < b.weight;
+}
+
+}  // namespace
+
+std::vector<int> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                         int max_bits) {
+  const size_t n = freqs.size();
+  std::vector<int> lengths(n, 0);
+
+  std::vector<Package> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) leaves.push_back({freqs[i], {static_cast<int>(i)}});
+  }
+  if (leaves.empty()) return lengths;
+  if (leaves.size() == 1) {
+    lengths[leaves[0].symbols[0]] = 1;
+    return lengths;
+  }
+  std::sort(leaves.begin(), leaves.end(), WeightLess);
+
+  // Package-merge: run max_bits rounds; each round pairs up the current list
+  // and merges the pairs with the original leaves. After the final round the
+  // first 2*(num_leaves - 1) packages determine the code lengths: a symbol's
+  // length is the number of selected packages containing it.
+  std::vector<Package> current = leaves;
+  for (int level = 1; level < max_bits; ++level) {
+    std::vector<Package> paired;
+    for (size_t i = 0; i + 1 < current.size(); i += 2) {
+      Package merged;
+      merged.weight = current[i].weight + current[i + 1].weight;
+      merged.symbols = current[i].symbols;
+      merged.symbols.insert(merged.symbols.end(),
+                            current[i + 1].symbols.begin(),
+                            current[i + 1].symbols.end());
+      paired.push_back(std::move(merged));
+    }
+    std::vector<Package> next;
+    next.reserve(paired.size() + leaves.size());
+    std::merge(paired.begin(), paired.end(), leaves.begin(), leaves.end(),
+               std::back_inserter(next), WeightLess);
+    current = std::move(next);
+  }
+
+  const size_t take = 2 * (leaves.size() - 1);
+  for (size_t i = 0; i < take && i < current.size(); ++i) {
+    for (int sym : current[i].symbols) ++lengths[sym];
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> BuildCanonicalCodes(const std::vector<int>& lengths) {
+  int max_len = 0;
+  for (int l : lengths) max_len = std::max(max_len, l);
+
+  std::vector<int> length_count(max_len + 1, 0);
+  for (int l : lengths) {
+    if (l > 0) ++length_count[l];
+  }
+
+  std::vector<uint32_t> next_code(max_len + 2, 0);
+  uint32_t code = 0;
+  for (int bits = 1; bits <= max_len; ++bits) {
+    code = (code + static_cast<uint32_t>(length_count[bits - 1])) << 1;
+    next_code[bits] = code;
+  }
+
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) codes[i] = next_code[lengths[i]]++;
+  }
+  return codes;
+}
+
+StatusOr<HuffmanDecoder> HuffmanDecoder::Build(const std::vector<int>& lengths) {
+  HuffmanDecoder decoder;
+  int total = 0;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const int l = lengths[i];
+    if (l < 0 || l > kMaxBits) {
+      return Status::Corruption("Huffman code length out of range");
+    }
+    if (l > 0) {
+      ++decoder.count_[l];
+      ++total;
+      decoder.max_length_ = std::max(decoder.max_length_, l);
+      decoder.min_length_ =
+          decoder.min_length_ == 0 ? l : std::min(decoder.min_length_, l);
+    }
+  }
+  if (total == 0) {
+    return Status::Corruption("Huffman code has no symbols");
+  }
+
+  // Kraft inequality check: reject over-subscribed codes. (Incomplete codes
+  // appear in legal DEFLATE streams for the distance alphabet, so undershoot
+  // is allowed.)
+  uint64_t kraft = 0;
+  for (int l = 1; l <= kMaxBits; ++l) {
+    kraft += static_cast<uint64_t>(decoder.count_[l]) << (kMaxBits - l);
+  }
+  if (kraft > (1ull << kMaxBits)) {
+    return Status::Corruption("Huffman code is over-subscribed");
+  }
+
+  uint32_t code = 0;
+  int index = 0;
+  for (int l = 1; l <= kMaxBits; ++l) {
+    code = (code + static_cast<uint32_t>(decoder.count_[l - 1])) << 1;
+    decoder.first_code_[l] = code;
+    decoder.first_index_[l] = index;
+    index += decoder.count_[l];
+  }
+
+  // sorted_symbols_: symbols ordered by (length, symbol) — canonical order.
+  decoder.sorted_symbols_.resize(total);
+  std::vector<int> fill = std::vector<int>(kMaxBits + 1, 0);
+  for (int l = 1; l <= kMaxBits; ++l) fill[l] = decoder.first_index_[l];
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      decoder.sorted_symbols_[fill[lengths[i]]++] = static_cast<int>(i);
+    }
+  }
+  return decoder;
+}
+
+StatusOr<int> HuffmanDecoder::Decode(BitReader* reader) const {
+  uint32_t code = 0;
+  for (int length = 1; length <= max_length_; ++length) {
+    DSTORE_ASSIGN_OR_RETURN(uint32_t bit, reader->ReadBits(1));
+    code = (code << 1) | bit;
+    if (length < min_length_) continue;
+    const uint32_t first = first_code_[length];
+    if (code >= first && code < first + static_cast<uint32_t>(count_[length])) {
+      return sorted_symbols_[first_index_[length] + (code - first)];
+    }
+  }
+  return Status::Corruption("invalid Huffman code in stream");
+}
+
+}  // namespace dstore

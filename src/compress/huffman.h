@@ -1,0 +1,50 @@
+#ifndef DSTORE_COMPRESS_HUFFMAN_H_
+#define DSTORE_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/bitstream.h"
+
+namespace dstore {
+
+// Computes length-limited Huffman code lengths for the given symbol
+// frequencies using the package-merge algorithm (optimal for a given limit).
+// Symbols with zero frequency get length 0. If only one symbol is used it is
+// assigned length 1, as DEFLATE decoders require.
+std::vector<int> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                         int max_bits);
+
+// Assigns canonical codes from code lengths (RFC 1951 §3.2.2). codes[i] is
+// meaningful only when lengths[i] > 0.
+std::vector<uint32_t> BuildCanonicalCodes(const std::vector<int>& lengths);
+
+// Decodes canonical Huffman codes bit by bit from a BitReader. Built from
+// the same code-length array the encoder used.
+class HuffmanDecoder {
+ public:
+  // Fails if the lengths describe an invalid (over-subscribed) code.
+  static StatusOr<HuffmanDecoder> Build(const std::vector<int>& lengths);
+
+  // Reads one symbol from `reader`.
+  StatusOr<int> Decode(BitReader* reader) const;
+
+ private:
+  HuffmanDecoder() = default;
+
+  static constexpr int kMaxBits = 15;
+  // first_code_[l]: canonical code value of the first code of length l.
+  // first_index_[l]: index into sorted_symbols_ of that code.
+  // count_[l]: number of codes of length l.
+  uint32_t first_code_[kMaxBits + 1] = {};
+  int first_index_[kMaxBits + 1] = {};
+  int count_[kMaxBits + 1] = {};
+  std::vector<int> sorted_symbols_;
+  int min_length_ = 0;
+  int max_length_ = 0;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMPRESS_HUFFMAN_H_

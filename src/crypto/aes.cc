@@ -1,0 +1,282 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace dstore {
+
+namespace {
+
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr uint8_t kInvSbox[256] = {
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e,
+    0x81, 0xf3, 0xd7, 0xfb, 0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87,
+    0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb, 0x54, 0x7b, 0x94, 0x32,
+    0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
+    0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49,
+    0x6d, 0x8b, 0xd1, 0x25, 0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16,
+    0xd4, 0xa4, 0x5c, 0xcc, 0x5d, 0x65, 0xb6, 0x92, 0x6c, 0x70, 0x48, 0x50,
+    0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15, 0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84,
+    0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7, 0xe4, 0x58, 0x05,
+    0xb8, 0xb3, 0x45, 0x06, 0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02,
+    0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b, 0x3a, 0x91, 0x11, 0x41,
+    0x4f, 0x67, 0xdc, 0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73,
+    0x96, 0xac, 0x74, 0x22, 0xe7, 0xad, 0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8,
+    0x1c, 0x75, 0xdf, 0x6e, 0x47, 0xf1, 0x1a, 0x71, 0x1d, 0x29, 0xc5, 0x89,
+    0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b, 0xfc, 0x56, 0x3e, 0x4b,
+    0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4,
+    0x1f, 0xdd, 0xa8, 0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59,
+    0x27, 0x80, 0xec, 0x5f, 0x60, 0x51, 0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d,
+    0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef, 0xa0, 0xe0, 0x3b, 0x4d,
+    0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63,
+    0x55, 0x21, 0x0c, 0x7d};
+
+constexpr uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+
+// Multiplication in GF(2^8) with the AES reduction polynomial.
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    const bool high = (a & 0x80) != 0;
+    a <<= 1;
+    if (high) a ^= 0x1b;
+    b >>= 1;
+  }
+  return result;
+}
+
+// T-tables: Te folds SubBytes + MixColumns for encryption, Td folds
+// InvSubBytes + InvMixColumns for decryption (equivalent inverse cipher).
+struct AesTables {
+  uint32_t te[4][256];
+  uint32_t td[4][256];
+
+  AesTables() {
+    for (int x = 0; x < 256; ++x) {
+      const uint8_t s = kSbox[x];
+      const uint32_t te0 = (static_cast<uint32_t>(GfMul(s, 2)) << 24) |
+                           (static_cast<uint32_t>(s) << 16) |
+                           (static_cast<uint32_t>(s) << 8) |
+                           static_cast<uint32_t>(GfMul(s, 3));
+      te[0][x] = te0;
+      te[1][x] = (te0 >> 8) | (te0 << 24);
+      te[2][x] = (te0 >> 16) | (te0 << 16);
+      te[3][x] = (te0 >> 24) | (te0 << 8);
+
+      const uint8_t is = kInvSbox[x];
+      const uint32_t td0 = (static_cast<uint32_t>(GfMul(is, 14)) << 24) |
+                           (static_cast<uint32_t>(GfMul(is, 9)) << 16) |
+                           (static_cast<uint32_t>(GfMul(is, 13)) << 8) |
+                           static_cast<uint32_t>(GfMul(is, 11));
+      td[0][x] = td0;
+      td[1][x] = (td0 >> 8) | (td0 << 24);
+      td[2][x] = (td0 >> 16) | (td0 << 16);
+      td[3][x] = (td0 >> 24) | (td0 << 8);
+    }
+  }
+};
+
+const AesTables& Tables() {
+  static const AesTables* const kTables = new AesTables();
+  return *kTables;
+}
+
+// InvMixColumns applied to a raw word (no S-box), for the decryption key
+// schedule of the equivalent inverse cipher.
+uint32_t InvMixColumnsWord(uint32_t w) {
+  const uint8_t a0 = static_cast<uint8_t>(w >> 24);
+  const uint8_t a1 = static_cast<uint8_t>(w >> 16);
+  const uint8_t a2 = static_cast<uint8_t>(w >> 8);
+  const uint8_t a3 = static_cast<uint8_t>(w);
+  const uint8_t b0 = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
+  const uint8_t b1 = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
+  const uint8_t b2 = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
+  const uint8_t b3 = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
+  return (static_cast<uint32_t>(b0) << 24) | (static_cast<uint32_t>(b1) << 16) |
+         (static_cast<uint32_t>(b2) << 8) | b3;
+}
+
+uint32_t SubWord(uint32_t w) {
+  return (static_cast<uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<uint32_t>(kSbox[w & 0xff]);
+}
+
+uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
+
+uint32_t LoadWord(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+void StoreWord(uint32_t w, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(w >> 24);
+  p[1] = static_cast<uint8_t>(w >> 16);
+  p[2] = static_cast<uint8_t>(w >> 8);
+  p[3] = static_cast<uint8_t>(w);
+}
+
+}  // namespace
+
+Status Aes::SetKey(const Bytes& key) {
+  int nk = 0;  // key length in 32-bit words
+  switch (key.size()) {
+    case 16:
+      nk = 4;
+      rounds_ = 10;
+      break;
+    case 24:
+      nk = 6;
+      rounds_ = 12;
+      break;
+    case 32:
+      nk = 8;
+      rounds_ = 14;
+      break;
+    default:
+      rounds_ = 0;
+      return Status::InvalidArgument("AES key must be 16, 24, or 32 bytes");
+  }
+
+  const int total_words = 4 * (rounds_ + 1);
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = LoadWord(key.data() + 4 * i);
+  }
+  for (int i = nk; i < total_words; ++i) {
+    uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = SubWord(RotWord(temp)) ^
+             (static_cast<uint32_t>(kRcon[i / nk]) << 24);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = SubWord(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+
+  // Equivalent inverse cipher key schedule: reverse the round order and run
+  // the middle round keys through InvMixColumns.
+  for (int c = 0; c < 4; ++c) {
+    dec_round_keys_[c] = round_keys_[4 * rounds_ + c];
+    dec_round_keys_[4 * rounds_ + c] = round_keys_[c];
+  }
+  for (int round = 1; round < rounds_; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      dec_round_keys_[4 * round + c] =
+          InvMixColumnsWord(round_keys_[4 * (rounds_ - round) + c]);
+    }
+  }
+  return Status::OK();
+}
+
+void Aes::EncryptBlock(const uint8_t in[kBlockSize],
+                       uint8_t out[kBlockSize]) const {
+  const AesTables& tables = Tables();
+  uint32_t w0 = LoadWord(in) ^ round_keys_[0];
+  uint32_t w1 = LoadWord(in + 4) ^ round_keys_[1];
+  uint32_t w2 = LoadWord(in + 8) ^ round_keys_[2];
+  uint32_t w3 = LoadWord(in + 12) ^ round_keys_[3];
+
+  for (int round = 1; round < rounds_; ++round) {
+    const uint32_t* rk = round_keys_ + 4 * round;
+    const uint32_t t0 = tables.te[0][w0 >> 24] ^ tables.te[1][(w1 >> 16) & 0xff] ^
+                        tables.te[2][(w2 >> 8) & 0xff] ^ tables.te[3][w3 & 0xff] ^
+                        rk[0];
+    const uint32_t t1 = tables.te[0][w1 >> 24] ^ tables.te[1][(w2 >> 16) & 0xff] ^
+                        tables.te[2][(w3 >> 8) & 0xff] ^ tables.te[3][w0 & 0xff] ^
+                        rk[1];
+    const uint32_t t2 = tables.te[0][w2 >> 24] ^ tables.te[1][(w3 >> 16) & 0xff] ^
+                        tables.te[2][(w0 >> 8) & 0xff] ^ tables.te[3][w1 & 0xff] ^
+                        rk[2];
+    const uint32_t t3 = tables.te[0][w3 >> 24] ^ tables.te[1][(w0 >> 16) & 0xff] ^
+                        tables.te[2][(w1 >> 8) & 0xff] ^ tables.te[3][w2 & 0xff] ^
+                        rk[3];
+    w0 = t0;
+    w1 = t1;
+    w2 = t2;
+    w3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const uint32_t* rk = round_keys_ + 4 * rounds_;
+  auto final_word = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+    return (static_cast<uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<uint32_t>(kSbox[d & 0xff]);
+  };
+  StoreWord(final_word(w0, w1, w2, w3) ^ rk[0], out);
+  StoreWord(final_word(w1, w2, w3, w0) ^ rk[1], out + 4);
+  StoreWord(final_word(w2, w3, w0, w1) ^ rk[2], out + 8);
+  StoreWord(final_word(w3, w0, w1, w2) ^ rk[3], out + 12);
+}
+
+void Aes::DecryptBlock(const uint8_t in[kBlockSize],
+                       uint8_t out[kBlockSize]) const {
+  const AesTables& tables = Tables();
+  uint32_t w0 = LoadWord(in) ^ dec_round_keys_[0];
+  uint32_t w1 = LoadWord(in + 4) ^ dec_round_keys_[1];
+  uint32_t w2 = LoadWord(in + 8) ^ dec_round_keys_[2];
+  uint32_t w3 = LoadWord(in + 12) ^ dec_round_keys_[3];
+
+  for (int round = 1; round < rounds_; ++round) {
+    const uint32_t* rk = dec_round_keys_ + 4 * round;
+    const uint32_t t0 = tables.td[0][w0 >> 24] ^ tables.td[1][(w3 >> 16) & 0xff] ^
+                        tables.td[2][(w2 >> 8) & 0xff] ^ tables.td[3][w1 & 0xff] ^
+                        rk[0];
+    const uint32_t t1 = tables.td[0][w1 >> 24] ^ tables.td[1][(w0 >> 16) & 0xff] ^
+                        tables.td[2][(w3 >> 8) & 0xff] ^ tables.td[3][w2 & 0xff] ^
+                        rk[1];
+    const uint32_t t2 = tables.td[0][w2 >> 24] ^ tables.td[1][(w1 >> 16) & 0xff] ^
+                        tables.td[2][(w0 >> 8) & 0xff] ^ tables.td[3][w3 & 0xff] ^
+                        rk[2];
+    const uint32_t t3 = tables.td[0][w3 >> 24] ^ tables.td[1][(w2 >> 16) & 0xff] ^
+                        tables.td[2][(w1 >> 8) & 0xff] ^ tables.td[3][w0 & 0xff] ^
+                        rk[3];
+    w0 = t0;
+    w1 = t1;
+    w2 = t2;
+    w3 = t3;
+  }
+
+  // Final round: InvSubBytes + InvShiftRows + AddRoundKey.
+  const uint32_t* rk = dec_round_keys_ + 4 * rounds_;
+  auto final_word = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+    return (static_cast<uint32_t>(kInvSbox[a >> 24]) << 24) |
+           (static_cast<uint32_t>(kInvSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<uint32_t>(kInvSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<uint32_t>(kInvSbox[d & 0xff]);
+  };
+  StoreWord(final_word(w0, w3, w2, w1) ^ rk[0], out);
+  StoreWord(final_word(w1, w0, w3, w2) ^ rk[1], out + 4);
+  StoreWord(final_word(w2, w1, w0, w3) ^ rk[2], out + 8);
+  StoreWord(final_word(w3, w2, w1, w0) ^ rk[3], out + 12);
+}
+
+}  // namespace dstore

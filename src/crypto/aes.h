@@ -1,0 +1,45 @@
+#ifndef DSTORE_CRYPTO_AES_H_
+#define DSTORE_CRYPTO_AES_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore {
+
+// AES block cipher (FIPS 197) supporting 128-, 192- and 256-bit keys.
+// Implemented with the classic 32-bit T-table formulation (SubBytes +
+// ShiftRows + MixColumns folded into four table lookups per column) and the
+// equivalent inverse cipher, so encryption and decryption run at the same
+// speed — the symmetry Fig. 20 of the paper shows. This is the primitive
+// beneath the CBC/CTR Cipher implementations in cipher.h; application code
+// should use those, not raw blocks.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  Aes() = default;
+
+  // Expands `key` (16, 24, or 32 bytes). Must be called before block ops.
+  Status SetKey(const Bytes& key);
+
+  bool has_key() const { return rounds_ != 0; }
+
+  // Encrypts/decrypts exactly one 16-byte block. `in` and `out` may alias.
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+ private:
+  // Up to 15 round keys of 4 words each (AES-256); decryption uses keys
+  // transformed for the equivalent inverse cipher.
+  uint32_t round_keys_[60] = {};
+  uint32_t dec_round_keys_[60] = {};
+  int rounds_ = 0;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_CRYPTO_AES_H_

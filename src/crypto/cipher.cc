@@ -1,0 +1,198 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/sha256.h"
+
+namespace dstore {
+
+namespace {
+
+uint64_t SecureSeed() {
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+}
+
+void FillBlock(Random* rng, uint8_t block[Aes::kBlockSize]) {
+  const uint64_t a = rng->NextUint64();
+  const uint64_t b = rng->NextUint64();
+  std::memcpy(block, &a, 8);
+  std::memcpy(block + 8, &b, 8);
+}
+
+// Constant-time comparison so MAC verification does not leak prefix length.
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < n; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Cipher>> AesCbcCipher::Make(const Bytes& key) {
+  return MakeWithSeed(key, SecureSeed());
+}
+
+StatusOr<std::unique_ptr<Cipher>> AesCbcCipher::MakeWithSeed(const Bytes& key,
+                                                             uint64_t iv_seed) {
+  Aes aes;
+  DSTORE_RETURN_IF_ERROR(aes.SetKey(key));
+  return std::unique_ptr<Cipher>(new AesCbcCipher(aes, iv_seed));
+}
+
+StatusOr<Bytes> AesCbcCipher::Encrypt(const Bytes& plaintext) {
+  uint8_t iv[Aes::kBlockSize];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FillBlock(&iv_rng_, iv);
+  }
+
+  // PKCS#7: pad with `pad` copies of `pad`, where pad in [1, 16].
+  const size_t pad = Aes::kBlockSize - (plaintext.size() % Aes::kBlockSize);
+  Bytes padded = plaintext;
+  padded.insert(padded.end(), pad, static_cast<uint8_t>(pad));
+
+  Bytes out(Aes::kBlockSize + padded.size());
+  std::memcpy(out.data(), iv, Aes::kBlockSize);
+
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv, Aes::kBlockSize);
+  for (size_t off = 0; off < padded.size(); off += Aes::kBlockSize) {
+    uint8_t block[Aes::kBlockSize];
+    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
+      block[i] = padded[off + i] ^ chain[i];
+    }
+    aes_.EncryptBlock(block, out.data() + Aes::kBlockSize + off);
+    std::memcpy(chain, out.data() + Aes::kBlockSize + off, Aes::kBlockSize);
+  }
+  return out;
+}
+
+StatusOr<Bytes> AesCbcCipher::Decrypt(const Bytes& ciphertext) {
+  if (ciphertext.size() < 2 * Aes::kBlockSize ||
+      ciphertext.size() % Aes::kBlockSize != 0) {
+    return Status::Corruption("AES-CBC ciphertext has invalid length");
+  }
+  const uint8_t* iv = ciphertext.data();
+  const uint8_t* body = ciphertext.data() + Aes::kBlockSize;
+  const size_t body_len = ciphertext.size() - Aes::kBlockSize;
+
+  Bytes plain(body_len);
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv, Aes::kBlockSize);
+  for (size_t off = 0; off < body_len; off += Aes::kBlockSize) {
+    uint8_t block[Aes::kBlockSize];
+    aes_.DecryptBlock(body + off, block);
+    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
+      plain[off + i] = block[i] ^ chain[i];
+    }
+    std::memcpy(chain, body + off, Aes::kBlockSize);
+  }
+
+  const uint8_t pad = plain.back();
+  if (pad == 0 || pad > Aes::kBlockSize || pad > plain.size()) {
+    return Status::Corruption("AES-CBC padding is invalid");
+  }
+  for (size_t i = plain.size() - pad; i < plain.size(); ++i) {
+    if (plain[i] != pad) {
+      return Status::Corruption("AES-CBC padding is invalid");
+    }
+  }
+  plain.resize(plain.size() - pad);
+  return plain;
+}
+
+StatusOr<std::unique_ptr<Cipher>> AesCtrCipher::Make(const Bytes& key) {
+  return MakeWithSeed(key, SecureSeed());
+}
+
+StatusOr<std::unique_ptr<Cipher>> AesCtrCipher::MakeWithSeed(const Bytes& key,
+                                                             uint64_t iv_seed) {
+  Aes aes;
+  DSTORE_RETURN_IF_ERROR(aes.SetKey(key));
+  return std::unique_ptr<Cipher>(new AesCtrCipher(aes, iv_seed));
+}
+
+Bytes AesCtrCipher::Crypt(const Bytes& input,
+                          const uint8_t nonce[Aes::kBlockSize]) const {
+  Bytes out(input.size());
+  uint8_t counter[Aes::kBlockSize];
+  std::memcpy(counter, nonce, Aes::kBlockSize);
+  uint8_t keystream[Aes::kBlockSize];
+  for (size_t off = 0; off < input.size(); off += Aes::kBlockSize) {
+    aes_.EncryptBlock(counter, keystream);
+    const size_t n = std::min<size_t>(Aes::kBlockSize, input.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] = input[off + i] ^ keystream[i];
+    // Increment the counter block big-endian.
+    for (int i = Aes::kBlockSize - 1; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+StatusOr<Bytes> AesCtrCipher::Encrypt(const Bytes& plaintext) {
+  uint8_t nonce[Aes::kBlockSize];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FillBlock(&iv_rng_, nonce);
+  }
+  Bytes body = Crypt(plaintext, nonce);
+  Bytes out;
+  out.reserve(Aes::kBlockSize + body.size());
+  out.insert(out.end(), nonce, nonce + Aes::kBlockSize);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+StatusOr<Bytes> AesCtrCipher::Decrypt(const Bytes& ciphertext) {
+  if (ciphertext.size() < Aes::kBlockSize) {
+    return Status::Corruption("AES-CTR ciphertext shorter than nonce");
+  }
+  Bytes body(ciphertext.begin() + Aes::kBlockSize, ciphertext.end());
+  return Crypt(body, ciphertext.data());
+}
+
+StatusOr<Bytes> AuthenticatedCipher::Encrypt(const Bytes& plaintext) {
+  DSTORE_ASSIGN_OR_RETURN(Bytes inner, inner_->Encrypt(plaintext));
+  const auto tag = HmacSha256(mac_key_, inner);
+  inner.insert(inner.end(), tag.begin(), tag.end());
+  return inner;
+}
+
+StatusOr<Bytes> AuthenticatedCipher::Decrypt(const Bytes& ciphertext) {
+  if (ciphertext.size() < Sha256::kDigestSize) {
+    return Status::Corruption("authenticated ciphertext shorter than tag");
+  }
+  const size_t body_len = ciphertext.size() - Sha256::kDigestSize;
+  Bytes body(ciphertext.begin(),
+             ciphertext.begin() + static_cast<ptrdiff_t>(body_len));
+  const auto expected = HmacSha256(mac_key_, body);
+  if (!ConstantTimeEqual(expected.data(), ciphertext.data() + body_len,
+                         Sha256::kDigestSize)) {
+    return Status::Corruption("MAC verification failed");
+  }
+  return inner_->Decrypt(body);
+}
+
+StatusOr<std::unique_ptr<Cipher>> MakePassphraseCipher(
+    std::string_view passphrase, bool authenticated) {
+  if (passphrase.empty()) {
+    return Status::InvalidArgument("passphrase must not be empty");
+  }
+  const Bytes password = ToBytes(passphrase);
+  const Bytes salt = ToBytes("dstore.cipher.v1");
+  // 16 bytes of AES key + 32 bytes of MAC key.
+  Bytes derived = Pbkdf2HmacSha256(password, salt, /*iterations=*/4096,
+                                   /*out_len=*/48);
+  const Bytes aes_key(derived.begin(), derived.begin() + 16);
+  DSTORE_ASSIGN_OR_RETURN(std::unique_ptr<Cipher> base,
+                          AesCbcCipher::Make(aes_key));
+  if (!authenticated) return base;
+  Bytes mac_key(derived.begin() + 16, derived.end());
+  return std::unique_ptr<Cipher>(
+      new AuthenticatedCipher(std::move(base), std::move(mac_key)));
+}
+
+}  // namespace dstore

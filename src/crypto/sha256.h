@@ -1,0 +1,54 @@
+#ifndef DSTORE_CRYPTO_SHA256_H_
+#define DSTORE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dstore {
+
+// Incremental SHA-256 (FIPS 180-4). Used for key derivation (PBKDF2), HMAC
+// integrity tags, and entity tags for cache revalidation.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+
+  Sha256();
+
+  // Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  // Finalizes and returns the digest. The object must not be reused after
+  // Finish without calling Reset.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  void Reset();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(const void* data, size_t len);
+  static std::array<uint8_t, kDigestSize> Hash(const Bytes& data) {
+    return Hash(data.data(), data.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// HMAC-SHA256 (RFC 2104).
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(const Bytes& key,
+                                                    const Bytes& message);
+
+// PBKDF2-HMAC-SHA256 (RFC 8018). Derives `out_len` bytes from a password.
+Bytes Pbkdf2HmacSha256(const Bytes& password, const Bytes& salt,
+                       uint32_t iterations, size_t out_len);
+
+}  // namespace dstore
+
+#endif  // DSTORE_CRYPTO_SHA256_H_

@@ -1,0 +1,178 @@
+#include "delta/delta.h"
+
+#include <unordered_map>
+
+#include "delta/rolling_hash.h"
+
+namespace dstore {
+
+namespace {
+
+constexpr uint8_t kDeltaMagic = 0xd1;
+constexpr uint8_t kOpCopy = 0x00;
+constexpr uint8_t kOpAdd = 0x01;
+
+void EmitAdd(Bytes* out, const Bytes& literal, DeltaStats* stats) {
+  if (literal.empty()) return;
+  out->push_back(kOpAdd);
+  PutLengthPrefixed(out, literal);
+  if (stats != nullptr) {
+    ++stats->add_ops;
+    stats->added_bytes += literal.size();
+  }
+}
+
+void EmitCopy(Bytes* out, size_t offset, size_t length, DeltaStats* stats) {
+  out->push_back(kOpCopy);
+  PutVarint64(out, offset);
+  PutVarint64(out, length);
+  if (stats != nullptr) {
+    ++stats->copy_ops;
+    stats->copied_bytes += length;
+  }
+}
+
+}  // namespace
+
+Bytes EncodeDelta(const Bytes& base, const Bytes& target,
+                  const DeltaOptions& options, DeltaStats* stats) {
+  if (stats != nullptr) *stats = DeltaStats{};
+  Bytes out;
+  out.push_back(kDeltaMagic);
+
+  const size_t w = options.window_size < 2 ? 2 : options.window_size;
+  if (base.size() < w || target.size() < w) {
+    EmitAdd(&out, target, stats);
+    return out;
+  }
+
+  // Index windows of the base by rolling hash (every stride-th position).
+  const size_t stride = options.index_stride == 0 ? 1 : options.index_stride;
+  RollingHash hasher(w);
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  index.reserve(base.size() / stride + 1);
+  {
+    uint64_t h = hasher.Hash(base.data());
+    for (size_t i = 0;; ++i) {
+      if (i % stride == 0) {
+        auto& bucket = index[h];
+        if (bucket.size() < options.max_candidates_per_bucket) {
+          bucket.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      if (i + w >= base.size()) break;
+      h = hasher.Roll(h, base[i], base[i + w]);
+    }
+  }
+
+  Bytes pending;  // literal bytes not yet emitted
+  size_t pos = 0;
+  uint64_t h = hasher.Hash(target.data());
+  bool hash_valid = true;
+
+  while (pos < target.size()) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    if (hash_valid && pos + w <= target.size()) {
+      auto it = index.find(h);
+      if (it != index.end()) {
+        for (uint32_t cand : it->second) {
+          // Verify the candidate (hashes can collide), then extend forward.
+          const size_t max_len =
+              std::min(base.size() - cand, target.size() - pos);
+          if (max_len < w) continue;
+          size_t len = 0;
+          while (len < max_len && base[cand + len] == target[pos + len]) {
+            ++len;
+          }
+          if (len >= w && len > best_len) {
+            best_len = len;
+            best_off = cand;
+          }
+        }
+      }
+    }
+
+    if (best_len > 0) {
+      // Extend the match backward into pending literals when possible. The
+      // extension lengthens the COPY with bytes that were already consumed
+      // from the target (they sit in `pending`), so the scan position must
+      // advance by the *forward* length only.
+      const size_t forward_len = best_len;
+      while (!pending.empty() && best_off > 0 &&
+             base[best_off - 1] == pending.back()) {
+        --best_off;
+        ++best_len;
+        pending.pop_back();
+      }
+      EmitAdd(&out, pending, stats);
+      pending.clear();
+      EmitCopy(&out, best_off, best_len, stats);
+      pos += forward_len;
+      if (pos + w <= target.size()) {
+        h = hasher.Hash(target.data() + pos);
+        hash_valid = true;
+      } else {
+        hash_valid = false;
+      }
+    } else {
+      pending.push_back(target[pos]);
+      if (pos + w < target.size()) {
+        h = hasher.Roll(h, target[pos], target[pos + w]);
+      } else {
+        hash_valid = false;
+      }
+      ++pos;
+    }
+  }
+  EmitAdd(&out, pending, stats);
+  return out;
+}
+
+StatusOr<std::vector<DeltaOp>> ParseDelta(const Bytes& delta) {
+  if (delta.empty() || delta[0] != kDeltaMagic) {
+    return Status::Corruption("bad delta magic");
+  }
+  std::vector<DeltaOp> ops;
+  size_t pos = 1;
+  while (pos < delta.size()) {
+    const uint8_t tag = delta[pos++];
+    if (tag == kOpCopy) {
+      DeltaOp op;
+      op.is_copy = true;
+      DSTORE_ASSIGN_OR_RETURN(op.offset, GetVarint64(delta, &pos));
+      DSTORE_ASSIGN_OR_RETURN(op.length, GetVarint64(delta, &pos));
+      ops.push_back(std::move(op));
+    } else if (tag == kOpAdd) {
+      DeltaOp op;
+      op.is_copy = false;
+      op.offset = 0;
+      op.length = 0;
+      DSTORE_ASSIGN_OR_RETURN(op.literal, GetLengthPrefixed(delta, &pos));
+      ops.push_back(std::move(op));
+    } else {
+      return Status::Corruption("unknown delta op tag");
+    }
+  }
+  return ops;
+}
+
+StatusOr<Bytes> ApplyDelta(const Bytes& base, const Bytes& delta) {
+  DSTORE_ASSIGN_OR_RETURN(std::vector<DeltaOp> ops, ParseDelta(delta));
+  Bytes out;
+  for (const DeltaOp& op : ops) {
+    if (op.is_copy) {
+      if (op.offset + op.length > base.size()) {
+        return Status::Corruption("delta copy op exceeds base size");
+      }
+      out.insert(out.end(),
+                 base.begin() + static_cast<ptrdiff_t>(op.offset),
+                 base.begin() + static_cast<ptrdiff_t>(op.offset + op.length));
+    } else {
+      out.insert(out.end(), op.literal.begin(), op.literal.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace dstore

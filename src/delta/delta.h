@@ -1,0 +1,62 @@
+#ifndef DSTORE_DELTA_DELTA_H_
+#define DSTORE_DELTA_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore {
+
+// Delta encoding (paper Section IV): when a client updates object o1, it can
+// send the server a delta against the previous version instead of the whole
+// object. The encoder hashes every WINDOW_SIZE-byte subarray of the base with
+// a Rabin-Karp rolling hash; matches of at least WINDOW_SIZE bytes are
+// extended to maximal length and emitted as COPY ops, everything else as ADD
+// ops — the Fig. 8 "(0,5) [9,7] (7,6)" scheme generalized to byte arrays.
+
+struct DeltaOptions {
+  // Minimum match length. "Matching substrings should have a minimum length,
+  // WINDOW_SIZE (e.g. 5)" — shorter matches cost more to encode than raw
+  // bytes (paper Section IV).
+  size_t window_size = 5;
+  // Cap on base positions examined per hash bucket (guards degenerate
+  // inputs, e.g. a base that is one repeated byte).
+  size_t max_candidates_per_bucket = 16;
+  // Index every `index_stride`-th base position instead of all of them:
+  // encoding gets ~stride× faster and the index ~stride× smaller, at the
+  // cost of missing matches shorter than window_size + stride - 1.
+  size_t index_stride = 1;
+};
+
+struct DeltaStats {
+  size_t copy_ops = 0;
+  size_t add_ops = 0;
+  size_t copied_bytes = 0;  // bytes reused from the base
+  size_t added_bytes = 0;   // literal bytes carried in the delta
+};
+
+// Computes a delta such that ApplyDelta(base, delta) == target. Always
+// succeeds; if base and target share nothing, the delta degenerates to one
+// ADD of the whole target. `stats`, if non-null, receives op counts.
+Bytes EncodeDelta(const Bytes& base, const Bytes& target,
+                  const DeltaOptions& options = {},
+                  DeltaStats* stats = nullptr);
+
+// Reconstructs the target from the base and a delta produced by EncodeDelta.
+StatusOr<Bytes> ApplyDelta(const Bytes& base, const Bytes& delta);
+
+// Parsed form of a delta, exposed for tests and tooling.
+struct DeltaOp {
+  bool is_copy;
+  uint64_t offset;  // copy: offset into base
+  uint64_t length;  // copy: byte count
+  Bytes literal;    // add: bytes to append
+};
+
+StatusOr<std::vector<DeltaOp>> ParseDelta(const Bytes& delta);
+
+}  // namespace dstore
+
+#endif  // DSTORE_DELTA_DELTA_H_

@@ -1,0 +1,23 @@
+#include "delta/rolling_hash.h"
+
+namespace dstore {
+
+RollingHash::RollingHash(size_t window_size) : window_size_(window_size) {
+  top_power_ = 1;
+  for (size_t i = 1; i < window_size_; ++i) top_power_ *= kBase;
+}
+
+uint64_t RollingHash::Hash(const uint8_t* data) const {
+  uint64_t h = 0;
+  for (size_t i = 0; i < window_size_; ++i) {
+    h = h * kBase + data[i];
+  }
+  return h;
+}
+
+uint64_t RollingHash::Roll(uint64_t hash, uint8_t out_byte,
+                           uint8_t in_byte) const {
+  return (hash - out_byte * top_power_) * kBase + in_byte;
+}
+
+}  // namespace dstore

@@ -1,0 +1,37 @@
+#ifndef DSTORE_DELTA_ROLLING_HASH_H_
+#define DSTORE_DELTA_ROLLING_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dstore {
+
+// Rabin-Karp polynomial rolling hash over a fixed-size window. The hash for
+// the window starting at i+1 is computed in O(1) from the hash at i, which is
+// what makes the delta encoder's "hash every subarray of length WINDOW_SIZE"
+// step linear (paper Section IV).
+//
+// H(b[i..i+w)) = sum_{k} b[i+k] * kBase^(w-1-k)  (mod 2^64)
+class RollingHash {
+ public:
+  explicit RollingHash(size_t window_size);
+
+  size_t window_size() const { return window_size_; }
+
+  // Hash of the full window starting at `data`.
+  uint64_t Hash(const uint8_t* data) const;
+
+  // Given hash over b[i..i+w), returns hash over b[i+1..i+w+1):
+  // `out_byte` is b[i], `in_byte` is b[i+w].
+  uint64_t Roll(uint64_t hash, uint8_t out_byte, uint8_t in_byte) const;
+
+ private:
+  static constexpr uint64_t kBase = 1000000007ULL;
+
+  size_t window_size_;
+  uint64_t top_power_;  // kBase^(window_size-1)
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_DELTA_ROLLING_HASH_H_

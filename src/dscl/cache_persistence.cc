@@ -1,0 +1,52 @@
+#include "dscl/cache_persistence.h"
+
+namespace dstore {
+
+namespace {
+constexpr uint8_t kSnapshotVersion = 1;
+}  // namespace
+
+Status SaveCacheToStore(Cache* cache, KeyValueStore* store,
+                        const std::string& snapshot_key, size_t max_entries) {
+  DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> keys, cache->Keys());
+  if (max_entries > 0 && keys.size() > max_entries) {
+    keys.resize(max_entries);
+  }
+
+  Bytes out;
+  out.push_back(kSnapshotVersion);
+  size_t written = 0;
+  Bytes body;
+  for (const std::string& key : keys) {
+    auto value = cache->Get(key);
+    if (!value.ok()) continue;  // evicted or expired since enumeration
+    PutLengthPrefixed(&body, key);
+    PutLengthPrefixed(&body, **value);
+    ++written;
+  }
+  PutVarint64(&out, written);
+  out.insert(out.end(), body.begin(), body.end());
+  return store->Put(snapshot_key, MakeValue(std::move(out)));
+}
+
+StatusOr<size_t> LoadCacheFromStore(Cache* cache, KeyValueStore* store,
+                                    const std::string& snapshot_key) {
+  DSTORE_ASSIGN_OR_RETURN(ValuePtr snapshot, store->Get(snapshot_key));
+  const Bytes& data = *snapshot;
+  if (data.empty() || data[0] != kSnapshotVersion) {
+    return Status::Corruption("bad cache snapshot header");
+  }
+  size_t pos = 1;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &pos));
+  size_t loaded = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    DSTORE_ASSIGN_OR_RETURN(Bytes key, GetLengthPrefixed(data, &pos));
+    DSTORE_ASSIGN_OR_RETURN(Bytes value, GetLengthPrefixed(data, &pos));
+    DSTORE_RETURN_IF_ERROR(
+        cache->Put(ToString(key), MakeValue(std::move(value))));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace dstore

@@ -1,0 +1,35 @@
+#ifndef DSTORE_DSCL_CACHE_PERSISTENCE_H_
+#define DSTORE_DSCL_CACHE_PERSISTENCE_H_
+
+#include <string>
+
+#include "cache/cache.h"
+#include "common/status.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// Cache warm-state persistence (paper Section III): "it is also often
+// desirable to store some data from a cache persistently before shutting
+// down a cache process. That way, when the cache is restarted, it can
+// quickly be brought to a warm state by reading in the data previously
+// stored persistently."
+//
+// SaveCacheToStore serializes up to `max_entries` cached entries into a
+// single value in any KeyValueStore (a durable one, presumably);
+// LoadCacheFromStore repopulates a cache from such a snapshot. The snapshot
+// is a point-in-time copy; entries evicted or changed afterwards are not
+// tracked.
+
+// `max_entries` == 0 means all entries.
+Status SaveCacheToStore(Cache* cache, KeyValueStore* store,
+                        const std::string& snapshot_key,
+                        size_t max_entries = 0);
+
+// Returns the number of entries loaded into `cache`.
+StatusOr<size_t> LoadCacheFromStore(Cache* cache, KeyValueStore* store,
+                                    const std::string& snapshot_key);
+
+}  // namespace dstore
+
+#endif  // DSTORE_DSCL_CACHE_PERSISTENCE_H_

@@ -1,0 +1,103 @@
+#include "dscl/dscl.h"
+
+namespace dstore {
+
+namespace {
+Status NoCache() { return Status::NotSupported("Dscl built without a cache"); }
+Status NoCipher() {
+  return Status::NotSupported("Dscl built without a cipher");
+}
+Status NoCodec() { return Status::NotSupported("Dscl built without a codec"); }
+}  // namespace
+
+Status Dscl::CachePut(const std::string& key, ValuePtr value,
+                      int64_t ttl_nanos, const std::string& etag) {
+  if (cache_ == nullptr) return NoCache();
+  return cache_->PutWithTtl(key, std::move(value), ttl_nanos, etag);
+}
+
+StatusOr<ValuePtr> Dscl::CacheGet(const std::string& key) {
+  if (cache_ == nullptr) return NoCache();
+  return cache_->Get(key);
+}
+
+StatusOr<ExpiringCache::Entry> Dscl::CacheGetEntry(const std::string& key) {
+  if (cache_ == nullptr) return NoCache();
+  return cache_->GetEntry(key);
+}
+
+Status Dscl::CacheDelete(const std::string& key) {
+  if (cache_ == nullptr) return NoCache();
+  return cache_->Delete(key);
+}
+
+Status Dscl::CacheRevalidate(const std::string& key, int64_t ttl_nanos) {
+  if (cache_ == nullptr) return NoCache();
+  return cache_->Touch(key, ttl_nanos);
+}
+
+CacheStats Dscl::GetCacheStats() const {
+  return cache_ == nullptr ? CacheStats{} : cache_->Stats();
+}
+
+StatusOr<Bytes> Dscl::Encrypt(const Bytes& plaintext) {
+  if (cipher_ == nullptr) return NoCipher();
+  return cipher_->Encrypt(plaintext);
+}
+
+StatusOr<Bytes> Dscl::Decrypt(const Bytes& ciphertext) {
+  if (cipher_ == nullptr) return NoCipher();
+  return cipher_->Decrypt(ciphertext);
+}
+
+StatusOr<Bytes> Dscl::Compress(const Bytes& input) {
+  if (codec_ == nullptr) return NoCodec();
+  return codec_->Compress(input);
+}
+
+StatusOr<Bytes> Dscl::Decompress(const Bytes& input) {
+  if (codec_ == nullptr) return NoCodec();
+  return codec_->Decompress(input);
+}
+
+Bytes Dscl::EncodeObjectDelta(const Bytes& base, const Bytes& target,
+                              DeltaStats* stats) {
+  return EncodeDelta(base, target, delta_options_, stats);
+}
+
+StatusOr<Bytes> Dscl::ApplyObjectDelta(const Bytes& base, const Bytes& delta) {
+  return ApplyDelta(base, delta);
+}
+
+DsclBuilder& DsclBuilder::WithCache(std::unique_ptr<Cache> cache,
+                                    const Clock* clock) {
+  cache_ = std::make_shared<ExpiringCache>(
+      std::move(cache), clock != nullptr ? clock : RealClock::Default());
+  return *this;
+}
+
+DsclBuilder& DsclBuilder::WithCipher(std::unique_ptr<Cipher> cipher) {
+  cipher_ = std::move(cipher);
+  return *this;
+}
+
+DsclBuilder& DsclBuilder::WithCodec(std::unique_ptr<Codec> codec) {
+  codec_ = std::move(codec);
+  return *this;
+}
+
+DsclBuilder& DsclBuilder::WithDeltaOptions(const DeltaOptions& options) {
+  delta_options_ = options;
+  return *this;
+}
+
+std::unique_ptr<Dscl> DsclBuilder::Build() {
+  auto dscl = std::unique_ptr<Dscl>(new Dscl());
+  dscl->cache_ = std::move(cache_);
+  dscl->cipher_ = std::move(cipher_);
+  dscl->codec_ = std::move(codec_);
+  dscl->delta_options_ = delta_options_;
+  return dscl;
+}
+
+}  // namespace dstore

@@ -1,0 +1,93 @@
+#ifndef DSTORE_DSCL_DSCL_H_
+#define DSTORE_DSCL_DSCL_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/expiring_cache.h"
+#include "common/clock.h"
+#include "compress/codec.h"
+#include "crypto/cipher.h"
+#include "delta/delta.h"
+#include "dscl/enhanced_store.h"
+#include "dscl/transformer.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// The Data Store Client Library facade — the paper's *second* (loosely
+// coupled) integration approach: "provide the DSCL to users and allow them
+// to implement their own customized caching solutions using the DSCL API"
+// (Section III). The application makes explicit calls for caching,
+// encryption, compression, and delta encoding, independent of any data
+// store; nothing here touches a server.
+//
+// Build one with DsclBuilder, plugging in whichever cache / cipher / codec
+// implementations the application wants (the modular architecture of
+// Fig. 2/4). The same components can instead be wired into an EnhancedStore
+// for the tightly integrated approach — and combining both, as the paper
+// recommends, means wrapping the store *and* keeping a Dscl handle for
+// fine-grained control.
+class Dscl {
+ public:
+  // --- Cache operations (expiration managed here, not by the cache). ---
+  Status CachePut(const std::string& key, ValuePtr value,
+                  int64_t ttl_nanos = 0, const std::string& etag = "");
+  // Fresh value or kExpired / kNotFound.
+  StatusOr<ValuePtr> CacheGet(const std::string& key);
+  // Stale-tolerant read: also returns expired entries with their etag.
+  StatusOr<ExpiringCache::Entry> CacheGetEntry(const std::string& key);
+  Status CacheDelete(const std::string& key);
+  Status CacheRevalidate(const std::string& key, int64_t ttl_nanos);
+  CacheStats GetCacheStats() const;
+
+  // --- Encryption. ---
+  StatusOr<Bytes> Encrypt(const Bytes& plaintext);
+  StatusOr<Bytes> Decrypt(const Bytes& ciphertext);
+
+  // --- Compression. ---
+  StatusOr<Bytes> Compress(const Bytes& input);
+  StatusOr<Bytes> Decompress(const Bytes& input);
+
+  // --- Delta encoding. ---
+  Bytes EncodeObjectDelta(const Bytes& base, const Bytes& target,
+                          DeltaStats* stats = nullptr);
+  StatusOr<Bytes> ApplyObjectDelta(const Bytes& base, const Bytes& delta);
+
+  // Component access for advanced callers.
+  ExpiringCache* cache() { return cache_.get(); }
+  Cipher* cipher() { return cipher_.get(); }
+  Codec* codec() { return codec_.get(); }
+
+ private:
+  friend class DsclBuilder;
+  Dscl() = default;
+
+  std::shared_ptr<ExpiringCache> cache_;
+  std::unique_ptr<Cipher> cipher_;
+  std::unique_ptr<Codec> codec_;
+  DeltaOptions delta_options_;
+};
+
+// Assembles a Dscl from pluggable parts. Every part is optional; using an
+// omitted feature returns NotSupported.
+class DsclBuilder {
+ public:
+  DsclBuilder& WithCache(std::unique_ptr<Cache> cache,
+                         const Clock* clock = nullptr);
+  DsclBuilder& WithCipher(std::unique_ptr<Cipher> cipher);
+  DsclBuilder& WithCodec(std::unique_ptr<Codec> codec);
+  DsclBuilder& WithDeltaOptions(const DeltaOptions& options);
+
+  std::unique_ptr<Dscl> Build();
+
+ private:
+  std::shared_ptr<ExpiringCache> cache_;
+  std::unique_ptr<Cipher> cipher_;
+  std::unique_ptr<Codec> codec_;
+  DeltaOptions delta_options_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_DSCL_DSCL_H_

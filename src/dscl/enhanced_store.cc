@@ -1,0 +1,147 @@
+#include "dscl/enhanced_store.h"
+
+namespace dstore {
+
+EnhancedStore::EnhancedStore(std::shared_ptr<KeyValueStore> base,
+                             std::shared_ptr<ExpiringCache> cache,
+                             std::shared_ptr<TransformChain> chain,
+                             const Options& options)
+    : base_(std::move(base)),
+      cache_(std::move(cache)),
+      chain_(std::move(chain)),
+      options_(options) {}
+
+StatusOr<Bytes> EnhancedStore::Encode(const Bytes& value) const {
+  if (chain_ == nullptr || chain_->empty()) return value;
+  return chain_->Apply(value);
+}
+
+StatusOr<ValuePtr> EnhancedStore::Decode(const Bytes& value) const {
+  if (chain_ == nullptr || chain_->empty()) return MakeValue(Bytes(value));
+  DSTORE_ASSIGN_OR_RETURN(Bytes decoded, chain_->Reverse(value));
+  return MakeValue(std::move(decoded));
+}
+
+Status EnhancedStore::CacheValue(const std::string& key,
+                                 const ValuePtr& decoded, const Bytes& encoded,
+                                 const std::string& etag) {
+  if (cache_ == nullptr) return Status::OK();
+  const ValuePtr to_cache =
+      options_.cache_encoded ? MakeValue(Bytes(encoded)) : decoded;
+  return cache_->PutWithTtl(key, to_cache, options_.cache_ttl_nanos, etag);
+}
+
+Status EnhancedStore::Put(const std::string& key, ValuePtr value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  DSTORE_ASSIGN_OR_RETURN(Bytes encoded, Encode(*value));
+  DSTORE_RETURN_IF_ERROR(base_->Put(key, MakeValue(Bytes(encoded))));
+
+  if (cache_ == nullptr) return Status::OK();
+  switch (options_.write_policy) {
+    case WritePolicy::kWriteThrough:
+      return CacheValue(key, value, encoded, ComputeEtag(encoded));
+    case WritePolicy::kInvalidate:
+      return cache_->Delete(key);
+    case WritePolicy::kBypass:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+StatusOr<ValuePtr> EnhancedStore::FetchAndCache(const std::string& key) {
+  DSTORE_ASSIGN_OR_RETURN(ValuePtr encoded, base_->Get(key));
+  DSTORE_ASSIGN_OR_RETURN(ValuePtr decoded, Decode(*encoded));
+  DSTORE_RETURN_IF_ERROR(
+      CacheValue(key, decoded, *encoded, ComputeEtag(*encoded)));
+  return decoded;
+}
+
+StatusOr<ValuePtr> EnhancedStore::Get(const std::string& key) {
+  if (cache_ == nullptr) {
+    DSTORE_ASSIGN_OR_RETURN(ValuePtr encoded, base_->Get(key));
+    return Decode(*encoded);
+  }
+
+  auto entry = cache_->GetEntry(key);
+  if (entry.ok() && !entry->expired) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.cache_encoded) return Decode(*entry->value);
+    return entry->value;
+  }
+
+  if (entry.ok() && entry->expired && options_.revalidate_expired &&
+      !entry->etag.empty()) {
+    // Fig. 7: ask the server whether our version is still current.
+    revalidations_.fetch_add(1, std::memory_order_relaxed);
+    auto conditional = base_->GetIfChanged(key, entry->etag);
+    if (conditional.ok()) {
+      if (conditional->not_modified) {
+        revalidations_saved_.fetch_add(1, std::memory_order_relaxed);
+        cache_->Touch(key, options_.cache_ttl_nanos).ok();
+        if (options_.cache_encoded) return Decode(*entry->value);
+        return entry->value;
+      }
+      DSTORE_ASSIGN_OR_RETURN(ValuePtr decoded, Decode(*conditional->value));
+      DSTORE_RETURN_IF_ERROR(CacheValue(key, decoded, *conditional->value,
+                                        conditional->etag));
+      return decoded;
+    }
+    if (conditional.status().IsNotFound()) {
+      cache_->Delete(key).ok();
+      return conditional.status();
+    }
+    // Revalidation path failed (e.g. transient server error): fall through
+    // to a plain fetch below.
+  }
+
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  return FetchAndCache(key);
+}
+
+Status EnhancedStore::Delete(const std::string& key) {
+  DSTORE_RETURN_IF_ERROR(base_->Delete(key));
+  if (cache_ != nullptr) return cache_->Delete(key);
+  return Status::OK();
+}
+
+StatusOr<bool> EnhancedStore::Contains(const std::string& key) {
+  if (cache_ != nullptr && cache_->Contains(key)) return true;
+  return base_->Contains(key);
+}
+
+StatusOr<std::vector<std::string>> EnhancedStore::ListKeys() {
+  return base_->ListKeys();
+}
+
+StatusOr<size_t> EnhancedStore::Count() { return base_->Count(); }
+
+Status EnhancedStore::Clear() {
+  DSTORE_RETURN_IF_ERROR(base_->Clear());
+  if (cache_ != nullptr) cache_->Clear();
+  return Status::OK();
+}
+
+std::string EnhancedStore::Name() const {
+  std::string name = base_->Name() + "+enhanced";
+  if (chain_ != nullptr && !chain_->empty()) {
+    name += "[" + chain_->Describe() + "]";
+  }
+  return name;
+}
+
+EnhancedStoreStats EnhancedStore::Stats() const {
+  EnhancedStoreStats stats;
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.revalidations = revalidations_.load(std::memory_order_relaxed);
+  stats.revalidations_saved =
+      revalidations_saved_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status EnhancedStore::InvalidateCached(const std::string& key) {
+  if (cache_ == nullptr) return Status::OK();
+  return cache_->Delete(key);
+}
+
+}  // namespace dstore

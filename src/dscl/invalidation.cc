@@ -1,0 +1,49 @@
+#include "dscl/invalidation.h"
+
+#include <vector>
+
+namespace dstore {
+
+InvalidationBus::Subscription InvalidationBus::Subscribe(Callback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Subscription id = next_id_++;
+  subscribers_.emplace(id, std::move(callback));
+  return id;
+}
+
+void InvalidationBus::Unsubscribe(Subscription subscription) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(subscription);
+}
+
+void InvalidationBus::Publish(const std::string& key) {
+  // Copy callbacks out so a subscriber can (un)subscribe from its callback
+  // without deadlocking.
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks.reserve(subscribers_.size());
+    for (const auto& [id, callback] : subscribers_) {
+      callbacks.push_back(callback);
+    }
+  }
+  for (const auto& callback : callbacks) callback(key);
+}
+
+size_t InvalidationBus::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+CacheInvalidationSubscription::CacheInvalidationSubscription(
+    std::shared_ptr<InvalidationBus> bus, Cache* cache)
+    : bus_(std::move(bus)) {
+  subscription_ = bus_->Subscribe(
+      [cache](const std::string& key) { cache->Delete(key).ok(); });
+}
+
+CacheInvalidationSubscription::~CacheInvalidationSubscription() {
+  bus_->Unsubscribe(subscription_);
+}
+
+}  // namespace dstore

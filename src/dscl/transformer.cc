@@ -1,0 +1,17 @@
+#include "dscl/transformer.h"
+
+namespace dstore {
+
+StatusOr<std::shared_ptr<TransformChain>> MakeStandardChain(
+    std::unique_ptr<Codec> codec, std::unique_ptr<Cipher> cipher) {
+  auto chain = std::make_shared<TransformChain>();
+  if (codec != nullptr) {
+    chain->Add(std::make_unique<CompressionTransformer>(std::move(codec)));
+  }
+  if (cipher != nullptr) {
+    chain->Add(std::make_unique<EncryptionTransformer>(std::move(cipher)));
+  }
+  return chain;
+}
+
+}  // namespace dstore

@@ -1,0 +1,120 @@
+#ifndef DSTORE_DSCL_TRANSFORMER_H_
+#define DSTORE_DSCL_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "compress/codec.h"
+#include "crypto/cipher.h"
+
+namespace dstore {
+
+// A reversible byte transformation applied to values on their way to a data
+// store (and reversed on the way back). Compression and encryption — the
+// DSCL's two value-pipeline features — are both transformers, so a client
+// can compose them ("the DSCL compression capabilities can also be used to
+// reduce the size of cached objects ... data should often be encrypted
+// before it is cached", paper Section III).
+class ValueTransformer {
+ public:
+  virtual ~ValueTransformer() = default;
+
+  // Encoding direction (e.g. compress, encrypt).
+  virtual StatusOr<Bytes> Apply(const Bytes& input) = 0;
+  // Decoding direction (e.g. decompress, decrypt).
+  virtual StatusOr<Bytes> Reverse(const Bytes& input) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Compression as a transformer.
+class CompressionTransformer : public ValueTransformer {
+ public:
+  explicit CompressionTransformer(std::unique_ptr<Codec> codec)
+      : codec_(std::move(codec)) {}
+
+  StatusOr<Bytes> Apply(const Bytes& input) override {
+    return codec_->Compress(input);
+  }
+  StatusOr<Bytes> Reverse(const Bytes& input) override {
+    return codec_->Decompress(input);
+  }
+  std::string name() const override { return codec_->name(); }
+
+ private:
+  std::unique_ptr<Codec> codec_;
+};
+
+// Encryption as a transformer.
+class EncryptionTransformer : public ValueTransformer {
+ public:
+  explicit EncryptionTransformer(std::unique_ptr<Cipher> cipher)
+      : cipher_(std::move(cipher)) {}
+
+  StatusOr<Bytes> Apply(const Bytes& input) override {
+    return cipher_->Encrypt(input);
+  }
+  StatusOr<Bytes> Reverse(const Bytes& input) override {
+    return cipher_->Decrypt(input);
+  }
+  std::string name() const override { return cipher_->name(); }
+
+ private:
+  std::unique_ptr<Cipher> cipher_;
+};
+
+// Ordered pipeline of transformers. Apply runs front to back; Reverse runs
+// back to front. The canonical order is compress-then-encrypt: ciphertext
+// is incompressible, so the opposite order wastes the codec.
+class TransformChain {
+ public:
+  TransformChain() = default;
+
+  void Add(std::unique_ptr<ValueTransformer> transformer) {
+    transformers_.push_back(std::move(transformer));
+  }
+
+  bool empty() const { return transformers_.empty(); }
+  size_t size() const { return transformers_.size(); }
+
+  StatusOr<Bytes> Apply(const Bytes& input) const {
+    Bytes current = input;
+    for (const auto& transformer : transformers_) {
+      DSTORE_ASSIGN_OR_RETURN(current, transformer->Apply(current));
+    }
+    return current;
+  }
+
+  StatusOr<Bytes> Reverse(const Bytes& input) const {
+    Bytes current = input;
+    for (auto it = transformers_.rbegin(); it != transformers_.rend(); ++it) {
+      DSTORE_ASSIGN_OR_RETURN(current, (*it)->Reverse(current));
+    }
+    return current;
+  }
+
+  // "gzip+aes-cbc" style description.
+  std::string Describe() const {
+    std::string out;
+    for (const auto& transformer : transformers_) {
+      if (!out.empty()) out += "+";
+      out += transformer->name();
+    }
+    return out.empty() ? "none" : out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ValueTransformer>> transformers_;
+};
+
+// Convenience factory: the standard compress-then-encrypt chain. Either
+// piece may be null to skip it.
+StatusOr<std::shared_ptr<TransformChain>> MakeStandardChain(
+    std::unique_ptr<Codec> codec, std::unique_ptr<Cipher> cipher);
+
+}  // namespace dstore
+
+#endif  // DSTORE_DSCL_TRANSFORMER_H_

@@ -1,0 +1,29 @@
+#include "net/framing.h"
+
+namespace dstore {
+
+Status WriteFrame(Socket* socket, const Bytes& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  Bytes header;
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  DSTORE_RETURN_IF_ERROR(socket->WriteFull(header));
+  return socket->WriteFull(payload);
+}
+
+StatusOr<Bytes> ReadFrame(Socket* socket) {
+  uint8_t header[4];
+  DSTORE_RETURN_IF_ERROR(socket->ReadFull(header, 4));
+  const uint32_t len = DecodeFixed32(header);
+  if (len > kMaxFrameBytes) {
+    return Status::Corruption("frame length exceeds limit");
+  }
+  Bytes payload(len);
+  if (len > 0) {
+    DSTORE_RETURN_IF_ERROR(socket->ReadFull(payload.data(), len));
+  }
+  return payload;
+}
+
+}  // namespace dstore

@@ -1,0 +1,22 @@
+#ifndef DSTORE_NET_FRAMING_H_
+#define DSTORE_NET_FRAMING_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace dstore {
+
+// Maximum frame payload accepted by ReadFrame; guards against corrupted or
+// hostile length prefixes.
+constexpr size_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+// Writes a frame: 4-byte little-endian length followed by the payload.
+Status WriteFrame(Socket* socket, const Bytes& payload);
+
+// Reads one frame written by WriteFrame.
+StatusOr<Bytes> ReadFrame(Socket* socket);
+
+}  // namespace dstore
+
+#endif  // DSTORE_NET_FRAMING_H_

@@ -1,0 +1,178 @@
+#include "net/http.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "net/framing.h"
+
+namespace dstore {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+void AppendHeaders(const std::map<std::string, std::string>& headers,
+                   size_t body_size, std::string* out) {
+  bool has_length = false;
+  for (const auto& [name, value] : headers) {
+    *out += name + ": " + value + "\r\n";
+    if (ToLower(name) == "content-length") has_length = true;
+  }
+  if (!has_length) {
+    *out += "content-length: " + std::to_string(body_size) + "\r\n";
+  }
+  *out += "\r\n";
+}
+
+}  // namespace
+
+Status HttpConnection::WriteRequest(const HttpRequest& request) {
+  std::string head = request.method + " " + request.path + " HTTP/1.1\r\n";
+  AppendHeaders(request.headers, request.body.size(), &head);
+  DSTORE_RETURN_IF_ERROR(socket_.WriteFull(head.data(), head.size()));
+  return socket_.WriteFull(request.body);
+}
+
+Status HttpConnection::WriteResponse(const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                     response.reason + "\r\n";
+  AppendHeaders(response.headers, response.body.size(), &head);
+  DSTORE_RETURN_IF_ERROR(socket_.WriteFull(head.data(), head.size()));
+  return socket_.WriteFull(response.body);
+}
+
+StatusOr<std::string> HttpConnection::ReadLine() {
+  std::string line;
+  for (;;) {
+    if (buffer_pos_ >= buffer_.size()) {
+      uint8_t chunk[4096];
+      // Read whatever is available (at least 1 byte) without over-reading
+      // past this message: recv with small chunks is fine for headers.
+      const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        return Status::IOError("recv failed while reading HTTP header");
+      }
+      if (n == 0) {
+        return Status::IOError("connection closed while reading HTTP header");
+      }
+      buffer_.assign(chunk, chunk + n);
+      buffer_pos_ = 0;
+    }
+    const char c = static_cast<char>(buffer_[buffer_pos_++]);
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    line.push_back(c);
+    if (line.size() > 64 * 1024) {
+      return Status::Corruption("HTTP header line too long");
+    }
+  }
+}
+
+Status HttpConnection::ReadExact(uint8_t* out, size_t n) {
+  // Drain the lookahead buffer first.
+  const size_t buffered = buffer_.size() - buffer_pos_;
+  const size_t take = std::min(buffered, n);
+  if (take > 0) {
+    std::copy(buffer_.begin() + static_cast<ptrdiff_t>(buffer_pos_),
+              buffer_.begin() + static_cast<ptrdiff_t>(buffer_pos_ + take),
+              out);
+    buffer_pos_ += take;
+    out += take;
+    n -= take;
+  }
+  if (n == 0) return Status::OK();
+  return socket_.ReadFull(out, n);
+}
+
+Status HttpConnection::ReadHeaders(
+    std::map<std::string, std::string>* headers) {
+  for (;;) {
+    DSTORE_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line.empty()) return Status::OK();
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("malformed HTTP header: " + line);
+    }
+    (*headers)[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+}
+
+StatusOr<HttpRequest> HttpConnection::ReadRequest() {
+  DSTORE_ASSIGN_OR_RETURN(std::string start, ReadLine());
+  HttpRequest request;
+  const size_t sp1 = start.find(' ');
+  const size_t sp2 = start.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return Status::Corruption("malformed HTTP request line: " + start);
+  }
+  request.method = start.substr(0, sp1);
+  request.path = start.substr(sp1 + 1, sp2 - sp1 - 1);
+  DSTORE_RETURN_IF_ERROR(ReadHeaders(&request.headers));
+
+  auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    char* end = nullptr;
+    const size_t length = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || length > kMaxFrameBytes) {
+      return Status::Corruption("HTTP body too large");
+    }
+    request.body.resize(length);
+    DSTORE_RETURN_IF_ERROR(ReadExact(request.body.data(), length));
+  }
+  return request;
+}
+
+StatusOr<HttpResponse> HttpConnection::ReadResponse() {
+  DSTORE_ASSIGN_OR_RETURN(std::string start, ReadLine());
+  HttpResponse response;
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = start.find(' ');
+  if (sp1 == std::string::npos) {
+    return Status::Corruption("malformed HTTP status line: " + start);
+  }
+  const size_t sp2 = start.find(' ', sp1 + 1);
+  const std::string code_str =
+      start.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                     : sp2 - sp1 - 1);
+  response.status_code = std::atoi(code_str.c_str());
+  if (response.status_code == 0) {
+    return Status::Corruption("malformed HTTP status code: " + start);
+  }
+  if (sp2 != std::string::npos) response.reason = start.substr(sp2 + 1);
+  DSTORE_RETURN_IF_ERROR(ReadHeaders(&response.headers));
+
+  auto it = response.headers.find("content-length");
+  if (it != response.headers.end()) {
+    char* end = nullptr;
+    const size_t length = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || length > kMaxFrameBytes) {
+      return Status::Corruption("HTTP body too large");
+    }
+    response.body.resize(length);
+    DSTORE_RETURN_IF_ERROR(ReadExact(response.body.data(), length));
+  }
+  return response;
+}
+
+}  // namespace dstore

@@ -1,0 +1,62 @@
+#ifndef DSTORE_NET_HTTP_H_
+#define DSTORE_NET_HTTP_H_
+
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace dstore {
+
+// Minimal HTTP/1.1 with keep-alive and Content-Length framing — enough to
+// implement a REST object store like the cloud services the paper measures.
+// Header names are case-insensitive (stored lowercase).
+
+struct HttpRequest {
+  std::string method;  // GET, PUT, DELETE, HEAD, POST
+  std::string path;
+  std::map<std::string, std::string> headers;
+  Bytes body;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  Bytes body;
+};
+
+// Buffered reader/writer for one HTTP connection. Not thread-safe; callers
+// serialize access (one in-flight request per connection, as HTTP/1.1
+// without pipelining).
+class HttpConnection {
+ public:
+  explicit HttpConnection(Socket socket) : socket_(std::move(socket)) {}
+
+  bool valid() const { return socket_.valid(); }
+  void Close() { socket_.Close(); }
+
+  Status WriteRequest(const HttpRequest& request);
+  StatusOr<HttpRequest> ReadRequest();
+
+  Status WriteResponse(const HttpResponse& response);
+  StatusOr<HttpResponse> ReadResponse();
+
+ private:
+  // Reads a CRLF-terminated line (without the CRLF).
+  StatusOr<std::string> ReadLine();
+  // Reads exactly n bytes using the buffer first.
+  Status ReadExact(uint8_t* out, size_t n);
+  // Parses "Name: value" headers until the blank line.
+  Status ReadHeaders(std::map<std::string, std::string>* headers);
+
+  Socket socket_;
+  Bytes buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_NET_HTTP_H_

@@ -1,0 +1,64 @@
+#include "net/latency_model.h"
+
+#include <cmath>
+
+namespace dstore {
+
+int64_t FixedLatency::SampleNanos(size_t payload_bytes) {
+  int64_t total = base_nanos_;
+  if (bytes_per_second_ > 0) {
+    total += static_cast<int64_t>(
+        static_cast<double>(payload_bytes) / bytes_per_second_ * 1e9);
+  }
+  return total;
+}
+
+WanLatency::WanLatency(const WanProfile& profile, uint64_t seed)
+    : profile_(profile), rng_(seed) {}
+
+int64_t WanLatency::SampleNanos(size_t payload_bytes) {
+  double rtt_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rtt_ms = rng_.LogNormal(std::log(profile_.median_rtt_ms), profile_.sigma);
+    if (profile_.spike_probability > 0 &&
+        rng_.Bernoulli(profile_.spike_probability)) {
+      rtt_ms *= profile_.spike_multiplier;
+    }
+  }
+  double total_ns = rtt_ms * 1e6;
+  if (profile_.bytes_per_second > 0) {
+    total_ns +=
+        static_cast<double>(payload_bytes) / profile_.bytes_per_second * 1e9;
+  }
+  return static_cast<int64_t>(total_ns);
+}
+
+WanProfile CloudStore1Profile(double scale) {
+  if (scale <= 0) scale = 1.0;
+  WanProfile profile;
+  // Geographically distant, multi-tenant store: ~100 ms median RTT with
+  // heavy variability and contention spikes (the paper's most variable
+  // store). The bandwidth term scales inversely so that shrinking the RTT
+  // shrinks transfer time by the same factor, preserving crossover points.
+  profile.median_rtt_ms = 100.0 * scale;
+  profile.sigma = 0.55;
+  profile.bytes_per_second = 4e6 / scale;  // ~4 MB/s WAN at scale 1
+  profile.spike_probability = 0.08;
+  profile.spike_multiplier = 5.0;
+  return profile;
+}
+
+WanProfile CloudStore2Profile(double scale) {
+  if (scale <= 0) scale = 1.0;
+  WanProfile profile;
+  // Closer / better-provisioned cloud store: lower RTT, modest variance.
+  profile.median_rtt_ms = 45.0 * scale;
+  profile.sigma = 0.20;
+  profile.bytes_per_second = 8e6 / scale;
+  profile.spike_probability = 0.01;
+  profile.spike_multiplier = 3.0;
+  return profile;
+}
+
+}  // namespace dstore

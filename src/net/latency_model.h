@@ -1,0 +1,85 @@
+#ifndef DSTORE_NET_LATENCY_MODEL_H_
+#define DSTORE_NET_LATENCY_MODEL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+
+namespace dstore {
+
+// Models the network delay between a client and a remote data store server.
+// The paper evaluates against two commercial cloud stores whose defining
+// client-visible property is large, highly variable WAN latency (Section V:
+// "Cloud Store 1 exhibited more variability in read latencies than any of
+// the other data stores"). The simulated cloud store injects a sample from
+// one of these models into every request it serves.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // Delay to add for a request transferring `payload_bytes`.
+  virtual int64_t SampleNanos(size_t payload_bytes) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// No injected delay (local stores).
+class NoLatency : public LatencyModel {
+ public:
+  int64_t SampleNanos(size_t) override { return 0; }
+  std::string name() const override { return "none"; }
+};
+
+// Constant delay plus a bandwidth term.
+class FixedLatency : public LatencyModel {
+ public:
+  FixedLatency(int64_t base_nanos, double bytes_per_second = 0)
+      : base_nanos_(base_nanos), bytes_per_second_(bytes_per_second) {}
+
+  int64_t SampleNanos(size_t payload_bytes) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  int64_t base_nanos_;
+  double bytes_per_second_;
+};
+
+// WAN model: lognormal base RTT, a bandwidth-limited transfer term, and
+// occasional heavy-tail contention spikes (multi-tenant interference —
+// "requests ... might be competing for server resources with computing
+// tasks from other cloud users").
+struct WanProfile {
+  double median_rtt_ms = 40.0;   // exp(mu) of the lognormal
+  double sigma = 0.25;           // lognormal shape: bigger = more variable
+  double bytes_per_second = 8e6; // sustained transfer bandwidth
+  double spike_probability = 0;  // chance a request hits a contention spike
+  double spike_multiplier = 4.0; // RTT multiplier during a spike
+};
+
+class WanLatency : public LatencyModel {
+ public:
+  WanLatency(const WanProfile& profile, uint64_t seed);
+
+  int64_t SampleNanos(size_t payload_bytes) override;
+  std::string name() const override { return "wan"; }
+
+  const WanProfile& profile() const { return profile_; }
+
+ private:
+  WanProfile profile_;
+  std::mutex mu_;  // guards rng_
+  Random rng_;
+};
+
+// Profiles calibrated to reproduce the paper's orderings: Cloud Store 1 is
+// slower and far more variable than Cloud Store 2; both dwarf local stores.
+// `scale` shrinks all delays proportionally so benchmarks finish quickly
+// while preserving every crossover (1.0 = paper-magnitude latencies).
+WanProfile CloudStore1Profile(double scale = 1.0);
+WanProfile CloudStore2Profile(double scale = 1.0);
+
+}  // namespace dstore
+
+#endif  // DSTORE_NET_LATENCY_MODEL_H_

@@ -1,0 +1,56 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace dstore {
+
+Status ThreadedServer::Start(uint16_t port) {
+  if (running_.load()) return Status::AlreadyExists("server already running");
+  DSTORE_ASSIGN_OR_RETURN(listener_, ServerSocket::Listen(port));
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ThreadedServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started or already stopped; still join any leftover threads.
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Force-unblock handlers still waiting on their connections.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(connection_threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadedServer::AcceptLoop() {
+  while (running_.load()) {
+    auto client = listener_.Accept();
+    if (!client.ok()) {
+      // Listener closed (shutdown) or transient failure; exit if stopping.
+      if (!running_.load()) return;
+      continue;
+    }
+    const int fd = client->fd();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load()) return;  // raced with Stop(); drop the connection
+    active_fds_.insert(fd);
+    connection_threads_.emplace_back(
+        [this, fd, socket = std::move(*client)]() mutable {
+          handler_(std::move(socket));
+          std::lock_guard<std::mutex> lock(mu_);
+          active_fds_.erase(fd);
+        });
+  }
+}
+
+}  // namespace dstore

@@ -1,0 +1,57 @@
+#ifndef DSTORE_NET_SERVER_H_
+#define DSTORE_NET_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace dstore {
+
+// Thread-per-connection TCP server skeleton shared by the remote-process
+// cache server and the simulated cloud object store. The handler owns the
+// connection for its lifetime and returns when the peer disconnects.
+class ThreadedServer {
+ public:
+  using ConnectionHandler = std::function<void(Socket socket)>;
+
+  explicit ThreadedServer(ConnectionHandler handler)
+      : handler_(std::move(handler)) {}
+
+  ~ThreadedServer() { Stop(); }
+
+  ThreadedServer(const ThreadedServer&) = delete;
+  ThreadedServer& operator=(const ThreadedServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop on a
+  // background thread.
+  Status Start(uint16_t port = 0);
+
+  // Stops accepting, closes the listener, and joins all handler threads.
+  // Handlers are expected to exit once their socket fails. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  void AcceptLoop();
+
+  ConnectionHandler handler_;
+  ServerSocket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::mutex mu_;  // guards connection_threads_ and active_fds_
+  std::vector<std::thread> connection_threads_;
+  std::set<int> active_fds_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_NET_SERVER_H_

@@ -1,0 +1,162 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dstore {
+
+namespace {
+std::string Errno() { return std::strerror(errno); }
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket: " + Errno());
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect: " + Errno());
+  }
+  Socket socket(fd);
+  DSTORE_RETURN_IF_ERROR(socket.SetNoDelay());
+  return socket;
+}
+
+Status Socket::WriteFull(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + Errno());
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadFull(void* out, size_t len) {
+  auto* p = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd_, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv: " + Errno());
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed mid-read");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay() {
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::IOError("setsockopt(TCP_NODELAY): " + Errno());
+  }
+  return Status::OK();
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ServerSocket::~ServerSocket() { Close(); }
+
+ServerSocket::ServerSocket(ServerSocket&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+StatusOr<ServerSocket> ServerSocket::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket: " + Errno());
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("bind: " + Errno());
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IOError("listen: " + Errno());
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Status::IOError("getsockname: " + Errno());
+  }
+  return ServerSocket(fd, ntohs(addr.sin_port));
+}
+
+StatusOr<Socket> ServerSocket::Accept() {
+  const int fd = fd_.load();
+  if (fd < 0) return Status::Unavailable("listener closed");
+  const int client = ::accept(fd, nullptr, nullptr);
+  if (client < 0) {
+    return Status::Unavailable("accept: " + Errno());
+  }
+  Socket socket(client);
+  DSTORE_RETURN_IF_ERROR(socket.SetNoDelay());
+  return socket;
+}
+
+void ServerSocket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a concurrent Accept() before close().
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace dstore

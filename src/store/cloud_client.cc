@@ -1,0 +1,177 @@
+#include "store/cloud_client.h"
+
+namespace dstore {
+
+StatusOr<std::unique_ptr<CloudStoreClient>> CloudStoreClient::Connect(
+    const std::string& host, uint16_t port, std::string name) {
+  auto client = std::unique_ptr<CloudStoreClient>(
+      new CloudStoreClient(host, port, std::move(name)));
+  std::lock_guard<std::mutex> lock(client->mu_);
+  DSTORE_RETURN_IF_ERROR(client->EnsureConnected());
+  return client;
+}
+
+std::string CloudStoreClient::ObjectPath(const std::string& key) {
+  return "/objects/" + HexEncode(ToBytes(key));
+}
+
+Status CloudStoreClient::EnsureConnected() {
+  if (conn_.has_value() && conn_->valid()) return Status::OK();
+  DSTORE_ASSIGN_OR_RETURN(Socket socket, Socket::ConnectTcp(host_, port_));
+  conn_.emplace(std::move(socket));
+  return Status::OK();
+}
+
+StatusOr<HttpResponse> CloudStoreClient::RoundTrip(const HttpRequest& request) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    DSTORE_RETURN_IF_ERROR(EnsureConnected());
+    if (!conn_->WriteRequest(request).ok()) {
+      conn_->Close();
+      continue;
+    }
+    auto response = conn_->ReadResponse();
+    if (!response.ok()) {
+      conn_->Close();
+      continue;
+    }
+    return response;
+  }
+  return Status::Unavailable("cloud store connection failed");
+}
+
+Status CloudStoreClient::Put(const std::string& key, ValuePtr value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  HttpRequest request;
+  request.method = "PUT";
+  request.path = ObjectPath(key);
+  request.body = *value;
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return Status::IOError("cloud PUT failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  auto it = response.headers.find("etag");
+  if (it != response.headers.end()) last_put_etag_ = it->second;
+  return Status::OK();
+}
+
+StatusOr<ValuePtr> CloudStoreClient::Get(const std::string& key) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = ObjectPath(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code == 404) return Status::NotFound("no such key");
+  if (response.status_code != 200) {
+    return Status::IOError("cloud GET failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  return MakeValue(std::move(response.body));
+}
+
+StatusOr<ConditionalGetResult> CloudStoreClient::GetIfChanged(
+    const std::string& key, const std::string& etag) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = ObjectPath(key);
+  if (!etag.empty()) request.headers["if-none-match"] = etag;
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code == 404) return Status::NotFound("no such key");
+  ConditionalGetResult result;
+  auto it = response.headers.find("etag");
+  if (it != response.headers.end()) result.etag = it->second;
+  if (response.status_code == 304) {
+    result.not_modified = true;
+    return result;
+  }
+  if (response.status_code != 200) {
+    return Status::IOError("cloud conditional GET failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  result.value = MakeValue(std::move(response.body));
+  return result;
+}
+
+Status CloudStoreClient::Delete(const std::string& key) {
+  HttpRequest request;
+  request.method = "DELETE";
+  request.path = ObjectPath(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return Status::IOError("cloud DELETE failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> CloudStoreClient::Contains(const std::string& key) {
+  HttpRequest request;
+  request.method = "HEAD";
+  request.path = ObjectPath(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code == 200) return true;
+  if (response.status_code == 404) return false;
+  return Status::IOError("cloud HEAD failed: HTTP " +
+                         std::to_string(response.status_code));
+}
+
+StatusOr<std::vector<std::string>> CloudStoreClient::ListKeys() {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/keys";
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return Status::IOError("cloud /keys failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  std::vector<std::string> keys;
+  std::string line;
+  for (uint8_t b : response.body) {
+    if (b == '\n') {
+      auto decoded = HexDecode(line);
+      if (decoded.ok()) keys.push_back(ToString(*decoded));
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(b));
+    }
+  }
+  return keys;
+}
+
+StatusOr<size_t> CloudStoreClient::Count() {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/count";
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return Status::IOError("cloud /count failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  return static_cast<size_t>(std::atoll(ToString(response.body).c_str()));
+}
+
+Status CloudStoreClient::Clear() {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/clear";
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return Status::IOError("cloud /clear failed: HTTP " +
+                           std::to_string(response.status_code));
+  }
+  return Status::OK();
+}
+
+std::string CloudStoreClient::last_put_etag() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_put_etag_;
+}
+
+}  // namespace dstore

@@ -1,0 +1,58 @@
+#ifndef DSTORE_STORE_CLOUD_CLIENT_H_
+#define DSTORE_STORE_CLOUD_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "net/http.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// KeyValueStore client for a CloudStoreServer (or any store speaking the
+// same REST surface). Maintains one keep-alive HTTP connection, used
+// serially under a lock; reconnects once on failure. Overrides GetIfChanged
+// with a true conditional GET (If-None-Match -> 304), so revalidating an
+// unmodified object transfers no body — the bandwidth saving of the paper's
+// Fig. 7 protocol.
+class CloudStoreClient : public KeyValueStore {
+ public:
+  static StatusOr<std::unique_ptr<CloudStoreClient>> Connect(
+      const std::string& host, uint16_t port, std::string name = "cloud");
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  StatusOr<ConditionalGetResult> GetIfChanged(const std::string& key,
+                                              const std::string& etag) override;
+  std::string Name() const override { return name_; }
+
+  // Etag of the last Put, for callers that track versions.
+  std::string last_put_etag() const;
+
+ private:
+  CloudStoreClient(std::string host, uint16_t port, std::string name)
+      : host_(std::move(host)), port_(port), name_(std::move(name)) {}
+
+  static std::string ObjectPath(const std::string& key);
+  // Performs one request with reconnect-once semantics. Caller holds mu_.
+  StatusOr<HttpResponse> RoundTrip(const HttpRequest& request);
+  Status EnsureConnected();
+
+  std::string host_;
+  uint16_t port_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::optional<HttpConnection> conn_;
+  std::string last_put_etag_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_CLOUD_CLIENT_H_

@@ -1,0 +1,135 @@
+#include "store/cloud_server.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+namespace {
+
+constexpr char kObjectPrefix[] = "/objects/";
+
+HttpResponse MakeResponse(int code, const std::string& reason) {
+  HttpResponse response;
+  response.status_code = code;
+  response.reason = reason;
+  return response;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CloudStoreServer>> CloudStoreServer::Start(
+    std::unique_ptr<LatencyModel> latency, uint16_t port) {
+  auto server = std::unique_ptr<CloudStoreServer>(new CloudStoreServer());
+  server->latency_ = std::move(latency);
+
+  CloudStoreServer* raw = server.get();
+  server->server_ = std::make_unique<ThreadedServer>(
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+  DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
+  return server;
+}
+
+CloudStoreServer::~CloudStoreServer() { Stop(); }
+
+void CloudStoreServer::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+size_t CloudStoreServer::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+void CloudStoreServer::HandleConnection(Socket socket) {
+  HttpConnection conn(std::move(socket));
+  for (;;) {
+    auto request = conn.ReadRequest();
+    if (!request.ok()) return;  // disconnect
+    HttpResponse response = HandleRequest(*request);
+    // Inject the WAN delay: model the round trip plus transfer of both
+    // bodies before the response reaches the client.
+    if (latency_ != nullptr) {
+      const int64_t delay =
+          latency_->SampleNanos(request->body.size() + response.body.size());
+      RealClock::Default()->SleepFor(delay);
+    }
+    if (!conn.WriteResponse(response).ok()) return;
+  }
+}
+
+HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
+  const std::string& path = request.path;
+
+  if (path.rfind(kObjectPrefix, 0) == 0) {
+    const std::string hexkey = path.substr(sizeof(kObjectPrefix) - 1);
+
+    if (request.method == "PUT") {
+      Object object;
+      object.value = request.body;
+      object.etag = ComputeEtag(object.value);
+      HttpResponse response = MakeResponse(200, "OK");
+      response.headers["etag"] = object.etag;
+      std::lock_guard<std::mutex> lock(mu_);
+      objects_[hexkey] = std::move(object);
+      return response;
+    }
+
+    if (request.method == "GET" || request.method == "HEAD") {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = objects_.find(hexkey);
+      if (it == objects_.end()) return MakeResponse(404, "Not Found");
+      auto inm = request.headers.find("if-none-match");
+      if (inm != request.headers.end() && inm->second == it->second.etag) {
+        HttpResponse response = MakeResponse(304, "Not Modified");
+        response.headers["etag"] = it->second.etag;
+        return response;
+      }
+      HttpResponse response = MakeResponse(200, "OK");
+      response.headers["etag"] = it->second.etag;
+      if (request.method == "GET") response.body = it->second.value;
+      return response;
+    }
+
+    if (request.method == "DELETE") {
+      std::lock_guard<std::mutex> lock(mu_);
+      objects_.erase(hexkey);
+      return MakeResponse(200, "OK");
+    }
+
+    return MakeResponse(405, "Method Not Allowed");
+  }
+
+  if (path == "/keys" && request.method == "GET") {
+    std::string listing;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [hexkey, object] : objects_) {
+        listing += hexkey;
+        listing += '\n';
+      }
+    }
+    HttpResponse response = MakeResponse(200, "OK");
+    response.body = ToBytes(listing);
+    return response;
+  }
+
+  if (path == "/count" && request.method == "GET") {
+    HttpResponse response = MakeResponse(200, "OK");
+    std::lock_guard<std::mutex> lock(mu_);
+    response.body = ToBytes(std::to_string(objects_.size()));
+    return response;
+  }
+
+  if (path == "/clear" && request.method == "POST") {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_.clear();
+    return MakeResponse(200, "OK");
+  }
+
+  return MakeResponse(404, "Not Found");
+}
+
+}  // namespace dstore

@@ -1,0 +1,66 @@
+#ifndef DSTORE_STORE_CLOUD_SERVER_H_
+#define DSTORE_STORE_CLOUD_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/latency_model.h"
+#include "net/server.h"
+
+namespace dstore {
+
+// Simulated cloud object store: an HTTP/1.1 REST server whose responses are
+// delayed by a configurable WAN latency model. Stands in for the paper's
+// "Cloud Store 1" and "Cloud Store 2" (commercial cloud stores reached over
+// a wide-area network). The REST surface:
+//
+//   PUT    /objects/<hexkey>   body = value  -> 200, ETag header
+//   GET    /objects/<hexkey>  [If-None-Match: <etag>]
+//                              -> 200 + body + ETag | 304 | 404
+//   HEAD   /objects/<hexkey>   -> 200 | 404
+//   DELETE /objects/<hexkey>   -> 200
+//   GET    /keys               -> newline-separated hex keys
+//   GET    /count              -> decimal count
+//   POST   /clear              -> 200
+//
+// The conditional GET path implements the paper's Fig. 7 revalidation
+// protocol server-side: a current object is confirmed with a 304 and no
+// body, saving the transfer.
+class CloudStoreServer {
+ public:
+  // Takes ownership of `latency` (pass NoLatency for a LAN-local store).
+  static StatusOr<std::unique_ptr<CloudStoreServer>> Start(
+      std::unique_ptr<LatencyModel> latency, uint16_t port = 0);
+
+  ~CloudStoreServer();
+
+  uint16_t port() const { return server_->port(); }
+  void Stop();
+
+  // Test/inspection hook: number of stored objects.
+  size_t ObjectCount() const;
+
+ private:
+  struct Object {
+    Bytes value;
+    std::string etag;
+  };
+
+  CloudStoreServer() = default;
+
+  void HandleConnection(Socket socket);
+  HttpResponse HandleRequest(const HttpRequest& request);
+
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<ThreadedServer> server_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Object> objects_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_CLOUD_SERVER_H_

@@ -1,0 +1,42 @@
+#include "store/key_value.h"
+
+#include "crypto/sha256.h"
+
+namespace dstore {
+
+std::string ComputeEtag(const Bytes& value) {
+  const auto digest = Sha256::Hash(value);
+  // 16 hex chars (64 bits) is plenty for version identification.
+  return HexEncode(Bytes(digest.begin(), digest.begin() + 8));
+}
+
+std::vector<StatusOr<ValuePtr>> KeyValueStore::MultiGet(
+    const std::vector<std::string>& keys) {
+  std::vector<StatusOr<ValuePtr>> results;
+  results.reserve(keys.size());
+  for (const std::string& key : keys) results.push_back(Get(key));
+  return results;
+}
+
+Status KeyValueStore::MultiPut(
+    const std::vector<std::pair<std::string, ValuePtr>>& entries) {
+  for (const auto& [key, value] : entries) {
+    DSTORE_RETURN_IF_ERROR(Put(key, value));
+  }
+  return Status::OK();
+}
+
+StatusOr<ConditionalGetResult> KeyValueStore::GetIfChanged(
+    const std::string& key, const std::string& etag) {
+  DSTORE_ASSIGN_OR_RETURN(ValuePtr value, Get(key));
+  ConditionalGetResult result;
+  result.etag = ComputeEtag(*value);
+  if (!etag.empty() && result.etag == etag) {
+    result.not_modified = true;
+    return result;
+  }
+  result.value = std::move(value);
+  return result;
+}
+
+}  // namespace dstore

@@ -1,0 +1,93 @@
+#ifndef DSTORE_STORE_KEY_VALUE_H_
+#define DSTORE_STORE_KEY_VALUE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore {
+
+// Result of a conditional (revalidating) read. `not_modified` set means the
+// caller's version is current and no value body was transferred — the
+// If-Modified-Since-style protocol of paper Fig. 7.
+struct ConditionalGetResult {
+  bool not_modified = false;
+  ValuePtr value;     // set when not_modified is false
+  std::string etag;   // current version identifier
+};
+
+// The UDSM's common key-value interface — the C++ analogue of the paper's
+//   public interface KeyValue<K,V>
+// (Section II.A). Every data store implements it: file systems, SQL
+// databases, cloud object stores, and caches alike. Code written against
+// this interface (async wrappers, performance monitoring, the workload
+// generator) works with every store, and any store can serve as a cache or
+// secondary repository for any other.
+//
+// All implementations are thread-safe.
+class KeyValueStore {
+ public:
+  virtual ~KeyValueStore() = default;
+
+  // Stores `value` under `key`, replacing any existing value.
+  virtual Status Put(const std::string& key, ValuePtr value) = 0;
+
+  // Returns the value or NotFound.
+  virtual StatusOr<ValuePtr> Get(const std::string& key) = 0;
+
+  // Removes `key`. Returns OK whether or not the key existed.
+  virtual Status Delete(const std::string& key) = 0;
+
+  // True if the key exists.
+  virtual StatusOr<bool> Contains(const std::string& key) = 0;
+
+  // All keys currently stored (unordered).
+  virtual StatusOr<std::vector<std::string>> ListKeys() = 0;
+
+  // Number of stored entries.
+  virtual StatusOr<size_t> Count() = 0;
+
+  // Removes every entry.
+  virtual Status Clear() = 0;
+
+  // Conditional read for cache revalidation: if the stored version still
+  // matches `etag`, returns not_modified=true and no value. The default
+  // implementation fetches the value and compares digests client-side;
+  // stores with server-side support (the cloud store) override it so an
+  // unmodified object is never transferred.
+  virtual StatusOr<ConditionalGetResult> GetIfChanged(const std::string& key,
+                                                      const std::string& etag);
+
+  virtual std::string Name() const = 0;
+
+  // Batch reads: one result per key, in order. The default loops over
+  // Get(); networked stores override it to answer the whole batch in one
+  // round trip, amortizing per-request latency.
+  virtual std::vector<StatusOr<ValuePtr>> MultiGet(
+      const std::vector<std::string>& keys);
+
+  // Batch writes. The default loops over Put() and stops at the first
+  // error; networked stores override with a single-round-trip fast path.
+  virtual Status MultiPut(
+      const std::vector<std::pair<std::string, ValuePtr>>& entries);
+
+  // Convenience helpers.
+  Status PutString(const std::string& key, std::string_view value) {
+    return Put(key, MakeValue(value));
+  }
+  StatusOr<std::string> GetString(const std::string& key) {
+    DSTORE_ASSIGN_OR_RETURN(ValuePtr value, Get(key));
+    return ToString(*value);
+  }
+};
+
+// Computes the entity tag this library uses for revalidation: a short hex
+// digest of the value bytes.
+std::string ComputeEtag(const Bytes& value);
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_KEY_VALUE_H_

@@ -1,0 +1,37 @@
+#ifndef DSTORE_STORE_MEMORY_STORE_H_
+#define DSTORE_STORE_MEMORY_STORE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/key_value.h"
+
+namespace dstore {
+
+// In-memory KeyValueStore. The simplest implementation of the common
+// interface; used as the backing map of the simulated cloud store's server
+// side, as a reference implementation in tests, and directly by
+// applications that want a scratch store.
+class MemoryStore : public KeyValueStore {
+ public:
+  MemoryStore() = default;
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  std::string Name() const override { return "memory"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ValuePtr> map_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_MEMORY_STORE_H_

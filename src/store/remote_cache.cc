@@ -1,0 +1,415 @@
+#include "store/remote_cache.h"
+
+#include <utility>
+
+#include "net/framing.h"
+
+namespace dstore {
+
+namespace {
+
+Bytes EncodeStatusHeader(const Status& status) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(status.code()));
+  PutLengthPrefixed(&out, status.message());
+  return out;
+}
+
+StatusOr<size_t> DecodeStatusHeader(const Bytes& response) {
+  if (response.empty()) return Status::Corruption("empty cache response");
+  const auto code = static_cast<StatusCode>(response[0]);
+  size_t pos = 1;
+  DSTORE_ASSIGN_OR_RETURN(Bytes message, GetLengthPrefixed(response, &pos));
+  if (code != StatusCode::kOk) return Status(code, ToString(message));
+  return pos;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RemoteCacheServer>> RemoteCacheServer::Start(
+    std::unique_ptr<Cache> backing, uint16_t port) {
+  auto server = std::unique_ptr<RemoteCacheServer>(new RemoteCacheServer());
+  server->backing_ = std::move(backing);
+  RemoteCacheServer* raw = server.get();
+  server->server_ = std::make_unique<ThreadedServer>(
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+  DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
+  return server;
+}
+
+RemoteCacheServer::~RemoteCacheServer() { Stop(); }
+
+void RemoteCacheServer::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+void RemoteCacheServer::HandleConnection(Socket socket) {
+  for (;;) {
+    auto request = ReadFrame(&socket);
+    if (!request.ok()) return;
+    const Bytes response = HandleRequest(*request);
+    if (!WriteFrame(&socket, response).ok()) return;
+  }
+}
+
+Bytes RemoteCacheServer::HandleRequest(const Bytes& request) {
+  if (request.empty()) {
+    return EncodeStatusHeader(Status::InvalidArgument("empty request"));
+  }
+  const auto op = static_cast<CacheOp>(request[0]);
+  size_t pos = 1;
+
+  switch (op) {
+    case CacheOp::kGet: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return EncodeStatusHeader(key.status());
+      auto value = backing_->Get(ToString(*key));
+      if (!value.ok()) return EncodeStatusHeader(value.status());
+      Bytes response = EncodeStatusHeader(Status::OK());
+      PutLengthPrefixed(&response, **value);
+      return response;
+    }
+    case CacheOp::kSet: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return EncodeStatusHeader(key.status());
+      auto value = GetLengthPrefixed(request, &pos);
+      if (!value.ok()) return EncodeStatusHeader(value.status());
+      const Status status =
+          backing_->Put(ToString(*key), MakeValue(*std::move(value)));
+      return EncodeStatusHeader(status);
+    }
+    case CacheOp::kDelete: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return EncodeStatusHeader(key.status());
+      return EncodeStatusHeader(backing_->Delete(ToString(*key)));
+    }
+    case CacheOp::kExists: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return EncodeStatusHeader(key.status());
+      Bytes response = EncodeStatusHeader(Status::OK());
+      response.push_back(backing_->Contains(ToString(*key)) ? 1 : 0);
+      return response;
+    }
+    case CacheOp::kKeys: {
+      auto keys = backing_->Keys();
+      if (!keys.ok()) return EncodeStatusHeader(keys.status());
+      Bytes response = EncodeStatusHeader(Status::OK());
+      PutVarint64(&response, keys->size());
+      for (const std::string& k : *keys) PutLengthPrefixed(&response, k);
+      return response;
+    }
+    case CacheOp::kCount: {
+      Bytes response = EncodeStatusHeader(Status::OK());
+      PutVarint64(&response, backing_->EntryCount());
+      return response;
+    }
+    case CacheOp::kClear:
+      backing_->Clear();
+      return EncodeStatusHeader(Status::OK());
+    case CacheOp::kPing:
+      return EncodeStatusHeader(Status::OK());
+    case CacheOp::kMGet: {
+      auto count = GetVarint64(request, &pos);
+      if (!count.ok()) return EncodeStatusHeader(count.status());
+      Bytes response = EncodeStatusHeader(Status::OK());
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto key = GetLengthPrefixed(request, &pos);
+        if (!key.ok()) return EncodeStatusHeader(key.status());
+        auto value = backing_->Get(ToString(*key));
+        if (value.ok()) {
+          response.push_back(1);
+          PutLengthPrefixed(&response, **value);
+        } else {
+          response.push_back(0);
+        }
+      }
+      return response;
+    }
+    case CacheOp::kMSet: {
+      auto count = GetVarint64(request, &pos);
+      if (!count.ok()) return EncodeStatusHeader(count.status());
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto key = GetLengthPrefixed(request, &pos);
+        if (!key.ok()) return EncodeStatusHeader(key.status());
+        auto value = GetLengthPrefixed(request, &pos);
+        if (!value.ok()) return EncodeStatusHeader(value.status());
+        const Status status =
+            backing_->Put(ToString(*key), MakeValue(*std::move(value)));
+        if (!status.ok()) return EncodeStatusHeader(status);
+      }
+      return EncodeStatusHeader(Status::OK());
+    }
+    case CacheOp::kStats: {
+      Bytes response = EncodeStatusHeader(Status::OK());
+      const CacheStats stats = backing_->Stats();
+      PutVarint64(&response, backing_->EntryCount());
+      PutVarint64(&response, backing_->ChargeUsed());
+      PutVarint64(&response, stats.hits);
+      PutVarint64(&response, stats.misses);
+      PutVarint64(&response, stats.puts);
+      PutVarint64(&response, stats.evictions);
+      return response;
+    }
+  }
+  return EncodeStatusHeader(Status::InvalidArgument("unknown cache op"));
+}
+
+// --- connection ---
+
+StatusOr<std::shared_ptr<RemoteCacheConnection>> RemoteCacheConnection::Connect(
+    const std::string& host, uint16_t port) {
+  auto conn = std::shared_ptr<RemoteCacheConnection>(
+      new RemoteCacheConnection(host, port));
+  std::lock_guard<std::mutex> lock(conn->mu_);
+  DSTORE_RETURN_IF_ERROR(conn->EnsureConnected());
+  return conn;
+}
+
+Status RemoteCacheConnection::EnsureConnected() {
+  if (socket_.valid()) return Status::OK();
+  DSTORE_ASSIGN_OR_RETURN(socket_, Socket::ConnectTcp(host_, port_));
+  return Status::OK();
+}
+
+StatusOr<Bytes> RemoteCacheConnection::RoundTrip(const Bytes& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    DSTORE_RETURN_IF_ERROR(EnsureConnected());
+    if (!WriteFrame(&socket_, request).ok()) {
+      socket_.Close();
+      continue;
+    }
+    auto response = ReadFrame(&socket_);
+    if (!response.ok()) {
+      socket_.Close();
+      continue;
+    }
+    DSTORE_ASSIGN_OR_RETURN(size_t body_pos, DecodeStatusHeader(*response));
+    return Bytes(response->begin() + static_cast<ptrdiff_t>(body_pos),
+                 response->end());
+  }
+  return Status::Unavailable("remote cache connection failed");
+}
+
+StatusOr<Bytes> RemoteCacheConnection::Get(const std::string& key) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kGet));
+  PutLengthPrefixed(&request, key);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  return GetLengthPrefixed(body, &pos);
+}
+
+Status RemoteCacheConnection::Set(const std::string& key, const Bytes& value) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kSet));
+  PutLengthPrefixed(&request, key);
+  PutLengthPrefixed(&request, value);
+  return RoundTrip(request).status();
+}
+
+Status RemoteCacheConnection::Delete(const std::string& key) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kDelete));
+  PutLengthPrefixed(&request, key);
+  return RoundTrip(request).status();
+}
+
+StatusOr<bool> RemoteCacheConnection::Exists(const std::string& key) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kExists));
+  PutLengthPrefixed(&request, key);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  if (body.empty()) return Status::Corruption("short exists response");
+  return body[0] != 0;
+}
+
+StatusOr<std::vector<std::string>> RemoteCacheConnection::Keys() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kKeys));
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(body, &pos));
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DSTORE_ASSIGN_OR_RETURN(Bytes key, GetLengthPrefixed(body, &pos));
+    keys.push_back(ToString(key));
+  }
+  return keys;
+}
+
+StatusOr<size_t> RemoteCacheConnection::Count() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kCount));
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(body, &pos));
+  return static_cast<size_t>(count);
+}
+
+Status RemoteCacheConnection::Clear() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kClear));
+  return RoundTrip(request).status();
+}
+
+Status RemoteCacheConnection::Ping() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kPing));
+  return RoundTrip(request).status();
+}
+
+StatusOr<RemoteCacheConnection::RemoteStats> RemoteCacheConnection::Stats() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kStats));
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  RemoteStats stats;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t entries, GetVarint64(body, &pos));
+  DSTORE_ASSIGN_OR_RETURN(uint64_t charge, GetVarint64(body, &pos));
+  DSTORE_ASSIGN_OR_RETURN(stats.cache.hits, GetVarint64(body, &pos));
+  DSTORE_ASSIGN_OR_RETURN(stats.cache.misses, GetVarint64(body, &pos));
+  DSTORE_ASSIGN_OR_RETURN(stats.cache.puts, GetVarint64(body, &pos));
+  DSTORE_ASSIGN_OR_RETURN(stats.cache.evictions, GetVarint64(body, &pos));
+  stats.entry_count = static_cast<size_t>(entries);
+  stats.charge_used = static_cast<size_t>(charge);
+  return stats;
+}
+
+StatusOr<std::vector<StatusOr<Bytes>>> RemoteCacheConnection::MGet(
+    const std::vector<std::string>& keys) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kMGet));
+  PutVarint64(&request, keys.size());
+  for (const std::string& key : keys) PutLengthPrefixed(&request, key);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  std::vector<StatusOr<Bytes>> results;
+  results.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (pos >= body.size()) return Status::Corruption("short MGET response");
+    const bool found = body[pos++] != 0;
+    if (found) {
+      DSTORE_ASSIGN_OR_RETURN(Bytes value, GetLengthPrefixed(body, &pos));
+      results.emplace_back(std::move(value));
+    } else {
+      results.emplace_back(Status::NotFound("no such key: " + keys[i]));
+    }
+  }
+  return results;
+}
+
+Status RemoteCacheConnection::MSet(
+    const std::vector<std::pair<std::string, Bytes>>& entries) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(CacheOp::kMSet));
+  PutVarint64(&request, entries.size());
+  for (const auto& [key, value] : entries) {
+    PutLengthPrefixed(&request, key);
+    PutLengthPrefixed(&request, value);
+  }
+  return RoundTrip(request).status();
+}
+
+// --- Cache adapter ---
+
+Status RemoteCache::Put(const std::string& key, ValuePtr value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  return conn_->Set(key, *value);
+}
+
+StatusOr<ValuePtr> RemoteCache::Get(const std::string& key) {
+  DSTORE_ASSIGN_OR_RETURN(Bytes value, conn_->Get(key));
+  return MakeValue(std::move(value));
+}
+
+Status RemoteCache::Delete(const std::string& key) {
+  return conn_->Delete(key);
+}
+
+void RemoteCache::Clear() { conn_->Clear().ok(); }
+
+bool RemoteCache::Contains(const std::string& key) const {
+  auto exists = conn_->Exists(key);
+  return exists.ok() && *exists;
+}
+
+size_t RemoteCache::EntryCount() const {
+  auto stats = conn_->Stats();
+  return stats.ok() ? stats->entry_count : 0;
+}
+
+size_t RemoteCache::ChargeUsed() const {
+  auto stats = conn_->Stats();
+  return stats.ok() ? stats->charge_used : 0;
+}
+
+StatusOr<std::vector<std::string>> RemoteCache::Keys() const {
+  return conn_->Keys();
+}
+
+CacheStats RemoteCache::Stats() const {
+  auto stats = conn_->Stats();
+  return stats.ok() ? stats->cache : CacheStats{};
+}
+
+// --- KeyValueStore adapter ---
+
+Status RemoteCacheStore::Put(const std::string& key, ValuePtr value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  return conn_->Set(key, *value);
+}
+
+StatusOr<ValuePtr> RemoteCacheStore::Get(const std::string& key) {
+  DSTORE_ASSIGN_OR_RETURN(Bytes value, conn_->Get(key));
+  return MakeValue(std::move(value));
+}
+
+Status RemoteCacheStore::Delete(const std::string& key) {
+  return conn_->Delete(key);
+}
+
+StatusOr<bool> RemoteCacheStore::Contains(const std::string& key) {
+  return conn_->Exists(key);
+}
+
+StatusOr<std::vector<std::string>> RemoteCacheStore::ListKeys() {
+  return conn_->Keys();
+}
+
+StatusOr<size_t> RemoteCacheStore::Count() { return conn_->Count(); }
+
+Status RemoteCacheStore::Clear() { return conn_->Clear(); }
+
+std::vector<StatusOr<ValuePtr>> RemoteCacheStore::MultiGet(
+    const std::vector<std::string>& keys) {
+  auto batch = conn_->MGet(keys);
+  std::vector<StatusOr<ValuePtr>> results;
+  results.reserve(keys.size());
+  if (!batch.ok()) {
+    for (size_t i = 0; i < keys.size(); ++i) results.push_back(batch.status());
+    return results;
+  }
+  for (auto& result : *batch) {
+    if (result.ok()) {
+      results.emplace_back(MakeValue(*std::move(result)));
+    } else {
+      results.emplace_back(result.status());
+    }
+  }
+  return results;
+}
+
+Status RemoteCacheStore::MultiPut(
+    const std::vector<std::pair<std::string, ValuePtr>>& entries) {
+  std::vector<std::pair<std::string, Bytes>> raw;
+  raw.reserve(entries.size());
+  for (const auto& [key, value] : entries) {
+    if (value == nullptr) return Status::InvalidArgument("null value");
+    raw.emplace_back(key, *value);
+  }
+  return conn_->MSet(raw);
+}
+
+}  // namespace dstore

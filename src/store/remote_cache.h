@@ -1,0 +1,153 @@
+#ifndef DSTORE_STORE_REMOTE_CACHE_H_
+#define DSTORE_STORE_REMOTE_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/status.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// A remote-process cache in the Redis/memcached mold (paper Section III):
+// the cache lives in its own process, values cross a socket and are
+// serialized both ways, and multiple clients can share it. The protocol is
+// a framed binary command set (a RESP-like request/response scheme).
+//
+// Request payload: [u8 op][body]; response: [u8 status][lp(message)][body].
+enum class CacheOp : uint8_t {
+  kGet = 0,     // lp(key) -> lp(value)
+  kSet = 1,     // lp(key) lp(value)
+  kDelete = 2,  // lp(key)
+  kExists = 3,  // lp(key) -> u8
+  kKeys = 4,    // -> varint n, lp(key)*
+  kCount = 5,   // -> varint
+  kClear = 6,
+  kPing = 7,
+  kStats = 8,   // -> varint{entry_count, charge_used, hits, misses, puts, evictions}
+  kMGet = 9,    // varint n, lp(key)* -> per key: u8 found, lp(value) if found
+  kMSet = 10,   // varint n, (lp(key) lp(value))*
+};
+
+// Serves any Cache implementation over TCP. The default backing cache is a
+// byte-capacity LRU, like a redis instance with maxmemory + LRU eviction.
+class RemoteCacheServer {
+ public:
+  static StatusOr<std::unique_ptr<RemoteCacheServer>> Start(
+      std::unique_ptr<Cache> backing, uint16_t port = 0);
+
+  ~RemoteCacheServer();
+
+  uint16_t port() const { return server_->port(); }
+  Cache* backing() { return backing_.get(); }
+  void Stop();
+
+ private:
+  RemoteCacheServer() = default;
+
+  void HandleConnection(Socket socket);
+  Bytes HandleRequest(const Bytes& request);
+
+  std::unique_ptr<Cache> backing_;
+  std::unique_ptr<ThreadedServer> server_;
+};
+
+// One client connection to a RemoteCacheServer: a socket used serially
+// under a lock, with reconnect-once semantics. Shared by the Cache and
+// KeyValueStore adapters below.
+class RemoteCacheConnection {
+ public:
+  static StatusOr<std::shared_ptr<RemoteCacheConnection>> Connect(
+      const std::string& host, uint16_t port);
+
+  StatusOr<Bytes> Get(const std::string& key);
+  Status Set(const std::string& key, const Bytes& value);
+  Status Delete(const std::string& key);
+  StatusOr<bool> Exists(const std::string& key);
+  StatusOr<std::vector<std::string>> Keys();
+  StatusOr<size_t> Count();
+  Status Clear();
+  Status Ping();
+
+  struct RemoteStats {
+    size_t entry_count = 0;
+    size_t charge_used = 0;
+    CacheStats cache;
+  };
+  StatusOr<RemoteStats> Stats();
+
+  // Batch ops: the whole batch crosses the wire in one round trip.
+  StatusOr<std::vector<StatusOr<Bytes>>> MGet(
+      const std::vector<std::string>& keys);
+  Status MSet(const std::vector<std::pair<std::string, Bytes>>& entries);
+
+ private:
+  RemoteCacheConnection(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  StatusOr<Bytes> RoundTrip(const Bytes& request);
+  Status EnsureConnected();
+
+  std::string host_;
+  uint16_t port_;
+  std::mutex mu_;
+  Socket socket_;
+};
+
+// Cache-interface adapter: lets the DSCL plug the remote-process cache in
+// anywhere an in-process cache fits (the paper's "multiple implementations
+// of the Cache interface").
+class RemoteCache : public Cache {
+ public:
+  explicit RemoteCache(std::shared_ptr<RemoteCacheConnection> conn)
+      : conn_(std::move(conn)) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  void Clear() override;
+  bool Contains(const std::string& key) const override;
+  size_t EntryCount() const override;
+  size_t ChargeUsed() const override;
+  CacheStats Stats() const override;
+  std::string Name() const override { return "remote"; }
+  StatusOr<std::vector<std::string>> Keys() const override;
+
+ private:
+  std::shared_ptr<RemoteCacheConnection> conn_;
+};
+
+// KeyValueStore adapter: the paper also benchmarks Redis as a data store in
+// its own right ("a Redis instance running on the client node accessed via
+// the Jedis client").
+class RemoteCacheStore : public KeyValueStore {
+ public:
+  explicit RemoteCacheStore(std::shared_ptr<RemoteCacheConnection> conn)
+      : conn_(std::move(conn)) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  std::vector<StatusOr<ValuePtr>> MultiGet(
+      const std::vector<std::string>& keys) override;
+  Status MultiPut(
+      const std::vector<std::pair<std::string, ValuePtr>>& entries) override;
+  std::string Name() const override { return "rediscache"; }
+
+ private:
+  std::shared_ptr<RemoteCacheConnection> conn_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_REMOTE_CACHE_H_

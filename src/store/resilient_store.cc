@@ -1,0 +1,131 @@
+#include "store/resilient_store.h"
+
+namespace dstore {
+
+namespace {
+
+// Uniform helpers so WithRetries can treat Status and StatusOr<T> alike.
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+
+}  // namespace
+
+template <typename R, typename Op>
+R RetryingStore::WithRetries(Op&& op) {
+  int64_t backoff = options_.initial_backoff_nanos;
+  R result = op();
+  for (int attempt = 1;
+       attempt < options_.max_attempts && IsTransient(StatusOf(result));
+       ++attempt) {
+    clock_->SleepFor(backoff);
+    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                   options_.backoff_multiplier);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    result = op();
+  }
+  if (IsTransient(StatusOf(result))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exhausted;
+  }
+  return result;
+}
+
+Status RetryingStore::Put(const std::string& key, ValuePtr value) {
+  return WithRetries<Status>([&] { return inner_->Put(key, value); });
+}
+
+StatusOr<ValuePtr> RetryingStore::Get(const std::string& key) {
+  return WithRetries<StatusOr<ValuePtr>>([&] { return inner_->Get(key); });
+}
+
+Status RetryingStore::Delete(const std::string& key) {
+  return WithRetries<Status>([&] { return inner_->Delete(key); });
+}
+
+StatusOr<bool> RetryingStore::Contains(const std::string& key) {
+  return WithRetries<StatusOr<bool>>([&] { return inner_->Contains(key); });
+}
+
+StatusOr<std::vector<std::string>> RetryingStore::ListKeys() {
+  return WithRetries<StatusOr<std::vector<std::string>>>(
+      [&] { return inner_->ListKeys(); });
+}
+
+StatusOr<size_t> RetryingStore::Count() {
+  return WithRetries<StatusOr<size_t>>([&] { return inner_->Count(); });
+}
+
+Status RetryingStore::Clear() {
+  return WithRetries<Status>([&] { return inner_->Clear(); });
+}
+
+RetryingStore::RetryStats RetryingStore::GetRetryStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- FlakyStore ---
+
+bool FlakyStore::ShouldFail() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rng_.Bernoulli(options_.failure_probability)) {
+    ++injected_;
+    return true;
+  }
+  return false;
+}
+
+uint64_t FlakyStore::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+Status FlakyStore::Put(const std::string& key, ValuePtr value) {
+  if (!options_.fail_after_apply && ShouldFail()) {
+    return Status::Unavailable("injected failure (before apply)");
+  }
+  const Status status = inner_->Put(key, std::move(value));
+  if (options_.fail_after_apply && ShouldFail()) {
+    return Status::Unavailable("injected failure (after apply)");
+  }
+  return status;
+}
+
+StatusOr<ValuePtr> FlakyStore::Get(const std::string& key) {
+  if (ShouldFail()) return Status::Unavailable("injected failure");
+  return inner_->Get(key);
+}
+
+Status FlakyStore::Delete(const std::string& key) {
+  if (!options_.fail_after_apply && ShouldFail()) {
+    return Status::Unavailable("injected failure (before apply)");
+  }
+  const Status status = inner_->Delete(key);
+  if (options_.fail_after_apply && ShouldFail()) {
+    return Status::Unavailable("injected failure (after apply)");
+  }
+  return status;
+}
+
+StatusOr<bool> FlakyStore::Contains(const std::string& key) {
+  if (ShouldFail()) return Status::Unavailable("injected failure");
+  return inner_->Contains(key);
+}
+
+StatusOr<std::vector<std::string>> FlakyStore::ListKeys() {
+  if (ShouldFail()) return Status::Unavailable("injected failure");
+  return inner_->ListKeys();
+}
+
+StatusOr<size_t> FlakyStore::Count() {
+  if (ShouldFail()) return Status::Unavailable("injected failure");
+  return inner_->Count();
+}
+
+}  // namespace dstore

@@ -1,0 +1,107 @@
+#ifndef DSTORE_STORE_RESILIENT_STORE_H_
+#define DSTORE_STORE_RESILIENT_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// RetryingStore: retries transient failures (Unavailable, IOError,
+// TimedOut) with exponential backoff before giving up. Cloud stores fail
+// transiently in practice — the studies the paper cites observed sub-1%
+// failure rates — and a client library is where retries belong, since no
+// server cooperation is needed.
+class RetryingStore : public KeyValueStore {
+ public:
+  struct Options {
+    int max_attempts = 3;
+    int64_t initial_backoff_nanos = 1'000'000;  // 1 ms
+    double backoff_multiplier = 2.0;
+  };
+
+  struct RetryStats {
+    uint64_t retries = 0;      // re-attempts performed
+    uint64_t exhausted = 0;    // operations that failed all attempts
+  };
+
+  RetryingStore(std::shared_ptr<KeyValueStore> inner, const Options& options,
+                Clock* clock = nullptr)
+      : inner_(std::move(inner)),
+        options_(options),
+        clock_(clock != nullptr ? clock : RealClock::Default()) {}
+  explicit RetryingStore(std::shared_ptr<KeyValueStore> inner)
+      : RetryingStore(std::move(inner), Options()) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  std::string Name() const override { return inner_->Name() + "+retry"; }
+
+  RetryStats GetRetryStats() const;
+
+ private:
+  static bool IsTransient(const Status& status) {
+    return status.IsUnavailable() || status.IsIOError() || status.IsTimedOut();
+  }
+
+  // Runs `op` with retry/backoff. R is Status or StatusOr<T>.
+  template <typename R, typename Op>
+  R WithRetries(Op&& op);
+
+  std::shared_ptr<KeyValueStore> inner_;
+  Options options_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  RetryStats stats_;
+};
+
+// FlakyStore: fault injection for tests and chaos benchmarks. Fails a
+// configurable fraction of operations with a transient error, either before
+// the inner operation runs (clean failure) or after (the ugly case: the
+// write happened but the client saw an error).
+class FlakyStore : public KeyValueStore {
+ public:
+  struct Options {
+    double failure_probability = 0.1;
+    // If true, Put/Delete take effect even when an error is reported —
+    // models an acknowledged-lost response.
+    bool fail_after_apply = false;
+    uint64_t seed = 42;
+  };
+
+  FlakyStore(std::shared_ptr<KeyValueStore> inner, const Options& options)
+      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override { return inner_->Clear(); }
+  std::string Name() const override { return inner_->Name() + "+flaky"; }
+
+  uint64_t injected_failures() const;
+
+ private:
+  bool ShouldFail();
+
+  std::shared_ptr<KeyValueStore> inner_;
+  Options options_;
+  mutable std::mutex mu_;
+  Random rng_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_RESILIENT_STORE_H_

@@ -1,0 +1,120 @@
+#ifndef DSTORE_STORE_SQL_AST_H_
+#define DSTORE_STORE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/sql/value.h"
+
+namespace dstore::sql {
+
+// Expression tree for WHERE clauses, SET values, and INSERT values.
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kColumn,
+    kUnaryMinus,
+    kNot,
+    kIsNull,     // child IS NULL
+    kIsNotNull,  // child IS NOT NULL
+    kBinary,     // op in {=, !=, <, <=, >, >=, +, -, *, /, %, AND, OR}
+  };
+
+  Kind kind;
+  SqlValue literal;       // kLiteral
+  std::string column;     // kColumn
+  std::string op;         // kBinary
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+  bool primary_key = false;
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+};
+
+struct DropTableStatement {
+  std::string table;
+  bool if_exists = false;
+};
+
+struct InsertStatement {
+  std::string table;
+  bool or_replace = false;
+  std::vector<std::string> columns;  // empty = all columns in schema order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+// Aggregate projection, e.g. SUM(score) or COUNT(*) (column empty = "*",
+// valid only for COUNT).
+struct Aggregate {
+  std::string func;    // COUNT, SUM, AVG, MIN, MAX (uppercase)
+  std::string column;  // empty = *
+};
+
+struct SelectStatement {
+  std::string table;
+  bool select_all = false;       // SELECT *
+  bool count_star = false;       // SELECT COUNT(*)
+  std::vector<Aggregate> aggregates;  // aggregate query when non-empty
+  std::vector<std::string> columns;
+  ExprPtr where;                 // may be null
+  // GROUP BY column. Output rows are [group value, aggregates...] in group
+  // first-seen order; any plain selected column must equal this column.
+  std::optional<std::string> group_by;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<uint64_t> limit;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct BeginStatement {};
+struct CommitStatement {};
+struct RollbackStatement {};
+
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kDropTable,
+    kInsert,
+    kSelect,
+    kUpdate,
+    kDelete,
+    kBegin,
+    kCommit,
+    kRollback,
+  };
+
+  Kind kind;
+  CreateTableStatement create_table;
+  DropTableStatement drop_table;
+  InsertStatement insert;
+  SelectStatement select;
+  UpdateStatement update;
+  DeleteStatement delete_from;
+};
+
+}  // namespace dstore::sql
+
+#endif  // DSTORE_STORE_SQL_AST_H_

@@ -1,0 +1,135 @@
+#ifndef DSTORE_STORE_SQL_DATABASE_H_
+#define DSTORE_STORE_SQL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "store/sql/ast.h"
+#include "store/sql/value.h"
+
+namespace dstore::sql {
+
+// Result of executing one statement. SELECTs populate columns/rows; DML
+// statements populate rows_affected.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<SqlValue>> rows;
+  uint64_t rows_affected = 0;
+};
+
+// An embedded relational engine — the substrate standing in for the paper's
+// MySQL instance. Supports typed tables with an optional primary-key index,
+// the SQL subset described in parser.h, and durability via write-ahead
+// logging: every committed mutating statement is appended to a WAL and
+// fsync'd, which is exactly what makes SQL-store writes so much more
+// expensive than reads ("writes involve costly commit operations",
+// paper Section V / Fig. 10). On reopen the snapshot is loaded and the WAL
+// replayed. Checkpoint() folds the WAL into a fresh snapshot.
+//
+// Thread-safe: statements execute under one database-wide lock, like a
+// single-connection MySQL session.
+class Database {
+ public:
+  struct Options {
+    // fsync the WAL on every commit (and on every autocommitted mutation).
+    // Turning this off trades durability for speed — the ablation the
+    // bench_micro_stores benchmark measures.
+    bool sync_commits = true;
+    // Checkpoint automatically once the WAL exceeds this size (0 = never).
+    size_t checkpoint_wal_bytes = 64u << 20;
+  };
+
+  // In-memory database (no durability).
+  Database();
+  // Durable database rooted at `path` ("<path>.snapshot" and "<path>.wal").
+  static StatusOr<std::unique_ptr<Database>> Open(const std::string& path,
+                                                  const Options& options);
+  static StatusOr<std::unique_ptr<Database>> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Parses and executes one SQL statement.
+  StatusOr<ResultSet> Execute(std::string_view sql);
+
+  // Executes a pre-built statement (the prepared-statement path used by the
+  // SQL server's key-value bridge; skips SQL text parsing).
+  StatusOr<ResultSet> ExecuteStatement(const Statement& statement);
+
+  // Folds the current state into the snapshot file and truncates the WAL.
+  Status Checkpoint();
+
+  // Introspection.
+  std::vector<std::string> TableNames() const;
+  bool in_transaction() const;
+  size_t WalBytes() const;
+
+ private:
+  struct Table {
+    std::string name;
+    std::vector<ColumnDef> columns;
+    int pk_index = -1;  // column index of the PRIMARY KEY, or -1
+    std::vector<std::vector<SqlValue>> rows;
+    // Primary-key index: encoded PK value -> row position.
+    std::unordered_map<std::string, size_t> pk_map;
+
+    StatusOr<int> ColumnIndex(const std::string& name) const;
+    static std::string EncodePk(const SqlValue& value);
+  };
+
+  // --- execution (callers hold mu_) ---
+  StatusOr<ResultSet> ExecuteLocked(const Statement& statement,
+                                    std::string_view sql_for_wal);
+  StatusOr<ResultSet> ExecCreateTable(const CreateTableStatement& stmt);
+  StatusOr<ResultSet> ExecDropTable(const DropTableStatement& stmt);
+  StatusOr<ResultSet> ExecInsert(const InsertStatement& stmt);
+  StatusOr<ResultSet> ExecSelect(const SelectStatement& stmt);
+  StatusOr<ResultSet> ExecUpdate(const UpdateStatement& stmt);
+  StatusOr<ResultSet> ExecDelete(const DeleteStatement& stmt);
+
+  StatusOr<Table*> FindTable(const std::string& name);
+  // Rows matched by `where` (all rows when null). Uses the PK index for
+  // equality predicates on the primary key column.
+  StatusOr<std::vector<size_t>> MatchRows(Table* table, const Expr* where);
+  void RemoveRow(Table* table, size_t row_index);
+
+  // Copy-on-first-write snapshot for ROLLBACK.
+  void SnapshotTableForTxn(const std::string& name);
+
+  // --- durability (callers hold mu_) ---
+  Status AppendWal(std::string_view sql);
+  Status FlushWal(bool sync);
+  Status LoadSnapshot();
+  Status ReplayWal();
+  Status WriteSnapshotLocked();
+
+  Options options_;
+  std::string path_;  // empty = in-memory only
+  int wal_fd_ = -1;
+  size_t wal_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+
+  bool in_txn_ = false;
+  bool replaying_ = false;
+  std::vector<std::string> txn_wal_buffer_;
+  // Tables (by name) copied at first modification inside the transaction;
+  // nullopt marks a table created inside the txn (drop it on rollback).
+  std::map<std::string, std::optional<Table>> txn_undo_;
+};
+
+}  // namespace dstore::sql
+
+#endif  // DSTORE_STORE_SQL_DATABASE_H_

@@ -1,0 +1,172 @@
+#include "store/sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace dstore::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto& kKeywords = *new std::unordered_set<std::string>{
+      "SELECT", "FROM",    "WHERE",  "INSERT", "INTO",   "VALUES", "UPDATE",
+      "SET",    "DELETE",  "CREATE", "TABLE",  "DROP",   "PRIMARY", "KEY",
+      "NOT",    "AND",     "OR",     "NULL",   "IS",     "ORDER",  "BY",
+      "ASC",    "DESC",    "LIMIT",  "GROUP",  "BEGIN",  "COMMIT", "ROLLBACK", "IF",
+      "EXISTS", "REPLACE", "COUNT",  "SUM",   "AVG",    "MIN",    "MAX",  "INTEGER", "INT",   "BIGINT", "REAL",
+      "DOUBLE", "FLOAT",   "TEXT",   "VARCHAR", "STRING", "BLOB",  "BYTEA",
+      "TRANSACTION"};
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    Token token;
+    token.position = i;
+
+    // Blob literal X'hex' (check before identifiers).
+    if ((c == 'x' || c == 'X') && i + 1 < n && sql[i + 1] == '\'') {
+      size_t j = i + 2;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated blob literal");
+      }
+      auto decoded = HexDecode(sql.substr(i + 2, j - i - 2));
+      if (!decoded.ok()) {
+        return Status::InvalidArgument("malformed blob literal");
+      }
+      token.type = TokenType::kBlob;
+      token.blob = *std::move(decoded);
+      tokens.push_back(std::move(token));
+      i = j + 1;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word(sql.substr(i, j - i));
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = std::move(word);
+      }
+      tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_real = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_real = true;
+        ++j;
+      }
+      const std::string number(sql.substr(i, j - i));
+      try {
+        if (is_real) {
+          token.type = TokenType::kReal;
+          token.real = std::stod(number);
+        } else {
+          token.type = TokenType::kInteger;
+          token.integer = std::stoll(number);
+        }
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("malformed numeric literal: " + number);
+      }
+      tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string two(sql.substr(i, 2));
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        token.type = TokenType::kSymbol;
+        token.text = (two == "<>") ? "!=" : two;
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+
+    static constexpr std::string_view kSingles = "(),*=<>+-/%;";
+    if (kSingles.find(c) != std::string_view::npos) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dstore::sql

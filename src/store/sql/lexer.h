@@ -1,0 +1,38 @@
+#ifndef DSTORE_STORE_SQL_LEXER_H_
+#define DSTORE_STORE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/sql/value.h"
+
+namespace dstore::sql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, ... (uppercased in `text`)
+  kIdentifier,  // table / column names
+  kInteger,
+  kReal,
+  kString,      // 'text literal' (unescaped in `text`)
+  kBlob,        // X'hex' (decoded in `blob`)
+  kSymbol,      // ( ) , * = != <> < <= > >= + - / % ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // keyword/identifier/symbol text or literal payload
+  int64_t integer = 0;
+  double real = 0;
+  Bytes blob;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+// Tokenizes a SQL statement. Keywords are recognized case-insensitively and
+// reported uppercase. Fails on unterminated strings and malformed literals.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace dstore::sql
+
+#endif  // DSTORE_STORE_SQL_LEXER_H_

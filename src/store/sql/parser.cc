@@ -1,0 +1,442 @@
+#include "store/sql/parser.h"
+
+#include <utility>
+
+#include "store/sql/lexer.h"
+
+namespace dstore::sql {
+
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> Parse() {
+    DSTORE_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    // Optional trailing semicolon.
+    if (CheckSymbol(";")) Advance();
+    if (!Check(TokenType::kEnd)) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool CheckSymbol(std::string_view sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (!CheckSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        "SQL parse error at offset " + std::to_string(Peek().position) + ": " +
+        message);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) return Error("expected " + std::string(kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!MatchSymbol(sym)) return Error("expected '" + std::string(sym) + "'");
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (!Check(TokenType::kIdentifier)) return Error("expected identifier");
+    return Advance().text;
+  }
+
+  StatusOr<Statement> ParseStatementInner() {
+    Statement stmt;
+    if (MatchKeyword("CREATE")) {
+      stmt.kind = Statement::Kind::kCreateTable;
+      DSTORE_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+      return stmt;
+    }
+    if (MatchKeyword("DROP")) {
+      stmt.kind = Statement::Kind::kDropTable;
+      DSTORE_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
+      return stmt;
+    }
+    if (MatchKeyword("INSERT")) {
+      stmt.kind = Statement::Kind::kInsert;
+      DSTORE_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+      return stmt;
+    }
+    if (MatchKeyword("SELECT")) {
+      stmt.kind = Statement::Kind::kSelect;
+      DSTORE_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      return stmt;
+    }
+    if (MatchKeyword("UPDATE")) {
+      stmt.kind = Statement::Kind::kUpdate;
+      DSTORE_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+      return stmt;
+    }
+    if (MatchKeyword("DELETE")) {
+      stmt.kind = Statement::Kind::kDelete;
+      DSTORE_ASSIGN_OR_RETURN(stmt.delete_from, ParseDelete());
+      return stmt;
+    }
+    if (MatchKeyword("BEGIN")) {
+      MatchKeyword("TRANSACTION");
+      stmt.kind = Statement::Kind::kBegin;
+      return stmt;
+    }
+    if (MatchKeyword("COMMIT")) {
+      stmt.kind = Statement::Kind::kCommit;
+      return stmt;
+    }
+    if (MatchKeyword("ROLLBACK")) {
+      stmt.kind = Statement::Kind::kRollback;
+      return stmt;
+    }
+    return Error("expected a statement keyword");
+  }
+
+  StatusOr<CreateTableStatement> ParseCreateTable() {
+    CreateTableStatement create;
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    if (MatchKeyword("IF")) {
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      create.if_not_exists = true;
+    }
+    DSTORE_ASSIGN_OR_RETURN(create.table, ExpectIdentifier());
+    DSTORE_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      ColumnDef col;
+      DSTORE_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      // Type names arrive as keywords (INTEGER, TEXT, ...).
+      if (!Check(TokenType::kKeyword)) return Error("expected column type");
+      DSTORE_ASSIGN_OR_RETURN(col.type, ParseColumnType(Advance().text));
+      if (MatchKeyword("PRIMARY")) {
+        DSTORE_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        col.primary_key = true;
+      }
+      create.columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    DSTORE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (create.columns.empty()) return Error("table needs at least 1 column");
+    return create;
+  }
+
+  StatusOr<DropTableStatement> ParseDropTable() {
+    DropTableStatement drop;
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    if (MatchKeyword("IF")) {
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      drop.if_exists = true;
+    }
+    DSTORE_ASSIGN_OR_RETURN(drop.table, ExpectIdentifier());
+    return drop;
+  }
+
+  StatusOr<InsertStatement> ParseInsert() {
+    InsertStatement insert;
+    if (MatchKeyword("OR")) {
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("REPLACE"));
+      insert.or_replace = true;
+    }
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    DSTORE_ASSIGN_OR_RETURN(insert.table, ExpectIdentifier());
+    if (MatchSymbol("(")) {
+      do {
+        DSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        insert.columns.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      DSTORE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      DSTORE_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        DSTORE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (MatchSymbol(","));
+      DSTORE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      insert.rows.push_back(std::move(row));
+    } while (MatchSymbol(","));
+    return insert;
+  }
+
+  bool AtAggregateKeyword() const {
+    return CheckKeyword("COUNT") || CheckKeyword("SUM") ||
+           CheckKeyword("AVG") || CheckKeyword("MIN") || CheckKeyword("MAX");
+  }
+
+  StatusOr<Aggregate> ParseAggregate() {
+    Aggregate aggregate;
+    aggregate.func = Advance().text;  // the keyword
+    DSTORE_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (MatchSymbol("*")) {
+      if (aggregate.func != "COUNT") {
+        return Error(aggregate.func + "(*) is not valid; use a column");
+      }
+    } else {
+      DSTORE_ASSIGN_OR_RETURN(aggregate.column, ExpectIdentifier());
+    }
+    DSTORE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return aggregate;
+  }
+
+  StatusOr<SelectStatement> ParseSelect() {
+    SelectStatement select;
+    if (MatchSymbol("*")) {
+      select.select_all = true;
+    } else {
+      // Mixed list of plain columns and aggregates (plain columns are only
+      // legal together with aggregates when GROUP BY names them).
+      do {
+        if (AtAggregateKeyword()) {
+          DSTORE_ASSIGN_OR_RETURN(Aggregate aggregate, ParseAggregate());
+          select.aggregates.push_back(std::move(aggregate));
+        } else {
+          DSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          select.columns.push_back(std::move(col));
+        }
+      } while (MatchSymbol(","));
+      // COUNT(*) alone keeps the legacy flag for the wire bridge.
+      if (select.aggregates.size() == 1 && select.columns.empty() &&
+          select.aggregates[0].func == "COUNT" &&
+          select.aggregates[0].column.empty()) {
+        select.count_star = true;
+      }
+    }
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DSTORE_ASSIGN_OR_RETURN(select.table, ExpectIdentifier());
+    if (MatchKeyword("WHERE")) {
+      DSTORE_ASSIGN_OR_RETURN(select.where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      select.group_by = std::move(col);
+    }
+    if (MatchKeyword("ORDER")) {
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      select.order_by = std::move(col);
+      if (MatchKeyword("DESC")) {
+        select.order_desc = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (!Check(TokenType::kInteger)) return Error("expected LIMIT count");
+      const int64_t limit = Advance().integer;
+      if (limit < 0) return Error("negative LIMIT");
+      select.limit = static_cast<uint64_t>(limit);
+    }
+    return select;
+  }
+
+  StatusOr<UpdateStatement> ParseUpdate() {
+    UpdateStatement update;
+    DSTORE_ASSIGN_OR_RETURN(update.table, ExpectIdentifier());
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      DSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      DSTORE_RETURN_IF_ERROR(ExpectSymbol("="));
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      update.assignments.emplace_back(std::move(col), std::move(value));
+    } while (MatchSymbol(","));
+    if (MatchKeyword("WHERE")) {
+      DSTORE_ASSIGN_OR_RETURN(update.where, ParseExpr());
+    }
+    return update;
+  }
+
+  StatusOr<DeleteStatement> ParseDelete() {
+    DeleteStatement del;
+    DSTORE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DSTORE_ASSIGN_OR_RETURN(del.table, ExpectIdentifier());
+    if (MatchKeyword("WHERE")) {
+      DSTORE_ASSIGN_OR_RETURN(del.where, ParseExpr());
+    }
+    return del;
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    DSTORE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    DSTORE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (MatchKeyword("AND")) {
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNot;
+      e->left = std::move(child);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    DSTORE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (MatchKeyword("IS")) {
+      const bool negated = MatchKeyword("NOT");
+      DSTORE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = negated ? Expr::Kind::kIsNotNull : Expr::Kind::kIsNull;
+      e->left = std::move(left);
+      return e;
+    }
+    for (const char* op : {"=", "!=", "<=", ">=", "<", ">"}) {
+      if (CheckSymbol(op)) {
+        Advance();
+        DSTORE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    DSTORE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      const char* op = CheckSymbol("+") ? "+" : CheckSymbol("-") ? "-" : nullptr;
+      if (op == nullptr) return left;
+      Advance();
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    DSTORE_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      const char* op = CheckSymbol("*")   ? "*"
+                       : CheckSymbol("/") ? "/"
+                       : CheckSymbol("%") ? "%"
+                                          : nullptr;
+      if (op == nullptr) return left;
+      Advance();
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      DSTORE_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnaryMinus;
+      e->left = std::move(child);
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kInteger:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = SqlValue(token.integer);
+        Advance();
+        return e;
+      case TokenType::kReal:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = SqlValue(token.real);
+        Advance();
+        return e;
+      case TokenType::kString:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = SqlValue(token.text);
+        Advance();
+        return e;
+      case TokenType::kBlob:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = SqlValue(token.blob);
+        Advance();
+        return e;
+      case TokenType::kIdentifier:
+        e->kind = Expr::Kind::kColumn;
+        e->column = token.text;
+        Advance();
+        return e;
+      case TokenType::kKeyword:
+        if (token.text == "NULL") {
+          e->kind = Expr::Kind::kLiteral;
+          e->literal = SqlValue::Null();
+          Advance();
+          return e;
+        }
+        return Error("unexpected keyword in expression: " + token.text);
+      case TokenType::kSymbol:
+        if (token.text == "(") {
+          Advance();
+          DSTORE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          DSTORE_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        return Error("unexpected symbol in expression: " + token.text);
+      case TokenType::kEnd:
+        return Error("unexpected end of statement in expression");
+    }
+    return Error("unparseable expression");
+  }
+
+  static ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = std::move(op);
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> ParseStatement(std::string_view sql) {
+  DSTORE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace dstore::sql

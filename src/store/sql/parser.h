@@ -1,0 +1,31 @@
+#ifndef DSTORE_STORE_SQL_PARSER_H_
+#define DSTORE_STORE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "store/sql/ast.h"
+
+namespace dstore::sql {
+
+// Parses one SQL statement (a trailing ';' is allowed). Supported grammar:
+//
+//   CREATE TABLE [IF NOT EXISTS] t (col TYPE [PRIMARY KEY], ...)
+//   DROP TABLE [IF EXISTS] t
+//   INSERT [OR REPLACE] INTO t [(cols)] VALUES (expr, ...)[, (...)]...
+//   SELECT * | col[, col]... | AGG[, AGG]... | col, AGG... FROM t
+//       [WHERE expr] [GROUP BY col] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//     where AGG is COUNT(*|col) | SUM(col) | AVG(col) | MIN(col) | MAX(col);
+//     plain columns may mix with aggregates only via GROUP BY on that column
+//   UPDATE t SET col = expr[, ...] [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+//   BEGIN [TRANSACTION] | COMMIT | ROLLBACK
+//
+// Expressions support literals (integer, real, 'text', X'hex' blobs, NULL),
+// column references, comparison operators (= != < <= > >=), arithmetic
+// (+ - * / %), IS [NOT] NULL, NOT, AND, OR, and parentheses.
+StatusOr<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace dstore::sql
+
+#endif  // DSTORE_STORE_SQL_PARSER_H_

@@ -1,0 +1,180 @@
+#include "store/sql/value.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace dstore::sql {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInteger:
+      return "INTEGER";
+    case ColumnType::kReal:
+      return "REAL";
+    case ColumnType::kText:
+      return "TEXT";
+    case ColumnType::kBlob:
+      return "BLOB";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<ColumnType> ParseColumnType(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "INTEGER" || upper == "INT" || upper == "BIGINT") {
+    return ColumnType::kInteger;
+  }
+  if (upper == "REAL" || upper == "DOUBLE" || upper == "FLOAT") {
+    return ColumnType::kReal;
+  }
+  if (upper == "TEXT" || upper == "VARCHAR" || upper == "STRING") {
+    return ColumnType::kText;
+  }
+  if (upper == "BLOB" || upper == "BYTEA") {
+    return ColumnType::kBlob;
+  }
+  return Status::InvalidArgument("unknown column type: " + std::string(name));
+}
+
+std::string EscapeSqlString(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('\'');
+  for (char c : raw) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string SqlValue::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_integer()) return std::to_string(AsInteger());
+  if (is_real()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(value_));
+    return buf;
+  }
+  if (is_text()) return EscapeSqlString(AsText());
+  return "X'" + HexEncode(AsBlob()) + "'";
+}
+
+std::string SqlValue::ToDisplayString() const {
+  if (is_null()) return "NULL";
+  if (is_integer()) return std::to_string(AsInteger());
+  if (is_real()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(value_));
+    return buf;
+  }
+  if (is_text()) return AsText();
+  return "<blob:" + std::to_string(AsBlob().size()) + "B>";
+}
+
+int SqlValue::TypeRank() const {
+  if (is_null()) return 0;
+  if (is_numeric()) return 1;
+  if (is_text()) return 2;
+  return 3;
+}
+
+int SqlValue::Compare(const SqlValue& other) const {
+  const int rank_a = TypeRank();
+  const int rank_b = other.TypeRank();
+  if (rank_a != rank_b) return rank_a < rank_b ? -1 : 1;
+  switch (rank_a) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      if (is_integer() && other.is_integer()) {
+        const int64_t a = AsInteger(), b = other.AsInteger();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = AsReal(), b = other.AsReal();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 2: {
+      const int c = AsText().compare(other.AsText());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: {
+      const Bytes& a = AsBlob();
+      const Bytes& b = other.AsBlob();
+      if (a < b) return -1;
+      if (b < a) return 1;
+      return 0;
+    }
+  }
+}
+
+namespace {
+enum : uint8_t {
+  kTagNull = 0,
+  kTagInteger = 1,
+  kTagReal = 2,
+  kTagText = 3,
+  kTagBlob = 4,
+};
+}  // namespace
+
+void SqlValue::EncodeTo(Bytes* out) const {
+  if (is_null()) {
+    out->push_back(kTagNull);
+  } else if (is_integer()) {
+    out->push_back(kTagInteger);
+    PutFixed64(out, static_cast<uint64_t>(AsInteger()));
+  } else if (is_real()) {
+    out->push_back(kTagReal);
+    uint64_t bits;
+    const double d = std::get<double>(value_);
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    PutFixed64(out, bits);
+  } else if (is_text()) {
+    out->push_back(kTagText);
+    PutLengthPrefixed(out, AsText());
+  } else {
+    out->push_back(kTagBlob);
+    PutLengthPrefixed(out, AsBlob());
+  }
+}
+
+StatusOr<SqlValue> SqlValue::DecodeFrom(const Bytes& in, size_t* pos) {
+  if (*pos >= in.size()) return Status::Corruption("truncated SqlValue");
+  const uint8_t tag = in[(*pos)++];
+  switch (tag) {
+    case kTagNull:
+      return SqlValue::Null();
+    case kTagInteger: {
+      if (*pos + 8 > in.size()) return Status::Corruption("truncated int");
+      const uint64_t raw = DecodeFixed64(in.data() + *pos);
+      *pos += 8;
+      return SqlValue(static_cast<int64_t>(raw));
+    }
+    case kTagReal: {
+      if (*pos + 8 > in.size()) return Status::Corruption("truncated real");
+      const uint64_t bits = DecodeFixed64(in.data() + *pos);
+      *pos += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return SqlValue(d);
+    }
+    case kTagText: {
+      DSTORE_ASSIGN_OR_RETURN(Bytes raw, GetLengthPrefixed(in, pos));
+      return SqlValue(ToString(raw));
+    }
+    case kTagBlob: {
+      DSTORE_ASSIGN_OR_RETURN(Bytes raw, GetLengthPrefixed(in, pos));
+      return SqlValue(std::move(raw));
+    }
+    default:
+      return Status::Corruption("unknown SqlValue tag");
+  }
+}
+
+}  // namespace dstore::sql

@@ -1,0 +1,76 @@
+#ifndef DSTORE_STORE_SQL_VALUE_H_
+#define DSTORE_STORE_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore::sql {
+
+enum class ColumnType {
+  kInteger,
+  kReal,
+  kText,
+  kBlob,
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+StatusOr<ColumnType> ParseColumnType(std::string_view name);
+
+// A dynamically typed SQL value: NULL, INTEGER, REAL, TEXT, or BLOB.
+class SqlValue {
+ public:
+  SqlValue() : value_(std::monostate{}) {}
+  explicit SqlValue(int64_t v) : value_(v) {}
+  explicit SqlValue(double v) : value_(v) {}
+  explicit SqlValue(std::string v) : value_(std::move(v)) {}
+  explicit SqlValue(Bytes v) : value_(std::move(v)) {}
+
+  static SqlValue Null() { return SqlValue(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+  bool is_integer() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_real() const { return std::holds_alternative<double>(value_); }
+  bool is_text() const { return std::holds_alternative<std::string>(value_); }
+  bool is_blob() const { return std::holds_alternative<Bytes>(value_); }
+  bool is_numeric() const { return is_integer() || is_real(); }
+
+  int64_t AsInteger() const { return std::get<int64_t>(value_); }
+  double AsReal() const {
+    return is_integer() ? static_cast<double>(std::get<int64_t>(value_))
+                        : std::get<double>(value_);
+  }
+  const std::string& AsText() const { return std::get<std::string>(value_); }
+  const Bytes& AsBlob() const { return std::get<Bytes>(value_); }
+
+  // SQL literal rendering ('quoted' text, X'hex' blobs, NULL).
+  std::string ToSqlLiteral() const;
+  // Human-readable rendering for result display.
+  std::string ToDisplayString() const;
+
+  // Three-way comparison for WHERE / ORDER BY. NULLs sort first; numeric
+  // values compare numerically across INTEGER/REAL; mismatched types compare
+  // by type rank (NULL < numeric < text < blob).
+  int Compare(const SqlValue& other) const;
+
+  bool operator==(const SqlValue& other) const { return Compare(other) == 0; }
+
+  // Binary coding used by the WAL-snapshot format.
+  void EncodeTo(Bytes* out) const;
+  static StatusOr<SqlValue> DecodeFrom(const Bytes& in, size_t* pos);
+
+ private:
+  int TypeRank() const;
+
+  std::variant<std::monostate, int64_t, double, std::string, Bytes> value_;
+};
+
+// Escapes a string for inclusion in a SQL text literal ('' doubling).
+std::string EscapeSqlString(std::string_view raw);
+
+}  // namespace dstore::sql
+
+#endif  // DSTORE_STORE_SQL_VALUE_H_

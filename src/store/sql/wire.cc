@@ -1,0 +1,56 @@
+#include "store/sql/wire.h"
+
+namespace dstore::sql {
+
+Bytes EncodeStatusResponse(const Status& status) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(status.code()));
+  PutLengthPrefixed(&out, status.message());
+  return out;
+}
+
+Bytes EncodeOkResponse() { return EncodeStatusResponse(Status::OK()); }
+
+StatusOr<size_t> DecodeResponseStatus(const Bytes& response) {
+  if (response.empty()) return Status::Corruption("empty SQL response");
+  const auto code = static_cast<StatusCode>(response[0]);
+  size_t pos = 1;
+  DSTORE_ASSIGN_OR_RETURN(Bytes message, GetLengthPrefixed(response, &pos));
+  if (code != StatusCode::kOk) {
+    return Status(code, ToString(message));
+  }
+  return pos;
+}
+
+void EncodeResultSet(const ResultSet& result, Bytes* out) {
+  PutVarint64(out, result.columns.size());
+  for (const std::string& col : result.columns) PutLengthPrefixed(out, col);
+  PutVarint64(out, result.rows.size());
+  for (const auto& row : result.rows) {
+    for (const SqlValue& value : row) value.EncodeTo(out);
+  }
+  PutVarint64(out, result.rows_affected);
+}
+
+StatusOr<ResultSet> DecodeResultSet(const Bytes& in, size_t* pos) {
+  ResultSet result;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t num_cols, GetVarint64(in, pos));
+  for (uint64_t i = 0; i < num_cols; ++i) {
+    DSTORE_ASSIGN_OR_RETURN(Bytes col, GetLengthPrefixed(in, pos));
+    result.columns.push_back(ToString(col));
+  }
+  DSTORE_ASSIGN_OR_RETURN(uint64_t num_rows, GetVarint64(in, pos));
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    std::vector<SqlValue> row;
+    row.reserve(num_cols);
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      DSTORE_ASSIGN_OR_RETURN(SqlValue value, SqlValue::DecodeFrom(in, pos));
+      row.push_back(std::move(value));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  DSTORE_ASSIGN_OR_RETURN(result.rows_affected, GetVarint64(in, pos));
+  return result;
+}
+
+}  // namespace dstore::sql

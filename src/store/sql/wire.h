@@ -1,0 +1,44 @@
+#ifndef DSTORE_STORE_SQL_WIRE_H_
+#define DSTORE_STORE_SQL_WIRE_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "store/sql/database.h"
+
+namespace dstore::sql {
+
+// Wire protocol between SqlClient and SqlServer. Mirrors the architecture
+// the paper measures: "a MySQL database running on the client node accessed
+// via JDBC" — a separate server process reached over a local socket, with
+// text SQL for ad-hoc queries and a prepared-statement fast path for the
+// key-value bridge (binary values; no SQL-literal encoding on the wire).
+//
+// Frames use net/framing.h. Request payload: [u8 op][op-specific body].
+enum class SqlOp : uint8_t {
+  kQuery = 0,      // body: SQL text
+  kKvGet = 1,      // body: lp(key)
+  kKvPut = 2,      // body: lp(key) lp(value)
+  kKvDelete = 3,   // body: lp(key)
+  kKvContains = 4, // body: lp(key)
+  kKvKeys = 5,
+  kKvCount = 6,
+  kKvClear = 7,
+  kPing = 8,
+};
+
+// Response payload: [u8 status_code][lp(message)][op-specific body].
+Bytes EncodeStatusResponse(const Status& status);
+Bytes EncodeOkResponse();
+
+// Splits a response into status + remaining body offset.
+StatusOr<size_t> DecodeResponseStatus(const Bytes& response);
+
+// ResultSet <-> bytes (appended to / read from a response body).
+void EncodeResultSet(const ResultSet& result, Bytes* out);
+StatusOr<ResultSet> DecodeResultSet(const Bytes& in, size_t* pos);
+
+}  // namespace dstore::sql
+
+#endif  // DSTORE_STORE_SQL_WIRE_H_

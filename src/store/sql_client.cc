@@ -1,0 +1,123 @@
+#include "store/sql_client.h"
+
+#include "net/framing.h"
+#include "store/sql/wire.h"
+
+namespace dstore {
+
+StatusOr<std::unique_ptr<SqlClient>> SqlClient::Connect(
+    const std::string& host, uint16_t port) {
+  auto client = std::unique_ptr<SqlClient>(new SqlClient(host, port));
+  std::lock_guard<std::mutex> lock(client->mu_);
+  DSTORE_RETURN_IF_ERROR(client->EnsureConnected());
+  return client;
+}
+
+Status SqlClient::EnsureConnected() {
+  if (socket_.valid()) return Status::OK();
+  DSTORE_ASSIGN_OR_RETURN(socket_, Socket::ConnectTcp(host_, port_));
+  return Status::OK();
+}
+
+StatusOr<Bytes> SqlClient::RoundTrip(const Bytes& request) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    DSTORE_RETURN_IF_ERROR(EnsureConnected());
+    if (!WriteFrame(&socket_, request).ok()) {
+      socket_.Close();
+      continue;
+    }
+    auto response = ReadFrame(&socket_);
+    if (!response.ok()) {
+      socket_.Close();
+      continue;
+    }
+    DSTORE_ASSIGN_OR_RETURN(size_t body_pos, sql::DecodeResponseStatus(*response));
+    return Bytes(response->begin() + static_cast<ptrdiff_t>(body_pos),
+                 response->end());
+  }
+  return Status::Unavailable("SQL server connection failed");
+}
+
+Status SqlClient::Put(const std::string& key, ValuePtr value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvPut));
+  PutLengthPrefixed(&request, key);
+  PutLengthPrefixed(&request, *value);
+  std::lock_guard<std::mutex> lock(mu_);
+  return RoundTrip(request).status();
+}
+
+StatusOr<ValuePtr> SqlClient::Get(const std::string& key) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvGet));
+  PutLengthPrefixed(&request, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  DSTORE_ASSIGN_OR_RETURN(Bytes value, GetLengthPrefixed(body, &pos));
+  return MakeValue(std::move(value));
+}
+
+Status SqlClient::Delete(const std::string& key) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvDelete));
+  PutLengthPrefixed(&request, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  return RoundTrip(request).status();
+}
+
+StatusOr<bool> SqlClient::Contains(const std::string& key) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvContains));
+  PutLengthPrefixed(&request, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  if (body.empty()) return Status::Corruption("short contains response");
+  return body[0] != 0;
+}
+
+StatusOr<std::vector<std::string>> SqlClient::ListKeys() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvKeys));
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(body, &pos));
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DSTORE_ASSIGN_OR_RETURN(Bytes key, GetLengthPrefixed(body, &pos));
+    keys.push_back(ToString(key));
+  }
+  return keys;
+}
+
+StatusOr<size_t> SqlClient::Count() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvCount));
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(body, &pos));
+  return static_cast<size_t>(count);
+}
+
+Status SqlClient::Clear() {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvClear));
+  std::lock_guard<std::mutex> lock(mu_);
+  return RoundTrip(request).status();
+}
+
+StatusOr<sql::ResultSet> SqlClient::Execute(std::string_view sql_text) {
+  Bytes request;
+  request.push_back(static_cast<uint8_t>(sql::SqlOp::kQuery));
+  request.insert(request.end(), sql_text.begin(), sql_text.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
+  size_t pos = 0;
+  return sql::DecodeResultSet(body, &pos);
+}
+
+}  // namespace dstore

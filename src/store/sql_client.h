@@ -1,0 +1,56 @@
+#ifndef DSTORE_STORE_SQL_CLIENT_H_
+#define DSTORE_STORE_SQL_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/socket.h"
+#include "store/key_value.h"
+#include "store/sql/database.h"
+
+namespace dstore {
+
+// KeyValueStore backed by a SqlServer — the paper's "MySQL accessed via
+// JDBC" data store. The common key-value interface maps onto a kv(k TEXT
+// PRIMARY KEY, v BLOB) table through prepared-statement ops; Execute() is
+// the native-interface escape hatch the UDSM promises ("a MySQL user may
+// need to issue SQL queries to the underlying database", Section II.A).
+//
+// Holds one connection, used serially under a lock, like a JDBC Connection.
+// Reconnects transparently once if the connection drops.
+class SqlClient : public KeyValueStore {
+ public:
+  static StatusOr<std::unique_ptr<SqlClient>> Connect(const std::string& host,
+                                                      uint16_t port);
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  std::string Name() const override { return "sql"; }
+
+  // Native access: runs arbitrary SQL on the server.
+  StatusOr<sql::ResultSet> Execute(std::string_view sql_text);
+
+ private:
+  SqlClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  // Sends `request` and returns the response body past the status header.
+  // Retries once on a broken connection. Caller must hold mu_.
+  StatusOr<Bytes> RoundTrip(const Bytes& request);
+  Status EnsureConnected();
+
+  std::string host_;
+  uint16_t port_;
+  std::mutex mu_;
+  Socket socket_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_SQL_CLIENT_H_

@@ -1,0 +1,205 @@
+#include "store/sql_server.h"
+
+#include <utility>
+
+#include "net/framing.h"
+#include "store/sql/wire.h"
+
+namespace dstore {
+
+namespace {
+
+constexpr char kKvTable[] = "kv";
+
+sql::ExprPtr LiteralExpr(sql::SqlValue value) {
+  auto e = std::make_unique<sql::Expr>();
+  e->kind = sql::Expr::Kind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+sql::ExprPtr ColumnExpr(std::string name) {
+  auto e = std::make_unique<sql::Expr>();
+  e->kind = sql::Expr::Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+sql::ExprPtr KeyEquals(const std::string& key) {
+  auto e = std::make_unique<sql::Expr>();
+  e->kind = sql::Expr::Kind::kBinary;
+  e->op = "=";
+  e->left = ColumnExpr("k");
+  e->right = LiteralExpr(sql::SqlValue(key));
+  return e;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SqlServer>> SqlServer::Start(
+    const std::string& db_path, uint16_t port,
+    const sql::Database::Options& options) {
+  auto server = std::unique_ptr<SqlServer>(new SqlServer());
+  if (db_path.empty()) {
+    server->db_ = std::make_unique<sql::Database>();
+  } else {
+    DSTORE_ASSIGN_OR_RETURN(server->db_, sql::Database::Open(db_path, options));
+  }
+  DSTORE_RETURN_IF_ERROR(server->EnsureKvTable());
+
+  SqlServer* raw = server.get();
+  server->server_ = std::make_unique<ThreadedServer>(
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+  DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
+  return server;
+}
+
+SqlServer::~SqlServer() { Stop(); }
+
+void SqlServer::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+Status SqlServer::EnsureKvTable() {
+  auto result = db_->Execute(
+      "CREATE TABLE IF NOT EXISTS kv (k TEXT PRIMARY KEY, v BLOB)");
+  return result.ok() ? Status::OK() : result.status();
+}
+
+void SqlServer::HandleConnection(Socket socket) {
+  for (;;) {
+    auto request = ReadFrame(&socket);
+    if (!request.ok()) return;  // client disconnected
+    const Bytes response = HandleRequest(*request);
+    if (!WriteFrame(&socket, response).ok()) return;
+  }
+}
+
+Bytes SqlServer::HandleRequest(const Bytes& request) {
+  if (request.empty()) {
+    return sql::EncodeStatusResponse(Status::InvalidArgument("empty request"));
+  }
+  const auto op = static_cast<sql::SqlOp>(request[0]);
+  size_t pos = 1;
+
+  switch (op) {
+    case sql::SqlOp::kQuery: {
+      const std::string sql_text(
+          reinterpret_cast<const char*>(request.data() + 1),
+          request.size() - 1);
+      auto result = db_->Execute(sql_text);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      Bytes response = sql::EncodeOkResponse();
+      sql::EncodeResultSet(*result, &response);
+      return response;
+    }
+
+    case sql::SqlOp::kKvGet: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return sql::EncodeStatusResponse(key.status());
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kSelect;
+      stmt.select.table = kKvTable;
+      stmt.select.columns = {"v"};
+      stmt.select.where = KeyEquals(ToString(*key));
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      if (result->rows.empty()) {
+        return sql::EncodeStatusResponse(Status::NotFound("no such key"));
+      }
+      Bytes response = sql::EncodeOkResponse();
+      const sql::SqlValue& value = result->rows[0][0];
+      PutLengthPrefixed(&response, value.is_blob() ? value.AsBlob() : Bytes{});
+      return response;
+    }
+
+    case sql::SqlOp::kKvPut: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return sql::EncodeStatusResponse(key.status());
+      auto value = GetLengthPrefixed(request, &pos);
+      if (!value.ok()) return sql::EncodeStatusResponse(value.status());
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kInsert;
+      stmt.insert.table = kKvTable;
+      stmt.insert.or_replace = true;
+      std::vector<sql::ExprPtr> row;
+      row.push_back(LiteralExpr(sql::SqlValue(ToString(*key))));
+      row.push_back(LiteralExpr(sql::SqlValue(*std::move(value))));
+      stmt.insert.rows.push_back(std::move(row));
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      return sql::EncodeOkResponse();
+    }
+
+    case sql::SqlOp::kKvDelete: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return sql::EncodeStatusResponse(key.status());
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kDelete;
+      stmt.delete_from.table = kKvTable;
+      stmt.delete_from.where = KeyEquals(ToString(*key));
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      return sql::EncodeOkResponse();
+    }
+
+    case sql::SqlOp::kKvContains: {
+      auto key = GetLengthPrefixed(request, &pos);
+      if (!key.ok()) return sql::EncodeStatusResponse(key.status());
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kSelect;
+      stmt.select.table = kKvTable;
+      stmt.select.count_star = true;
+      stmt.select.where = KeyEquals(ToString(*key));
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      Bytes response = sql::EncodeOkResponse();
+      response.push_back(result->rows[0][0].AsInteger() > 0 ? 1 : 0);
+      return response;
+    }
+
+    case sql::SqlOp::kKvKeys: {
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kSelect;
+      stmt.select.table = kKvTable;
+      stmt.select.columns = {"k"};
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      Bytes response = sql::EncodeOkResponse();
+      PutVarint64(&response, result->rows.size());
+      for (const auto& row : result->rows) {
+        PutLengthPrefixed(&response, row[0].AsText());
+      }
+      return response;
+    }
+
+    case sql::SqlOp::kKvCount: {
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kSelect;
+      stmt.select.table = kKvTable;
+      stmt.select.count_star = true;
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      Bytes response = sql::EncodeOkResponse();
+      PutVarint64(&response,
+                  static_cast<uint64_t>(result->rows[0][0].AsInteger()));
+      return response;
+    }
+
+    case sql::SqlOp::kKvClear: {
+      sql::Statement stmt;
+      stmt.kind = sql::Statement::Kind::kDelete;
+      stmt.delete_from.table = kKvTable;
+      auto result = db_->ExecuteStatement(stmt);
+      if (!result.ok()) return sql::EncodeStatusResponse(result.status());
+      return sql::EncodeOkResponse();
+    }
+
+    case sql::SqlOp::kPing:
+      return sql::EncodeOkResponse();
+  }
+  return sql::EncodeStatusResponse(
+      Status::InvalidArgument("unknown SQL op code"));
+}
+
+}  // namespace dstore

@@ -1,0 +1,50 @@
+#ifndef DSTORE_STORE_SQL_SERVER_H_
+#define DSTORE_STORE_SQL_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/server.h"
+#include "store/sql/database.h"
+
+namespace dstore {
+
+// Serves an embedded sql::Database over a local socket so clients pay the
+// same interprocess hop a JDBC application pays to reach MySQL. Handles the
+// text-SQL op plus the prepared-statement key-value ops (see sql/wire.h);
+// the KV ops run through the same executor, index, and WAL-commit path as
+// parsed SQL.
+class SqlServer {
+ public:
+  // `db_path` empty = in-memory (no durability). `options` controls commit
+  // fsync behaviour.
+  static StatusOr<std::unique_ptr<SqlServer>> Start(
+      const std::string& db_path, uint16_t port,
+      const sql::Database::Options& options);
+  static StatusOr<std::unique_ptr<SqlServer>> Start(
+      const std::string& db_path, uint16_t port = 0) {
+    return Start(db_path, port, sql::Database::Options());
+  }
+
+  ~SqlServer();
+
+  uint16_t port() const { return server_->port(); }
+  sql::Database* database() { return db_.get(); }
+
+  void Stop();
+
+ private:
+  SqlServer() = default;
+
+  void HandleConnection(Socket socket);
+  Bytes HandleRequest(const Bytes& request);
+  Status EnsureKvTable();
+
+  std::unique_ptr<sql::Database> db_;
+  std::unique_ptr<ThreadedServer> server_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_SQL_SERVER_H_

@@ -1,0 +1,165 @@
+#ifndef DSTORE_STORE_TYPED_STORE_H_
+#define DSTORE_STORE_TYPED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// The paper's interface is a generic KeyValue<K,V>; the byte-oriented
+// KeyValueStore is its transport. TypedStore<K,V> recovers the typed view:
+// keys and values go through Serializer specializations, so applications
+// deal in their own types while every KeyValueStore backend (and every
+// decorator — caching, encryption, monitoring) keeps working underneath.
+//
+//   TypedStore<int64_t, UserProfile> users(udsm.GetStoreShared("db"));
+//   users.Put(42, profile);
+//   StatusOr<UserProfile> p = users.Get(42);
+//
+// Provide Serializer<T> specializations for custom types (see the
+// StringSerializer/VarintSerializer patterns below).
+
+// --- Serializers -----------------------------------------------------------
+
+// Primary template: specialize for your type.
+template <typename T, typename Enable = void>
+struct Serializer;
+
+template <>
+struct Serializer<std::string> {
+  static Bytes Serialize(const std::string& value) { return ToBytes(value); }
+  static StatusOr<std::string> Deserialize(const Bytes& data) {
+    return ToString(data);
+  }
+};
+
+template <>
+struct Serializer<Bytes> {
+  static Bytes Serialize(const Bytes& value) { return value; }
+  static StatusOr<Bytes> Deserialize(const Bytes& data) { return data; }
+};
+
+// All integral types (little-endian fixed width; key encoding is also
+// lexicographically safe per width because keys hex-encode downstream).
+template <typename T>
+struct Serializer<T, std::enable_if_t<std::is_integral_v<T>>> {
+  static Bytes Serialize(T value) {
+    Bytes out;
+    PutFixed64(&out, static_cast<uint64_t>(static_cast<int64_t>(value)));
+    return out;
+  }
+  static StatusOr<T> Deserialize(const Bytes& data) {
+    if (data.size() != 8) {
+      return Status::Corruption("integer value has wrong width");
+    }
+    return static_cast<T>(static_cast<int64_t>(DecodeFixed64(data.data())));
+  }
+};
+
+template <>
+struct Serializer<double> {
+  static Bytes Serialize(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    Bytes out;
+    PutFixed64(&out, bits);
+    return out;
+  }
+  static StatusOr<double> Deserialize(const Bytes& data) {
+    if (data.size() != 8) {
+      return Status::Corruption("double value has wrong width");
+    }
+    const uint64_t bits = DecodeFixed64(data.data());
+    double value;
+    __builtin_memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+};
+
+// std::vector<T> of serializable elements (length-prefixed concatenation).
+template <typename T>
+struct Serializer<std::vector<T>,
+                  std::enable_if_t<!std::is_same_v<T, uint8_t>>> {
+  static Bytes Serialize(const std::vector<T>& values) {
+    Bytes out;
+    PutVarint64(&out, values.size());
+    for (const T& value : values) {
+      PutLengthPrefixed(&out, Serializer<T>::Serialize(value));
+    }
+    return out;
+  }
+  static StatusOr<std::vector<T>> Deserialize(const Bytes& data) {
+    size_t pos = 0;
+    DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &pos));
+    std::vector<T> values;
+    values.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      DSTORE_ASSIGN_OR_RETURN(Bytes element, GetLengthPrefixed(data, &pos));
+      DSTORE_ASSIGN_OR_RETURN(T value, Serializer<T>::Deserialize(element));
+      values.push_back(std::move(value));
+    }
+    return values;
+  }
+};
+
+// --- TypedStore -------------------------------------------------------------
+
+template <typename K, typename V>
+class TypedStore {
+ public:
+  explicit TypedStore(std::shared_ptr<KeyValueStore> store)
+      : store_(std::move(store)) {}
+
+  Status Put(const K& key, const V& value) {
+    return store_->Put(EncodeKey(key),
+                       MakeValue(Serializer<V>::Serialize(value)));
+  }
+
+  StatusOr<V> Get(const K& key) {
+    DSTORE_ASSIGN_OR_RETURN(ValuePtr raw, store_->Get(EncodeKey(key)));
+    return Serializer<V>::Deserialize(*raw);
+  }
+
+  Status Delete(const K& key) { return store_->Delete(EncodeKey(key)); }
+
+  StatusOr<bool> Contains(const K& key) {
+    return store_->Contains(EncodeKey(key));
+  }
+
+  StatusOr<size_t> Count() { return store_->Count(); }
+  Status Clear() { return store_->Clear(); }
+
+  // All stored keys, decoded. Fails if the store holds foreign keys.
+  StatusOr<std::vector<K>> ListKeys() {
+    DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> raw, store_->ListKeys());
+    std::vector<K> keys;
+    keys.reserve(raw.size());
+    for (const std::string& encoded : raw) {
+      DSTORE_ASSIGN_OR_RETURN(
+          K key, Serializer<K>::Deserialize(ToBytes(encoded)));
+      keys.push_back(std::move(key));
+    }
+    return keys;
+  }
+
+  KeyValueStore* underlying() { return store_.get(); }
+
+ private:
+  static std::string EncodeKey(const K& key) {
+    return ToString(Serializer<K>::Serialize(key));
+  }
+
+  std::shared_ptr<KeyValueStore> store_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_TYPED_STORE_H_

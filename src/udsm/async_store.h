@@ -1,0 +1,82 @@
+#ifndef DSTORE_UDSM_ASYNC_STORE_H_
+#define DSTORE_UDSM_ASYNC_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/listenable_future.h"
+#include "common/thread_pool.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// The UDSM's asynchronous (nonblocking) interface (paper Section II.A):
+// every operation returns immediately with a ListenableFuture; the actual
+// data store call runs on a shared thread pool ("the UDSM uses thread pools
+// ... which avoids the costly creation of new threads"). Because it wraps
+// the common KeyValueStore interface, EVERY registered store gets an async
+// interface for free — "even if a data store fails to provide a client
+// supporting asynchronous operations".
+//
+// Callers can block (future.Get()), poll (IsDone), or register callbacks
+// (AddListener) — the ListenableFuture pattern the Java UDSM borrows from
+// Guava.
+class AsyncStore {
+ public:
+  // Does not take ownership of `pool`; `store` is shared with the caller.
+  AsyncStore(std::shared_ptr<KeyValueStore> store, ThreadPool* pool)
+      : store_(std::move(store)), pool_(pool) {}
+
+  ListenableFuture<Status> PutAsync(const std::string& key, ValuePtr value) {
+    auto store = store_;
+    return RunAsync<Status>(pool_, [store, key, value = std::move(value)] {
+      return store->Put(key, value);
+    });
+  }
+
+  ListenableFuture<StatusOr<ValuePtr>> GetAsync(const std::string& key) {
+    auto store = store_;
+    return RunAsync<StatusOr<ValuePtr>>(pool_,
+                                        [store, key] { return store->Get(key); });
+  }
+
+  ListenableFuture<Status> DeleteAsync(const std::string& key) {
+    auto store = store_;
+    return RunAsync<Status>(pool_, [store, key] { return store->Delete(key); });
+  }
+
+  ListenableFuture<StatusOr<bool>> ContainsAsync(const std::string& key) {
+    auto store = store_;
+    return RunAsync<StatusOr<bool>>(
+        pool_, [store, key] { return store->Contains(key); });
+  }
+
+  ListenableFuture<StatusOr<std::vector<std::string>>> ListKeysAsync() {
+    auto store = store_;
+    return RunAsync<StatusOr<std::vector<std::string>>>(
+        pool_, [store] { return store->ListKeys(); });
+  }
+
+  ListenableFuture<StatusOr<size_t>> CountAsync() {
+    auto store = store_;
+    return RunAsync<StatusOr<size_t>>(pool_,
+                                      [store] { return store->Count(); });
+  }
+
+  ListenableFuture<Status> ClearAsync() {
+    auto store = store_;
+    return RunAsync<Status>(pool_, [store] { return store->Clear(); });
+  }
+
+  KeyValueStore* store() { return store_.get(); }
+  ThreadPool* pool() { return pool_; }
+
+ private:
+  std::shared_ptr<KeyValueStore> store_;
+  ThreadPool* pool_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_UDSM_ASYNC_STORE_H_

@@ -1,0 +1,183 @@
+#include "udsm/mirrored_store.h"
+
+#include <set>
+
+namespace dstore {
+
+MirroredStore::MirroredStore(
+    std::vector<std::shared_ptr<KeyValueStore>> replicas,
+    const Options& options)
+    : replicas_(std::move(replicas)), options_(options) {}
+
+size_t MirroredStore::RequiredAcks() const {
+  switch (options_.write_concern) {
+    case WriteConcern::kAll:
+      return replicas_.size();
+    case WriteConcern::kQuorum:
+      return replicas_.size() / 2 + 1;
+    case WriteConcern::kOne:
+      return 1;
+  }
+  return replicas_.size();
+}
+
+Status MirroredStore::Put(const std::string& key, ValuePtr value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  size_t acks = 0;
+  Status last_error;
+  for (auto& replica : replicas_) {
+    const Status status = replica->Put(key, value);
+    if (status.ok()) {
+      ++acks;
+    } else {
+      last_error = status;
+    }
+  }
+  if (acks >= RequiredAcks()) return Status::OK();
+  return Status(last_error.ok() ? StatusCode::kUnavailable : last_error.code(),
+                "write concern not met (" + std::to_string(acks) + "/" +
+                    std::to_string(RequiredAcks()) + " acks): " +
+                    last_error.message());
+}
+
+StatusOr<ValuePtr> MirroredStore::Get(const std::string& key) {
+  std::vector<size_t> missed;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    auto value = replicas_[i]->Get(key);
+    if (value.ok()) {
+      if (options_.read_repair) {
+        for (size_t j : missed) {
+          replicas_[j]->Put(key, *value).ok();  // best effort
+        }
+      }
+      return value;
+    }
+    if (value.status().IsNotFound()) missed.push_back(i);
+  }
+  return Status::NotFound("key missing from every replica: " + key);
+}
+
+Status MirroredStore::Delete(const std::string& key) {
+  size_t acks = 0;
+  Status last_error;
+  for (auto& replica : replicas_) {
+    const Status status = replica->Delete(key);
+    if (status.ok()) {
+      ++acks;
+    } else {
+      last_error = status;
+    }
+  }
+  if (acks >= RequiredAcks()) return Status::OK();
+  return last_error;
+}
+
+StatusOr<bool> MirroredStore::Contains(const std::string& key) {
+  for (auto& replica : replicas_) {
+    auto present = replica->Contains(key);
+    if (present.ok() && *present) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<std::string>> MirroredStore::ListKeys() {
+  // Union over replicas, so keys surviving on any replica are visible.
+  std::set<std::string> keys;
+  Status last_error;
+  bool any_ok = false;
+  for (auto& replica : replicas_) {
+    auto replica_keys = replica->ListKeys();
+    if (!replica_keys.ok()) {
+      last_error = replica_keys.status();
+      continue;
+    }
+    any_ok = true;
+    keys.insert(replica_keys->begin(), replica_keys->end());
+  }
+  if (!any_ok) return last_error;
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+StatusOr<size_t> MirroredStore::Count() {
+  DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> keys, ListKeys());
+  return keys.size();
+}
+
+Status MirroredStore::Clear() {
+  Status first_error;
+  for (auto& replica : replicas_) {
+    const Status status = replica->Clear();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+std::string MirroredStore::Name() const {
+  std::string name = "mirror(";
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (i > 0) name += ",";
+    name += replicas_[i]->Name();
+  }
+  return name + ")";
+}
+
+StatusOr<MirroredStore::ConsistencyReport> MirroredStore::CheckConsistency() {
+  DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> keys, ListKeys());
+  ConsistencyReport report;
+  for (const std::string& key : keys) {
+    Divergence divergence;
+    divergence.key = key;
+    bool differs = false;
+    std::string first_etag;
+    bool first = true;
+    for (auto& replica : replicas_) {
+      auto value = replica->Get(key);
+      std::string etag;
+      if (value.ok()) etag = ComputeEtag(**value);
+      divergence.etags.push_back(etag);
+      if (first) {
+        first_etag = etag;
+        first = false;
+      } else if (etag != first_etag) {
+        differs = true;
+      }
+    }
+    ++report.keys_checked;
+    if (differs) report.divergent.push_back(std::move(divergence));
+  }
+  return report;
+}
+
+Status MirroredStore::Repair(size_t source_index) {
+  if (source_index >= replicas_.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  KeyValueStore& source = *replicas_[source_index];
+  DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> source_keys,
+                          source.ListKeys());
+  const std::set<std::string> source_set(source_keys.begin(),
+                                         source_keys.end());
+
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == source_index) continue;
+    KeyValueStore& target = *replicas_[i];
+    // Copy everything the source has that the target lacks or differs on.
+    for (const std::string& key : source_keys) {
+      DSTORE_ASSIGN_OR_RETURN(ValuePtr value, source.Get(key));
+      auto existing = target.Get(key);
+      if (existing.ok() && **existing == *value) continue;
+      DSTORE_RETURN_IF_ERROR(target.Put(key, value));
+    }
+    // Remove target keys the source does not have.
+    DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> target_keys,
+                            target.ListKeys());
+    for (const std::string& key : target_keys) {
+      if (source_set.count(key) == 0) {
+        DSTORE_RETURN_IF_ERROR(target.Delete(key));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dstore

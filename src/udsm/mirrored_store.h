@@ -1,0 +1,84 @@
+#ifndef DSTORE_UDSM_MIRRORED_STORE_H_
+#define DSTORE_UDSM_MIRRORED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/key_value.h"
+
+namespace dstore {
+
+// Replicates data across several heterogeneous stores behind the common
+// key-value interface — the paper's second future-work thread ("techniques
+// for providing data consistency between different data stores",
+// Section VII) plus its observation that via the common interface "any data
+// store can serve as a ... secondary repository for one of the other data
+// stores".
+//
+// Writes fan out to every replica, succeeding according to the write
+// concern. Reads try replicas in order and can repair stragglers in the
+// background of the read path. CheckConsistency() diffs replica contents by
+// value digest; Repair() converges every replica to a chosen source.
+class MirroredStore : public KeyValueStore {
+ public:
+  enum class WriteConcern {
+    kAll,     // fail unless every replica acknowledged
+    kQuorum,  // majority must acknowledge
+    kOne,     // any single acknowledgement suffices
+  };
+
+  struct Options {
+    WriteConcern write_concern = WriteConcern::kAll;
+    // On a read served by a fallback replica, copy the value into replicas
+    // that missed it.
+    bool read_repair = true;
+  };
+
+  struct Divergence {
+    std::string key;
+    // etag per replica; empty string = key missing from that replica.
+    std::vector<std::string> etags;
+  };
+
+  struct ConsistencyReport {
+    size_t keys_checked = 0;
+    std::vector<Divergence> divergent;
+    bool consistent() const { return divergent.empty(); }
+  };
+
+  // At least one replica. Replica 0 is the preferred read target and the
+  // default repair source.
+  MirroredStore(std::vector<std::shared_ptr<KeyValueStore>> replicas,
+                const Options& options);
+  explicit MirroredStore(std::vector<std::shared_ptr<KeyValueStore>> replicas)
+      : MirroredStore(std::move(replicas), Options()) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  std::string Name() const override;
+
+  // Compares all replicas key by key (by content digest).
+  StatusOr<ConsistencyReport> CheckConsistency();
+
+  // Makes every replica match replica `source_index`: missing/divergent
+  // keys are overwritten, keys absent from the source are deleted.
+  Status Repair(size_t source_index = 0);
+
+  size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  size_t RequiredAcks() const;
+
+  std::vector<std::shared_ptr<KeyValueStore>> replicas_;
+  Options options_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_UDSM_MIRRORED_STORE_H_

@@ -1,0 +1,215 @@
+#include "udsm/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace dstore {
+
+void PerformanceMonitor::Record(const std::string& store,
+                                const std::string& op, double millis,
+                                bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Track& track = tracks_[{store, op}];
+  OpSummary& s = track.summary;
+  if (s.count == 0) {
+    s.min_ms = millis;
+    s.max_ms = millis;
+  } else {
+    s.min_ms = std::min(s.min_ms, millis);
+    s.max_ms = std::max(s.max_ms, millis);
+  }
+  ++s.count;
+  if (!ok) ++s.errors;
+  s.total_ms += millis;
+  s.sum_sq_ms += millis * millis;
+
+  track.recent.push_back(millis);
+  while (track.recent.size() > recent_window_) track.recent.pop_front();
+}
+
+OpSummary PerformanceMonitor::Summary(const std::string& store,
+                                      const std::string& op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracks_.find({store, op});
+  return it == tracks_.end() ? OpSummary{} : it->second.summary;
+}
+
+std::vector<double> PerformanceMonitor::RecentSamples(
+    const std::string& store, const std::string& op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracks_.find({store, op});
+  if (it == tracks_.end()) return {};
+  return std::vector<double>(it->second.recent.begin(),
+                             it->second.recent.end());
+}
+
+double PerformanceMonitor::RecentPercentileMs(const std::string& store,
+                                              const std::string& op,
+                                              double p) const {
+  std::vector<double> samples = RecentSamples(store, op);
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+std::vector<std::pair<std::string, std::string>> PerformanceMonitor::Tracked()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(tracks_.size());
+  for (const auto& [key, track] : tracks_) out.push_back(key);
+  return out;
+}
+
+std::string PerformanceMonitor::Report() const {
+  // Percentiles come from the recent window; take them before locking (the
+  // helper locks internally).
+  std::map<TrackKey, std::pair<double, double>> percentiles;
+  for (const auto& key : Tracked()) {
+    percentiles[key] = {RecentPercentileMs(key.first, key.second, 50),
+                        RecentPercentileMs(key.first, key.second, 95)};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      "store           op        count   errors  mean_ms    min_ms    max_ms"
+      "    p50_ms    p95_ms\n";
+  char line[256];
+  for (const auto& [key, track] : tracks_) {
+    const OpSummary& s = track.summary;
+    const auto [p50, p95] = percentiles[key];
+    std::snprintf(line, sizeof(line),
+                  "%-15s %-9s %7llu %7llu %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                  key.first.c_str(), key.second.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.errors), s.MeanMs(),
+                  s.min_ms, s.max_ms, p50, p95);
+    out += line;
+  }
+  return out;
+}
+
+void PerformanceMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_.clear();
+}
+
+Status PerformanceMonitor::SaveTo(KeyValueStore* store,
+                                  const std::string& key) const {
+  Bytes out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PutVarint64(&out, tracks_.size());
+    for (const auto& [track_key, track] : tracks_) {
+      PutLengthPrefixed(&out, track_key.first);
+      PutLengthPrefixed(&out, track_key.second);
+      const OpSummary& s = track.summary;
+      PutVarint64(&out, s.count);
+      PutVarint64(&out, s.errors);
+      for (double d : {s.total_ms, s.min_ms, s.max_ms, s.sum_sq_ms}) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutFixed64(&out, bits);
+      }
+    }
+  }
+  return store->Put(key, MakeValue(std::move(out)));
+}
+
+Status PerformanceMonitor::LoadFrom(KeyValueStore* store,
+                                    const std::string& key) {
+  DSTORE_ASSIGN_OR_RETURN(ValuePtr data, store->Get(key));
+  std::map<TrackKey, Track> tracks;
+  size_t pos = 0;
+  DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(*data, &pos));
+  for (uint64_t i = 0; i < count; ++i) {
+    DSTORE_ASSIGN_OR_RETURN(Bytes store_name, GetLengthPrefixed(*data, &pos));
+    DSTORE_ASSIGN_OR_RETURN(Bytes op_name, GetLengthPrefixed(*data, &pos));
+    Track track;
+    OpSummary& s = track.summary;
+    DSTORE_ASSIGN_OR_RETURN(s.count, GetVarint64(*data, &pos));
+    DSTORE_ASSIGN_OR_RETURN(s.errors, GetVarint64(*data, &pos));
+    for (double* d : {&s.total_ms, &s.min_ms, &s.max_ms, &s.sum_sq_ms}) {
+      if (pos + 8 > data->size()) {
+        return Status::Corruption("truncated monitor snapshot");
+      }
+      const uint64_t bits = DecodeFixed64(data->data() + pos);
+      pos += 8;
+      std::memcpy(d, &bits, sizeof(*d));
+    }
+    tracks.emplace(TrackKey{ToString(store_name), ToString(op_name)},
+                   std::move(track));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_ = std::move(tracks);
+  return Status::OK();
+}
+
+namespace {
+
+// Times `fn` and records the result under (store, op).
+template <typename Fn>
+auto Timed(PerformanceMonitor* monitor, const Clock* clock,
+           const std::string& store, const char* op, Fn&& fn) {
+  Stopwatch watch(clock);
+  auto result = fn();
+  bool ok;
+  if constexpr (std::is_same_v<decltype(result), Status>) {
+    ok = result.ok();
+  } else {
+    ok = result.ok();
+  }
+  monitor->Record(store, op, watch.ElapsedMillis(), ok);
+  return result;
+}
+
+}  // namespace
+
+Status MonitoredStore::Put(const std::string& key, ValuePtr value) {
+  return Timed(monitor_.get(), clock_, Name(), "put",
+               [&] { return inner_->Put(key, std::move(value)); });
+}
+
+StatusOr<ValuePtr> MonitoredStore::Get(const std::string& key) {
+  return Timed(monitor_.get(), clock_, Name(), "get",
+               [&] { return inner_->Get(key); });
+}
+
+Status MonitoredStore::Delete(const std::string& key) {
+  return Timed(monitor_.get(), clock_, Name(), "delete",
+               [&] { return inner_->Delete(key); });
+}
+
+StatusOr<bool> MonitoredStore::Contains(const std::string& key) {
+  return Timed(monitor_.get(), clock_, Name(), "contains",
+               [&] { return inner_->Contains(key); });
+}
+
+StatusOr<std::vector<std::string>> MonitoredStore::ListKeys() {
+  return Timed(monitor_.get(), clock_, Name(), "list",
+               [&] { return inner_->ListKeys(); });
+}
+
+StatusOr<size_t> MonitoredStore::Count() {
+  return Timed(monitor_.get(), clock_, Name(), "count",
+               [&] { return inner_->Count(); });
+}
+
+Status MonitoredStore::Clear() {
+  return Timed(monitor_.get(), clock_, Name(), "clear",
+               [&] { return inner_->Clear(); });
+}
+
+StatusOr<ConditionalGetResult> MonitoredStore::GetIfChanged(
+    const std::string& key, const std::string& etag) {
+  return Timed(monitor_.get(), clock_, Name(), "conditional_get",
+               [&] { return inner_->GetIfChanged(key, etag); });
+}
+
+}  // namespace dstore

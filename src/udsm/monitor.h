@@ -1,0 +1,121 @@
+#ifndef DSTORE_UDSM_MONITOR_H_
+#define DSTORE_UDSM_MONITOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// Summary statistics for one (store, operation) pair.
+struct OpSummary {
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  double total_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double sum_sq_ms = 0;  // for variance
+
+  double MeanMs() const { return count == 0 ? 0 : total_ms / count; }
+  double VarianceMs() const {
+    if (count < 2) return 0;
+    const double mean = MeanMs();
+    return sum_sq_ms / count - mean * mean;
+  }
+};
+
+// The UDSM's performance monitor (paper Section II.A): per store and per
+// operation it keeps (a) running summary statistics over ALL requests and
+// (b) a bounded window of detailed recent samples — "the capability to
+// collect detailed data for recent requests while only retaining summary
+// statistics for older data". Snapshots can be rendered as text or persisted
+// into any registered data store.
+class PerformanceMonitor {
+ public:
+  // Keep at most `recent_window` detailed samples per (store, op).
+  explicit PerformanceMonitor(size_t recent_window = 1024)
+      : recent_window_(recent_window) {}
+
+  // Records one operation taking `millis`, successful or not.
+  void Record(const std::string& store, const std::string& op, double millis,
+              bool ok = true);
+
+  OpSummary Summary(const std::string& store, const std::string& op) const;
+
+  // Detailed latencies of the most recent requests (oldest first).
+  std::vector<double> RecentSamples(const std::string& store,
+                                    const std::string& op) const;
+
+  // Percentile over the recent window (p in [0,100]); 0 if no samples.
+  double RecentPercentileMs(const std::string& store, const std::string& op,
+                            double p) const;
+
+  // All (store, op) pairs seen so far.
+  std::vector<std::pair<std::string, std::string>> Tracked() const;
+
+  // Human-readable report of every tracked pair.
+  std::string Report() const;
+
+  void Reset();
+
+  // Persists all summaries into `store` under `key` (paper: "performance
+  // data can be stored persistently using any of the data stores supported
+  // by the UDSM"), and restores them later.
+  Status SaveTo(KeyValueStore* store, const std::string& key) const;
+  Status LoadFrom(KeyValueStore* store, const std::string& key);
+
+ private:
+  struct Track {
+    OpSummary summary;
+    std::deque<double> recent;
+  };
+
+  using TrackKey = std::pair<std::string, std::string>;
+
+  size_t recent_window_;
+  mutable std::mutex mu_;
+  std::map<TrackKey, Track> tracks_;
+};
+
+// KeyValueStore decorator that times every operation into a
+// PerformanceMonitor — how the UDSM monitors any store through the common
+// interface without per-store code.
+class MonitoredStore : public KeyValueStore {
+ public:
+  MonitoredStore(std::shared_ptr<KeyValueStore> inner,
+                 std::shared_ptr<PerformanceMonitor> monitor,
+                 const Clock* clock = nullptr)
+      : inner_(std::move(inner)),
+        monitor_(std::move(monitor)),
+        clock_(clock != nullptr ? clock : RealClock::Default()) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  StatusOr<ConditionalGetResult> GetIfChanged(const std::string& key,
+                                              const std::string& etag) override;
+  std::string Name() const override { return inner_->Name(); }
+
+  KeyValueStore* inner() { return inner_.get(); }
+
+ private:
+  std::shared_ptr<KeyValueStore> inner_;
+  std::shared_ptr<PerformanceMonitor> monitor_;
+  const Clock* clock_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_UDSM_MONITOR_H_

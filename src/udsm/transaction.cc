@@ -1,0 +1,201 @@
+#include "udsm/transaction.h"
+
+#include <chrono>
+#include <random>
+
+namespace dstore {
+
+namespace {
+constexpr char kJournalPrefix[] = "~txnlog!";
+constexpr char kStagePrefix[] = "~txnstage!";
+}  // namespace
+
+std::string MakeTransactionId() {
+  const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  std::random_device rd;
+  const uint64_t nonce = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  Bytes id;
+  PutFixed64(&id, static_cast<uint64_t>(now));
+  PutFixed64(&id, nonce);
+  return HexEncode(id);
+}
+
+bool MultiStoreTransaction::IsInternalKey(const std::string& key) {
+  return key.rfind(kJournalPrefix, 0) == 0 || key.rfind(kStagePrefix, 0) == 0;
+}
+
+MultiStoreTransaction::MultiStoreTransaction(
+    std::shared_ptr<KeyValueStore> coordinator, std::string txn_id)
+    : coordinator_(std::move(coordinator)), txn_id_(std::move(txn_id)) {}
+
+MultiStoreTransaction::~MultiStoreTransaction() {
+  if (!commit_attempted_) Abort().ok();
+}
+
+void MultiStoreTransaction::Put(std::shared_ptr<KeyValueStore> store,
+                                std::string store_name, std::string key,
+                                ValuePtr value) {
+  Op op;
+  op.store = std::move(store);
+  op.store_name = std::move(store_name);
+  op.staged_key = std::string(kStagePrefix) + txn_id_ + "!" +
+                  std::to_string(ops_.size());
+  op.key = std::move(key);
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+}
+
+void MultiStoreTransaction::Delete(std::shared_ptr<KeyValueStore> store,
+                                   std::string store_name, std::string key) {
+  Put(std::move(store), std::move(store_name), std::move(key), nullptr);
+}
+
+std::string MultiStoreTransaction::JournalKey() const {
+  return std::string(kJournalPrefix) + txn_id_;
+}
+
+Bytes MultiStoreTransaction::EncodeJournal(Phase phase) const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(phase));
+  PutVarint64(&out, ops_.size());
+  for (const Op& op : ops_) {
+    PutLengthPrefixed(&out, op.store_name);
+    PutLengthPrefixed(&out, op.key);
+    out.push_back(op.value == nullptr ? 1 : 0);
+    PutLengthPrefixed(&out, op.staged_key);
+  }
+  return out;
+}
+
+Status MultiStoreTransaction::WriteJournal(Phase phase) {
+  return coordinator_->Put(JournalKey(), MakeValue(EncodeJournal(phase)));
+}
+
+Status MultiStoreTransaction::StageAll() {
+  for (const Op& op : ops_) {
+    if (op.value == nullptr) continue;  // deletes stage nothing
+    DSTORE_RETURN_IF_ERROR(op.store->Put(op.staged_key, op.value));
+  }
+  return Status::OK();
+}
+
+Status MultiStoreTransaction::PromoteAll() {
+  for (const Op& op : ops_) {
+    if (op.value == nullptr) {
+      DSTORE_RETURN_IF_ERROR(op.store->Delete(op.key));
+    } else {
+      DSTORE_RETURN_IF_ERROR(op.store->Put(op.key, op.value));
+      DSTORE_RETURN_IF_ERROR(op.store->Delete(op.staged_key));
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiStoreTransaction::UnstageAll() {
+  Status first_error;
+  for (const Op& op : ops_) {
+    if (op.value == nullptr) continue;
+    const Status status = op.store->Delete(op.staged_key);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Status MultiStoreTransaction::Commit() {
+  if (commit_attempted_) {
+    return Status::InvalidArgument("transaction already committed/aborted");
+  }
+  commit_attempted_ = true;
+
+  // PREPARE: journal first, then stage values.
+  DSTORE_RETURN_IF_ERROR(WriteJournal(Phase::kPrepared));
+  Status staged = StageAll();
+  if (!staged.ok()) {
+    UnstageAll().ok();
+    coordinator_->Delete(JournalKey()).ok();
+    return staged;
+  }
+
+  // DECIDE: the commit point.
+  DSTORE_RETURN_IF_ERROR(WriteJournal(Phase::kCommitting));
+  committed_ = true;
+
+  // APPLY + FORGET. Errors past the commit point leave the journal in
+  // place so Recover() can finish the job.
+  DSTORE_RETURN_IF_ERROR(PromoteAll());
+  return coordinator_->Delete(JournalKey());
+}
+
+Status MultiStoreTransaction::Abort() {
+  if (committed_) {
+    return Status::InvalidArgument("cannot abort a committed transaction");
+  }
+  commit_attempted_ = true;
+  UnstageAll().ok();
+  return coordinator_->Delete(JournalKey());
+}
+
+Status MultiStoreTransaction::Recover(
+    KeyValueStore* coordinator,
+    const std::map<std::string, std::shared_ptr<KeyValueStore>>& stores) {
+  DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                          coordinator->ListKeys());
+  for (const std::string& key : keys) {
+    if (key.rfind(kJournalPrefix, 0) != 0) continue;
+    DSTORE_ASSIGN_OR_RETURN(ValuePtr record, coordinator->Get(key));
+    const Bytes& data = *record;
+    if (data.empty()) return Status::Corruption("empty transaction journal");
+    const auto phase = static_cast<Phase>(data[0]);
+    size_t pos = 1;
+    DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &pos));
+
+    struct JournalOp {
+      std::shared_ptr<KeyValueStore> store;
+      std::string key;
+      bool is_delete;
+      std::string staged_key;
+    };
+    std::vector<JournalOp> ops;
+    for (uint64_t i = 0; i < count; ++i) {
+      DSTORE_ASSIGN_OR_RETURN(Bytes store_name, GetLengthPrefixed(data, &pos));
+      DSTORE_ASSIGN_OR_RETURN(Bytes op_key, GetLengthPrefixed(data, &pos));
+      if (pos >= data.size()) return Status::Corruption("truncated journal");
+      const bool is_delete = data[pos++] != 0;
+      DSTORE_ASSIGN_OR_RETURN(Bytes staged_key, GetLengthPrefixed(data, &pos));
+      auto it = stores.find(ToString(store_name));
+      if (it == stores.end()) {
+        return Status::NotFound("recovery needs unknown store: " +
+                                ToString(store_name));
+      }
+      ops.push_back(JournalOp{it->second, ToString(op_key), is_delete,
+                              ToString(staged_key)});
+    }
+
+    if (phase == Phase::kCommitting) {
+      // Roll forward: promote whatever is still staged.
+      for (const JournalOp& op : ops) {
+        if (op.is_delete) {
+          DSTORE_RETURN_IF_ERROR(op.store->Delete(op.key));
+          continue;
+        }
+        auto staged = op.store->Get(op.staged_key);
+        if (staged.ok()) {
+          DSTORE_RETURN_IF_ERROR(op.store->Put(op.key, *staged));
+          DSTORE_RETURN_IF_ERROR(op.store->Delete(op.staged_key));
+        }
+        // Staged value gone => this op was already promoted pre-crash.
+      }
+    } else {
+      // Roll back: drop any staged values; final keys were never written.
+      for (const JournalOp& op : ops) {
+        if (!op.is_delete) op.store->Delete(op.staged_key).ok();
+      }
+    }
+    DSTORE_RETURN_IF_ERROR(coordinator->Delete(key));
+  }
+  return Status::OK();
+}
+
+}  // namespace dstore

@@ -1,0 +1,114 @@
+#ifndef DSTORE_UDSM_TRANSACTION_H_
+#define DSTORE_UDSM_TRANSACTION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// Atomic updates across multiple data stores — the paper's stated future
+// work ("providing more coordinated features across multiple data stores
+// such as atomic updates and two-phase commits", Section VII) — implemented
+// entirely client-side, in keeping with the paper's no-server-changes
+// philosophy.
+//
+// Protocol (a two-phase commit with a client-kept decision journal):
+//   1. PREPARE  — every Put is staged under a reserved key in its target
+//                 store; a journal record (phase=prepared) in the
+//                 coordinator store lists every participant.
+//   2. DECIDE   — the journal record is flipped to phase=committing. This
+//                 single write is the commit point.
+//   3. APPLY    — staged values are promoted to their final keys, deletes
+//                 are applied, staging keys are removed.
+//   4. FORGET   — the journal record is deleted.
+//
+// If the client dies at any point, Recover() completes the protocol from
+// the journal: transactions that reached phase=committing are rolled
+// forward (staged values are still in the stores), earlier ones are rolled
+// back. Journal durability is that of the coordinator store, so pick a
+// durable one (file store, SQL store).
+//
+// Not a substitute for a real distributed transaction manager: there are
+// no locks, so concurrent writers to the same keys can interleave between
+// APPLY steps. What it guarantees is all-or-nothing visibility of the
+// transaction's writes once recovery has run.
+class MultiStoreTransaction {
+ public:
+  // `coordinator` holds the journal. `txn_id` must be unique per
+  // transaction (e.g. from MakeTransactionId).
+  MultiStoreTransaction(std::shared_ptr<KeyValueStore> coordinator,
+                        std::string txn_id);
+  ~MultiStoreTransaction();
+
+  MultiStoreTransaction(const MultiStoreTransaction&) = delete;
+  MultiStoreTransaction& operator=(const MultiStoreTransaction&) = delete;
+
+  // Queues a write of `value` to `key` in `store`. `store_name` identifies
+  // the store for recovery (use its UDSM registration name).
+  void Put(std::shared_ptr<KeyValueStore> store, std::string store_name,
+           std::string key, ValuePtr value);
+
+  // Queues a delete.
+  void Delete(std::shared_ptr<KeyValueStore> store, std::string store_name,
+              std::string key);
+
+  // Runs the protocol. On error before the commit point, all staging is
+  // rolled back and no final key was touched. On error after the commit
+  // point, the error is returned but Recover() can complete the
+  // transaction. At most one Commit per object.
+  Status Commit();
+
+  // Explicitly rolls back a not-yet-committed transaction (removes staged
+  // values and the journal record). Called automatically by the destructor
+  // if Commit was never attempted.
+  Status Abort();
+
+  // Completes in-doubt transactions found in `coordinator`'s journal.
+  // `stores` maps store names (as passed to Put/Delete) to live stores.
+  // Transactions that reached the commit point are rolled forward; others
+  // are rolled back. Unknown store names make recovery fail (nothing is
+  // half-applied; re-run with the full map).
+  static Status Recover(
+      KeyValueStore* coordinator,
+      const std::map<std::string, std::shared_ptr<KeyValueStore>>& stores);
+
+  // Journal keys this module reserves (exposed for store housekeeping).
+  static bool IsInternalKey(const std::string& key);
+
+ private:
+  struct Op {
+    std::shared_ptr<KeyValueStore> store;
+    std::string store_name;
+    std::string key;
+    ValuePtr value;  // null = delete
+    std::string staged_key;
+  };
+
+  enum class Phase : uint8_t { kPrepared = 1, kCommitting = 2 };
+
+  std::string JournalKey() const;
+  Bytes EncodeJournal(Phase phase) const;
+  Status WriteJournal(Phase phase);
+  Status StageAll();
+  Status PromoteAll();
+  Status UnstageAll();
+
+  std::shared_ptr<KeyValueStore> coordinator_;
+  std::string txn_id_;
+  std::vector<Op> ops_;
+  bool commit_attempted_ = false;
+  bool committed_ = false;
+};
+
+// Generates a unique transaction id (time + randomness).
+std::string MakeTransactionId();
+
+}  // namespace dstore
+
+#endif  // DSTORE_UDSM_TRANSACTION_H_

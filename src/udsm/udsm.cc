@@ -1,0 +1,69 @@
+#include "udsm/udsm.h"
+
+namespace dstore {
+
+Udsm::Udsm() : Udsm(Options()) {}
+
+Udsm::Udsm(const Options& options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.async_threads)),
+      monitor_(std::make_shared<PerformanceMonitor>(
+          options.monitor_recent_window)) {}
+
+Status Udsm::RegisterStore(const std::string& name,
+                           std::shared_ptr<KeyValueStore> store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("cannot register a null store");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("store name must not be empty");
+  }
+  Entry entry;
+  entry.raw = store;
+  entry.monitored =
+      options_.monitor
+          ? std::make_shared<MonitoredStore>(std::move(store), monitor_)
+          : entry.raw;
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Status Udsm::UnregisterStore(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stores_.erase(name) == 0) {
+    return Status::NotFound("no store registered as: " + name);
+  }
+  return Status::OK();
+}
+
+KeyValueStore* Udsm::GetStore(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second.monitored.get();
+}
+
+std::shared_ptr<KeyValueStore> Udsm::GetStoreShared(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second.monitored;
+}
+
+StatusOr<AsyncStore> Udsm::GetAsyncStore(const std::string& name) const {
+  std::shared_ptr<KeyValueStore> store = GetStoreShared(name);
+  if (store == nullptr) {
+    return Status::NotFound("no store registered as: " + name);
+  }
+  return AsyncStore(std::move(store), pool_.get());
+}
+
+std::vector<std::string> Udsm::StoreNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, entry] : stores_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dstore

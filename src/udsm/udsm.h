@@ -1,0 +1,105 @@
+#ifndef DSTORE_UDSM_UDSM_H_
+#define DSTORE_UDSM_UDSM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "store/key_value.h"
+#include "udsm/async_store.h"
+#include "udsm/monitor.h"
+#include "udsm/workload.h"
+
+namespace dstore {
+
+// The Universal Data Store Manager (paper Section II.A): one object through
+// which an application reaches multiple heterogeneous data stores — file
+// systems, SQL databases, cloud object stores, caches — all behind the
+// common key-value interface, each optionally wrapped with performance
+// monitoring, and every one reachable both synchronously and asynchronously.
+//
+//   Udsm udsm(Udsm::Options{...});
+//   udsm.RegisterStore("cloud", std::move(cloud_client));
+//   udsm.RegisterStore("file", std::move(file_store));
+//   auto* store = udsm.GetStore("cloud");        // sync interface
+//   auto async = udsm.GetAsyncStore("cloud");    // nonblocking interface
+//   auto* native = udsm.GetNative<SqlClient>("sql");  // native escape hatch
+//
+// Stores registered here can be freely substituted for one another by name —
+// "it is easy for an application to switch from using one data store to
+// another".
+class Udsm {
+ public:
+  struct Options {
+    // Thread pool size for the asynchronous interface ("users can specify
+    // the thread pool size via a configuration parameter").
+    size_t async_threads = 8;
+    // Wrap every registered store with latency monitoring.
+    bool monitor = true;
+    // Detailed samples kept per (store, op) by the monitor.
+    size_t monitor_recent_window = 1024;
+  };
+
+  Udsm();
+  explicit Udsm(const Options& options);
+
+  Udsm(const Udsm&) = delete;
+  Udsm& operator=(const Udsm&) = delete;
+
+  // Registers `store` under `name`. Re-registering a name replaces the old
+  // store (the paper: "designed to allow new clients for the same data
+  // store to replace older ones as the clients evolve").
+  Status RegisterStore(const std::string& name,
+                       std::shared_ptr<KeyValueStore> store);
+
+  Status UnregisterStore(const std::string& name);
+
+  // Synchronous common interface (monitored if Options::monitor).
+  // Returns nullptr if `name` is unknown.
+  KeyValueStore* GetStore(const std::string& name) const;
+  std::shared_ptr<KeyValueStore> GetStoreShared(const std::string& name) const;
+
+  // Asynchronous interface over the same store, backed by the shared pool.
+  StatusOr<AsyncStore> GetAsyncStore(const std::string& name) const;
+
+  // Native-interface escape hatch: the underlying client, downcast to its
+  // concrete type (e.g. SqlClient to issue SQL). Null if the name is
+  // unknown or the type does not match.
+  template <typename T>
+  T* GetNative(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stores_.find(name);
+    if (it == stores_.end()) return nullptr;
+    return dynamic_cast<T*>(it->second.raw.get());
+  }
+
+  std::vector<std::string> StoreNames() const;
+
+  PerformanceMonitor* monitor() const { return monitor_.get(); }
+  ThreadPool* pool() const { return pool_.get(); }
+
+  // Builds a workload generator sharing no UDSM state (convenience).
+  WorkloadGenerator MakeWorkloadGenerator(
+      const WorkloadGenerator::Config& config) const {
+    return WorkloadGenerator(config);
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<KeyValueStore> raw;        // the registered client
+    std::shared_ptr<KeyValueStore> monitored;  // raw or monitoring wrapper
+  };
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<PerformanceMonitor> monitor_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> stores_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_UDSM_UDSM_H_

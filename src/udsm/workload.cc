@@ -1,0 +1,271 @@
+#include "udsm/workload.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace dstore {
+
+namespace {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double mean = Mean(xs);
+  double sum_sq = 0;
+  for (double x : xs) sum_sq += (x - mean) * (x - mean);
+  return std::sqrt(sum_sq / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const Config& config, const Clock* clock)
+    : config_(config),
+      clock_(clock != nullptr ? clock : RealClock::Default()) {}
+
+Status WorkloadGenerator::UseDataFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open data file: " + path);
+  file_data_.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  if (file_data_.empty()) {
+    return Status::InvalidArgument("data file is empty: " + path);
+  }
+  return Status::OK();
+}
+
+void WorkloadGenerator::UseDataSource(DataSource source) {
+  source_ = std::move(source);
+}
+
+Bytes WorkloadGenerator::MakeObject(size_t size, Random* rng) {
+  if (source_) return source_(size, rng);
+  if (!file_data_.empty()) {
+    Bytes out;
+    out.reserve(size);
+    while (out.size() < size) {
+      const size_t take = std::min(file_data_.size(), size - out.size());
+      out.insert(out.end(), file_data_.begin(),
+                 file_data_.begin() + static_cast<ptrdiff_t>(take));
+    }
+    return out;
+  }
+  return rng->CompressibleBytes(size, config_.redundancy);
+}
+
+StatusOr<std::vector<WorkloadGenerator::SizePoint>>
+WorkloadGenerator::MeasureStore(KeyValueStore* store) {
+  std::vector<SizePoint> points;
+  Random rng(config_.seed);
+  for (size_t size : config_.sizes) {
+    std::vector<double> read_runs, write_runs;
+    for (int run = 0; run < config_.runs; ++run) {
+      // Fresh objects each run; distinct keys avoid cross-run caching in
+      // the store's own layers.
+      std::vector<std::string> keys;
+      std::vector<Bytes> objects;
+      for (int i = 0; i < config_.ops_per_size; ++i) {
+        keys.push_back("wl_" + std::to_string(size) + "_" +
+                       std::to_string(run) + "_" + std::to_string(i));
+        objects.push_back(MakeObject(size, &rng));
+      }
+
+      Stopwatch write_watch(clock_);
+      for (int i = 0; i < config_.ops_per_size; ++i) {
+        DSTORE_RETURN_IF_ERROR(
+            store->Put(keys[i], MakeValue(Bytes(objects[i]))));
+      }
+      write_runs.push_back(write_watch.ElapsedMillis() /
+                           config_.ops_per_size);
+
+      Stopwatch read_watch(clock_);
+      for (int i = 0; i < config_.ops_per_size; ++i) {
+        DSTORE_ASSIGN_OR_RETURN(ValuePtr value, store->Get(keys[i]));
+        if (value->size() != size) {
+          return Status::Internal("size mismatch reading back object");
+        }
+      }
+      read_runs.push_back(read_watch.ElapsedMillis() / config_.ops_per_size);
+
+      for (const std::string& key : keys) {
+        DSTORE_RETURN_IF_ERROR(store->Delete(key));
+      }
+    }
+    SizePoint point;
+    point.size = size;
+    point.read_ms = Mean(read_runs);
+    point.write_ms = Mean(write_runs);
+    point.read_stddev_ms = Stddev(read_runs);
+    point.write_stddev_ms = Stddev(write_runs);
+    points.push_back(point);
+  }
+  return points;
+}
+
+StatusOr<std::vector<WorkloadGenerator::CachedReadPoint>>
+WorkloadGenerator::MeasureCachedReads(KeyValueStore* store, Cache* cache) {
+  std::vector<CachedReadPoint> points;
+  Random rng(config_.seed);
+  for (size_t size : config_.sizes) {
+    std::vector<double> miss_runs, hit_runs;
+    for (int run = 0; run < config_.runs; ++run) {
+      std::vector<std::string> keys;
+      for (int i = 0; i < config_.ops_per_size; ++i) {
+        const std::string key = "wlc_" + std::to_string(size) + "_" +
+                                std::to_string(run) + "_" + std::to_string(i);
+        keys.push_back(key);
+        Bytes object = MakeObject(size, &rng);
+        DSTORE_RETURN_IF_ERROR(store->Put(key, MakeValue(Bytes(object))));
+        DSTORE_RETURN_IF_ERROR(cache->Put(key, MakeValue(std::move(object))));
+      }
+
+      // Miss path: read through the store interface.
+      Stopwatch miss_watch(clock_);
+      for (const std::string& key : keys) {
+        DSTORE_ASSIGN_OR_RETURN(ValuePtr value, store->Get(key));
+        (void)value;
+      }
+      miss_runs.push_back(miss_watch.ElapsedMillis() / config_.ops_per_size);
+
+      // Hit path: read from the cache (100% hit rate).
+      Stopwatch hit_watch(clock_);
+      for (const std::string& key : keys) {
+        DSTORE_ASSIGN_OR_RETURN(ValuePtr value, cache->Get(key));
+        (void)value;
+      }
+      hit_runs.push_back(hit_watch.ElapsedMillis() / config_.ops_per_size);
+
+      for (const std::string& key : keys) {
+        DSTORE_RETURN_IF_ERROR(store->Delete(key));
+        DSTORE_RETURN_IF_ERROR(cache->Delete(key));
+      }
+    }
+
+    CachedReadPoint point;
+    point.size = size;
+    point.miss_ms = Mean(miss_runs);
+    point.hit_ms = Mean(hit_runs);
+    for (double rate : config_.hit_rates) {
+      point.extrapolated_ms.push_back(rate * point.hit_ms +
+                                      (1.0 - rate) * point.miss_ms);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+StatusOr<std::vector<WorkloadGenerator::OverheadPoint>>
+WorkloadGenerator::MeasureCipher(Cipher* cipher) {
+  std::vector<OverheadPoint> points;
+  Random rng(config_.seed);
+  for (size_t size : config_.sizes) {
+    std::vector<double> enc_runs, dec_runs;
+    for (int run = 0; run < config_.runs; ++run) {
+      std::vector<Bytes> plaintexts, ciphertexts;
+      for (int i = 0; i < config_.ops_per_size; ++i) {
+        plaintexts.push_back(MakeObject(size, &rng));
+      }
+      Stopwatch enc_watch(clock_);
+      for (const Bytes& plain : plaintexts) {
+        DSTORE_ASSIGN_OR_RETURN(Bytes encrypted, cipher->Encrypt(plain));
+        ciphertexts.push_back(std::move(encrypted));
+      }
+      enc_runs.push_back(enc_watch.ElapsedMillis() / config_.ops_per_size);
+
+      Stopwatch dec_watch(clock_);
+      for (const Bytes& encrypted : ciphertexts) {
+        DSTORE_ASSIGN_OR_RETURN(Bytes decrypted, cipher->Decrypt(encrypted));
+        if (decrypted.size() != size) {
+          return Status::Internal("decryption size mismatch");
+        }
+      }
+      dec_runs.push_back(dec_watch.ElapsedMillis() / config_.ops_per_size);
+    }
+    OverheadPoint point;
+    point.size = size;
+    point.forward_ms = Mean(enc_runs);
+    point.backward_ms = Mean(dec_runs);
+    point.ratio = 1.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+StatusOr<std::vector<WorkloadGenerator::OverheadPoint>>
+WorkloadGenerator::MeasureCodec(Codec* codec) {
+  std::vector<OverheadPoint> points;
+  Random rng(config_.seed);
+  for (size_t size : config_.sizes) {
+    std::vector<double> comp_runs, decomp_runs;
+    double ratio_sum = 0;
+    int ratio_count = 0;
+    for (int run = 0; run < config_.runs; ++run) {
+      std::vector<Bytes> inputs, compressed;
+      for (int i = 0; i < config_.ops_per_size; ++i) {
+        inputs.push_back(MakeObject(size, &rng));
+      }
+      Stopwatch comp_watch(clock_);
+      for (const Bytes& input : inputs) {
+        DSTORE_ASSIGN_OR_RETURN(Bytes output, codec->Compress(input));
+        compressed.push_back(std::move(output));
+      }
+      comp_runs.push_back(comp_watch.ElapsedMillis() / config_.ops_per_size);
+
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        if (!inputs[i].empty()) {
+          ratio_sum += static_cast<double>(compressed[i].size()) /
+                       static_cast<double>(inputs[i].size());
+          ++ratio_count;
+        }
+      }
+
+      Stopwatch decomp_watch(clock_);
+      for (const Bytes& input : compressed) {
+        DSTORE_ASSIGN_OR_RETURN(Bytes output, codec->Decompress(input));
+        if (output.size() != size) {
+          return Status::Internal("decompression size mismatch");
+        }
+      }
+      decomp_runs.push_back(decomp_watch.ElapsedMillis() /
+                            config_.ops_per_size);
+    }
+    OverheadPoint point;
+    point.size = size;
+    point.forward_ms = Mean(comp_runs);
+    point.backward_ms = Mean(decomp_runs);
+    point.ratio = ratio_count == 0 ? 1.0 : ratio_sum / ratio_count;
+    points.push_back(point);
+  }
+  return points;
+}
+
+Status WorkloadGenerator::WriteTable(
+    const std::string& path, const std::vector<std::string>& columns,
+    const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open output file: " + path);
+  out << "#";
+  for (const std::string& column : columns) out << " " << column;
+  out << "\n";
+  char buf[32];
+  for (const auto& row : rows) {
+    bool first = true;
+    for (double value : row) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      if (!first) out << " ";
+      out << buf;
+      first = false;
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::IOError("write failed: " + path);
+}
+
+}  // namespace dstore

@@ -1,0 +1,120 @@
+#ifndef DSTORE_UDSM_WORKLOAD_H_
+#define DSTORE_UDSM_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "compress/codec.h"
+#include "crypto/cipher.h"
+#include "store/key_value.h"
+
+namespace dstore {
+
+// The UDSM workload generator (paper Section II.A): drives any store through
+// the common key-value interface across a range of object sizes, measures
+// read/write latency, extrapolates cached-read latency for caller-chosen hit
+// rates, measures encryption/compression overhead, and writes gnuplot-ready
+// text files. "The workload generator was a critical component in generating
+// the performance data in Section V" — it is likewise what our bench/
+// binaries are built on.
+class WorkloadGenerator {
+ public:
+  struct Config {
+    // Object sizes to sweep (bytes). Defaults cover the paper's 1B..1MB
+    // log-scale x-axis.
+    std::vector<size_t> sizes = {1,      10,      100,     1000,   10000,
+                                 100000, 1000000};
+    // Operations measured per (size, run).
+    int ops_per_size = 10;
+    // Experiments are averaged over this many runs ("each data point is
+    // averaged over 4 runs", paper Section V).
+    int runs = 4;
+    // Synthetic data redundancy in [0,1] (see Random::CompressibleBytes).
+    double redundancy = 0.5;
+    uint64_t seed = 42;
+    // Cache hit rates to extrapolate for cached-read measurements.
+    std::vector<double> hit_rates = {0.0, 0.25, 0.5, 0.75, 1.0};
+  };
+
+  // Source of test objects. Defaults to synthetic data; callers may supply
+  // their own objects ("users can provide their own data objects ... either
+  // by placing the data in input files or writing a user-defined method").
+  using DataSource = std::function<Bytes(size_t size, Random* rng)>;
+
+  explicit WorkloadGenerator(const Config& config,
+                             const Clock* clock = nullptr);
+
+  // Uses `path`'s contents (tiled/truncated to each requested size).
+  Status UseDataFile(const std::string& path);
+  void UseDataSource(DataSource source);
+
+  // --- Measurements ---
+
+  struct SizePoint {
+    size_t size = 0;
+    double read_ms = 0;
+    double write_ms = 0;
+    double read_stddev_ms = 0;
+    double write_stddev_ms = 0;
+  };
+
+  // Measures raw read/write latency per size (Figs. 9 & 10 series).
+  StatusOr<std::vector<SizePoint>> MeasureStore(KeyValueStore* store);
+
+  struct CachedReadPoint {
+    size_t size = 0;
+    double miss_ms = 0;  // read via the store (no caching)
+    double hit_ms = 0;   // read via the cache (100% hit rate)
+    // extrapolated[i] = hit_rates[i]*hit_ms + (1-hit_rates[i])*miss_ms
+    std::vector<double> extrapolated_ms;
+  };
+
+  // Measures the no-cache and 100%-hit paths, then extrapolates each
+  // configured hit rate (paper: "Multiple runs were made to determine read
+  // latencies ... without caching and with caching when the hit rate is
+  // 100%. From these numbers, the workload generator can extrapolate
+  // performance for different hit rates."). Figs. 11-19.
+  StatusOr<std::vector<CachedReadPoint>> MeasureCachedReads(
+      KeyValueStore* store, Cache* cache);
+
+  struct OverheadPoint {
+    size_t size = 0;
+    double forward_ms = 0;   // encrypt / compress
+    double backward_ms = 0;  // decrypt / decompress
+    double ratio = 0;        // output/input size (compression only)
+  };
+
+  // Fig. 20: AES encryption/decryption overhead per size.
+  StatusOr<std::vector<OverheadPoint>> MeasureCipher(Cipher* cipher);
+  // Fig. 21: gzip compression/decompression overhead per size.
+  StatusOr<std::vector<OverheadPoint>> MeasureCodec(Codec* codec);
+
+  // --- Output ---
+  // Writes whitespace-separated columns with a '#' header line — directly
+  // loadable by gnuplot / spreadsheets (paper: "Data from performance
+  // testing is stored in text files").
+  static Status WriteTable(const std::string& path,
+                           const std::vector<std::string>& columns,
+                           const std::vector<std::vector<double>>& rows);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Bytes MakeObject(size_t size, Random* rng);
+
+  Config config_;
+  const Clock* clock_;
+  DataSource source_;
+  Bytes file_data_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_UDSM_WORKLOAD_H_

@@ -1,0 +1,95 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace dstore {
+namespace {
+
+Bytes FromHex(std::string_view hex) {
+  auto decoded = HexDecode(hex);
+  EXPECT_TRUE(decoded.ok());
+  return *decoded;
+}
+
+// FIPS-197 Appendix C known-answer tests: plaintext 00112233445566778899aabbccddeeff.
+struct Fips197Case {
+  const char* key;
+  const char* ciphertext;
+};
+
+class AesFips197Test : public ::testing::TestWithParam<Fips197Case> {};
+
+TEST_P(AesFips197Test, EncryptMatchesVector) {
+  const Bytes key = FromHex(GetParam().key);
+  const Bytes plain = FromHex("00112233445566778899aabbccddeeff");
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(key).ok());
+  Bytes out(16);
+  aes.EncryptBlock(plain.data(), out.data());
+  EXPECT_EQ(HexEncode(out), GetParam().ciphertext);
+}
+
+TEST_P(AesFips197Test, DecryptInvertsEncrypt) {
+  const Bytes key = FromHex(GetParam().key);
+  const Bytes cipher = FromHex(GetParam().ciphertext);
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(key).ok());
+  Bytes out(16);
+  aes.DecryptBlock(cipher.data(), out.data());
+  EXPECT_EQ(HexEncode(out), "00112233445566778899aabbccddeeff");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKeySizes, AesFips197Test,
+    ::testing::Values(
+        Fips197Case{"000102030405060708090a0b0c0d0e0f",
+                    "69c4e0d86a7b0430d8cdb78070b4c55a"},
+        Fips197Case{"000102030405060708090a0b0c0d0e0f1011121314151617",
+                    "dda97ca4864cdfe06eaf70a0ec0d7191"},
+        Fips197Case{
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+            "8ea2b7ca516745bfeafc49904b496089"}));
+
+TEST(AesTest, RejectsBadKeySizes) {
+  Aes aes;
+  EXPECT_TRUE(aes.SetKey(Bytes(15, 0)).IsInvalidArgument());
+  EXPECT_TRUE(aes.SetKey(Bytes(17, 0)).IsInvalidArgument());
+  EXPECT_TRUE(aes.SetKey(Bytes(0, 0)).IsInvalidArgument());
+  EXPECT_FALSE(aes.has_key());
+}
+
+TEST(AesTest, HasKeyAfterSetKey) {
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(Bytes(16, 0x42)).ok());
+  EXPECT_TRUE(aes.has_key());
+}
+
+TEST(AesTest, InPlaceBlockOperation) {
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(FromHex("000102030405060708090a0b0c0d0e0f")).ok());
+  Bytes block = FromHex("00112233445566778899aabbccddeeff");
+  aes.EncryptBlock(block.data(), block.data());
+  EXPECT_EQ(HexEncode(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.DecryptBlock(block.data(), block.data());
+  EXPECT_EQ(HexEncode(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(AesTest, RoundTripManyRandomBlocks) {
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(Bytes(32, 0x7f)).ok());
+  Bytes block(16), out(16), back(16);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (int i = 0; i < 16; ++i) {
+      block[i] = static_cast<uint8_t>(trial * 16 + i * 31);
+    }
+    aes.EncryptBlock(block.data(), out.data());
+    aes.DecryptBlock(out.data(), back.data());
+    EXPECT_EQ(back, block);
+    EXPECT_NE(out, block);
+  }
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "store/memory_store.h"
+#include "store/remote_cache.h"
+
+namespace dstore {
+namespace {
+
+TEST(BatchOpsTest, DefaultMultiGetLoopsOverGet) {
+  MemoryStore store;
+  store.PutString("a", "1");
+  store.PutString("c", "3");
+  auto results = store.MultiGet({"a", "b", "c"});
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(ToString(**results[0]), "1");
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ(ToString(**results[2]), "3");
+}
+
+TEST(BatchOpsTest, DefaultMultiPutAppliesAll) {
+  MemoryStore store;
+  ASSERT_TRUE(store
+                  .MultiPut({{"x", MakeValue(std::string_view("1"))},
+                             {"y", MakeValue(std::string_view("2"))}})
+                  .ok());
+  EXPECT_EQ(*store.GetString("x"), "1");
+  EXPECT_EQ(*store.GetString("y"), "2");
+}
+
+class RemoteBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto server =
+        RemoteCacheServer::Start(std::make_unique<LruCache>(64u << 20));
+    ASSERT_TRUE(server.ok());
+    server_ = *std::move(server);
+    auto conn = RemoteCacheConnection::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(conn.ok());
+    conn_ = *conn;
+    store_ = std::make_unique<RemoteCacheStore>(conn_);
+  }
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<RemoteCacheServer> server_;
+  std::shared_ptr<RemoteCacheConnection> conn_;
+  std::unique_ptr<RemoteCacheStore> store_;
+};
+
+TEST_F(RemoteBatchTest, MultiPutThenMultiGetOverTheWire) {
+  std::vector<std::pair<std::string, ValuePtr>> entries;
+  for (int i = 0; i < 20; ++i) {
+    entries.emplace_back("k" + std::to_string(i),
+                         MakeValue("v" + std::to_string(i)));
+  }
+  ASSERT_TRUE(store_->MultiPut(entries).ok());
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 20; ++i) keys.push_back("k" + std::to_string(i));
+  keys.push_back("missing");
+  auto results = store_->MultiGet(keys);
+  ASSERT_EQ(results.size(), 21u);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    EXPECT_EQ(ToString(**results[i]), "v" + std::to_string(i));
+  }
+  EXPECT_TRUE(results[20].status().IsNotFound());
+}
+
+TEST_F(RemoteBatchTest, EmptyBatchesAreFine) {
+  EXPECT_TRUE(store_->MultiPut({}).ok());
+  EXPECT_TRUE(store_->MultiGet({}).empty());
+}
+
+TEST_F(RemoteBatchTest, MultiPutRejectsNullValue) {
+  EXPECT_TRUE(store_->MultiPut({{"k", nullptr}}).IsInvalidArgument());
+}
+
+TEST_F(RemoteBatchTest, LargeValuesInBatch) {
+  Bytes big(500000, 0x42);
+  ASSERT_TRUE(store_
+                  ->MultiPut({{"big1", MakeValue(Bytes(big))},
+                              {"big2", MakeValue(Bytes(big))}})
+                  .ok());
+  auto results = store_->MultiGet({"big1", "big2"});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(**results[0], big);
+  EXPECT_EQ(**results[1], big);
+}
+
+}  // namespace
+}  // namespace dstore

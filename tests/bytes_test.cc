@@ -1,0 +1,122 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dstore {
+namespace {
+
+TEST(BytesTest, ToBytesAndBack) {
+  const std::string text = "hello, store";
+  Bytes b = ToBytes(text);
+  EXPECT_EQ(ToString(b), text);
+  EXPECT_EQ(AsStringView(b), text);
+}
+
+TEST(BytesTest, MakeValueShares) {
+  ValuePtr v = MakeValue(ToBytes("abc"));
+  ValuePtr w = v;
+  EXPECT_EQ(v.get(), w.get());
+  EXPECT_EQ(ToString(*v), "abc");
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xff};
+  const std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abcdff");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(BytesTest, HexDecodeUppercase) {
+  auto decoded = HexDecode("ABCD");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xab, 0xcd}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_TRUE(HexDecode("abc").status().IsInvalidArgument());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_TRUE(HexDecode("zz").status().IsInvalidArgument());
+}
+
+TEST(BytesTest, Fixed32RoundTrip) {
+  Bytes buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0xdeadbeefu);
+}
+
+TEST(BytesTest, Fixed64RoundTrip) {
+  Bytes buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, VarintSmallValues) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    Bytes buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u);
+    size_t pos = 0;
+    auto decoded = GetVarint64(buf, &pos);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  for (uint64_t v : {128ull, 16383ull, 16384ull, 0xffffffffull,
+                     0xffffffffffffffffull}) {
+    Bytes buf;
+    PutVarint64(&buf, v);
+    size_t pos = 0;
+    auto decoded = GetVarint64(buf, &pos);
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(BytesTest, VarintTruncatedFails) {
+  Bytes buf = {0x80};  // continuation bit set, no next byte
+  size_t pos = 0;
+  EXPECT_TRUE(GetVarint64(buf, &pos).status().IsCorruption());
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  Bytes buf;
+  PutLengthPrefixed(&buf, ToBytes("first"));
+  PutLengthPrefixed(&buf, std::string_view("second!"));
+  size_t pos = 0;
+  auto a = GetLengthPrefixed(buf, &pos);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(ToString(*a), "first");
+  auto b = GetLengthPrefixed(buf, &pos);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToString(*b), "second!");
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(BytesTest, LengthPrefixedTruncatedFails) {
+  Bytes buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes follow, none do
+  size_t pos = 0;
+  EXPECT_TRUE(GetLengthPrefixed(buf, &pos).status().IsCorruption());
+}
+
+TEST(BytesTest, LengthPrefixedEmptySlice) {
+  Bytes buf;
+  PutLengthPrefixed(&buf, Bytes{});
+  size_t pos = 0;
+  auto decoded = GetLengthPrefixed(buf, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+}  // namespace
+}  // namespace dstore

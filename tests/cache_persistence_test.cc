@@ -1,0 +1,109 @@
+#include "dscl/cache_persistence.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/clock_cache.h"
+#include "cache/gds_cache.h"
+#include "cache/lru_cache.h"
+#include "common/random.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+TEST(CacheKeysTest, AllInProcessCachesEnumerate) {
+  LruCache lru(1 << 20);
+  GdsCache gds(1 << 20);
+  ClockCache clock(1 << 20);
+  for (Cache* cache : std::initializer_list<Cache*>{&lru, &gds, &clock}) {
+    cache->Put("k1", MakeValue(std::string_view("v")));
+    cache->Put("k2", MakeValue(std::string_view("v")));
+    auto keys = cache->Keys();
+    ASSERT_TRUE(keys.ok()) << cache->Name();
+    std::sort(keys->begin(), keys->end());
+    EXPECT_EQ(*keys, (std::vector<std::string>{"k1", "k2"})) << cache->Name();
+  }
+}
+
+TEST(CachePersistenceTest, WarmRestartRoundTrip) {
+  MemoryStore durable;
+  Random rng(1);
+  std::map<std::string, Bytes> contents;
+  {
+    LruCache cache(64u << 20);
+    for (int i = 0; i < 50; ++i) {
+      const std::string key = "obj" + std::to_string(i);
+      contents[key] = rng.RandomBytes(200);
+      cache.Put(key, MakeValue(Bytes(contents[key])));
+    }
+    // "Store some data from a cache persistently before shutting down."
+    ASSERT_TRUE(SaveCacheToStore(&cache, &durable, "warm-state").ok());
+  }  // cache process "shuts down"
+
+  // "When the cache is restarted, it can quickly be brought to a warm state."
+  LruCache restarted(64u << 20);
+  auto loaded = LoadCacheFromStore(&restarted, &durable, "warm-state");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 50u);
+  for (const auto& [key, value] : contents) {
+    auto got = restarted.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(**got, value);
+  }
+}
+
+TEST(CachePersistenceTest, MaxEntriesBoundsSnapshot) {
+  MemoryStore durable;
+  LruCache cache(1 << 20);
+  for (int i = 0; i < 20; ++i) {
+    cache.Put("k" + std::to_string(i), MakeValue(std::string_view("v")));
+  }
+  ASSERT_TRUE(SaveCacheToStore(&cache, &durable, "partial", 5).ok());
+  LruCache restarted(1 << 20);
+  auto loaded = LoadCacheFromStore(&restarted, &durable, "partial");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 5u);
+}
+
+TEST(CachePersistenceTest, CrossCacheTypeRestore) {
+  // Snapshot an LRU cache, warm a CLOCK cache from it: persistence is
+  // implementation-agnostic because it goes through the Cache interface.
+  MemoryStore durable;
+  LruCache lru(1 << 20);
+  lru.Put("x", MakeValue(std::string_view("1")));
+  lru.Put("y", MakeValue(std::string_view("2")));
+  ASSERT_TRUE(SaveCacheToStore(&lru, &durable, "snap").ok());
+
+  ClockCache clock(1 << 20);
+  ASSERT_TRUE(LoadCacheFromStore(&clock, &durable, "snap").ok());
+  EXPECT_EQ(ToString(**clock.Get("x")), "1");
+  EXPECT_EQ(ToString(**clock.Get("y")), "2");
+}
+
+TEST(CachePersistenceTest, MissingSnapshotIsNotFound) {
+  MemoryStore durable;
+  LruCache cache(1 << 20);
+  EXPECT_TRUE(
+      LoadCacheFromStore(&cache, &durable, "nope").status().IsNotFound());
+}
+
+TEST(CachePersistenceTest, CorruptSnapshotRejected) {
+  MemoryStore durable;
+  durable.PutString("bad", "garbage");
+  LruCache cache(1 << 20);
+  EXPECT_TRUE(
+      LoadCacheFromStore(&cache, &durable, "bad").status().IsCorruption());
+}
+
+TEST(CachePersistenceTest, EmptyCacheSnapshotsFine) {
+  MemoryStore durable;
+  LruCache cache(1 << 20);
+  ASSERT_TRUE(SaveCacheToStore(&cache, &durable, "empty").ok());
+  LruCache restarted(1 << 20);
+  auto loaded = LoadCacheFromStore(&restarted, &durable, "empty");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 0u);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,120 @@
+// End-to-end test of the udsm_cli example binary: feeds a command script
+// through a pipe and checks the output, exactly as a user would drive it.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dstore {
+namespace {
+
+// Runs the CLI with `input` on stdin; returns its stdout.
+std::string RunCli(const std::string& input) {
+  int in_pipe[2], out_pipe[2];
+  EXPECT_EQ(::pipe(in_pipe), 0);
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]}) {
+      ::close(fd);
+    }
+    ::execl(DSTORE_UDSM_CLI_PATH, DSTORE_UDSM_CLI_PATH,
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  // Write the whole script, then close stdin so the CLI exits.
+  size_t off = 0;
+  while (off < input.size()) {
+    const ssize_t n =
+        ::write(in_pipe[1], input.data() + off, input.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::close(in_pipe[1]);
+
+  std::string output;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(out_pipe[0], buf, sizeof(buf))) > 0) {
+    output.append(buf, static_cast<size_t>(n));
+  }
+  ::close(out_pipe[0]);
+  int wait_status = 0;
+  ::waitpid(pid, &wait_status, 0);
+  EXPECT_TRUE(WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0)
+      << output;
+  return output;
+}
+
+TEST(CliTest, KeyValueWorkflow) {
+  const std::string out = RunCli(
+      "open scratch memory\n"
+      "put greeting hello world\n"
+      "get greeting\n"
+      "has greeting\n"
+      "has missing\n"
+      "count\n"
+      "del greeting\n"
+      "get greeting\n"
+      "quit\n");
+  EXPECT_NE(out.find("opened scratch (memory)"), std::string::npos);
+  EXPECT_NE(out.find("hello world"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("no"), std::string::npos);
+  EXPECT_NE(out.find("NotFound"), std::string::npos);
+}
+
+TEST(CliTest, SqlWorkflow) {
+  const std::string out = RunCli(
+      "open db sql\n"
+      "sql CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT)\n"
+      "sql INSERT INTO users VALUES (1, 'ada'), (2, 'bob')\n"
+      "sql SELECT name, COUNT(*) FROM users GROUP BY name\n"
+      "sql SELECT COUNT(*) FROM users\n"
+      "quit\n");
+  EXPECT_NE(out.find("ada"), std::string::npos);
+  EXPECT_NE(out.find("bob"), std::string::npos);
+  EXPECT_NE(out.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(CliTest, MultipleStoresAndMonitor) {
+  const std::string out = RunCli(
+      "open a memory\n"
+      "open b memory\n"
+      "stores\n"
+      "use b\n"
+      "put k v\n"
+      "monitor\n"
+      "quit\n");
+  EXPECT_NE(out.find("a *"), std::string::npos);  // first opened is current
+  EXPECT_NE(out.find("using b"), std::string::npos);
+  // Monitor report header includes percentile columns.
+  EXPECT_NE(out.find("p95_ms"), std::string::npos);
+  EXPECT_NE(out.find("memory"), std::string::npos);
+}
+
+TEST(CliTest, ErrorsAreReportedNotFatal) {
+  const std::string out = RunCli(
+      "get nothing-open\n"
+      "open s memory\n"
+      "sql SELECT * FROM t\n"
+      "bogus-command\n"
+      "get after-errors\n"
+      "quit\n");
+  EXPECT_NE(out.find("no store selected"), std::string::npos);
+  EXPECT_NE(out.find("not a sql store"), std::string::npos);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_NE(out.find("NotFound"), std::string::npos);  // still functional
+}
+
+}  // namespace
+}  // namespace dstore

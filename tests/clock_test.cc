@@ -1,0 +1,68 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace dstore {
+namespace {
+
+TEST(RealClockTest, Monotonic) {
+  RealClock clock;
+  const int64_t a = clock.NowNanos();
+  const int64_t b = clock.NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(RealClockTest, SleepAdvancesTime) {
+  RealClock clock;
+  const int64_t start = clock.NowNanos();
+  clock.SleepFor(2'000'000);  // 2 ms
+  EXPECT_GE(clock.NowNanos() - start, 2'000'000);
+}
+
+TEST(RealClockTest, NegativeSleepIsNoop) {
+  RealClock clock;
+  clock.SleepFor(-5);  // must not hang or crash
+}
+
+TEST(RealClockTest, DefaultIsSingleton) {
+  EXPECT_EQ(RealClock::Default(), RealClock::Default());
+}
+
+TEST(SimulatedClockTest, StartsAtGivenTime) {
+  SimulatedClock clock(123);
+  EXPECT_EQ(clock.NowNanos(), 123);
+}
+
+TEST(SimulatedClockTest, AdvanceMovesTime) {
+  SimulatedClock clock;
+  clock.Advance(1'000);
+  EXPECT_EQ(clock.NowNanos(), 1'000);
+  clock.Advance(500);
+  EXPECT_EQ(clock.NowNanos(), 1'500);
+}
+
+TEST(SimulatedClockTest, SleepForAdvancesVirtualTime) {
+  SimulatedClock clock;
+  clock.SleepFor(10'000'000'000);  // 10 virtual seconds, returns immediately
+  EXPECT_EQ(clock.NowNanos(), 10'000'000'000);
+}
+
+TEST(SimulatedClockTest, UnitConversions) {
+  SimulatedClock clock;
+  clock.SetNanos(3'500'000'000);
+  EXPECT_EQ(clock.NowMicros(), 3'500'000);
+  EXPECT_EQ(clock.NowMillis(), 3'500);
+}
+
+TEST(StopwatchTest, MeasuresSimulatedTime) {
+  SimulatedClock clock;
+  Stopwatch watch(&clock);
+  clock.Advance(5'000'000);
+  EXPECT_EQ(watch.ElapsedNanos(), 5'000'000);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 5.0);
+  watch.Restart();
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,52 @@
+#include "compress/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace dstore {
+namespace {
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const std::string msg = "123456789";
+  EXPECT_EQ(Crc32(msg.data(), msg.size()), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, KnownVectors) {
+  const std::string a = "a";
+  EXPECT_EQ(Crc32(a.data(), a.size()), 0xe8b7be43u);
+  const std::string abc = "abc";
+  EXPECT_EQ(Crc32(abc.data(), abc.size()), 0x352441c2u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const Bytes data = ToBytes("incremental checksum computation works");
+  const uint32_t whole = Crc32(data);
+  for (size_t split = 0; split <= data.size(); split += 7) {
+    uint32_t part = Crc32(data.data(), split);
+    part = Crc32(data.data() + split, data.size() - split, part);
+    EXPECT_EQ(part, whole) << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  Bytes data = ToBytes("payload under test");
+  const uint32_t original = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(data), original) << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(Crc32Test, DetectsTransposition) {
+  Bytes data = ToBytes("ab");
+  Bytes swapped = ToBytes("ba");
+  EXPECT_NE(Crc32(data), Crc32(swapped));
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,175 @@
+#include "dscl/delta_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+TEST(DeltaStoreTest, FirstPutStoresFullObject) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore store(base);
+  ASSERT_TRUE(store.PutString("k", "first version").ok());
+  const auto stats = store.GetTransferStats();
+  EXPECT_EQ(stats.full_puts, 1u);
+  EXPECT_EQ(stats.delta_puts, 0u);
+  EXPECT_EQ(*store.GetString("k"), "first version");
+}
+
+TEST(DeltaStoreTest, SmallUpdateSendsDelta) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore store(base);
+  Random rng(1);
+  Bytes v1 = rng.RandomBytes(10000);
+  ASSERT_TRUE(store.Put("k", MakeValue(Bytes(v1))).ok());
+  Bytes v2 = v1;
+  v2[5000] ^= 0x42;
+  ASSERT_TRUE(store.Put("k", MakeValue(Bytes(v2))).ok());
+
+  const auto stats = store.GetTransferStats();
+  EXPECT_EQ(stats.delta_puts, 1u);
+  // The delta transfer is a tiny fraction of the logical bytes.
+  EXPECT_LT(stats.actual_put_bytes, stats.logical_put_bytes * 3 / 4);
+
+  auto got = store.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, v2);
+}
+
+TEST(DeltaStoreTest, CompletelyNewValueSendsFull) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore store(base);
+  Random rng(2);
+  ASSERT_TRUE(store.Put("k", MakeValue(rng.RandomBytes(5000))).ok());
+  ASSERT_TRUE(store.Put("k", MakeValue(rng.RandomBytes(5000))).ok());
+  const auto stats = store.GetTransferStats();
+  EXPECT_EQ(stats.full_puts, 2u);
+  EXPECT_EQ(stats.delta_puts, 0u);
+}
+
+TEST(DeltaStoreTest, ChainCollapsesAtMaxLength) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore::Options options;
+  options.max_chain_length = 3;
+  DeltaStore store(base, options);
+  Random rng(3);
+  Bytes value = rng.RandomBytes(8000);
+  ASSERT_TRUE(store.Put("k", MakeValue(Bytes(value))).ok());
+  for (int i = 0; i < 6; ++i) {
+    value[static_cast<size_t>(i) * 1000] ^= 0x7f;
+    ASSERT_TRUE(store.Put("k", MakeValue(Bytes(value))).ok());
+  }
+  const auto stats = store.GetTransferStats();
+  EXPECT_GT(stats.chain_collapses, 0u);
+  EXPECT_GT(stats.delta_puts, 0u);
+  auto got = store.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, value);
+}
+
+TEST(DeltaStoreTest, ReadWithoutClientMemoryReconstructs) {
+  // A second client (no last_value_ memory) must reconstruct from the
+  // server: base + all deltas (paper: "the base object and all deltas will
+  // have to be retrieved by the client").
+  auto base = std::make_shared<MemoryStore>();
+  Bytes final_value;
+  {
+    DeltaStore writer(base);
+    Random rng(4);
+    Bytes value = rng.RandomBytes(6000);
+    ASSERT_TRUE(writer.Put("k", MakeValue(Bytes(value))).ok());
+    value[100] ^= 1;
+    ASSERT_TRUE(writer.Put("k", MakeValue(Bytes(value))).ok());
+    value[200] ^= 1;
+    ASSERT_TRUE(writer.Put("k", MakeValue(Bytes(value))).ok());
+    final_value = value;
+    EXPECT_EQ(writer.GetTransferStats().delta_puts, 2u);
+  }
+  DeltaStore reader(base);
+  auto got = reader.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, final_value);
+}
+
+TEST(DeltaStoreTest, WriterWithoutMemoryStillDeltas) {
+  auto base = std::make_shared<MemoryStore>();
+  Random rng(5);
+  Bytes v1 = rng.RandomBytes(6000);
+  {
+    DeltaStore first(base);
+    ASSERT_TRUE(first.Put("k", MakeValue(Bytes(v1))).ok());
+  }
+  // Fresh client updates the same key: must reconstruct the previous
+  // version from the server before computing the delta.
+  DeltaStore second(base);
+  Bytes v2 = v1;
+  v2[3000] ^= 0xff;
+  ASSERT_TRUE(second.Put("k", MakeValue(Bytes(v2))).ok());
+  EXPECT_EQ(second.GetTransferStats().delta_puts, 1u);
+  auto got = second.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, v2);
+}
+
+TEST(DeltaStoreTest, DeleteRemovesWholeChain) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore store(base);
+  Random rng(6);
+  Bytes value = rng.RandomBytes(4000);
+  store.Put("k", MakeValue(Bytes(value)));
+  value[10] ^= 1;
+  store.Put("k", MakeValue(Bytes(value)));
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  // Nothing left behind in the underlying store.
+  EXPECT_EQ(*base->Count(), 0u);
+}
+
+TEST(DeltaStoreTest, ListKeysHidesInternalKeys) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore store(base);
+  Random rng(7);
+  Bytes value = rng.RandomBytes(4000);
+  store.Put("alpha", MakeValue(Bytes(value)));
+  value[0] ^= 1;
+  store.Put("alpha", MakeValue(Bytes(value)));
+  store.PutString("beta", "small");
+  auto keys = store.ListKeys();
+  ASSERT_TRUE(keys.ok());
+  std::sort(keys->begin(), keys->end());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(*store.Count(), 2u);
+}
+
+TEST(DeltaStoreTest, GetMissingIsNotFound) {
+  DeltaStore store(std::make_shared<MemoryStore>());
+  EXPECT_TRUE(store.Get("ghost").status().IsNotFound());
+}
+
+TEST(DeltaStoreTest, ManyKeysIndependentChains) {
+  auto base = std::make_shared<MemoryStore>();
+  DeltaStore store(base);
+  Random rng(8);
+  std::map<std::string, Bytes> current;
+  for (int k = 0; k < 5; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    current[key] = rng.RandomBytes(3000);
+    ASSERT_TRUE(store.Put(key, MakeValue(Bytes(current[key]))).ok());
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (auto& [key, value] : current) {
+      value[rng.Uniform(value.size())] ^= 0x55;
+      ASSERT_TRUE(store.Put(key, MakeValue(Bytes(value))).ok());
+    }
+  }
+  for (const auto& [key, value] : current) {
+    auto got = store.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(**got, value) << key;
+  }
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,254 @@
+#include "delta/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "delta/rolling_hash.h"
+
+namespace dstore {
+namespace {
+
+void ExpectDeltaRoundTrip(const Bytes& base, const Bytes& target,
+                          DeltaStats* stats = nullptr) {
+  DeltaStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const Bytes delta = EncodeDelta(base, target, {}, stats);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, target);
+  // Every target byte is accounted to exactly one op.
+  EXPECT_EQ(stats->copied_bytes + stats->added_bytes, target.size());
+}
+
+TEST(RollingHashTest, RollMatchesDirectHash) {
+  RollingHash hasher(5);
+  const Bytes data = ToBytes("abcdefghij0123456789");
+  uint64_t h = hasher.Hash(data.data());
+  for (size_t i = 0; i + 5 < data.size(); ++i) {
+    h = hasher.Roll(h, data[i], data[i + 5]);
+    EXPECT_EQ(h, hasher.Hash(data.data() + i + 1)) << i;
+  }
+}
+
+TEST(RollingHashTest, DifferentWindowsDifferentHashes) {
+  RollingHash hasher(5);
+  const Bytes a = ToBytes("abcde");
+  const Bytes b = ToBytes("abcdf");
+  EXPECT_NE(hasher.Hash(a.data()), hasher.Hash(b.data()));
+}
+
+TEST(DeltaTest, IdenticalObjects) {
+  const Bytes base = ToBytes("the exact same content in both versions");
+  DeltaStats stats;
+  ExpectDeltaRoundTrip(base, base, &stats);
+  EXPECT_EQ(stats.add_ops, 0u);
+  EXPECT_EQ(stats.copy_ops, 1u);
+  EXPECT_EQ(stats.copied_bytes, base.size());
+}
+
+TEST(DeltaTest, CompletelyDifferentObjects) {
+  Random rng(1);
+  const Bytes base = rng.RandomBytes(500);
+  const Bytes target = rng.RandomBytes(500);
+  DeltaStats stats;
+  ExpectDeltaRoundTrip(base, target, &stats);
+  // Nothing shared: the delta degenerates to ADDs.
+  EXPECT_EQ(stats.copied_bytes + stats.added_bytes, target.size());
+}
+
+TEST(DeltaTest, SmallEditInLargeObject) {
+  Random rng(2);
+  Bytes base = rng.RandomBytes(10000);
+  Bytes target = base;
+  target[5000] ^= 0xff;  // single byte change
+  DeltaStats stats;
+  const Bytes delta = EncodeDelta(base, target, {}, &stats);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+  // The delta must be tiny relative to the object (paper: "this delta might
+  // only be a fraction of the size of o1").
+  EXPECT_LT(delta.size(), 100u);
+  EXPECT_GE(stats.copied_bytes, target.size() - 64);
+}
+
+TEST(DeltaTest, InsertionInMiddle) {
+  const Bytes base = ToBytes(
+      "aaaaaaaaaabbbbbbbbbbccccccccccddddddddddeeeeeeeeee");
+  Bytes target = base;
+  const Bytes inserted = ToBytes("XYZXYZ");
+  target.insert(target.begin() + 25, inserted.begin(), inserted.end());
+  ExpectDeltaRoundTrip(base, target);
+}
+
+TEST(DeltaTest, DeletionInMiddle) {
+  Random rng(3);
+  Bytes base = rng.RandomBytes(2000);
+  Bytes target(base.begin(), base.begin() + 700);
+  target.insert(target.end(), base.begin() + 1300, base.end());
+  DeltaStats stats;
+  const Bytes delta = EncodeDelta(base, target, {}, &stats);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+  EXPECT_LT(delta.size(), 100u);
+}
+
+TEST(DeltaTest, Fig8ArrayExample) {
+  // The paper's Fig. 8: an array where elements 5 and 6 change. COPY(0,5)
+  // ADD(new values) COPY(7,6) in byte terms.
+  Bytes base, target;
+  const int base_vals[] = {3, 5, 9, 14, 21, 30, 34, 37, 42, 44, 47, 51, 54};
+  const int target_vals[] = {3, 5, 9, 14, 21, 98, 99, 37, 42, 44, 47, 51, 54};
+  for (int v : base_vals) PutFixed32(&base, static_cast<uint32_t>(v));
+  for (int v : target_vals) PutFixed32(&target, static_cast<uint32_t>(v));
+  DeltaStats stats;
+  ExpectDeltaRoundTrip(base, target, &stats);
+  EXPECT_GE(stats.copy_ops, 2u);  // prefix and suffix reused
+  EXPECT_GE(stats.copied_bytes, 40u);
+}
+
+TEST(DeltaTest, EmptyBase) {
+  ExpectDeltaRoundTrip({}, ToBytes("fresh content"));
+}
+
+TEST(DeltaTest, EmptyTarget) { ExpectDeltaRoundTrip(ToBytes("anything"), {}); }
+
+TEST(DeltaTest, BothEmpty) { ExpectDeltaRoundTrip({}, {}); }
+
+TEST(DeltaTest, TargetShorterThanWindow) {
+  ExpectDeltaRoundTrip(ToBytes("long enough base value"), ToBytes("ab"));
+}
+
+TEST(DeltaTest, RepetitiveBaseDoesNotBlowUp) {
+  // Degenerate hashing case: every window of the base is identical.
+  const Bytes base(5000, 'a');
+  Bytes target(5000, 'a');
+  target[2500] = 'b';
+  ExpectDeltaRoundTrip(base, target);
+}
+
+TEST(DeltaTest, WindowSizeControlsMinimumMatch) {
+  // With a large window, short shared substrings are not worth copying.
+  const Bytes base = ToBytes("abcde12345fghij");
+  const Bytes target = ToBytes("XXabcdeYY");
+  DeltaOptions options;
+  options.window_size = 8;
+  DeltaStats stats;
+  const Bytes delta = EncodeDelta(base, target, options, &stats);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+  EXPECT_EQ(stats.copy_ops, 0u);  // "abcde" (5) < window (8)
+}
+
+TEST(DeltaTest, MatchExtendsBeyondWindow) {
+  // A match longer than the window must be extended to maximal length
+  // ("it is expanded to the maximum possible size", paper Section IV).
+  Random rng(4);
+  const Bytes shared = rng.RandomBytes(1000);
+  Bytes base = ToBytes("PREFIX-ONE-");
+  base.insert(base.end(), shared.begin(), shared.end());
+  Bytes target = ToBytes("other-prefix-");
+  target.insert(target.end(), shared.begin(), shared.end());
+  DeltaStats stats;
+  ExpectDeltaRoundTrip(base, target, &stats);
+  EXPECT_EQ(stats.copy_ops, 1u);
+  // Backward extension may pick up the shared trailing '-' of both
+  // prefixes, so the copy can be slightly longer than `shared`.
+  EXPECT_GE(stats.copied_bytes, shared.size());
+  EXPECT_LE(stats.copied_bytes, shared.size() + 2);
+}
+
+TEST(DeltaTest, IndexStrideRoundTripsAndAccountsEveryByte) {
+  // Regression test: backward match extension once advanced the scan by the
+  // extended length, silently dropping target bytes — sparse indexes (which
+  // exercise backward extension constantly) exposed it. The invariant
+  // copied_bytes + added_bytes == target.size() pins it down.
+  Random rng(55);
+  for (size_t stride : {1u, 2u, 4u, 8u, 16u}) {
+    Bytes base = rng.RandomBytes(20000);
+    Bytes target = base;
+    for (int i = 0; i < 40; ++i) target[rng.Uniform(target.size())] ^= 0x11;
+
+    DeltaOptions options;
+    options.index_stride = stride;
+    DeltaStats stats;
+    const Bytes delta = EncodeDelta(base, target, options, &stats);
+    auto applied = ApplyDelta(base, delta);
+    ASSERT_TRUE(applied.ok()) << "stride " << stride;
+    EXPECT_EQ(*applied, target) << "stride " << stride;
+    EXPECT_EQ(stats.copied_bytes + stats.added_bytes, target.size())
+        << "stride " << stride;
+    // Sparse indexing still produces a small delta for point edits.
+    EXPECT_LT(delta.size(), target.size() / 10) << "stride " << stride;
+  }
+}
+
+TEST(DeltaTest, RandomizedRoundTripProperty) {
+  Random rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Build target as a random mutation of base: point edits, moves, dups.
+    Bytes base = rng.CompressibleBytes(1 + rng.Uniform(8000), 0.3);
+    Bytes target = base;
+    const int edits = 1 + static_cast<int>(rng.Uniform(5));
+    for (int e = 0; e < edits && !target.empty(); ++e) {
+      switch (rng.Uniform(3)) {
+        case 0:  // point mutation
+          target[rng.Uniform(target.size())] ^= 0x5a;
+          break;
+        case 1: {  // insert random chunk
+          Bytes chunk = rng.RandomBytes(rng.Uniform(100));
+          const size_t at = rng.Uniform(target.size() + 1);
+          target.insert(target.begin() + static_cast<ptrdiff_t>(at),
+                        chunk.begin(), chunk.end());
+          break;
+        }
+        default: {  // delete a range
+          const size_t at = rng.Uniform(target.size());
+          const size_t len = std::min<size_t>(rng.Uniform(200),
+                                              target.size() - at);
+          target.erase(target.begin() + static_cast<ptrdiff_t>(at),
+                       target.begin() + static_cast<ptrdiff_t>(at + len));
+          break;
+        }
+      }
+    }
+    ExpectDeltaRoundTrip(base, target);
+  }
+}
+
+TEST(DeltaTest, ParseRejectsBadMagic) {
+  EXPECT_TRUE(ParseDelta(ToBytes("junk")).status().IsCorruption());
+  EXPECT_TRUE(ParseDelta({}).status().IsCorruption());
+}
+
+TEST(DeltaTest, ApplyRejectsOutOfRangeCopy) {
+  Bytes delta;
+  delta.push_back(0xd1);  // magic
+  delta.push_back(0x00);  // COPY
+  PutVarint64(&delta, 100);  // offset beyond base
+  PutVarint64(&delta, 10);
+  EXPECT_TRUE(ApplyDelta(ToBytes("short"), delta).status().IsCorruption());
+}
+
+TEST(DeltaTest, ApplyRejectsUnknownOp) {
+  Bytes delta;
+  delta.push_back(0xd1);
+  delta.push_back(0x7f);  // bogus op
+  EXPECT_TRUE(ApplyDelta({}, delta).status().IsCorruption());
+}
+
+TEST(DeltaTest, StatsAccounting) {
+  Random rng(7);
+  const Bytes base = rng.RandomBytes(4000);
+  Bytes target = base;
+  target.insert(target.begin() + 2000, 77);
+  DeltaStats stats;
+  EncodeDelta(base, target, {}, &stats);
+  EXPECT_EQ(stats.copied_bytes + stats.added_bytes, target.size());
+  EXPECT_GT(stats.copied_bytes, 3900u);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,131 @@
+#include "cache/expiring_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "common/clock.h"
+
+namespace dstore {
+namespace {
+
+class ExpiringCacheTest : public ::testing::Test {
+ protected:
+  ExpiringCacheTest()
+      : clock_(0),
+        cache_(std::make_unique<LruCache>(1 << 20), &clock_) {}
+
+  SimulatedClock clock_;
+  ExpiringCache cache_;
+};
+
+TEST_F(ExpiringCacheTest, PlainPutNeverExpires) {
+  cache_.Put("k", MakeValue(std::string_view("v")));
+  clock_.Advance(int64_t{365} * 24 * 3600 * 1'000'000'000);
+  auto got = cache_.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(**got), "v");
+}
+
+TEST_F(ExpiringCacheTest, FreshEntryIsServed) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000);
+  clock_.Advance(500);
+  EXPECT_TRUE(cache_.Get("k").ok());
+}
+
+TEST_F(ExpiringCacheTest, ExpiredEntryReturnsExpiredStatus) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000);
+  clock_.Advance(1001);
+  EXPECT_TRUE(cache_.Get("k").status().IsExpired());
+}
+
+TEST_F(ExpiringCacheTest, ExpiredEntryIsRetainedForRevalidation) {
+  // The defining behaviour (paper Section III): an expired entry is NOT
+  // purged — GetEntry still returns the stale value and its etag so the
+  // client can revalidate instead of refetching.
+  cache_.PutWithTtl("k", MakeValue(std::string_view("stale-but-maybe-valid")),
+                    1000, "etag-1");
+  clock_.Advance(5000);
+  auto entry = cache_.GetEntry("k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(entry->expired);
+  EXPECT_EQ(entry->etag, "etag-1");
+  EXPECT_EQ(ToString(*entry->value), "stale-but-maybe-valid");
+}
+
+TEST_F(ExpiringCacheTest, TouchRevalidatesEntry) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000, "etag-1");
+  clock_.Advance(2000);
+  EXPECT_TRUE(cache_.Get("k").status().IsExpired());
+  // Server confirmed the version is current (Fig. 7): extend lifetime.
+  ASSERT_TRUE(cache_.Touch("k", 1000).ok());
+  EXPECT_TRUE(cache_.Get("k").ok());
+  clock_.Advance(1001);
+  EXPECT_TRUE(cache_.Get("k").status().IsExpired());
+}
+
+TEST_F(ExpiringCacheTest, TouchAbsentKeyFails) {
+  EXPECT_TRUE(cache_.Touch("missing", 1000).IsNotFound());
+}
+
+TEST_F(ExpiringCacheTest, MissingKeyIsNotFoundNotExpired) {
+  EXPECT_TRUE(cache_.Get("missing").status().IsNotFound());
+  EXPECT_TRUE(cache_.GetEntry("missing").status().IsNotFound());
+}
+
+TEST_F(ExpiringCacheTest, ZeroTtlMeansNoExpiration) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 0);
+  clock_.Advance(int64_t{100} * 1'000'000'000);
+  EXPECT_TRUE(cache_.Get("k").ok());
+}
+
+TEST_F(ExpiringCacheTest, DeleteRemovesMetadata) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000, "etag");
+  cache_.Delete("k");
+  EXPECT_TRUE(cache_.Get("k").status().IsNotFound());
+  // Re-adding without TTL must not inherit old metadata.
+  cache_.Put("k", MakeValue(std::string_view("v2")));
+  clock_.Advance(10'000);
+  EXPECT_TRUE(cache_.Get("k").ok());
+}
+
+TEST_F(ExpiringCacheTest, ReplacingEntryReplacesTtl) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v1")), 1000);
+  clock_.Advance(900);
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v2")), 1000);
+  clock_.Advance(900);  // 1800 > original expiry, < new expiry
+  auto got = cache_.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(**got), "v2");
+}
+
+TEST_F(ExpiringCacheTest, ExpiredCountCountsOnlyExpired) {
+  cache_.PutWithTtl("fresh", MakeValue(std::string_view("v")), 10'000);
+  cache_.PutWithTtl("stale1", MakeValue(std::string_view("v")), 100);
+  cache_.PutWithTtl("stale2", MakeValue(std::string_view("v")), 100);
+  cache_.Put("immortal", MakeValue(std::string_view("v")));
+  clock_.Advance(5000);
+  EXPECT_EQ(cache_.ExpiredCount(), 2u);
+}
+
+TEST_F(ExpiringCacheTest, ClearRemovesEverything) {
+  cache_.PutWithTtl("a", MakeValue(std::string_view("v")), 100);
+  cache_.Put("b", MakeValue(std::string_view("v")));
+  cache_.Clear();
+  EXPECT_EQ(cache_.EntryCount(), 0u);
+  EXPECT_EQ(cache_.ExpiredCount(), 0u);
+}
+
+TEST_F(ExpiringCacheTest, NameReflectsLayering) {
+  EXPECT_EQ(cache_.Name(), "lru+expiry");
+}
+
+TEST_F(ExpiringCacheTest, GetEntryExposesExpirationTime) {
+  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1234);
+  auto entry = cache_.GetEntry("k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->expires_at, 1234);
+  EXPECT_FALSE(entry->expired);
+}
+
+}  // namespace
+}  // namespace dstore

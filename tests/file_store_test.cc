@@ -1,0 +1,103 @@
+#include "store/file_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dstore {
+namespace {
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("dstore_file_store_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    auto store = FileStore::Open(root_);
+    ASSERT_TRUE(store.ok());
+    store_ = *std::move(store);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  static int counter_;
+  std::filesystem::path root_;
+  std::unique_ptr<FileStore> store_;
+};
+
+int FileStoreTest::counter_ = 0;
+
+TEST_F(FileStoreTest, PersistsAcrossReopen) {
+  ASSERT_TRUE(store_->PutString("key", "durable value").ok());
+  store_.reset();
+  auto reopened = FileStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  auto got = (*reopened)->GetString("key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "durable value");
+}
+
+TEST_F(FileStoreTest, OneFilePerKey) {
+  store_->PutString("a", "1");
+  store_->PutString("b", "2");
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST_F(FileStoreTest, OverwriteIsAtomicRename) {
+  // After a Put, no temp files linger.
+  store_->PutString("k", "v1");
+  store_->PutString("k", "v2");
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    EXPECT_EQ(entry.path().filename().string().rfind("tmp_", 0),
+              std::string::npos)
+        << entry.path();
+  }
+  EXPECT_EQ(*store_->GetString("k"), "v2");
+}
+
+TEST_F(FileStoreTest, ForeignFilesIgnoredByListKeys) {
+  store_->PutString("mine", "v");
+  // Drop an unrelated file into the directory.
+  FILE* f = std::fopen((root_ / "unrelated.txt").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a store entry", f);
+  std::fclose(f);
+  auto keys = store_->ListKeys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0], "mine");
+}
+
+TEST_F(FileStoreTest, SyncWritesOptionWorks) {
+  FileStore::Options options;
+  options.sync_writes = true;
+  auto synced = FileStore::Open(root_ / "synced", options);
+  ASSERT_TRUE(synced.ok());
+  ASSERT_TRUE((*synced)->PutString("k", "v").ok());
+  EXPECT_EQ(*(*synced)->GetString("k"), "v");
+}
+
+TEST_F(FileStoreTest, LargeBinaryValue) {
+  Random rng(1);
+  const Bytes value = rng.RandomBytes(2 << 20);
+  ASSERT_TRUE(store_->Put("big", MakeValue(Bytes(value))).ok());
+  auto got = store_->Get("big");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, value);
+}
+
+TEST_F(FileStoreTest, OpenCreatesNestedDirectories) {
+  auto nested = FileStore::Open(root_ / "a" / "b" / "c");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_TRUE((*nested)->PutString("k", "v").ok());
+}
+
+}  // namespace
+}  // namespace dstore

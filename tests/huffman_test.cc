@@ -1,0 +1,162 @@
+#include "compress/huffman.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dstore {
+namespace {
+
+double KraftSum(const std::vector<int>& lengths) {
+  double sum = 0;
+  for (int l : lengths) {
+    if (l > 0) sum += std::pow(2.0, -l);
+  }
+  return sum;
+}
+
+TEST(HuffmanLengthsTest, AllZeroFrequencies) {
+  auto lengths = BuildHuffmanCodeLengths({0, 0, 0}, 15);
+  EXPECT_EQ(lengths, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(HuffmanLengthsTest, SingleSymbolGetsLengthOne) {
+  auto lengths = BuildHuffmanCodeLengths({0, 42, 0}, 15);
+  EXPECT_EQ(lengths, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(HuffmanLengthsTest, TwoEqualSymbols) {
+  auto lengths = BuildHuffmanCodeLengths({5, 5}, 15);
+  EXPECT_EQ(lengths, (std::vector<int>{1, 1}));
+}
+
+TEST(HuffmanLengthsTest, SkewedFrequenciesGiveShorterCodesToCommonSymbols) {
+  auto lengths = BuildHuffmanCodeLengths({100, 10, 10, 1}, 15);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[3]);
+}
+
+TEST(HuffmanLengthsTest, RespectsMaxBits) {
+  // Fibonacci-like frequencies force deep trees without a limit.
+  std::vector<uint64_t> freqs = {1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144};
+  for (int max_bits : {4, 5, 7, 15}) {
+    auto lengths = BuildHuffmanCodeLengths(freqs, max_bits);
+    for (int l : lengths) EXPECT_LE(l, max_bits);
+    EXPECT_LE(KraftSum(lengths), 1.0 + 1e-9);
+  }
+}
+
+TEST(HuffmanLengthsTest, KraftEqualityForCompleteCodes) {
+  // With >= 2 symbols, package-merge produces a complete code.
+  auto lengths = BuildHuffmanCodeLengths({3, 9, 27, 81, 243}, 15);
+  EXPECT_NEAR(KraftSum(lengths), 1.0, 1e-12);
+}
+
+TEST(HuffmanLengthsTest, RandomizedKraftAndOptimalityProperty) {
+  Random rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.Uniform(60);
+    std::vector<uint64_t> freqs(n);
+    for (auto& f : freqs) f = rng.Uniform(1000);
+    // Ensure at least two nonzero so a real code exists.
+    freqs[0] = 1 + freqs[0];
+    freqs[1] = 1 + freqs[1];
+    auto lengths = BuildHuffmanCodeLengths(freqs, 15);
+    EXPECT_LE(KraftSum(lengths), 1.0 + 1e-9);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(lengths[i] == 0, freqs[i] == 0);
+    }
+  }
+}
+
+TEST(CanonicalCodesTest, MatchesRfc1951Example) {
+  // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) -> codes
+  // (010,011,100,101,110,00,1110,1111).
+  std::vector<int> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  auto codes = BuildCanonicalCodes(lengths);
+  EXPECT_EQ(codes[5], 0b00u);
+  EXPECT_EQ(codes[0], 0b010u);
+  EXPECT_EQ(codes[1], 0b011u);
+  EXPECT_EQ(codes[2], 0b100u);
+  EXPECT_EQ(codes[3], 0b101u);
+  EXPECT_EQ(codes[4], 0b110u);
+  EXPECT_EQ(codes[6], 0b1110u);
+  EXPECT_EQ(codes[7], 0b1111u);
+}
+
+TEST(CanonicalCodesTest, CodesArePrefixFree) {
+  std::vector<int> lengths = {2, 3, 3, 3, 4, 4, 4, 4, 2};
+  auto codes = BuildCanonicalCodes(lengths);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    for (size_t j = 0; j < lengths.size(); ++j) {
+      if (i == j || lengths[i] == 0 || lengths[j] == 0) continue;
+      if (lengths[i] <= lengths[j]) {
+        const uint32_t prefix = codes[j] >> (lengths[j] - lengths[i]);
+        EXPECT_FALSE(prefix == codes[i] && i != j)
+            << "code " << i << " is a prefix of code " << j;
+      }
+    }
+  }
+}
+
+TEST(HuffmanDecoderTest, RejectsEmptyAlphabet) {
+  EXPECT_FALSE(HuffmanDecoder::Build({0, 0, 0}).ok());
+}
+
+TEST(HuffmanDecoderTest, RejectsOversubscribedCode) {
+  // Three codes of length 1 cannot exist.
+  EXPECT_TRUE(
+      HuffmanDecoder::Build({1, 1, 1}).status().IsCorruption());
+}
+
+TEST(HuffmanDecoderTest, RejectsOutOfRangeLength) {
+  EXPECT_TRUE(HuffmanDecoder::Build({16}).status().IsCorruption());
+}
+
+TEST(HuffmanDecoderTest, EncodeDecodeRoundTrip) {
+  Random rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t alphabet = 2 + rng.Uniform(100);
+    std::vector<uint64_t> freqs(alphabet);
+    for (auto& f : freqs) f = 1 + rng.Uniform(500);
+    auto lengths = BuildHuffmanCodeLengths(freqs, 15);
+    auto codes = BuildCanonicalCodes(lengths);
+    auto decoder = HuffmanDecoder::Build(lengths);
+    ASSERT_TRUE(decoder.ok());
+
+    // Encode a random symbol stream and decode it back.
+    std::vector<int> symbols(200);
+    for (auto& s : symbols) s = static_cast<int>(rng.Uniform(alphabet));
+    Bytes buf;
+    BitWriter writer(&buf);
+    for (int s : symbols) writer.WriteHuffmanCode(codes[s], lengths[s]);
+    writer.Finish();
+
+    BitReader reader(buf);
+    for (int expected : symbols) {
+      auto decoded = decoder->Decode(&reader);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(*decoded, expected);
+    }
+  }
+}
+
+TEST(HuffmanDecoderTest, GarbageInputReportsCorruption) {
+  // A code with max length 2 cannot decode the all-ones stream forever.
+  auto decoder = HuffmanDecoder::Build({1, 2, 0, 2});
+  ASSERT_TRUE(decoder.ok());
+  Bytes buf = {0xff};
+  BitReader reader(buf);
+  // Symbols decode until bits run out; eventually ReadBits fails.
+  Status last = Status::OK();
+  for (int i = 0; i < 20 && last.ok(); ++i) {
+    last = decoder->Decode(&reader).status();
+  }
+  EXPECT_TRUE(last.IsCorruption());
+}
+
+}  // namespace
+}  // namespace dstore

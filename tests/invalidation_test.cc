@@ -1,0 +1,139 @@
+#include "dscl/invalidation.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "common/clock.h"
+#include "dscl/enhanced_store.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+TEST(InvalidationBusTest, PublishReachesAllSubscribers) {
+  InvalidationBus bus;
+  std::vector<std::string> seen_a, seen_b;
+  bus.Subscribe([&seen_a](const std::string& key) { seen_a.push_back(key); });
+  bus.Subscribe([&seen_b](const std::string& key) { seen_b.push_back(key); });
+  bus.Publish("k1");
+  bus.Publish("k2");
+  EXPECT_EQ(seen_a, (std::vector<std::string>{"k1", "k2"}));
+  EXPECT_EQ(seen_b, seen_a);
+}
+
+TEST(InvalidationBusTest, UnsubscribeStopsDelivery) {
+  InvalidationBus bus;
+  int count = 0;
+  auto id = bus.Subscribe([&count](const std::string&) { ++count; });
+  bus.Publish("a");
+  bus.Unsubscribe(id);
+  bus.Publish("b");
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+}
+
+TEST(InvalidationBusTest, SubscriberMayUnsubscribeDuringCallback) {
+  auto bus = std::make_shared<InvalidationBus>();
+  InvalidationBus::Subscription id = 0;
+  int count = 0;
+  id = bus->Subscribe([&](const std::string&) {
+    ++count;
+    bus->Unsubscribe(id);  // must not deadlock
+  });
+  bus->Publish("a");
+  bus->Publish("b");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(CacheInvalidationTest, PublishedKeysEvictedFromCache) {
+  auto bus = std::make_shared<InvalidationBus>();
+  LruCache cache(1 << 20);
+  cache.Put("k", MakeValue(std::string_view("v")));
+  {
+    CacheInvalidationSubscription subscription(bus, &cache);
+    bus->Publish("k");
+    EXPECT_FALSE(cache.Contains("k"));
+  }
+  // Guard destroyed: further publishes are ignored.
+  cache.Put("k2", MakeValue(std::string_view("v")));
+  bus->Publish("k2");
+  EXPECT_TRUE(cache.Contains("k2"));
+}
+
+TEST(InvalidatingStoreTest, MutationsPublish) {
+  auto bus = std::make_shared<InvalidationBus>();
+  InvalidatingStore store(std::make_shared<MemoryStore>(), bus);
+  std::vector<std::string> published;
+  bus->Subscribe([&published](const std::string& key) {
+    published.push_back(key);
+  });
+  store.PutString("a", "1");
+  store.PutString("b", "2");
+  store.Delete("a").ok();
+  EXPECT_EQ(published, (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(InvalidatingStoreTest, ClearPublishesEveryKey) {
+  auto bus = std::make_shared<InvalidationBus>();
+  InvalidatingStore store(std::make_shared<MemoryStore>(), bus);
+  store.PutString("x", "1");
+  store.PutString("y", "2");
+  std::set<std::string> published;
+  bus->Subscribe([&published](const std::string& key) {
+    published.insert(key);
+  });
+  ASSERT_TRUE(store.Clear().ok());
+  EXPECT_EQ(published, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(InvalidatingStoreTest, ReadsDoNotPublish) {
+  auto bus = std::make_shared<InvalidationBus>();
+  InvalidatingStore store(std::make_shared<MemoryStore>(), bus);
+  store.PutString("k", "v");
+  int publishes = 0;
+  bus->Subscribe([&publishes](const std::string&) { ++publishes; });
+  store.Get("k").ok();
+  store.Contains("k").ok();
+  EXPECT_EQ(publishes, 0);
+}
+
+// The end-to-end scenario: two enhanced clients share a store; client A's
+// write invalidates client B's cache so B never serves stale data.
+TEST(CacheConsistencyTest, WriteThroughOneClientInvalidatesTheOther) {
+  SimulatedClock clock;
+  auto bus = std::make_shared<InvalidationBus>();
+  auto shared_base = std::make_shared<InvalidatingStore>(
+      std::make_shared<MemoryStore>(), bus);
+
+  auto make_client = [&](std::shared_ptr<ExpiringCache>* cache_out) {
+    auto cache = std::make_shared<ExpiringCache>(
+        std::make_unique<LruCache>(1 << 20), &clock);
+    *cache_out = cache;
+    return std::make_shared<EnhancedStore>(shared_base, cache, nullptr,
+                                           EnhancedStore::Options{});
+  };
+
+  std::shared_ptr<ExpiringCache> cache_a, cache_b;
+  auto client_a = make_client(&cache_a);
+  auto client_b = make_client(&cache_b);
+  CacheInvalidationSubscription sub_a(bus, cache_a.get());
+  CacheInvalidationSubscription sub_b(bus, cache_b.get());
+
+  // B reads and caches version 1.
+  client_a->PutString("doc", "version-1");
+  EXPECT_EQ(*client_b->GetString("doc"), "version-1");
+  EXPECT_TRUE(cache_b->Contains("doc"));
+
+  // A writes version 2: B's cached copy is invalidated immediately...
+  client_a->PutString("doc", "version-2");
+  EXPECT_FALSE(cache_b->Contains("doc"));
+  // ...so B's next read is fresh, with no TTL wait.
+  EXPECT_EQ(*client_b->GetString("doc"), "version-2");
+
+  // Note: A's own write-through cache was refreshed by its Put, and the
+  // invalidation that followed cleared it; A refetches correctly too.
+  EXPECT_EQ(*client_a->GetString("doc"), "version-2");
+}
+
+}  // namespace
+}  // namespace dstore

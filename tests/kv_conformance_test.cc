@@ -1,0 +1,273 @@
+// Conformance suite run against EVERY KeyValueStore implementation — the
+// point of the paper's common key-value interface is that all stores behave
+// identically behind it, so one parameterized suite covers file system, SQL,
+// cloud, remote-cache, and memory stores.
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "common/random.h"
+#include "net/latency_model.h"
+#include "store/cloud_client.h"
+#include "store/cloud_server.h"
+#include "store/file_store.h"
+#include "store/key_value.h"
+#include "store/memory_store.h"
+#include "store/remote_cache.h"
+#include "store/sql_client.h"
+#include "store/sql_server.h"
+
+namespace dstore {
+namespace {
+
+// Holds a store plus whatever server machinery keeps it alive.
+struct StoreFixture {
+  std::unique_ptr<KeyValueStore> store;
+  std::function<void()> teardown;
+};
+
+using FixtureFactory = StoreFixture (*)();
+
+StoreFixture MakeMemoryFixture() {
+  return {std::make_unique<MemoryStore>(), [] {}};
+}
+
+StoreFixture MakeFileFixture() {
+  static int counter = 0;
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("dstore_kv_conformance_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(counter++));
+  auto store = FileStore::Open(root);
+  EXPECT_TRUE(store.ok());
+  auto path = root;
+  return {*std::move(store), [path] {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+          }};
+}
+
+StoreFixture MakeSqlFixture() {
+  auto server = SqlServer::Start("");
+  EXPECT_TRUE(server.ok());
+  auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+  EXPECT_TRUE(client.ok());
+  auto shared_server = std::shared_ptr<SqlServer>(std::move(*server));
+  return {*std::move(client), [shared_server] { shared_server->Stop(); }};
+}
+
+StoreFixture MakeCloudFixture() {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  EXPECT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  EXPECT_TRUE(client.ok());
+  auto shared_server = std::shared_ptr<CloudStoreServer>(std::move(*server));
+  return {*std::move(client), [shared_server] { shared_server->Stop(); }};
+}
+
+StoreFixture MakeRemoteCacheFixture() {
+  auto server =
+      RemoteCacheServer::Start(std::make_unique<LruCache>(64u << 20));
+  EXPECT_TRUE(server.ok());
+  auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  EXPECT_TRUE(conn.ok());
+  auto shared_server = std::shared_ptr<RemoteCacheServer>(std::move(*server));
+  return {std::make_unique<RemoteCacheStore>(*conn),
+          [shared_server] { shared_server->Stop(); }};
+}
+
+struct Param {
+  const char* name;
+  FixtureFactory factory;
+  bool supports_list;  // remote cache does not enumerate keys
+};
+
+class KvConformanceTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    fixture_ = GetParam().factory();
+    ASSERT_NE(fixture_.store, nullptr);
+    ASSERT_TRUE(fixture_.store->Clear().ok());
+  }
+  void TearDown() override {
+    if (fixture_.store) fixture_.store->Clear().ok();
+    if (fixture_.teardown) fixture_.teardown();
+  }
+
+  KeyValueStore& store() { return *fixture_.store; }
+
+  StoreFixture fixture_;
+};
+
+TEST_P(KvConformanceTest, PutThenGet) {
+  ASSERT_TRUE(store().PutString("key", "value").ok());
+  auto got = store().GetString("key");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, "value");
+}
+
+TEST_P(KvConformanceTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(store().Get("missing").status().IsNotFound());
+}
+
+TEST_P(KvConformanceTest, PutOverwrites) {
+  store().PutString("key", "v1");
+  store().PutString("key", "v2");
+  EXPECT_EQ(*store().GetString("key"), "v2");
+}
+
+TEST_P(KvConformanceTest, DeleteThenGetIsNotFound) {
+  store().PutString("key", "v");
+  ASSERT_TRUE(store().Delete("key").ok());
+  EXPECT_TRUE(store().Get("key").status().IsNotFound());
+}
+
+TEST_P(KvConformanceTest, DeleteMissingIsOk) {
+  EXPECT_TRUE(store().Delete("never-existed").ok());
+}
+
+TEST_P(KvConformanceTest, ContainsReflectsState) {
+  EXPECT_FALSE(*store().Contains("key"));
+  store().PutString("key", "v");
+  EXPECT_TRUE(*store().Contains("key"));
+  store().Delete("key");
+  EXPECT_FALSE(*store().Contains("key"));
+}
+
+TEST_P(KvConformanceTest, CountTracksEntries) {
+  EXPECT_EQ(*store().Count(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    store().PutString("key" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(*store().Count(), 5u);
+  store().Delete("key0");
+  EXPECT_EQ(*store().Count(), 4u);
+}
+
+TEST_P(KvConformanceTest, ClearEmptiesStore) {
+  for (int i = 0; i < 5; ++i) {
+    store().PutString("key" + std::to_string(i), "v");
+  }
+  ASSERT_TRUE(store().Clear().ok());
+  EXPECT_EQ(*store().Count(), 0u);
+}
+
+TEST_P(KvConformanceTest, ListKeysReturnsAll) {
+  if (!GetParam().supports_list) {
+    GTEST_SKIP() << "store does not enumerate keys";
+  }
+  std::set<std::string> expected;
+  for (int i = 0; i < 7; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    store().PutString(key, "v");
+    expected.insert(key);
+  }
+  auto keys = store().ListKeys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(std::set<std::string>(keys->begin(), keys->end()), expected);
+}
+
+TEST_P(KvConformanceTest, BinaryValuesSurvive) {
+  Random rng(5);
+  const Bytes value = rng.RandomBytes(4096);
+  ASSERT_TRUE(store().Put("bin", MakeValue(Bytes(value))).ok());
+  auto got = store().Get("bin");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, value);
+}
+
+TEST_P(KvConformanceTest, AwkwardKeysSurvive) {
+  // Keys with path separators, spaces, quotes, and non-ASCII bytes must be
+  // handled by every backend (hex in file names / paths, escaping in SQL).
+  const std::vector<std::string> keys = {
+      "a/b/c", "with space", "quote'quote", "semi;colon",
+      std::string("nul\0byte", 8), "uni\xc3\xa9"};
+  for (const auto& key : keys) {
+    ASSERT_TRUE(store().PutString(key, "v:" + key).ok()) << key;
+  }
+  for (const auto& key : keys) {
+    auto got = store().GetString(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, "v:" + key);
+  }
+}
+
+TEST_P(KvConformanceTest, EmptyValueAllowed) {
+  ASSERT_TRUE(store().Put("empty", MakeValue(Bytes{})).ok());
+  auto got = store().Get("empty");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE((*got)->empty());
+}
+
+TEST_P(KvConformanceTest, LargeValueRoundTrips) {
+  Random rng(17);
+  const Bytes value = rng.CompressibleBytes(1 << 20, 0.5);  // 1 MiB
+  ASSERT_TRUE(store().Put("large", MakeValue(Bytes(value))).ok());
+  auto got = store().Get("large");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, value);
+}
+
+TEST_P(KvConformanceTest, NullValueRejected) {
+  EXPECT_TRUE(store().Put("key", nullptr).IsInvalidArgument());
+}
+
+TEST_P(KvConformanceTest, MultiGetMatchesIndividualGets) {
+  store().PutString("m1", "v1");
+  store().PutString("m3", "v3");
+  auto results = store().MultiGet({"m1", "m2", "m3"});
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(ToString(**results[0]), "v1");
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ(ToString(**results[2]), "v3");
+}
+
+TEST_P(KvConformanceTest, MultiPutVisibleToGets) {
+  ASSERT_TRUE(store()
+                  .MultiPut({{"b1", MakeValue(std::string_view("x"))},
+                             {"b2", MakeValue(std::string_view("y"))}})
+                  .ok());
+  EXPECT_EQ(*store().GetString("b1"), "x");
+  EXPECT_EQ(*store().GetString("b2"), "y");
+}
+
+TEST_P(KvConformanceTest, GetIfChangedRevalidates) {
+  store().PutString("key", "version-1");
+  auto first = store().GetIfChanged("key", "");
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->not_modified);
+  ASSERT_NE(first->value, nullptr);
+  EXPECT_FALSE(first->etag.empty());
+
+  // Same version: revalidation confirms without a body.
+  auto second = store().GetIfChanged("key", first->etag);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->not_modified);
+
+  // New version: full value returned with a new etag.
+  store().PutString("key", "version-2");
+  auto third = store().GetIfChanged("key", first->etag);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->not_modified);
+  EXPECT_EQ(ToString(*third->value), "version-2");
+  EXPECT_NE(third->etag, first->etag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, KvConformanceTest,
+    ::testing::Values(Param{"memory", &MakeMemoryFixture, true},
+                      Param{"file", &MakeFileFixture, true},
+                      Param{"sql", &MakeSqlFixture, true},
+                      Param{"cloud", &MakeCloudFixture, true},
+                      Param{"rediscache", &MakeRemoteCacheFixture, true}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dstore

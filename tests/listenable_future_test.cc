@@ -1,0 +1,169 @@
+#include "common/listenable_future.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace dstore {
+namespace {
+
+TEST(ListenableFutureTest, GetBlocksUntilSet) {
+  Promise<int> promise;
+  auto future = promise.GetFuture();
+  EXPECT_FALSE(future.IsDone());
+
+  std::thread setter([promise] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    promise.Set(7);
+  });
+  EXPECT_EQ(future.Get(), 7);
+  EXPECT_TRUE(future.IsDone());
+  setter.join();
+}
+
+TEST(ListenableFutureTest, GetWithTimeoutExpires) {
+  Promise<int> promise;
+  auto future = promise.GetFuture();
+  auto result = future.Get(std::chrono::milliseconds(10));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(ListenableFutureTest, GetWithTimeoutReturnsValue) {
+  Promise<int> promise;
+  promise.Set(5);
+  auto result = promise.GetFuture().Get(std::chrono::milliseconds(10));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 5);
+}
+
+TEST(ListenableFutureTest, ListenerAddedBeforeCompletionFires) {
+  Promise<std::string> promise;
+  auto future = promise.GetFuture();
+  std::string captured;
+  future.AddListener([&captured](const std::string& v) { captured = v; });
+  promise.Set("done");
+  EXPECT_EQ(captured, "done");
+}
+
+TEST(ListenableFutureTest, ListenerAddedAfterCompletionFiresInline) {
+  Promise<int> promise;
+  promise.Set(3);
+  int captured = 0;
+  promise.GetFuture().AddListener([&captured](const int& v) { captured = v; });
+  EXPECT_EQ(captured, 3);
+}
+
+TEST(ListenableFutureTest, MultipleListenersAllFire) {
+  Promise<int> promise;
+  auto future = promise.GetFuture();
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 5; ++i) {
+    future.AddListener([&sum](const int& v) { sum.fetch_add(v); });
+  }
+  promise.Set(10);
+  EXPECT_EQ(sum.load(), 50);
+}
+
+TEST(ListenableFutureTest, ListenerOnExecutorRunsOnPoolThread) {
+  ThreadPool pool(1);
+  Promise<int> promise;
+  auto future = promise.GetFuture();
+  std::atomic<bool> ran{false};
+  std::thread::id listener_thread;
+  future.AddListener(
+      [&](const int&) {
+        listener_thread = std::this_thread::get_id();
+        ran = true;
+      },
+      &pool);
+  promise.Set(1);
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+  EXPECT_NE(listener_thread, std::this_thread::get_id());
+}
+
+TEST(ListenableFutureTest, ExecutorListenerAfterCompletion) {
+  ThreadPool pool(1);
+  Promise<int> promise;
+  promise.Set(9);
+  std::atomic<int> captured{0};
+  promise.GetFuture().AddListener(
+      [&captured](const int& v) { captured = v; }, &pool);
+  pool.Wait();
+  EXPECT_EQ(captured.load(), 9);
+}
+
+TEST(ListenableFutureTest, FirstCompletionWins) {
+  Promise<int> promise;
+  promise.Set(1);
+  promise.Set(2);
+  EXPECT_EQ(promise.GetFuture().Get(), 1);
+}
+
+TEST(ListenableFutureTest, ThenTransformsValue) {
+  Promise<int> promise;
+  auto doubled = promise.GetFuture().Then<int>(
+      [](const int& v) { return v * 2; });
+  promise.Set(21);
+  EXPECT_EQ(doubled.Get(), 42);
+}
+
+TEST(ListenableFutureTest, ThenChangesType) {
+  Promise<int> promise;
+  auto text = promise.GetFuture().Then<std::string>(
+      [](const int& v) { return std::to_string(v); });
+  promise.Set(99);
+  EXPECT_EQ(text.Get(), "99");
+}
+
+TEST(ListenableFutureTest, ThenChains) {
+  Promise<int> promise;
+  auto f = promise.GetFuture()
+               .Then<int>([](const int& v) { return v + 1; })
+               .Then<int>([](const int& v) { return v * 10; });
+  promise.Set(4);
+  EXPECT_EQ(f.Get(), 50);
+}
+
+TEST(ListenableFutureTest, StatusResultType) {
+  Promise<Status> promise;
+  auto future = promise.GetFuture();
+  promise.Set(Status::NotFound("missing"));
+  EXPECT_TRUE(future.Get().IsNotFound());
+}
+
+TEST(ListenableFutureTest, RunAsyncExecutesOnPool) {
+  ThreadPool pool(2);
+  auto future = RunAsync<int>(&pool, [] { return 123; });
+  EXPECT_EQ(future.Get(), 123);
+}
+
+TEST(ListenableFutureTest, CopiesShareState) {
+  Promise<int> promise;
+  auto f1 = promise.GetFuture();
+  auto f2 = f1;
+  promise.Set(8);
+  EXPECT_EQ(f1.Get(), 8);
+  EXPECT_EQ(f2.Get(), 8);
+}
+
+TEST(ListenableFutureTest, ManyConcurrentWaiters) {
+  Promise<int> promise;
+  auto future = promise.GetFuture();
+  std::vector<std::thread> waiters;
+  std::atomic<int> total{0};
+  for (int i = 0; i < 8; ++i) {
+    waiters.emplace_back([future, &total] { total.fetch_add(future.Get()); });
+  }
+  promise.Set(5);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(total.load(), 40);
+}
+
+}  // namespace
+}  // namespace dstore

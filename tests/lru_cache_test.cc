@@ -1,0 +1,163 @@
+#include "cache/lru_cache.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cache/copying_cache.h"
+
+namespace dstore {
+namespace {
+
+ValuePtr V(std::string_view text) { return MakeValue(text); }
+
+TEST(LruCacheTest, PutGetRoundTrip) {
+  LruCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("k", V("v")).ok());
+  auto got = cache.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(**got), "v");
+}
+
+TEST(LruCacheTest, MissReturnsNotFound) {
+  LruCache cache(1 << 20);
+  EXPECT_TRUE(cache.Get("absent").status().IsNotFound());
+}
+
+TEST(LruCacheTest, GetReturnsSharedBufferWithoutCopy) {
+  LruCache cache(1 << 20);
+  ValuePtr original = V("shared");
+  cache.Put("k", original);
+  auto got = cache.Get("k");
+  ASSERT_TRUE(got.ok());
+  // Same underlying buffer: in-process hits never copy (paper Section III).
+  EXPECT_EQ(got->get(), original.get());
+}
+
+TEST(LruCacheTest, PutReplacesValue) {
+  LruCache cache(1 << 20);
+  cache.Put("k", V("old"));
+  cache.Put("k", V("new"));
+  EXPECT_EQ(ToString(**cache.Get("k")), "new");
+  EXPECT_EQ(cache.EntryCount(), 1u);
+}
+
+TEST(LruCacheTest, DeleteRemovesEntry) {
+  LruCache cache(1 << 20);
+  cache.Put("k", V("v"));
+  ASSERT_TRUE(cache.Delete("k").ok());
+  EXPECT_TRUE(cache.Get("k").status().IsNotFound());
+  EXPECT_TRUE(cache.Delete("k").ok());  // idempotent
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache cache(1 << 20);
+  for (int i = 0; i < 50; ++i) cache.Put("k" + std::to_string(i), V("v"));
+  cache.Clear();
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  EXPECT_EQ(cache.ChargeUsed(), 0u);
+}
+
+TEST(LruCacheTest, ContainsDoesNotAffectStats) {
+  LruCache cache(1 << 20);
+  cache.Put("k", V("v"));
+  cache.Contains("k");
+  cache.Contains("missing");
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // Single shard so LRU order is global and deterministic.
+  LruCache cache(3 * (1 + 100 + 64), 1);
+  const std::string big(100, 'x');
+  cache.Put("a", V(big));
+  cache.Put("b", V(big));
+  cache.Put("c", V(big));
+  // Touch "a" so "b" is now least recently used.
+  ASSERT_TRUE(cache.Get("a").ok());
+  cache.Put("d", V(big));  // must evict "b"
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+  EXPECT_GE(cache.Stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, CapacityBoundsChargeUsed) {
+  LruCache cache(10 * 1024, 1);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put("key" + std::to_string(i), V(std::string(100, 'v')));
+  }
+  EXPECT_LE(cache.ChargeUsed(), 10 * 1024u);
+  EXPECT_LT(cache.EntryCount(), 1000u);
+}
+
+TEST(LruCacheTest, OversizedEntryDoesNotStick) {
+  LruCache cache(128, 1);
+  cache.Put("huge", V(std::string(1000, 'x')));
+  // Entry exceeds capacity: it must be evicted immediately.
+  EXPECT_FALSE(cache.Contains("huge"));
+}
+
+TEST(LruCacheTest, HitRateStat) {
+  LruCache cache(1 << 20);
+  cache.Put("k", V("v"));
+  for (int i = 0; i < 3; ++i) cache.Get("k");
+  cache.Get("missing");
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+TEST(LruCacheTest, ManyShardsStillCorrect) {
+  LruCache cache(1 << 20, 64);
+  for (int i = 0; i < 500; ++i) {
+    cache.Put("key" + std::to_string(i), V("value" + std::to_string(i)));
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto got = cache.Get("key" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(ToString(**got), "value" + std::to_string(i));
+  }
+}
+
+TEST(LruCacheTest, ConcurrentMixedWorkload) {
+  LruCache cache(1 << 22, 16);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&cache, &failed, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "k" + std::to_string((t * 31 + i) % 257);
+        if (i % 3 == 0) {
+          if (!cache.Put(key, V("v" + key)).ok()) failed = true;
+        } else if (i % 7 == 0) {
+          if (!cache.Delete(key).ok()) failed = true;
+        } else {
+          auto got = cache.Get(key);
+          if (got.ok() && ToString(**got) != "v" + key) failed = true;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(CopyingCacheTest, IsolatesStoredValue) {
+  CopyingCache cache(std::make_unique<LruCache>(1 << 20));
+  ValuePtr original = V("data");
+  cache.Put("k", original);
+  auto got = cache.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(got->get(), original.get());   // distinct buffers
+  EXPECT_EQ(**got, *original);             // equal contents
+  EXPECT_EQ(cache.Name(), "lru+copy");
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,65 @@
+#include "store/overhead_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+TEST(OverheadStoreTest, DelegatesAllOperations) {
+  OverheadStore::Overheads overheads;  // zero: pure pass-through
+  OverheadStore store(std::make_shared<MemoryStore>(), overheads);
+  ASSERT_TRUE(store.PutString("k", "v").ok());
+  EXPECT_EQ(*store.GetString("k"), "v");
+  EXPECT_TRUE(*store.Contains("k"));
+  EXPECT_EQ(*store.Count(), 1u);
+  EXPECT_EQ(store.ListKeys()->size(), 1u);
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  EXPECT_EQ(store.Name(), "memory");
+}
+
+TEST(OverheadStoreTest, PerOpDelayIsObservable) {
+  OverheadStore::Overheads overheads;
+  overheads.per_op_nanos = 2'000'000;  // 2 ms
+  OverheadStore store(std::make_shared<MemoryStore>(), overheads);
+  store.PutString("k", "v").ok();
+
+  RealClock clock;
+  Stopwatch watch(&clock);
+  for (int i = 0; i < 5; ++i) store.Get("k").ok();
+  EXPECT_GE(watch.ElapsedMillis(), 5 * 2.0);
+}
+
+TEST(OverheadStoreTest, PerByteDelayScalesWithValueSize) {
+  OverheadStore::Overheads overheads;
+  overheads.per_byte_nanos = 50.0;  // 50 ns per byte: 100 KB -> 5 ms
+  OverheadStore store(std::make_shared<MemoryStore>(), overheads);
+  store.Put("big", MakeValue(Bytes(100000, 1))).ok();
+  store.Put("tiny", MakeValue(Bytes(10, 1))).ok();
+
+  RealClock clock;
+  Stopwatch big_watch(&clock);
+  store.Get("big").ok();
+  const double big_ms = big_watch.ElapsedMillis();
+  Stopwatch tiny_watch(&clock);
+  store.Get("tiny").ok();
+  const double tiny_ms = tiny_watch.ElapsedMillis();
+  EXPECT_GE(big_ms, 5.0);
+  EXPECT_LT(tiny_ms, big_ms / 2);
+}
+
+TEST(OverheadStoreTest, GetIfChangedPassesThrough) {
+  OverheadStore store(std::make_shared<MemoryStore>(), {});
+  store.PutString("k", "v").ok();
+  auto first = store.GetIfChanged("k", "");
+  ASSERT_TRUE(first.ok());
+  auto second = store.GetIfChanged("k", first->etag);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->not_modified);
+}
+
+}  // namespace
+}  // namespace dstore

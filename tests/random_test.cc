@@ -1,0 +1,143 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dstore {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformRespectsBound) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliApproximatesProbability) {
+  Random rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, GaussianMeanAndVariance) {
+  Random rng(13);
+  const int n = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RandomTest, LogNormalIsPositive) {
+  Random rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RandomTest, LogNormalMedianApproximatesExpMu) {
+  Random rng(19);
+  const int n = 30001;
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = rng.LogNormal(2.0, 0.5);
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], std::exp(2.0), std::exp(2.0) * 0.05);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random rng(23);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RandomTest, RandomBytesLengthAndVariety) {
+  Random rng(29);
+  Bytes b = rng.RandomBytes(1000);
+  ASSERT_EQ(b.size(), 1000u);
+  std::set<uint8_t> distinct(b.begin(), b.end());
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(RandomTest, RandomBytesOddLengths) {
+  Random rng(31);
+  for (size_t n : {0u, 1u, 7u, 9u, 63u}) {
+    EXPECT_EQ(rng.RandomBytes(n).size(), n);
+  }
+}
+
+TEST(RandomTest, CompressibleBytesFullyRedundantRepeats) {
+  Random rng(37);
+  Bytes b = rng.CompressibleBytes(512, 1.0);
+  ASSERT_EQ(b.size(), 512u);
+  // Every 64-byte run equals the first one.
+  for (size_t off = 64; off + 64 <= b.size(); off += 64) {
+    EXPECT_TRUE(std::equal(b.begin(), b.begin() + 64, b.begin() + off));
+  }
+}
+
+TEST(RandomTest, CompressibleBytesZeroRedundancyVaries) {
+  Random rng(41);
+  Bytes b = rng.CompressibleBytes(512, 0.0);
+  bool any_difference = false;
+  for (size_t off = 64; off + 64 <= b.size() && !any_difference; off += 64) {
+    any_difference = !std::equal(b.begin(), b.begin() + 64, b.begin() + off);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace dstore

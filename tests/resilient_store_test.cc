@@ -1,0 +1,153 @@
+#include "store/resilient_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+// A store that fails a fixed number of times then succeeds.
+class FailNTimesStore : public MemoryStore {
+ public:
+  explicit FailNTimesStore(int failures) : remaining_(failures) {}
+
+  StatusOr<ValuePtr> Get(const std::string& key) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      return Status::Unavailable("temporary outage");
+    }
+    return MemoryStore::Get(key);
+  }
+
+  Status Put(const std::string& key, ValuePtr value) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      return Status::Unavailable("temporary outage");
+    }
+    return MemoryStore::Put(key, std::move(value));
+  }
+
+  int remaining_ = 0;
+};
+
+RetryingStore::Options FastRetries(int attempts) {
+  RetryingStore::Options options;
+  options.max_attempts = attempts;
+  options.initial_backoff_nanos = 1;  // effectively no waiting in tests
+  return options;
+}
+
+TEST(RetryingStoreTest, SucceedsAfterTransientFailures) {
+  auto flaky = std::make_shared<FailNTimesStore>(0);
+  flaky->PutString("k", "v").ok();  // seed before arming failures
+  flaky->remaining_ = 2;
+  RetryingStore store(flaky, FastRetries(3));
+  auto got = store.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(**got), "v");
+  EXPECT_EQ(store.GetRetryStats().retries, 2u);
+  EXPECT_EQ(store.GetRetryStats().exhausted, 0u);
+}
+
+TEST(RetryingStoreTest, GivesUpAfterMaxAttempts) {
+  auto flaky = std::make_shared<FailNTimesStore>(100);
+  RetryingStore store(flaky, FastRetries(3));
+  EXPECT_TRUE(store.Get("k").status().IsUnavailable());
+  EXPECT_EQ(store.GetRetryStats().retries, 2u);  // attempts 2 and 3
+  EXPECT_EQ(store.GetRetryStats().exhausted, 1u);
+}
+
+TEST(RetryingStoreTest, DoesNotRetryNotFound) {
+  auto inner = std::make_shared<MemoryStore>();
+  RetryingStore store(inner, FastRetries(5));
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+  EXPECT_EQ(store.GetRetryStats().retries, 0u);
+}
+
+TEST(RetryingStoreTest, PutRetriesToo) {
+  auto flaky = std::make_shared<FailNTimesStore>(1);
+  RetryingStore store(flaky, FastRetries(2));
+  ASSERT_TRUE(store.PutString("k", "v").ok());
+  EXPECT_EQ(*store.GetString("k"), "v");
+}
+
+TEST(RetryingStoreTest, BackoffUsesClock) {
+  auto flaky = std::make_shared<FailNTimesStore>(0);
+  flaky->PutString("k", "v").ok();
+  flaky->remaining_ = 2;
+  SimulatedClock clock;
+  RetryingStore::Options options;
+  options.max_attempts = 3;
+  options.initial_backoff_nanos = 1000;
+  options.backoff_multiplier = 2.0;
+  RetryingStore store(flaky, options, &clock);
+  ASSERT_TRUE(store.Get("k").ok());
+  // Slept 1000 then 2000 virtual nanos.
+  EXPECT_EQ(clock.NowNanos(), 3000);
+}
+
+TEST(RetryingStoreTest, NameShowsDecoration) {
+  RetryingStore store(std::make_shared<MemoryStore>());
+  EXPECT_EQ(store.Name(), "memory+retry");
+}
+
+TEST(FlakyStoreTest, InjectsFailuresAtConfiguredRate) {
+  auto inner = std::make_shared<MemoryStore>();
+  inner->PutString("k", "v").ok();  // seed directly, bypassing fault injection
+  FlakyStore::Options options;
+  options.failure_probability = 0.5;
+  FlakyStore store(inner, options);
+  int failures = 0;
+  const int trials = 1000;
+  for (int i = 0; i < trials; ++i) {
+    if (!store.Get("k").ok()) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / trials, 0.5, 0.08);
+  EXPECT_GT(store.injected_failures(), 0u);
+}
+
+TEST(FlakyStoreTest, ZeroProbabilityNeverFails) {
+  FlakyStore::Options options;
+  options.failure_probability = 0.0;
+  FlakyStore store(std::make_shared<MemoryStore>(), options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.PutString("k", "v").ok());
+    ASSERT_TRUE(store.Get("k").ok());
+  }
+  EXPECT_EQ(store.injected_failures(), 0u);
+}
+
+TEST(FlakyStoreTest, FailAfterApplyStillWrites) {
+  auto inner = std::make_shared<MemoryStore>();
+  FlakyStore::Options options;
+  options.failure_probability = 1.0;
+  options.fail_after_apply = true;
+  FlakyStore store(inner, options);
+  // Client sees an error...
+  EXPECT_TRUE(store.PutString("k", "v").IsUnavailable());
+  // ...but the write landed (acknowledged-lost).
+  EXPECT_EQ(*inner->GetString("k"), "v");
+}
+
+TEST(FlakyStoreTest, RetryingOverFlakyConverges) {
+  // The intended composition: a retrying client over an unreliable store.
+  FlakyStore::Options flaky_options;
+  flaky_options.failure_probability = 0.3;
+  auto flaky =
+      std::make_shared<FlakyStore>(std::make_shared<MemoryStore>(),
+                                   flaky_options);
+  RetryingStore store(flaky, FastRetries(10));
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (store.PutString(key, "v").ok() && store.Get(key).ok()) ++successes;
+  }
+  // P(10 consecutive failures) = 0.3^10 ~ 6e-6 per op: all should succeed.
+  EXPECT_EQ(successes, 200);
+  EXPECT_GT(flaky->injected_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,150 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace dstore {
+namespace {
+
+std::string DigestHex(const std::array<uint8_t, 32>& digest) {
+  return HexEncode(Bytes(digest.begin(), digest.end()));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(nullptr, 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  const std::string msg = "abc";
+  EXPECT_EQ(DigestHex(Sha256::Hash(msg.data(), msg.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const std::string msg =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(DigestHex(Sha256::Hash(msg.data(), msg.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk.data(), chunk.size());
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 hasher;
+  for (char c : msg) hasher.Update(&c, 1);
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            DigestHex(Sha256::Hash(msg.data(), msg.size())));
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.Update(ToBytes("garbage"));
+  hasher.Reset();
+  hasher.Update(ToBytes("abc"));
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block / 56-byte padding boundaries.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.Update(msg.data(), msg.size());
+    // Split at an odd offset; must match one-shot.
+    Sha256 b;
+    b.Update(msg.data(), len / 3);
+    b.Update(msg.data() + len / 3, len - len / 3);
+    EXPECT_EQ(DigestHex(a.Finish()), DigestHex(b.Finish())) << len;
+  }
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes msg = ToBytes("Hi There");
+  const auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(Bytes(mac.begin(), mac.end())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256Test, Rfc4231Case2) {
+  const Bytes key = ToBytes("Jefe");
+  const Bytes msg = ToBytes("what do ya want for nothing?");
+  const auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(Bytes(mac.begin(), mac.end())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: key of 20 0xaa bytes, data of 50 0xdd bytes.
+TEST(HmacSha256Test, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  const auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(Bytes(mac.begin(), mac.end())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than one block.
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  const Bytes key(131, 0xaa);
+  const Bytes msg = ToBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  const auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(Bytes(mac.begin(), mac.end())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, DifferentKeysDifferentMacs) {
+  const Bytes msg = ToBytes("payload");
+  const auto a = HmacSha256(ToBytes("key-a"), msg);
+  const auto b = HmacSha256(ToBytes("key-b"), msg);
+  EXPECT_NE(Bytes(a.begin(), a.end()), Bytes(b.begin(), b.end()));
+}
+
+// RFC 6070-style check adapted for SHA-256 (known-good value for PBKDF2-
+// HMAC-SHA256, password="password", salt="salt", c=1, dkLen=32).
+TEST(Pbkdf2Test, OneIteration) {
+  Bytes dk = Pbkdf2HmacSha256(ToBytes("password"), ToBytes("salt"), 1, 32);
+  EXPECT_EQ(HexEncode(dk),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b");
+}
+
+TEST(Pbkdf2Test, TwoIterations) {
+  Bytes dk = Pbkdf2HmacSha256(ToBytes("password"), ToBytes("salt"), 2, 32);
+  EXPECT_EQ(HexEncode(dk),
+            "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43");
+}
+
+TEST(Pbkdf2Test, MultiBlockOutput) {
+  Bytes dk = Pbkdf2HmacSha256(ToBytes("passwordPASSWORDpassword"),
+                              ToBytes("saltSALTsaltSALTsaltSALTsaltSALTsalt"),
+                              4096, 40);
+  EXPECT_EQ(HexEncode(dk),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1"
+            "c635518c7dac47e9");
+}
+
+TEST(Pbkdf2Test, OutputLengthRespected) {
+  for (size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 65u}) {
+    EXPECT_EQ(Pbkdf2HmacSha256(ToBytes("p"), ToBytes("s"), 2, len).size(), len);
+  }
+}
+
+TEST(Pbkdf2Test, IterationCountChangesOutput) {
+  EXPECT_NE(Pbkdf2HmacSha256(ToBytes("p"), ToBytes("s"), 1, 32),
+            Pbkdf2HmacSha256(ToBytes("p"), ToBytes("s"), 2, 32));
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dstore {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCode) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_TRUE(Status::Expired().IsExpired());
+}
+
+TEST(StatusTest, ErrorStatusIsNotOk) {
+  EXPECT_FALSE(Status::NotFound().ok());
+  EXPECT_FALSE(Status::IOError("disk on fire").ok());
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+  EXPECT_EQ(s.message(), "disk on fire");
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::NotFound().ToString(), "NotFound");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::IOError());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kExpired), "Expired");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<int> result(7);
+  EXPECT_EQ(result.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  DSTORE_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  DSTORE_RETURN_IF_ERROR(Status::OK());
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroSuccess) {
+  int out = 0;
+  ASSERT_TRUE(UseMacros(21, &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagatesError) {
+  int out = 0;
+  Status s = UseMacros(-1, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,276 @@
+// Integration tests for the client/server stores: SQL over the wire, the
+// simulated cloud object store, and the remote-process cache.
+
+#include <filesystem>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "net/latency_model.h"
+#include "store/cloud_client.h"
+#include "store/cloud_server.h"
+#include "store/remote_cache.h"
+#include "store/sql_client.h"
+#include "store/sql_server.h"
+
+namespace dstore {
+namespace {
+
+// --- SQL over the wire ---
+
+TEST(SqlServerTest, NativeQueryEscapeHatch) {
+  auto server = SqlServer::Start("");
+  ASSERT_TRUE(server.ok());
+  auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE((*client)
+                  ->Execute("CREATE TABLE users (id INTEGER PRIMARY KEY, "
+                            "name TEXT)")
+                  .ok());
+  ASSERT_TRUE(
+      (*client)->Execute("INSERT INTO users VALUES (1, 'ada'), (2, 'bob')").ok());
+  auto result =
+      (*client)->Execute("SELECT name FROM users ORDER BY id DESC");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].AsText(), "bob");
+  EXPECT_EQ(result->rows[1][0].AsText(), "ada");
+}
+
+TEST(SqlServerTest, SqlErrorsPropagateToClient) {
+  auto server = SqlServer::Start("");
+  ASSERT_TRUE(server.ok());
+  auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto result = (*client)->Execute("SELECT * FROM nonexistent");
+  EXPECT_TRUE(result.status().IsNotFound());
+  auto parse_error = (*client)->Execute("SELEKT nope");
+  EXPECT_TRUE(parse_error.status().IsInvalidArgument());
+}
+
+TEST(SqlServerTest, KvBridgeVisibleToNativeSql) {
+  auto server = SqlServer::Start("");
+  ASSERT_TRUE(server.ok());
+  auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->PutString("mykey", "myvalue").ok());
+  // The KV bridge writes to the `kv` table; native SQL sees the same row.
+  auto result = (*client)->Execute("SELECT COUNT(*) FROM kv");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInteger(), 1);
+}
+
+TEST(SqlServerTest, ConcurrentClients) {
+  auto server = SqlServer::Start("");
+  ASSERT_TRUE(server.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&server, &failures, t] {
+      auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        const std::string key = "t" + std::to_string(t) + "_" + std::to_string(i);
+        if (!(*client)->PutString(key, key).ok()) failures.fetch_add(1);
+        auto got = (*client)->GetString(key);
+        if (!got.ok() || *got != key) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(*(*client)->Count(), 200u);
+}
+
+TEST(SqlServerTest, DurableAcrossRestart) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dstore_sqlsrv_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string db_path = (dir / "db").string();
+  uint16_t port = 0;
+  {
+    auto server = SqlServer::Start(db_path);
+    ASSERT_TRUE(server.ok());
+    port = (*server)->port();
+    auto client = SqlClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->PutString("durable", "yes").ok());
+  }
+  {
+    auto server = SqlServer::Start(db_path);
+    ASSERT_TRUE(server.ok());
+    auto client = SqlClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    auto got = (*client)->GetString("durable");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "yes");
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// --- Cloud store ---
+
+TEST(CloudStoreTest, ConditionalGetSavesTransfer) {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE((*client)->PutString("obj", "version-1").ok());
+  const std::string etag = (*client)->last_put_etag();
+  ASSERT_FALSE(etag.empty());
+
+  // Matching etag: 304, no body.
+  auto revalidated = (*client)->GetIfChanged("obj", etag);
+  ASSERT_TRUE(revalidated.ok());
+  EXPECT_TRUE(revalidated->not_modified);
+  EXPECT_EQ(revalidated->value, nullptr);
+
+  // Changed object: full body + new etag.
+  ASSERT_TRUE((*client)->PutString("obj", "version-2").ok());
+  auto changed = (*client)->GetIfChanged("obj", etag);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(changed->not_modified);
+  EXPECT_EQ(ToString(*changed->value), "version-2");
+  EXPECT_NE(changed->etag, etag);
+}
+
+TEST(CloudStoreTest, MissingObjectIs404) {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Get("ghost").status().IsNotFound());
+  EXPECT_TRUE((*client)->GetIfChanged("ghost", "x").status().IsNotFound());
+}
+
+TEST(CloudStoreTest, InjectedLatencyIsObservable) {
+  // 5 ms fixed injected delay must dominate the loopback RTT.
+  auto server = CloudStoreServer::Start(
+      std::make_unique<FixedLatency>(5'000'000));
+  ASSERT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->PutString("k", "v").ok());
+
+  RealClock clock;
+  Stopwatch watch(&clock);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*client)->Get("k").ok());
+  }
+  EXPECT_GE(watch.ElapsedMillis(), 3 * 5.0);
+}
+
+TEST(CloudStoreTest, SharedAcrossClients) {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok());
+  auto writer = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  auto reader = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*writer)->PutString("shared", "data").ok());
+  auto got = (*reader)->GetString("shared");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "data");
+}
+
+// --- Remote cache ---
+
+TEST(RemoteCacheTest, CacheInterfaceOverTheWire) {
+  auto server = RemoteCacheServer::Start(std::make_unique<LruCache>(1 << 20));
+  ASSERT_TRUE(server.ok());
+  auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  RemoteCache cache(*conn);
+
+  ASSERT_TRUE(cache.Put("k", MakeValue(std::string_view("v"))).ok());
+  auto got = cache.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(**got), "v");
+  EXPECT_TRUE(cache.Contains("k"));
+  EXPECT_EQ(cache.EntryCount(), 1u);
+  ASSERT_TRUE(cache.Delete("k").ok());
+  EXPECT_TRUE(cache.Get("k").status().IsNotFound());
+}
+
+TEST(RemoteCacheTest, StatsComeFromServer) {
+  auto server = RemoteCacheServer::Start(std::make_unique<LruCache>(1 << 20));
+  ASSERT_TRUE(server.ok());
+  auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  RemoteCache cache(*conn);
+  cache.Put("a", MakeValue(std::string_view("1")));
+  cache.Get("a");
+  cache.Get("missing");
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.puts, 1u);
+}
+
+TEST(RemoteCacheTest, SharedByMultipleClients) {
+  // The key advantage of a remote-process cache (paper Section III): several
+  // client processes/connections see the same cached data.
+  auto server = RemoteCacheServer::Start(std::make_unique<LruCache>(1 << 20));
+  ASSERT_TRUE(server.ok());
+  auto conn1 = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  auto conn2 = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn1.ok());
+  ASSERT_TRUE(conn2.ok());
+  RemoteCache cache1(*conn1);
+  RemoteCache cache2(*conn2);
+  cache1.Put("shared", MakeValue(std::string_view("payload")));
+  auto got = cache2.Get("shared");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(**got), "payload");
+}
+
+TEST(RemoteCacheTest, EvictionHappensServerSide) {
+  auto server = RemoteCacheServer::Start(
+      std::make_unique<LruCache>(4096, /*num_shards=*/1));
+  ASSERT_TRUE(server.ok());
+  auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  RemoteCache cache(*conn);
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("k" + std::to_string(i), MakeValue(rng.RandomBytes(200)));
+  }
+  EXPECT_LE(cache.ChargeUsed(), 4096u);
+  EXPECT_GT(cache.Stats().evictions, 0u);
+}
+
+TEST(RemoteCacheTest, KeysEnumeratedOverTheWire) {
+  auto server = RemoteCacheServer::Start(std::make_unique<LruCache>(1 << 20));
+  ASSERT_TRUE(server.ok());
+  auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  RemoteCacheStore store(*conn);
+  store.PutString("a", "1").ok();
+  store.PutString("b", "2").ok();
+  auto keys = store.ListKeys();
+  ASSERT_TRUE(keys.ok());
+  std::sort(keys->begin(), keys->end());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(RemoteCacheTest, PingWorks) {
+  auto server = RemoteCacheServer::Start(std::make_unique<LruCache>(1 << 20));
+  ASSERT_TRUE(server.ok());
+  auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE((*conn)->Ping().ok());
+}
+
+}  // namespace
+}  // namespace dstore

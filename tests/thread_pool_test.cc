@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace dstore {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int prev = max_in_flight.load();
+      while (prev < now && !max_in_flight.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GT(max_in_flight.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsDropped) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  // Shutdown is already complete; the task must not run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, WaitReturnsImmediatelyWhenIdle) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted — must not block
+}
+
+TEST(ThreadPoolTest, QueueDepthReflectsBacklog) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Give the worker time to dequeue the blocker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_EQ(pool.QueueDepth(), 5u);
+  release = true;
+  pool.Wait();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count.fetch_add(1);
+    pool.Submit([&] { count.fetch_add(1); });
+  });
+  // Wait() may return between the outer and inner task; poll instead.
+  for (int i = 0; i < 200 && count.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,138 @@
+#include "store/typed_store.h"
+
+#include <gtest/gtest.h>
+
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+// A custom application type with its own serializer.
+struct UserProfile {
+  std::string name;
+  int64_t score = 0;
+  std::vector<std::string> tags;
+
+  bool operator==(const UserProfile& other) const {
+    return name == other.name && score == other.score && tags == other.tags;
+  }
+};
+
+}  // namespace
+
+template <>
+struct Serializer<UserProfile> {
+  static Bytes Serialize(const UserProfile& profile) {
+    Bytes out;
+    PutLengthPrefixed(&out, profile.name);
+    PutFixed64(&out, static_cast<uint64_t>(profile.score));
+    PutVarint64(&out, profile.tags.size());
+    for (const auto& tag : profile.tags) PutLengthPrefixed(&out, tag);
+    return out;
+  }
+  static StatusOr<UserProfile> Deserialize(const Bytes& data) {
+    UserProfile profile;
+    size_t pos = 0;
+    DSTORE_ASSIGN_OR_RETURN(Bytes name, GetLengthPrefixed(data, &pos));
+    profile.name = ToString(name);
+    if (pos + 8 > data.size()) return Status::Corruption("truncated profile");
+    profile.score = static_cast<int64_t>(DecodeFixed64(data.data() + pos));
+    pos += 8;
+    DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &pos));
+    for (uint64_t i = 0; i < count; ++i) {
+      DSTORE_ASSIGN_OR_RETURN(Bytes tag, GetLengthPrefixed(data, &pos));
+      profile.tags.push_back(ToString(tag));
+    }
+    return profile;
+  }
+};
+
+namespace {
+
+TEST(TypedStoreTest, StringToString) {
+  TypedStore<std::string, std::string> store(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(store.Put("key", "value").ok());
+  auto got = store.Get("key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+}
+
+TEST(TypedStoreTest, IntKeys) {
+  TypedStore<int64_t, std::string> store(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(store.Put(42, "answer").ok());
+  ASSERT_TRUE(store.Put(-7, "negative").ok());
+  EXPECT_EQ(*store.Get(42), "answer");
+  EXPECT_EQ(*store.Get(-7), "negative");
+  EXPECT_TRUE(store.Get(43).status().IsNotFound());
+}
+
+TEST(TypedStoreTest, DoubleValues) {
+  TypedStore<std::string, double> store(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(store.Put("pi", 3.14159).ok());
+  auto got = store.Get("pi");
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(*got, 3.14159);
+}
+
+TEST(TypedStoreTest, VectorValues) {
+  TypedStore<std::string, std::vector<std::string>> store(
+      std::make_shared<MemoryStore>());
+  const std::vector<std::string> items = {"a", "bb", "", "dddd"};
+  ASSERT_TRUE(store.Put("list", items).ok());
+  auto got = store.Get("list");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, items);
+}
+
+TEST(TypedStoreTest, CustomTypeRoundTrips) {
+  TypedStore<int64_t, UserProfile> store(std::make_shared<MemoryStore>());
+  UserProfile ada;
+  ada.name = "ada";
+  ada.score = 100;
+  ada.tags = {"admin", "founder"};
+  ASSERT_TRUE(store.Put(1, ada).ok());
+  auto got = store.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ada);
+}
+
+TEST(TypedStoreTest, DeleteAndContains) {
+  TypedStore<int64_t, std::string> store(std::make_shared<MemoryStore>());
+  store.Put(1, "one");
+  EXPECT_TRUE(*store.Contains(1));
+  ASSERT_TRUE(store.Delete(1).ok());
+  EXPECT_FALSE(*store.Contains(1));
+}
+
+TEST(TypedStoreTest, ListTypedKeys) {
+  TypedStore<int64_t, std::string> store(std::make_shared<MemoryStore>());
+  for (int64_t k : {5, 1, 9}) {
+    store.Put(k, "v");
+  }
+  auto keys = store.ListKeys();
+  ASSERT_TRUE(keys.ok());
+  std::sort(keys->begin(), keys->end());
+  EXPECT_EQ(*keys, (std::vector<int64_t>{1, 5, 9}));
+}
+
+TEST(TypedStoreTest, CorruptValueReportsError) {
+  auto raw = std::make_shared<MemoryStore>();
+  TypedStore<std::string, double> store(raw);
+  // Write garbage through the raw interface.
+  raw->PutString("bad", "xyz");
+  EXPECT_TRUE(store.Get("bad").status().IsCorruption());
+}
+
+TEST(TypedStoreTest, SharesBackendWithRawView) {
+  auto raw = std::make_shared<MemoryStore>();
+  TypedStore<std::string, std::string> text_view(raw);
+  text_view.Put("k", "v");
+  // The underlying store sees the serialized representation (a string's
+  // serialization is itself).
+  EXPECT_EQ(*raw->Count(), 1u);
+  EXPECT_EQ(*raw->GetString("k"), "v");
+  EXPECT_EQ(text_view.underlying(), raw.get());
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,361 @@
+#include "udsm/udsm.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "common/random.h"
+#include "store/file_store.h"
+#include "store/memory_store.h"
+#include "udsm/async_store.h"
+#include "udsm/monitor.h"
+#include "udsm/workload.h"
+
+namespace dstore {
+namespace {
+
+// --- Registry ---
+
+TEST(UdsmTest, RegisterAndAccessStores) {
+  Udsm udsm;
+  ASSERT_TRUE(udsm.RegisterStore("mem", std::make_shared<MemoryStore>()).ok());
+  KeyValueStore* store = udsm.GetStore("mem");
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->PutString("k", "v").ok());
+  EXPECT_EQ(*store->GetString("k"), "v");
+  EXPECT_EQ(udsm.GetStore("unknown"), nullptr);
+}
+
+TEST(UdsmTest, SwitchingStoresByName) {
+  // The common interface makes stores substitutable: the same application
+  // code works against whichever store the name resolves to.
+  Udsm udsm;
+  udsm.RegisterStore("data", std::make_shared<MemoryStore>());
+  auto run_app = [&udsm](const std::string& value) {
+    KeyValueStore* store = udsm.GetStore("data");
+    store->PutString("key", value);
+    return *store->GetString("key");
+  };
+  EXPECT_EQ(run_app("in-memory"), "in-memory");
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("udsm_switch_" + std::to_string(::getpid()));
+  auto file_store = FileStore::Open(dir);
+  ASSERT_TRUE(file_store.ok());
+  udsm.RegisterStore("data", std::shared_ptr<KeyValueStore>(
+                                 std::move(*file_store)));
+  EXPECT_EQ(run_app("on-disk"), "on-disk");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(UdsmTest, RejectsBadRegistrations) {
+  Udsm udsm;
+  EXPECT_TRUE(udsm.RegisterStore("x", nullptr).IsInvalidArgument());
+  EXPECT_TRUE(
+      udsm.RegisterStore("", std::make_shared<MemoryStore>()).IsInvalidArgument());
+}
+
+TEST(UdsmTest, UnregisterStore) {
+  Udsm udsm;
+  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  ASSERT_TRUE(udsm.UnregisterStore("mem").ok());
+  EXPECT_EQ(udsm.GetStore("mem"), nullptr);
+  EXPECT_TRUE(udsm.UnregisterStore("mem").IsNotFound());
+}
+
+TEST(UdsmTest, StoreNamesSorted) {
+  Udsm udsm;
+  udsm.RegisterStore("zeta", std::make_shared<MemoryStore>());
+  udsm.RegisterStore("alpha", std::make_shared<MemoryStore>());
+  EXPECT_EQ(udsm.StoreNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(UdsmTest, NativeEscapeHatch) {
+  Udsm udsm;
+  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  EXPECT_NE(udsm.GetNative<MemoryStore>("mem"), nullptr);
+  EXPECT_EQ(udsm.GetNative<FileStore>("mem"), nullptr);
+  EXPECT_EQ(udsm.GetNative<MemoryStore>("ghost"), nullptr);
+}
+
+TEST(UdsmTest, MonitoringRecordsOperations) {
+  Udsm udsm;
+  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  KeyValueStore* store = udsm.GetStore("mem");
+  store->PutString("a", "1");
+  store->GetString("a");
+  store->GetString("a");
+  store->Get("missing").status();
+
+  EXPECT_EQ(udsm.monitor()->Summary("memory", "put").count, 1u);
+  const OpSummary gets = udsm.monitor()->Summary("memory", "get");
+  EXPECT_EQ(gets.count, 3u);
+  EXPECT_EQ(gets.errors, 1u);
+  EXPECT_FALSE(udsm.monitor()->Report().empty());
+}
+
+// --- Async interface ---
+
+TEST(UdsmTest, AsyncRoundTrip) {
+  Udsm udsm;
+  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  auto async = udsm.GetAsyncStore("mem");
+  ASSERT_TRUE(async.ok());
+
+  auto put_future = async->PutAsync("k", MakeValue(std::string_view("v")));
+  EXPECT_TRUE(put_future.Get().ok());
+
+  auto get_future = async->GetAsync("k");
+  auto result = get_future.Get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToString(**result), "v");
+
+  EXPECT_TRUE(async->ContainsAsync("k").Get().value());
+  EXPECT_EQ(async->CountAsync().Get().value(), 1u);
+  EXPECT_TRUE(async->DeleteAsync("k").Get().ok());
+  EXPECT_TRUE(async->GetAsync("k").Get().status().IsNotFound());
+}
+
+TEST(UdsmTest, AsyncCallbacksFire) {
+  Udsm udsm;
+  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  auto async = udsm.GetAsyncStore("mem");
+  ASSERT_TRUE(async.ok());
+  ASSERT_TRUE(async->PutAsync("k", MakeValue(std::string_view("v"))).Get().ok());
+
+  std::atomic<bool> fired{false};
+  std::string captured;
+  std::mutex mu;
+  auto future = async->GetAsync("k");
+  future.AddListener([&](const StatusOr<ValuePtr>& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (result.ok()) captured = ToString(**result);
+    fired = true;
+  });
+  future.Get();  // ensure completion
+  for (int i = 0; i < 100 && !fired.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(captured, "v");
+}
+
+TEST(UdsmTest, AsyncOverlapsSlowOperations) {
+  // A store with an artificial 20 ms operation cost: N async calls on a
+  // pool of N threads must take ~1 op time, not N op times.
+  class SlowStore : public MemoryStore {
+   public:
+    StatusOr<ValuePtr> Get(const std::string& key) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return MemoryStore::Get(key);
+    }
+  };
+  Udsm::Options options;
+  options.async_threads = 8;
+  Udsm udsm(options);
+  auto slow = std::make_shared<SlowStore>();
+  slow->PutString("k", "v");
+  udsm.RegisterStore("slow", slow);
+  auto async = udsm.GetAsyncStore("slow");
+  ASSERT_TRUE(async.ok());
+
+  RealClock clock;
+  Stopwatch watch(&clock);
+  std::vector<ListenableFuture<StatusOr<ValuePtr>>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(async->GetAsync("k"));
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.Get().ok());
+  }
+  // Serial execution would take >= 160 ms; concurrent execution ~20-60 ms.
+  EXPECT_LT(watch.ElapsedMillis(), 120.0);
+}
+
+// --- Monitor ---
+
+TEST(PerformanceMonitorTest, SummaryStatistics) {
+  PerformanceMonitor monitor;
+  for (double ms : {1.0, 2.0, 3.0, 4.0}) monitor.Record("s", "get", ms);
+  const OpSummary summary = monitor.Summary("s", "get");
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_DOUBLE_EQ(summary.MeanMs(), 2.5);
+  EXPECT_DOUBLE_EQ(summary.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 4.0);
+  EXPECT_NEAR(summary.VarianceMs(), 1.25, 1e-9);
+}
+
+TEST(PerformanceMonitorTest, RecentWindowBounded) {
+  PerformanceMonitor monitor(/*recent_window=*/10);
+  for (int i = 0; i < 100; ++i) {
+    monitor.Record("s", "get", static_cast<double>(i));
+  }
+  auto recent = monitor.RecentSamples("s", "get");
+  ASSERT_EQ(recent.size(), 10u);
+  // Only the most recent samples are retained ("detailed data for recent
+  // requests"), while the summary covers all 100.
+  EXPECT_DOUBLE_EQ(recent.front(), 90.0);
+  EXPECT_EQ(monitor.Summary("s", "get").count, 100u);
+}
+
+TEST(PerformanceMonitorTest, Percentiles) {
+  PerformanceMonitor monitor;
+  for (int i = 1; i <= 100; ++i) {
+    monitor.Record("s", "get", static_cast<double>(i));
+  }
+  EXPECT_NEAR(monitor.RecentPercentileMs("s", "get", 50), 50.5, 1.0);
+  EXPECT_NEAR(monitor.RecentPercentileMs("s", "get", 95), 95.0, 1.5);
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 100), 100.0);
+}
+
+TEST(PerformanceMonitorTest, PersistAndRestore) {
+  PerformanceMonitor monitor;
+  monitor.Record("cloud", "get", 120.0);
+  monitor.Record("cloud", "get", 80.0);
+  monitor.Record("file", "put", 3.0, /*ok=*/false);
+
+  MemoryStore store;
+  ASSERT_TRUE(monitor.SaveTo(&store, "perf").ok());
+
+  PerformanceMonitor restored;
+  ASSERT_TRUE(restored.LoadFrom(&store, "perf").ok());
+  EXPECT_EQ(restored.Summary("cloud", "get").count, 2u);
+  EXPECT_DOUBLE_EQ(restored.Summary("cloud", "get").MeanMs(), 100.0);
+  EXPECT_EQ(restored.Summary("file", "put").errors, 1u);
+}
+
+TEST(PerformanceMonitorTest, UnknownTrackIsEmpty) {
+  PerformanceMonitor monitor;
+  EXPECT_EQ(monitor.Summary("nope", "get").count, 0u);
+  EXPECT_TRUE(monitor.RecentSamples("nope", "get").empty());
+  EXPECT_EQ(monitor.RecentPercentileMs("nope", "get", 50), 0.0);
+}
+
+// --- Workload generator ---
+
+TEST(WorkloadGeneratorTest, MeasuresStore) {
+  WorkloadGenerator::Config config;
+  config.sizes = {10, 1000};
+  config.ops_per_size = 3;
+  config.runs = 2;
+  WorkloadGenerator generator(config);
+  MemoryStore store;
+  auto points = generator.MeasureStore(&store);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 2u);
+  EXPECT_EQ((*points)[0].size, 10u);
+  EXPECT_GE((*points)[0].read_ms, 0.0);
+  EXPECT_GE((*points)[0].write_ms, 0.0);
+  // The store is left clean.
+  EXPECT_EQ(*store.Count(), 0u);
+}
+
+TEST(WorkloadGeneratorTest, HitRateExtrapolation) {
+  WorkloadGenerator::Config config;
+  config.sizes = {100};
+  config.ops_per_size = 4;
+  config.runs = 2;
+  config.hit_rates = {0.0, 0.5, 1.0};
+  WorkloadGenerator generator(config);
+
+  // Deterministic latencies via a slow store and a fast cache.
+  class SlowStore : public MemoryStore {
+   public:
+    StatusOr<ValuePtr> Get(const std::string& key) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return MemoryStore::Get(key);
+    }
+  };
+  SlowStore store;
+  LruCache cache(1 << 20);
+  auto points = generator.MeasureCachedReads(&store, &cache);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 1u);
+  const auto& point = (*points)[0];
+  EXPECT_GT(point.miss_ms, point.hit_ms);
+  ASSERT_EQ(point.extrapolated_ms.size(), 3u);
+  EXPECT_DOUBLE_EQ(point.extrapolated_ms[0], point.miss_ms);
+  EXPECT_DOUBLE_EQ(point.extrapolated_ms[2], point.hit_ms);
+  EXPECT_NEAR(point.extrapolated_ms[1],
+              0.5 * (point.miss_ms + point.hit_ms), 1e-9);
+}
+
+TEST(WorkloadGeneratorTest, CipherAndCodecOverheads) {
+  WorkloadGenerator::Config config;
+  config.sizes = {1000, 100000};
+  config.ops_per_size = 2;
+  config.runs = 2;
+  config.redundancy = 0.8;
+  WorkloadGenerator generator(config);
+
+  auto cipher = std::move(AesCbcCipher::MakeWithSeed(Bytes(16, 1), 1)).value();
+  auto cipher_points = generator.MeasureCipher(cipher.get());
+  ASSERT_TRUE(cipher_points.ok());
+  EXPECT_EQ(cipher_points->size(), 2u);
+
+  GzipCodec codec;
+  auto codec_points = generator.MeasureCodec(&codec);
+  ASSERT_TRUE(codec_points.ok());
+  // Redundant data compresses: ratio < 1.
+  EXPECT_LT((*codec_points)[1].ratio, 1.0);
+}
+
+TEST(WorkloadGeneratorTest, UserDataSource) {
+  WorkloadGenerator::Config config;
+  config.sizes = {64};
+  config.ops_per_size = 2;
+  config.runs = 1;
+  WorkloadGenerator generator(config);
+  generator.UseDataSource([](size_t size, Random*) {
+    return Bytes(size, 0xAB);  // caller-controlled content
+  });
+  MemoryStore store;
+  EXPECT_TRUE(generator.MeasureStore(&store).ok());
+}
+
+TEST(WorkloadGeneratorTest, DataFileSource) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("wl_data_" + std::to_string(::getpid()) + ".bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "file contents used as workload data";
+  }
+  WorkloadGenerator::Config config;
+  config.sizes = {10, 500};  // smaller and larger than the file
+  config.ops_per_size = 1;
+  config.runs = 1;
+  WorkloadGenerator generator(config);
+  ASSERT_TRUE(generator.UseDataFile(path.string()).ok());
+  MemoryStore store;
+  EXPECT_TRUE(generator.MeasureStore(&store).ok());
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(WorkloadGeneratorTest, MissingDataFileFails) {
+  WorkloadGenerator generator(WorkloadGenerator::Config{});
+  EXPECT_TRUE(generator.UseDataFile("/no/such/file").IsIOError());
+}
+
+TEST(WorkloadGeneratorTest, WriteTableProducesGnuplotText) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("wl_table_" + std::to_string(::getpid()) + ".dat");
+  ASSERT_TRUE(WorkloadGenerator::WriteTable(path.string(), {"size", "ms"},
+                                            {{10, 1.5}, {100, 2.5}})
+                  .ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# size ms");
+  std::getline(in, line);
+  EXPECT_EQ(line, "10 1.5");
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+}  // namespace dstore

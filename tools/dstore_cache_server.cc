@@ -1,0 +1,114 @@
+// Standalone remote-process cache server (the Redis-like daemon). Runs the
+// RESP-like framed protocol from store/remote_cache.h on a TCP port; any
+// number of clients (RemoteCache / RemoteCacheStore / RemoteCacheConnection)
+// can share it — the deployment shape of paper Section III's remote-process
+// caching.
+//
+//   dstore_cache_server [--port=N] [--capacity-mb=N]
+//                       [--eviction=lru|clock|gds] [--warm-file=PATH]
+//
+// Prints "LISTENING <port>" on stdout once ready. SIGINT/SIGTERM shut down
+// cleanly, saving warm state to --warm-file if given.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include <semaphore.h>
+
+#include "cache/clock_cache.h"
+#include "cache/gds_cache.h"
+#include "cache/lru_cache.h"
+#include "dscl/cache_persistence.h"
+#include "store/file_store.h"
+#include "store/remote_cache.h"
+
+namespace {
+sem_t g_shutdown;
+void HandleSignal(int) { sem_post(&g_shutdown); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+
+  uint16_t port = 6380;
+  size_t capacity_mb = 256;
+  std::string eviction = "lru";
+  std::string warm_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--capacity-mb=", 0) == 0) {
+      capacity_mb = static_cast<size_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--eviction=", 0) == 0) {
+      eviction = arg.substr(11);
+    } else if (arg.rfind("--warm-file=", 0) == 0) {
+      warm_file = arg.substr(12);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--capacity-mb=N] "
+                   "[--eviction=lru|clock|gds] [--warm-file=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t capacity = capacity_mb << 20;
+  std::unique_ptr<Cache> cache;
+  if (eviction == "lru") {
+    cache = std::make_unique<LruCache>(capacity);
+  } else if (eviction == "clock") {
+    cache = std::make_unique<ClockCache>(capacity);
+  } else if (eviction == "gds") {
+    cache = std::make_unique<GdsCache>(capacity);
+  } else {
+    std::fprintf(stderr, "unknown eviction policy: %s\n", eviction.c_str());
+    return 2;
+  }
+
+  // Warm restart (paper Section III): reload entries saved at shutdown.
+  std::unique_ptr<FileStore> warm_store;
+  if (!warm_file.empty()) {
+    auto opened = FileStore::Open(
+        std::filesystem::path(warm_file).parent_path().empty()
+            ? "."
+            : std::filesystem::path(warm_file).parent_path());
+    if (opened.ok()) {
+      warm_store = *std::move(opened);
+      auto loaded = LoadCacheFromStore(
+          cache.get(), warm_store.get(),
+          std::filesystem::path(warm_file).filename().string());
+      if (loaded.ok()) {
+        std::fprintf(stderr, "warm start: %zu entries restored\n", *loaded);
+      }
+    }
+  }
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  auto server = RemoteCacheServer::Start(std::move(cache), port);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", (*server)->port());
+  std::fflush(stdout);
+
+  while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
+
+  if (warm_store != nullptr) {
+    const Status saved = SaveCacheToStore(
+        (*server)->backing(), warm_store.get(),
+        std::filesystem::path(warm_file).filename().string());
+    std::fprintf(stderr, "warm state save: %s\n", saved.ToString().c_str());
+  }
+  (*server)->Stop();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Standalone simulated cloud object store: the HTTP/1.1 REST server from
+// store/cloud_server.h with a configurable WAN latency profile, runnable as
+// its own process so experiments can target it like a real remote service.
+//
+//   dstore_cloud_server [--port=N] [--profile=cloud1|cloud2|none]
+//                       [--wan-scale=F] [--seed=N]
+//
+// Prints "LISTENING <port>" on stdout once ready.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <semaphore.h>
+
+#include "net/latency_model.h"
+#include "store/cloud_server.h"
+
+namespace {
+sem_t g_shutdown;
+void HandleSignal(int) { sem_post(&g_shutdown); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+
+  uint16_t port = 8420;
+  std::string profile = "cloud2";
+  double wan_scale = 1.0;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = arg.substr(10);
+    } else if (arg.rfind("--wan-scale=", 0) == 0) {
+      wan_scale = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--profile=cloud1|cloud2|none] "
+                   "[--wan-scale=F] [--seed=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::unique_ptr<LatencyModel> latency;
+  if (profile == "cloud1") {
+    latency = std::make_unique<WanLatency>(CloudStore1Profile(wan_scale), seed);
+  } else if (profile == "cloud2") {
+    latency = std::make_unique<WanLatency>(CloudStore2Profile(wan_scale), seed);
+  } else if (profile == "none") {
+    latency = std::make_unique<NoLatency>();
+  } else {
+    std::fprintf(stderr, "unknown profile: %s\n", profile.c_str());
+    return 2;
+  }
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  auto server = CloudStoreServer::Start(std::move(latency), port);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", (*server)->port());
+  std::fflush(stdout);
+
+  while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
+  (*server)->Stop();
+  return 0;
+}

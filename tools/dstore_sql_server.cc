@@ -1,0 +1,62 @@
+// Standalone SQL server: the embedded relational engine behind the framed
+// wire protocol (the MySQL-like deployment shape — a separate process
+// reached over a local socket).
+//
+//   dstore_sql_server [--port=N] [--db=PATH] [--no-fsync]
+//
+// An empty --db keeps the database in memory (no durability). Prints
+// "LISTENING <port>" on stdout once ready.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <semaphore.h>
+
+#include "store/sql_server.h"
+
+namespace {
+sem_t g_shutdown;
+void HandleSignal(int) { sem_post(&g_shutdown); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dstore;
+
+  uint16_t port = 3307;
+  std::string db_path;
+  sql::Database::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--db=", 0) == 0) {
+      db_path = arg.substr(5);
+    } else if (arg == "--no-fsync") {
+      options.sync_commits = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--port=N] [--db=PATH] [--no-fsync]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  auto server = SqlServer::Start(db_path, port, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", (*server)->port());
+  std::fflush(stdout);
+
+  while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
+  (*server)->Stop();
+  return 0;
+}
