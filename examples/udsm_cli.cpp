@@ -18,6 +18,8 @@
 //   clear                   delete everything in the current store
 //   sql STATEMENT...        run SQL against a sql-type store
 //   monitor                 print the performance monitor report
+//   stats                   dump process metrics in Prometheus text format
+//   trace KEY               run a force-sampled get and print its span tree
 //   help                    this text
 //   quit                    exit
 
@@ -26,6 +28,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "store/file_store.h"
 #include "store/memory_store.h"
 #include "store/sql_client.h"
@@ -39,7 +43,7 @@ namespace {
 constexpr char kHelp[] =
     "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
     "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
-    "          help | quit\n";
+    "          stats | trace K | help | quit\n";
 
 struct Shell {
   Udsm udsm;
@@ -215,6 +219,30 @@ struct Shell {
       }
     } else if (command == "monitor") {
       std::fputs(udsm.monitor()->Report().c_str(), stdout);
+    } else if (command == "stats") {
+      std::fputs(obs::RenderPrometheusText().c_str(), stdout);
+    } else if (command == "trace") {
+      std::string key;
+      args >> key;
+      KeyValueStore* store = Current();
+      if (store == nullptr) return;
+      Status get_status = Status::OK();
+      {
+        // Force-sampled root: children opened inside the layered Get (cache
+        // lookup, transforms, base store) attach to it automatically.
+        obs::Span root("cli.get", obs::Tracer::Default(),
+                       /*force_sample=*/true);
+        get_status = store->Get(key).status();
+      }
+      if (!get_status.ok()) {
+        std::printf("get: %s\n", get_status.ToString().c_str());
+      }
+      auto trace = obs::Tracer::Default()->LatestTrace();
+      if (trace == nullptr) {
+        std::printf("no trace recorded\n");
+      } else {
+        std::fputs(trace->ToText().c_str(), stdout);
+      }
     } else {
       std::printf("unknown command '%s' (try `help`)\n", command.c_str());
     }

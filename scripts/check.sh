@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds and tests the tree twice: a plain Release build, then a
+# ThreadSanitizer build (-DDSTORE_SANITIZE=thread) to catch data races in
+# the concurrent paths (metrics registry, tracer, monitor, servers).
+#
+#   scripts/check.sh [extra ctest args...]
+#
+# Build trees land in build-check-release/ and build-check-tsan/ so the
+# default build/ directory is left alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j"$(nproc)"
+  (cd "$dir" && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
+}
+
+CTEST_ARGS=("$@")
+
+echo "=== Release build ==="
+run_suite build-check-release -DCMAKE_BUILD_TYPE=Release
+
+echo "=== ThreadSanitizer build ==="
+run_suite build-check-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDSTORE_SANITIZE=thread
+
+echo "All checks passed."

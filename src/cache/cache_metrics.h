@@ -1,0 +1,48 @@
+#ifndef DSTORE_CACHE_CACHE_METRICS_H_
+#define DSTORE_CACHE_CACHE_METRICS_H_
+
+#include <string>
+
+#include "cache/cache.h"
+#include "obs/metrics.h"
+
+namespace dstore {
+
+// Re-homes a Cache's CacheStats onto a MetricsRegistry: registers a
+// scrape-time collector that copies the cache's counters into gauges
+// labelled cache=<name>. CacheStats stays the per-instance accessor; the
+// registry view is the process-wide one a /metrics scrape sees.
+//
+// Returns the collector id. The caller must RemoveCollector(id) before
+// `cache` is destroyed (servers do this in Stop()).
+inline int PublishCacheMetrics(obs::MetricsRegistry* registry, Cache* cache,
+                               const std::string& name) {
+  if (registry == nullptr) registry = obs::MetricsRegistry::Default();
+  const obs::Labels labels = {{"cache", name}};
+  obs::Gauge* hits = registry->GetGauge("dstore_cache_hits", labels,
+                                        "Cache lookup hits.");
+  obs::Gauge* misses = registry->GetGauge("dstore_cache_misses", labels,
+                                          "Cache lookup misses.");
+  obs::Gauge* puts =
+      registry->GetGauge("dstore_cache_puts", labels, "Cache insertions.");
+  obs::Gauge* evictions = registry->GetGauge("dstore_cache_evictions", labels,
+                                             "Entries evicted for space.");
+  obs::Gauge* entries = registry->GetGauge("dstore_cache_entries", labels,
+                                           "Entries currently cached.");
+  obs::Gauge* bytes = registry->GetGauge(
+      "dstore_cache_charge_bytes", labels,
+      "Approximate bytes currently cached (charge accounting).");
+  return registry->AddCollector([=] {
+    const CacheStats stats = cache->Stats();
+    hits->Set(static_cast<double>(stats.hits));
+    misses->Set(static_cast<double>(stats.misses));
+    puts->Set(static_cast<double>(stats.puts));
+    evictions->Set(static_cast<double>(stats.evictions));
+    entries->Set(static_cast<double>(cache->EntryCount()));
+    bytes->Set(static_cast<double>(cache->ChargeUsed()));
+  });
+}
+
+}  // namespace dstore
+
+#endif  // DSTORE_CACHE_CACHE_METRICS_H_

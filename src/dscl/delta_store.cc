@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dstore {
 
 DeltaStore::DeltaStore(std::shared_ptr<KeyValueStore> base,
@@ -10,6 +12,7 @@ DeltaStore::DeltaStore(std::shared_ptr<KeyValueStore> base,
 
 StatusOr<Bytes> DeltaStore::Reconstruct(const std::string& key,
                                         uint64_t chain_length) {
+  obs::Span span("delta.reconstruct");
   DSTORE_ASSIGN_OR_RETURN(ValuePtr base_value, base_->Get(BaseKey(key)));
   Bytes current = *base_value;
   for (uint64_t i = 1; i <= chain_length; ++i) {
@@ -68,7 +71,10 @@ Status DeltaStore::Put(const std::string& key, ValuePtr value) {
     DSTORE_ASSIGN_OR_RETURN(previous, Reconstruct(key, chain_length));
   }
 
-  const Bytes delta = EncodeDelta(previous, *value, options_.delta);
+  const Bytes delta = [&] {
+    obs::Span span("delta.encode");
+    return EncodeDelta(previous, *value, options_.delta);
+  }();
   const bool delta_worthwhile =
       chain_length < options_.max_chain_length &&
       static_cast<double>(delta.size()) <

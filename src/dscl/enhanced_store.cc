@@ -1,5 +1,7 @@
 #include "dscl/enhanced_store.h"
 
+#include "obs/trace.h"
+
 namespace dstore {
 
 EnhancedStore::EnhancedStore(std::shared_ptr<KeyValueStore> base,
@@ -9,15 +11,32 @@ EnhancedStore::EnhancedStore(std::shared_ptr<KeyValueStore> base,
     : base_(std::move(base)),
       cache_(std::move(cache)),
       chain_(std::move(chain)),
-      options_(options) {}
+      options_(options) {
+  auto* registry = obs::MetricsRegistry::Default();
+  const obs::Labels labels = {{"store", base_->Name()}};
+  obs_hits_ = registry->GetCounter(
+      "dstore_enhanced_cache_hits_total", labels,
+      "Fresh integrated-cache hits served without server contact.");
+  obs_misses_ = registry->GetCounter(
+      "dstore_enhanced_cache_misses_total", labels,
+      "Gets that fetched the value from the base store.");
+  obs_revalidations_ = registry->GetCounter(
+      "dstore_enhanced_revalidations_total", labels,
+      "Expired cache hits that sent a conditional GET.");
+  obs_revalidations_saved_ = registry->GetCounter(
+      "dstore_enhanced_revalidations_saved_total", labels,
+      "Conditional GETs answered 304 (no value transferred).");
+}
 
 StatusOr<Bytes> EnhancedStore::Encode(const Bytes& value) const {
   if (chain_ == nullptr || chain_->empty()) return value;
+  obs::Span span("transform.encode");
   return chain_->Apply(value);
 }
 
 StatusOr<ValuePtr> EnhancedStore::Decode(const Bytes& value) const {
   if (chain_ == nullptr || chain_->empty()) return MakeValue(Bytes(value));
+  obs::Span span("transform.decode");
   DSTORE_ASSIGN_OR_RETURN(Bytes decoded, chain_->Reverse(value));
   return MakeValue(std::move(decoded));
 }
@@ -33,8 +52,12 @@ Status EnhancedStore::CacheValue(const std::string& key,
 
 Status EnhancedStore::Put(const std::string& key, ValuePtr value) {
   if (value == nullptr) return Status::InvalidArgument("null value");
+  obs::Span span("enhanced.put");
   DSTORE_ASSIGN_OR_RETURN(Bytes encoded, Encode(*value));
-  DSTORE_RETURN_IF_ERROR(base_->Put(key, MakeValue(Bytes(encoded))));
+  {
+    obs::Span base_span("base.put");
+    DSTORE_RETURN_IF_ERROR(base_->Put(key, MakeValue(Bytes(encoded))));
+  }
 
   if (cache_ == nullptr) return Status::OK();
   switch (options_.write_policy) {
@@ -49,22 +72,36 @@ Status EnhancedStore::Put(const std::string& key, ValuePtr value) {
 }
 
 StatusOr<ValuePtr> EnhancedStore::FetchAndCache(const std::string& key) {
-  DSTORE_ASSIGN_OR_RETURN(ValuePtr encoded, base_->Get(key));
-  DSTORE_ASSIGN_OR_RETURN(ValuePtr decoded, Decode(*encoded));
+  auto encoded = [&] {
+    obs::Span span("base.get");
+    return base_->Get(key);
+  }();
+  DSTORE_RETURN_IF_ERROR(encoded.status());
+  DSTORE_ASSIGN_OR_RETURN(ValuePtr decoded, Decode(**encoded));
   DSTORE_RETURN_IF_ERROR(
-      CacheValue(key, decoded, *encoded, ComputeEtag(*encoded)));
+      CacheValue(key, decoded, **encoded, ComputeEtag(**encoded)));
   return decoded;
 }
 
 StatusOr<ValuePtr> EnhancedStore::Get(const std::string& key) {
+  obs::Span get_span("enhanced.get");
+
   if (cache_ == nullptr) {
-    DSTORE_ASSIGN_OR_RETURN(ValuePtr encoded, base_->Get(key));
-    return Decode(*encoded);
+    auto encoded = [&] {
+      obs::Span span("base.get");
+      return base_->Get(key);
+    }();
+    DSTORE_RETURN_IF_ERROR(encoded.status());
+    return Decode(**encoded);
   }
 
-  auto entry = cache_->GetEntry(key);
+  auto entry = [&] {
+    obs::Span span("cache.lookup");
+    return cache_->GetEntry(key);
+  }();
   if (entry.ok() && !entry->expired) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_hits_->Increment();
     if (options_.cache_encoded) return Decode(*entry->value);
     return entry->value;
   }
@@ -73,10 +110,15 @@ StatusOr<ValuePtr> EnhancedStore::Get(const std::string& key) {
       !entry->etag.empty()) {
     // Fig. 7: ask the server whether our version is still current.
     revalidations_.fetch_add(1, std::memory_order_relaxed);
-    auto conditional = base_->GetIfChanged(key, entry->etag);
+    obs_revalidations_->Increment();
+    auto conditional = [&] {
+      obs::Span span("base.conditional_get");
+      return base_->GetIfChanged(key, entry->etag);
+    }();
     if (conditional.ok()) {
       if (conditional->not_modified) {
         revalidations_saved_.fetch_add(1, std::memory_order_relaxed);
+        obs_revalidations_saved_->Increment();
         cache_->Touch(key, options_.cache_ttl_nanos).ok();
         if (options_.cache_encoded) return Decode(*entry->value);
         return entry->value;
@@ -95,6 +137,7 @@ StatusOr<ValuePtr> EnhancedStore::Get(const std::string& key) {
   }
 
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses_->Increment();
   return FetchAndCache(key);
 }
 

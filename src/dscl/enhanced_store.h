@@ -8,6 +8,7 @@
 #include "cache/expiring_cache.h"
 #include "common/clock.h"
 #include "dscl/transformer.h"
+#include "obs/metrics.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -99,10 +100,17 @@ class EnhancedStore : public KeyValueStore {
   std::shared_ptr<TransformChain> chain_;
   Options options_;
 
+  // Per-instance counts back Stats(); the obs counters mirror the same
+  // events into the process-wide registry (labelled by base store name) so
+  // /metrics sees every EnhancedStore in the process.
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
   mutable std::atomic<uint64_t> revalidations_{0};
   mutable std::atomic<uint64_t> revalidations_saved_{0};
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_revalidations_;
+  obs::Counter* obs_revalidations_saved_;
 };
 
 }  // namespace dstore

@@ -1,0 +1,77 @@
+#include "net/obs_endpoint.h"
+
+#include <utility>
+
+namespace dstore {
+
+namespace {
+
+HttpResponse TextResponse(std::string body, const std::string& content_type) {
+  HttpResponse response;
+  response.status_code = 200;
+  response.reason = "OK";
+  response.headers["content-type"] = content_type;
+  response.body = ToBytes(body);
+  return response;
+}
+
+}  // namespace
+
+bool HandleObsRequest(const HttpRequest& request, HttpResponse* response,
+                      obs::MetricsRegistry* registry, obs::Tracer* tracer) {
+  if (request.method != "GET") return false;
+  if (request.path == "/metrics") {
+    *response = TextResponse(obs::RenderPrometheusText(registry),
+                             "text/plain; version=0.0.4");
+    return true;
+  }
+  if (request.path == "/metrics.json") {
+    *response =
+        TextResponse(obs::RenderMetricsJson(registry), "application/json");
+    return true;
+  }
+  if (request.path == "/traces") {
+    *response =
+        TextResponse(obs::RenderTracesJson(tracer), "application/json");
+    return true;
+  }
+  if (request.path == "/healthz") {
+    *response = TextResponse("ok\n", "text/plain");
+    return true;
+  }
+  return false;
+}
+
+StatusOr<std::unique_ptr<ObsHttpServer>> ObsHttpServer::Start(
+    uint16_t port, obs::MetricsRegistry* registry, obs::Tracer* tracer) {
+  auto server = std::unique_ptr<ObsHttpServer>(new ObsHttpServer());
+  server->registry_ = registry;
+  server->tracer_ = tracer;
+  ObsHttpServer* raw = server.get();
+  server->server_ = std::make_unique<ThreadedServer>(
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+  DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
+  return server;
+}
+
+ObsHttpServer::~ObsHttpServer() { Stop(); }
+
+void ObsHttpServer::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+void ObsHttpServer::HandleConnection(Socket socket) {
+  HttpConnection conn(std::move(socket));
+  for (;;) {
+    auto request = conn.ReadRequest();
+    if (!request.ok()) return;  // disconnect
+    HttpResponse response;
+    if (!HandleObsRequest(*request, &response, registry_, tracer_)) {
+      response.status_code = 404;
+      response.reason = "Not Found";
+    }
+    if (!conn.WriteResponse(response).ok()) return;
+  }
+}
+
+}  // namespace dstore

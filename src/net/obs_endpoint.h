@@ -1,0 +1,57 @@
+#ifndef DSTORE_NET_OBS_ENDPOINT_H_
+#define DSTORE_NET_OBS_ENDPOINT_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/server.h"
+#include "obs/exposition.h"
+
+namespace dstore {
+
+// HTTP surface of the observability subsystem. Every server exposes the
+// same routes:
+//
+//   GET /metrics        Prometheus text exposition
+//   GET /metrics.json   the same data as JSON
+//   GET /traces         recently sampled traces as a JSON array
+//   GET /healthz        liveness probe, 200 "ok"
+//
+// HTTP-speaking servers (the cloud store) fold these into their existing
+// request handler via HandleObsRequest; framed-protocol servers (cache,
+// SQL) run an ObsHttpServer sidecar listener on a separate port.
+
+// If `request` targets an observability route, fills `*response` and
+// returns true; otherwise leaves `*response` alone and returns false.
+// Null registry/tracer mean the process-wide defaults.
+bool HandleObsRequest(const HttpRequest& request, HttpResponse* response,
+                      obs::MetricsRegistry* registry = nullptr,
+                      obs::Tracer* tracer = nullptr);
+
+// Minimal HTTP server that serves only the observability routes — the
+// scrape endpoint for servers whose data plane is not HTTP.
+class ObsHttpServer {
+ public:
+  static StatusOr<std::unique_ptr<ObsHttpServer>> Start(
+      uint16_t port = 0, obs::MetricsRegistry* registry = nullptr,
+      obs::Tracer* tracer = nullptr);
+
+  ~ObsHttpServer();
+
+  uint16_t port() const { return server_->port(); }
+  void Stop();
+
+ private:
+  ObsHttpServer() = default;
+
+  void HandleConnection(Socket socket);
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::unique_ptr<ThreadedServer> server_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_NET_OBS_ENDPOINT_H_

@@ -43,10 +43,13 @@ void ThreadedServer::AcceptLoop() {
     const int fd = client->fd();
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_.load()) return;  // raced with Stop(); drop the connection
+    if (connections_total_ != nullptr) connections_total_->Increment();
     active_fds_.insert(fd);
     connection_threads_.emplace_back(
         [this, fd, socket = std::move(*client)]() mutable {
+          if (active_connections_ != nullptr) active_connections_->Increment();
           handler_(std::move(socket));
+          if (active_connections_ != nullptr) active_connections_->Decrement();
           std::lock_guard<std::mutex> lock(mu_);
           active_fds_.erase(fd);
         });

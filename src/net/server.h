@@ -11,18 +11,35 @@
 
 #include "common/status.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace dstore {
 
 // Thread-per-connection TCP server skeleton shared by the remote-process
 // cache server and the simulated cloud object store. The handler owns the
 // connection for its lifetime and returns when the peer disconnects.
+//
+// When constructed with a non-empty `component`, the server publishes
+// dstore_server_connections_total and dstore_server_active_connections
+// (labelled server=<component>) into the default metrics registry.
 class ThreadedServer {
  public:
   using ConnectionHandler = std::function<void(Socket socket)>;
 
-  explicit ThreadedServer(ConnectionHandler handler)
-      : handler_(std::move(handler)) {}
+  explicit ThreadedServer(ConnectionHandler handler,
+                          const std::string& component = "")
+      : handler_(std::move(handler)) {
+    if (!component.empty()) {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      const obs::Labels labels = {{"server", component}};
+      connections_total_ = registry->GetCounter(
+          "dstore_server_connections_total", labels,
+          "Connections accepted since process start.");
+      active_connections_ = registry->GetGauge(
+          "dstore_server_active_connections", labels,
+          "Connections currently being served.");
+    }
+  }
 
   ~ThreadedServer() { Stop(); }
 
@@ -44,6 +61,8 @@ class ThreadedServer {
   void AcceptLoop();
 
   ConnectionHandler handler_;
+  obs::Counter* connections_total_ = nullptr;   // null when not published
+  obs::Gauge* active_connections_ = nullptr;
   ServerSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};

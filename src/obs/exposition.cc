@@ -1,0 +1,179 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dstore {
+namespace obs {
+
+namespace {
+
+using FamilySnapshot = MetricsRegistry::FamilySnapshot;
+using InstrumentSnapshot = MetricsRegistry::InstrumentSnapshot;
+using Kind = MetricsRegistry::Kind;
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatNumber(double v) {
+  char buf[48];
+  // %.17g round-trips doubles but prints integers without noise.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendEscapedLabelValue(std::string* out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Renders {k1="v1",k2="v2"} with an optional extra label (used for `le`).
+// Returns "" when there are no labels at all.
+std::string LabelString(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscapedLabelValue(&out, v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    AppendEscapedLabelValue(&out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Default();
+  const std::vector<double>& bounds = Histogram::BucketBounds();
+  std::string out;
+  for (const FamilySnapshot& family : registry->Snapshot()) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + family.name + " " + KindName(family.kind) + "\n";
+    for (const InstrumentSnapshot& inst : family.instruments) {
+      if (family.kind == Kind::kHistogram) {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < inst.buckets.size(); ++i) {
+          cumulative += inst.buckets[i];
+          const std::string le =
+              i < bounds.size() ? FormatNumber(bounds[i]) : "+Inf";
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+          out += family.name + "_bucket" + LabelString(inst.labels, "le", le) +
+                 " " + buf + "\n";
+        }
+        char buf[32];
+        out += family.name + "_sum" + LabelString(inst.labels) + " " +
+               FormatNumber(inst.sum) + "\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, inst.count);
+        out += family.name + "_count" + LabelString(inst.labels) + " " + buf +
+               "\n";
+      } else {
+        out += family.name + LabelString(inst.labels) + " " +
+               FormatNumber(inst.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Default();
+  const std::vector<double>& bounds = Histogram::BucketBounds();
+  std::string out = "{\"families\":[";
+  bool first_family = true;
+  for (const FamilySnapshot& family : registry->Snapshot()) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + family.name + "\",\"type\":\"" +
+           KindName(family.kind) + "\",\"metrics\":[";
+    bool first_inst = true;
+    for (const InstrumentSnapshot& inst : family.instruments) {
+      if (!first_inst) out += ',';
+      first_inst = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : inst.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += "\"" + k + "\":\"";
+        AppendEscapedLabelValue(&out, v);
+        out += '"';
+      }
+      out += '}';
+      if (family.kind == Kind::kHistogram) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64, inst.count);
+        out += buf;
+        out += ",\"sum\":" + FormatNumber(inst.sum);
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < inst.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          const std::string le =
+              i < bounds.size() ? FormatNumber(bounds[i]) : "\"+Inf\"";
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, inst.buckets[i]);
+          out += "{\"le\":" + le + ",\"count\":" + buf + "}";
+        }
+        out += ']';
+      } else {
+        out += ",\"value\":" + FormatNumber(inst.value);
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderTracesJson(Tracer* tracer) {
+  if (tracer == nullptr) tracer = Tracer::Default();
+  std::string out = "[";
+  bool first = true;
+  for (const auto& trace : tracer->RecentTraces()) {
+    if (!first) out += ',';
+    first = false;
+    out += trace->ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dstore

@@ -1,0 +1,31 @@
+#ifndef DSTORE_OBS_EXPOSITION_H_
+#define DSTORE_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dstore {
+namespace obs {
+
+// Renderers for scraping a running process. The HTTP glue that serves these
+// (`GET /metrics`, `/metrics.json`, `/traces`, `/healthz`) lives in
+// net/obs_endpoint.h; these functions only produce the bodies, so they are
+// also usable from CLIs and tests.
+
+// Prometheus text exposition format (v0.0.4): `# HELP` / `# TYPE` headers
+// per family, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Runs the registry's collectors first.
+std::string RenderPrometheusText(MetricsRegistry* registry = nullptr);
+
+// Same data as JSON: {"families":[{"name":...,"type":...,"metrics":[...]}]}.
+std::string RenderMetricsJson(MetricsRegistry* registry = nullptr);
+
+// Recently finished traces as a JSON array (newest last).
+std::string RenderTracesJson(Tracer* tracer = nullptr);
+
+}  // namespace obs
+}  // namespace dstore
+
+#endif  // DSTORE_OBS_EXPOSITION_H_

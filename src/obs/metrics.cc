@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace dstore {
+namespace obs {
+
+namespace {
+
+// Serialized, order-independent identity of a label set.
+std::string LabelKey(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+}  // namespace
+
+// --- Histogram ---
+
+const std::vector<double>& Histogram::BucketBounds() {
+  // Log-linear: 9 linear steps per decade, 1e-3 ms (1 us) .. 1e4 ms (10 s).
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (int decade = -3; decade <= 3; ++decade) {
+      double scale = 1;
+      for (int d = decade; d < 0; ++d) scale /= 10;
+      for (int d = 0; d < decade; ++d) scale *= 10;
+      for (int step = 1; step <= 9; ++step) {
+        b.push_back(step * scale);
+      }
+    }
+    b.push_back(1e4);
+    return b;
+  }();
+  return bounds;
+}
+
+Histogram::Histogram() : buckets_(BucketBounds().size() + 1) {}
+
+size_t Histogram::BucketIndex(double value) {
+  const std::vector<double>& bounds = BucketBounds();
+  // First bucket whose upper bound is >= value.
+  return static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+}
+
+double Histogram::BucketWidthFor(double value) {
+  const std::vector<double>& bounds = BucketBounds();
+  const size_t index = BucketIndex(value);
+  if (index >= bounds.size()) return bounds.back();  // overflow bucket
+  const double lower = index == 0 ? 0 : bounds[index - 1];
+  return bounds[index] - lower;
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0 : Sum() / static_cast<double>(n);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample (1-based, rounded up like classic
+  // nearest-rank, but interpolated inside the bucket below).
+  const double target = p / 100.0 * static_cast<double>(total);
+  const std::vector<double>& bounds = BucketBounds();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+      const double lower = i == 0 ? 0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double within =
+          std::clamp((target - static_cast<double>(before)) /
+                         static_cast<double>(counts[i]),
+                     0.0, 1.0);
+      return lower + (upper - lower) * within;
+    }
+  }
+  return bounds.back();
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
+                                                    Kind kind,
+                                                    const std::string& help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = help;
+    it = families_.emplace(name, std::move(family)).first;
+  }
+  if (it->second.kind != kind) return nullptr;  // type clash
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyFor(name, Kind::kCounter, help);
+  if (family == nullptr) {
+    orphan_counters_.push_back(std::make_unique<Counter>());
+    return orphan_counters_.back().get();
+  }
+  auto& slot = family->counters[LabelKey(labels)];
+  if (slot.second == nullptr) {
+    slot.first = labels;
+    std::sort(slot.first.begin(), slot.first.end());
+    slot.second = std::make_unique<Counter>();
+  }
+  return slot.second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyFor(name, Kind::kGauge, help);
+  if (family == nullptr) {
+    orphan_gauges_.push_back(std::make_unique<Gauge>());
+    return orphan_gauges_.back().get();
+  }
+  auto& slot = family->gauges[LabelKey(labels)];
+  if (slot.second == nullptr) {
+    slot.first = labels;
+    std::sort(slot.first.begin(), slot.first.end());
+    slot.second = std::make_unique<Gauge>();
+  }
+  return slot.second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyFor(name, Kind::kHistogram, help);
+  if (family == nullptr) {
+    orphan_histograms_.push_back(
+        std::unique_ptr<Histogram>(new Histogram()));
+    return orphan_histograms_.back().get();
+  }
+  auto& slot = family->histograms[LabelKey(labels)];
+  if (slot.second == nullptr) {
+    slot.first = labels;
+    std::sort(slot.first.begin(), slot.first.end());
+    slot.second = std::unique_ptr<Histogram>(new Histogram());
+  }
+  return slot.second.get();
+}
+
+int MetricsRegistry::AddCollector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_collector_id_++;
+  collectors_[id] = std::move(fn);
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::Snapshot()
+    const {
+  // Run collectors outside the registry lock: they call Get*/Set on this
+  // registry, which takes the lock.
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+  }
+  for (const auto& fn : collectors) fn();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.help = family.help;
+    snapshot.kind = family.kind;
+    for (const auto& [key, entry] : family.counters) {
+      InstrumentSnapshot inst;
+      inst.labels = entry.first;
+      inst.value = static_cast<double>(entry.second->Value());
+      snapshot.instruments.push_back(std::move(inst));
+    }
+    for (const auto& [key, entry] : family.gauges) {
+      InstrumentSnapshot inst;
+      inst.labels = entry.first;
+      inst.value = entry.second->Value();
+      snapshot.instruments.push_back(std::move(inst));
+    }
+    for (const auto& [key, entry] : family.histograms) {
+      InstrumentSnapshot inst;
+      inst.labels = entry.first;
+      inst.buckets = entry.second->BucketCounts();
+      inst.count = entry.second->Count();
+      inst.sum = entry.second->Sum();
+      snapshot.instruments.push_back(std::move(inst));
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dstore

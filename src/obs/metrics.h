@@ -1,0 +1,175 @@
+#ifndef DSTORE_OBS_METRICS_H_
+#define DSTORE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dstore {
+namespace obs {
+
+// Process-wide metrics for the observability subsystem (paper Section II.A's
+// performance monitoring, grown into the metrics layer a production store
+// ships): named counters, gauges, and latency histograms, all registered in
+// a MetricsRegistry and rendered by obs/exposition.h in Prometheus text or
+// JSON form.
+//
+// Instruments are created once and live as long as the registry; the hot
+// path (Increment / Set / Record) is lock-free. Naming convention:
+// dstore_<component>_<what>[_total|_ms] with labels for the variable parts,
+// e.g. dstore_op_latency_ms{store="cloud",op="get"}.
+
+// Label set attached to one instrument. Order is irrelevant for identity
+// (labels are sorted on registration).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value that can move both ways.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Latency histogram with log-linear buckets: each power of ten is divided
+// into 9 linear steps (1,2,...,9 x 10^k), spanning 1 microsecond to 10
+// seconds when values are in milliseconds. Record() is two relaxed atomic
+// adds plus a small binary search; percentiles are interpolated inside the
+// owning bucket, so they are accurate to one bucket width without keeping
+// raw samples (unlike PerformanceMonitor's bounded recent window).
+class Histogram {
+ public:
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  // Interpolated percentile estimate, p in [0,100]; 0 if empty.
+  double Percentile(double p) const;
+
+  // Upper bounds of the finite buckets (the final bucket is +Inf).
+  static const std::vector<double>& BucketBounds();
+  // Width of the bucket that `value` falls into — the histogram's error
+  // bound for percentile estimates landing in that bucket.
+  static double BucketWidthFor(double value);
+
+  // Per-bucket counts (size = BucketBounds().size() + 1, last is overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram();
+
+  static size_t BucketIndex(double value);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// Registry of metric families. A family is (name, type, help); each family
+// holds one instrument per label set. Get* returns a stable pointer that
+// remains valid for the registry's lifetime; calling Get* again with the
+// same name+labels returns the same instrument. Requesting an existing name
+// with a different type returns a detached instrument (writes are safe but
+// never exported) rather than crashing.
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::string& help = "");
+
+  // Collectors run at scrape time (Snapshot), refreshing gauges from live
+  // objects — e.g. a cache server publishing its backing cache's stats.
+  // Returns an id for RemoveCollector; collectors must be removed before
+  // the objects they capture are destroyed.
+  int AddCollector(std::function<void()> fn);
+  void RemoveCollector(int id);
+
+  // Point-in-time copy of every exported instrument, for rendering.
+  struct InstrumentSnapshot {
+    Labels labels;
+    double value = 0;                // counter / gauge
+    std::vector<uint64_t> buckets;   // histogram (non-cumulative)
+    uint64_t count = 0;              // histogram
+    double sum = 0;                  // histogram
+  };
+  struct FamilySnapshot {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<InstrumentSnapshot> instruments;
+  };
+  std::vector<FamilySnapshot> Snapshot() const;
+
+  // The process-wide registry every component publishes into by default.
+  static MetricsRegistry* Default();
+
+ private:
+  struct Family {
+    Kind kind;
+    std::string help;
+    // Keyed by the serialized (sorted) label set.
+    std::map<std::string, std::pair<Labels, std::unique_ptr<Counter>>>
+        counters;
+    std::map<std::string, std::pair<Labels, std::unique_ptr<Gauge>>> gauges;
+    std::map<std::string, std::pair<Labels, std::unique_ptr<Histogram>>>
+        histograms;
+  };
+
+  Family* FamilyFor(const std::string& name, Kind kind,
+                    const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::map<int, std::function<void()>> collectors_;
+  int next_collector_id_ = 1;
+  // Instruments requested with a type that clashes with their family; kept
+  // alive so callers can still write to them harmlessly.
+  std::vector<std::unique_ptr<Counter>> orphan_counters_;
+  std::vector<std::unique_ptr<Gauge>> orphan_gauges_;
+  std::vector<std::unique_ptr<Histogram>> orphan_histograms_;
+};
+
+}  // namespace obs
+}  // namespace dstore
+
+#endif  // DSTORE_OBS_METRICS_H_

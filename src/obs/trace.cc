@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace dstore {
+namespace obs {
+
+namespace {
+
+// Per-thread active trace: the tree under construction and the chain of
+// open spans. One active trace per thread at a time; spans from any layer
+// attach to it without plumbing.
+struct ThreadTraceState {
+  Tracer* tracer = nullptr;
+  std::unique_ptr<SpanNode> root;
+  std::vector<SpanNode*> open;
+};
+
+thread_local ThreadTraceState t_trace;
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void NodeToJson(const SpanNode& node, std::string* out) {
+  char buf[96];
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(out, node.name);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"start_nanos\":%lld,\"duration_ms\":%.6f,\"children\":[",
+                static_cast<long long>(node.start_nanos),
+                node.DurationMillis());
+  *out += buf;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ',';
+    NodeToJson(*node.children[i], out);
+  }
+  *out += "]}";
+}
+
+void NodeToText(const SpanNode& node, int depth, std::string* out) {
+  char buf[64];
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  *out += node.name;
+  std::snprintf(buf, sizeof(buf), "  %.3f ms\n", node.DurationMillis());
+  *out += buf;
+  for (const auto& child : node.children) {
+    NodeToText(*child, depth + 1, out);
+  }
+}
+
+size_t CountNodes(const SpanNode& node) {
+  size_t n = 1;
+  for (const auto& child : node.children) n += CountNodes(*child);
+  return n;
+}
+
+}  // namespace
+
+// --- Trace ---
+
+size_t Trace::SpanCount() const { return CountNodes(*root_); }
+
+std::string Trace::ToText() const {
+  std::string out;
+  NodeToText(*root_, 0, &out);
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  std::string out;
+  NodeToJson(*root_, &out);
+  return out;
+}
+
+// --- Tracer ---
+
+Tracer::Tracer(const Clock* clock, size_t keep)
+    : clock_(clock != nullptr ? clock : RealClock::Default()), keep_(keep) {}
+
+Tracer* Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+void Tracer::SetSampleRate(double rate) {
+  if (rate < 0) rate = 0;
+  if (rate > 1) rate = 1;
+  rate_.store(rate, std::memory_order_relaxed);
+}
+
+bool Tracer::ShouldSample() {
+  const double rate = rate_.load(std::memory_order_relaxed);
+  if (rate <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  credit_ += rate;
+  if (credit_ >= 1.0) {
+    credit_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+void Tracer::Finish(std::unique_ptr<SpanNode> root) {
+  auto trace = std::shared_ptr<const Trace>(new Trace(std::move(root)));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++finished_;
+  recent_.push_back(std::move(trace));
+  while (recent_.size() > keep_) recent_.pop_front();
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::shared_ptr<const Trace>>(recent_.begin(),
+                                                   recent_.end());
+}
+
+std::shared_ptr<const Trace> Tracer::LatestTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_.empty() ? nullptr : recent_.back();
+}
+
+uint64_t Tracer::TraceCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+// --- Span ---
+
+Span::Span(std::string name, Tracer* tracer, bool force_sample) {
+  if (!t_trace.open.empty()) {
+    // Child of the active span, whatever tracer started the trace.
+    tracer_ = t_trace.tracer;
+    auto node = std::make_unique<SpanNode>();
+    node->name = std::move(name);
+    node->start_nanos = tracer_->clock()->NowNanos();
+    node_ = node.get();
+    t_trace.open.back()->children.push_back(std::move(node));
+    t_trace.open.push_back(node_);
+    return;
+  }
+
+  Tracer* chosen = tracer != nullptr ? tracer : Tracer::Default();
+  if (!force_sample && !chosen->ShouldSample()) return;  // not recorded
+
+  tracer_ = chosen;
+  root_ = true;
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::move(name);
+  node->start_nanos = tracer_->clock()->NowNanos();
+  node_ = node.get();
+  t_trace.tracer = tracer_;
+  t_trace.root = std::move(node);
+  t_trace.open.push_back(node_);
+}
+
+void Span::End() {
+  if (node_ == nullptr) return;
+  node_->end_nanos = tracer_->clock()->NowNanos();
+  // Close any children left open (ended out of order or leaked): they end
+  // with this span.
+  while (!t_trace.open.empty() && t_trace.open.back() != node_) {
+    t_trace.open.back()->end_nanos = node_->end_nanos;
+    t_trace.open.pop_back();
+  }
+  if (!t_trace.open.empty()) t_trace.open.pop_back();
+  node_ = nullptr;
+  if (root_) {
+    t_trace.open.clear();
+    std::unique_ptr<SpanNode> root = std::move(t_trace.root);
+    Tracer* tracer = tracer_;
+    t_trace.tracer = nullptr;
+    if (root != nullptr) tracer->Finish(std::move(root));
+  }
+}
+
+}  // namespace obs
+}  // namespace dstore

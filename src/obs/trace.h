@@ -1,0 +1,131 @@
+#ifndef DSTORE_OBS_TRACE_H_
+#define DSTORE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace dstore {
+namespace obs {
+
+// Request-scoped tracing for the layered Get/Put path: one sampled cloud
+// read yields a tree like
+//
+//   get
+//   +- cache.lookup
+//   +- base.get
+//   |  +- http.roundtrip
+//   +- transform.decode
+//
+// with per-layer timings. Layers open a Span (RAII) around their work;
+// spans started while another span is active on the same thread become its
+// children, so no context has to be threaded through the KeyValueStore
+// interface. Only root spans consult the sampling rate; when a root is not
+// sampled, every span under it is a no-op (two thread-local loads).
+
+// One timed node in a finished trace.
+struct SpanNode {
+  std::string name;
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  double DurationMillis() const {
+    return static_cast<double>(end_nanos - start_nanos) / 1e6;
+  }
+};
+
+// A finished trace: the tree under one sampled root span.
+class Trace {
+ public:
+  const SpanNode& root() const { return *root_; }
+
+  // Total spans in the tree.
+  size_t SpanCount() const;
+
+  // Indented tree with millisecond durations, for humans.
+  std::string ToText() const;
+  // {"name":...,"start_nanos":...,"duration_ms":...,"children":[...]}
+  std::string ToJson() const;
+
+ private:
+  friend class Tracer;
+  explicit Trace(std::unique_ptr<SpanNode> root) : root_(std::move(root)) {}
+  std::unique_ptr<SpanNode> root_;
+};
+
+// Owns the sampling decision and a ring of recently finished traces.
+class Tracer {
+ public:
+  explicit Tracer(const Clock* clock = nullptr, size_t keep = 16);
+
+  // Fraction of root spans recorded, in [0,1]; 0 disables tracing. Roots
+  // are sampled deterministically (every 1/rate-th root), so a rate of
+  // 0.01 keeps exactly one trace per 100 requests.
+  void SetSampleRate(double rate);
+  double SampleRate() const { return rate_.load(std::memory_order_relaxed); }
+
+  // Most recent finished traces, newest last. Empty until a sampled root
+  // span ends.
+  std::vector<std::shared_ptr<const Trace>> RecentTraces() const;
+  std::shared_ptr<const Trace> LatestTrace() const;
+
+  uint64_t TraceCount() const;
+
+  // The process-wide tracer the DSCL layers publish into by default.
+  static Tracer* Default();
+
+ private:
+  friend class Span;
+
+  bool ShouldSample();
+  void Finish(std::unique_ptr<SpanNode> root);
+  const Clock* clock() const { return clock_; }
+
+  const Clock* clock_;
+  const size_t keep_;
+  std::atomic<double> rate_{0};
+  mutable std::mutex mu_;
+  double credit_ = 0;
+  uint64_t finished_ = 0;
+  std::deque<std::shared_ptr<const Trace>> recent_;
+};
+
+// RAII span. The constructor starts the clock; End() (or destruction)
+// stops it. Must be ended on the thread that created it, innermost first —
+// the natural shape when spans are scoped locals. A span whose root was not
+// sampled records nothing.
+class Span {
+ public:
+  // Opens a span named `name` on `tracer` (default: Tracer::Default()).
+  // If another span is active on this thread, this becomes its child
+  // regardless of sampling rate; otherwise it is a root and is recorded
+  // only if sampling says so (or `force_sample` is set).
+  explicit Span(std::string name, Tracer* tracer = nullptr,
+                bool force_sample = false);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void End();
+
+  // True if this span is being recorded into a trace.
+  bool recording() const { return node_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanNode* node_ = nullptr;  // null when not recording or after End()
+  bool root_ = false;
+};
+
+}  // namespace obs
+}  // namespace dstore
+
+#endif  // DSTORE_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "store/cloud_client.h"
 
+#include "obs/trace.h"
+
 namespace dstore {
 
 StatusOr<std::unique_ptr<CloudStoreClient>> CloudStoreClient::Connect(
@@ -23,6 +25,7 @@ Status CloudStoreClient::EnsureConnected() {
 }
 
 StatusOr<HttpResponse> CloudStoreClient::RoundTrip(const HttpRequest& request) {
+  obs::Span span("http.roundtrip");
   for (int attempt = 0; attempt < 2; ++attempt) {
     DSTORE_RETURN_IF_ERROR(EnsureConnected());
     if (!conn_->WriteRequest(request).ok()) {

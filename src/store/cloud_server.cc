@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "net/obs_endpoint.h"
+#include "obs/metrics.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -27,14 +29,24 @@ StatusOr<std::unique_ptr<CloudStoreServer>> CloudStoreServer::Start(
 
   CloudStoreServer* raw = server.get();
   server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); },
+      /*component=*/"cloud");
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+  obs::Gauge* objects = registry->GetGauge(
+      "dstore_cloud_objects", {}, "Objects currently stored.");
+  server->objects_collector_id_ = registry->AddCollector(
+      [raw, objects] { objects->Set(static_cast<double>(raw->ObjectCount())); });
   return server;
 }
 
 CloudStoreServer::~CloudStoreServer() { Stop(); }
 
 void CloudStoreServer::Stop() {
+  if (objects_collector_id_ != 0) {
+    obs::MetricsRegistry::Default()->RemoveCollector(objects_collector_id_);
+    objects_collector_id_ = 0;
+  }
   if (server_ != nullptr) server_->Stop();
 }
 
@@ -44,11 +56,30 @@ size_t CloudStoreServer::ObjectCount() const {
 }
 
 void CloudStoreServer::HandleConnection(Socket socket) {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+  obs::Histogram* request_ms = registry->GetHistogram(
+      "dstore_cloud_request_ms", {},
+      "Cloud store request service time (handler + injected WAN delay).");
   HttpConnection conn(std::move(socket));
   for (;;) {
     auto request = conn.ReadRequest();
     if (!request.ok()) return;  // disconnect
-    HttpResponse response = HandleRequest(*request);
+
+    // Observability routes answer immediately: a metrics scrape or health
+    // probe must not pay the simulated WAN round trip.
+    HttpResponse response;
+    if (HandleObsRequest(*request, &response)) {
+      if (!conn.WriteResponse(response).ok()) return;
+      continue;
+    }
+
+    Stopwatch watch(RealClock::Default());
+    registry
+        ->GetCounter("dstore_cloud_requests_total",
+                     {{"method", request->method}},
+                     "Cloud store data-plane requests by HTTP method.")
+        ->Increment();
+    response = HandleRequest(*request);
     // Inject the WAN delay: model the round trip plus transfer of both
     // bodies before the response reaches the client.
     if (latency_ != nullptr) {
@@ -56,6 +87,7 @@ void CloudStoreServer::HandleConnection(Socket socket) {
           latency_->SampleNanos(request->body.size() + response.body.size());
       RealClock::Default()->SleepFor(delay);
     }
+    request_ms->Record(watch.ElapsedMillis());
     if (!conn.WriteResponse(response).ok()) return;
   }
 }

@@ -27,6 +27,10 @@ namespace dstore {
 //   GET    /count              -> decimal count
 //   POST   /clear              -> 200
 //
+// plus the observability routes from net/obs_endpoint.h (GET /metrics,
+// /metrics.json, /traces, /healthz), served without the injected WAN delay
+// — a scrape must not pay the simulated round trip.
+//
 // The conditional GET path implements the paper's Fig. 7 revalidation
 // protocol server-side: a current object is confirmed with a 304 and no
 // body, saving the transfer.
@@ -57,6 +61,7 @@ class CloudStoreServer {
 
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<ThreadedServer> server_;
+  int objects_collector_id_ = 0;  // scrape-time object-count gauge refresh
   mutable std::mutex mu_;
   std::unordered_map<std::string, Object> objects_;
 };

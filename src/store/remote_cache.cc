@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cache/cache_metrics.h"
 #include "net/framing.h"
 
 namespace dstore {
@@ -32,14 +33,22 @@ StatusOr<std::unique_ptr<RemoteCacheServer>> RemoteCacheServer::Start(
   server->backing_ = std::move(backing);
   RemoteCacheServer* raw = server.get();
   server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); },
+      /*component=*/"cache");
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
+  server->stats_collector_id_ = PublishCacheMetrics(
+      obs::MetricsRegistry::Default(), server->backing_.get(),
+      server->backing_->Name());
   return server;
 }
 
 RemoteCacheServer::~RemoteCacheServer() { Stop(); }
 
 void RemoteCacheServer::Stop() {
+  if (stats_collector_id_ != 0) {
+    obs::MetricsRegistry::Default()->RemoveCollector(stats_collector_id_);
+    stats_collector_id_ = 0;
+  }
   if (server_ != nullptr) server_->Stop();
 }
 

@@ -56,6 +56,7 @@ class RemoteCacheServer {
 
   std::unique_ptr<Cache> backing_;
   std::unique_ptr<ThreadedServer> server_;
+  int stats_collector_id_ = 0;  // backing-cache stats published on scrape
 };
 
 // One client connection to a RemoteCacheServer: a socket used serially

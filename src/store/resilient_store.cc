@@ -21,17 +21,23 @@ R RetryingStore::WithRetries(Op&& op) {
        attempt < options_.max_attempts && IsTransient(StatusOf(result));
        ++attempt) {
     clock_->SleepFor(backoff);
-    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
-                                   options_.backoff_multiplier);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.retries;
+      stats_.backoff_nanos += static_cast<uint64_t>(backoff);
     }
+    obs_retries_->Increment();
+    obs_backoff_nanos_->Increment(static_cast<uint64_t>(backoff));
+    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                   options_.backoff_multiplier);
     result = op();
   }
   if (IsTransient(StatusOf(result))) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.exhausted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.exhausted;
+    }
+    obs_exhausted_->Increment();
   }
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -25,15 +26,28 @@ class RetryingStore : public KeyValueStore {
   };
 
   struct RetryStats {
-    uint64_t retries = 0;      // re-attempts performed
-    uint64_t exhausted = 0;    // operations that failed all attempts
+    uint64_t retries = 0;        // re-attempts performed
+    uint64_t exhausted = 0;      // operations that failed all attempts
+    uint64_t backoff_nanos = 0;  // total time slept between attempts
   };
 
   RetryingStore(std::shared_ptr<KeyValueStore> inner, const Options& options,
                 Clock* clock = nullptr)
       : inner_(std::move(inner)),
         options_(options),
-        clock_(clock != nullptr ? clock : RealClock::Default()) {}
+        clock_(clock != nullptr ? clock : RealClock::Default()) {
+    auto* registry = obs::MetricsRegistry::Default();
+    const obs::Labels labels = {{"store", inner_->Name()}};
+    obs_retries_ = registry->GetCounter(
+        "dstore_retry_attempts_total", labels,
+        "Re-attempts after a transient failure.");
+    obs_exhausted_ = registry->GetCounter(
+        "dstore_retry_exhausted_total", labels,
+        "Operations that failed every attempt.");
+    obs_backoff_nanos_ = registry->GetCounter(
+        "dstore_retry_backoff_sleep_nanos_total", labels,
+        "Total nanoseconds slept backing off between attempts.");
+  }
   explicit RetryingStore(std::shared_ptr<KeyValueStore> inner)
       : RetryingStore(std::move(inner), Options()) {}
 
@@ -62,6 +76,10 @@ class RetryingStore : public KeyValueStore {
   Clock* clock_;
   mutable std::mutex mu_;
   RetryStats stats_;
+  // Process-wide mirrors of stats_, labelled by inner store name.
+  obs::Counter* obs_retries_;
+  obs::Counter* obs_exhausted_;
+  obs::Counter* obs_backoff_nanos_;
 };
 
 // FlakyStore: fault injection for tests and chaos benchmarks. Fails a

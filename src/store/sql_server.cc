@@ -49,7 +49,8 @@ StatusOr<std::unique_ptr<SqlServer>> SqlServer::Start(
 
   SqlServer* raw = server.get();
   server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); },
+      /*component=*/"sql");
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
   return server;
 }

@@ -5,28 +5,39 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace dstore {
 
 void PerformanceMonitor::Record(const std::string& store,
                                 const std::string& op, double millis,
                                 bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Track& track = tracks_[{store, op}];
-  OpSummary& s = track.summary;
-  if (s.count == 0) {
-    s.min_ms = millis;
-    s.max_ms = millis;
-  } else {
-    s.min_ms = std::min(s.min_ms, millis);
-    s.max_ms = std::max(s.max_ms, millis);
-  }
-  ++s.count;
-  if (!ok) ++s.errors;
-  s.total_ms += millis;
-  s.sum_sq_ms += millis * millis;
+  obs::Histogram* latency = nullptr;
+  obs::Counter* op_errors = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Track& track = tracks_[{store, op}];
+    track.summary.Add(millis);
+    if (!ok) ++track.summary.errors;
 
-  track.recent.push_back(millis);
-  while (track.recent.size() > recent_window_) track.recent.pop_front();
+    track.recent.push_back(millis);
+    while (track.recent.size() > recent_window_) track.recent.pop_front();
+
+    if (registry_ != nullptr && track.latency == nullptr) {
+      const obs::Labels labels = {{"op", op}, {"store", store}};
+      track.latency = registry_->GetHistogram(
+          "dstore_op_latency_ms", labels,
+          "Latency of monitored store operations in milliseconds.");
+      track.op_errors = registry_->GetCounter(
+          "dstore_op_errors_total", labels,
+          "Monitored store operations that returned an error.");
+    }
+    latency = track.latency;
+    op_errors = track.op_errors;
+  }
+  // Registry instruments are internally synchronized; publish outside mu_.
+  if (latency != nullptr) latency->Record(millis);
+  if (!ok && op_errors != nullptr) op_errors->Increment();
 }
 
 OpSummary PerformanceMonitor::Summary(const std::string& store,
@@ -112,7 +123,9 @@ Status PerformanceMonitor::SaveTo(KeyValueStore* store,
       const OpSummary& s = track.summary;
       PutVarint64(&out, s.count);
       PutVarint64(&out, s.errors);
-      for (double d : {s.total_ms, s.min_ms, s.max_ms, s.sum_sq_ms}) {
+      // The on-disk form predates the Welford representation: it stores the
+      // raw sum of squares, which SumSqMs() derives back from (mean, m2).
+      for (double d : {s.total_ms, s.min_ms, s.max_ms, s.SumSqMs()}) {
         uint64_t bits;
         std::memcpy(&bits, &d, sizeof(bits));
         PutFixed64(&out, bits);
@@ -135,13 +148,21 @@ Status PerformanceMonitor::LoadFrom(KeyValueStore* store,
     OpSummary& s = track.summary;
     DSTORE_ASSIGN_OR_RETURN(s.count, GetVarint64(*data, &pos));
     DSTORE_ASSIGN_OR_RETURN(s.errors, GetVarint64(*data, &pos));
-    for (double* d : {&s.total_ms, &s.min_ms, &s.max_ms, &s.sum_sq_ms}) {
+    double sum_sq = 0;
+    for (double* d : {&s.total_ms, &s.min_ms, &s.max_ms, &sum_sq}) {
       if (pos + 8 > data->size()) {
         return Status::Corruption("truncated monitor snapshot");
       }
       const uint64_t bits = DecodeFixed64(data->data() + pos);
       pos += 8;
       std::memcpy(d, &bits, sizeof(*d));
+    }
+    // Rebuild the Welford state from the serialized moments. m2 can come
+    // out slightly negative from rounding; clamp to keep variance >= 0.
+    if (s.count > 0) {
+      s.mean_ms = s.total_ms / static_cast<double>(s.count);
+      s.m2_ms = std::max(
+          0.0, sum_sq - static_cast<double>(s.count) * s.mean_ms * s.mean_ms);
     }
     tracks.emplace(TrackKey{ToString(store_name), ToString(op_name)},
                    std::move(track));
@@ -153,10 +174,12 @@ Status PerformanceMonitor::LoadFrom(KeyValueStore* store,
 
 namespace {
 
-// Times `fn` and records the result under (store, op).
+// Times `fn` and records the result under (store, op). Also opens a trace
+// span so a sampled request shows the monitored operation as one tree node.
 template <typename Fn>
 auto Timed(PerformanceMonitor* monitor, const Clock* clock,
            const std::string& store, const char* op, Fn&& fn) {
+  obs::Span span(store + "." + op);
   Stopwatch watch(clock);
   auto result = fn();
   bool ok;

@@ -11,24 +11,48 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "store/key_value.h"
 
 namespace dstore {
 
-// Summary statistics for one (store, operation) pair.
+// Summary statistics for one (store, operation) pair. Variance is tracked
+// with Welford's online algorithm (running mean + sum of squared deviations)
+// rather than a raw sum of squares: sum_sq/n - mean^2 cancels
+// catastrophically when latencies are large relative to their spread.
 struct OpSummary {
   uint64_t count = 0;
   uint64_t errors = 0;
   double total_ms = 0;
   double min_ms = 0;
   double max_ms = 0;
-  double sum_sq_ms = 0;  // for variance
+  double mean_ms = 0;  // Welford running mean
+  double m2_ms = 0;    // Welford sum of squared deviations from the mean
 
-  double MeanMs() const { return count == 0 ? 0 : total_ms / count; }
+  // Folds one observation into the summary.
+  void Add(double millis) {
+    if (count == 0) {
+      min_ms = millis;
+      max_ms = millis;
+    } else {
+      if (millis < min_ms) min_ms = millis;
+      if (millis > max_ms) max_ms = millis;
+    }
+    ++count;
+    total_ms += millis;
+    const double delta = millis - mean_ms;
+    mean_ms += delta / static_cast<double>(count);
+    m2_ms += delta * (millis - mean_ms);
+  }
+
+  double MeanMs() const { return count == 0 ? 0 : mean_ms; }
+  // Population variance, matching the historical sum_sq/n - mean^2 value.
   double VarianceMs() const {
-    if (count < 2) return 0;
-    const double mean = MeanMs();
-    return sum_sq_ms / count - mean * mean;
+    return count < 2 ? 0 : m2_ms / static_cast<double>(count);
+  }
+  // The raw second moment, for the (unchanged) serialized form.
+  double SumSqMs() const {
+    return m2_ms + static_cast<double>(count) * mean_ms * mean_ms;
   }
 };
 
@@ -40,9 +64,16 @@ struct OpSummary {
 // into any registered data store.
 class PerformanceMonitor {
  public:
-  // Keep at most `recent_window` detailed samples per (store, op).
-  explicit PerformanceMonitor(size_t recent_window = 1024)
-      : recent_window_(recent_window) {}
+  // Keep at most `recent_window` detailed samples per (store, op). Every
+  // Record() is additionally published into `registry` as the
+  // dstore_op_latency_ms{store=,op=} histogram and the
+  // dstore_op_errors_total{store=,op=} counter, so one monitored UDSM
+  // lights up the process-wide /metrics pipeline. Pass nullptr to keep the
+  // monitor purely local (e.g. hermetic tests).
+  explicit PerformanceMonitor(
+      size_t recent_window = 1024,
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default())
+      : recent_window_(recent_window), registry_(registry) {}
 
   // Records one operation taking `millis`, successful or not.
   void Record(const std::string& store, const std::string& op, double millis,
@@ -76,11 +107,16 @@ class PerformanceMonitor {
   struct Track {
     OpSummary summary;
     std::deque<double> recent;
+    // Registry instruments for this (store, op), fetched once on first
+    // Record and reused; null when the monitor has no registry.
+    obs::Histogram* latency = nullptr;
+    obs::Counter* op_errors = nullptr;
   };
 
   using TrackKey = std::pair<std::string, std::string>;
 
   size_t recent_window_;
+  obs::MetricsRegistry* registry_;
   mutable std::mutex mu_;
   std::map<TrackKey, Track> tracks_;
 };

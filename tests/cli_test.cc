@@ -102,6 +102,27 @@ TEST(CliTest, MultipleStoresAndMonitor) {
   EXPECT_NE(out.find("memory"), std::string::npos);
 }
 
+TEST(CliTest, StatsAndTrace) {
+  const std::string out = RunCli(
+      "open scratch memory\n"
+      "put k v\n"
+      "get k\n"
+      "stats\n"
+      "trace k\n"
+      "quit\n");
+  // `stats` renders the process registry in Prometheus text format; the
+  // monitored get/put must show up as the op-latency histogram.
+  EXPECT_NE(out.find("# TYPE dstore_op_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(out.find("dstore_op_latency_ms_bucket"), std::string::npos);
+  EXPECT_NE(out.find("dstore_op_latency_ms_count"), std::string::npos);
+  // `trace` force-samples one get and prints the span tree rooted at
+  // cli.get with the monitored store op nested under it.
+  EXPECT_NE(out.find("cli.get"), std::string::npos);
+  EXPECT_NE(out.find("memory.get"), std::string::npos);
+  EXPECT_NE(out.find("ms"), std::string::npos);
+}
+
 TEST(CliTest, ErrorsAreReportedNotFatal) {
   const std::string out = RunCli(
       "get nothing-open\n"

@@ -1,0 +1,159 @@
+// PerformanceMonitor tests: Welford variance stability, snapshot
+// round-tripping, recent-window percentile boundaries, and concurrent
+// Record/Report (run under -DDSTORE_SANITIZE=thread to prove data-race
+// freedom; see scripts/check.sh).
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/memory_store.h"
+#include "udsm/monitor.h"
+
+namespace dstore {
+namespace {
+
+TEST(OpSummaryTest, WelfordMatchesClosedFormOnSmallValues) {
+  OpSummary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.MeanMs(), 2.5);
+  EXPECT_DOUBLE_EQ(s.VarianceMs(), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(s.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 4.0);
+}
+
+TEST(OpSummaryTest, VarianceSurvivesLargeOffset) {
+  // The classic catastrophic-cancellation case: values 1e9 +/- 0.5 have
+  // true population variance 0.25, but sum_sq/n - mean^2 computes it as a
+  // difference of two ~1e18 numbers and loses every significant digit.
+  OpSummary s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  EXPECT_NEAR(s.VarianceMs(), 0.25, 1e-6);
+}
+
+TEST(OpSummaryTest, DegenerateCounts) {
+  OpSummary s;
+  EXPECT_DOUBLE_EQ(s.VarianceMs(), 0);
+  s.Add(7);
+  EXPECT_DOUBLE_EQ(s.VarianceMs(), 0);  // single sample
+  EXPECT_DOUBLE_EQ(s.MeanMs(), 7);
+}
+
+TEST(MonitorPersistenceTest, SaveLoadRoundTripPreservesMoments) {
+  PerformanceMonitor monitor(16, nullptr);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 10.0}) {
+    monitor.Record("cloud", "get", v);
+  }
+  monitor.Record("cloud", "get", 5.0, /*ok=*/false);
+  const OpSummary before = monitor.Summary("cloud", "get");
+
+  MemoryStore store;
+  ASSERT_TRUE(monitor.SaveTo(&store, "perf").ok());
+  PerformanceMonitor restored(16, nullptr);
+  ASSERT_TRUE(restored.LoadFrom(&store, "perf").ok());
+  const OpSummary after = restored.Summary("cloud", "get");
+
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.errors, before.errors);
+  EXPECT_DOUBLE_EQ(after.total_ms, before.total_ms);
+  EXPECT_DOUBLE_EQ(after.min_ms, before.min_ms);
+  EXPECT_DOUBLE_EQ(after.max_ms, before.max_ms);
+  EXPECT_NEAR(after.MeanMs(), before.MeanMs(), 1e-12);
+  EXPECT_NEAR(after.VarianceMs(), before.VarianceMs(), 1e-9);
+}
+
+TEST(MonitorPersistenceTest, LoadedSummaryKeepsAccumulating) {
+  PerformanceMonitor monitor(16, nullptr);
+  monitor.Record("s", "get", 2.0);
+  monitor.Record("s", "get", 4.0);
+
+  MemoryStore store;
+  ASSERT_TRUE(monitor.SaveTo(&store, "perf").ok());
+  PerformanceMonitor restored(16, nullptr);
+  ASSERT_TRUE(restored.LoadFrom(&store, "perf").ok());
+  restored.Record("s", "get", 6.0);
+
+  const OpSummary s = restored.Summary("s", "get");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.MeanMs(), 4.0);
+  EXPECT_NEAR(s.VarianceMs(), 8.0 / 3.0, 1e-9);
+}
+
+TEST(RecentPercentileTest, NoSamplesIsZero) {
+  PerformanceMonitor monitor(8, nullptr);
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 50), 0);
+}
+
+TEST(RecentPercentileTest, SingleSampleIsThatValue) {
+  PerformanceMonitor monitor(8, nullptr);
+  monitor.Record("s", "get", 3.5);
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", p), 3.5);
+  }
+}
+
+TEST(RecentPercentileTest, ExactlyWindowSamples) {
+  constexpr size_t kWindow = 8;
+  PerformanceMonitor monitor(kWindow, nullptr);
+  // Record out of order; percentiles sort internally.
+  for (double v : {8.0, 3.0, 6.0, 1.0, 7.0, 4.0, 2.0, 5.0}) {
+    monitor.Record("s", "get", v);
+  }
+  ASSERT_EQ(monitor.RecentSamples("s", "get").size(), kWindow);
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 100), 8.0);
+  // p50 interpolates between the 4th and 5th of 8 sorted samples.
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 50), 4.5);
+}
+
+TEST(RecentPercentileTest, WindowEvictsOldestBeyondCapacity) {
+  PerformanceMonitor monitor(4, nullptr);
+  for (int i = 1; i <= 10; ++i) {
+    monitor.Record("s", "get", i);
+  }
+  // Only 7..10 remain; the all-time summary still covers everything.
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 0), 7.0);
+  EXPECT_DOUBLE_EQ(monitor.RecentPercentileMs("s", "get", 100), 10.0);
+  EXPECT_EQ(monitor.Summary("s", "get").count, 10u);
+}
+
+TEST(MonitorConcurrencyTest, ParallelRecordWithReaders) {
+  PerformanceMonitor monitor(64);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&monitor, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        monitor.Record("store" + std::to_string(w % 2), "get", 1.0 + i % 7,
+                       i % 10 != 0);
+      }
+    });
+  }
+  // Readers race the writers across every accessor.
+  threads.emplace_back([&monitor] {
+    for (int i = 0; i < 200; ++i) {
+      monitor.Report();
+      monitor.RecentPercentileMs("store0", "get", 95);
+      monitor.Summary("store1", "get");
+      monitor.Tracked();
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  const OpSummary s0 = monitor.Summary("store0", "get");
+  const OpSummary s1 = monitor.Summary("store1", "get");
+  EXPECT_EQ(s0.count + s1.count,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_GT(s0.errors, 0u);
+  EXPECT_GE(s0.VarianceMs(), 0);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,365 @@
+// Tests for the observability subsystem: the metrics registry and its
+// instruments, the Prometheus/JSON renderers, the tracer, and the two
+// acceptance scenarios from the obs rollout — a sampled cold cloud Get
+// through EnhancedStore producing a nested span tree, and the registry
+// histogram agreeing with PerformanceMonitor's exact recent percentiles.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/expiring_cache.h"
+#include "cache/lru_cache.h"
+#include "common/clock.h"
+#include "compress/codec.h"
+#include "dscl/enhanced_store.h"
+#include "dscl/transformer.h"
+#include "net/latency_model.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/cloud_client.h"
+#include "store/cloud_server.h"
+#include "udsm/monitor.h"
+
+namespace dstore {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("obs_test_events_total");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Same name + labels -> same instrument.
+  EXPECT_EQ(registry.GetCounter("obs_test_events_total"), c);
+}
+
+TEST(CounterTest, LabelSetsAreDistinctAndOrderInsensitive) {
+  MetricsRegistry registry;
+  Counter* ab = registry.GetCounter("obs_test_ops_total",
+                                    {{"a", "1"}, {"b", "2"}});
+  Counter* ba = registry.GetCounter("obs_test_ops_total",
+                                    {{"b", "2"}, {"a", "1"}});
+  Counter* other = registry.GetCounter("obs_test_ops_total", {{"a", "2"}});
+  EXPECT_EQ(ab, ba);
+  EXPECT_NE(ab, other);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("obs_test_level");
+  g->Set(10);
+  g->Increment();
+  g->Decrement();
+  g->Add(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 12.5);
+}
+
+TEST(RegistryTest, TypeClashYieldsDetachedInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_test_clash");
+  // Asking for the same family as a different type must not crash and must
+  // not corrupt the exported family.
+  Gauge* g = registry.GetGauge("obs_test_clash");
+  ASSERT_NE(g, nullptr);
+  g->Set(99);  // harmless
+  const std::string text = RenderPrometheusText(&registry);
+  EXPECT_NE(text.find("# TYPE obs_test_clash counter"), std::string::npos);
+  EXPECT_EQ(text.find("99"), std::string::npos);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("obs_test_ms");
+  for (double v : {1.0, 2.0, 3.0}) h->Record(v);
+  EXPECT_EQ(h->Count(), 3u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 2.0);
+}
+
+TEST(HistogramTest, PercentilesAccurateToOneBucketWidth) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("obs_test_latency_ms");
+  // Uniform 0.1 .. 100 ms.
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) samples.push_back(i * 0.1);
+  for (double v : samples) h->Record(v);
+
+  for (double p : {50.0, 95.0, 99.0}) {
+    const double exact = samples[static_cast<size_t>(p / 100 *
+                                                     (samples.size() - 1))];
+    const double estimate = h->Percentile(p);
+    EXPECT_NEAR(estimate, exact, Histogram::BucketWidthFor(exact) + 1e-9)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, OverflowClampsToLargestBound) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("obs_test_huge_ms");
+  h->Record(1e9);  // way past the last bucket
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), Histogram::BucketBounds().back());
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  MetricsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("obs_test_empty")->Percentile(50), 0);
+}
+
+TEST(ExpositionTest, PrometheusTextHasAllSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_requests_total", {{"method", "get"}},
+                      "Requests served.")->Increment(3);
+  registry.GetGauge("obs_connections", {}, "Open connections.")->Set(2);
+  Histogram* h = registry.GetHistogram("obs_latency_ms");
+  h->Record(0.5);
+  h->Record(5);
+
+  const std::string text = RenderPrometheusText(&registry);
+  EXPECT_NE(text.find("# HELP obs_requests_total Requests served."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_requests_total{method=\"get\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_connections gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_connections 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_latency_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("obs_latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_latency_ms_sum"), std::string::npos);
+  EXPECT_NE(text.find("obs_latency_ms_count 2"), std::string::npos);
+}
+
+TEST(ExpositionTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("obs_cumulative_ms");
+  h->Record(0.0005);  // below the smallest bound -> first bucket
+  h->Record(50);
+
+  const std::string text = RenderPrometheusText(&registry);
+  // The first bucket holds 1; every bucket from 50ms on holds 2.
+  EXPECT_NE(text.find("obs_cumulative_ms_bucket{le=\"0.001\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_cumulative_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, JsonRendersFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_json_total", {{"k", "v"}})->Increment(7);
+  const std::string json = RenderMetricsJson(&registry);
+  EXPECT_NE(json.find("\"name\":\"obs_json_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"v\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(ExpositionTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_escape_total", {{"path", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = RenderPrometheusText(&registry);
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(RegistryTest, CollectorsRefreshGaugesAtScrape) {
+  MetricsRegistry registry;
+  int live_value = 1;
+  Gauge* g = registry.GetGauge("obs_live");
+  const int id = registry.AddCollector([&] {
+    g->Set(static_cast<double>(live_value));
+  });
+
+  live_value = 5;
+  EXPECT_NE(RenderPrometheusText(&registry).find("obs_live 5"),
+            std::string::npos);
+  live_value = 9;
+  EXPECT_NE(RenderPrometheusText(&registry).find("obs_live 9"),
+            std::string::npos);
+
+  registry.RemoveCollector(id);
+  live_value = 13;
+  EXPECT_NE(RenderPrometheusText(&registry).find("obs_live 9"),
+            std::string::npos);
+}
+
+// --- Tracing ---
+
+TEST(TracerTest, UnsampledRootRecordsNothing) {
+  Tracer tracer;  // rate defaults to 0
+  {
+    Span root("root", &tracer);
+    EXPECT_FALSE(root.recording());
+    Span child("child", &tracer);
+    EXPECT_FALSE(child.recording());
+  }
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+  EXPECT_EQ(tracer.LatestTrace(), nullptr);
+}
+
+TEST(TracerTest, SampledRootCapturesNestedTree) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  {
+    Span root("get", &tracer);
+    ASSERT_TRUE(root.recording());
+    {
+      Span lookup("cache.lookup", &tracer);
+      EXPECT_TRUE(lookup.recording());
+    }
+    {
+      Span fetch("base.get", &tracer);
+      Span wire("http.roundtrip", &tracer);
+      EXPECT_TRUE(wire.recording());
+    }
+  }
+  ASSERT_EQ(tracer.TraceCount(), 1u);
+  auto trace = tracer.LatestTrace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->SpanCount(), 4u);
+  EXPECT_EQ(trace->root().name, "get");
+  ASSERT_EQ(trace->root().children.size(), 2u);
+  EXPECT_EQ(trace->root().children[0]->name, "cache.lookup");
+  EXPECT_EQ(trace->root().children[1]->name, "base.get");
+  ASSERT_EQ(trace->root().children[1]->children.size(), 1u);
+  EXPECT_EQ(trace->root().children[1]->children[0]->name, "http.roundtrip");
+
+  const std::string text = trace->ToText();
+  EXPECT_NE(text.find("cache.lookup"), std::string::npos);
+  const std::string json = trace->ToJson();
+  EXPECT_NE(json.find("\"name\":\"http.roundtrip\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+}
+
+TEST(TracerTest, DeterministicSamplingKeepsOnePerPeriod) {
+  Tracer tracer;
+  tracer.SetSampleRate(0.25);
+  for (int i = 0; i < 100; ++i) {
+    Span root("r", &tracer);
+  }
+  EXPECT_EQ(tracer.TraceCount(), 25u);
+}
+
+TEST(TracerTest, ForceSampleOverridesRate) {
+  Tracer tracer;  // rate 0
+  {
+    Span root("forced", &tracer, /*force_sample=*/true);
+    EXPECT_TRUE(root.recording());
+    Span child("inner", &tracer);
+    EXPECT_TRUE(child.recording());
+  }
+  ASSERT_EQ(tracer.TraceCount(), 1u);
+  EXPECT_EQ(tracer.LatestTrace()->SpanCount(), 2u);
+}
+
+TEST(TracerTest, KeepsOnlyMostRecentTraces) {
+  Tracer tracer(nullptr, /*keep=*/3);
+  tracer.SetSampleRate(1.0);
+  for (int i = 0; i < 10; ++i) {
+    Span root("r" + std::to_string(i), &tracer);
+  }
+  EXPECT_EQ(tracer.TraceCount(), 10u);
+  auto recent = tracer.RecentTraces();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent.back()->root().name, "r9");
+}
+
+// --- Acceptance: sampled cold cloud Get through the full DSCL stack ---
+
+size_t CountNonZeroDurations(const SpanNode& node) {
+  size_t n = node.DurationMillis() > 0 ? 1 : 0;
+  for (const auto& child : node.children) {
+    n += CountNonZeroDurations(*child);
+  }
+  return n;
+}
+
+TEST(TracingAcceptanceTest, ColdCloudGetYieldsNestedSpans) {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  auto chain = std::make_shared<TransformChain>();
+  chain->Add(std::make_unique<CompressionTransformer>(
+      std::make_unique<GzipCodec>()));
+  auto cache = std::make_shared<ExpiringCache>(
+      std::make_unique<LruCache>(1u << 20), RealClock::Default());
+  EnhancedStore store(std::shared_ptr<KeyValueStore>(*std::move(client)),
+                      cache, chain, {});
+
+  ASSERT_TRUE(store.PutString("k", std::string(4096, 'x')).ok());
+  ASSERT_TRUE(cache->Delete("k").ok());  // force the cold path
+
+  Tracer* tracer = Tracer::Default();
+  const uint64_t before = tracer->TraceCount();
+  tracer->SetSampleRate(1.0);
+  auto got = store.GetString("k");
+  tracer->SetSampleRate(0);
+  ASSERT_TRUE(got.ok());
+
+  ASSERT_GT(tracer->TraceCount(), before);
+  auto trace = tracer->LatestTrace();
+  ASSERT_NE(trace, nullptr);
+  // enhanced.get -> cache.lookup + base.get -> http.roundtrip +
+  // transform.decode: at least 3 levels of nesting, all with real timings.
+  EXPECT_GE(trace->SpanCount(), 3u);
+  EXPECT_EQ(trace->root().name, "enhanced.get");
+  const std::string text = trace->ToText();
+  EXPECT_NE(text.find("cache.lookup"), std::string::npos);
+  EXPECT_NE(text.find("base.get"), std::string::npos);
+  EXPECT_NE(text.find("http.roundtrip"), std::string::npos);
+  EXPECT_NE(text.find("transform.decode"), std::string::npos);
+  EXPECT_GE(CountNonZeroDurations(trace->root()), 3u);
+
+  (*server)->Stop();
+}
+
+// --- Acceptance: registry histogram vs PerformanceMonitor percentiles ---
+
+TEST(MonitorRegistryAcceptanceTest, HistogramP95MatchesRecentPercentile) {
+  MetricsRegistry registry;
+  PerformanceMonitor monitor(/*recent_window=*/1024, &registry);
+  // Latencies spread across several buckets.
+  for (int i = 1; i <= 500; ++i) {
+    monitor.Record("s", "get", i * 0.05);  // 0.05 .. 25 ms
+  }
+
+  Histogram* h = registry.GetHistogram("dstore_op_latency_ms",
+                                       {{"op", "get"}, {"store", "s"}});
+  ASSERT_EQ(h->Count(), 500u);
+  const double exact = monitor.RecentPercentileMs("s", "get", 95);
+  EXPECT_NEAR(h->Percentile(95), exact,
+              Histogram::BucketWidthFor(exact) + 1e-9);
+  EXPECT_NEAR(h->Percentile(50), monitor.RecentPercentileMs("s", "get", 50),
+              Histogram::BucketWidthFor(
+                  monitor.RecentPercentileMs("s", "get", 50)) + 1e-9);
+}
+
+TEST(MonitorRegistryTest, ErrorsFlowToCounter) {
+  MetricsRegistry registry;
+  PerformanceMonitor monitor(16, &registry);
+  monitor.Record("s", "put", 1.0, /*ok=*/false);
+  monitor.Record("s", "put", 1.0, /*ok=*/true);
+  monitor.Record("s", "put", 1.0, /*ok=*/false);
+  EXPECT_EQ(registry.GetCounter("dstore_op_errors_total",
+                                {{"op", "put"}, {"store", "s"}})->Value(),
+            2u);
+}
+
+TEST(MonitorRegistryTest, NullRegistryKeepsMonitorLocal) {
+  PerformanceMonitor monitor(16, nullptr);
+  monitor.Record("s", "get", 1.0);
+  EXPECT_EQ(monitor.Summary("s", "get").count, 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dstore

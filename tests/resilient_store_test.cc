@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "store/memory_store.h"
 
 namespace dstore {
@@ -86,6 +87,54 @@ TEST(RetryingStoreTest, BackoffUsesClock) {
   ASSERT_TRUE(store.Get("k").ok());
   // Slept 1000 then 2000 virtual nanos.
   EXPECT_EQ(clock.NowNanos(), 3000);
+}
+
+TEST(RetryingStoreTest, BackoffSleepIsAccounted) {
+  auto flaky = std::make_shared<FailNTimesStore>(0);
+  flaky->PutString("k", "v").ok();
+  flaky->remaining_ = 2;
+  SimulatedClock clock;
+  RetryingStore::Options options;
+  options.max_attempts = 3;
+  options.initial_backoff_nanos = 1000;
+  options.backoff_multiplier = 2.0;
+  RetryingStore store(flaky, options, &clock);
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(store.GetRetryStats().backoff_nanos, 3000u);  // 1000 + 2000
+}
+
+TEST(RetryingStoreTest, PublishesObsCounters) {
+  // The obs counters are process-wide (labelled by inner store name), so
+  // measure deltas against whatever earlier tests contributed.
+  auto* registry = obs::MetricsRegistry::Default();
+  const obs::Labels labels = {{"store", "memory"}};
+  obs::Counter* retries =
+      registry->GetCounter("dstore_retry_attempts_total", labels);
+  obs::Counter* exhausted =
+      registry->GetCounter("dstore_retry_exhausted_total", labels);
+  obs::Counter* backoff =
+      registry->GetCounter("dstore_retry_backoff_sleep_nanos_total", labels);
+  const uint64_t retries0 = retries->Value();
+  const uint64_t exhausted0 = exhausted->Value();
+  const uint64_t backoff0 = backoff->Value();
+
+  auto flaky = std::make_shared<FailNTimesStore>(100);
+  SimulatedClock clock;
+  RetryingStore::Options options;
+  options.max_attempts = 3;
+  options.initial_backoff_nanos = 500;
+  options.backoff_multiplier = 2.0;
+  RetryingStore store(flaky, options, &clock);
+  EXPECT_TRUE(store.Get("k").status().IsUnavailable());
+
+  EXPECT_EQ(retries->Value() - retries0, 2u);
+  EXPECT_EQ(exhausted->Value() - exhausted0, 1u);
+  EXPECT_EQ(backoff->Value() - backoff0, 1500u);  // 500 + 1000
+  // The per-instance view agrees with the registry deltas.
+  const RetryingStore::RetryStats stats = store.GetRetryStats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.backoff_nanos, 1500u);
 }
 
 TEST(RetryingStoreTest, NameShowsDecoration) {

@@ -9,7 +9,9 @@
 #include "cache/lru_cache.h"
 #include "common/clock.h"
 #include "common/random.h"
+#include "net/http.h"
 #include "net/latency_model.h"
+#include "net/socket.h"
 #include "store/cloud_client.h"
 #include "store/cloud_server.h"
 #include "store/remote_cache.h"
@@ -270,6 +272,88 @@ TEST(RemoteCacheTest, PingWorks) {
   auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
   ASSERT_TRUE(conn.ok());
   EXPECT_TRUE((*conn)->Ping().ok());
+}
+
+// --- Observability endpoints ---
+
+// Raw scrape against a server's data port, the way Prometheus would do it.
+std::string HttpGetBody(uint16_t port, const std::string& path,
+                        int* status_code = nullptr) {
+  auto socket = Socket::ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(socket.ok());
+  HttpConnection conn(*std::move(socket));
+  HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  EXPECT_TRUE(conn.WriteRequest(request).ok());
+  auto response = conn.ReadResponse();
+  EXPECT_TRUE(response.ok());
+  if (!response.ok()) return "";
+  if (status_code != nullptr) *status_code = response->status_code;
+  return ToString(response->body);
+}
+
+TEST(ObsEndpointTest, CloudServerServesMetricsAndHealth) {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  // A real workload so the scrape has data: puts, gets, and a miss.
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE((*client)->PutString(key, "value").ok());
+    ASSERT_TRUE((*client)->Get(key).ok());
+  }
+  EXPECT_TRUE((*client)->Get("missing").status().IsNotFound());
+
+  int status = 0;
+  const std::string health = HttpGetBody((*server)->port(), "/healthz",
+                                         &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = HttpGetBody((*server)->port(), "/metrics");
+  // At least one counter, one gauge, and one histogram with the full
+  // _bucket/_sum/_count series, all fed by the workload above.
+  EXPECT_NE(metrics.find("# TYPE dstore_cloud_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dstore_cloud_requests_total{method=\"GET\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE dstore_cloud_objects gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dstore_cloud_objects 5"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE dstore_cloud_request_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dstore_cloud_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dstore_cloud_request_ms_sum"), std::string::npos);
+  EXPECT_NE(metrics.find("dstore_cloud_request_ms_count"), std::string::npos);
+
+  const std::string json = HttpGetBody((*server)->port(), "/metrics.json");
+  EXPECT_NE(json.find("\"name\":\"dstore_cloud_requests_total\""),
+            std::string::npos);
+
+  const std::string traces = HttpGetBody((*server)->port(), "/traces");
+  EXPECT_EQ(traces.front(), '[');
+
+  (*server)->Stop();
+}
+
+TEST(ObsEndpointTest, ServerConnectionMetricsTracked) {
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok());
+  auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->PutString("k", "v").ok());
+
+  const std::string metrics = HttpGetBody((*server)->port(), "/metrics");
+  EXPECT_NE(metrics.find("dstore_server_connections_total{server=\"cloud\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      metrics.find("dstore_server_active_connections{server=\"cloud\"}"),
+      std::string::npos);
+  (*server)->Stop();
 }
 
 }  // namespace

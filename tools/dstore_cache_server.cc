@@ -6,9 +6,13 @@
 //
 //   dstore_cache_server [--port=N] [--capacity-mb=N]
 //                       [--eviction=lru|clock|gds] [--warm-file=PATH]
+//                       [--metrics-port=N]
 //
 // Prints "LISTENING <port>" on stdout once ready. SIGINT/SIGTERM shut down
-// cleanly, saving warm state to --warm-file if given.
+// cleanly, saving warm state to --warm-file if given. --metrics-port starts
+// an HTTP sidecar serving GET /metrics (Prometheus text), /metrics.json,
+// /traces, and /healthz; the backing cache's stats are published as
+// dstore_cache_* gauges.
 
 #include <csignal>
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include "cache/gds_cache.h"
 #include "cache/lru_cache.h"
 #include "dscl/cache_persistence.h"
+#include "net/obs_endpoint.h"
 #include "store/file_store.h"
 #include "store/remote_cache.h"
 
@@ -34,6 +39,7 @@ int main(int argc, char** argv) {
   using namespace dstore;
 
   uint16_t port = 6380;
+  int metrics_port = -1;
   size_t capacity_mb = 256;
   std::string eviction = "lru";
   std::string warm_file;
@@ -41,6 +47,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
       port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port = std::atoi(arg.c_str() + 15);
     } else if (arg.rfind("--capacity-mb=", 0) == 0) {
       capacity_mb = static_cast<size_t>(std::atoll(arg.c_str() + 14));
     } else if (arg.rfind("--eviction=", 0) == 0) {
@@ -50,7 +58,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--capacity-mb=N] "
-                   "[--eviction=lru|clock|gds] [--warm-file=PATH]\n",
+                   "[--eviction=lru|clock|gds] [--warm-file=PATH] "
+                   "[--metrics-port=N]\n",
                    argv[0]);
       return 2;
     }
@@ -96,6 +105,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start failed: %s\n",
                  server.status().ToString().c_str());
     return 1;
+  }
+  std::unique_ptr<ObsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    auto obs = ObsHttpServer::Start(static_cast<uint16_t>(metrics_port));
+    if (!obs.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   obs.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = *std::move(obs);
+    std::fprintf(stderr, "metrics on http://127.0.0.1:%u/metrics\n",
+                 metrics_server->port());
   }
   std::printf("LISTENING %u\n", (*server)->port());
   std::fflush(stdout);

@@ -5,7 +5,10 @@
 //   dstore_cloud_server [--port=N] [--profile=cloud1|cloud2|none]
 //                       [--wan-scale=F] [--seed=N]
 //
-// Prints "LISTENING <port>" on stdout once ready.
+// Prints "LISTENING <port>" on stdout once ready. The data port itself
+// serves GET /metrics (Prometheus text), /metrics.json, /traces, and
+// /healthz without the injected WAN delay, so the server is scrapeable
+// in-band: curl http://127.0.0.1:<port>/metrics
 
 #include <csignal>
 #include <cstdio>

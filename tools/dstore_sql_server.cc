@@ -2,18 +2,21 @@
 // wire protocol (the MySQL-like deployment shape — a separate process
 // reached over a local socket).
 //
-//   dstore_sql_server [--port=N] [--db=PATH] [--no-fsync]
+//   dstore_sql_server [--port=N] [--db=PATH] [--no-fsync] [--metrics-port=N]
 //
 // An empty --db keeps the database in memory (no durability). Prints
-// "LISTENING <port>" on stdout once ready.
+// "LISTENING <port>" on stdout once ready. --metrics-port starts an HTTP
+// sidecar serving GET /metrics, /metrics.json, /traces, and /healthz.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include <semaphore.h>
 
+#include "net/obs_endpoint.h"
 #include "store/sql_server.h"
 
 namespace {
@@ -25,18 +28,23 @@ int main(int argc, char** argv) {
   using namespace dstore;
 
   uint16_t port = 3307;
+  int metrics_port = -1;
   std::string db_path;
   sql::Database::Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
       port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port = std::atoi(arg.c_str() + 15);
     } else if (arg.rfind("--db=", 0) == 0) {
       db_path = arg.substr(5);
     } else if (arg == "--no-fsync") {
       options.sync_commits = false;
     } else {
-      std::fprintf(stderr, "usage: %s [--port=N] [--db=PATH] [--no-fsync]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--db=PATH] [--no-fsync] "
+                   "[--metrics-port=N]\n",
                    argv[0]);
       return 2;
     }
@@ -51,6 +59,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start failed: %s\n",
                  server.status().ToString().c_str());
     return 1;
+  }
+  std::unique_ptr<ObsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    auto obs = ObsHttpServer::Start(static_cast<uint16_t>(metrics_port));
+    if (!obs.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   obs.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = *std::move(obs);
+    std::fprintf(stderr, "metrics on http://127.0.0.1:%u/metrics\n",
+                 metrics_server->port());
   }
   std::printf("LISTENING %u\n", (*server)->port());
   std::fflush(stdout);
