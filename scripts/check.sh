@@ -3,7 +3,14 @@
 # ThreadSanitizer build (-DDSTORE_SANITIZE=thread) to catch data races in
 # the concurrent paths (metrics registry, tracer, monitor, servers).
 #
-#   scripts/check.sh [extra ctest args...]
+#   scripts/check.sh [extra ctest args...]   # full suite, both builds
+#   scripts/check.sh chaos                   # chaos-labelled suites only
+#
+# The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
+# docs/testing.md) in both builds over the DSTORE_CHAOS_SEEDS matrix
+# (default "1,7,1337"; override with a comma-separated list). A failing
+# seed is printed in the test output — replay it in isolation with
+# DSTORE_CHAOS_SEEDS=<seed>.
 #
 # Build trees land in build-check-release/ and build-check-tsan/ so the
 # default build/ directory is left alone.
@@ -19,7 +26,14 @@ run_suite() {
   (cd "$dir" && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
 }
 
-CTEST_ARGS=("$@")
+if [[ "${1:-}" == "chaos" ]]; then
+  shift
+  export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
+  echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
+  CTEST_ARGS=(-L chaos "$@")
+else
+  CTEST_ARGS=("$@")
+fi
 
 echo "=== Release build ==="
 run_suite build-check-release -DCMAKE_BUILD_TYPE=Release

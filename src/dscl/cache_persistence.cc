@@ -1,5 +1,9 @@
 #include "dscl/cache_persistence.h"
 
+#include <utility>
+
+#include "fault/fault.h"
+
 namespace dstore {
 
 namespace {
@@ -26,6 +30,13 @@ Status SaveCacheToStore(Cache* cache, KeyValueStore* store,
   }
   PutVarint64(&out, written);
   out.insert(out.end(), body.begin(), body.end());
+  if (fault::CrashPointFires("cache.snapshot.torn_save")) {
+    // Crash mid-save: half the snapshot reaches the store. A later load
+    // must reject it without polluting the cache.
+    out.resize(out.size() / 2);
+    store->Put(snapshot_key, MakeValue(std::move(out))).ok();
+    return fault::CrashedStatus("cache.snapshot.torn_save");
+  }
   return store->Put(snapshot_key, MakeValue(std::move(out)));
 }
 
@@ -38,12 +49,19 @@ StatusOr<size_t> LoadCacheFromStore(Cache* cache, KeyValueStore* store,
   }
   size_t pos = 1;
   DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &pos));
-  size_t loaded = 0;
+  // Decode the whole snapshot before touching the cache so a truncated or
+  // corrupt snapshot (e.g. a torn save) fails atomically instead of leaving
+  // a partially loaded cache behind.
+  std::vector<std::pair<std::string, ValuePtr>> entries;
+  entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     DSTORE_ASSIGN_OR_RETURN(Bytes key, GetLengthPrefixed(data, &pos));
     DSTORE_ASSIGN_OR_RETURN(Bytes value, GetLengthPrefixed(data, &pos));
-    DSTORE_RETURN_IF_ERROR(
-        cache->Put(ToString(key), MakeValue(std::move(value))));
+    entries.emplace_back(ToString(key), MakeValue(std::move(value)));
+  }
+  size_t loaded = 0;
+  for (auto& [key, value] : entries) {
+    DSTORE_RETURN_IF_ERROR(cache->Put(key, std::move(value)));
     ++loaded;
   }
   return loaded;

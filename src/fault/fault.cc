@@ -1,0 +1,394 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace dstore {
+namespace fault {
+
+namespace {
+
+// Splits `s` on any of `seps`, trimming whitespace, dropping empties.
+std::vector<std::string> SplitTrim(std::string_view s, std::string_view seps) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    const size_t begin = current.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      current.clear();
+      return;
+    }
+    const size_t end = current.find_last_not_of(" \t\r");
+    out.push_back(current.substr(begin, end - begin + 1));
+    current.clear();
+  };
+  for (char c : s) {
+    if (seps.find(c) != std::string_view::npos) {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+StatusOr<StatusCode> ParseErrorClass(std::string_view name) {
+  if (name == "unavailable") return StatusCode::kUnavailable;
+  if (name == "ioerror") return StatusCode::kIOError;
+  if (name == "timedout") return StatusCode::kTimedOut;
+  if (name == "corruption") return StatusCode::kCorruption;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "notfound") return StatusCode::kNotFound;
+  return Status::InvalidArgument("unknown fault error class: " +
+                                 std::string(name));
+}
+
+StatusOr<FaultKind> ParseKind(std::string_view name) {
+  if (name == "error") return FaultKind::kError;
+  if (name == "error_after_apply") return FaultKind::kErrorAfterApply;
+  if (name == "latency") return FaultKind::kLatency;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  return Status::InvalidArgument("unknown fault kind: " + std::string(name));
+}
+
+Status MakeStatus(StatusCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kErrorAfterApply:
+      return "error_after_apply";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+bool FaultRule::MatchesSite(std::string_view s) const {
+  if (site == "*") return true;
+  if (!site.empty() && site.back() == '*') {
+    return s.substr(0, site.size() - 1) == std::string_view(site).substr(0, site.size() - 1);
+  }
+  return s == site;
+}
+
+bool FaultRule::MatchesOp(std::string_view o) const {
+  if (op == "*") return true;
+  for (const std::string& candidate : SplitTrim(op, ",")) {
+    if (o == candidate) return true;
+  }
+  return false;
+}
+
+std::string FaultRule::ToString() const {
+  std::ostringstream out;
+  out << "site=" << site << " op=" << op << " p=" << probability
+      << " kind=" << FaultKindName(kind) << " error="
+      << StatusCodeToString(error);
+  if (after > 0) out << " after=" << after;
+  if (every > 0) out << " every=" << every;
+  if (limit > 0) out << " limit=" << limit;
+  if (latency_nanos > 0) out << " latency_ns=" << latency_nanos;
+  return out.str();
+}
+
+StatusOr<FaultRule> FaultRule::Parse(std::string_view spec) {
+  FaultRule rule;
+  for (const std::string& token : SplitTrim(spec, " \t")) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault rule token is not key=value: " +
+                                     token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty()) {
+      return Status::InvalidArgument("empty value in fault rule: " + token);
+    }
+    char* end = nullptr;
+    if (key == "site") {
+      rule.site = value;
+    } else if (key == "op") {
+      rule.op = value;
+    } else if (key == "p" || key == "probability") {
+      rule.probability = std::strtod(value.c_str(), &end);
+      if (*end != '\0' || rule.probability < 0.0 || rule.probability > 1.0) {
+        return Status::InvalidArgument("bad probability: " + value);
+      }
+    } else if (key == "after") {
+      rule.after = std::strtoull(value.c_str(), &end, 10);
+      if (*end != '\0') return Status::InvalidArgument("bad after: " + value);
+    } else if (key == "every") {
+      rule.every = std::strtoull(value.c_str(), &end, 10);
+      if (*end != '\0') return Status::InvalidArgument("bad every: " + value);
+    } else if (key == "limit") {
+      rule.limit = std::strtoull(value.c_str(), &end, 10);
+      if (*end != '\0') return Status::InvalidArgument("bad limit: " + value);
+    } else if (key == "at") {
+      // Fail exactly the Nth matching operation (1-based).
+      const uint64_t at = std::strtoull(value.c_str(), &end, 10);
+      if (*end != '\0' || at == 0) {
+        return Status::InvalidArgument("bad at: " + value);
+      }
+      rule.after = at - 1;
+      rule.limit = 1;
+      rule.probability = 1.0;
+    } else if (key == "kind") {
+      DSTORE_ASSIGN_OR_RETURN(rule.kind, ParseKind(value));
+    } else if (key == "error") {
+      DSTORE_ASSIGN_OR_RETURN(rule.error, ParseErrorClass(value));
+    } else if (key == "latency_ms") {
+      const double ms = std::strtod(value.c_str(), &end);
+      if (*end != '\0' || ms < 0) {
+        return Status::InvalidArgument("bad latency_ms: " + value);
+      }
+      rule.latency_nanos = static_cast<int64_t>(ms * 1e6);
+    } else if (key == "latency_ns") {
+      rule.latency_nanos = std::strtoll(value.c_str(), &end, 10);
+      if (*end != '\0' || rule.latency_nanos < 0) {
+        return Status::InvalidArgument("bad latency_ns: " + value);
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault rule key: " + key);
+    }
+  }
+  return rule;
+}
+
+Status Fault::ToStatus(std::string_view site, std::string_view op) const {
+  return MakeStatus(error, "injected fault #" + std::to_string(seq) + " at " +
+                               std::string(site) + "/" + std::string(op));
+}
+
+FaultPlan::FaultPlan(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultPlan::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+  rule_matches_.push_back(0);
+  rule_fires_.push_back(0);
+}
+
+StatusOr<std::shared_ptr<FaultPlan>> FaultPlan::FromSpec(
+    uint64_t seed, std::string_view spec) {
+  auto plan = std::make_shared<FaultPlan>(seed);
+  for (const std::string& line : SplitTrim(spec, "\n;")) {
+    if (line.empty() || line[0] == '#') continue;
+    DSTORE_ASSIGN_OR_RETURN(FaultRule rule, FaultRule::Parse(line));
+    plan->AddRule(rule);
+  }
+  return plan;
+}
+
+obs::Counter* FaultPlan::CounterFor(std::string_view site, FaultKind kind) {
+  // Caller holds mu_.
+  const std::string key =
+      std::string(site) + "|" + std::string(FaultKindName(kind));
+  auto it = counters_.find(key);
+  if (it != counters_.end()) return it->second;
+  obs::Counter* counter = obs::MetricsRegistry::Default()->GetCounter(
+      "dstore_fault_injected_total",
+      {{"site", std::string(site)}, {"kind", std::string(FaultKindName(kind))}},
+      "Faults injected by fault plans, by site and kind.");
+  counters_.emplace(key, counter);
+  return counter;
+}
+
+std::optional<Fault> FaultPlan::Evaluate(std::string_view site,
+                                         std::string_view op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_seen_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (!rule.MatchesSite(site) || !rule.MatchesOp(op)) continue;
+    const uint64_t match = rule_matches_[i]++;
+    if (match < rule.after) continue;
+    if (rule.limit > 0 && rule_fires_[i] >= rule.limit) continue;
+    if (rule.every > 1 && (match - rule.after) % rule.every != 0) continue;
+    if (rule.probability < 1.0 && !rng_.Bernoulli(rule.probability)) continue;
+
+    ++rule_fires_[i];
+    const uint64_t seq = injected_.fetch_add(1, std::memory_order_relaxed);
+    Fault fault;
+    fault.rule_index = i;
+    fault.kind = rule.kind;
+    fault.error = rule.error;
+    fault.latency_nanos = rule.latency_nanos;
+    fault.seq = seq;
+    trace_.push_back(TraceEntry{seq, std::string(site), std::string(op), i,
+                                rule.kind, rule.error});
+    CounterFor(site, rule.kind)->Increment();
+    return fault;
+  }
+  return std::nullopt;
+}
+
+std::vector<FaultPlan::TraceEntry> FaultPlan::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+std::string FaultPlan::TraceString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const TraceEntry& entry : trace_) {
+    out << '#' << entry.seq << ' ' << entry.site << '/' << entry.op
+        << " rule=" << entry.rule_index << ' ' << FaultKindName(entry.kind)
+        << ' ' << StatusCodeToString(entry.error) << '\n';
+  }
+  return out.str();
+}
+
+// --- Crash points -----------------------------------------------------------
+
+namespace {
+
+struct CrashPointState {
+  std::mutex mu;
+  // point -> remaining hits before it fires (fires when the count reaches 0).
+  std::map<std::string, uint64_t> armed;
+  std::atomic<uint64_t> crashes{0};
+};
+
+CrashPointState* CrashState() {
+  static CrashPointState* state = new CrashPointState();
+  return state;
+}
+
+// Fast-path gate: false while no point is armed anywhere in the process.
+std::atomic<bool> g_crash_points_armed{false};
+
+constexpr char kCrashMessagePrefix[] = "injected crash at ";
+
+}  // namespace
+
+bool CrashPointFires(std::string_view point) {
+  if (!g_crash_points_armed.load(std::memory_order_relaxed)) return false;
+  CrashPointState* state = CrashState();
+  std::lock_guard<std::mutex> lock(state->mu);
+  auto it = state->armed.find(std::string(point));
+  if (it == state->armed.end()) return false;
+  if (--it->second > 0) return false;
+  state->armed.erase(it);
+  if (state->armed.empty()) {
+    g_crash_points_armed.store(false, std::memory_order_relaxed);
+  }
+  state->crashes.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Default()
+      ->GetCounter("dstore_fault_crashes_total",
+                   {{"point", std::string(point)}},
+                   "Simulated crashes fired at instrumented crash points.")
+      ->Increment();
+  return true;
+}
+
+Status CrashedStatus(std::string_view point) {
+  return Status::IOError(kCrashMessagePrefix + std::string(point));
+}
+
+bool IsCrashStatus(const Status& status) {
+  return status.IsIOError() &&
+         status.message().rfind(kCrashMessagePrefix, 0) == 0;
+}
+
+void ArmCrashPoint(const std::string& point, uint64_t countdown) {
+  if (countdown == 0) countdown = 1;
+  CrashPointState* state = CrashState();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->armed[point] = countdown;
+  g_crash_points_armed.store(true, std::memory_order_relaxed);
+}
+
+void DisarmCrashPoints() {
+  CrashPointState* state = CrashState();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->armed.clear();
+  g_crash_points_armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t CrashesInjected() {
+  return CrashState()->crashes.load(std::memory_order_relaxed);
+}
+
+// --- Socket-level injection -------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_socket_injection_enabled{false};
+std::mutex g_socket_injector_mu;
+std::shared_ptr<SocketFaultInjector>* SocketInjectorSlot() {
+  static auto* slot = new std::shared_ptr<SocketFaultInjector>();
+  return slot;
+}
+
+}  // namespace
+
+void InstallSocketFaultInjector(
+    std::shared_ptr<SocketFaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(g_socket_injector_mu);
+  *SocketInjectorSlot() = injector;
+  g_socket_injection_enabled.store(injector != nullptr,
+                                   std::memory_order_relaxed);
+}
+
+std::shared_ptr<SocketFaultInjector> InstalledSocketFaultInjector() {
+  if (!g_socket_injection_enabled.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(g_socket_injector_mu);
+  return *SocketInjectorSlot();
+}
+
+std::optional<SocketFault> PlanSocketFaultInjector::Translate(
+    std::string_view site, size_t len, std::optional<Fault> fired) {
+  if (!fired.has_value()) return std::nullopt;
+  SocketFault fault;
+  fault.stall_nanos = fired->latency_nanos;
+  switch (fired->kind) {
+    case FaultKind::kLatency:
+      // Stall only; error stays OK.
+      break;
+    case FaultKind::kCorrupt:
+      // Short write: half the payload leaves, then the call fails.
+      fault.allow_prefix = len / 2;
+      fault.error = fired->ToStatus(site, "short");
+      break;
+    case FaultKind::kError:
+    case FaultKind::kErrorAfterApply:
+      fault.error = fired->ToStatus(site, "fault");
+      fault.reset = site != "net.connect" && site != "net.accept";
+      break;
+  }
+  return fault;
+}
+
+std::optional<SocketFault> PlanSocketFaultInjector::OnConnect(
+    const std::string& host, uint16_t port) {
+  (void)host;
+  (void)port;
+  return Translate("net.connect", 0, plan_->Evaluate("net.connect", "connect"));
+}
+
+std::optional<SocketFault> PlanSocketFaultInjector::OnWrite(size_t len) {
+  return Translate("net.write", len, plan_->Evaluate("net.write", "write"));
+}
+
+std::optional<SocketFault> PlanSocketFaultInjector::OnRead(size_t len) {
+  return Translate("net.read", len, plan_->Evaluate("net.read", "read"));
+}
+
+std::optional<SocketFault> PlanSocketFaultInjector::OnAccept() {
+  return Translate("net.accept", 0, plan_->Evaluate("net.accept", "accept"));
+}
+
+}  // namespace fault
+}  // namespace dstore

@@ -4,6 +4,8 @@
 
 #include <utility>
 
+#include "fault/fault.h"
+
 namespace dstore {
 
 Status ThreadedServer::Start(uint16_t port) {
@@ -39,6 +41,16 @@ void ThreadedServer::AcceptLoop() {
       // Listener closed (shutdown) or transient failure; exit if stopping.
       if (!running_.load()) return;
       continue;
+    }
+    if (auto injector = fault::InstalledSocketFaultInjector()) {
+      if (auto f = injector->OnAccept()) {
+        if (!f->error.ok()) {
+          // Injected accept failure: drop the fresh connection on the floor.
+          // The client sees EOF/reset on its next read or write.
+          client->Close();
+          continue;
+        }
+      }
     }
     const int fd = client->fd();
     std::lock_guard<std::mutex> lock(mu_);

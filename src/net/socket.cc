@@ -10,10 +10,18 @@
 #include <cstring>
 #include <utility>
 
+#include "common/clock.h"
+#include "fault/fault.h"
+
 namespace dstore {
 
 namespace {
 std::string Errno() { return std::strerror(errno); }
+
+// Applies the stall of an injected socket fault, if any.
+void Stall(const fault::SocketFault& f) {
+  if (f.stall_nanos > 0) RealClock::Default()->SleepFor(f.stall_nanos);
+}
 }  // namespace
 
 Socket::~Socket() { Close(); }
@@ -30,6 +38,12 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 }
 
 StatusOr<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  if (auto injector = fault::InstalledSocketFaultInjector()) {
+    if (auto f = injector->OnConnect(host, port)) {
+      Stall(*f);
+      if (!f->error.ok()) return f->error;  // injected connection refusal
+    }
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IOError("socket: " + Errno());
 
@@ -52,6 +66,24 @@ StatusOr<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
 
 Status Socket::WriteFull(const void* data, size_t len) {
   const auto* p = static_cast<const uint8_t*>(data);
+  if (auto injector = fault::InstalledSocketFaultInjector()) {
+    if (auto f = injector->OnWrite(len)) {
+      Stall(*f);
+      if (!f->error.ok()) {
+        // Short write: part of the message escapes before the failure, so
+        // the peer sees a torn frame.
+        size_t prefix = std::min(f->allow_prefix, len);
+        while (prefix > 0) {
+          const ssize_t n = ::send(fd_, p, prefix, MSG_NOSIGNAL);
+          if (n <= 0) break;
+          p += n;
+          prefix -= static_cast<size_t>(n);
+        }
+        if (f->reset) Close();
+        return f->error;
+      }
+    }
+  }
   while (len > 0) {
     const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
     if (n < 0) {
@@ -66,6 +98,15 @@ Status Socket::WriteFull(const void* data, size_t len) {
 
 Status Socket::ReadFull(void* out, size_t len) {
   auto* p = static_cast<uint8_t*>(out);
+  if (auto injector = fault::InstalledSocketFaultInjector()) {
+    if (auto f = injector->OnRead(len)) {
+      Stall(*f);
+      if (!f->error.ok()) {
+        if (f->reset) Close();
+        return f->error;
+      }
+    }
+  }
   while (len > 0) {
     const ssize_t n = ::recv(fd_, p, len, 0);
     if (n < 0) {

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <system_error>
 
+#include "fault/fault.h"
+
 namespace dstore {
 
 namespace {
@@ -32,6 +34,9 @@ std::filesystem::path FileStore::PathFor(const std::string& key) const {
 
 Status FileStore::Put(const std::string& key, ValuePtr value) {
   if (value == nullptr) return Status::InvalidArgument("null value");
+  if (fault::CrashPointFires("file.put.before_write")) {
+    return fault::CrashedStatus("file.put.before_write");
+  }
   std::filesystem::path temp_path;
   {
     std::lock_guard<std::mutex> lock(temp_mu_);
@@ -42,8 +47,12 @@ Status FileStore::Put(const std::string& key, ValuePtr value) {
   const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError("open temp: " + Errno());
 
+  // A torn write crashes with only half the payload in the temp file —
+  // which stays behind as litter, exactly as after a real crash. The
+  // published entry is untouched because the rename never happens.
+  const bool torn = fault::CrashPointFires("file.put.torn_write");
   const uint8_t* p = value->data();
-  size_t remaining = value->size();
+  size_t remaining = torn ? value->size() / 2 : value->size();
   while (remaining > 0) {
     const ssize_t n = ::write(fd, p, remaining);
     if (n < 0) {
@@ -55,6 +64,10 @@ Status FileStore::Put(const std::string& key, ValuePtr value) {
     p += n;
     remaining -= static_cast<size_t>(n);
   }
+  if (torn) {
+    ::close(fd);
+    return fault::CrashedStatus("file.put.torn_write");
+  }
   if (options_.sync_writes && ::fsync(fd) != 0) {
     ::close(fd);
     ::unlink(temp_path.c_str());
@@ -64,9 +77,19 @@ Status FileStore::Put(const std::string& key, ValuePtr value) {
     ::unlink(temp_path.c_str());
     return Status::IOError("close: " + Errno());
   }
+  if (fault::CrashPointFires("file.put.before_rename")) {
+    // Crash after the temp file is durable but before publication: the old
+    // value must still be visible, the temp file is litter.
+    return fault::CrashedStatus("file.put.before_rename");
+  }
   if (::rename(temp_path.c_str(), PathFor(key).c_str()) != 0) {
     ::unlink(temp_path.c_str());
     return Status::IOError("rename: " + Errno());
+  }
+  if (fault::CrashPointFires("file.put.after_rename")) {
+    // Crash after publication: the new value is durable even though the
+    // caller never saw an acknowledgement.
+    return fault::CrashedStatus("file.put.after_rename");
   }
   return Status::OK();
 }

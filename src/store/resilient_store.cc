@@ -76,62 +76,4 @@ RetryingStore::RetryStats RetryingStore::GetRetryStats() const {
   return stats_;
 }
 
-// --- FlakyStore ---
-
-bool FlakyStore::ShouldFail() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (rng_.Bernoulli(options_.failure_probability)) {
-    ++injected_;
-    return true;
-  }
-  return false;
-}
-
-uint64_t FlakyStore::injected_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return injected_;
-}
-
-Status FlakyStore::Put(const std::string& key, ValuePtr value) {
-  if (!options_.fail_after_apply && ShouldFail()) {
-    return Status::Unavailable("injected failure (before apply)");
-  }
-  const Status status = inner_->Put(key, std::move(value));
-  if (options_.fail_after_apply && ShouldFail()) {
-    return Status::Unavailable("injected failure (after apply)");
-  }
-  return status;
-}
-
-StatusOr<ValuePtr> FlakyStore::Get(const std::string& key) {
-  if (ShouldFail()) return Status::Unavailable("injected failure");
-  return inner_->Get(key);
-}
-
-Status FlakyStore::Delete(const std::string& key) {
-  if (!options_.fail_after_apply && ShouldFail()) {
-    return Status::Unavailable("injected failure (before apply)");
-  }
-  const Status status = inner_->Delete(key);
-  if (options_.fail_after_apply && ShouldFail()) {
-    return Status::Unavailable("injected failure (after apply)");
-  }
-  return status;
-}
-
-StatusOr<bool> FlakyStore::Contains(const std::string& key) {
-  if (ShouldFail()) return Status::Unavailable("injected failure");
-  return inner_->Contains(key);
-}
-
-StatusOr<std::vector<std::string>> FlakyStore::ListKeys() {
-  if (ShouldFail()) return Status::Unavailable("injected failure");
-  return inner_->ListKeys();
-}
-
-StatusOr<size_t> FlakyStore::Count() {
-  if (ShouldFail()) return Status::Unavailable("injected failure");
-  return inner_->Count();
-}
-
 }  // namespace dstore

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "fault/fault_store.h"
 #include "obs/metrics.h"
 #include "store/key_value.h"
 
@@ -82,11 +83,16 @@ class RetryingStore : public KeyValueStore {
   obs::Counter* obs_backoff_nanos_;
 };
 
-// FlakyStore: fault injection for tests and chaos benchmarks. Fails a
+// FlakyStore: back-compat alias over fault/fault_store.h. Fails a
 // configurable fraction of operations with a transient error, either before
 // the inner operation runs (clean failure) or after (the ugly case: the
-// write happened but the client saw an error).
-class FlakyStore : public KeyValueStore {
+// write happened but the client saw an error). New code should build a
+// FaultPlan and use FaultInjectingStore directly — it adds scheduled faults,
+// latency spikes, payload corruption, and a replayable trace; this wrapper
+// only preserves the historical single-probability interface (Clear is never
+// injected, matching the original). The injection counter now lives in the
+// plan and is atomic, so concurrent operations no longer race on it.
+class FlakyStore : public FaultInjectingStore {
  public:
   struct Options {
     double failure_probability = 0.1;
@@ -97,27 +103,23 @@ class FlakyStore : public KeyValueStore {
   };
 
   FlakyStore(std::shared_ptr<KeyValueStore> inner, const Options& options)
-      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+      : FaultInjectingStore(std::move(inner), MakePlan(options)) {}
 
-  Status Put(const std::string& key, ValuePtr value) override;
-  StatusOr<ValuePtr> Get(const std::string& key) override;
-  Status Delete(const std::string& key) override;
-  StatusOr<bool> Contains(const std::string& key) override;
-  StatusOr<std::vector<std::string>> ListKeys() override;
-  StatusOr<size_t> Count() override;
-  Status Clear() override { return inner_->Clear(); }
-  std::string Name() const override { return inner_->Name() + "+flaky"; }
-
-  uint64_t injected_failures() const;
+  std::string Name() const override { return inner()->Name() + "+flaky"; }
 
  private:
-  bool ShouldFail();
-
-  std::shared_ptr<KeyValueStore> inner_;
-  Options options_;
-  mutable std::mutex mu_;
-  Random rng_;
-  uint64_t injected_ = 0;
+  static std::shared_ptr<fault::FaultPlan> MakePlan(const Options& options) {
+    auto plan = std::make_shared<fault::FaultPlan>(options.seed);
+    fault::FaultRule rule;
+    rule.op =
+        "put,get,delete,contains,listkeys,count,getifchanged,multiget,"
+        "multiput";
+    rule.probability = options.failure_probability;
+    rule.kind = options.fail_after_apply ? fault::FaultKind::kErrorAfterApply
+                                         : fault::FaultKind::kError;
+    plan->AddRule(rule);
+    return plan;
+  }
 };
 
 }  // namespace dstore

@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "compress/crc32.h"
+#include "fault/fault.h"
 #include "store/sql/parser.h"
 
 namespace dstore::sql {
@@ -315,6 +316,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& path,
   }
   const off_t size = ::lseek(db->wal_fd_, 0, SEEK_END);
   db->wal_bytes_ = size < 0 ? 0 : static_cast<size_t>(size);
+  db->wal_synced_bytes_ = db->wal_bytes_;
   return db;
 }
 
@@ -346,10 +348,17 @@ StatusOr<ResultSet> Database::ExecuteLocked(const Statement& statement,
     }
     case Statement::Kind::kCommit: {
       if (!in_txn_) return Status::InvalidArgument("no open transaction");
-      for (const std::string& sql : txn_wal_buffer_) {
-        DSTORE_RETURN_IF_ERROR(AppendWal(sql));
+      if (!replaying_ && !txn_wal_buffer_.empty()) {
+        // Bracket the statements with BEGIN/COMMIT marker records so a
+        // crash mid-commit leaves a recognisably incomplete group that
+        // ReplayWal rolls back atomically instead of applying a prefix.
+        DSTORE_RETURN_IF_ERROR(AppendWal("BEGIN"));
+        for (const std::string& sql : txn_wal_buffer_) {
+          DSTORE_RETURN_IF_ERROR(AppendWal(sql));
+        }
+        DSTORE_RETURN_IF_ERROR(AppendWal("COMMIT"));
+        DSTORE_RETURN_IF_ERROR(FlushWal(options_.sync_commits));
       }
-      DSTORE_RETURN_IF_ERROR(FlushWal(options_.sync_commits));
       in_txn_ = false;
       txn_undo_.clear();
       txn_wal_buffer_.clear();
@@ -800,12 +809,19 @@ StatusOr<ResultSet> Database::ExecDelete(const DeleteStatement& stmt) {
 
 Status Database::AppendWal(std::string_view sql) {
   if (wal_fd_ < 0) return Status::Internal("WAL not open");
+  if (fault::CrashPointFires("sql.wal.before_append")) {
+    return fault::CrashedStatus("sql.wal.before_append");
+  }
   Bytes record;
   PutFixed32(&record, static_cast<uint32_t>(sql.size()));
   PutFixed32(&record, Crc32(sql.data(), sql.size()));
   record.insert(record.end(), sql.begin(), sql.end());
+  // A torn append crashes after writing only the first half of the record,
+  // leaving the kind of partial tail ReplayWal must cope with.
+  const bool torn = fault::CrashPointFires("sql.wal.torn_append");
   const uint8_t* p = record.data();
-  size_t remaining = record.size();
+  size_t remaining = torn ? record.size() / 2 : record.size();
+  const size_t written = remaining;
   while (remaining > 0) {
     const ssize_t n = ::write(wal_fd_, p, remaining);
     if (n < 0) {
@@ -815,14 +831,26 @@ Status Database::AppendWal(std::string_view sql) {
     p += n;
     remaining -= static_cast<size_t>(n);
   }
-  wal_bytes_ += record.size();
+  wal_bytes_ += written;
+  if (torn) return fault::CrashedStatus("sql.wal.torn_append");
   return Status::OK();
 }
 
 Status Database::FlushWal(bool sync) {
   if (wal_fd_ < 0) return Status::OK();
+  if (fault::CrashPointFires("sql.wal.before_fsync")) {
+    // A crash before fsync loses whatever still sat in the page cache.
+    // Truncate back to the synced watermark to model that loss.
+    ::ftruncate(wal_fd_, static_cast<off_t>(wal_synced_bytes_));
+    wal_bytes_ = wal_synced_bytes_;
+    return fault::CrashedStatus("sql.wal.before_fsync");
+  }
   if (sync && ::fsync(wal_fd_) != 0) {
     return Status::IOError("WAL fsync: " + Errno());
+  }
+  wal_synced_bytes_ = wal_bytes_;
+  if (fault::CrashPointFires("sql.wal.after_fsync")) {
+    return fault::CrashedStatus("sql.wal.after_fsync");
   }
   return Status::OK();
 }
@@ -850,6 +878,9 @@ Status Database::ReplayWal() {
 
   replaying_ = true;
   size_t pos = 0;
+  // End of the last record that left the log outside a BEGIN..COMMIT group;
+  // everything past it (torn tails, dangling transactions) is discarded.
+  size_t committed_pos = 0;
   while (pos + 8 <= content.size()) {
     const uint32_t len = DecodeFixed32(content.data() + pos);
     const uint32_t crc = DecodeFixed32(content.data() + pos + 4);
@@ -867,8 +898,26 @@ Status Database::ReplayWal() {
       break;
     }
     pos += 8 + len;
+    if (!in_txn_) committed_pos = pos;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_txn_) {
+      // The log ends inside a BEGIN..COMMIT group (torn commit). Undo the
+      // partial transaction atomically through the normal rollback path.
+      auto rollback = ParseStatement("ROLLBACK");
+      if (rollback.ok()) ExecuteLocked(*rollback, "").ok();
+    }
   }
   replaying_ = false;
+  // Trim everything the replay rejected so future appends land after a
+  // valid record, not after garbage that would mask them on the next
+  // replay. Runs before the append fd opens (see Open).
+  if (committed_pos < content.size()) {
+    if (::truncate(wal_path.c_str(), static_cast<off_t>(committed_pos)) != 0) {
+      return Status::IOError("truncate WAL tail: " + Errno());
+    }
+  }
   return Status::OK();
 }
 
@@ -1005,6 +1054,7 @@ Status Database::WriteSnapshotLocked() {
       return Status::IOError("truncate WAL: " + Errno());
     }
     wal_bytes_ = 0;
+    wal_synced_bytes_ = 0;
   }
   return Status::OK();
 }

@@ -118,6 +118,10 @@ class Database {
   std::string path_;  // empty = in-memory only
   int wal_fd_ = -1;
   size_t wal_bytes_ = 0;
+  // WAL bytes known to have reached disk (watermark advanced after each
+  // successful fsync). The sql.wal.before_fsync crash point truncates back
+  // to this mark, modelling the loss of unsynced page-cache data.
+  size_t wal_synced_bytes_ = 0;
 
   mutable std::mutex mu_;
   std::map<std::string, Table> tables_;

@@ -1,0 +1,210 @@
+#include "chaos_harness.h"
+
+#include <cstdlib>
+
+namespace dstore {
+namespace chaos {
+
+std::string ChaosWorkload::KeyAt(int index) const {
+  return "chaos-k" + std::to_string(index);
+}
+
+std::string ChaosWorkload::ValueFor(const std::string& key, uint64_t tag) {
+  return key + "#" + std::to_string(tag);
+}
+
+std::optional<uint64_t> ChaosWorkload::TagOf(const std::string& key,
+                                             const std::string& value) {
+  const std::string prefix = key + "#";
+  if (value.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string digits = value.substr(prefix.size());
+  if (digits.empty()) return std::nullopt;
+  char* end = nullptr;
+  const uint64_t tag = std::strtoull(digits.c_str(), &end, 10);
+  if (*end != '\0') return std::nullopt;
+  return tag;
+}
+
+Status ChaosWorkload::Violation(const std::string& what) const {
+  return Status::Internal("chaos invariant violated (seed=" +
+                          std::to_string(config_.seed) + "): " + what);
+}
+
+void ChaosWorkload::Digest(std::string_view piece) {
+  for (char c : piece) {
+    digest_ ^= static_cast<uint8_t>(c);
+    digest_ *= 1099511628211ull;  // FNV-1a prime
+  }
+  digest_ ^= 0xFF;  // separator so "ab"+"c" != "a"+"bc"
+  digest_ *= 1099511628211ull;
+}
+
+uint64_t ChaosWorkload::HistoryDigest() const { return digest_; }
+
+Status ChaosWorkload::Run(KeyValueStore* store) {
+  const int total_weight = config_.put_weight + config_.get_weight +
+                           config_.delete_weight + config_.contains_weight;
+  for (int i = 0; i < config_.ops; ++i) {
+    const std::string key =
+        KeyAt(static_cast<int>(rng_.Uniform(config_.key_space)));
+    KeyModel& m = model_[key];
+    const int pick = static_cast<int>(rng_.Uniform(total_weight));
+    ++stats_.ops_issued;
+
+    if (pick < config_.put_weight) {
+      // --- Put ---
+      const uint64_t tag = next_tag_++;
+      const Status st = store->PutString(key, ValueFor(key, tag));
+      Digest("put");
+      Digest(key);
+      Digest(st.ok() ? "ok" : StatusCodeToString(st.code()));
+      if (st.ok()) {
+        ++stats_.puts_acked;
+        m.possible_tags = {tag};
+        m.possibly_absent = false;
+        m.acked_state_known = true;
+        m.acked_tag = tag;
+      } else {
+        // Uncertain: the write may or may not have landed.
+        ++stats_.op_errors;
+        m.possible_tags.insert(tag);
+        m.acked_state_known = false;
+      }
+    } else if (pick < config_.put_weight + config_.get_weight) {
+      // --- Get ---
+      const auto got = store->GetString(key);
+      Digest("get");
+      Digest(key);
+      if (got.ok()) {
+        Digest(*got);
+        ++stats_.gets_ok;
+        const std::optional<uint64_t> tag = TagOf(key, *got);
+        if (!tag.has_value()) {
+          return Violation("read of " + key + " observed bytes never written: '" +
+                           *got + "'");
+        }
+        if (m.acked_state_known) {
+          if (!m.acked_tag.has_value()) {
+            return Violation("read of " + key +
+                             " returned a value after an acknowledged delete");
+          }
+          if (*tag != *m.acked_tag) {
+            return Violation(
+                "read-your-writes broken for " + key + ": acked tag " +
+                std::to_string(*m.acked_tag) + ", read tag " +
+                std::to_string(*tag));
+          }
+        } else if (m.possible_tags.count(*tag) == 0) {
+          return Violation("read of " + key + " observed tag " +
+                           std::to_string(*tag) +
+                           " outside the possible set");
+        }
+      } else if (got.status().IsNotFound()) {
+        Digest("notfound");
+        ++stats_.gets_notfound;
+        if (m.acked_state_known && m.acked_tag.has_value()) {
+          return Violation("acknowledged write to " + key + " (tag " +
+                           std::to_string(*m.acked_tag) + ") was lost");
+        }
+        if (!m.acked_state_known && !m.possibly_absent) {
+          return Violation("key " + key + " vanished without any delete");
+        }
+      } else {
+        Digest(StatusCodeToString(got.status().code()));
+        ++stats_.op_errors;
+      }
+    } else if (pick <
+               config_.put_weight + config_.get_weight + config_.delete_weight) {
+      // --- Delete ---
+      const Status st = store->Delete(key);
+      Digest("delete");
+      Digest(key);
+      Digest(st.ok() ? "ok" : StatusCodeToString(st.code()));
+      if (st.ok()) {
+        ++stats_.deletes_acked;
+        m.possible_tags.clear();
+        m.possibly_absent = true;
+        m.acked_state_known = true;
+        m.acked_tag = std::nullopt;
+      } else {
+        ++stats_.op_errors;
+        m.possibly_absent = true;  // the delete may have landed
+        m.acked_state_known = false;
+      }
+    } else {
+      // --- Contains ---
+      const auto has = store->Contains(key);
+      Digest("contains");
+      Digest(key);
+      if (has.ok()) {
+        Digest(*has ? "true" : "false");
+        if (*has) {
+          if (m.acked_state_known && !m.acked_tag.has_value()) {
+            return Violation("contains(" + key +
+                             ") true after an acknowledged delete");
+          }
+          if (!m.acked_state_known && m.possible_tags.empty()) {
+            return Violation("contains(" + key +
+                             ") true but no write could have landed");
+          }
+        } else {
+          if (m.acked_state_known && m.acked_tag.has_value()) {
+            return Violation("contains(" + key +
+                             ") false after an acknowledged put");
+          }
+          if (!m.acked_state_known && !m.possibly_absent) {
+            return Violation("contains(" + key +
+                             ") false but the key cannot be absent");
+          }
+        }
+      } else {
+        Digest(StatusCodeToString(has.status().code()));
+        ++stats_.op_errors;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ChaosWorkload::VerifyFinalState(KeyValueStore* authoritative) {
+  for (const auto& [key, m] : model_) {
+    const auto got = authoritative->GetString(key);
+    if (got.ok()) {
+      const std::optional<uint64_t> tag = TagOf(key, *got);
+      if (!tag.has_value()) {
+        return Violation("final state of " + key +
+                         " holds bytes never written: '" + *got + "'");
+      }
+      if (m.acked_state_known) {
+        if (!m.acked_tag.has_value()) {
+          return Violation("final state: " + key +
+                           " present after an acknowledged delete");
+        }
+        if (*tag != *m.acked_tag) {
+          return Violation("final state: acknowledged write to " + key +
+                           " (tag " + std::to_string(*m.acked_tag) +
+                           ") was replaced by tag " + std::to_string(*tag));
+        }
+      } else if (m.possible_tags.count(*tag) == 0) {
+        return Violation("final state of " + key + " holds tag " +
+                         std::to_string(*tag) + " outside the possible set");
+      }
+    } else if (got.status().IsNotFound()) {
+      if (m.acked_state_known && m.acked_tag.has_value()) {
+        return Violation("final state: acknowledged write to " + key +
+                         " (tag " + std::to_string(*m.acked_tag) +
+                         ") was lost");
+      }
+      if (!m.acked_state_known && !m.possibly_absent) {
+        return Violation("final state: " + key +
+                         " absent though no delete could have landed");
+      }
+    } else {
+      return got.status();  // the authoritative store must not fail
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace chaos
+}  // namespace dstore

@@ -1,0 +1,347 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "fault/fault_store.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace fault {
+namespace {
+
+TEST(FaultRuleTest, ParsesFullRule) {
+  auto rule = FaultRule::Parse(
+      "site=store op=put,delete p=0.25 after=3 every=2 limit=5 "
+      "kind=error_after_apply error=ioerror latency_ms=1.5");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->site, "store");
+  EXPECT_EQ(rule->op, "put,delete");
+  EXPECT_DOUBLE_EQ(rule->probability, 0.25);
+  EXPECT_EQ(rule->after, 3u);
+  EXPECT_EQ(rule->every, 2u);
+  EXPECT_EQ(rule->limit, 5u);
+  EXPECT_EQ(rule->kind, FaultKind::kErrorAfterApply);
+  EXPECT_EQ(rule->error, StatusCode::kIOError);
+  EXPECT_EQ(rule->latency_nanos, 1'500'000);
+}
+
+TEST(FaultRuleTest, AtIsSugarForAfterPlusLimit) {
+  auto rule = FaultRule::Parse("site=net.write at=3");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->after, 2u);
+  EXPECT_EQ(rule->limit, 1u);
+  EXPECT_DOUBLE_EQ(rule->probability, 1.0);
+}
+
+TEST(FaultRuleTest, RejectsMalformedSpecs) {
+  EXPECT_TRUE(FaultRule::Parse("nonsense").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultRule::Parse("p=1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultRule::Parse("kind=meteor").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultRule::Parse("error=oops").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultRule::Parse("at=0").status().IsInvalidArgument());
+}
+
+TEST(FaultRuleTest, SiteMatchingSupportsPrefixWildcard) {
+  FaultRule rule;
+  rule.site = "net.*";
+  EXPECT_TRUE(rule.MatchesSite("net.write"));
+  EXPECT_TRUE(rule.MatchesSite("net.connect"));
+  EXPECT_FALSE(rule.MatchesSite("store"));
+  rule.site = "*";
+  EXPECT_TRUE(rule.MatchesSite("anything"));
+  rule.site = "store";
+  EXPECT_TRUE(rule.MatchesSite("store"));
+  EXPECT_FALSE(rule.MatchesSite("store2"));
+}
+
+TEST(FaultRuleTest, OpMatchingSplitsCommaList) {
+  FaultRule rule;
+  rule.op = "put, delete";
+  EXPECT_TRUE(rule.MatchesOp("put"));
+  EXPECT_TRUE(rule.MatchesOp("delete"));
+  EXPECT_FALSE(rule.MatchesOp("get"));
+}
+
+TEST(FaultPlanTest, FromSpecSkipsCommentsAndBlanks) {
+  auto plan = FaultPlan::FromSpec(1, R"(
+    # a comment
+    site=store op=put at=1
+
+    site=net.* p=0.5
+  )");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->Evaluate("store", "put").has_value());
+}
+
+TEST(FaultPlanTest, AtFiresExactlyTheNthMatch) {
+  FaultPlan plan(7);
+  ASSERT_TRUE(FaultRule::Parse("site=s at=3").ok());
+  plan.AddRule(*FaultRule::Parse("site=s at=3"));
+  EXPECT_FALSE(plan.Evaluate("s", "put").has_value());
+  EXPECT_FALSE(plan.Evaluate("s", "put").has_value());
+  EXPECT_TRUE(plan.Evaluate("s", "put").has_value());
+  EXPECT_FALSE(plan.Evaluate("s", "put").has_value());
+  EXPECT_EQ(plan.injected_total(), 1u);
+  EXPECT_EQ(plan.ops_seen(), 4u);
+}
+
+TEST(FaultPlanTest, EveryFiresPeriodicallyAfterOffset) {
+  FaultPlan plan(7);
+  plan.AddRule(*FaultRule::Parse("site=s after=1 every=3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(plan.Evaluate("s", "op").has_value());
+  }
+  // Matches 0 is skipped (after=1); then every 3rd starting at match 1.
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, false, true, false,
+                                      false, true}));
+}
+
+TEST(FaultPlanTest, LimitStopsFiring) {
+  FaultPlan plan(7);
+  plan.AddRule(*FaultRule::Parse("site=s limit=2"));
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (plan.Evaluate("s", "op").has_value()) ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(FaultPlanTest, ProbabilityIsRoughlyHonoured) {
+  FaultPlan plan(1234);
+  plan.AddRule(*FaultRule::Parse("site=s p=0.5"));
+  int fired = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (plan.Evaluate("s", "op").has_value()) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / trials, 0.5, 0.06);
+}
+
+TEST(FaultPlanTest, FirstMatchingRuleWins) {
+  FaultPlan plan(7);
+  plan.AddRule(*FaultRule::Parse("site=s kind=latency latency_ns=10"));
+  plan.AddRule(*FaultRule::Parse("site=s kind=error"));
+  auto fault = plan.Evaluate("s", "op");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kLatency);
+  EXPECT_EQ(fault->rule_index, 0u);
+}
+
+TEST(FaultPlanTest, SameSeedSameWorkloadSameTrace) {
+  const char* spec = "site=s p=0.3\nsite=t p=0.7 kind=corrupt";
+  auto a = *FaultPlan::FromSpec(99, spec);
+  auto b = *FaultPlan::FromSpec(99, spec);
+  for (int i = 0; i < 500; ++i) {
+    const char* site = (i % 3 == 0) ? "t" : "s";
+    a->Evaluate(site, "op");
+    b->Evaluate(site, "op");
+  }
+  EXPECT_GT(a->injected_total(), 0u);
+  EXPECT_EQ(a->TraceString(), b->TraceString());
+  // A different seed produces a different schedule.
+  auto c = *FaultPlan::FromSpec(100, spec);
+  for (int i = 0; i < 500; ++i) {
+    c->Evaluate((i % 3 == 0) ? "t" : "s", "op");
+  }
+  EXPECT_NE(a->TraceString(), c->TraceString());
+}
+
+TEST(FaultPlanTest, InjectionCounterIsExported) {
+  auto* counter = obs::MetricsRegistry::Default()->GetCounter(
+      "dstore_fault_injected_total",
+      {{"site", "counter_site"}, {"kind", "error"}});
+  const uint64_t before = counter->Value();
+  FaultPlan plan(5);
+  plan.AddRule(*FaultRule::Parse("site=counter_site limit=3"));
+  for (int i = 0; i < 10; ++i) plan.Evaluate("counter_site", "op");
+  EXPECT_EQ(counter->Value() - before, 3u);
+  EXPECT_NE(obs::RenderPrometheusText().find("dstore_fault_injected_total"),
+            std::string::npos);
+}
+
+TEST(CrashPointTest, CountdownFiresOnNthHitThenDisarms) {
+  DisarmCrashPoints();
+  ArmCrashPoint("test.point", 3);
+  EXPECT_FALSE(CrashPointFires("test.point"));
+  EXPECT_FALSE(CrashPointFires("test.point"));
+  EXPECT_TRUE(CrashPointFires("test.point"));
+  // One-shot: the point disarms after firing.
+  EXPECT_FALSE(CrashPointFires("test.point"));
+}
+
+TEST(CrashPointTest, UnarmedPointsNeverFire) {
+  DisarmCrashPoints();
+  EXPECT_FALSE(CrashPointFires("never.armed"));
+}
+
+TEST(CrashPointTest, DisarmCancelsPendingPoints) {
+  ArmCrashPoint("test.cancel", 1);
+  DisarmCrashPoints();
+  EXPECT_FALSE(CrashPointFires("test.cancel"));
+}
+
+TEST(CrashPointTest, CrashStatusIsRecognisable) {
+  const Status crashed = CrashedStatus("sql.wal.before_fsync");
+  EXPECT_TRUE(crashed.IsIOError());
+  EXPECT_TRUE(IsCrashStatus(crashed));
+  EXPECT_FALSE(IsCrashStatus(Status::OK()));
+  EXPECT_FALSE(IsCrashStatus(Status::IOError("disk on fire")));
+}
+
+TEST(CrashPointTest, FiresAreCountedAndExported) {
+  DisarmCrashPoints();
+  const uint64_t before = CrashesInjected();
+  ArmCrashPoint("test.counted", 1);
+  EXPECT_TRUE(CrashPointFires("test.counted"));
+  EXPECT_EQ(CrashesInjected() - before, 1u);
+  EXPECT_NE(obs::RenderPrometheusText().find("dstore_fault_crashes_total"),
+            std::string::npos);
+}
+
+// --- FaultInjectingStore ---
+
+std::shared_ptr<FaultPlan> PlanOf(const std::string& spec) {
+  auto plan = FaultPlan::FromSpec(42, spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TEST(FaultInjectingStoreTest, ErrorKindSkipsInnerOperation) {
+  auto inner = std::make_shared<MemoryStore>();
+  FaultInjectingStore store(inner, PlanOf("site=store op=put at=1"));
+  EXPECT_TRUE(store.PutString("k", "v").IsUnavailable());
+  EXPECT_TRUE(inner->Get("k").status().IsNotFound());  // never applied
+  // The rule is exhausted (limit=1): the next put goes through.
+  ASSERT_TRUE(store.PutString("k", "v2").ok());
+  EXPECT_EQ(*inner->GetString("k"), "v2");
+}
+
+TEST(FaultInjectingStoreTest, ErrorAfterApplyLandsTheWrite) {
+  auto inner = std::make_shared<MemoryStore>();
+  FaultInjectingStore store(
+      inner, PlanOf("site=store op=put at=1 kind=error_after_apply"));
+  EXPECT_FALSE(store.PutString("k", "v").ok());
+  EXPECT_EQ(*inner->GetString("k"), "v");  // acknowledged-lost
+}
+
+TEST(FaultInjectingStoreTest, LatencyStallsOnClockThenProceeds) {
+  SimulatedClock clock;
+  auto inner = std::make_shared<MemoryStore>();
+  FaultInjectingStore store(
+      inner, PlanOf("site=store op=get kind=latency latency_ns=5000"),
+      "store", &clock);
+  ASSERT_TRUE(store.PutString("k", "v").ok());
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(clock.NowNanos(), 5000);
+}
+
+TEST(FaultInjectingStoreTest, CorruptFlipsOneByteOfGet) {
+  auto inner = std::make_shared<MemoryStore>();
+  inner->PutString("k", "hello").ok();
+  FaultInjectingStore store(inner,
+                            PlanOf("site=store op=get at=1 kind=corrupt"));
+  auto got = store.GetString("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(*got, "hello");
+  EXPECT_EQ(got->size(), 5u);
+  // Exactly one byte differs.
+  int diffs = 0;
+  for (size_t i = 0; i < got->size(); ++i) {
+    if ((*got)[i] != "hello"[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+  // The stored value itself is untouched.
+  EXPECT_EQ(*inner->GetString("k"), "hello");
+}
+
+TEST(FaultInjectingStoreTest, MultiGetErrorFailsEveryKey) {
+  auto inner = std::make_shared<MemoryStore>();
+  inner->PutString("a", "1").ok();
+  inner->PutString("b", "2").ok();
+  FaultInjectingStore store(inner, PlanOf("site=store op=multiget at=1"));
+  auto results = store.MultiGet({"a", "b"});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status().IsUnavailable());
+  EXPECT_TRUE(results[1].status().IsUnavailable());
+}
+
+TEST(FaultInjectingStoreTest, EmptyPlanIsTransparent) {
+  auto inner = std::make_shared<MemoryStore>();
+  FaultInjectingStore store(inner, std::make_shared<FaultPlan>(1));
+  ASSERT_TRUE(store.PutString("k", "v").ok());
+  EXPECT_EQ(*store.GetString("k"), "v");
+  EXPECT_EQ(*store.Count(), 1u);
+  EXPECT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(store.injected_failures(), 0u);
+  EXPECT_EQ(store.Name(), "memory+fault");
+}
+
+TEST(FaultInjectingStoreTest, SiteFilterDistinguishesLayers) {
+  auto inner = std::make_shared<MemoryStore>();
+  auto plan = PlanOf("site=net.* p=1.0");  // only network sites fail
+  FaultInjectingStore store(inner, plan);   // site defaults to "store"
+  ASSERT_TRUE(store.PutString("k", "v").ok());
+  EXPECT_EQ(plan->injected_total(), 0u);
+}
+
+// --- PlanSocketFaultInjector kind translation ---
+
+TEST(PlanSocketFaultInjectorTest, ConnectErrorDoesNotReset) {
+  PlanSocketFaultInjector injector(PlanOf("site=net.connect at=1"));
+  auto fault = injector.OnConnect("localhost", 1234);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_FALSE(fault->error.ok());
+  EXPECT_FALSE(fault->reset);
+}
+
+TEST(PlanSocketFaultInjectorTest, WriteErrorResetsConnection) {
+  PlanSocketFaultInjector injector(PlanOf("site=net.write at=1"));
+  auto fault = injector.OnWrite(100);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_FALSE(fault->error.ok());
+  EXPECT_TRUE(fault->reset);
+}
+
+TEST(PlanSocketFaultInjectorTest, CorruptWriteIsShortWrite) {
+  PlanSocketFaultInjector injector(PlanOf("site=net.write at=1 kind=corrupt"));
+  auto fault = injector.OnWrite(100);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_FALSE(fault->error.ok());
+  EXPECT_EQ(fault->allow_prefix, 50u);
+}
+
+TEST(PlanSocketFaultInjectorTest, LatencyStallsWithoutError) {
+  PlanSocketFaultInjector injector(
+      PlanOf("site=net.read at=1 kind=latency latency_ns=7"));
+  auto fault = injector.OnRead(10);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_TRUE(fault->error.ok());
+  EXPECT_EQ(fault->stall_nanos, 7);
+}
+
+TEST(PlanSocketFaultInjectorTest, QuietPlanInjectsNothing) {
+  PlanSocketFaultInjector injector(std::make_shared<FaultPlan>(1));
+  EXPECT_FALSE(injector.OnConnect("h", 1).has_value());
+  EXPECT_FALSE(injector.OnWrite(10).has_value());
+  EXPECT_FALSE(injector.OnRead(10).has_value());
+  EXPECT_FALSE(injector.OnAccept().has_value());
+}
+
+TEST(SocketFaultInjectorTest, InstallAndScopedRemove) {
+  EXPECT_EQ(InstalledSocketFaultInjector(), nullptr);
+  {
+    ScopedSocketFaultInjector scoped(
+        std::make_shared<PlanSocketFaultInjector>(
+            std::make_shared<FaultPlan>(1)));
+    EXPECT_NE(InstalledSocketFaultInjector(), nullptr);
+  }
+  EXPECT_EQ(InstalledSocketFaultInjector(), nullptr);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace dstore

@@ -11,6 +11,7 @@
 
 #include "cache/lru_cache.h"
 #include "common/random.h"
+#include "fault/fault_store.h"
 #include "net/latency_model.h"
 #include "store/cloud_client.h"
 #include "store/cloud_server.h"
@@ -77,6 +78,21 @@ StoreFixture MakeRemoteCacheFixture() {
   auto shared_server = std::shared_ptr<RemoteCacheServer>(std::move(*server));
   return {std::make_unique<RemoteCacheStore>(*conn),
           [shared_server] { shared_server->Stop(); }};
+}
+
+// Wraps a base fixture's store in a FaultInjectingStore carrying a
+// probability-0 rule. The decorator must be behaviour-identical to the bare
+// store when no fault fires, so the whole suite runs again over each
+// wrapped variant.
+template <FixtureFactory kBase>
+StoreFixture MakeFaultWrappedFixture() {
+  StoreFixture base = kBase();
+  auto plan = std::make_shared<fault::FaultPlan>(1);
+  plan->AddRule(*fault::FaultRule::Parse("site=store p=0.0"));
+  return {std::make_unique<FaultInjectingStore>(
+              std::shared_ptr<KeyValueStore>(std::move(base.store)),
+              std::move(plan)),
+          base.teardown};
 }
 
 struct Param {
@@ -260,11 +276,20 @@ TEST_P(KvConformanceTest, GetIfChangedRevalidates) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllStores, KvConformanceTest,
-    ::testing::Values(Param{"memory", &MakeMemoryFixture, true},
-                      Param{"file", &MakeFileFixture, true},
-                      Param{"sql", &MakeSqlFixture, true},
-                      Param{"cloud", &MakeCloudFixture, true},
-                      Param{"rediscache", &MakeRemoteCacheFixture, true}),
+    ::testing::Values(
+        Param{"memory", &MakeMemoryFixture, true},
+        Param{"file", &MakeFileFixture, true},
+        Param{"sql", &MakeSqlFixture, true},
+        Param{"cloud", &MakeCloudFixture, true},
+        Param{"rediscache", &MakeRemoteCacheFixture, true},
+        Param{"memory_fault0", &MakeFaultWrappedFixture<&MakeMemoryFixture>,
+              true},
+        Param{"file_fault0", &MakeFaultWrappedFixture<&MakeFileFixture>, true},
+        Param{"sql_fault0", &MakeFaultWrappedFixture<&MakeSqlFixture>, true},
+        Param{"cloud_fault0", &MakeFaultWrappedFixture<&MakeCloudFixture>,
+              true},
+        Param{"rediscache_fault0",
+              &MakeFaultWrappedFixture<&MakeRemoteCacheFixture>, true}),
     [](const ::testing::TestParamInfo<Param>& info) {
       return info.param.name;
     });
