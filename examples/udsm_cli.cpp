@@ -6,7 +6,8 @@
 //     | ./udsm_cli
 //
 // Commands:
-//   open NAME TYPE [PATH]   register a store (TYPE: memory | file | sql)
+//   open NAME TYPE [PATH]   register a store (TYPE: memory | file | sql |
+//                           shard [N] — N memory-backed shards, default 3)
 //   use NAME                select the current store
 //   stores                  list registered stores
 //   put KEY VALUE...        store a value (VALUE may contain spaces)
@@ -20,6 +21,9 @@
 //   monitor                 print the performance monitor report
 //   stats                   dump process metrics in Prometheus text format
 //   trace KEY               run a force-sampled get and print its span tree
+//   topology                ring ownership + per-shard key counts (shard store)
+//   addshard NAME           grow a shard store online (memory-backed shard)
+//   rmshard NAME            shrink a shard store online
 //   help                    this text
 //   quit                    exit
 
@@ -30,6 +34,7 @@
 
 #include "obs/exposition.h"
 #include "obs/trace.h"
+#include "shard/sharded_store.h"
 #include "store/file_store.h"
 #include "store/memory_store.h"
 #include "store/sql_client.h"
@@ -43,7 +48,8 @@ namespace {
 constexpr char kHelp[] =
     "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
     "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
-    "          stats | trace K | help | quit\n";
+    "          stats | trace K | topology | addshard NAME | rmshard NAME |\n"
+    "          help | quit\n";
 
 struct Shell {
   Udsm udsm;
@@ -97,8 +103,21 @@ struct Shell {
               name, std::shared_ptr<KeyValueStore>(*std::move(client)));
         }
       }
+    } else if (type == "shard") {
+      int count = path.empty() ? 3 : std::atoi(path.c_str());
+      if (count < 1) count = 1;
+      ShardedStore::ShardList shards;
+      for (int i = 0; i < count; ++i) {
+        shards.emplace_back("s" + std::to_string(i),
+                            std::make_shared<MemoryStore>());
+      }
+      ShardedStore::Options options;
+      options.name = name;
+      status = udsm.RegisterStore(
+          name, std::make_shared<ShardedStore>(std::move(shards), options));
     } else {
-      std::printf("unknown store type '%s' (memory|file|sql)\n", type.c_str());
+      std::printf("unknown store type '%s' (memory|file|sql|shard)\n",
+                  type.c_str());
       return;
     }
     if (status.ok()) {
@@ -217,6 +236,39 @@ struct Shell {
         std::printf("ok (%llu rows affected)\n",
                     static_cast<unsigned long long>(result->rows_affected));
       }
+    } else if (command == "topology") {
+      ShardedStore* sharded = udsm.GetNative<ShardedStore>(current);
+      if (sharded == nullptr) {
+        std::printf("error: '%s' is not a shard store\n", current.c_str());
+        return;
+      }
+      std::fputs(sharded->DescribeTopology().c_str(), stdout);
+    } else if (command == "addshard" || command == "rmshard") {
+      std::string shard_name;
+      args >> shard_name;
+      ShardedStore* sharded = udsm.GetNative<ShardedStore>(current);
+      if (sharded == nullptr) {
+        std::printf("error: '%s' is not a shard store\n", current.c_str());
+        return;
+      }
+      if (shard_name.empty()) {
+        std::printf("usage: %s NAME\n", command.c_str());
+        return;
+      }
+      const Status status =
+          command == "addshard"
+              ? sharded->AddShard(shard_name, std::make_shared<MemoryStore>())
+              : sharded->RemoveShard(shard_name);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
+      sharded->WaitForRebalance();  // keep the CLI's output deterministic
+      std::printf("%s %s (%zu shards, %llu keys migrated)\n",
+                  command == "addshard" ? "added" : "removed",
+                  shard_name.c_str(), sharded->shard_count(),
+                  static_cast<unsigned long long>(
+                      sharded->keys_migrated_total()));
     } else if (command == "monitor") {
       std::fputs(udsm.monitor()->Report().c_str(), stdout);
     } else if (command == "stats") {

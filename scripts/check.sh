@@ -5,6 +5,7 @@
 #
 #   scripts/check.sh [extra ctest args...]   # full suite, both builds
 #   scripts/check.sh chaos                   # chaos-labelled suites only
+#   scripts/check.sh shard                   # sharding suites only
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
 # docs/testing.md) in both builds over the DSTORE_CHAOS_SEEDS matrix
@@ -31,6 +32,13 @@ if [[ "${1:-}" == "chaos" ]]; then
   export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
   echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
   CTEST_ARGS=(-L chaos "$@")
+elif [[ "${1:-}" == "shard" ]]; then
+  # The ring/conformance/determinism units plus the shard chaos soak
+  # (tests labelled "shard"), in Release and TSan.
+  shift
+  export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
+  echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
+  CTEST_ARGS=(-L shard "$@")
 else
   CTEST_ARGS=("$@")
 fi

@@ -26,7 +26,7 @@ void ThreadedServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Force-unblock handlers still waiting on their connections.
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const auto& [id, fd] : active_conns_) ::shutdown(fd, SHUT_RDWR);
     to_join.swap(connection_threads_);
   }
   for (auto& t : to_join) {
@@ -56,14 +56,15 @@ void ThreadedServer::AcceptLoop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_.load()) return;  // raced with Stop(); drop the connection
     if (connections_total_ != nullptr) connections_total_->Increment();
-    active_fds_.insert(fd);
+    const uint64_t conn_id = next_conn_id_++;
+    active_conns_.emplace(conn_id, fd);
     connection_threads_.emplace_back(
-        [this, fd, socket = std::move(*client)]() mutable {
+        [this, conn_id, socket = std::move(*client)]() mutable {
           if (active_connections_ != nullptr) active_connections_->Increment();
           handler_(std::move(socket));
           if (active_connections_ != nullptr) active_connections_->Decrement();
           std::lock_guard<std::mutex> lock(mu_);
-          active_fds_.erase(fd);
+          active_conns_.erase(conn_id);
         });
   }
 }

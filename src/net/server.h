@@ -2,10 +2,11 @@
 #define DSTORE_NET_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <thread>
 #include <vector>
 
@@ -66,9 +67,17 @@ class ThreadedServer {
   ServerSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  std::mutex mu_;  // guards connection_threads_ and active_fds_
+  std::mutex mu_;  // guards connection_threads_ and active_conns_
   std::vector<std::thread> connection_threads_;
-  std::set<int> active_fds_;
+  // Live connections by a per-connection id, NOT by fd: a handler closes
+  // its socket before it can deregister, so the kernel may hand the same
+  // fd number to a newly accepted connection first. Erasing by fd would
+  // then drop the new connection from this map and Stop() could never
+  // shutdown() it — leaving Stop() joined forever on a handler blocked in
+  // recv. Ids make deregistration self-identifying; a stale entry whose fd
+  // was reused at worst gets one extra harmless shutdown().
+  uint64_t next_conn_id_ = 0;
+  std::map<uint64_t, int> active_conns_;
 };
 
 }  // namespace dstore

@@ -1,0 +1,79 @@
+#ifndef DSTORE_SHARD_RING_H_
+#define DSTORE_SHARD_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dstore {
+namespace shard {
+
+// Consistent-hash ring with virtual nodes. Each shard contributes
+// `vnodes_per_shard` points on a 2^64 ring; a key belongs to the shard
+// owning the first point at or clockwise of the key's hash. Placement is a
+// pure function of (seed, shard name, vnode index), so the same topology is
+// reproducible across processes and test runs, and adding or removing one
+// shard moves only the keys whose owning arc changed (~1/N of the space).
+//
+// The ring is a value type: ShardedStore snapshots it for the migrator and
+// compares old/new ownership per key. Not thread-safe; callers synchronize.
+class HashRing {
+ public:
+  struct Options {
+    size_t vnodes_per_shard = 64;
+    uint64_t seed = 1;
+  };
+
+  HashRing() : HashRing(Options()) {}
+  explicit HashRing(const Options& options) : options_(options) {}
+
+  // Returns false (and changes nothing) if the shard is already/not present.
+  bool AddShard(const std::string& name);
+  bool RemoveShard(const std::string& name);
+  bool HasShard(const std::string& name) const {
+    return shards_.count(name) != 0;
+  }
+
+  // A key's position on the ring (FNV-1a pushed through Mix64).
+  static uint64_t KeyPoint(std::string_view key);
+
+  // Owning shard for a key, or nullptr on an empty ring. The pointer is
+  // valid until the ring is next mutated.
+  const std::string* OwnerOf(std::string_view key) const {
+    return OwnerOfPoint(KeyPoint(key));
+  }
+  const std::string* OwnerOfPoint(uint64_t point) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t vnode_count() const { return points_.size(); }
+  std::vector<std::string> Shards() const {  // sorted
+    return std::vector<std::string>(shards_.begin(), shards_.end());
+  }
+
+  // Fraction of the hash space each shard owns (sums to 1 when non-empty).
+  std::map<std::string, double> OwnershipFractions() const;
+
+  // Deterministic multi-line summary: one "shard NAME vnodes=V own=F" line
+  // per shard in name order. Equal strings mean identical placements.
+  std::string Describe() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  uint64_t VnodePoint(const std::string& name, size_t index) const;
+
+  Options options_;
+  std::set<std::string> shards_;
+  // (point, shard name), sorted; ties broken by name so iteration order —
+  // and therefore ownership — is deterministic even across collisions.
+  std::vector<std::pair<uint64_t, std::string>> points_;
+};
+
+}  // namespace shard
+}  // namespace dstore
+
+#endif  // DSTORE_SHARD_RING_H_

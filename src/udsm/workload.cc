@@ -1,5 +1,6 @@
 #include "udsm/workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -266,6 +267,29 @@ Status WorkloadGenerator::WriteTable(
   }
   return out.good() ? Status::OK()
                     : Status::IOError("write failed: " + path);
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double s, uint64_t seed)
+    : n_(std::max<uint64_t>(n, 1)),
+      s_(std::clamp(s, 0.0, 0.999)),  // the transform needs s < 1
+      rng_(seed) {
+  if (s_ <= 0) return;  // uniform; no zeta needed
+  for (uint64_t i = 1; i <= n_; ++i) zetan_ += 1.0 / std::pow(i, s_);
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, s_);
+  alpha_ = 1.0 / (1.0 - s_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - s_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  if (s_ <= 0) return rng_.Uniform(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, s_)) return 1;
+  const auto rank = static_cast<uint64_t>(
+      n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
 }
 
 }  // namespace dstore

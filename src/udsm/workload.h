@@ -115,6 +115,37 @@ class WorkloadGenerator {
   Bytes file_data_;
 };
 
+// Seeded Zipfian rank generator over [0, n): rank 0 is the hottest key and
+// popularity falls off as 1/rank^s. With s=0 the draw is uniform; YCSB's
+// default skew is s=0.99, where a handful of keys absorb most of the
+// traffic. The shard bench uses this to make hot-shard imbalance — the
+// failure mode consistent hashing alone does not fix — actually measurable,
+// and any workload can plug NextKey() in as a key source.
+//
+// Uses the Gray et al. rejection-free transform YCSB popularized: O(n) zeta
+// precompute at construction, O(1) per draw, fully determined by the seed.
+class ZipfianGenerator {
+ public:
+  // Requires n >= 1 and s in [0, 1); s is clamped just below 1.
+  ZipfianGenerator(uint64_t n, double s, uint64_t seed);
+
+  uint64_t Next();  // a rank in [0, n)
+  std::string NextKey(const std::string& prefix) {
+    return prefix + std::to_string(Next());
+  }
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  Random rng_;
+  double zetan_ = 0;  // generalized harmonic number H_{n,s}
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
 }  // namespace dstore
 
 #endif  // DSTORE_UDSM_WORKLOAD_H_

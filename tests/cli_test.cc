@@ -137,5 +137,42 @@ TEST(CliTest, ErrorsAreReportedNotFatal) {
   EXPECT_NE(out.find("NotFound"), std::string::npos);  // still functional
 }
 
+TEST(CliTest, ShardTopologyWorkflow) {
+  std::string script = "open s shard 3\n";
+  for (int i = 0; i < 16; ++i) {
+    script += "put user:" + std::to_string(i) + " v" + std::to_string(i) + "\n";
+  }
+  script +=
+      "topology\n"
+      "addshard extra\n"
+      "topology\n"
+      "count\n"
+      "rmshard extra\n"
+      "count\n"
+      "topology\n"
+      "quit\n";
+  const std::string out = RunCli(script);
+  EXPECT_NE(out.find("opened s (shard)"), std::string::npos);
+  EXPECT_NE(out.find("shards=3"), std::string::npos);
+  EXPECT_NE(out.find("shard s0 own="), std::string::npos);
+  EXPECT_NE(out.find("shard s2 own="), std::string::npos);
+  // The resize completed (the CLI waits for the migrator), the new shard
+  // shows up in the topology, and no keys were lost either way.
+  EXPECT_NE(out.find("added extra (4 shards,"), std::string::npos);
+  EXPECT_NE(out.find("shard extra own="), std::string::npos);
+  EXPECT_NE(out.find("removed extra (3 shards,"), std::string::npos);
+  EXPECT_NE(out.find("\n16\n"), std::string::npos);
+  // After the remove, "extra" must be gone from the topology again.
+  EXPECT_EQ(out.rfind("shard extra"), out.find("shard extra"));
+}
+
+TEST(CliTest, ShardRejectsTopologyOnNonShardStore) {
+  const std::string out = RunCli(
+      "open m memory\n"
+      "topology\n"
+      "quit\n");
+  EXPECT_NE(out.find("not a shard store"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dstore

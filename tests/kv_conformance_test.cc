@@ -17,8 +17,10 @@
 #include "store/cloud_server.h"
 #include "store/file_store.h"
 #include "store/key_value.h"
+#include "shard/sharded_store.h"
 #include "store/memory_store.h"
 #include "store/remote_cache.h"
+#include "udsm/mirrored_store.h"
 #include "store/sql_client.h"
 #include "store/sql_server.h"
 
@@ -93,6 +95,30 @@ StoreFixture MakeFaultWrappedFixture() {
               std::shared_ptr<KeyValueStore>(std::move(base.store)),
               std::move(plan)),
           base.teardown};
+}
+
+// ShardedStore over k memory shards must satisfy the same contract as any
+// single store — routing and scatter-gather are invisible to clients.
+template <int kShards>
+StoreFixture MakeShardedMemoryFixture() {
+  ShardedStore::ShardList shards;
+  for (int i = 0; i < kShards; ++i) {
+    shards.emplace_back("m" + std::to_string(i),
+                        std::make_shared<MemoryStore>());
+  }
+  return {std::make_unique<ShardedStore>(std::move(shards)), [] {}};
+}
+
+// Composition check: each shard is itself a MirroredStore replica group.
+StoreFixture MakeShardedMirroredFixture() {
+  ShardedStore::ShardList shards;
+  for (int i = 0; i < 2; ++i) {
+    std::vector<std::shared_ptr<KeyValueStore>> replicas = {
+        std::make_shared<MemoryStore>(), std::make_shared<MemoryStore>()};
+    shards.emplace_back("mir" + std::to_string(i),
+                        std::make_shared<MirroredStore>(std::move(replicas)));
+  }
+  return {std::make_unique<ShardedStore>(std::move(shards)), [] {}};
 }
 
 struct Param {
@@ -289,7 +315,13 @@ INSTANTIATE_TEST_SUITE_P(
         Param{"cloud_fault0", &MakeFaultWrappedFixture<&MakeCloudFixture>,
               true},
         Param{"rediscache_fault0",
-              &MakeFaultWrappedFixture<&MakeRemoteCacheFixture>, true}),
+              &MakeFaultWrappedFixture<&MakeRemoteCacheFixture>, true},
+        Param{"shard1", &MakeShardedMemoryFixture<1>, true},
+        Param{"shard3", &MakeShardedMemoryFixture<3>, true},
+        Param{"shard8", &MakeShardedMemoryFixture<8>, true},
+        Param{"shard_mirror", &MakeShardedMirroredFixture, true},
+        Param{"shard3_fault0",
+              &MakeFaultWrappedFixture<&MakeShardedMemoryFixture<3>>, true}),
     [](const ::testing::TestParamInfo<Param>& info) {
       return info.param.name;
     });

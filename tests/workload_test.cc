@@ -1,0 +1,73 @@
+// Tests for the workload generator's Zipfian key distribution: seeded
+// determinism, range, and the skew that makes hot-shard benchmarks mean
+// something.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "udsm/workload.h"
+
+namespace dstore {
+namespace {
+
+TEST(ZipfianGeneratorTest, SameSeedSameSequence) {
+  ZipfianGenerator a(1000, 0.99, 7);
+  ZipfianGenerator b(1000, 0.99, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfianGeneratorTest, DifferentSeedsDiverge) {
+  ZipfianGenerator a(1000, 0.99, 7);
+  ZipfianGenerator b(1000, 0.99, 8);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) differing += a.Next() != b.Next();
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ZipfianGeneratorTest, RanksStayInRange) {
+  ZipfianGenerator zipf(100, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 100u);
+  ZipfianGenerator uniform(100, 0.0, 3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(uniform.Next(), 100u);
+}
+
+TEST(ZipfianGeneratorTest, SkewConcentratesOnLowRanks) {
+  constexpr int kDraws = 50000;
+  ZipfianGenerator zipf(10000, 0.99, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  // Rank 0 takes ~1/H_{n,s} of the traffic (~7% for n=10k, s=0.99);
+  // popularity must fall off monotonically in aggregate.
+  const double rank0_share = static_cast<double>(counts[0]) / kDraws;
+  EXPECT_GT(rank0_share, 0.03);
+  EXPECT_LT(rank0_share, 0.15);
+  int head = 0;  // draws landing in the hottest 1% of the keyspace
+  for (const auto& [rank, count] : counts) {
+    if (rank < 100) head += count;
+  }
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.4);
+}
+
+TEST(ZipfianGeneratorTest, ZeroSkewIsRoughlyUniform) {
+  constexpr int kDraws = 50000;
+  ZipfianGenerator uniform(100, 0.0, 11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[uniform.Next()];
+  for (int count : counts) {
+    EXPECT_GT(count, kDraws / 100 / 2);  // within 2x of fair share
+    EXPECT_LT(count, kDraws / 100 * 2);
+  }
+}
+
+TEST(ZipfianGeneratorTest, NextKeyPrefixesRank) {
+  ZipfianGenerator zipf(10, 0.5, 1);
+  const std::string key = zipf.NextKey("user:");
+  EXPECT_EQ(key.rfind("user:", 0), 0u);
+  EXPECT_LT(std::stoull(key.substr(5)), 10u);
+}
+
+}  // namespace
+}  // namespace dstore
