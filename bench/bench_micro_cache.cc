@@ -29,7 +29,7 @@ void BM_LruCacheGetHit(benchmark::State& state) {
   Random rng(1);
   const auto keys = MakeKeys(256);
   for (const auto& key : keys) {
-    cache.Put(key, MakeValue(rng.RandomBytes(value_size)));
+    (void)cache.Put(key, MakeValue(rng.RandomBytes(value_size)));
   }
   size_t i = 0;
   for (auto _ : state) {
@@ -58,7 +58,7 @@ void BM_LruCachePut(benchmark::State& state) {
   const ValuePtr value = MakeValue(rng.RandomBytes(value_size));
   size_t i = 0;
   for (auto _ : state) {
-    cache.Put("key" + std::to_string(i++ & 4095), value);
+    (void)cache.Put("key" + std::to_string(i++ & 4095), value);
   }
 }
 BENCHMARK(BM_LruCachePut)->Arg(100)->Arg(100000);
@@ -69,7 +69,7 @@ void BM_LruCacheShardSweep(benchmark::State& state) {
   LruCache cache(kCapacity, static_cast<size_t>(state.range(0)));
   Random rng(3);
   const auto keys = MakeKeys(1024);
-  for (const auto& key : keys) cache.Put(key, MakeValue(rng.RandomBytes(128)));
+  for (const auto& key : keys) (void)cache.Put(key, MakeValue(rng.RandomBytes(128)));
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.Get(keys[i++ & 1023]));
@@ -82,11 +82,12 @@ void BM_LruCacheContended(benchmark::State& state) {
   static LruCache* cache = nullptr;
   static std::vector<std::string>* keys = nullptr;
   if (state.thread_index() == 0) {
-    cache = new LruCache(kCapacity, static_cast<size_t>(state.range(0)));
-    keys = new std::vector<std::string>(MakeKeys(1024));
+    cache = new LruCache(kCapacity,  // NOLINT(dstore-naked-new): leaked, see below
+                         static_cast<size_t>(state.range(0)));
+    keys = new std::vector<std::string>(MakeKeys(1024));  // NOLINT(dstore-naked-new)
     Random rng(4);
     for (const auto& key : *keys) {
-      cache->Put(key, MakeValue(rng.RandomBytes(128)));
+      (void)cache->Put(key, MakeValue(rng.RandomBytes(128)));
     }
   }
   size_t i = static_cast<size_t>(state.thread_index()) * 37;
@@ -103,7 +104,7 @@ void BM_GdsCacheGetHit(benchmark::State& state) {
   GdsCache cache(kCapacity);
   Random rng(5);
   const auto keys = MakeKeys(256);
-  for (const auto& key : keys) cache.Put(key, MakeValue(rng.RandomBytes(1000)));
+  for (const auto& key : keys) (void)cache.Put(key, MakeValue(rng.RandomBytes(1000)));
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.Get(keys[i++ & 255]));
@@ -118,7 +119,7 @@ void BM_CacheReferenceVsCopy(benchmark::State& state) {
   std::unique_ptr<Cache> cache = std::make_unique<LruCache>(kCapacity);
   if (copying) cache = std::make_unique<CopyingCache>(std::move(cache));
   Random rng(6);
-  cache->Put("key", MakeValue(rng.RandomBytes(value_size)));
+  (void)cache->Put("key", MakeValue(rng.RandomBytes(value_size)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache->Get("key"));
   }
@@ -136,7 +137,7 @@ void BM_ExpiringCacheOverhead(benchmark::State& state) {
   SimulatedClock clock;
   ExpiringCache cache(std::make_unique<LruCache>(kCapacity), &clock);
   Random rng(7);
-  cache.PutWithTtl("key", MakeValue(rng.RandomBytes(1000)), 1'000'000'000);
+  (void)cache.PutWithTtl("key", MakeValue(rng.RandomBytes(1000)), 1'000'000'000);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.Get("key"));
   }

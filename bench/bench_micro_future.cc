@@ -69,7 +69,7 @@ void BM_SyncVsAsyncBatch(benchmark::State& state) {
   const bool async_mode = state.range(0) != 0;
   auto store = std::make_shared<SlowStore>();
   for (int i = 0; i < 16; ++i) {
-    store->PutString("k" + std::to_string(i), "v");
+    (void)store->PutString("k" + std::to_string(i), "v");
   }
   ThreadPool pool(16);
   AsyncStore async(store, &pool);
@@ -102,7 +102,7 @@ void BM_AsyncPoolSizeSweep(benchmark::State& state) {
     }
   };
   auto store = std::make_shared<SlowStore>();
-  store->PutString("k", "v");
+  (void)store->PutString("k", "v");
   ThreadPool pool(static_cast<size_t>(state.range(0)));
   AsyncStore async(store, &pool);
   for (auto _ : state) {

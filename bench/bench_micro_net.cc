@@ -71,7 +71,7 @@ void BM_RemoteCacheGet(benchmark::State& state) {
   }
   RemoteCache cache(*conn);
   Random rng(2);
-  cache.Put("key", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
+  (void)cache.Put("key", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.Get("key"));
   }
@@ -84,7 +84,7 @@ BENCHMARK(BM_RemoteCacheGet)->Arg(100)->Arg(10000)->Arg(1000000);
 void BM_InProcessCacheGetForComparison(benchmark::State& state) {
   LruCache cache(1u << 30);
   Random rng(3);
-  cache.Put("key", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
+  (void)cache.Put("key", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.Get("key"));
   }

@@ -59,7 +59,7 @@ class SlowStore : public MemoryStore {
 // BM_BareGet for the baseline).
 void BM_ShardedGet(benchmark::State& state) {
   auto store = MakeSharded(static_cast<int>(state.range(0)), 2);
-  store->PutString("hot", "value");
+  (void)store->PutString("hot", "value");
   for (auto _ : state) {
     benchmark::DoNotOptimize(store->Get("hot"));
   }
@@ -68,7 +68,7 @@ BENCHMARK(BM_ShardedGet)->Arg(1)->Arg(3)->Arg(8);
 
 void BM_BareGet(benchmark::State& state) {
   MemoryStore store;
-  store.PutString("hot", "value");
+  (void)store.PutString("hot", "value");
   for (auto _ : state) {
     benchmark::DoNotOptimize(store.Get("hot"));
   }
@@ -102,7 +102,7 @@ void BM_ScatterGatherMultiGet(benchmark::State& state) {
   std::vector<std::string> keys;
   for (int i = 0; i < 64; ++i) {
     const std::string key = "k" + std::to_string(i);
-    store.PutString(key, "v");
+    (void)store.PutString(key, "v");
     keys.push_back(key);
   }
   for (auto _ : state) {
@@ -149,13 +149,13 @@ void BM_RebalanceCycle(benchmark::State& state) {
   auto store = MakeSharded(4, 4);
   const ValuePtr value = MakeValue(std::string_view("0123456789abcdef"));
   for (int i = 0; i < 4096; ++i) {
-    store->Put("user:" + std::to_string(i), value);
+    (void)store->Put("user:" + std::to_string(i), value);
   }
   uint64_t migrated_before = store->keys_migrated_total();
   for (auto _ : state) {
-    store->AddShard("extra", std::make_shared<MemoryStore>());
+    (void)store->AddShard("extra", std::make_shared<MemoryStore>());
     store->WaitForRebalance();
-    store->RemoveShard("extra");
+    (void)store->RemoveShard("extra");
     store->WaitForRebalance();
   }
   state.SetItemsProcessed(

@@ -30,7 +30,7 @@ void BM_MemoryStorePutGet(benchmark::State& state) {
   const ValuePtr value =
       MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0))));
   for (auto _ : state) {
-    store.Put("k", value);
+    (void)store.Put("k", value);
     benchmark::DoNotOptimize(store.Get("k"));
   }
 }
@@ -43,7 +43,7 @@ void BM_FileStoreWrite(benchmark::State& state) {
       MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0))));
   size_t i = 0;
   for (auto _ : state) {
-    store->Put("k" + std::to_string(i++ & 63), value);
+    (void)store->Put("k" + std::to_string(i++ & 63), value);
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
@@ -53,7 +53,7 @@ BENCHMARK(BM_FileStoreWrite)->Arg(1000)->Arg(1000000);
 void BM_FileStoreRead(benchmark::State& state) {
   auto store = std::move(FileStore::Open(BenchDir() / "file_r")).value();
   Random rng(3);
-  store->Put("k", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
+  (void)store->Put("k", MakeValue(rng.RandomBytes(static_cast<size_t>(state.range(0)))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(store->Get("k"));
   }

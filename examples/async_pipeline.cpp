@@ -36,7 +36,7 @@ int main() {
   Udsm::Options options;
   options.async_threads = 16;  // the UDSM's configurable thread pool size
   Udsm udsm(options);
-  udsm.RegisterStore("slow", std::make_shared<SlowStore>());
+  (void)udsm.RegisterStore("slow", std::make_shared<SlowStore>());
 
   constexpr int kBatch = 16;
   RealClock clock;
@@ -45,7 +45,7 @@ int main() {
   // Synchronous: each call blocks for the full operation latency.
   Stopwatch watch(&clock);
   for (int i = 0; i < kBatch; ++i) {
-    sync_store->PutString("user" + std::to_string(i), "payload");
+    (void)sync_store->PutString("user" + std::to_string(i), "payload");
   }
   std::printf("synchronous  %2d puts: %6.1f ms\n", kBatch,
               watch.ElapsedMillis());
@@ -59,7 +59,7 @@ int main() {
     puts.push_back(
         async->PutAsync("bulk" + std::to_string(i), MakeValue("payload")));
   }
-  for (auto& future : puts) future.Get();
+  for (auto& future : puts) (void)future.Get();
   std::printf("asynchronous %2d puts: %6.1f ms (overlapped on the pool)\n",
               kBatch, watch.ElapsedMillis());
 

@@ -20,8 +20,8 @@ int main() {
   auto archive = std::make_shared<MemoryStore>();  // a second data store
   auto journal = std::make_shared<MemoryStore>();  // the coordinator
 
-  ledger->PutString("balance/alice", "100");
-  archive->PutString("balance/bob", "50");
+  (void)ledger->PutString("balance/alice", "100");
+  (void)archive->PutString("balance/bob", "50");
 
   // --- 1. Atomic transfer across stores ---
   {
@@ -41,7 +41,7 @@ int main() {
   {
     const std::string crash_id = "0123456789abcdef0123456789abcdef";
     const std::string staged_key = "~txnstage!" + crash_id + "!0";
-    ledger->PutString(staged_key, "42");
+    (void)ledger->PutString(staged_key, "42");
     Bytes record;
     record.push_back(2);  // phase = committing
     PutVarint64(&record, 1);
@@ -65,8 +65,8 @@ int main() {
     auto r1 = std::make_shared<MemoryStore>();
     auto r2 = std::make_shared<MemoryStore>();
     MirroredStore mirror({r1, r2});
-    mirror.PutString("config", "v1");
-    r2->PutString("config", "bit-rot");  // silent divergence
+    (void)mirror.PutString("config", "v1");
+    (void)r2->PutString("config", "bit-rot");  // silent divergence
 
     auto report = mirror.CheckConsistency();
     std::printf("\nmirror consistent after corruption? %s (%zu divergent)\n",

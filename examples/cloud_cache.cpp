@@ -36,7 +36,7 @@ int main() {
   RealClock clock;
 
   // Uncached: every read pays the WAN round trip.
-  base->PutString("profile/alice", "{\"name\": \"alice\", \"plan\": \"pro\"}");
+  (void)base->PutString("profile/alice", "{\"name\": \"alice\", \"plan\": \"pro\"}");
   {
     Stopwatch watch(&clock);
     for (int i = 0; i < 5; ++i) base->Get("profile/alice").ok();

@@ -20,7 +20,7 @@ int main() {
 
   // Register heterogeneous stores under names. Applications pick stores by
   // name and can swap implementations without code changes.
-  udsm.RegisterStore("scratch", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("scratch", std::make_shared<MemoryStore>());
 
   const auto dir = std::filesystem::temp_directory_path() / "udsm_quickstart";
   auto file_store = FileStore::Open(dir);
@@ -29,13 +29,13 @@ int main() {
                  file_store.status().ToString().c_str());
     return 1;
   }
-  udsm.RegisterStore("durable",
-                     std::shared_ptr<KeyValueStore>(std::move(*file_store)));
+  (void)udsm.RegisterStore(
+      "durable", std::shared_ptr<KeyValueStore>(std::move(*file_store)));
 
   // The same code works against either store.
   for (const std::string name : {"scratch", "durable"}) {
     KeyValueStore* store = udsm.GetStore(name);
-    store->PutString("greeting", "hello from " + name);
+    (void)store->PutString("greeting", "hello from " + name);
     auto value = store->GetString("greeting");
     std::printf("[%s] greeting = %s\n", name.c_str(),
                 value.ok() ? value->c_str() : value.status().ToString().c_str());
@@ -50,7 +50,7 @@ int main() {
         std::printf("[async callback] got %zu bytes\n", (*result)->size());
       }
     });
-    future.Get();  // block here just so the demo exits cleanly
+    (void)future.Get();  // block here just so the demo exits cleanly
   }
 
   // Every operation above was monitored automatically.

@@ -22,13 +22,13 @@ using namespace dstore;
 int main() {
   Udsm udsm;
 
-  udsm.RegisterStore("memory", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("memory", std::make_shared<MemoryStore>());
 
   const auto dir = std::filesystem::temp_directory_path() / "store_compare";
   auto file_store = FileStore::Open(dir);
   if (!file_store.ok()) return 1;
-  udsm.RegisterStore("file",
-                     std::shared_ptr<KeyValueStore>(std::move(*file_store)));
+  (void)udsm.RegisterStore(
+      "file", std::shared_ptr<KeyValueStore>(std::move(*file_store)));
 
   // A simulated cloud store (~2ms scaled RTT so the demo is quick).
   auto server = CloudStoreServer::Start(
@@ -36,7 +36,8 @@ int main() {
   if (!server.ok()) return 1;
   auto cloud = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
   if (!cloud.ok()) return 1;
-  udsm.RegisterStore("cloud", std::shared_ptr<KeyValueStore>(std::move(*cloud)));
+  (void)udsm.RegisterStore("cloud",
+                           std::shared_ptr<KeyValueStore>(std::move(*cloud)));
 
   // Sweep each store across object sizes.
   WorkloadGenerator::Config config;
@@ -64,9 +65,9 @@ int main() {
   // the cloud store, composed purely through the key-value interface.
   auto tiered = std::make_shared<TieredStore>(udsm.GetStoreShared("memory"),
                                               udsm.GetStoreShared("cloud"));
-  udsm.RegisterStore("cloud+memcache", tiered);
+  (void)udsm.RegisterStore("cloud+memcache", tiered);
   KeyValueStore* store = udsm.GetStore("cloud+memcache");
-  store->PutString("hot-object", "served from the memory tier after miss");
+  (void)store->PutString("hot-object", "served from the memory tier after miss");
 
   RealClock clock;
   Stopwatch watch(&clock);

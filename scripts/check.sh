@@ -6,6 +6,7 @@
 #   scripts/check.sh [extra ctest args...]   # full suite, both builds
 #   scripts/check.sh chaos                   # chaos-labelled suites only
 #   scripts/check.sh shard                   # sharding suites only
+#   scripts/check.sh analyze                 # static analysis + lint gate
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
 # docs/testing.md) in both builds over the DSTORE_CHAOS_SEEDS matrix
@@ -13,8 +14,14 @@
 # seed is printed in the test output — replay it in isolation with
 # DSTORE_CHAOS_SEEDS=<seed>.
 #
-# Build trees land in build-check-release/ and build-check-tsan/ so the
-# default build/ directory is left alone.
+# The analyze mode runs the repo lint gate (tools/dstore_lint.py), then —
+# when clang is installed — a -DDSTORE_ANALYZE=ON build that promotes
+# clang's -Wthread-safety capability analysis to an error, and clang-tidy
+# over the compilation database. See docs/testing.md ("Static analysis")
+# for the annotation conventions and the runtime lock-order validator.
+#
+# Build trees land in build-check-release/, build-check-tsan/, and
+# build-check-analyze/ so the default build/ directory is left alone.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,7 +34,32 @@ run_suite() {
   (cd "$dir" && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
 }
 
-if [[ "${1:-}" == "chaos" ]]; then
+if [[ "${1:-}" == "analyze" ]]; then
+  shift
+  echo "=== Lint gate (tools/dstore_lint.py) ==="
+  python3 tools/dstore_lint.py
+
+  if command -v clang++ > /dev/null 2>&1; then
+    echo "=== Thread-safety analysis build (clang, -Werror=thread-safety) ==="
+    cmake -B build-check-analyze -S . \
+      -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -DDSTORE_ANALYZE=ON > /dev/null
+    cmake --build build-check-analyze -j"$(nproc)"
+
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+      echo "=== clang-tidy (.clang-tidy profile) ==="
+      run-clang-tidy -quiet -p build-check-analyze \
+        "$(pwd)/(src|tests|bench|examples)/.*" "$@"
+    else
+      echo "clang-tidy not installed; skipping (lint + analysis build ran)."
+    fi
+  else
+    echo "clang not installed; skipping -Wthread-safety build and clang-tidy."
+    echo "The lint gate passed; install clang to run the full analyze mode."
+  fi
+  echo "Analyze checks passed."
+  exit 0
+elif [[ "${1:-}" == "chaos" ]]; then
   shift
   export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
   echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"

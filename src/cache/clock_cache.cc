@@ -35,7 +35,7 @@ void ClockCache::EvictUntilFits() {
 
 Status ClockCache::Put(const std::string& key, ValuePtr value) {
   const size_t charge = EntryCharge(key, value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.puts;
 
   auto it = index_.find(key);
@@ -75,7 +75,7 @@ Status ClockCache::Put(const std::string& key, ValuePtr value) {
 }
 
 StatusOr<ValuePtr> ClockCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -88,7 +88,7 @@ StatusOr<ValuePtr> ClockCache::Get(const std::string& key) {
 }
 
 Status ClockCache::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     Slot& slot = slots_[it->second];
@@ -101,7 +101,7 @@ Status ClockCache::Delete(const std::string& key) {
 }
 
 void ClockCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slots_.clear();
   index_.clear();
   free_slots_.clear();
@@ -110,22 +110,22 @@ void ClockCache::Clear() {
 }
 
 bool ClockCache::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.count(key) > 0;
 }
 
 size_t ClockCache::EntryCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.size();
 }
 
 size_t ClockCache::ChargeUsed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return charge_used_;
 }
 
 StatusOr<std::vector<std::string>> ClockCache::Keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(index_.size());
   for (const auto& [key, slot] : index_) keys.push_back(key);
@@ -133,7 +133,7 @@ StatusOr<std::vector<std::string>> ClockCache::Keys() const {
 }
 
 CacheStats ClockCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

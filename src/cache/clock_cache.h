@@ -1,12 +1,12 @@
 #ifndef DSTORE_CACHE_CLOCK_CACHE_H_
 #define DSTORE_CACHE_CLOCK_CACHE_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -40,19 +40,18 @@ class ClockCache : public Cache {
     bool occupied = false;
   };
 
-  // Caller holds mu_. Advances the hand, clearing reference bits, until a
-  // victim is evicted.
-  void EvictOne();
-  void EvictUntilFits();
+  // Advances the hand, clearing reference bits, until a victim is evicted.
+  void EvictOne() REQUIRES(mu_);
+  void EvictUntilFits() REQUIRES(mu_);
 
   const size_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
-  std::unordered_map<std::string, size_t> index_;  // key -> slot
-  std::vector<size_t> free_slots_;
-  size_t hand_ = 0;
-  size_t charge_used_ = 0;
-  CacheStats stats_;
+  mutable Mutex mu_;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> index_ GUARDED_BY(mu_);  // key->slot
+  std::vector<size_t> free_slots_ GUARDED_BY(mu_);
+  size_t hand_ GUARDED_BY(mu_) = 0;
+  size_t charge_used_ GUARDED_BY(mu_) = 0;
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

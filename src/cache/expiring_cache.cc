@@ -12,7 +12,7 @@ Status ExpiringCache::Put(const std::string& key, ValuePtr value) {
 Status ExpiringCache::PutWithTtl(const std::string& key, ValuePtr value,
                                  int64_t ttl_nanos, const std::string& etag) {
   DSTORE_RETURN_IF_ERROR(inner_->Put(key, std::move(value)));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Meta& meta = meta_[key];
   meta.expires_at = ttl_nanos <= 0 ? 0 : clock_->NowNanos() + ttl_nanos;
   meta.etag = etag;
@@ -32,13 +32,13 @@ StatusOr<ExpiringCache::Entry> ExpiringCache::GetEntry(const std::string& key) {
   if (!value.ok()) {
     // The inner cache may have evicted the entry; drop stale metadata so the
     // map cannot grow without bound.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     meta_.erase(key);
     return value.status();
   }
   Entry entry;
   entry.value = *std::move(value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = meta_.find(key);
   if (it == meta_.end()) {
     entry.expires_at = 0;
@@ -56,7 +56,7 @@ Status ExpiringCache::Touch(const std::string& key, int64_t ttl_nanos) {
   if (!inner_->Contains(key)) {
     return Status::NotFound("cannot touch absent entry");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Meta& meta = meta_[key];
   meta.expires_at = ttl_nanos <= 0 ? 0 : clock_->NowNanos() + ttl_nanos;
   return Status::OK();
@@ -64,14 +64,14 @@ Status ExpiringCache::Touch(const std::string& key, int64_t ttl_nanos) {
 
 Status ExpiringCache::Delete(const std::string& key) {
   DSTORE_RETURN_IF_ERROR(inner_->Delete(key));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   meta_.erase(key);
   return Status::OK();
 }
 
 void ExpiringCache::Clear() {
   inner_->Clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   meta_.clear();
 }
 
@@ -90,7 +90,7 @@ std::string ExpiringCache::Name() const {
 }
 
 size_t ExpiringCache::ExpiredCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t count = 0;
   const int64_t now = clock_->NowNanos();
   for (const auto& [key, meta] : meta_) {

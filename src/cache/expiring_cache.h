@@ -2,12 +2,12 @@
 #define DSTORE_CACHE_EXPIRING_CACHE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cache/cache.h"
 #include "common/clock.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -75,8 +75,8 @@ class ExpiringCache : public Cache {
 
   std::unique_ptr<Cache> inner_;
   const Clock* clock_;
-  mutable std::mutex mu_;  // guards meta_
-  std::unordered_map<std::string, Meta> meta_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Meta> meta_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

@@ -32,7 +32,7 @@ Status GdsCache::PutWithCost(const std::string& key, ValuePtr value,
                              double cost) {
   if (cost <= 0) cost = 1.0;
   const size_t charge = EntryCharge(key, value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.puts;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -53,7 +53,7 @@ Status GdsCache::PutWithCost(const std::string& key, ValuePtr value,
 }
 
 StatusOr<ValuePtr> GdsCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -65,7 +65,7 @@ StatusOr<ValuePtr> GdsCache::Get(const std::string& key) {
 }
 
 Status GdsCache::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     charge_used_ -= it->second.charge;
@@ -76,7 +76,7 @@ Status GdsCache::Delete(const std::string& key) {
 }
 
 void GdsCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   heap_.clear();
   charge_used_ = 0;
@@ -84,22 +84,22 @@ void GdsCache::Clear() {
 }
 
 bool GdsCache::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(key) > 0;
 }
 
 size_t GdsCache::EntryCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 size_t GdsCache::ChargeUsed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return charge_used_;
 }
 
 StatusOr<std::vector<std::string>> GdsCache::Keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) keys.push_back(key);
@@ -107,7 +107,7 @@ StatusOr<std::vector<std::string>> GdsCache::Keys() const {
 }
 
 CacheStats GdsCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -2,11 +2,11 @@
 #define DSTORE_CACHE_GDS_CACHE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cache/cache.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -46,18 +46,18 @@ class GdsCache : public Cache {
     std::multimap<double, std::string>::iterator heap_it;
   };
 
-  // Caller holds mu_. Recomputes priority and repositions in the heap.
-  void Refresh(const std::string& key, Entry* entry);
-  void EvictIfNeeded();
+  // Recomputes priority and repositions in the heap.
+  void Refresh(const std::string& key, Entry* entry) REQUIRES(mu_);
+  void EvictIfNeeded() REQUIRES(mu_);
 
   const size_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
   // Priority-ordered index (lowest H first = next eviction victim).
-  std::multimap<double, std::string> heap_;
-  double inflation_ = 0.0;  // L
-  size_t charge_used_ = 0;
-  CacheStats stats_;
+  std::multimap<double, std::string> heap_ GUARDED_BY(mu_);
+  double inflation_ GUARDED_BY(mu_) = 0.0;  // L
+  size_t charge_used_ GUARDED_BY(mu_) = 0;
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

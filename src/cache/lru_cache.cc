@@ -45,7 +45,7 @@ void LruCache::EvictIfNeeded(Shard* shard) {
 Status LruCache::Put(const std::string& key, ValuePtr value) {
   Shard& shard = ShardFor(key);
   const size_t charge = EntryCharge(key, value);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.stats.puts;
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
@@ -62,7 +62,7 @@ Status LruCache::Put(const std::string& key, ValuePtr value) {
 
 StatusOr<ValuePtr> LruCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.stats.misses;
@@ -76,7 +76,7 @@ StatusOr<ValuePtr> LruCache::Get(const std::string& key) {
 
 Status LruCache::Delete(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.charge_used -= it->second->charge;
@@ -88,7 +88,7 @@ Status LruCache::Delete(const std::string& key) {
 
 void LruCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->map.clear();
     shard->charge_used = 0;
@@ -97,14 +97,14 @@ void LruCache::Clear() {
 
 bool LruCache::Contains(const std::string& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.map.count(key) > 0;
 }
 
 size_t LruCache::EntryCount() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->map.size();
   }
   return total;
@@ -113,7 +113,7 @@ size_t LruCache::EntryCount() const {
 size_t LruCache::ChargeUsed() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->charge_used;
   }
   return total;
@@ -122,7 +122,7 @@ size_t LruCache::ChargeUsed() const {
 StatusOr<std::vector<std::string>> LruCache::Keys() const {
   std::vector<std::string> keys;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (const auto& [key, it] : shard->map) keys.push_back(key);
   }
   return keys;
@@ -131,7 +131,7 @@ StatusOr<std::vector<std::string>> LruCache::Keys() const {
 CacheStats LruCache::Stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.puts += shard->stats.puts;

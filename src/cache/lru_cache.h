@@ -3,12 +3,12 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -44,18 +44,18 @@ class LruCache : public Cache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> map;
-    size_t charge_used = 0;
-    CacheStats stats;
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> map
+        GUARDED_BY(mu);
+    size_t charge_used GUARDED_BY(mu) = 0;
+    CacheStats stats GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;
-  // Evicts from the back of `shard` until it fits its budget. Caller holds
-  // the shard lock.
-  void EvictIfNeeded(Shard* shard);
+  // Evicts from the back of `shard` until it fits its budget.
+  void EvictIfNeeded(Shard* shard) REQUIRES(shard->mu);
 
   size_t capacity_bytes_;
   size_t shard_capacity_;

@@ -45,53 +45,53 @@ Cache* RingCache::Route(const std::string& key) const {
 }
 
 Status RingCache::Put(const std::string& key, ValuePtr value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cache* node = Route(key);
   if (node == nullptr) return Status::Unavailable("ring has no nodes");
   return node->Put(key, std::move(value));
 }
 
 StatusOr<ValuePtr> RingCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cache* node = Route(key);
   if (node == nullptr) return Status::Unavailable("ring has no nodes");
   return node->Get(key);
 }
 
 Status RingCache::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cache* node = Route(key);
   if (node == nullptr) return Status::Unavailable("ring has no nodes");
   return node->Delete(key);
 }
 
 void RingCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, cache] : nodes_) cache->Clear();
 }
 
 bool RingCache::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Cache* node = Route(key);
   return node != nullptr && node->Contains(key);
 }
 
 size_t RingCache::EntryCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [name, cache] : nodes_) total += cache->EntryCount();
   return total;
 }
 
 size_t RingCache::ChargeUsed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [name, cache] : nodes_) total += cache->ChargeUsed();
   return total;
 }
 
 CacheStats RingCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CacheStats total;
   for (const auto& [name, cache] : nodes_) {
     const CacheStats stats = cache->Stats();
@@ -104,12 +104,12 @@ CacheStats RingCache::Stats() const {
 }
 
 std::string RingCache::Name() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return "ring(" + std::to_string(nodes_.size()) + " nodes)";
 }
 
 StatusOr<std::vector<std::string>> RingCache::Keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (const auto& [name, cache] : nodes_) {
     DSTORE_ASSIGN_OR_RETURN(std::vector<std::string> node_keys, cache->Keys());
@@ -122,7 +122,7 @@ Status RingCache::AddNode(Node node) {
   if (node.cache == nullptr || node.name.empty()) {
     return Status::InvalidArgument("node needs a name and a cache");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (nodes_.count(node.name) > 0) {
     return Status::AlreadyExists("node already in ring: " + node.name);
   }
@@ -132,7 +132,7 @@ Status RingCache::AddNode(Node node) {
 }
 
 Status RingCache::RemoveNode(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (nodes_.erase(name) == 0) {
     return Status::NotFound("no such ring node: " + name);
   }
@@ -141,12 +141,12 @@ Status RingCache::RemoveNode(const std::string& name) {
 }
 
 size_t RingCache::node_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return nodes_.size();
 }
 
 std::string RingCache::NodeFor(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.empty()) return "";
   auto it = ring_.lower_bound(RingHash(key));
   if (it == ring_.end()) it = ring_.begin();

@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -53,15 +53,14 @@ class RingCache : public Cache {
   std::string NodeFor(const std::string& key) const;
 
  private:
-  // Caller holds mu_.
-  Cache* Route(const std::string& key) const;
-  void RebuildRing();
+  Cache* Route(const std::string& key) const REQUIRES(mu_);
+  void RebuildRing() REQUIRES(mu_);
 
   size_t virtual_nodes_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Cache>> nodes_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Cache>> nodes_ GUARDED_BY(mu_);
   // ring position -> node name
-  std::map<uint64_t, std::string> ring_;
+  std::map<uint64_t, std::string> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

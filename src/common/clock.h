@@ -2,10 +2,8 @@
 #define DSTORE_COMMON_CLOCK_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 namespace dstore {
 

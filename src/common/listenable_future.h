@@ -2,14 +2,13 @@
 #define DSTORE_COMMON_LISTENABLE_FUTURE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 
 namespace dstore {
@@ -30,23 +29,26 @@ class ListenableFuture {
 
   // True once a value has been set.
   bool IsDone() const {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     return state_->value.has_value();
   }
 
   // Blocks until the value is available and returns a copy of it.
   T Get() const {
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait(lock, [this] { return state_->value.has_value(); });
+    MutexLock lock(state_->mu);
+    while (!state_->value.has_value()) state_->cv.Wait(state_->mu);
     return *state_->value;
   }
 
   // Blocks up to `timeout`; returns nullopt if the future is still pending.
   std::optional<T> Get(std::chrono::nanoseconds timeout) const {
-    std::unique_lock<std::mutex> lock(state_->mu);
-    if (!state_->cv.wait_for(lock, timeout,
-                             [this] { return state_->value.has_value(); })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(state_->mu);
+    while (!state_->value.has_value()) {
+      if (!state_->cv.WaitUntil(state_->mu, deadline) &&
+          !state_->value.has_value()) {
+        return std::nullopt;
+      }
     }
     return *state_->value;
   }
@@ -57,7 +59,7 @@ class ListenableFuture {
   void AddListener(Listener listener, ThreadPool* executor = nullptr) {
     const T* ready = nullptr;
     {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       if (!state_->value.has_value()) {
         state_->listeners.emplace_back(std::move(listener), executor);
         return;
@@ -89,10 +91,12 @@ class ListenableFuture {
   friend class ListenableFuture;
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
+    mutable Mutex mu;
+    CondVar cv;
+    // Write-once under mu; immutable after completion, so post-completion
+    // reads (Dispatch, listener bodies) are deliberately lock-free.
     std::optional<T> value;
-    std::vector<std::pair<Listener, ThreadPool*>> listeners;
+    std::vector<std::pair<Listener, ThreadPool*>> listeners GUARDED_BY(mu);
   };
 
   explicit ListenableFuture(std::shared_ptr<State> state)
@@ -112,12 +116,12 @@ class ListenableFuture {
   static void Complete(const std::shared_ptr<State>& state, T value) {
     std::vector<std::pair<Listener, ThreadPool*>> to_run;
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       if (state->value.has_value()) return;  // first completion wins
       state->value.emplace(std::move(value));
       to_run.swap(state->listeners);
     }
-    state->cv.notify_all();
+    state->cv.NotifyAll();
     for (auto& [listener, executor] : to_run) {
       Dispatch(state, std::move(listener), executor, *state->value);
     }

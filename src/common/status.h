@@ -33,7 +33,10 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 // A lightweight success-or-error result. Ok statuses carry no allocation.
-class Status {
+// [[nodiscard]] on the class makes every function returning a Status warn
+// when the result is ignored; intentional discards write `(void)expr;` or
+// `expr.ok();`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -108,7 +111,7 @@ class Status {
 // Holds either a value of type T or an error Status. Never holds an Ok
 // status without a value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`
   // (the absl::StatusOr convention).

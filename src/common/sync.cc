@@ -1,0 +1,226 @@
+#include "common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dstore {
+namespace sync_internal {
+
+std::atomic<int8_t> g_checking_state{-1};  // -1 uninit, 0 off, 1 on
+
+namespace {
+
+std::atomic<bool> g_aborts{true};
+std::atomic<uint64_t> g_violations{0};
+std::atomic<void (*)()> g_violation_hook{nullptr};
+
+// The validator's own state is guarded by a raw std::mutex on purpose: it
+// must not recurse into the instrumented Mutex. This file is the one place
+// tools/dstore_lint.py permits raw std primitives.
+std::mutex g_graph_mu;
+
+struct EdgeSite {
+  const char* file;
+  int line;
+  const char* from_name;
+  const char* to_name;
+};
+
+struct GraphState {
+  // Acquisition-order graph over mutex ranks: an edge A -> B means some
+  // thread acquired B while holding A. Keyed (from << 32) | to; the value
+  // remembers where B was acquired the first time that order was seen.
+  std::unordered_map<uint64_t, EdgeSite> edges;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> adjacency;
+};
+
+GraphState& Graph() {
+  static GraphState* state = new GraphState();  // leaked: outlives all threads
+  return *state;
+}
+
+struct Held {
+  LockRecord* rec;
+  uint32_t rank;
+};
+
+thread_local std::vector<Held>* t_held = nullptr;
+
+std::vector<Held>& HeldStack() {
+  // Deliberately leaked per thread; freeing at thread exit would race
+  // with instrumented unlocks in other destructors.
+  if (t_held == nullptr) t_held = new std::vector<Held>();  // NOLINT(dstore-naked-new)
+  return *t_held;
+}
+
+std::atomic<uint32_t> g_next_rank{1};
+
+uint32_t RankOf(LockRecord* rec) {
+  uint32_t r = rec->rank.load(std::memory_order_acquire);
+  if (r != 0) return r;
+  uint32_t fresh = g_next_rank.fetch_add(1, std::memory_order_relaxed);
+  uint32_t expected = 0;
+  if (rec->rank.compare_exchange_strong(expected, fresh,
+                                        std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  return expected;  // lost the race; use the winner's rank
+}
+
+// True if `to` can already reach `from` in the order graph, i.e. adding the
+// edge from -> to would close a cycle. Iterative DFS; the graph is small
+// (one node per distinct mutex ever locked).
+bool PathExists(const GraphState& g, uint32_t start, uint32_t target) {
+  if (start == target) return true;
+  std::vector<uint32_t> stack{start};
+  std::unordered_map<uint32_t, bool> seen;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    if (seen[node]) continue;
+    seen[node] = true;
+    auto it = g.adjacency.find(node);
+    if (it == g.adjacency.end()) continue;
+    for (uint32_t next : it->second) {
+      if (next == target) return true;
+      if (!seen[next]) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+const char* NameOrRank(const char* name, uint32_t rank, char* buf,
+                       size_t buf_size) {
+  if (name != nullptr) return name;
+  std::snprintf(buf, buf_size, "mutex#%u", rank);
+  return buf;
+}
+
+void ReportViolation(const EdgeSite& prior, uint32_t prior_from,
+                     uint32_t prior_to, const char* file, int line,
+                     const char* held_name, uint32_t held_rank,
+                     const char* want_name, uint32_t want_rank) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (void (*hook)() = g_violation_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
+  char b1[32], b2[32], b3[32], b4[32];
+  std::fprintf(
+      stderr,
+      "dstore: LOCK ORDER VIOLATION (potential deadlock)\n"
+      "  this thread:  acquiring %s while holding %s\n"
+      "    at %s:%d\n"
+      "  prior order:  %s was acquired while holding %s\n"
+      "    at %s:%d\n"
+      "  (counted as dstore_lock_order_violations_total)\n",
+      NameOrRank(want_name, want_rank, b1, sizeof(b1)),
+      NameOrRank(held_name, held_rank, b2, sizeof(b2)), file, line,
+      NameOrRank(prior.to_name, prior_to, b3, sizeof(b3)),
+      NameOrRank(prior.from_name, prior_from, b4, sizeof(b4)), prior.file,
+      prior.line);
+  std::fflush(stderr);
+  if (g_aborts.load(std::memory_order_relaxed)) std::abort();
+}
+
+}  // namespace
+
+bool CheckingEnabledSlow() {
+  // Default: on when assertions are on (debug builds), off in NDEBUG builds;
+  // DSTORE_LOCK_ORDER=0|1 overrides either way.
+#ifdef NDEBUG
+  int8_t enabled = 0;
+#else
+  int8_t enabled = 1;
+#endif
+  if (const char* env = std::getenv("DSTORE_LOCK_ORDER")) {
+    if (std::strcmp(env, "0") == 0) enabled = 0;
+    if (std::strcmp(env, "1") == 0) enabled = 1;
+  }
+  int8_t expected = -1;
+  g_checking_state.compare_exchange_strong(expected, enabled,
+                                           std::memory_order_acq_rel);
+  return g_checking_state.load(std::memory_order_acquire) > 0;
+}
+
+void BeforeAcquire(LockRecord* rec, const char* file, int line) {
+  std::vector<Held>& held = HeldStack();
+  if (held.empty()) return;
+  uint32_t to = RankOf(rec);
+  // Re-acquisition of a mutex this thread already holds is a self-deadlock
+  // for std::mutex, but TSan/debug runtime already catches it loudly; the
+  // order graph only tracks distinct pairs.
+  const Held& top = held.back();
+  if (top.rank == to) return;
+  uint64_t key = (static_cast<uint64_t>(top.rank) << 32) | to;
+  std::lock_guard<std::mutex> g(g_graph_mu);
+  GraphState& graph = Graph();
+  if (graph.edges.count(key) != 0) return;  // already known, already acyclic
+  if (PathExists(graph, to, top.rank)) {
+    // Adding top.rank -> to closes a cycle: `to` already reaches top.rank.
+    // Name the direct reverse edge if recorded, else any edge out of `to`.
+    uint64_t reverse = (static_cast<uint64_t>(to) << 32) | top.rank;
+    auto it = graph.edges.find(reverse);
+    if (it == graph.edges.end()) it = graph.edges.begin();
+    ReportViolation(it->second, to, top.rank, file, line, top.rec->name,
+                    top.rank, rec->name, to);
+    return;  // not recorded: keep the graph acyclic so reports can repeat
+  }
+  graph.edges.emplace(key,
+                      EdgeSite{file, line, top.rec->name, rec->name});
+  graph.adjacency[top.rank].push_back(to);
+}
+
+void AfterAcquire(LockRecord* rec) {
+  HeldStack().push_back(Held{rec, RankOf(rec)});
+}
+
+void AfterTryAcquire(LockRecord* rec) {
+  // A try-lock cannot block, hence cannot deadlock: record it as held (so
+  // locks taken under it get ordered) without checking an edge into it.
+  HeldStack().push_back(Held{rec, RankOf(rec)});
+}
+
+void OnRelease(LockRecord* rec) {
+  std::vector<Held>& held = HeldStack();
+  // Unlock order may differ from lock order; erase the most recent entry.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->rec == rec) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace sync_internal
+
+namespace sync {
+
+uint64_t LockOrderViolations() {
+  return sync_internal::g_violations.load(std::memory_order_relaxed);
+}
+
+void SetLockOrderViolationHook(void (*hook)()) {
+  sync_internal::g_violation_hook.store(hook, std::memory_order_release);
+}
+
+void SetLockOrderChecking(bool enabled) {
+  sync_internal::g_checking_state.store(enabled ? 1 : 0,
+                                        std::memory_order_release);
+}
+
+void SetLockOrderAborts(bool enabled) {
+  sync_internal::g_aborts.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetLockOrderGraphForTest() {
+  std::lock_guard<std::mutex> g(sync_internal::g_graph_mu);
+  sync_internal::Graph().edges.clear();
+  sync_internal::Graph().adjacency.clear();
+}
+
+}  // namespace sync
+}  // namespace dstore

@@ -1,0 +1,344 @@
+#ifndef DSTORE_COMMON_SYNC_H_
+#define DSTORE_COMMON_SYNC_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+// Concurrency primitives for the whole library, in two layers:
+//
+//  1. Clang thread-safety annotation macros (GUARDED_BY, REQUIRES, ACQUIRE,
+//     RELEASE, EXCLUDES, ...). Under clang with -Wthread-safety (the
+//     -DDSTORE_ANALYZE=ON configuration, see CMakeLists.txt) they turn the
+//     locking discipline into a compile-time check: accessing a GUARDED_BY
+//     member without holding its mutex is a build error. Under other
+//     compilers they expand to nothing.
+//
+//  2. Annotated Mutex / SharedMutex wrappers over the std primitives, plus
+//     the MutexLock / ReaderLock / WriterLock RAII guards and a CondVar that
+//     waits on a Mutex. These are the only mutex types the rest of the tree
+//     may use — tools/dstore_lint.py flags raw std::mutex / std::lock_guard
+//     outside this header. In checked builds (default when NDEBUG is unset,
+//     or DSTORE_LOCK_ORDER=1) every acquisition also feeds a runtime
+//     lock-order validator: mutexes get lazily assigned ranks, a
+//     thread-local held-lock stack records acquisition edges into a global
+//     order graph, and a cycle — a potential deadlock, even if this
+//     particular interleaving got lucky — aborts the process naming both
+//     call sites. See docs/testing.md ("Static analysis").
+//
+// Conventions: a class declares `mutable Mutex mu_;` and annotates each
+// protected member `T member_ GUARDED_BY(mu_);`. Methods called with the
+// lock already held take REQUIRES(mu_); methods that must not be entered
+// with it held (because they lock it themselves and would self-deadlock)
+// take EXCLUDES(mu_). Lock in constructor scope with `MutexLock lock(mu_);`.
+
+// ---------------------------------------------------------------------------
+// Annotation macros (clang -Wthread-safety attribute spellings).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define DSTORE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DSTORE_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// On types: this class is a lockable capability / a scoped lock guard.
+#define CAPABILITY(x) DSTORE_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY DSTORE_THREAD_ANNOTATION_(scoped_lockable)
+
+// On data members: reads and writes require holding the named mutex
+// (PT_ variant: the pointed-to data, not the pointer itself).
+#define GUARDED_BY(x) DSTORE_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) DSTORE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On mutex members: a static ordering hint checked by the analyzer.
+#define ACQUIRED_BEFORE(...) DSTORE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DSTORE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On functions: caller must hold (exclusively / shared) the named mutexes.
+#define REQUIRES(...) \
+  DSTORE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DSTORE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On functions: acquires / releases the named mutexes.
+#define ACQUIRE(...) DSTORE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DSTORE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DSTORE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DSTORE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  DSTORE_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  DSTORE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  DSTORE_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// On functions: caller must NOT hold the named mutexes (anti-aliasing /
+// self-deadlock protection).
+#define EXCLUDES(...) DSTORE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On functions: assert the capability is held (runtime-checked elsewhere),
+// or declare the returned reference IS the named mutex.
+#define ASSERT_CAPABILITY(x) DSTORE_THREAD_ANNOTATION_(assert_capability(x))
+#define RETURN_CAPABILITY(x) DSTORE_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disable analysis for one function. Use sparingly, with a
+// comment explaining the invariant the analyzer cannot see.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DSTORE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dstore {
+
+class CondVar;
+
+namespace sync_internal {
+
+// One validator record per Mutex/SharedMutex instance. Rank 0 = unassigned;
+// ranks are handed out lazily on first acquisition so the order graph only
+// contains mutexes that ever get locked.
+struct LockRecord {
+  std::atomic<uint32_t> rank{0};
+  const char* name;  // optional, for diagnostics; may be null
+
+  explicit LockRecord(const char* n = nullptr) : name(n) {}
+};
+
+// Called around every acquisition when checking is enabled. BeforeAcquire
+// runs *before* blocking on the underlying primitive so an inverted order is
+// reported even when the interleaving does not actually deadlock.
+void BeforeAcquire(LockRecord* rec, const char* file, int line);
+void AfterAcquire(LockRecord* rec);
+// TryLock never blocks, so it cannot deadlock: it only pushes the held stack.
+void AfterTryAcquire(LockRecord* rec);
+void OnRelease(LockRecord* rec);
+
+// -1 until first use, then 0 (off) or 1 (on); see CheckingEnabledSlow.
+extern std::atomic<int8_t> g_checking_state;
+bool CheckingEnabledSlow();
+
+inline bool CheckingEnabled() {
+  int8_t s = g_checking_state.load(std::memory_order_acquire);
+  if (s >= 0) return s > 0;
+  return CheckingEnabledSlow();
+}
+
+}  // namespace sync_internal
+
+namespace sync {
+
+// Process-wide count of lock-order cycles detected (also exported as the
+// dstore_lock_order_violations_total counter once obs is initialized).
+uint64_t LockOrderViolations();
+
+// Installed by obs/metrics.cc to mirror violations into the registry.
+void SetLockOrderViolationHook(void (*hook)());
+
+// Overrides for tests and tools. Checking defaults to on in debug builds
+// (NDEBUG unset) and off otherwise; env DSTORE_LOCK_ORDER=0|1 overrides the
+// default, and this call overrides both. Aborting on a violation defaults to
+// on; tests that want to observe the counter can turn it off.
+void SetLockOrderChecking(bool enabled);
+void SetLockOrderAborts(bool enabled);
+
+// Drops all recorded acquisition edges (test isolation).
+void ResetLockOrderGraphForTest();
+
+}  // namespace sync
+
+// ---------------------------------------------------------------------------
+// Annotated mutex wrappers.
+// ---------------------------------------------------------------------------
+
+// Exclusive mutex. The `name` constructor is optional sugar that makes
+// lock-order violation reports self-describing.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : rec_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ACQUIRE() {
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::BeforeAcquire(&rec_, file, line);
+      mu_.lock();
+      sync_internal::AfterAcquire(&rec_);
+    } else {
+      mu_.lock();
+    }
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::AfterTryAcquire(&rec_);
+    }
+    return true;
+  }
+
+  void Unlock() RELEASE() {
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::OnRelease(&rec_);
+    }
+    mu_.unlock();
+  }
+
+  // BasicLockable spelling so CondVar (a condition_variable_any) can wait on
+  // a Mutex directly, keeping validator bookkeeping consistent across the
+  // unlock/relock inside wait. Not for use outside this header.
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  sync_internal::LockRecord rec_;
+};
+
+// Reader/writer mutex. Shared and exclusive acquisitions feed the same
+// lock-order graph (a read-then-write inversion deadlocks just as well).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : rec_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ACQUIRE() {
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::BeforeAcquire(&rec_, file, line);
+      mu_.lock();
+      sync_internal::AfterAcquire(&rec_);
+    } else {
+      mu_.lock();
+    }
+  }
+
+  void Unlock() RELEASE() {
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::OnRelease(&rec_);
+    }
+    mu_.unlock();
+  }
+
+  void LockShared(const char* file = __builtin_FILE(),
+                  int line = __builtin_LINE()) ACQUIRE_SHARED() {
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::BeforeAcquire(&rec_, file, line);
+      mu_.lock_shared();
+      sync_internal::AfterAcquire(&rec_);
+    } else {
+      mu_.lock_shared();
+    }
+  }
+
+  void UnlockShared() RELEASE_SHARED() {
+    if (sync_internal::CheckingEnabled()) {
+      sync_internal::OnRelease(&rec_);
+    }
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  sync_internal::LockRecord rec_;
+};
+
+// RAII guards. The __builtin_FILE/__builtin_LINE defaults capture the
+// construction site, which is what a lock-order violation report names.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(file, line);
+  }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu, const char* file = __builtin_FILE(),
+                      int line = __builtin_LINE()) ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(file, line);
+  }
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu, const char* file = __builtin_FILE(),
+                      int line = __builtin_LINE()) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared(file, line);
+  }
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable that waits on a Mutex. The wait re-enters the Mutex
+// through its validator-aware lock()/unlock(), so held-lock bookkeeping
+// stays correct across the sleep.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // No predicate overloads on purpose: spurious wakeups mean callers loop
+  // (`while (!done_) cv_.Wait(mu_);`), and keeping the predicate in the
+  // caller's scope is what lets the thread-safety analysis see that guarded
+  // members are read with the mutex held (a lambda would be analyzed as a
+  // separate unannotated function).
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  // Returns false on timeout (the mutex is reacquired either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu, std::chrono::time_point<Clock, Duration> deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_COMMON_SYNC_H_

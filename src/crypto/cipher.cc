@@ -44,7 +44,7 @@ StatusOr<std::unique_ptr<Cipher>> AesCbcCipher::MakeWithSeed(const Bytes& key,
 StatusOr<Bytes> AesCbcCipher::Encrypt(const Bytes& plaintext) {
   uint8_t iv[Aes::kBlockSize];
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     FillBlock(&iv_rng_, iv);
   }
 
@@ -135,7 +135,7 @@ Bytes AesCtrCipher::Crypt(const Bytes& input,
 StatusOr<Bytes> AesCtrCipher::Encrypt(const Bytes& plaintext) {
   uint8_t nonce[Aes::kBlockSize];
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     FillBlock(&iv_rng_, nonce);
   }
   Bytes body = Crypt(plaintext, nonce);

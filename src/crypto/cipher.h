@@ -2,12 +2,12 @@
 #define DSTORE_CRYPTO_CIPHER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/bytes.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "crypto/aes.h"
 
 namespace dstore {
@@ -57,8 +57,8 @@ class AesCbcCipher : public Cipher {
   AesCbcCipher(Aes aes, uint64_t iv_seed) : aes_(aes), iv_rng_(iv_seed) {}
 
   Aes aes_;
-  std::mutex mu_;  // guards iv_rng_
-  Random iv_rng_;
+  Mutex mu_;
+  Random iv_rng_ GUARDED_BY(mu_);
 };
 
 // AES in CTR mode. Output layout: 16-byte nonce/counter block followed by
@@ -79,8 +79,8 @@ class AesCtrCipher : public Cipher {
   Bytes Crypt(const Bytes& input, const uint8_t nonce[Aes::kBlockSize]) const;
 
   Aes aes_;
-  std::mutex mu_;  // guards iv_rng_
-  Random iv_rng_;
+  Mutex mu_;
+  Random iv_rng_ GUARDED_BY(mu_);
 };
 
 // Encrypt-then-MAC wrapper: appends an HMAC-SHA256 tag over the inner

@@ -39,7 +39,7 @@ Status DeltaStore::PutFull(const std::string& key, const Bytes& value,
 
 Status DeltaStore::Put(const std::string& key, ValuePtr value) {
   if (value == nullptr) return Status::InvalidArgument("null value");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.logical_put_bytes += value->size();
 
   // Determine the current chain length and previous value.
@@ -96,7 +96,7 @@ Status DeltaStore::Put(const std::string& key, ValuePtr value) {
 }
 
 StatusOr<ValuePtr> DeltaStore::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(ValuePtr meta, base_->Get(key));
   size_t pos = 0;
   DSTORE_ASSIGN_OR_RETURN(uint64_t chain_length, GetVarint64(*meta, &pos));
@@ -105,7 +105,7 @@ StatusOr<ValuePtr> DeltaStore::Get(const std::string& key) {
 }
 
 Status DeltaStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t chain_length = 0;
   auto meta = base_->Get(key);
   if (meta.ok()) {
@@ -145,13 +145,13 @@ StatusOr<size_t> DeltaStore::Count() {
 }
 
 Status DeltaStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   last_value_.clear();
   return base_->Clear();
 }
 
 DeltaStore::TransferStats DeltaStore::GetTransferStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "delta/delta.h"
 #include "store/key_value.h"
 
@@ -69,20 +69,21 @@ class DeltaStore : public KeyValueStore {
     return key + "@delta." + std::to_string(index);
   }
 
-  // Reconstructs the current value (base + deltas). Caller holds mu_.
-  StatusOr<Bytes> Reconstruct(const std::string& key, uint64_t chain_length);
-  // Writes a full object and deletes any delta chain. Caller holds mu_.
+  // Reconstructs the current value (base + deltas).
+  StatusOr<Bytes> Reconstruct(const std::string& key, uint64_t chain_length)
+      REQUIRES(mu_);
+  // Writes a full object and deletes any delta chain.
   Status PutFull(const std::string& key, const Bytes& value,
-                 uint64_t old_chain_length);
+                 uint64_t old_chain_length) REQUIRES(mu_);
 
   std::shared_ptr<KeyValueStore> base_;
   Options options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Client-side memory of each key's current full value, so deltas can be
   // computed without a read-back from the server.
-  std::unordered_map<std::string, Bytes> last_value_;
-  TransferStats stats_;
+  std::unordered_map<std::string, Bytes> last_value_ GUARDED_BY(mu_);
+  TransferStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

@@ -5,14 +5,14 @@
 namespace dstore {
 
 InvalidationBus::Subscription InvalidationBus::Subscribe(Callback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Subscription id = next_id_++;
   subscribers_.emplace(id, std::move(callback));
   return id;
 }
 
 void InvalidationBus::Unsubscribe(Subscription subscription) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   subscribers_.erase(subscription);
 }
 
@@ -21,7 +21,7 @@ void InvalidationBus::Publish(const std::string& key) {
   // without deadlocking.
   std::vector<Callback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     callbacks.reserve(subscribers_.size());
     for (const auto& [id, callback] : subscribers_) {
       callbacks.push_back(callback);
@@ -31,7 +31,7 @@ void InvalidationBus::Publish(const std::string& key) {
 }
 
 size_t InvalidationBus::subscriber_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return subscribers_.size();
 }
 

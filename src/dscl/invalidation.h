@@ -4,10 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cache/cache.h"
+#include "common/sync.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -39,9 +39,9 @@ class InvalidationBus {
   size_t subscriber_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<Subscription, Callback> subscribers_;
-  Subscription next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<Subscription, Callback> subscribers_ GUARDED_BY(mu_);
+  Subscription next_id_ GUARDED_BY(mu_) = 1;
 };
 
 // Evicts `cache` entries for every key published on `bus`. Returns a guard;

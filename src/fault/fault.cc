@@ -172,7 +172,7 @@ Status Fault::ToStatus(std::string_view site, std::string_view op) const {
 FaultPlan::FaultPlan(uint64_t seed) : seed_(seed), rng_(seed) {}
 
 void FaultPlan::AddRule(const FaultRule& rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.push_back(rule);
   rule_matches_.push_back(0);
   rule_fires_.push_back(0);
@@ -190,7 +190,6 @@ StatusOr<std::shared_ptr<FaultPlan>> FaultPlan::FromSpec(
 }
 
 obs::Counter* FaultPlan::CounterFor(std::string_view site, FaultKind kind) {
-  // Caller holds mu_.
   const std::string key =
       std::string(site) + "|" + std::string(FaultKindName(kind));
   auto it = counters_.find(key);
@@ -205,7 +204,7 @@ obs::Counter* FaultPlan::CounterFor(std::string_view site, FaultKind kind) {
 
 std::optional<Fault> FaultPlan::Evaluate(std::string_view site,
                                          std::string_view op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ops_seen_.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& rule = rules_[i];
@@ -233,12 +232,12 @@ std::optional<Fault> FaultPlan::Evaluate(std::string_view site,
 }
 
 std::vector<FaultPlan::TraceEntry> FaultPlan::Trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trace_;
 }
 
 std::string FaultPlan::TraceString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   for (const TraceEntry& entry : trace_) {
     out << '#' << entry.seq << ' ' << entry.site << '/' << entry.op
@@ -253,7 +252,7 @@ std::string FaultPlan::TraceString() const {
 namespace {
 
 struct CrashPointState {
-  std::mutex mu;
+  Mutex mu;
   // point -> remaining hits before it fires (fires when the count reaches 0).
   std::map<std::string, uint64_t> armed;
   std::atomic<uint64_t> crashes{0};
@@ -274,7 +273,7 @@ constexpr char kCrashMessagePrefix[] = "injected crash at ";
 bool CrashPointFires(std::string_view point) {
   if (!g_crash_points_armed.load(std::memory_order_relaxed)) return false;
   CrashPointState* state = CrashState();
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   auto it = state->armed.find(std::string(point));
   if (it == state->armed.end()) return false;
   if (--it->second > 0) return false;
@@ -303,14 +302,14 @@ bool IsCrashStatus(const Status& status) {
 void ArmCrashPoint(const std::string& point, uint64_t countdown) {
   if (countdown == 0) countdown = 1;
   CrashPointState* state = CrashState();
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   state->armed[point] = countdown;
   g_crash_points_armed.store(true, std::memory_order_relaxed);
 }
 
 void DisarmCrashPoints() {
   CrashPointState* state = CrashState();
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   state->armed.clear();
   g_crash_points_armed.store(false, std::memory_order_relaxed);
 }
@@ -324,7 +323,7 @@ uint64_t CrashesInjected() {
 namespace {
 
 std::atomic<bool> g_socket_injection_enabled{false};
-std::mutex g_socket_injector_mu;
+Mutex g_socket_injector_mu;
 std::shared_ptr<SocketFaultInjector>* SocketInjectorSlot() {
   static auto* slot = new std::shared_ptr<SocketFaultInjector>();
   return slot;
@@ -334,7 +333,7 @@ std::shared_ptr<SocketFaultInjector>* SocketInjectorSlot() {
 
 void InstallSocketFaultInjector(
     std::shared_ptr<SocketFaultInjector> injector) {
-  std::lock_guard<std::mutex> lock(g_socket_injector_mu);
+  MutexLock lock(g_socket_injector_mu);
   *SocketInjectorSlot() = injector;
   g_socket_injection_enabled.store(injector != nullptr,
                                    std::memory_order_relaxed);
@@ -344,7 +343,7 @@ std::shared_ptr<SocketFaultInjector> InstalledSocketFaultInjector() {
   if (!g_socket_injection_enabled.load(std::memory_order_relaxed)) {
     return nullptr;
   }
-  std::lock_guard<std::mutex> lock(g_socket_injector_mu);
+  MutexLock lock(g_socket_injector_mu);
   return *SocketInjectorSlot();
 }
 

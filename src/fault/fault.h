@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -12,6 +11,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace dstore {
@@ -128,16 +128,18 @@ class FaultPlan {
   std::string TraceString() const;
 
  private:
-  obs::Counter* CounterFor(std::string_view site, FaultKind kind);
+  obs::Counter* CounterFor(std::string_view site, FaultKind kind)
+      REQUIRES(mu_);
 
   const uint64_t seed_;
-  mutable std::mutex mu_;
-  Random rng_;
-  std::vector<FaultRule> rules_;
-  std::vector<uint64_t> rule_matches_;  // matching ops seen, per rule
-  std::vector<uint64_t> rule_fires_;    // faults fired, per rule
-  std::vector<TraceEntry> trace_;
-  std::map<std::string, obs::Counter*> counters_;  // keyed site|kind
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  // Matching ops seen / faults fired, per rule.
+  std::vector<uint64_t> rule_matches_ GUARDED_BY(mu_);
+  std::vector<uint64_t> rule_fires_ GUARDED_BY(mu_);
+  std::vector<TraceEntry> trace_ GUARDED_BY(mu_);
+  std::map<std::string, obs::Counter*> counters_ GUARDED_BY(mu_);
   std::atomic<uint64_t> ops_seen_{0};
   std::atomic<uint64_t> injected_{0};
 };

@@ -19,7 +19,7 @@ WanLatency::WanLatency(const WanProfile& profile, uint64_t seed)
 int64_t WanLatency::SampleNanos(size_t payload_bytes) {
   double rtt_ms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rtt_ms = rng_.LogNormal(std::log(profile_.median_rtt_ms), profile_.sigma);
     if (profile_.spike_probability > 0 &&
         rng_.Bernoulli(profile_.spike_probability)) {

@@ -2,10 +2,10 @@
 #define DSTORE_NET_LATENCY_MODEL_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/random.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -69,8 +69,8 @@ class WanLatency : public LatencyModel {
 
  private:
   WanProfile profile_;
-  std::mutex mu_;  // guards rng_
-  Random rng_;
+  Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
 };
 
 // Profiles calibrated to reproduce the paper's orderings: Cloud Store 1 is

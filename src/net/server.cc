@@ -24,7 +24,7 @@ void ThreadedServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Force-unblock handlers still waiting on their connections.
     for (const auto& [id, fd] : active_conns_) ::shutdown(fd, SHUT_RDWR);
     to_join.swap(connection_threads_);
@@ -53,7 +53,7 @@ void ThreadedServer::AcceptLoop() {
       }
     }
     const int fd = client->fd();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_.load()) return;  // raced with Stop(); drop the connection
     if (connections_total_ != nullptr) connections_total_->Increment();
     const uint64_t conn_id = next_conn_id_++;
@@ -63,7 +63,7 @@ void ThreadedServer::AcceptLoop() {
           if (active_connections_ != nullptr) active_connections_->Increment();
           handler_(std::move(socket));
           if (active_connections_ != nullptr) active_connections_->Decrement();
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           active_conns_.erase(conn_id);
         });
   }

@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 
@@ -67,8 +67,8 @@ class ThreadedServer {
   ServerSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  std::mutex mu_;  // guards connection_threads_ and active_conns_
-  std::vector<std::thread> connection_threads_;
+  Mutex mu_;
+  std::vector<std::thread> connection_threads_ GUARDED_BY(mu_);
   // Live connections by a per-connection id, NOT by fd: a handler closes
   // its socket before it can deregister, so the kernel may hand the same
   // fd number to a newly accepted connection first. Erasing by fd would
@@ -76,8 +76,8 @@ class ThreadedServer {
   // shutdown() it — leaving Stop() joined forever on a handler blocked in
   // recv. Ids make deregistration self-identifying; a stale entry whose fd
   // was reused at worst gets one extra harmless shutdown().
-  uint64_t next_conn_id_ = 0;
-  std::map<uint64_t, int> active_conns_;
+  uint64_t next_conn_id_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, int> active_conns_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

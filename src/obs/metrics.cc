@@ -114,8 +114,33 @@ double Histogram::Percentile(double p) const {
 
 // --- MetricsRegistry ---
 
+namespace {
+
+// The lock-order validator invokes this hook while holding its internal
+// (uninstrumented) graph mutex, so it must not acquire any instrumented
+// Mutex. The counter is pre-registered in Default(); the hook is one
+// relaxed atomic add.
+std::atomic<Counter*> g_lock_order_violations{nullptr};
+
+void CountLockOrderViolation() {
+  if (Counter* c = g_lock_order_violations.load(std::memory_order_acquire)) {
+    c->Increment();
+  }
+}
+
+}  // namespace
+
 MetricsRegistry* MetricsRegistry::Default() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // NOLINT(dstore-naked-new): leaked singleton
+    g_lock_order_violations.store(
+        r->GetCounter("dstore_lock_order_violations_total", {},
+                      "Lock acquisitions that contradicted the recorded "
+                      "lock-order graph (potential deadlocks)"),
+        std::memory_order_release);
+    sync::SetLockOrderViolationHook(&CountLockOrderViolation);
+    return r;
+  }();
   return registry;
 }
 
@@ -137,7 +162,7 @@ MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = FamilyFor(name, Kind::kCounter, help);
   if (family == nullptr) {
     orphan_counters_.push_back(std::make_unique<Counter>());
@@ -154,7 +179,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = FamilyFor(name, Kind::kGauge, help);
   if (family == nullptr) {
     orphan_gauges_.push_back(std::make_unique<Gauge>());
@@ -172,7 +197,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = FamilyFor(name, Kind::kHistogram, help);
   if (family == nullptr) {
     orphan_histograms_.push_back(
@@ -189,14 +214,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 int MetricsRegistry::AddCollector(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int id = next_collector_id_++;
   collectors_[id] = std::move(fn);
   return id;
 }
 
 void MetricsRegistry::RemoveCollector(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.erase(id);
 }
 
@@ -206,13 +231,13 @@ std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::Snapshot()
   // registry, which takes the lock.
   std::vector<std::function<void()>> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     collectors.reserve(collectors_.size());
     for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
   }
   for (const auto& fn : collectors) fn();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<FamilySnapshot> out;
   out.reserve(families_.size());
   for (const auto& [name, family] : families_) {

@@ -6,10 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dstore {
 namespace obs {
@@ -156,17 +157,17 @@ class MetricsRegistry {
   };
 
   Family* FamilyFor(const std::string& name, Kind kind,
-                    const std::string& help);
+                    const std::string& help) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
-  std::map<int, std::function<void()>> collectors_;
-  int next_collector_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
+  std::map<int, std::function<void()>> collectors_ GUARDED_BY(mu_);
+  int next_collector_id_ GUARDED_BY(mu_) = 1;
   // Instruments requested with a type that clashes with their family; kept
   // alive so callers can still write to them harmlessly.
-  std::vector<std::unique_ptr<Counter>> orphan_counters_;
-  std::vector<std::unique_ptr<Gauge>> orphan_gauges_;
-  std::vector<std::unique_ptr<Histogram>> orphan_histograms_;
+  std::vector<std::unique_ptr<Counter>> orphan_counters_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Gauge>> orphan_gauges_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Histogram>> orphan_histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

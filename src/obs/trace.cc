@@ -106,7 +106,7 @@ void Tracer::SetSampleRate(double rate) {
 bool Tracer::ShouldSample() {
   const double rate = rate_.load(std::memory_order_relaxed);
   if (rate <= 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   credit_ += rate;
   if (credit_ >= 1.0) {
     credit_ -= 1.0;
@@ -117,25 +117,25 @@ bool Tracer::ShouldSample() {
 
 void Tracer::Finish(std::unique_ptr<SpanNode> root) {
   auto trace = std::shared_ptr<const Trace>(new Trace(std::move(root)));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++finished_;
   recent_.push_back(std::move(trace));
   while (recent_.size() > keep_) recent_.pop_front();
 }
 
 std::vector<std::shared_ptr<const Trace>> Tracer::RecentTraces() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<std::shared_ptr<const Trace>>(recent_.begin(),
                                                    recent_.end());
 }
 
 std::shared_ptr<const Trace> Tracer::LatestTrace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recent_.empty() ? nullptr : recent_.back();
 }
 
 uint64_t Tracer::TraceCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return finished_;
 }
 

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 
 namespace dstore {
 namespace obs {
@@ -91,10 +91,10 @@ class Tracer {
   const Clock* clock_;
   const size_t keep_;
   std::atomic<double> rate_{0};
-  mutable std::mutex mu_;
-  double credit_ = 0;
-  uint64_t finished_ = 0;
-  std::deque<std::shared_ptr<const Trace>> recent_;
+  mutable Mutex mu_;
+  double credit_ GUARDED_BY(mu_) = 0;
+  uint64_t finished_ GUARDED_BY(mu_) = 0;
+  std::deque<std::shared_ptr<const Trace>> recent_ GUARDED_BY(mu_);
 };
 
 // RAII span. The constructor starts the clock; End() (or destruction)

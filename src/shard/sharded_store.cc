@@ -1,7 +1,6 @@
 #include "shard/sharded_store.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdio>
 #include <set>
 
@@ -56,7 +55,7 @@ ShardedStore::ShardedStore(ShardList shards, const Options& options)
 
 ShardedStore::~ShardedStore() {
   stop_.store(true);
-  std::lock_guard<std::mutex> topo(topo_mu_);
+  MutexLock topo(topo_mu_);
   JoinMigrator();
 }
 
@@ -84,17 +83,17 @@ void ShardedStore::Observe(Shard* shard, const Status& status) {
   }
 }
 
-std::mutex& ShardedStore::StripeFor(const std::string& key) {
+Mutex& ShardedStore::StripeFor(const std::string& key) {
   return stripes_[Mix64(Fnv1a64(key)) % kStripes];
 }
 
 bool ShardedStore::IsMigrated(const std::string& key) {
-  std::lock_guard<std::mutex> lock(migrated_mu_);
+  MutexLock lock(migrated_mu_);
   return migrated_.count(key) != 0;
 }
 
 void ShardedStore::MarkMigrated(const std::string& key) {
-  std::lock_guard<std::mutex> lock(migrated_mu_);
+  MutexLock lock(migrated_mu_);
   migrated_.insert(key);
 }
 
@@ -119,7 +118,7 @@ std::shared_ptr<ShardedStore::Shard> ShardedStore::ForwardTarget(
 
 Status ShardedStore::Put(const std::string& key, ValuePtr value) {
   obs::Span span("shard.put");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::Unavailable("no shards configured");
   auto shard = shards_.at(*ring_.OwnerOf(key));
   if (!migration_active_.load(std::memory_order_acquire)) {
@@ -127,7 +126,7 @@ Status ShardedStore::Put(const std::string& key, ValuePtr value) {
     Observe(shard.get(), status);
     return status;
   }
-  std::lock_guard<std::mutex> stripe(StripeFor(key));
+  MutexLock stripe(StripeFor(key));
   const Status status = shard->store->Put(key, std::move(value));
   Observe(shard.get(), status);
   // Only an acknowledged write closes the forwarding window: an errored one
@@ -138,7 +137,7 @@ Status ShardedStore::Put(const std::string& key, ValuePtr value) {
 
 Status ShardedStore::Delete(const std::string& key) {
   obs::Span span("shard.delete");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::Unavailable("no shards configured");
   auto shard = shards_.at(*ring_.OwnerOf(key));
   if (!migration_active_.load(std::memory_order_acquire)) {
@@ -146,7 +145,7 @@ Status ShardedStore::Delete(const std::string& key) {
     Observe(shard.get(), status);
     return status;
   }
-  std::lock_guard<std::mutex> stripe(StripeFor(key));
+  MutexLock stripe(StripeFor(key));
   const Status status = shard->store->Delete(key);
   Observe(shard.get(), status);
   // Marking the delete "migrated" stops the migrator from resurrecting the
@@ -157,7 +156,7 @@ Status ShardedStore::Delete(const std::string& key) {
 
 StatusOr<ValuePtr> ShardedStore::Get(const std::string& key) {
   obs::Span span("shard.get");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   return GetLocked(key);
 }
 
@@ -172,7 +171,7 @@ StatusOr<ValuePtr> ShardedStore::GetLocked(const std::string& key) {
   // Hold the stripe across both reads: otherwise the migrator could finish
   // moving the key between "miss at the new owner" and "read the old one"
   // and the old owner's cleaned-up copy would read as a spurious NotFound.
-  std::lock_guard<std::mutex> stripe(StripeFor(key));
+  MutexLock stripe(StripeFor(key));
   auto prev = ForwardTarget(key, *ring_.OwnerOf(key));
   if (prev != nullptr && Unhealthy(*shard)) {
     // The new owner is in a failure streak and cannot hold anything
@@ -204,7 +203,7 @@ StatusOr<ValuePtr> ShardedStore::GetLocked(const std::string& key) {
 
 StatusOr<bool> ShardedStore::Contains(const std::string& key) {
   obs::Span span("shard.contains");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::Unavailable("no shards configured");
   auto shard = shards_.at(*ring_.OwnerOf(key));
   if (!migration_active_.load(std::memory_order_acquire)) {
@@ -212,7 +211,7 @@ StatusOr<bool> ShardedStore::Contains(const std::string& key) {
     Observe(shard.get(), result.status());
     return result;
   }
-  std::lock_guard<std::mutex> stripe(StripeFor(key));
+  MutexLock stripe(StripeFor(key));
   auto prev = ForwardTarget(key, *ring_.OwnerOf(key));
   auto result = shard->store->Contains(key);
   Observe(shard.get(), result.status());
@@ -237,25 +236,25 @@ void ShardedStore::RunBatches(std::vector<std::function<void()>> batches) {
     return;
   }
   const size_t total = batches.size();
-  std::mutex mu;
-  std::condition_variable done_cv;
+  Mutex mu;
+  CondVar done_cv;
   size_t done = 0;
   for (auto& batch : batches) {
     pool_->Submit([&mu, &done_cv, &done, batch = std::move(batch)] {
       batch();
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ++done;
-      done_cv.notify_one();
+      done_cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return done == total; });
+  MutexLock lock(mu);
+  while (done != total) done_cv.Wait(mu);
 }
 
 std::vector<StatusOr<ValuePtr>> ShardedStore::MultiGet(
     const std::vector<std::string>& keys) {
   obs::Span span("shard.multiget");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   std::vector<StatusOr<ValuePtr>> results(
       keys.size(), StatusOr<ValuePtr>(Status::Internal("unset")));
   if (migration_active_.load(std::memory_order_acquire) || shards_.empty()) {
@@ -292,13 +291,13 @@ std::vector<StatusOr<ValuePtr>> ShardedStore::MultiGet(
 Status ShardedStore::MultiPut(
     const std::vector<std::pair<std::string, ValuePtr>>& entries) {
   obs::Span span("shard.multiput");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::Unavailable("no shards configured");
   if (migration_active_.load(std::memory_order_acquire)) {
     // Per-key path, stopping at the first error like the base default.
     for (const auto& [key, value] : entries) {
       auto shard = shards_.at(*ring_.OwnerOf(key));
-      std::lock_guard<std::mutex> stripe(StripeFor(key));
+      MutexLock stripe(StripeFor(key));
       const Status status = shard->store->Put(key, value);
       Observe(shard.get(), status);
       if (!status.ok()) return status;
@@ -312,7 +311,7 @@ Status ShardedStore::MultiPut(
   }
   // First failing entry (by input order) wins, so the reported error does
   // not depend on batch scheduling.
-  std::mutex err_mu;
+  Mutex err_mu;
   size_t err_index = entries.size();
   Status err = Status::OK();
   std::vector<std::function<void()>> batches;
@@ -328,7 +327,7 @@ Status ShardedStore::MultiPut(
       const Status status = shard->store->MultiPut(batch);
       Observe(shard, status);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(err_mu);
+        MutexLock lock(err_mu);
         if (slots->front() < err_index) {
           err_index = slots->front();
           err = status;
@@ -342,7 +341,7 @@ Status ShardedStore::MultiPut(
 
 StatusOr<std::vector<std::string>> ShardedStore::ListKeys() {
   obs::Span span("shard.listkeys");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   return ListKeysLocked();
 }
 
@@ -375,7 +374,7 @@ StatusOr<std::vector<std::string>> ShardedStore::ListKeysLocked() {
 
 StatusOr<size_t> ShardedStore::Count() {
   obs::Span span("shard.count");
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::Unavailable("no shards configured");
   if (migration_active_.load(std::memory_order_acquire)) {
     // Keys can transiently exist on two shards; count distinct keys.
@@ -407,7 +406,7 @@ StatusOr<size_t> ShardedStore::Count() {
 Status ShardedStore::Clear() {
   obs::Span span("shard.clear");
   WaitForRebalance();  // clearing mid-migration would race copied keys
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::OK();
   for (auto& [name, shard] : shards_) {
     const Status status = shard->store->Clear();
@@ -418,7 +417,7 @@ Status ShardedStore::Clear() {
 }
 
 std::string ShardedStore::Name() const {
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   std::string name = options_.name + "(";
   bool first = true;
   for (const auto& [shard_name, shard] : shards_) {
@@ -430,7 +429,7 @@ std::string ShardedStore::Name() const {
 }
 
 size_t ShardedStore::shard_count() const {
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   return shards_.size();
 }
 
@@ -441,20 +440,20 @@ void ShardedStore::JoinMigrator() {
 }
 
 void ShardedStore::WaitForRebalance() {
-  std::lock_guard<std::mutex> topo(topo_mu_);
+  MutexLock topo(topo_mu_);
   JoinMigrator();
 }
 
 Status ShardedStore::AddShard(const std::string& name,
                               std::shared_ptr<KeyValueStore> store) {
   if (store == nullptr) return Status::InvalidArgument("null shard store");
-  std::lock_guard<std::mutex> topo(topo_mu_);
+  MutexLock topo(topo_mu_);
   JoinMigrator();  // one migration at a time
   shard::HashRing old_snapshot, new_snapshot;
   ShardMap stores;
   uint64_t id = 0;
   {
-    std::unique_lock<std::shared_mutex> resize(resize_mu_);
+    WriterLock resize(resize_mu_);
     if (shards_.count(name) != 0 || draining_.count(name) != 0) {
       return Status::AlreadyExists("shard '" + name + "' already registered");
     }
@@ -466,7 +465,7 @@ Status ShardedStore::AddShard(const std::string& name,
     if (first) return Status::OK();  // nothing can have moved
     old_ring_ = old_snapshot;
     {
-      std::lock_guard<std::mutex> m(migrated_mu_);
+      MutexLock m(migrated_mu_);
       migrated_.clear();
     }
     migration_active_.store(true, std::memory_order_release);
@@ -483,13 +482,13 @@ Status ShardedStore::AddShard(const std::string& name,
 }
 
 Status ShardedStore::RemoveShard(const std::string& name) {
-  std::lock_guard<std::mutex> topo(topo_mu_);
+  MutexLock topo(topo_mu_);
   JoinMigrator();
   shard::HashRing old_snapshot, new_snapshot;
   ShardMap stores;
   uint64_t id = 0;
   {
-    std::unique_lock<std::shared_mutex> resize(resize_mu_);
+    WriterLock resize(resize_mu_);
     auto it = shards_.find(name);
     if (it == shards_.end()) {
       return Status::NotFound("no shard '" + name + "'");
@@ -506,7 +505,7 @@ Status ShardedStore::RemoveShard(const std::string& name) {
     obs_shard_count_->Set(static_cast<double>(shards_.size()));
     old_ring_ = old_snapshot;
     {
-      std::lock_guard<std::mutex> m(migrated_mu_);
+      MutexLock m(migrated_mu_);
       migrated_.clear();
     }
     migration_active_.store(true, std::memory_order_release);
@@ -541,7 +540,7 @@ void ShardedStore::RecordMigration(uint64_t rebalance_id, const char* action,
   std::string line = "#" + std::to_string(rebalance_id) + " " + action + " " +
                      key + " " + from;
   if (!to.empty()) line += " -> " + to;
-  std::lock_guard<std::mutex> lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   migration_trace_.push_back(std::move(line));
 }
 
@@ -552,7 +551,7 @@ size_t ShardedStore::MigratePass(const shard::HashRing& old_ring,
   size_t pending = 0;
   std::function<void()> hook;
   {
-    std::lock_guard<std::mutex> lock(trace_mu_);
+    MutexLock lock(trace_mu_);
     hook = migration_step_hook_;
   }
   for (const std::string& source : old_ring.Shards()) {
@@ -581,7 +580,7 @@ size_t ShardedStore::MigratePass(const shard::HashRing& old_ring,
       Shard* dst = dst_it->second.get();
       bool settled = false;
       {
-        std::lock_guard<std::mutex> stripe(StripeFor(key));
+        MutexLock stripe(StripeFor(key));
         if (IsMigrated(key)) {
           // The key was rewritten (or deleted) under the new ring, or a
           // previous pass copied it but failed the source delete: the copy
@@ -632,7 +631,7 @@ void ShardedStore::MigratorMain(shard::HashRing old_ring,
     if (pending == 0) break;
     if (!progress) clock_->SleepFor(options_.migration_retry_backoff_nanos);
   }
-  std::unique_lock<std::shared_mutex> resize(resize_mu_);
+  WriterLock resize(resize_mu_);
   draining_.clear();
   old_ring_.reset();
   migration_active_.store(false, std::memory_order_release);
@@ -642,12 +641,12 @@ void ShardedStore::MigratorMain(shard::HashRing old_ring,
 // --- Introspection ---------------------------------------------------------
 
 void ShardedStore::SetMigrationStepHook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   migration_step_hook_ = std::move(hook);
 }
 
 std::string ShardedStore::MigrationTraceString() const {
-  std::lock_guard<std::mutex> lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   std::string out;
   for (const std::string& line : migration_trace_) {
     out += line;
@@ -657,7 +656,7 @@ std::string ShardedStore::MigrationTraceString() const {
 }
 
 std::vector<ShardedStore::ShardStatus> ShardedStore::ShardStatuses() {
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   const auto fractions = ring_.OwnershipFractions();
   std::vector<ShardStatus> out;
   auto fill = [&](const std::string& name, const Shard& shard,
@@ -679,14 +678,14 @@ std::vector<ShardedStore::ShardStatus> ShardedStore::ShardStatuses() {
 }
 
 std::string ShardedStore::DescribeRing() const {
-  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  ReaderLock lock(resize_mu_);
   return ring_.Describe();
 }
 
 std::string ShardedStore::DescribeTopology() {
   std::string out;
   {
-    std::shared_lock<std::shared_mutex> lock(resize_mu_);
+    ReaderLock lock(resize_mu_);
     char header[160];
     std::snprintf(header, sizeof(header),
                   "topology %s shards=%zu vnodes=%zu seed=%llu migration=%s\n",

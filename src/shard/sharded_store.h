@@ -6,9 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -16,6 +14,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -156,19 +155,21 @@ class ShardedStore : public KeyValueStore {
            static_cast<uint64_t>(options_.unhealthy_after);
   }
 
-  std::mutex& StripeFor(const std::string& key);
+  Mutex& StripeFor(const std::string& key);
   bool IsMigrated(const std::string& key);
   void MarkMigrated(const std::string& key);
 
   // Cores that assume resize_mu_ is already held (shared) by the caller.
-  StatusOr<ValuePtr> GetLocked(const std::string& key);
-  StatusOr<std::vector<std::string>> ListKeysLocked();
+  StatusOr<ValuePtr> GetLocked(const std::string& key)
+      REQUIRES_SHARED(resize_mu_);
+  StatusOr<std::vector<std::string>> ListKeysLocked()
+      REQUIRES_SHARED(resize_mu_);
 
   // Pre-resize owner of `key` if migration is active and ownership moved;
-  // null otherwise. Looks in shards_ then draining_. Caller holds
-  // resize_mu_ (shared).
+  // null otherwise. Looks in shards_ then draining_.
   std::shared_ptr<Shard> ForwardTarget(const std::string& key,
-                                       const std::string& current_owner);
+                                       const std::string& current_owner)
+      REQUIRES_SHARED(resize_mu_);
 
   void MigratorMain(shard::HashRing old_ring, shard::HashRing new_ring,
                     ShardMap sources, uint64_t rebalance_id);
@@ -186,8 +187,7 @@ class ShardedStore : public KeyValueStore {
   // until all complete.
   void RunBatches(std::vector<std::function<void()>> batches);
 
-  // Must hold topo_mu_.
-  void JoinMigrator();
+  void JoinMigrator() REQUIRES(topo_mu_);
 
   Options options_;
   Clock* clock_;
@@ -195,34 +195,36 @@ class ShardedStore : public KeyValueStore {
   std::unique_ptr<ThreadPool> owned_pool_;
 
   // Serializes topology changes (and WaitForRebalance) against each other.
-  std::mutex topo_mu_;
-  std::thread migrator_;
+  Mutex topo_mu_;
+  std::thread migrator_ GUARDED_BY(topo_mu_);
   std::atomic<bool> stop_{false};
 
   // Client ops hold shared; the ring/shard-map swap holds unique, so every
   // in-flight op sees one coherent topology.
-  mutable std::shared_mutex resize_mu_;
-  shard::HashRing ring_;
-  std::optional<shard::HashRing> old_ring_;  // set while migrating
-  ShardMap shards_;
-  ShardMap draining_;  // removed shards still owning un-migrated keys
-  uint64_t rebalance_seq_ = 0;
+  mutable SharedMutex resize_mu_;
+  shard::HashRing ring_ GUARDED_BY(resize_mu_);
+  std::optional<shard::HashRing> old_ring_
+      GUARDED_BY(resize_mu_);  // set while migrating
+  ShardMap shards_ GUARDED_BY(resize_mu_);
+  ShardMap draining_
+      GUARDED_BY(resize_mu_);  // removed shards still owning un-migrated keys
+  uint64_t rebalance_seq_ GUARDED_BY(resize_mu_) = 0;
 
   std::atomic<bool> migration_active_{false};
 
   // Keys written under the post-resize ring (or already migrated): the
   // forwarding window is closed for them and the migrator must not copy an
   // older value over them. Cleared at each topology swap.
-  std::mutex migrated_mu_;
-  std::unordered_set<std::string> migrated_;
+  Mutex migrated_mu_;
+  std::unordered_set<std::string> migrated_ GUARDED_BY(migrated_mu_);
 
   // Per-key stripes make a client operation and a migrator step on the
   // same key mutually exclusive during the migration window.
-  std::array<std::mutex, kStripes> stripes_;
+  std::array<Mutex, kStripes> stripes_;
 
-  mutable std::mutex trace_mu_;
-  std::vector<std::string> migration_trace_;
-  std::function<void()> migration_step_hook_;
+  mutable Mutex trace_mu_;
+  std::vector<std::string> migration_trace_ GUARDED_BY(trace_mu_);
+  std::function<void()> migration_step_hook_ GUARDED_BY(trace_mu_);
 
   std::atomic<uint64_t> keys_migrated_{0};
 

@@ -8,7 +8,7 @@ StatusOr<std::unique_ptr<CloudStoreClient>> CloudStoreClient::Connect(
     const std::string& host, uint16_t port, std::string name) {
   auto client = std::unique_ptr<CloudStoreClient>(
       new CloudStoreClient(host, port, std::move(name)));
-  std::lock_guard<std::mutex> lock(client->mu_);
+  MutexLock lock(client->mu_);
   DSTORE_RETURN_IF_ERROR(client->EnsureConnected());
   return client;
 }
@@ -48,7 +48,7 @@ Status CloudStoreClient::Put(const std::string& key, ValuePtr value) {
   request.method = "PUT";
   request.path = ObjectPath(key);
   request.body = *value;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
     return Status::IOError("cloud PUT failed: HTTP " +
@@ -63,7 +63,7 @@ StatusOr<ValuePtr> CloudStoreClient::Get(const std::string& key) {
   HttpRequest request;
   request.method = "GET";
   request.path = ObjectPath(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code == 404) return Status::NotFound("no such key");
   if (response.status_code != 200) {
@@ -79,7 +79,7 @@ StatusOr<ConditionalGetResult> CloudStoreClient::GetIfChanged(
   request.method = "GET";
   request.path = ObjectPath(key);
   if (!etag.empty()) request.headers["if-none-match"] = etag;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code == 404) return Status::NotFound("no such key");
   ConditionalGetResult result;
@@ -101,7 +101,7 @@ Status CloudStoreClient::Delete(const std::string& key) {
   HttpRequest request;
   request.method = "DELETE";
   request.path = ObjectPath(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
     return Status::IOError("cloud DELETE failed: HTTP " +
@@ -114,7 +114,7 @@ StatusOr<bool> CloudStoreClient::Contains(const std::string& key) {
   HttpRequest request;
   request.method = "HEAD";
   request.path = ObjectPath(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code == 200) return true;
   if (response.status_code == 404) return false;
@@ -126,7 +126,7 @@ StatusOr<std::vector<std::string>> CloudStoreClient::ListKeys() {
   HttpRequest request;
   request.method = "GET";
   request.path = "/keys";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
     return Status::IOError("cloud /keys failed: HTTP " +
@@ -150,7 +150,7 @@ StatusOr<size_t> CloudStoreClient::Count() {
   HttpRequest request;
   request.method = "GET";
   request.path = "/count";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
     return Status::IOError("cloud /count failed: HTTP " +
@@ -163,7 +163,7 @@ Status CloudStoreClient::Clear() {
   HttpRequest request;
   request.method = "POST";
   request.path = "/clear";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
     return Status::IOError("cloud /clear failed: HTTP " +
@@ -173,7 +173,7 @@ Status CloudStoreClient::Clear() {
 }
 
 std::string CloudStoreClient::last_put_etag() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_put_etag_;
 }
 

@@ -2,10 +2,10 @@
 #define DSTORE_STORE_CLOUD_CLIENT_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/sync.h"
 #include "net/http.h"
 #include "store/key_value.h"
 
@@ -41,16 +41,16 @@ class CloudStoreClient : public KeyValueStore {
       : host_(std::move(host)), port_(port), name_(std::move(name)) {}
 
   static std::string ObjectPath(const std::string& key);
-  // Performs one request with reconnect-once semantics. Caller holds mu_.
-  StatusOr<HttpResponse> RoundTrip(const HttpRequest& request);
-  Status EnsureConnected();
+  // Performs one request with reconnect-once semantics.
+  StatusOr<HttpResponse> RoundTrip(const HttpRequest& request) REQUIRES(mu_);
+  Status EnsureConnected() REQUIRES(mu_);
 
   std::string host_;
   uint16_t port_;
   std::string name_;
-  mutable std::mutex mu_;
-  std::optional<HttpConnection> conn_;
-  std::string last_put_etag_;
+  mutable Mutex mu_;
+  std::optional<HttpConnection> conn_ GUARDED_BY(mu_);
+  std::string last_put_etag_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

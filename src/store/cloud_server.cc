@@ -51,7 +51,7 @@ void CloudStoreServer::Stop() {
 }
 
 size_t CloudStoreServer::ObjectCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
@@ -104,13 +104,13 @@ HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
       object.etag = ComputeEtag(object.value);
       HttpResponse response = MakeResponse(200, "OK");
       response.headers["etag"] = object.etag;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       objects_[hexkey] = std::move(object);
       return response;
     }
 
     if (request.method == "GET" || request.method == "HEAD") {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = objects_.find(hexkey);
       if (it == objects_.end()) return MakeResponse(404, "Not Found");
       auto inm = request.headers.find("if-none-match");
@@ -126,7 +126,7 @@ HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
     }
 
     if (request.method == "DELETE") {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       objects_.erase(hexkey);
       return MakeResponse(200, "OK");
     }
@@ -137,7 +137,7 @@ HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
   if (path == "/keys" && request.method == "GET") {
     std::string listing;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (const auto& [hexkey, object] : objects_) {
         listing += hexkey;
         listing += '\n';
@@ -150,13 +150,13 @@ HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
 
   if (path == "/count" && request.method == "GET") {
     HttpResponse response = MakeResponse(200, "OK");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     response.body = ToBytes(std::to_string(objects_.size()));
     return response;
   }
 
   if (path == "/clear" && request.method == "POST") {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     objects_.clear();
     return MakeResponse(200, "OK");
   }

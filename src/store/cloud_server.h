@@ -2,11 +2,11 @@
 #define DSTORE_STORE_CLOUD_SERVER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/http.h"
 #include "net/latency_model.h"
 #include "net/server.h"
@@ -62,8 +62,8 @@ class CloudStoreServer {
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<ThreadedServer> server_;
   int objects_collector_id_ = 0;  // scrape-time object-count gauge refresh
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Object> objects_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Object> objects_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

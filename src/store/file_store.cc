@@ -39,7 +39,7 @@ Status FileStore::Put(const std::string& key, ValuePtr value) {
   }
   std::filesystem::path temp_path;
   {
-    std::lock_guard<std::mutex> lock(temp_mu_);
+    MutexLock lock(temp_mu_);
     temp_path = root_ / ("tmp_" + std::to_string(temp_counter_++) + "_" +
                          std::to_string(::getpid()));
   }

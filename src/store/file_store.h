@@ -2,10 +2,10 @@
 #define DSTORE_STORE_FILE_STORE_H_
 
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -50,8 +50,8 @@ class FileStore : public KeyValueStore {
 
   std::filesystem::path root_;
   Options options_;
-  std::mutex temp_mu_;  // serializes temp-file name generation
-  uint64_t temp_counter_ = 0;
+  Mutex temp_mu_;  // serializes temp-file name generation
+  uint64_t temp_counter_ GUARDED_BY(temp_mu_) = 0;
 };
 
 }  // namespace dstore

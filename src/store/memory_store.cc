@@ -4,31 +4,31 @@ namespace dstore {
 
 Status MemoryStore::Put(const std::string& key, ValuePtr value) {
   if (value == nullptr) return Status::InvalidArgument("null value");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_[key] = std::move(value);
   return Status::OK();
 }
 
 StatusOr<ValuePtr> MemoryStore::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return Status::NotFound("no such key: " + key);
   return it->second;
 }
 
 Status MemoryStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.erase(key);
   return Status::OK();
 }
 
 StatusOr<bool> MemoryStore::Contains(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.count(key) > 0;
 }
 
 StatusOr<std::vector<std::string>> MemoryStore::ListKeys() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(map_.size());
   for (const auto& [key, value] : map_) keys.push_back(key);
@@ -36,12 +36,12 @@ StatusOr<std::vector<std::string>> MemoryStore::ListKeys() {
 }
 
 StatusOr<size_t> MemoryStore::Count() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 Status MemoryStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   return Status::OK();
 }

@@ -1,11 +1,11 @@
 #ifndef DSTORE_STORE_MEMORY_STORE_H_
 #define DSTORE_STORE_MEMORY_STORE_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -28,8 +28,8 @@ class MemoryStore : public KeyValueStore {
   std::string Name() const override { return "memory"; }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ValuePtr> map_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, ValuePtr> map_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

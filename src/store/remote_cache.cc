@@ -169,7 +169,7 @@ StatusOr<std::shared_ptr<RemoteCacheConnection>> RemoteCacheConnection::Connect(
     const std::string& host, uint16_t port) {
   auto conn = std::shared_ptr<RemoteCacheConnection>(
       new RemoteCacheConnection(host, port));
-  std::lock_guard<std::mutex> lock(conn->mu_);
+  MutexLock lock(conn->mu_);
   DSTORE_RETURN_IF_ERROR(conn->EnsureConnected());
   return conn;
 }
@@ -181,7 +181,7 @@ Status RemoteCacheConnection::EnsureConnected() {
 }
 
 StatusOr<Bytes> RemoteCacheConnection::RoundTrip(const Bytes& request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int attempt = 0; attempt < 2; ++attempt) {
     DSTORE_RETURN_IF_ERROR(EnsureConnected());
     if (!WriteFrame(&socket_, request).ok()) {

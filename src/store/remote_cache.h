@@ -2,13 +2,13 @@
 #define DSTORE_STORE_REMOTE_CACHE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cache/cache.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "store/key_value.h"
@@ -92,13 +92,13 @@ class RemoteCacheConnection {
   RemoteCacheConnection(std::string host, uint16_t port)
       : host_(std::move(host)), port_(port) {}
 
-  StatusOr<Bytes> RoundTrip(const Bytes& request);
-  Status EnsureConnected();
+  StatusOr<Bytes> RoundTrip(const Bytes& request) EXCLUDES(mu_);
+  Status EnsureConnected() REQUIRES(mu_);
 
   std::string host_;
   uint16_t port_;
-  std::mutex mu_;
-  Socket socket_;
+  Mutex mu_;
+  Socket socket_ GUARDED_BY(mu_);
 };
 
 // Cache-interface adapter: lets the DSCL plug the remote-process cache in

@@ -22,7 +22,7 @@ R RetryingStore::WithRetries(Op&& op) {
        ++attempt) {
     clock_->SleepFor(backoff);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.retries;
       stats_.backoff_nanos += static_cast<uint64_t>(backoff);
     }
@@ -34,7 +34,7 @@ R RetryingStore::WithRetries(Op&& op) {
   }
   if (IsTransient(StatusOf(result))) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.exhausted;
     }
     obs_exhausted_->Increment();
@@ -72,7 +72,7 @@ Status RetryingStore::Clear() {
 }
 
 RetryingStore::RetryStats RetryingStore::GetRetryStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

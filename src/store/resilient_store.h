@@ -2,11 +2,11 @@
 #define DSTORE_STORE_RESILIENT_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "fault/fault_store.h"
 #include "obs/metrics.h"
 #include "store/key_value.h"
@@ -75,8 +75,8 @@ class RetryingStore : public KeyValueStore {
   std::shared_ptr<KeyValueStore> inner_;
   Options options_;
   Clock* clock_;
-  mutable std::mutex mu_;
-  RetryStats stats_;
+  mutable Mutex mu_;
+  RetryStats stats_ GUARDED_BY(mu_);
   // Process-wide mirrors of stats_, labelled by inner store name.
   obs::Counter* obs_retries_;
   obs::Counter* obs_exhausted_;

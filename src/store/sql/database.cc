@@ -289,7 +289,7 @@ std::string Database::Table::EncodePk(const SqlValue& value) {
 Database::Database() = default;
 
 Database::~Database() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (wal_fd_ >= 0) {
     ::close(wal_fd_);
     wal_fd_ = -1;
@@ -310,6 +310,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& path,
   DSTORE_RETURN_IF_ERROR(db->ReplayWal());
 
   const std::string wal_path = path + ".wal";
+  MutexLock lock(db->mu_);
   db->wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (db->wal_fd_ < 0) {
     return Status::IOError("open WAL: " + Errno());
@@ -322,12 +323,12 @@ StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& path,
 
 StatusOr<ResultSet> Database::Execute(std::string_view sql) {
   DSTORE_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ExecuteLocked(stmt, sql);
 }
 
 StatusOr<ResultSet> Database::ExecuteStatement(const Statement& statement) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // WAL text is regenerated from the AST only for mutating statements.
   std::string wal_sql;
   if (statement.kind != Statement::Kind::kSelect && path_ != "") {
@@ -876,7 +877,10 @@ Status Database::ReplayWal() {
   }
   ::close(fd);
 
-  replaying_ = true;
+  {
+    MutexLock lock(mu_);
+    replaying_ = true;
+  }
   size_t pos = 0;
   // End of the last record that left the log outside a BEGIN..COMMIT group;
   // everything past it (torn tails, dangling transactions) is discarded.
@@ -890,7 +894,7 @@ Status Database::ReplayWal() {
     if (Crc32(sql.data(), sql.size()) != crc) break;  // corrupt tail
     auto parsed = ParseStatement(sql);
     if (!parsed.ok()) break;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto result = ExecuteLocked(*parsed, "");
     if (!result.ok()) {
       // A statement that applied before the crash cannot fail on replay
@@ -901,15 +905,15 @@ Status Database::ReplayWal() {
     if (!in_txn_) committed_pos = pos;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (in_txn_) {
       // The log ends inside a BEGIN..COMMIT group (torn commit). Undo the
       // partial transaction atomically through the normal rollback path.
       auto rollback = ParseStatement("ROLLBACK");
       if (rollback.ok()) ExecuteLocked(*rollback, "").ok();
     }
+    replaying_ = false;
   }
-  replaying_ = false;
   // Trim everything the replay rejected so future appends land after a
   // valid record, not after garbage that would mask them on the next
   // replay. Runs before the append fd opens (see Open).
@@ -999,7 +1003,7 @@ Status Database::LoadSnapshot() {
     const std::string table_name = table.name;
     tables.emplace(table_name, std::move(table));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_ = std::move(tables);
   return Status::OK();
 }
@@ -1060,7 +1064,7 @@ Status Database::WriteSnapshotLocked() {
 }
 
 Status Database::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (in_txn_) {
     return Status::InvalidArgument("cannot checkpoint inside a transaction");
   }
@@ -1068,7 +1072,7 @@ Status Database::Checkpoint() {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -1076,12 +1080,12 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 bool Database::in_transaction() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_txn_;
 }
 
 size_t Database::WalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return wal_bytes_;
 }
 

@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -11,6 +10,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "store/sql/ast.h"
 #include "store/sql/value.h"
 
@@ -88,50 +88,57 @@ class Database {
     static std::string EncodePk(const SqlValue& value);
   };
 
-  // --- execution (callers hold mu_) ---
+  // --- execution (run under mu_) ---
   StatusOr<ResultSet> ExecuteLocked(const Statement& statement,
-                                    std::string_view sql_for_wal);
-  StatusOr<ResultSet> ExecCreateTable(const CreateTableStatement& stmt);
-  StatusOr<ResultSet> ExecDropTable(const DropTableStatement& stmt);
-  StatusOr<ResultSet> ExecInsert(const InsertStatement& stmt);
-  StatusOr<ResultSet> ExecSelect(const SelectStatement& stmt);
-  StatusOr<ResultSet> ExecUpdate(const UpdateStatement& stmt);
-  StatusOr<ResultSet> ExecDelete(const DeleteStatement& stmt);
+                                    std::string_view sql_for_wal)
+      REQUIRES(mu_);
+  StatusOr<ResultSet> ExecCreateTable(const CreateTableStatement& stmt)
+      REQUIRES(mu_);
+  StatusOr<ResultSet> ExecDropTable(const DropTableStatement& stmt)
+      REQUIRES(mu_);
+  StatusOr<ResultSet> ExecInsert(const InsertStatement& stmt) REQUIRES(mu_);
+  StatusOr<ResultSet> ExecSelect(const SelectStatement& stmt) REQUIRES(mu_);
+  StatusOr<ResultSet> ExecUpdate(const UpdateStatement& stmt) REQUIRES(mu_);
+  StatusOr<ResultSet> ExecDelete(const DeleteStatement& stmt) REQUIRES(mu_);
 
-  StatusOr<Table*> FindTable(const std::string& name);
+  StatusOr<Table*> FindTable(const std::string& name) REQUIRES(mu_);
   // Rows matched by `where` (all rows when null). Uses the PK index for
   // equality predicates on the primary key column.
-  StatusOr<std::vector<size_t>> MatchRows(Table* table, const Expr* where);
-  void RemoveRow(Table* table, size_t row_index);
+  StatusOr<std::vector<size_t>> MatchRows(Table* table, const Expr* where)
+      REQUIRES(mu_);
+  void RemoveRow(Table* table, size_t row_index) REQUIRES(mu_);
 
   // Copy-on-first-write snapshot for ROLLBACK.
-  void SnapshotTableForTxn(const std::string& name);
+  void SnapshotTableForTxn(const std::string& name) REQUIRES(mu_);
 
-  // --- durability (callers hold mu_) ---
-  Status AppendWal(std::string_view sql);
-  Status FlushWal(bool sync);
-  Status LoadSnapshot();
-  Status ReplayWal();
-  Status WriteSnapshotLocked();
+  // --- durability ---
+  Status AppendWal(std::string_view sql) REQUIRES(mu_);
+  Status FlushWal(bool sync) REQUIRES(mu_);
+  // LoadSnapshot and ReplayWal lock internally (they run statement-sized
+  // critical sections, not one long hold) and are only called from Open,
+  // before the database is shared.
+  Status LoadSnapshot() EXCLUDES(mu_);
+  Status ReplayWal() EXCLUDES(mu_);
+  Status WriteSnapshotLocked() REQUIRES(mu_);
 
   Options options_;
   std::string path_;  // empty = in-memory only
-  int wal_fd_ = -1;
-  size_t wal_bytes_ = 0;
+  int wal_fd_ GUARDED_BY(mu_) = -1;
+  size_t wal_bytes_ GUARDED_BY(mu_) = 0;
   // WAL bytes known to have reached disk (watermark advanced after each
   // successful fsync). The sql.wal.before_fsync crash point truncates back
   // to this mark, modelling the loss of unsynced page-cache data.
-  size_t wal_synced_bytes_ = 0;
+  size_t wal_synced_bytes_ GUARDED_BY(mu_) = 0;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Table> tables_;
+  mutable Mutex mu_;
+  std::map<std::string, Table> tables_ GUARDED_BY(mu_);
 
-  bool in_txn_ = false;
-  bool replaying_ = false;
-  std::vector<std::string> txn_wal_buffer_;
+  bool in_txn_ GUARDED_BY(mu_) = false;
+  bool replaying_ GUARDED_BY(mu_) = false;
+  std::vector<std::string> txn_wal_buffer_ GUARDED_BY(mu_);
   // Tables (by name) copied at first modification inside the transaction;
   // nullopt marks a table created inside the txn (drop it on rollback).
-  std::map<std::string, std::optional<Table>> txn_undo_;
+  std::map<std::string, std::optional<Table>> txn_undo_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore::sql

@@ -8,7 +8,7 @@ namespace dstore {
 StatusOr<std::unique_ptr<SqlClient>> SqlClient::Connect(
     const std::string& host, uint16_t port) {
   auto client = std::unique_ptr<SqlClient>(new SqlClient(host, port));
-  std::lock_guard<std::mutex> lock(client->mu_);
+  MutexLock lock(client->mu_);
   DSTORE_RETURN_IF_ERROR(client->EnsureConnected());
   return client;
 }
@@ -44,7 +44,7 @@ Status SqlClient::Put(const std::string& key, ValuePtr value) {
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvPut));
   PutLengthPrefixed(&request, key);
   PutLengthPrefixed(&request, *value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RoundTrip(request).status();
 }
 
@@ -52,7 +52,7 @@ StatusOr<ValuePtr> SqlClient::Get(const std::string& key) {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvGet));
   PutLengthPrefixed(&request, key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
   size_t pos = 0;
   DSTORE_ASSIGN_OR_RETURN(Bytes value, GetLengthPrefixed(body, &pos));
@@ -63,7 +63,7 @@ Status SqlClient::Delete(const std::string& key) {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvDelete));
   PutLengthPrefixed(&request, key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RoundTrip(request).status();
 }
 
@@ -71,7 +71,7 @@ StatusOr<bool> SqlClient::Contains(const std::string& key) {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvContains));
   PutLengthPrefixed(&request, key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
   if (body.empty()) return Status::Corruption("short contains response");
   return body[0] != 0;
@@ -80,7 +80,7 @@ StatusOr<bool> SqlClient::Contains(const std::string& key) {
 StatusOr<std::vector<std::string>> SqlClient::ListKeys() {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvKeys));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
   size_t pos = 0;
   DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(body, &pos));
@@ -96,7 +96,7 @@ StatusOr<std::vector<std::string>> SqlClient::ListKeys() {
 StatusOr<size_t> SqlClient::Count() {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvCount));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
   size_t pos = 0;
   DSTORE_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(body, &pos));
@@ -106,7 +106,7 @@ StatusOr<size_t> SqlClient::Count() {
 Status SqlClient::Clear() {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kKvClear));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RoundTrip(request).status();
 }
 
@@ -114,7 +114,7 @@ StatusOr<sql::ResultSet> SqlClient::Execute(std::string_view sql_text) {
   Bytes request;
   request.push_back(static_cast<uint8_t>(sql::SqlOp::kQuery));
   request.insert(request.end(), sql_text.begin(), sql_text.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(Bytes body, RoundTrip(request));
   size_t pos = 0;
   return sql::DecodeResultSet(body, &pos);

@@ -2,9 +2,9 @@
 #define DSTORE_STORE_SQL_CLIENT_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "net/socket.h"
 #include "store/key_value.h"
 #include "store/sql/database.h"
@@ -41,14 +41,14 @@ class SqlClient : public KeyValueStore {
       : host_(std::move(host)), port_(port) {}
 
   // Sends `request` and returns the response body past the status header.
-  // Retries once on a broken connection. Caller must hold mu_.
-  StatusOr<Bytes> RoundTrip(const Bytes& request);
-  Status EnsureConnected();
+  // Retries once on a broken connection.
+  StatusOr<Bytes> RoundTrip(const Bytes& request) REQUIRES(mu_);
+  Status EnsureConnected() REQUIRES(mu_);
 
   std::string host_;
   uint16_t port_;
-  std::mutex mu_;
-  Socket socket_;
+  Mutex mu_;
+  Socket socket_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

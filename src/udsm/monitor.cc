@@ -15,7 +15,7 @@ void PerformanceMonitor::Record(const std::string& store,
   obs::Histogram* latency = nullptr;
   obs::Counter* op_errors = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Track& track = tracks_[{store, op}];
     track.summary.Add(millis);
     if (!ok) ++track.summary.errors;
@@ -42,14 +42,14 @@ void PerformanceMonitor::Record(const std::string& store,
 
 OpSummary PerformanceMonitor::Summary(const std::string& store,
                                       const std::string& op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tracks_.find({store, op});
   return it == tracks_.end() ? OpSummary{} : it->second.summary;
 }
 
 std::vector<double> PerformanceMonitor::RecentSamples(
     const std::string& store, const std::string& op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tracks_.find({store, op});
   if (it == tracks_.end()) return {};
   return std::vector<double>(it->second.recent.begin(),
@@ -72,7 +72,7 @@ double PerformanceMonitor::RecentPercentileMs(const std::string& store,
 
 std::vector<std::pair<std::string, std::string>> PerformanceMonitor::Tracked()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(tracks_.size());
   for (const auto& [key, track] : tracks_) out.push_back(key);
@@ -87,7 +87,7 @@ std::string PerformanceMonitor::Report() const {
     percentiles[key] = {RecentPercentileMs(key.first, key.second, 50),
                         RecentPercentileMs(key.first, key.second, 95)};
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out =
       "store           op        count   errors  mean_ms    min_ms    max_ms"
       "    p50_ms    p95_ms\n";
@@ -107,7 +107,7 @@ std::string PerformanceMonitor::Report() const {
 }
 
 void PerformanceMonitor::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tracks_.clear();
 }
 
@@ -115,7 +115,7 @@ Status PerformanceMonitor::SaveTo(KeyValueStore* store,
                                   const std::string& key) const {
   Bytes out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PutVarint64(&out, tracks_.size());
     for (const auto& [track_key, track] : tracks_) {
       PutLengthPrefixed(&out, track_key.first);
@@ -167,7 +167,7 @@ Status PerformanceMonitor::LoadFrom(KeyValueStore* store,
     tracks.emplace(TrackKey{ToString(store_name), ToString(op_name)},
                    std::move(track));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tracks_ = std::move(tracks);
   return Status::OK();
 }

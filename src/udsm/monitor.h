@@ -4,13 +4,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "store/key_value.h"
 
@@ -117,8 +117,8 @@ class PerformanceMonitor {
 
   size_t recent_window_;
   obs::MetricsRegistry* registry_;
-  mutable std::mutex mu_;
-  std::map<TrackKey, Track> tracks_;
+  mutable Mutex mu_;
+  std::map<TrackKey, Track> tracks_ GUARDED_BY(mu_);
 };
 
 // KeyValueStore decorator that times every operation into a

@@ -24,13 +24,13 @@ Status Udsm::RegisterStore(const std::string& name,
       options_.monitor
           ? std::make_shared<MonitoredStore>(std::move(store), monitor_)
           : entry.raw;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stores_[name] = std::move(entry);
   return Status::OK();
 }
 
 Status Udsm::UnregisterStore(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stores_.erase(name) == 0) {
     return Status::NotFound("no store registered as: " + name);
   }
@@ -38,14 +38,14 @@ Status Udsm::UnregisterStore(const std::string& name) {
 }
 
 KeyValueStore* Udsm::GetStore(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = stores_.find(name);
   return it == stores_.end() ? nullptr : it->second.monitored.get();
 }
 
 std::shared_ptr<KeyValueStore> Udsm::GetStoreShared(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = stores_.find(name);
   return it == stores_.end() ? nullptr : it->second.monitored;
 }
@@ -59,7 +59,7 @@ StatusOr<AsyncStore> Udsm::GetAsyncStore(const std::string& name) const {
 }
 
 std::vector<std::string> Udsm::StoreNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(stores_.size());
   for (const auto& [name, entry] : stores_) names.push_back(name);

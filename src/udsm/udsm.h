@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "store/key_value.h"
 #include "udsm/async_store.h"
@@ -70,7 +70,7 @@ class Udsm {
   // unknown or the type does not match.
   template <typename T>
   T* GetNative(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = stores_.find(name);
     if (it == stores_.end()) return nullptr;
     return dynamic_cast<T*>(it->second.raw.get());
@@ -96,8 +96,8 @@ class Udsm {
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<PerformanceMonitor> monitor_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> stores_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> stores_ GUARDED_BY(mu_);
 };
 
 }  // namespace dstore

@@ -9,8 +9,8 @@ namespace {
 
 TEST(BatchOpsTest, DefaultMultiGetLoopsOverGet) {
   MemoryStore store;
-  store.PutString("a", "1");
-  store.PutString("c", "3");
+  ASSERT_TRUE(store.PutString("a", "1").ok());
+  ASSERT_TRUE(store.PutString("c", "3").ok());
   auto results = store.MultiGet({"a", "b", "c"});
   ASSERT_EQ(results.size(), 3u);
   ASSERT_TRUE(results[0].ok());

@@ -16,8 +16,8 @@ TEST(CacheKeysTest, AllInProcessCachesEnumerate) {
   GdsCache gds(1 << 20);
   ClockCache clock(1 << 20);
   for (Cache* cache : std::initializer_list<Cache*>{&lru, &gds, &clock}) {
-    cache->Put("k1", MakeValue(std::string_view("v")));
-    cache->Put("k2", MakeValue(std::string_view("v")));
+    ASSERT_TRUE(cache->Put("k1", MakeValue(std::string_view("v"))).ok());
+    ASSERT_TRUE(cache->Put("k2", MakeValue(std::string_view("v"))).ok());
     auto keys = cache->Keys();
     ASSERT_TRUE(keys.ok()) << cache->Name();
     std::sort(keys->begin(), keys->end());
@@ -34,7 +34,7 @@ TEST(CachePersistenceTest, WarmRestartRoundTrip) {
     for (int i = 0; i < 50; ++i) {
       const std::string key = "obj" + std::to_string(i);
       contents[key] = rng.RandomBytes(200);
-      cache.Put(key, MakeValue(Bytes(contents[key])));
+      ASSERT_TRUE(cache.Put(key, MakeValue(Bytes(contents[key]))).ok());
     }
     // "Store some data from a cache persistently before shutting down."
     ASSERT_TRUE(SaveCacheToStore(&cache, &durable, "warm-state").ok());
@@ -56,7 +56,9 @@ TEST(CachePersistenceTest, MaxEntriesBoundsSnapshot) {
   MemoryStore durable;
   LruCache cache(1 << 20);
   for (int i = 0; i < 20; ++i) {
-    cache.Put("k" + std::to_string(i), MakeValue(std::string_view("v")));
+    ASSERT_TRUE(
+        cache.Put("k" + std::to_string(i), MakeValue(std::string_view("v")))
+            .ok());
   }
   ASSERT_TRUE(SaveCacheToStore(&cache, &durable, "partial", 5).ok());
   LruCache restarted(1 << 20);
@@ -70,8 +72,8 @@ TEST(CachePersistenceTest, CrossCacheTypeRestore) {
   // implementation-agnostic because it goes through the Cache interface.
   MemoryStore durable;
   LruCache lru(1 << 20);
-  lru.Put("x", MakeValue(std::string_view("1")));
-  lru.Put("y", MakeValue(std::string_view("2")));
+  ASSERT_TRUE(lru.Put("x", MakeValue(std::string_view("1"))).ok());
+  ASSERT_TRUE(lru.Put("y", MakeValue(std::string_view("2"))).ok());
   ASSERT_TRUE(SaveCacheToStore(&lru, &durable, "snap").ok());
 
   ClockCache clock(1 << 20);
@@ -89,7 +91,7 @@ TEST(CachePersistenceTest, MissingSnapshotIsNotFound) {
 
 TEST(CachePersistenceTest, CorruptSnapshotRejected) {
   MemoryStore durable;
-  durable.PutString("bad", "garbage");
+  ASSERT_TRUE(durable.PutString("bad", "garbage").ok());
   LruCache cache(1 << 20);
   EXPECT_TRUE(
       LoadCacheFromStore(&cache, &durable, "bad").status().IsCorruption());

@@ -266,7 +266,9 @@ TEST_F(CrashRecoveryTest, TornCacheSnapshotLoadsAtomically) {
   MemoryStore durable;
   LruCache cache(1 << 20);
   for (int i = 0; i < 20; ++i) {
-    cache.Put("k" + std::to_string(i), MakeValue(std::string_view("v")));
+    ASSERT_TRUE(
+        cache.Put("k" + std::to_string(i), MakeValue(std::string_view("v")))
+            .ok());
   }
 
   fault::ArmCrashPoint("cache.snapshot.torn_save");

@@ -19,9 +19,9 @@ TEST(ClockCacheTest, BasicPutGetDelete) {
 
 TEST(ClockCacheTest, ReplaceUpdatesValueAndCharge) {
   ClockCache cache(1 << 20);
-  cache.Put("k", V(100));
+  (void)cache.Put("k", V(100));
   const size_t before = cache.ChargeUsed();
-  cache.Put("k", V(5000));
+  (void)cache.Put("k", V(5000));
   EXPECT_GT(cache.ChargeUsed(), before);
   EXPECT_EQ(cache.EntryCount(), 1u);
 }
@@ -29,7 +29,7 @@ TEST(ClockCacheTest, ReplaceUpdatesValueAndCharge) {
 TEST(ClockCacheTest, EvictsWhenFull) {
   ClockCache cache(2048);
   for (int i = 0; i < 100; ++i) {
-    cache.Put("k" + std::to_string(i), V(100));
+    (void)cache.Put("k" + std::to_string(i), V(100));
   }
   EXPECT_LE(cache.ChargeUsed(), 2048u);
   EXPECT_GT(cache.Stats().evictions, 0u);
@@ -40,15 +40,15 @@ TEST(ClockCacheTest, SecondChanceProtectsHotEntries) {
   // four entries plus slack so each insert evicts at most one victim.
   const size_t entry_charge = 2 + 100 + 64;
   ClockCache cache(4 * entry_charge + entry_charge / 2);
-  cache.Put("h0", V(100));  // the hot entry
-  cache.Put("c1", V(100));
-  cache.Put("c2", V(100));
-  cache.Put("c3", V(100));
+  (void)cache.Put("h0", V(100));  // the hot entry
+  (void)cache.Put("c1", V(100));
+  (void)cache.Put("c2", V(100));
+  (void)cache.Put("c3", V(100));
   // Keep "h0" referenced between insertions that force sweeps: its
   // second-chance bit must save it every time.
   for (int i = 0; i < 9; ++i) {
     ASSERT_TRUE(cache.Get("h0").ok()) << i;
-    cache.Put("x" + std::to_string(i), V(100));
+    (void)cache.Put("x" + std::to_string(i), V(100));
   }
   EXPECT_TRUE(cache.Contains("h0"));
 }
@@ -56,31 +56,31 @@ TEST(ClockCacheTest, SecondChanceProtectsHotEntries) {
 TEST(ClockCacheTest, UnreferencedEntriesEvictedFirst) {
   const size_t entry_charge = 2 + 100 + 64;
   ClockCache cache(3 * entry_charge + 10);
-  cache.Put("a1", V(100));
-  cache.Put("a2", V(100));
-  cache.Put("a3", V(100));
+  (void)cache.Put("a1", V(100));
+  (void)cache.Put("a2", V(100));
+  (void)cache.Put("a3", V(100));
   // One full sweep clears all reference bits; afterwards only re-referenced
   // entries survive new pressure.
-  for (int i = 0; i < 4; ++i) cache.Put("p" + std::to_string(i), V(100));
+  for (int i = 0; i < 4; ++i) (void)cache.Put("p" + std::to_string(i), V(100));
   cache.Get("p3").ok();
   EXPECT_LE(cache.EntryCount(), 3u);
 }
 
 TEST(ClockCacheTest, ClearResetsState) {
   ClockCache cache(1 << 20);
-  for (int i = 0; i < 20; ++i) cache.Put("k" + std::to_string(i), V(10));
+  for (int i = 0; i < 20; ++i) (void)cache.Put("k" + std::to_string(i), V(10));
   cache.Clear();
   EXPECT_EQ(cache.EntryCount(), 0u);
   EXPECT_EQ(cache.ChargeUsed(), 0u);
-  cache.Put("fresh", V(10));
+  (void)cache.Put("fresh", V(10));
   EXPECT_TRUE(cache.Contains("fresh"));
 }
 
 TEST(ClockCacheTest, StatsAccumulate) {
   ClockCache cache(1 << 20);
-  cache.Put("k", V(10));
-  cache.Get("k");
-  cache.Get("missing");
+  (void)cache.Put("k", V(10));
+  (void)cache.Get("k");
+  (void)cache.Get("missing");
   const CacheStats stats = cache.Stats();
   EXPECT_EQ(stats.puts, 1u);
   EXPECT_EQ(stats.hits, 1u);
@@ -91,7 +91,7 @@ TEST(ClockCacheTest, SlotReuseAfterDelete) {
   ClockCache cache(1 << 20);
   for (int round = 0; round < 5; ++round) {
     for (int i = 0; i < 50; ++i) {
-      cache.Put("k" + std::to_string(i), V(10));
+      (void)cache.Put("k" + std::to_string(i), V(10));
     }
     for (int i = 0; i < 50; ++i) {
       cache.Delete("k" + std::to_string(i)).ok();
@@ -99,14 +99,14 @@ TEST(ClockCacheTest, SlotReuseAfterDelete) {
   }
   EXPECT_EQ(cache.EntryCount(), 0u);
   // Slots were recycled, not leaked: reinsert works fine.
-  cache.Put("final", V(10));
+  ASSERT_TRUE(cache.Put("final", V(10)).ok());
   EXPECT_TRUE(cache.Contains("final"));
 }
 
 TEST(ClockCacheTest, WorksAsDsclCacheInterface) {
   std::unique_ptr<Cache> cache = std::make_unique<ClockCache>(1 << 20);
   EXPECT_EQ(cache->Name(), "clock");
-  cache->Put("via-interface", MakeValue(std::string_view("yes")));
+  (void)cache->Put("via-interface", MakeValue(std::string_view("yes")));
   EXPECT_TRUE(cache->Get("via-interface").ok());
 }
 

@@ -118,9 +118,9 @@ TEST(DeltaStoreTest, DeleteRemovesWholeChain) {
   DeltaStore store(base);
   Random rng(6);
   Bytes value = rng.RandomBytes(4000);
-  store.Put("k", MakeValue(Bytes(value)));
+  (void)store.Put("k", MakeValue(Bytes(value)));
   value[10] ^= 1;
-  store.Put("k", MakeValue(Bytes(value)));
+  (void)store.Put("k", MakeValue(Bytes(value)));
   ASSERT_TRUE(store.Delete("k").ok());
   EXPECT_TRUE(store.Get("k").status().IsNotFound());
   // Nothing left behind in the underlying store.
@@ -132,10 +132,10 @@ TEST(DeltaStoreTest, ListKeysHidesInternalKeys) {
   DeltaStore store(base);
   Random rng(7);
   Bytes value = rng.RandomBytes(4000);
-  store.Put("alpha", MakeValue(Bytes(value)));
+  (void)store.Put("alpha", MakeValue(Bytes(value)));
   value[0] ^= 1;
-  store.Put("alpha", MakeValue(Bytes(value)));
-  store.PutString("beta", "small");
+  (void)store.Put("alpha", MakeValue(Bytes(value)));
+  (void)store.PutString("beta", "small");
   auto keys = store.ListKeys();
   ASSERT_TRUE(keys.ok());
   std::sort(keys->begin(), keys->end());

@@ -137,11 +137,11 @@ TEST_F(EnhancedStoreTest, InvalidatePolicyDropsCacheOnPut) {
   EnhancedStore::Options options;
   options.write_policy = EnhancedStore::WritePolicy::kInvalidate;
   auto store = MakeStore(options);
-  store->PutString("k", "v1");
+  (void)store->PutString("k", "v1");
   EXPECT_FALSE(cache_->Contains("k"));
   EXPECT_EQ(*store->GetString("k"), "v1");  // miss, fetch, populate
   EXPECT_EQ(base_->gets, 1);
-  store->PutString("k", "v2");  // invalidates again
+  (void)store->PutString("k", "v2");  // invalidates again
   EXPECT_EQ(*store->GetString("k"), "v2");
   EXPECT_EQ(base_->gets, 2);
 }
@@ -150,7 +150,7 @@ TEST_F(EnhancedStoreTest, ExpiredEntryRevalidatedWith304) {
   EnhancedStore::Options options;
   options.cache_ttl_nanos = 1000;
   auto store = MakeStore(options);
-  store->PutString("k", "v");
+  (void)store->PutString("k", "v");
   clock_.Advance(2000);  // entry expires
   // Object unchanged at the server: the conditional GET returns
   // not_modified; no full fetch happens.
@@ -168,7 +168,7 @@ TEST_F(EnhancedStoreTest, ExpiredEntryRefreshedWhenChanged) {
   EnhancedStore::Options options;
   options.cache_ttl_nanos = 1000;
   auto store = MakeStore(options);
-  store->PutString("k", "v1");
+  (void)store->PutString("k", "v1");
   // Update behind the client's back.
   ASSERT_TRUE(base_->PutString("k", "v2").ok());
   clock_.Advance(2000);
@@ -181,7 +181,7 @@ TEST_F(EnhancedStoreTest, DeletedOnServerDetectedViaRevalidation) {
   EnhancedStore::Options options;
   options.cache_ttl_nanos = 1000;
   auto store = MakeStore(options);
-  store->PutString("k", "v");
+  (void)store->PutString("k", "v");
   ASSERT_TRUE(base_->Delete("k").ok());
   clock_.Advance(2000);
   EXPECT_TRUE(store->Get("k").status().IsNotFound());
@@ -226,7 +226,7 @@ TEST_F(EnhancedStoreTest, CacheEncodedKeepsCiphertextInCache) {
   EnhancedStore::Options options;
   options.cache_encoded = true;
   auto store = MakeStore(options, chain);
-  store->PutString("k", "secret");
+  (void)store->PutString("k", "secret");
   // The cache holds ciphertext (paper: "data should often be encrypted
   // before it is cached").
   auto cached = cache_->GetEntry("k");
@@ -249,7 +249,7 @@ TEST_F(EnhancedStoreTest, NoCacheStillTransforms) {
 
 TEST_F(EnhancedStoreTest, DeleteAlsoRemovesCachedEntry) {
   auto store = MakeStore();
-  store->PutString("k", "v");
+  (void)store->PutString("k", "v");
   ASSERT_TRUE(store->Delete("k").ok());
   EXPECT_FALSE(cache_->Contains("k"));
   EXPECT_TRUE(store->Get("k").status().IsNotFound());
@@ -257,7 +257,7 @@ TEST_F(EnhancedStoreTest, DeleteAlsoRemovesCachedEntry) {
 
 TEST_F(EnhancedStoreTest, ExplicitInvalidateCached) {
   auto store = MakeStore();
-  store->PutString("k", "v");
+  (void)store->PutString("k", "v");
   ASSERT_TRUE(store->InvalidateCached("k").ok());
   EXPECT_EQ(*store->GetString("k"), "v");
   EXPECT_EQ(base_->gets, 1);  // had to refetch
@@ -297,7 +297,7 @@ TEST(TieredStoreTest, InvalidatePolicy) {
   auto front = std::make_shared<MemoryStore>();
   auto back = std::make_shared<MemoryStore>();
   TieredStore tiered(front, back, TieredStore::WritePolicy::kInvalidate);
-  front->PutString("k", "stale");
+  (void)front->PutString("k", "stale");
   ASSERT_TRUE(tiered.PutString("k", "fresh").ok());
   EXPECT_TRUE(front->Get("k").status().IsNotFound());
   EXPECT_EQ(*tiered.GetString("k"), "fresh");
@@ -307,7 +307,7 @@ TEST(TieredStoreTest, DeleteRemovesFromBothTiers) {
   auto front = std::make_shared<MemoryStore>();
   auto back = std::make_shared<MemoryStore>();
   TieredStore tiered(front, back);
-  tiered.PutString("k", "v");
+  (void)tiered.PutString("k", "v");
   ASSERT_TRUE(tiered.Delete("k").ok());
   EXPECT_TRUE(front->Get("k").status().IsNotFound());
   EXPECT_TRUE(back->Get("k").status().IsNotFound());

@@ -19,7 +19,7 @@ class ExpiringCacheTest : public ::testing::Test {
 };
 
 TEST_F(ExpiringCacheTest, PlainPutNeverExpires) {
-  cache_.Put("k", MakeValue(std::string_view("v")));
+  (void)cache_.Put("k", MakeValue(std::string_view("v")));
   clock_.Advance(int64_t{365} * 24 * 3600 * 1'000'000'000);
   auto got = cache_.Get("k");
   ASSERT_TRUE(got.ok());
@@ -27,13 +27,13 @@ TEST_F(ExpiringCacheTest, PlainPutNeverExpires) {
 }
 
 TEST_F(ExpiringCacheTest, FreshEntryIsServed) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000);
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000);
   clock_.Advance(500);
   EXPECT_TRUE(cache_.Get("k").ok());
 }
 
 TEST_F(ExpiringCacheTest, ExpiredEntryReturnsExpiredStatus) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000);
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000);
   clock_.Advance(1001);
   EXPECT_TRUE(cache_.Get("k").status().IsExpired());
 }
@@ -42,8 +42,9 @@ TEST_F(ExpiringCacheTest, ExpiredEntryIsRetainedForRevalidation) {
   // The defining behaviour (paper Section III): an expired entry is NOT
   // purged — GetEntry still returns the stale value and its etag so the
   // client can revalidate instead of refetching.
-  cache_.PutWithTtl("k", MakeValue(std::string_view("stale-but-maybe-valid")),
-                    1000, "etag-1");
+  (void)cache_.PutWithTtl("k",
+                          MakeValue(std::string_view("stale-but-maybe-valid")),
+                          1000, "etag-1");
   clock_.Advance(5000);
   auto entry = cache_.GetEntry("k");
   ASSERT_TRUE(entry.ok());
@@ -53,7 +54,7 @@ TEST_F(ExpiringCacheTest, ExpiredEntryIsRetainedForRevalidation) {
 }
 
 TEST_F(ExpiringCacheTest, TouchRevalidatesEntry) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000, "etag-1");
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000, "etag-1");
   clock_.Advance(2000);
   EXPECT_TRUE(cache_.Get("k").status().IsExpired());
   // Server confirmed the version is current (Fig. 7): extend lifetime.
@@ -73,25 +74,25 @@ TEST_F(ExpiringCacheTest, MissingKeyIsNotFoundNotExpired) {
 }
 
 TEST_F(ExpiringCacheTest, ZeroTtlMeansNoExpiration) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 0);
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 0);
   clock_.Advance(int64_t{100} * 1'000'000'000);
   EXPECT_TRUE(cache_.Get("k").ok());
 }
 
 TEST_F(ExpiringCacheTest, DeleteRemovesMetadata) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000, "etag");
-  cache_.Delete("k");
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1000, "etag");
+  (void)cache_.Delete("k");
   EXPECT_TRUE(cache_.Get("k").status().IsNotFound());
   // Re-adding without TTL must not inherit old metadata.
-  cache_.Put("k", MakeValue(std::string_view("v2")));
+  (void)cache_.Put("k", MakeValue(std::string_view("v2")));
   clock_.Advance(10'000);
   EXPECT_TRUE(cache_.Get("k").ok());
 }
 
 TEST_F(ExpiringCacheTest, ReplacingEntryReplacesTtl) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v1")), 1000);
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v1")), 1000);
   clock_.Advance(900);
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v2")), 1000);
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v2")), 1000);
   clock_.Advance(900);  // 1800 > original expiry, < new expiry
   auto got = cache_.Get("k");
   ASSERT_TRUE(got.ok());
@@ -99,17 +100,17 @@ TEST_F(ExpiringCacheTest, ReplacingEntryReplacesTtl) {
 }
 
 TEST_F(ExpiringCacheTest, ExpiredCountCountsOnlyExpired) {
-  cache_.PutWithTtl("fresh", MakeValue(std::string_view("v")), 10'000);
-  cache_.PutWithTtl("stale1", MakeValue(std::string_view("v")), 100);
-  cache_.PutWithTtl("stale2", MakeValue(std::string_view("v")), 100);
-  cache_.Put("immortal", MakeValue(std::string_view("v")));
+  (void)cache_.PutWithTtl("fresh", MakeValue(std::string_view("v")), 10'000);
+  (void)cache_.PutWithTtl("stale1", MakeValue(std::string_view("v")), 100);
+  (void)cache_.PutWithTtl("stale2", MakeValue(std::string_view("v")), 100);
+  (void)cache_.Put("immortal", MakeValue(std::string_view("v")));
   clock_.Advance(5000);
   EXPECT_EQ(cache_.ExpiredCount(), 2u);
 }
 
 TEST_F(ExpiringCacheTest, ClearRemovesEverything) {
-  cache_.PutWithTtl("a", MakeValue(std::string_view("v")), 100);
-  cache_.Put("b", MakeValue(std::string_view("v")));
+  (void)cache_.PutWithTtl("a", MakeValue(std::string_view("v")), 100);
+  (void)cache_.Put("b", MakeValue(std::string_view("v")));
   cache_.Clear();
   EXPECT_EQ(cache_.EntryCount(), 0u);
   EXPECT_EQ(cache_.ExpiredCount(), 0u);
@@ -120,7 +121,7 @@ TEST_F(ExpiringCacheTest, NameReflectsLayering) {
 }
 
 TEST_F(ExpiringCacheTest, GetEntryExposesExpirationTime) {
-  cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1234);
+  (void)cache_.PutWithTtl("k", MakeValue(std::string_view("v")), 1234);
   auto entry = cache_.GetEntry("k");
   ASSERT_TRUE(entry.ok());
   EXPECT_EQ(entry->expires_at, 1234);

@@ -40,8 +40,8 @@ TEST_F(FileStoreTest, PersistsAcrossReopen) {
 }
 
 TEST_F(FileStoreTest, OneFilePerKey) {
-  store_->PutString("a", "1");
-  store_->PutString("b", "2");
+  (void)store_->PutString("a", "1");
+  (void)store_->PutString("b", "2");
   size_t files = 0;
   for (const auto& entry : std::filesystem::directory_iterator(root_)) {
     (void)entry;
@@ -52,8 +52,8 @@ TEST_F(FileStoreTest, OneFilePerKey) {
 
 TEST_F(FileStoreTest, OverwriteIsAtomicRename) {
   // After a Put, no temp files linger.
-  store_->PutString("k", "v1");
-  store_->PutString("k", "v2");
+  (void)store_->PutString("k", "v1");
+  (void)store_->PutString("k", "v2");
   for (const auto& entry : std::filesystem::directory_iterator(root_)) {
     EXPECT_EQ(entry.path().filename().string().rfind("tmp_", 0),
               std::string::npos)
@@ -63,7 +63,7 @@ TEST_F(FileStoreTest, OverwriteIsAtomicRename) {
 }
 
 TEST_F(FileStoreTest, ForeignFilesIgnoredByListKeys) {
-  store_->PutString("mine", "v");
+  (void)store_->PutString("mine", "v");
   // Drop an unrelated file into the directory.
   FILE* f = std::fopen((root_ / "unrelated.txt").c_str(), "w");
   ASSERT_NE(f, nullptr);

@@ -11,18 +11,18 @@ ValuePtr V(size_t size, char fill = 'x') {
 
 TEST(GdsCacheTest, BasicPutGetDelete) {
   GdsCache cache(1 << 20);
-  cache.Put("k", MakeValue(std::string_view("v")));
+  (void)cache.Put("k", MakeValue(std::string_view("v")));
   auto got = cache.Get("k");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(ToString(**got), "v");
-  cache.Delete("k");
+  (void)cache.Delete("k");
   EXPECT_TRUE(cache.Get("k").status().IsNotFound());
 }
 
 TEST(GdsCacheTest, EvictsWhenOverCapacity) {
   GdsCache cache(2048);
   for (int i = 0; i < 100; ++i) {
-    cache.Put("k" + std::to_string(i), V(100));
+    (void)cache.Put("k" + std::to_string(i), V(100));
   }
   EXPECT_LE(cache.ChargeUsed(), 2048u);
   EXPECT_GT(cache.Stats().evictions, 0u);
@@ -32,11 +32,11 @@ TEST(GdsCacheTest, PrefersEvictingLargeCheapObjects) {
   GdsCache cache(4096);
   // Same refetch cost, very different sizes: GDS priority = L + cost/size,
   // so the large object has lower priority and goes first.
-  cache.PutWithCost("small", V(64), 1.0);
-  cache.PutWithCost("large", V(2500), 1.0);
+  (void)cache.PutWithCost("small", V(64), 1.0);
+  (void)cache.PutWithCost("large", V(2500), 1.0);
   // Push the cache over capacity with an object slightly smaller than
   // "large" (higher cost/size priority), so "large" is the victim.
-  cache.PutWithCost("filler", V(2300), 1.0);
+  (void)cache.PutWithCost("filler", V(2300), 1.0);
   EXPECT_TRUE(cache.Contains("small"));
   EXPECT_TRUE(cache.Contains("filler"));
   EXPECT_FALSE(cache.Contains("large"));
@@ -46,40 +46,40 @@ TEST(GdsCacheTest, HighCostObjectsSurvive) {
   GdsCache cache(8192);
   // Expensive-to-refetch object (e.g. from a cloud store) vs cheap ones of
   // the same size (e.g. from a local file system).
-  cache.PutWithCost("cloud", V(2000), 1000.0);
-  cache.PutWithCost("local1", V(2000), 1.0);
-  cache.PutWithCost("local2", V(2000), 1.0);
-  cache.PutWithCost("local3", V(2000), 1.0);  // forces eviction
+  (void)cache.PutWithCost("cloud", V(2000), 1000.0);
+  (void)cache.PutWithCost("local1", V(2000), 1.0);
+  (void)cache.PutWithCost("local2", V(2000), 1.0);
+  (void)cache.PutWithCost("local3", V(2000), 1.0);  // forces eviction
   EXPECT_TRUE(cache.Contains("cloud"));
 }
 
 TEST(GdsCacheTest, RecencyRefreshesPriority) {
   GdsCache cache(8300);
-  cache.PutWithCost("a", V(2000), 1.0);
-  cache.PutWithCost("b", V(2000), 1.0);
-  cache.PutWithCost("c", V(2000), 1.0);
+  (void)cache.PutWithCost("a", V(2000), 1.0);
+  (void)cache.PutWithCost("b", V(2000), 1.0);
+  (void)cache.PutWithCost("c", V(2000), 1.0);
   // Re-reference "a": its H is refreshed with the current (higher) L.
-  for (int i = 0; i < 3; ++i) cache.Get("a");
-  cache.PutWithCost("d", V(2000), 1.0);
+  for (int i = 0; i < 3; ++i) (void)cache.Get("a");
+  (void)cache.PutWithCost("d", V(2000), 1.0);
   EXPECT_TRUE(cache.Contains("a"));
 }
 
 TEST(GdsCacheTest, ReplaceUpdatesCharge) {
   GdsCache cache(1 << 20);
-  cache.Put("k", V(100));
+  (void)cache.Put("k", V(100));
   const size_t before = cache.ChargeUsed();
-  cache.Put("k", V(5000));
+  (void)cache.Put("k", V(5000));
   EXPECT_GT(cache.ChargeUsed(), before);
   EXPECT_EQ(cache.EntryCount(), 1u);
 }
 
 TEST(GdsCacheTest, ClearResetsInflation) {
   GdsCache cache(1024);
-  for (int i = 0; i < 50; ++i) cache.Put("k" + std::to_string(i), V(100));
+  for (int i = 0; i < 50; ++i) (void)cache.Put("k" + std::to_string(i), V(100));
   cache.Clear();
   EXPECT_EQ(cache.EntryCount(), 0u);
   EXPECT_EQ(cache.ChargeUsed(), 0u);
-  cache.Put("fresh", V(10));
+  (void)cache.Put("fresh", V(10));
   EXPECT_TRUE(cache.Contains("fresh"));
 }
 
@@ -91,9 +91,9 @@ TEST(GdsCacheTest, NonPositiveCostNormalized) {
 
 TEST(GdsCacheTest, StatsTrackHitsAndMisses) {
   GdsCache cache(1 << 20);
-  cache.Put("k", V(10));
-  cache.Get("k");
-  cache.Get("nope");
+  (void)cache.Put("k", V(10));
+  (void)cache.Get("k");
+  (void)cache.Get("nope");
   EXPECT_EQ(cache.Stats().hits, 1u);
   EXPECT_EQ(cache.Stats().misses, 1u);
 }

@@ -188,7 +188,7 @@ TEST_F(IntegrationTest, MirrorAcrossHeterogeneousStores) {
   }
 
   // Corrupt one replica; detect and repair through the mirror.
-  udsm_.GetStore("sql")->PutString("replicated", "corrupted");
+  (void)udsm_.GetStore("sql")->PutString("replicated", "corrupted");
   auto report = mirror.CheckConsistency();
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->consistent());
@@ -227,8 +227,8 @@ TEST_F(IntegrationTest, SqlNativeInterfaceCoexistsWithKv) {
 
 TEST_F(IntegrationTest, MonitorSeesTrafficFromAllStores) {
   for (const std::string& name : udsm_.StoreNames()) {
-    udsm_.GetStore(name)->PutString("m", "1");
-    udsm_.GetStore(name)->GetString("m");
+    (void)udsm_.GetStore(name)->PutString("m", "1");
+    (void)udsm_.GetStore(name)->GetString("m");
   }
   const auto tracked = udsm_.monitor()->Tracked();
   // 3 stores x at least {put,get}.

@@ -48,14 +48,14 @@ TEST(InvalidationBusTest, SubscriberMayUnsubscribeDuringCallback) {
 TEST(CacheInvalidationTest, PublishedKeysEvictedFromCache) {
   auto bus = std::make_shared<InvalidationBus>();
   LruCache cache(1 << 20);
-  cache.Put("k", MakeValue(std::string_view("v")));
+  (void)cache.Put("k", MakeValue(std::string_view("v")));
   {
     CacheInvalidationSubscription subscription(bus, &cache);
     bus->Publish("k");
     EXPECT_FALSE(cache.Contains("k"));
   }
   // Guard destroyed: further publishes are ignored.
-  cache.Put("k2", MakeValue(std::string_view("v")));
+  (void)cache.Put("k2", MakeValue(std::string_view("v")));
   bus->Publish("k2");
   EXPECT_TRUE(cache.Contains("k2"));
 }
@@ -67,8 +67,8 @@ TEST(InvalidatingStoreTest, MutationsPublish) {
   bus->Subscribe([&published](const std::string& key) {
     published.push_back(key);
   });
-  store.PutString("a", "1");
-  store.PutString("b", "2");
+  (void)store.PutString("a", "1");
+  (void)store.PutString("b", "2");
   store.Delete("a").ok();
   EXPECT_EQ(published, (std::vector<std::string>{"a", "b", "a"}));
 }
@@ -76,8 +76,8 @@ TEST(InvalidatingStoreTest, MutationsPublish) {
 TEST(InvalidatingStoreTest, ClearPublishesEveryKey) {
   auto bus = std::make_shared<InvalidationBus>();
   InvalidatingStore store(std::make_shared<MemoryStore>(), bus);
-  store.PutString("x", "1");
-  store.PutString("y", "2");
+  (void)store.PutString("x", "1");
+  (void)store.PutString("y", "2");
   std::set<std::string> published;
   bus->Subscribe([&published](const std::string& key) {
     published.insert(key);
@@ -89,7 +89,7 @@ TEST(InvalidatingStoreTest, ClearPublishesEveryKey) {
 TEST(InvalidatingStoreTest, ReadsDoNotPublish) {
   auto bus = std::make_shared<InvalidationBus>();
   InvalidatingStore store(std::make_shared<MemoryStore>(), bus);
-  store.PutString("k", "v");
+  (void)store.PutString("k", "v");
   int publishes = 0;
   bus->Subscribe([&publishes](const std::string&) { ++publishes; });
   store.Get("k").ok();
@@ -120,12 +120,12 @@ TEST(CacheConsistencyTest, WriteThroughOneClientInvalidatesTheOther) {
   CacheInvalidationSubscription sub_b(bus, cache_b.get());
 
   // B reads and caches version 1.
-  client_a->PutString("doc", "version-1");
+  (void)client_a->PutString("doc", "version-1");
   EXPECT_EQ(*client_b->GetString("doc"), "version-1");
   EXPECT_TRUE(cache_b->Contains("doc"));
 
   // A writes version 2: B's cached copy is invalidated immediately...
-  client_a->PutString("doc", "version-2");
+  (void)client_a->PutString("doc", "version-2");
   EXPECT_FALSE(cache_b->Contains("doc"));
   // ...so B's next read is fresh, with no TTL wait.
   EXPECT_EQ(*client_b->GetString("doc"), "version-2");

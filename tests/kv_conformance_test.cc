@@ -156,13 +156,13 @@ TEST_P(KvConformanceTest, GetMissingIsNotFound) {
 }
 
 TEST_P(KvConformanceTest, PutOverwrites) {
-  store().PutString("key", "v1");
-  store().PutString("key", "v2");
+  (void)store().PutString("key", "v1");
+  (void)store().PutString("key", "v2");
   EXPECT_EQ(*store().GetString("key"), "v2");
 }
 
 TEST_P(KvConformanceTest, DeleteThenGetIsNotFound) {
-  store().PutString("key", "v");
+  (void)store().PutString("key", "v");
   ASSERT_TRUE(store().Delete("key").ok());
   EXPECT_TRUE(store().Get("key").status().IsNotFound());
 }
@@ -173,25 +173,25 @@ TEST_P(KvConformanceTest, DeleteMissingIsOk) {
 
 TEST_P(KvConformanceTest, ContainsReflectsState) {
   EXPECT_FALSE(*store().Contains("key"));
-  store().PutString("key", "v");
+  (void)store().PutString("key", "v");
   EXPECT_TRUE(*store().Contains("key"));
-  store().Delete("key");
+  (void)store().Delete("key");
   EXPECT_FALSE(*store().Contains("key"));
 }
 
 TEST_P(KvConformanceTest, CountTracksEntries) {
   EXPECT_EQ(*store().Count(), 0u);
   for (int i = 0; i < 5; ++i) {
-    store().PutString("key" + std::to_string(i), "v");
+    (void)store().PutString("key" + std::to_string(i), "v");
   }
   EXPECT_EQ(*store().Count(), 5u);
-  store().Delete("key0");
+  (void)store().Delete("key0");
   EXPECT_EQ(*store().Count(), 4u);
 }
 
 TEST_P(KvConformanceTest, ClearEmptiesStore) {
   for (int i = 0; i < 5; ++i) {
-    store().PutString("key" + std::to_string(i), "v");
+    (void)store().PutString("key" + std::to_string(i), "v");
   }
   ASSERT_TRUE(store().Clear().ok());
   EXPECT_EQ(*store().Count(), 0u);
@@ -204,7 +204,7 @@ TEST_P(KvConformanceTest, ListKeysReturnsAll) {
   std::set<std::string> expected;
   for (int i = 0; i < 7; ++i) {
     const std::string key = "k" + std::to_string(i);
-    store().PutString(key, "v");
+    (void)store().PutString(key, "v");
     expected.insert(key);
   }
   auto keys = store().ListKeys();
@@ -258,8 +258,8 @@ TEST_P(KvConformanceTest, NullValueRejected) {
 }
 
 TEST_P(KvConformanceTest, MultiGetMatchesIndividualGets) {
-  store().PutString("m1", "v1");
-  store().PutString("m3", "v3");
+  (void)store().PutString("m1", "v1");
+  (void)store().PutString("m3", "v3");
   auto results = store().MultiGet({"m1", "m2", "m3"});
   ASSERT_EQ(results.size(), 3u);
   ASSERT_TRUE(results[0].ok());
@@ -279,7 +279,7 @@ TEST_P(KvConformanceTest, MultiPutVisibleToGets) {
 }
 
 TEST_P(KvConformanceTest, GetIfChangedRevalidates) {
-  store().PutString("key", "version-1");
+  (void)store().PutString("key", "version-1");
   auto first = store().GetIfChanged("key", "");
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->not_modified);
@@ -292,7 +292,7 @@ TEST_P(KvConformanceTest, GetIfChangedRevalidates) {
   EXPECT_TRUE(second->not_modified);
 
   // New version: full value returned with a new etag.
-  store().PutString("key", "version-2");
+  (void)store().PutString("key", "version-2");
   auto third = store().GetIfChanged("key", first->etag);
   ASSERT_TRUE(third.ok());
   EXPECT_FALSE(third->not_modified);

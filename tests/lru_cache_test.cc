@@ -28,7 +28,7 @@ TEST(LruCacheTest, MissReturnsNotFound) {
 TEST(LruCacheTest, GetReturnsSharedBufferWithoutCopy) {
   LruCache cache(1 << 20);
   ValuePtr original = V("shared");
-  cache.Put("k", original);
+  (void)cache.Put("k", original);
   auto got = cache.Get("k");
   ASSERT_TRUE(got.ok());
   // Same underlying buffer: in-process hits never copy (paper Section III).
@@ -37,15 +37,15 @@ TEST(LruCacheTest, GetReturnsSharedBufferWithoutCopy) {
 
 TEST(LruCacheTest, PutReplacesValue) {
   LruCache cache(1 << 20);
-  cache.Put("k", V("old"));
-  cache.Put("k", V("new"));
+  (void)cache.Put("k", V("old"));
+  (void)cache.Put("k", V("new"));
   EXPECT_EQ(ToString(**cache.Get("k")), "new");
   EXPECT_EQ(cache.EntryCount(), 1u);
 }
 
 TEST(LruCacheTest, DeleteRemovesEntry) {
   LruCache cache(1 << 20);
-  cache.Put("k", V("v"));
+  (void)cache.Put("k", V("v"));
   ASSERT_TRUE(cache.Delete("k").ok());
   EXPECT_TRUE(cache.Get("k").status().IsNotFound());
   EXPECT_TRUE(cache.Delete("k").ok());  // idempotent
@@ -53,7 +53,7 @@ TEST(LruCacheTest, DeleteRemovesEntry) {
 
 TEST(LruCacheTest, ClearEmptiesEverything) {
   LruCache cache(1 << 20);
-  for (int i = 0; i < 50; ++i) cache.Put("k" + std::to_string(i), V("v"));
+  for (int i = 0; i < 50; ++i) (void)cache.Put("k" + std::to_string(i), V("v"));
   cache.Clear();
   EXPECT_EQ(cache.EntryCount(), 0u);
   EXPECT_EQ(cache.ChargeUsed(), 0u);
@@ -61,7 +61,7 @@ TEST(LruCacheTest, ClearEmptiesEverything) {
 
 TEST(LruCacheTest, ContainsDoesNotAffectStats) {
   LruCache cache(1 << 20);
-  cache.Put("k", V("v"));
+  (void)cache.Put("k", V("v"));
   cache.Contains("k");
   cache.Contains("missing");
   const CacheStats stats = cache.Stats();
@@ -73,12 +73,12 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   // Single shard so LRU order is global and deterministic.
   LruCache cache(3 * (1 + 100 + 64), 1);
   const std::string big(100, 'x');
-  cache.Put("a", V(big));
-  cache.Put("b", V(big));
-  cache.Put("c", V(big));
+  (void)cache.Put("a", V(big));
+  (void)cache.Put("b", V(big));
+  (void)cache.Put("c", V(big));
   // Touch "a" so "b" is now least recently used.
   ASSERT_TRUE(cache.Get("a").ok());
-  cache.Put("d", V(big));  // must evict "b"
+  (void)cache.Put("d", V(big));  // must evict "b"
   EXPECT_TRUE(cache.Contains("a"));
   EXPECT_FALSE(cache.Contains("b"));
   EXPECT_TRUE(cache.Contains("c"));
@@ -89,7 +89,7 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
 TEST(LruCacheTest, CapacityBoundsChargeUsed) {
   LruCache cache(10 * 1024, 1);
   for (int i = 0; i < 1000; ++i) {
-    cache.Put("key" + std::to_string(i), V(std::string(100, 'v')));
+    (void)cache.Put("key" + std::to_string(i), V(std::string(100, 'v')));
   }
   EXPECT_LE(cache.ChargeUsed(), 10 * 1024u);
   EXPECT_LT(cache.EntryCount(), 1000u);
@@ -97,16 +97,16 @@ TEST(LruCacheTest, CapacityBoundsChargeUsed) {
 
 TEST(LruCacheTest, OversizedEntryDoesNotStick) {
   LruCache cache(128, 1);
-  cache.Put("huge", V(std::string(1000, 'x')));
+  (void)cache.Put("huge", V(std::string(1000, 'x')));
   // Entry exceeds capacity: it must be evicted immediately.
   EXPECT_FALSE(cache.Contains("huge"));
 }
 
 TEST(LruCacheTest, HitRateStat) {
   LruCache cache(1 << 20);
-  cache.Put("k", V("v"));
-  for (int i = 0; i < 3; ++i) cache.Get("k");
-  cache.Get("missing");
+  (void)cache.Put("k", V("v"));
+  for (int i = 0; i < 3; ++i) (void)cache.Get("k");
+  (void)cache.Get("missing");
   const CacheStats stats = cache.Stats();
   EXPECT_EQ(stats.hits, 3u);
   EXPECT_EQ(stats.misses, 1u);
@@ -116,7 +116,7 @@ TEST(LruCacheTest, HitRateStat) {
 TEST(LruCacheTest, ManyShardsStillCorrect) {
   LruCache cache(1 << 20, 64);
   for (int i = 0; i < 500; ++i) {
-    cache.Put("key" + std::to_string(i), V("value" + std::to_string(i)));
+    (void)cache.Put("key" + std::to_string(i), V("value" + std::to_string(i)));
   }
   for (int i = 0; i < 500; ++i) {
     auto got = cache.Get("key" + std::to_string(i));
@@ -151,7 +151,7 @@ TEST(LruCacheTest, ConcurrentMixedWorkload) {
 TEST(CopyingCacheTest, IsolatesStoredValue) {
   CopyingCache cache(std::make_unique<LruCache>(1 << 20));
   ValuePtr original = V("data");
-  cache.Put("k", original);
+  (void)cache.Put("k", original);
   auto got = cache.Get("k");
   ASSERT_TRUE(got.ok());
   EXPECT_NE(got->get(), original.get());   // distinct buffers

@@ -65,7 +65,7 @@ TEST_F(MirroredStoreTest, WriteConcernOne) {
 TEST_F(MirroredStoreTest, ReadFallsBackAcrossReplicas) {
   MirroredStore store(All());
   // Value only on the last replica (e.g. written before mirroring began).
-  c_->PutString("orphan", "rescued");
+  (void)c_->PutString("orphan", "rescued");
   auto got = store.GetString("orphan");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, "rescued");
@@ -73,7 +73,7 @@ TEST_F(MirroredStoreTest, ReadFallsBackAcrossReplicas) {
 
 TEST_F(MirroredStoreTest, ReadRepairPopulatesMissingReplicas) {
   MirroredStore store(All());
-  c_->PutString("orphan", "rescued");
+  (void)c_->PutString("orphan", "rescued");
   ASSERT_TRUE(store.Get("orphan").ok());
   // Read repair copied the value into the replicas that missed.
   EXPECT_EQ(*a_->GetString("orphan"), "rescued");
@@ -84,15 +84,15 @@ TEST_F(MirroredStoreTest, ReadRepairCanBeDisabled) {
   MirroredStore::Options options;
   options.read_repair = false;
   MirroredStore store(All(), options);
-  c_->PutString("orphan", "rescued");
+  (void)c_->PutString("orphan", "rescued");
   ASSERT_TRUE(store.Get("orphan").ok());
   EXPECT_FALSE(*a_->Contains("orphan"));
 }
 
 TEST_F(MirroredStoreTest, ListKeysIsUnion) {
   MirroredStore store(All());
-  a_->PutString("only-a", "1");
-  c_->PutString("only-c", "2");
+  (void)a_->PutString("only-a", "1");
+  (void)c_->PutString("only-c", "2");
   auto keys = store.ListKeys();
   ASSERT_TRUE(keys.ok());
   EXPECT_EQ(keys->size(), 2u);
@@ -101,10 +101,10 @@ TEST_F(MirroredStoreTest, ListKeysIsUnion) {
 
 TEST_F(MirroredStoreTest, ConsistencyCheckDetectsDivergence) {
   MirroredStore store(All());
-  store.PutString("same", "everywhere");
+  (void)store.PutString("same", "everywhere");
   // Introduce divergence behind the mirror's back.
-  b_->PutString("same", "DIFFERENT");
-  a_->PutString("missing-elsewhere", "x");
+  (void)b_->PutString("same", "DIFFERENT");
+  (void)a_->PutString("missing-elsewhere", "x");
 
   auto report = store.CheckConsistency();
   ASSERT_TRUE(report.ok());
@@ -115,8 +115,8 @@ TEST_F(MirroredStoreTest, ConsistencyCheckDetectsDivergence) {
 
 TEST_F(MirroredStoreTest, ConsistencyCheckPassesWhenAligned) {
   MirroredStore store(All());
-  store.PutString("k1", "v1");
-  store.PutString("k2", "v2");
+  (void)store.PutString("k1", "v1");
+  (void)store.PutString("k2", "v2");
   auto report = store.CheckConsistency();
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->consistent());
@@ -124,9 +124,9 @@ TEST_F(MirroredStoreTest, ConsistencyCheckPassesWhenAligned) {
 
 TEST_F(MirroredStoreTest, RepairConvergesReplicasToSource) {
   MirroredStore store(All());
-  store.PutString("shared", "good");
-  b_->PutString("shared", "corrupt");
-  b_->PutString("extraneous", "junk");
+  (void)store.PutString("shared", "good");
+  (void)b_->PutString("shared", "corrupt");
+  (void)b_->PutString("extraneous", "junk");
   c_->Delete("shared").ok();
 
   ASSERT_TRUE(store.Repair(/*source_index=*/0).ok());
@@ -146,7 +146,7 @@ TEST_F(MirroredStoreTest, RepairRejectsBadSourceIndex) {
 
 TEST_F(MirroredStoreTest, DeleteRemovesEverywhere) {
   MirroredStore store(All());
-  store.PutString("k", "v");
+  (void)store.PutString("k", "v");
   ASSERT_TRUE(store.Delete("k").ok());
   EXPECT_FALSE(*a_->Contains("k"));
   EXPECT_FALSE(*b_->Contains("k"));

@@ -87,7 +87,7 @@ TEST(ThreadedServerTest, ServesMultipleClients) {
   ThreadedServer server([&connections](Socket socket) {
     connections.fetch_add(1);
     auto frame = ReadFrame(&socket);
-    if (frame.ok()) WriteFrame(&socket, *frame);
+    if (frame.ok()) (void)WriteFrame(&socket, *frame);
   });
   ASSERT_TRUE(server.Start(0).ok());
 
@@ -111,7 +111,7 @@ TEST(ThreadedServerTest, ServesMultipleClients) {
 TEST(ThreadedServerTest, StopUnblocksIdleConnections) {
   ThreadedServer server([](Socket socket) {
     // Blocks until the peer or Stop() closes the connection.
-    ReadFrame(&socket);
+    (void)ReadFrame(&socket);
   });
   ASSERT_TRUE(server.Start(0).ok());
   auto conn = Socket::ConnectTcp("127.0.0.1", server.port());

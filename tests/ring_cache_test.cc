@@ -51,7 +51,7 @@ TEST(RingCacheTest, KeysSpreadAcrossNodes) {
   for (auto& node : nodes) backing.push_back(node.cache);
   RingCache ring(std::move(nodes));
   for (int i = 0; i < 400; ++i) {
-    ring.Put("key" + std::to_string(i), MakeValue(std::string_view("v")));
+    (void)ring.Put("key" + std::to_string(i), MakeValue(std::string_view("v")));
   }
   // Every node should hold a meaningful share (not perfectly uniform, but
   // no node should be empty or hold nearly everything).
@@ -132,7 +132,7 @@ TEST(RingCacheTest, HeterogeneousNodeTypes) {
 TEST(RingCacheTest, AggregatedStatsAndKeys) {
   RingCache ring(MakeNodes(3));
   for (int i = 0; i < 30; ++i) {
-    ring.Put("k" + std::to_string(i), MakeValue(std::string_view("v")));
+    (void)ring.Put("k" + std::to_string(i), MakeValue(std::string_view("v")));
   }
   for (int i = 0; i < 30; ++i) ring.Get("k" + std::to_string(i)).ok();
   ring.Get("missing").status();

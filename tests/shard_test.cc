@@ -3,16 +3,15 @@
 // rebalancing with a forwarding window, per-shard health, and same-seed
 // determinism of placements and migration traces.
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/sync.h"
 #include "fault/fault.h"
 #include "fault/fault_store.h"
 #include "shard/ring.h"
@@ -155,25 +154,25 @@ Cluster MakeCluster(int shards, ShardedStore::Options options = {}) {
 class MigratorGate {
  public:
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     open_ = false;
   }
   void Open() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       open_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   void Pass() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return open_; });
+    MutexLock lock(mu_);
+    while (!open_) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool open_ = true;
+  Mutex mu_;
+  CondVar cv_;
+  bool open_ GUARDED_BY(mu_) = true;
 };
 
 // --- Routing + scatter-gather ---------------------------------------------

@@ -211,9 +211,9 @@ TEST(RemoteCacheTest, StatsComeFromServer) {
   auto conn = RemoteCacheConnection::Connect("127.0.0.1", (*server)->port());
   ASSERT_TRUE(conn.ok());
   RemoteCache cache(*conn);
-  cache.Put("a", MakeValue(std::string_view("1")));
-  cache.Get("a");
-  cache.Get("missing");
+  (void)cache.Put("a", MakeValue(std::string_view("1")));
+  (void)cache.Get("a");
+  (void)cache.Get("missing");
   const CacheStats stats = cache.Stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
@@ -231,7 +231,7 @@ TEST(RemoteCacheTest, SharedByMultipleClients) {
   ASSERT_TRUE(conn2.ok());
   RemoteCache cache1(*conn1);
   RemoteCache cache2(*conn2);
-  cache1.Put("shared", MakeValue(std::string_view("payload")));
+  (void)cache1.Put("shared", MakeValue(std::string_view("payload")));
   auto got = cache2.Get("shared");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(ToString(**got), "payload");
@@ -246,7 +246,7 @@ TEST(RemoteCacheTest, EvictionHappensServerSide) {
   RemoteCache cache(*conn);
   Random rng(3);
   for (int i = 0; i < 100; ++i) {
-    cache.Put("k" + std::to_string(i), MakeValue(rng.RandomBytes(200)));
+    (void)cache.Put("k" + std::to_string(i), MakeValue(rng.RandomBytes(200)));
   }
   EXPECT_LE(cache.ChargeUsed(), 4096u);
   EXPECT_GT(cache.Stats().evictions, 0u);

@@ -39,7 +39,7 @@ TEST_F(TransactionTest, CommitWritesAcrossStores) {
 }
 
 TEST_F(TransactionTest, CommitAppliesDeletes) {
-  store_a_->PutString("old", "data");
+  (void)store_a_->PutString("old", "data");
   MultiStoreTransaction txn(coordinator_, MakeTransactionId());
   txn.Delete(store_a_, "a", "old");
   txn.Put(store_b_, "b", "new", MakeValue(std::string_view("data")));
@@ -112,7 +112,7 @@ TEST_F(TransactionTest, RecoveryRollsForwardCommittedTransaction) {
   // phase=committing present, final keys not yet written.
   const std::string crash_id = "deadbeef";
   const std::string staged = "~txnstage!" + crash_id + "!0";
-  store_b_->PutString("y", "stale");  // will be deleted by the txn
+  (void)store_b_->PutString("y", "stale");  // will be deleted by the txn
   ASSERT_TRUE(
       store_a_->Put(staged, MakeValue(std::string_view("10"))).ok());
   ASSERT_TRUE(coordinator_
@@ -136,7 +136,7 @@ TEST_F(TransactionTest, RecoveryIdempotentAfterPartialApply) {
   // key removed, but the journal survived. Recovery must not disturb the
   // applied value and must clean up.
   const std::string crash_id = "cafebabe";
-  store_a_->PutString("p", "10");  // already promoted
+  (void)store_a_->PutString("p", "10");  // already promoted
   ASSERT_TRUE(coordinator_
                   ->Put("~txnlog!" + crash_id,
                         MakeValue(BuildJournal(
@@ -181,7 +181,7 @@ TEST_F(TransactionTest, RecoveryFailsOnUnknownStore) {
   PutLengthPrefixed(&journal, std::string("k"));
   journal.push_back(0);
   PutLengthPrefixed(&journal, std::string("~txnstage!x!0"));
-  coordinator_->Put("~txnlog!" + crash_id, MakeValue(std::move(journal)));
+  (void)coordinator_->Put("~txnlog!" + crash_id, MakeValue(std::move(journal)));
   EXPECT_TRUE(
       MultiStoreTransaction::Recover(coordinator_.get(), StoreMap()).IsNotFound());
 }

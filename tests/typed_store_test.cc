@@ -98,7 +98,7 @@ TEST(TypedStoreTest, CustomTypeRoundTrips) {
 
 TEST(TypedStoreTest, DeleteAndContains) {
   TypedStore<int64_t, std::string> store(std::make_shared<MemoryStore>());
-  store.Put(1, "one");
+  (void)store.Put(1, "one");
   EXPECT_TRUE(*store.Contains(1));
   ASSERT_TRUE(store.Delete(1).ok());
   EXPECT_FALSE(*store.Contains(1));
@@ -107,7 +107,7 @@ TEST(TypedStoreTest, DeleteAndContains) {
 TEST(TypedStoreTest, ListTypedKeys) {
   TypedStore<int64_t, std::string> store(std::make_shared<MemoryStore>());
   for (int64_t k : {5, 1, 9}) {
-    store.Put(k, "v");
+    (void)store.Put(k, "v");
   }
   auto keys = store.ListKeys();
   ASSERT_TRUE(keys.ok());
@@ -119,14 +119,14 @@ TEST(TypedStoreTest, CorruptValueReportsError) {
   auto raw = std::make_shared<MemoryStore>();
   TypedStore<std::string, double> store(raw);
   // Write garbage through the raw interface.
-  raw->PutString("bad", "xyz");
+  (void)raw->PutString("bad", "xyz");
   EXPECT_TRUE(store.Get("bad").status().IsCorruption());
 }
 
 TEST(TypedStoreTest, SharesBackendWithRawView) {
   auto raw = std::make_shared<MemoryStore>();
   TypedStore<std::string, std::string> text_view(raw);
-  text_view.Put("k", "v");
+  (void)text_view.Put("k", "v");
   // The underlying store sees the serialized representation (a string's
   // serialization is itself).
   EXPECT_EQ(*raw->Count(), 1u);

@@ -8,6 +8,7 @@
 
 #include "cache/lru_cache.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "store/file_store.h"
 #include "store/memory_store.h"
 #include "udsm/async_store.h"
@@ -33,10 +34,10 @@ TEST(UdsmTest, SwitchingStoresByName) {
   // The common interface makes stores substitutable: the same application
   // code works against whichever store the name resolves to.
   Udsm udsm;
-  udsm.RegisterStore("data", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("data", std::make_shared<MemoryStore>());
   auto run_app = [&udsm](const std::string& value) {
     KeyValueStore* store = udsm.GetStore("data");
-    store->PutString("key", value);
+    (void)store->PutString("key", value);
     return *store->GetString("key");
   };
   EXPECT_EQ(run_app("in-memory"), "in-memory");
@@ -45,8 +46,8 @@ TEST(UdsmTest, SwitchingStoresByName) {
                    ("udsm_switch_" + std::to_string(::getpid()));
   auto file_store = FileStore::Open(dir);
   ASSERT_TRUE(file_store.ok());
-  udsm.RegisterStore("data", std::shared_ptr<KeyValueStore>(
-                                 std::move(*file_store)));
+  (void)udsm.RegisterStore(
+      "data", std::shared_ptr<KeyValueStore>(std::move(*file_store)));
   EXPECT_EQ(run_app("on-disk"), "on-disk");
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
@@ -61,7 +62,7 @@ TEST(UdsmTest, RejectsBadRegistrations) {
 
 TEST(UdsmTest, UnregisterStore) {
   Udsm udsm;
-  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
   ASSERT_TRUE(udsm.UnregisterStore("mem").ok());
   EXPECT_EQ(udsm.GetStore("mem"), nullptr);
   EXPECT_TRUE(udsm.UnregisterStore("mem").IsNotFound());
@@ -69,14 +70,14 @@ TEST(UdsmTest, UnregisterStore) {
 
 TEST(UdsmTest, StoreNamesSorted) {
   Udsm udsm;
-  udsm.RegisterStore("zeta", std::make_shared<MemoryStore>());
-  udsm.RegisterStore("alpha", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("zeta", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("alpha", std::make_shared<MemoryStore>());
   EXPECT_EQ(udsm.StoreNames(), (std::vector<std::string>{"alpha", "zeta"}));
 }
 
 TEST(UdsmTest, NativeEscapeHatch) {
   Udsm udsm;
-  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
   EXPECT_NE(udsm.GetNative<MemoryStore>("mem"), nullptr);
   EXPECT_EQ(udsm.GetNative<FileStore>("mem"), nullptr);
   EXPECT_EQ(udsm.GetNative<MemoryStore>("ghost"), nullptr);
@@ -84,11 +85,11 @@ TEST(UdsmTest, NativeEscapeHatch) {
 
 TEST(UdsmTest, MonitoringRecordsOperations) {
   Udsm udsm;
-  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
   KeyValueStore* store = udsm.GetStore("mem");
-  store->PutString("a", "1");
-  store->GetString("a");
-  store->GetString("a");
+  (void)store->PutString("a", "1");
+  (void)store->GetString("a");
+  (void)store->GetString("a");
   store->Get("missing").status();
 
   EXPECT_EQ(udsm.monitor()->Summary("memory", "put").count, 1u);
@@ -102,7 +103,7 @@ TEST(UdsmTest, MonitoringRecordsOperations) {
 
 TEST(UdsmTest, AsyncRoundTrip) {
   Udsm udsm;
-  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
   auto async = udsm.GetAsyncStore("mem");
   ASSERT_TRUE(async.ok());
 
@@ -122,25 +123,25 @@ TEST(UdsmTest, AsyncRoundTrip) {
 
 TEST(UdsmTest, AsyncCallbacksFire) {
   Udsm udsm;
-  udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
+  (void)udsm.RegisterStore("mem", std::make_shared<MemoryStore>());
   auto async = udsm.GetAsyncStore("mem");
   ASSERT_TRUE(async.ok());
   ASSERT_TRUE(async->PutAsync("k", MakeValue(std::string_view("v"))).Get().ok());
 
   std::atomic<bool> fired{false};
   std::string captured;
-  std::mutex mu;
+  Mutex mu;
   auto future = async->GetAsync("k");
   future.AddListener([&](const StatusOr<ValuePtr>& result) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (result.ok()) captured = ToString(**result);
     fired = true;
   });
-  future.Get();  // ensure completion
+  (void)future.Get();  // ensure completion
   for (int i = 0; i < 100 && !fired.load(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   EXPECT_TRUE(fired.load());
   EXPECT_EQ(captured, "v");
 }
@@ -159,8 +160,8 @@ TEST(UdsmTest, AsyncOverlapsSlowOperations) {
   options.async_threads = 8;
   Udsm udsm(options);
   auto slow = std::make_shared<SlowStore>();
-  slow->PutString("k", "v");
-  udsm.RegisterStore("slow", slow);
+  (void)slow->PutString("k", "v");
+  (void)udsm.RegisterStore("slow", slow);
   auto async = udsm.GetAsyncStore("slow");
   ASSERT_TRUE(async.ok());
 

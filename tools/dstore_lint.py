@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Repo lint gate for dstore. Run from anywhere:
+
+    python3 tools/dstore_lint.py [--list-rules] [paths...]
+
+With no paths, lints src/, tests/, bench/, examples/, and tools/. Exits
+non-zero when any finding is reported, printing one finding per line in
+the familiar file:line: message format.
+
+Rules (suppress a single line with a trailing `// NOLINT(dstore-<rule>)`
+or a bare `// NOLINT` comment):
+
+  raw-sync          std::mutex / std::lock_guard / std::condition_variable
+                    and friends outside src/common/sync.h|.cc. Everything
+                    else must use the annotated wrappers in common/sync.h so
+                    clang -Wthread-safety and the runtime lock-order
+                    validator see every acquisition.
+  naked-new         `x = new T` / `return new T` outside a smart-pointer
+                    wrapper. `std::unique_ptr<T>(new T)` (private ctors)
+                    and `static T* x = new T` (leaked singletons) are
+                    allowed idioms.
+  naked-delete      `delete expr;` statements. Deleted functions
+                    (`= delete`) are of course fine.
+  include-guard     Headers must open with a matching #ifndef/#define
+                    include guard and close with #endif.
+  discarded-status  A known fallible call (Put, Delete, AddShard, ...)
+                    used as a bare statement. Write `(void)call(...)` or
+                    `call(...).ok()` for an intentional discard; the
+                    [[nodiscard]] attribute on Status/StatusOr makes the
+                    compiler flag the rest.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ["src", "tests", "bench", "examples", "tools"]
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# The one place raw standard-library primitives are allowed: the annotated
+# wrappers themselves (sync.cc's validator graph also needs an
+# uninstrumented mutex).
+RAW_SYNC_ALLOWED = {
+    os.path.join("src", "common", "sync.h"),
+    os.path.join("src", "common", "sync.cc"),
+}
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+
+NAKED_NEW_RE = re.compile(r"(=|return)\s+new\b")
+SMART_WRAP_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<")
+NAKED_DELETE_RE = re.compile(r"^\s*delete(\[\])?\s+[^;=]+;")
+
+# Status/StatusOr-returning methods whose result must not be silently
+# dropped. Kept to names that are unambiguous in this codebase (AddShard /
+# RemoveShard are omitted: HashRing has void methods of the same name, and
+# [[nodiscard]] already catches discards of the Status-returning ones).
+FALLIBLE_METHODS = (
+    "Put|PutString|PutWithTtl|MultiPut|Delete|RegisterStore|"
+    "UnregisterStore|Checkpoint|SaveTo|LoadFrom|AppendWal|FlushWal"
+)
+DISCARDED_STATUS_RE = re.compile(
+    r"^\s*(?P<recv>[A-Za-z_][\w]*)(\.|->)(" + FALLIBLE_METHODS +
+    r")\(.*\);\s*(//.*)?$"
+)
+# MultiStoreTransaction::Put/Delete stage writes and return void; the
+# conventional receiver names identify them.
+VOID_STAGING_RECEIVERS = {"txn", "transaction"}
+
+# A significant line ending in one of these continues onto the next line
+# (assignment RHS, open argument list, binary operator, return expression),
+# so the next line is not a statement of its own.
+CONTINUATION_END_RE = re.compile(r"([=+\-*/%<>&|^?,(]|::|\breturn)\s*$")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT(\(([^)]*)\))?")
+
+COMMENT_LINE_RE = re.compile(r"^\s*(//|\*)")
+
+
+def suppressed(line, rule):
+    m = NOLINT_RE.search(line)
+    if not m:
+        return False
+    rules = m.group(2)
+    return rules is None or ("dstore-" + rule) in rules
+
+
+def strip_strings(line):
+    """Blanks out string and char literals so their contents can't match."""
+    return re.sub(r'"(\\.|[^"\\])*"|\'(\\.|[^\'\\])*\'', '""', line)
+
+
+def lint_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().split("\n")
+
+    is_header = rel.endswith((".h", ".hpp"))
+    if is_header:
+        lint_include_guard(rel, lines, findings)
+
+    raw_sync_ok = rel in RAW_SYNC_ALLOWED
+    depth = 0  # unbalanced-paren depth from preceding lines
+    prev_continues = False  # previous line left a statement unfinished
+    for i, raw in enumerate(lines, start=1):
+        if COMMENT_LINE_RE.match(raw):
+            continue
+        line = strip_strings(raw)
+        # Statement-level rules only fire at paren depth 0 and when the
+        # previous line completed its statement, so continuation lines of a
+        # multi-line call or assignment RHS are not mistaken for statements.
+        at_statement_start = depth == 0 and not prev_continues
+        depth = max(0, depth + line.count("(") - line.count(")"))
+        code = NOLINT_RE.sub("", line).split("//")[0].rstrip()
+        if code:
+            prev_continues = bool(CONTINUATION_END_RE.search(code))
+
+        if not raw_sync_ok and RAW_SYNC_RE.search(line):
+            if not suppressed(raw, "raw-sync"):
+                findings.append(
+                    (rel, i, "raw-sync: use the annotated wrappers in "
+                     "common/sync.h instead of raw std synchronization"))
+
+        if NAKED_NEW_RE.search(line) and not SMART_WRAP_RE.search(line) \
+                and "static" not in line:
+            if not suppressed(raw, "naked-new"):
+                findings.append(
+                    (rel, i, "naked-new: wrap in std::make_unique / "
+                     "std::unique_ptr (or a static leaked singleton)"))
+
+        if NAKED_DELETE_RE.match(line):
+            if not suppressed(raw, "naked-delete"):
+                findings.append(
+                    (rel, i, "naked-delete: owning pointers should be "
+                     "smart pointers"))
+
+        m = DISCARDED_STATUS_RE.match(line) if at_statement_start else None
+        if m and ".ok()" not in line \
+                and m.group("recv") not in VOID_STAGING_RECEIVERS:
+            if not suppressed(raw, "discarded-status"):
+                findings.append(
+                    (rel, i, "discarded-status: result of a fallible call "
+                     "is ignored; use (void)call(...) or check .ok()"))
+
+
+def lint_include_guard(rel, lines, findings):
+    ifndef = None
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        m = re.match(r"#ifndef\s+(\w+)", stripped)
+        if m:
+            ifndef = m.group(1)
+            # The guard's #define must follow immediately.
+            if i + 1 < len(lines):
+                d = re.match(r"#define\s+(\w+)", lines[i + 1].strip())
+                if d and d.group(1) == ifndef:
+                    return
+            findings.append(
+                (rel, i + 2, "include-guard: #ifndef %s not followed by "
+                 "matching #define" % ifndef))
+            return
+        if stripped == "#pragma once":
+            findings.append(
+                (rel, i + 1, "include-guard: use an #ifndef guard, not "
+                 "#pragma once"))
+            return
+        break
+    findings.append((rel, 1, "include-guard: header has no include guard"))
+
+
+def collect_files(argv):
+    paths = argv or [os.path.join(REPO_ROOT, d) for d in DEFAULT_DIRS]
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for root, dirs, names in os.walk(p):
+            dirs[:] = [d for d in dirs if not d.startswith(("build", "."))]
+            for name in names:
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(root, name))
+    return sorted(files)
+
+
+def main(argv):
+    if "--list-rules" in argv:
+        print(__doc__)
+        return 0
+    findings = []
+    for path in collect_files([a for a in argv if not a.startswith("-")]):
+        rel = os.path.relpath(path, REPO_ROOT)
+        lint_file(path, rel, findings)
+    for rel, line, message in findings:
+        print("%s:%d: %s" % (rel, line, message))
+    if findings:
+        print("dstore_lint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("dstore_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
