@@ -1,0 +1,176 @@
+// Microbenchmarks for the admission-control subsystem (src/admit/): the
+// per-primitive cost of the deadline context, token bucket, AIMD limiter,
+// breaker, and server queue, plus the headline pass-through overhead of
+// the store decorators. The overhead contract (docs/testing.md, "Overload
+// protection") is that an untripped admission stack adds no more than ~5%
+// to a realistic backend operation; scripts/bench_snapshot.sh extracts the
+// paired baseline/wrapped rows below into BENCH_admit.json.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "admit/admit_store.h"
+#include "admit/breaker.h"
+#include "admit/deadline.h"
+#include "admit/limiter.h"
+#include "admit/server_queue.h"
+#include "admit/token_bucket.h"
+#include "common/random.h"
+#include "store/file_store.h"
+#include "store/memory_store.h"
+
+namespace dstore {
+namespace {
+
+std::filesystem::path BenchDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dstore_admitbench_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+// Limits so high they never trip: the pass-through configuration the
+// conformance suite uses, here priced instead of proven correct.
+admit::AdmittingStore::Options NeverTripAdmitOptions() {
+  admit::AdmittingStore::Options options;
+  admit::AdaptiveLimiter::Options limiter_options;
+  limiter_options.initial_limit = 1e6;
+  limiter_options.min_limit = 1e6;
+  limiter_options.max_limit = 1e6;
+  options.limiter = std::make_shared<admit::AdaptiveLimiter>(limiter_options);
+  admit::TokenBucket::Options bucket_options;
+  bucket_options.rate_per_sec = 1e9;
+  bucket_options.burst = 1e9;
+  options.rate_limiter = std::make_shared<admit::TokenBucket>(bucket_options);
+  return options;
+}
+
+admit::CircuitBreaker::Options NeverTripBreakerOptions() {
+  admit::CircuitBreaker::Options options;
+  options.failure_threshold = 1'000'000'000;
+  return options;
+}
+
+// --- Primitive costs ------------------------------------------------------
+
+void BM_ScopedDeadline(benchmark::State& state) {
+  for (auto _ : state) {
+    admit::ScopedDeadline scope(admit::Deadline::After(1'000'000'000));
+    benchmark::DoNotOptimize(admit::CurrentDeadline().expired());
+  }
+}
+BENCHMARK(BM_ScopedDeadline);
+
+void BM_TokenBucketTryAcquire(benchmark::State& state) {
+  admit::TokenBucket::Options options;
+  options.rate_per_sec = 1e9;
+  options.burst = 1e9;
+  admit::TokenBucket bucket(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucket.TryAcquire());
+  }
+}
+BENCHMARK(BM_TokenBucketTryAcquire);
+
+void BM_AdaptiveLimiterAcquireRelease(benchmark::State& state) {
+  admit::AdaptiveLimiter::Options options;
+  options.initial_limit = 1e6;
+  options.min_limit = 1e6;
+  options.max_limit = 1e6;
+  admit::AdaptiveLimiter limiter(options);
+  const Status ok = Status::OK();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(limiter.TryAcquire());
+    limiter.Release(ok);
+  }
+}
+BENCHMARK(BM_AdaptiveLimiterAcquireRelease);
+
+void BM_CircuitBreakerAdmitRecord(benchmark::State& state) {
+  admit::CircuitBreaker breaker(NeverTripBreakerOptions());
+  const Status ok = Status::OK();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(breaker.Admit());
+    breaker.OnResult(ok);
+  }
+}
+BENCHMARK(BM_CircuitBreakerAdmitRecord);
+
+void BM_ServerQueueEnterExit(benchmark::State& state) {
+  admit::ServerQueue::Options options;
+  options.max_concurrency = 64;
+  options.max_queue_depth = 64;
+  admit::ServerQueue queue(options);
+  for (auto _ : state) {
+    admit::ServerQueue::Admission admission(&queue);
+    benchmark::DoNotOptimize(admission.ok());
+  }
+}
+BENCHMARK(BM_ServerQueueEnterExit);
+
+// --- Decorator pass-through overhead --------------------------------------
+
+// Layer ablation over an in-memory backend: the op itself is tens of
+// nanoseconds, so this prices each wrapper in absolute terms. Arg:
+// 0 = bare store, 1 = deadline-only admission (the "no-limit" wrapper),
+// 2 = admission with never-trip bucket + limiter, 3 = breaker on top of 2.
+void BM_AdmitMemoryLayers(benchmark::State& state) {
+  auto base = std::make_shared<MemoryStore>();
+  std::shared_ptr<KeyValueStore> store = base;
+  const int layers = static_cast<int>(state.range(0));
+  if (layers == 1) {
+    store = std::make_shared<admit::AdmittingStore>(store);
+  } else if (layers >= 2) {
+    store = std::make_shared<admit::AdmittingStore>(store,
+                                                    NeverTripAdmitOptions());
+  }
+  if (layers >= 3) {
+    store = std::make_shared<admit::CircuitBreakerStore>(
+        store, NeverTripBreakerOptions());
+  }
+  Random rng(1);
+  const ValuePtr value = MakeValue(rng.RandomBytes(100));
+  for (auto _ : state) {
+    (void)store->Put("k", value);
+    benchmark::DoNotOptimize(store->Get("k"));
+  }
+  static const char* kLabels[] = {"baseline", "admit-nolimit",
+                                  "admit-never-trip", "breaker+admit"};
+  state.SetLabel(kLabels[layers]);
+}
+BENCHMARK(BM_AdmitMemoryLayers)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Headline pair for the ≤5% contract: a realistic object read — an
+// object-store-sized value from a file-backed store — with and without the
+// full untripped stack. The stack's cost is fixed (~a few hundred ns of
+// mutexes, clock reads, and metric updates), so it must vanish against a
+// real backend op, not a 30ns hash-map probe. scripts/bench_snapshot.sh
+// divides the two rows.
+void BM_AdmitFileReadOverhead(benchmark::State& state) {
+  const bool wrapped = state.range(0) != 0;
+  auto base = std::shared_ptr<KeyValueStore>(
+      std::move(FileStore::Open(BenchDir() / (wrapped ? "w" : "b"))).value());
+  Random rng(2);
+  (void)base->Put("k", MakeValue(rng.RandomBytes(256 * 1024)));
+  std::shared_ptr<KeyValueStore> store = base;
+  if (wrapped) {
+    store = std::make_shared<admit::CircuitBreakerStore>(
+        std::make_shared<admit::AdmittingStore>(store, NeverTripAdmitOptions()),
+        NeverTripBreakerOptions());
+  }
+  for (auto _ : state) {
+    admit::ScopedDeadline scope(admit::Deadline::After(1'000'000'000));
+    benchmark::DoNotOptimize(store->Get("k"));
+  }
+  state.SetLabel(wrapped ? "wrapped" : "baseline");
+}
+BENCHMARK(BM_AdmitFileReadOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -32,6 +32,9 @@
 #include <sstream>
 #include <string>
 
+#include "admit/admit_store.h"
+#include "admit/introspect.h"
+#include "admit/limiter.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
 #include "shard/sharded_store.h"
@@ -49,7 +52,9 @@ constexpr char kHelp[] =
     "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
     "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
     "          stats | trace K | topology | addshard NAME | rmshard NAME |\n"
-    "          help | quit\n";
+    "          admit | help | quit\n"
+    "types:    memory | file | sql | shard | admit (memory behind a\n"
+    "          concurrency limiter + circuit breaker; inspect with `admit`)\n";
 
 struct Shell {
   Udsm udsm;
@@ -115,8 +120,21 @@ struct Shell {
       options.name = name;
       status = udsm.RegisterStore(
           name, std::make_shared<ShardedStore>(std::move(shards), options));
+    } else if (type == "admit") {
+      // Memory store behind the full client-side admission stack, so the
+      // `admit` command has live limiter/breaker state to dump.
+      admit::AdmittingStore::Options admit_options;
+      admit::AdaptiveLimiter::Options limiter_options;
+      limiter_options.name = name;
+      admit_options.limiter =
+          std::make_shared<admit::AdaptiveLimiter>(limiter_options);
+      auto admitting = std::make_shared<admit::AdmittingStore>(
+          std::make_shared<MemoryStore>(), admit_options);
+      status = udsm.RegisterStore(
+          name,
+          std::make_shared<admit::CircuitBreakerStore>(std::move(admitting)));
     } else {
-      std::printf("unknown store type '%s' (memory|file|sql|shard)\n",
+      std::printf("unknown store type '%s' (memory|file|sql|shard|admit)\n",
                   type.c_str());
       return;
     }
@@ -269,6 +287,10 @@ struct Shell {
                   shard_name.c_str(), sharded->shard_count(),
                   static_cast<unsigned long long>(
                       sharded->keys_migrated_total()));
+    } else if (command == "admit") {
+      // Live admission-control state: breaker states, concurrency limits,
+      // shed counters — every registered component, one line each.
+      std::fputs(admit::DescribeAdmissionState().c_str(), stdout);
     } else if (command == "monitor") {
       std::fputs(udsm.monitor()->Report().c_str(), stdout);
     } else if (command == "stats") {

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Seeds the bench trajectory: builds the microbenchmarks in Release, runs
+# bench_micro_stores (store substrate) and bench_micro_admit (admission
+# layer), and writes a machine-readable BENCH_admit.json at the repo root.
+#
+#   scripts/bench_snapshot.sh            # full snapshot
+#   scripts/bench_snapshot.sh --quick    # shorter benchmark runs
+#
+# The snapshot records the raw google-benchmark rows plus the derived
+# pass-through overhead of the untripped admission stack (the paired
+# BM_AdmitFileReadOverhead baseline/wrapped rows); the contract is ≤5%
+# (docs/testing.md, "Overload protection"). The build tree lands in
+# build-bench/ so the default build/ directory is left alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MIN_TIME=""
+if [[ "${1:-}" == "--quick" ]]; then
+  MIN_TIME="--benchmark_min_time=0.05"
+fi
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-bench -j"$(nproc)" \
+  --target bench_micro_stores bench_micro_admit
+
+out_dir="build-bench/bench"
+./build-bench/bench/bench_micro_stores ${MIN_TIME} \
+  --benchmark_out="${out_dir}/stores.json" --benchmark_out_format=json
+./build-bench/bench/bench_micro_admit ${MIN_TIME} \
+  --benchmark_out="${out_dir}/admit.json" --benchmark_out_format=json
+
+python3 - "${out_dir}/stores.json" "${out_dir}/admit.json" <<'PY'
+import json
+import sys
+
+stores = json.load(open(sys.argv[1]))
+admit = json.load(open(sys.argv[2]))
+
+def rows(doc):
+    return [
+        {
+            "name": b["name"],
+            "cpu_ns": b["cpu_time"],
+            "label": b.get("label", ""),
+        }
+        for b in doc["benchmarks"]
+    ]
+
+def cpu_ns(doc, name):
+    for b in doc["benchmarks"]:
+        if b["name"] == name:
+            return b["cpu_time"]
+    raise KeyError(name)
+
+baseline = cpu_ns(admit, "BM_AdmitFileReadOverhead/0")
+wrapped = cpu_ns(admit, "BM_AdmitFileReadOverhead/1")
+overhead_pct = 100.0 * (wrapped - baseline) / baseline
+
+snapshot = {
+    "context": admit.get("context", {}),
+    "admit_pass_through": {
+        "baseline_cpu_ns": baseline,
+        "wrapped_cpu_ns": wrapped,
+        "overhead_percent": round(overhead_pct, 2),
+        "budget_percent": 5.0,
+    },
+    "bench_micro_admit": rows(admit),
+    "bench_micro_stores": rows(stores),
+}
+with open("BENCH_admit.json", "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"admission pass-through overhead: {overhead_pct:.2f}% "
+      f"(budget 5%)")
+if overhead_pct > 5.0:
+    print("WARNING: pass-through overhead exceeds the 5% budget")
+print("wrote BENCH_admit.json")
+PY

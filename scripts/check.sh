@@ -6,6 +6,7 @@
 #   scripts/check.sh [extra ctest args...]   # full suite, both builds
 #   scripts/check.sh chaos                   # chaos-labelled suites only
 #   scripts/check.sh shard                   # sharding suites only
+#   scripts/check.sh admit                   # admission-control suites only
 #   scripts/check.sh analyze                 # static analysis + lint gate
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
@@ -71,6 +72,15 @@ elif [[ "${1:-}" == "shard" ]]; then
   export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
   echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
   CTEST_ARGS=(-L shard "$@")
+elif [[ "${1:-}" == "admit" ]]; then
+  # Admission-control suites (tests labelled "admit"): the unit tests, the
+  # wrapped conformance rows, the end-to-end overload demo, and the overload
+  # chaos soak — in Release and TSan (the limiter, breaker, and server
+  # queue are lock-heavy hot paths).
+  shift
+  export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
+  echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
+  CTEST_ARGS=(-L admit "$@")
 else
   CTEST_ARGS=("$@")
 fi

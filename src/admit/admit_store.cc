@@ -1,0 +1,182 @@
+#include "admit/admit_store.h"
+
+#include <cstdio>
+
+#include "admit/deadline.h"
+#include "obs/trace.h"
+
+namespace dstore {
+namespace admit {
+
+namespace {
+
+// Uniform helpers so the With* templates treat Status and StatusOr alike
+// (the RetryingStore::WithRetries pattern).
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+
+}  // namespace
+
+AdmittingStore::AdmittingStore(std::shared_ptr<KeyValueStore> inner,
+                               const Options& options)
+    : inner_(std::move(inner)),
+      options_(options),
+      introspection_([this] { return DebugLine(); }) {
+  if (options_.publish_metrics) {
+    auto* registry = obs::MetricsRegistry::Default();
+    const obs::Labels labels = {{"store", inner_->Name()}};
+    obs_deadline_expired_ = registry->GetCounter(
+        "dstore_admit_deadline_expired_total", labels,
+        "Operations abandoned before the backend: deadline already "
+        "expired.");
+    obs_late_ = registry->GetCounter(
+        "dstore_admit_late_total", labels,
+        "Successes converted to TimedOut: completed after the deadline.");
+    obs_rate_limited_ = registry->GetCounter(
+        "dstore_admit_rate_limited_total", labels,
+        "Operations shed by the token-bucket rate limiter.");
+  }
+}
+
+template <typename R, typename Op>
+R AdmittingStore::WithAdmission(const char* op_name, Op&& op) {
+  obs::Span span(std::string("admit.") + op_name);
+  const Deadline deadline = CurrentDeadline();
+  if (options_.enforce_deadline && deadline.expired()) {
+    if (obs_deadline_expired_ != nullptr) obs_deadline_expired_->Increment();
+    return R(Status::TimedOut("deadline expired before " +
+                              std::string(op_name) + " on " + Name()));
+  }
+  if (options_.rate_limiter != nullptr &&
+      !options_.rate_limiter->TryAcquire()) {
+    if (obs_rate_limited_ != nullptr) obs_rate_limited_->Increment();
+    return R(Status::Overloaded("rate limit exceeded on " + Name()));
+  }
+  if (options_.limiter != nullptr && !options_.limiter->TryAcquire()) {
+    return R(Status::Overloaded("concurrency limit reached on " + Name()));
+  }
+  R result = op();
+  if (options_.enforce_deadline && deadline.has_deadline() &&
+      deadline.expired() && StatusOf(result).ok()) {
+    // Completed, but too late: the caller's budget is spent, and stacked
+    // limiters/breakers must see a stalled backend as overload, not as a
+    // slow success.
+    if (obs_late_ != nullptr) obs_late_->Increment();
+    result = R(Status::TimedOut("completed after deadline on " + Name()));
+  }
+  if (options_.limiter != nullptr) {
+    options_.limiter->Release(StatusOf(result));
+  }
+  return result;
+}
+
+Status AdmittingStore::Put(const std::string& key, ValuePtr value) {
+  return WithAdmission<Status>("put",
+                               [&] { return inner_->Put(key, value); });
+}
+
+StatusOr<ValuePtr> AdmittingStore::Get(const std::string& key) {
+  return WithAdmission<StatusOr<ValuePtr>>("get",
+                                           [&] { return inner_->Get(key); });
+}
+
+Status AdmittingStore::Delete(const std::string& key) {
+  return WithAdmission<Status>("delete",
+                               [&] { return inner_->Delete(key); });
+}
+
+StatusOr<bool> AdmittingStore::Contains(const std::string& key) {
+  return WithAdmission<StatusOr<bool>>(
+      "contains", [&] { return inner_->Contains(key); });
+}
+
+StatusOr<std::vector<std::string>> AdmittingStore::ListKeys() {
+  return WithAdmission<StatusOr<std::vector<std::string>>>(
+      "listkeys", [&] { return inner_->ListKeys(); });
+}
+
+StatusOr<size_t> AdmittingStore::Count() {
+  return WithAdmission<StatusOr<size_t>>("count",
+                                         [&] { return inner_->Count(); });
+}
+
+Status AdmittingStore::Clear() {
+  return WithAdmission<Status>("clear", [&] { return inner_->Clear(); });
+}
+
+std::string AdmittingStore::DebugLine() const {
+  std::string line = "admit   " + Name();
+  if (options_.limiter != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " limit=%.1f in_flight=%lld",
+                  options_.limiter->limit(),
+                  static_cast<long long>(options_.limiter->in_flight()));
+    line += buf;
+  }
+  if (options_.rate_limiter != nullptr) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " tokens=%.1f",
+                  options_.rate_limiter->Available());
+    line += buf;
+  }
+  return line;
+}
+
+CircuitBreaker::Options CircuitBreakerStore::WithDefaultName(
+    CircuitBreaker::Options options, const KeyValueStore& inner) {
+  if (options.name == CircuitBreaker::Options().name) {
+    options.name = inner.Name();
+  }
+  return options;
+}
+
+CircuitBreakerStore::CircuitBreakerStore(
+    std::shared_ptr<KeyValueStore> inner,
+    CircuitBreaker::Options breaker_options)
+    : inner_(std::move(inner)),
+      breaker_(WithDefaultName(std::move(breaker_options), *inner_)),
+      introspection_([this] { return breaker_.DebugLine(); }) {}
+
+template <typename R, typename Op>
+R CircuitBreakerStore::WithBreaker(Op&& op) {
+  Status admit = breaker_.Admit();
+  if (!admit.ok()) return R(std::move(admit));
+  R result = op();
+  breaker_.OnResult(StatusOf(result));
+  return result;
+}
+
+Status CircuitBreakerStore::Put(const std::string& key, ValuePtr value) {
+  return WithBreaker<Status>([&] { return inner_->Put(key, value); });
+}
+
+StatusOr<ValuePtr> CircuitBreakerStore::Get(const std::string& key) {
+  return WithBreaker<StatusOr<ValuePtr>>([&] { return inner_->Get(key); });
+}
+
+Status CircuitBreakerStore::Delete(const std::string& key) {
+  return WithBreaker<Status>([&] { return inner_->Delete(key); });
+}
+
+StatusOr<bool> CircuitBreakerStore::Contains(const std::string& key) {
+  return WithBreaker<StatusOr<bool>>([&] { return inner_->Contains(key); });
+}
+
+StatusOr<std::vector<std::string>> CircuitBreakerStore::ListKeys() {
+  return WithBreaker<StatusOr<std::vector<std::string>>>(
+      [&] { return inner_->ListKeys(); });
+}
+
+StatusOr<size_t> CircuitBreakerStore::Count() {
+  return WithBreaker<StatusOr<size_t>>([&] { return inner_->Count(); });
+}
+
+Status CircuitBreakerStore::Clear() {
+  return WithBreaker<Status>([&] { return inner_->Clear(); });
+}
+
+}  // namespace admit
+}  // namespace dstore

@@ -1,0 +1,189 @@
+#include "admit/breaker.h"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "admit/limiter.h"
+
+namespace dstore {
+namespace admit {
+
+CircuitBreaker::CircuitBreaker(const Options& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Default()) {
+  if (options_.publish_metrics) {
+    auto* registry = obs::MetricsRegistry::Default();
+    const obs::Labels labels = {{"breaker", options_.name}};
+    obs_state_ = registry->GetGauge(
+        "dstore_admit_breaker_state", labels,
+        "Breaker state: 0 closed, 1 open, 2 half-open.");
+    obs_short_circuit_ = registry->GetCounter(
+        "dstore_admit_breaker_shortcircuit_total", labels,
+        "Requests rejected without reaching the backend.");
+    obs_probes_ = registry->GetCounter(
+        "dstore_admit_breaker_probes_total", labels,
+        "Probe requests admitted while half-open.");
+    obs_to_open_ = registry->GetCounter(
+        "dstore_admit_breaker_transitions_total",
+        {{"breaker", options_.name}, {"to", "open"}},
+        "Breaker state transitions.");
+    obs_to_half_open_ = registry->GetCounter(
+        "dstore_admit_breaker_transitions_total",
+        {{"breaker", options_.name}, {"to", "half_open"}},
+        "Breaker state transitions.");
+    obs_to_closed_ = registry->GetCounter(
+        "dstore_admit_breaker_transitions_total",
+        {{"breaker", options_.name}, {"to", "closed"}},
+        "Breaker state transitions.");
+    obs_state_->Set(0);
+  }
+}
+
+std::string_view CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::TransitionLocked(State to) {
+  state_ = to;
+  switch (to) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      if (obs_to_closed_ != nullptr) obs_to_closed_->Increment();
+      break;
+    case State::kOpen:
+      open_until_nanos_ = clock_->NowNanos() + options_.open_nanos;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      if (obs_to_open_ != nullptr) obs_to_open_->Increment();
+      break;
+    case State::kHalfOpen:
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      if (obs_to_half_open_ != nullptr) obs_to_half_open_->Increment();
+      break;
+  }
+  if (obs_state_ != nullptr) obs_state_->Set(static_cast<double>(to));
+}
+
+Status CircuitBreaker::Admit() {
+  // An injected trip simulates a spurious breaker opening — the chaos suite
+  // then verifies the recovery path (open -> half-open -> closed).
+  std::optional<fault::Fault> injected;
+  if (options_.fault_plan != nullptr) {
+    injected = options_.fault_plan->Evaluate("admit.breaker", "admit");
+  }
+  std::optional<State> notify;
+  Status result = Status::OK();
+  {
+    MutexLock lock(mu_);
+    if (injected.has_value() && injected->kind == fault::FaultKind::kError &&
+        state_ != State::kOpen) {
+      TransitionLocked(State::kOpen);
+      notify = State::kOpen;
+    }
+    switch (state_) {
+      case State::kClosed:
+        break;
+      case State::kOpen:
+        if (clock_->NowNanos() >= open_until_nanos_) {
+          TransitionLocked(State::kHalfOpen);
+          notify = State::kHalfOpen;
+          ++probes_in_flight_;
+          if (obs_probes_ != nullptr) obs_probes_->Increment();
+        } else {
+          ++short_circuited_;
+          if (obs_short_circuit_ != nullptr) obs_short_circuit_->Increment();
+          result =
+              Status::Overloaded("circuit breaker " + options_.name + " open");
+        }
+        break;
+      case State::kHalfOpen:
+        if (probes_in_flight_ < options_.half_open_probes) {
+          ++probes_in_flight_;
+          if (obs_probes_ != nullptr) obs_probes_->Increment();
+        } else {
+          ++short_circuited_;
+          if (obs_short_circuit_ != nullptr) obs_short_circuit_->Increment();
+          result = Status::Overloaded("circuit breaker " + options_.name +
+                                      " half-open, probes busy");
+        }
+        break;
+    }
+  }
+  if (notify.has_value() && options_.on_state_change) {
+    options_.on_state_change(*notify);
+  }
+  return result;
+}
+
+void CircuitBreaker::OnResult(const Status& status) {
+  const bool failure = AdaptiveLimiter::IsOverloadSignal(status);
+  std::optional<State> notify;
+  {
+    MutexLock lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        if (failure) {
+          if (++consecutive_failures_ >= options_.failure_threshold) {
+            TransitionLocked(State::kOpen);
+            notify = State::kOpen;
+          }
+        } else {
+          consecutive_failures_ = 0;
+        }
+        break;
+      case State::kHalfOpen:
+        if (probes_in_flight_ > 0) --probes_in_flight_;
+        if (failure) {
+          TransitionLocked(State::kOpen);
+          notify = State::kOpen;
+        } else if (++probe_successes_ >= options_.success_threshold) {
+          TransitionLocked(State::kClosed);
+          notify = State::kClosed;
+        }
+        break;
+      case State::kOpen:
+        // A straggler admitted before the circuit opened; its outcome
+        // carries no new information.
+        break;
+    }
+  }
+  if (notify.has_value() && options_.on_state_change) {
+    options_.on_state_change(*notify);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::short_circuited_total() const {
+  MutexLock lock(mu_);
+  return short_circuited_;
+}
+
+std::string CircuitBreaker::DebugLine() const {
+  MutexLock lock(mu_);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "breaker %-16s state=%-9s failures=%d short_circuited=%llu",
+                options_.name.c_str(),
+                std::string(StateName(state_)).c_str(), consecutive_failures_,
+                static_cast<unsigned long long>(short_circuited_));
+  return buf;
+}
+
+}  // namespace admit
+}  // namespace dstore

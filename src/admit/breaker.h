@@ -1,0 +1,94 @@
+#ifndef DSTORE_ADMIT_BREAKER_H_
+#define DSTORE_ADMIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace dstore {
+namespace admit {
+
+// Circuit breaker: after `failure_threshold` consecutive overload-class
+// failures the circuit opens and requests are short-circuited with
+// Overloaded — no work reaches the failing backend, which is what lets it
+// recover. After `open_nanos` the breaker goes half-open and admits up to
+// `half_open_probes` concurrent probe requests; `success_threshold` probe
+// successes close it again, one probe failure re-opens it.
+//
+// Fully clock-driven (no background threads): state transitions happen on
+// the Admit()/OnResult() calls that observe them, so SimulatedClock tests
+// step the machine deterministically. Thread-safe.
+//
+// Fault site: when a FaultPlan is attached, Admit() consults site
+// "admit.breaker" (op "admit"); a fired error-kind rule force-opens the
+// breaker — the chaos suite uses this to exercise trip/recovery paths on a
+// deterministic schedule.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Options {
+    std::string name = "breaker";  // metrics label
+    // Consecutive overload-class failures (see
+    // AdaptiveLimiter::IsOverloadSignal) that open the circuit.
+    int failure_threshold = 5;
+    // How long the circuit stays open before probing.
+    int64_t open_nanos = 1'000'000'000;  // 1s
+    // Concurrent probes allowed while half-open.
+    int half_open_probes = 1;
+    // Probe successes needed to close again.
+    int success_threshold = 2;
+    bool publish_metrics = true;
+    // Invoked (outside the breaker lock) after each state transition.
+    std::function<void(State)> on_state_change;
+    // Optional deterministic fault schedule for site "admit.breaker".
+    std::shared_ptr<fault::FaultPlan> fault_plan;
+    Clock* clock = nullptr;  // null = RealClock
+  };
+
+  explicit CircuitBreaker(const Options& options);
+
+  // OK to proceed, or Overloaded("circuit breaker ... open") to
+  // short-circuit. Every OK return must be matched by one OnResult().
+  Status Admit();
+
+  // Feeds the outcome of an admitted operation to the state machine.
+  void OnResult(const Status& status);
+
+  State state() const;
+  uint64_t short_circuited_total() const;
+  std::string DebugLine() const;
+
+  static std::string_view StateName(State state);
+
+ private:
+  void TransitionLocked(State to) REQUIRES(mu_);
+
+  const Options options_;
+  Clock* const clock_;
+  mutable Mutex mu_;
+  State state_ GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  int64_t open_until_nanos_ GUARDED_BY(mu_) = 0;
+  int probes_in_flight_ GUARDED_BY(mu_) = 0;
+  int probe_successes_ GUARDED_BY(mu_) = 0;
+  uint64_t short_circuited_ GUARDED_BY(mu_) = 0;
+  obs::Gauge* obs_state_ = nullptr;
+  obs::Counter* obs_short_circuit_ = nullptr;
+  obs::Counter* obs_probes_ = nullptr;
+  obs::Counter* obs_to_open_ = nullptr;
+  obs::Counter* obs_to_half_open_ = nullptr;
+  obs::Counter* obs_to_closed_ = nullptr;
+};
+
+}  // namespace admit
+}  // namespace dstore
+
+#endif  // DSTORE_ADMIT_BREAKER_H_

@@ -1,0 +1,23 @@
+#include "admit/deadline.h"
+
+namespace dstore {
+namespace admit {
+
+namespace {
+// Ambient per-thread call context. A plain thread_local value (not a stack):
+// ScopedDeadline saves the previous value and restores it, which gives stack
+// semantics without an allocation.
+thread_local Deadline g_current_deadline;  // default: infinite
+}  // namespace
+
+Deadline CurrentDeadline() { return g_current_deadline; }
+
+ScopedDeadline::ScopedDeadline(Deadline deadline)
+    : previous_(g_current_deadline) {
+  g_current_deadline = deadline.EarlierOf(previous_);
+}
+
+ScopedDeadline::~ScopedDeadline() { g_current_deadline = previous_; }
+
+}  // namespace admit
+}  // namespace dstore

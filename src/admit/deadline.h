@@ -1,0 +1,90 @@
+#ifndef DSTORE_ADMIT_DEADLINE_H_
+#define DSTORE_ADMIT_DEADLINE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.h"
+
+namespace dstore {
+namespace admit {
+
+// Per-operation time budget — the first pillar of the admission-control
+// subsystem (src/admit/). A Deadline is an absolute expiry on a Clock;
+// layers consult it before expensive steps (a WAN round trip, a retry
+// backoff sleep, a queue wait) so work that can no longer finish in time is
+// abandoned with TimedOut instead of piling onto an overloaded backend.
+//
+// The deadline travels with the operation as an *ambient call context*: a
+// thread-local stack pushed by ScopedDeadline. This mirrors how obs::Span
+// parents itself without threading a context parameter through the
+// KeyValueStore interface — decorators and clients read CurrentDeadline()
+// wherever they are in the stack. Over the wire, CloudStoreClient forwards
+// the remaining budget as the x-dstore-deadline-ms header and the cloud
+// server re-establishes the context on its side.
+class Deadline {
+ public:
+  // No deadline: never expires, infinite remaining budget.
+  Deadline() = default;
+
+  // Expires `budget_nanos` from now on `clock` (null = RealClock).
+  static Deadline After(int64_t budget_nanos, Clock* clock = nullptr) {
+    Clock* c = clock != nullptr ? clock : RealClock::Default();
+    Deadline d;
+    d.clock_ = c;
+    d.expiry_nanos_ = c->NowNanos() + budget_nanos;
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool has_deadline() const { return clock_ != nullptr; }
+
+  // Remaining budget, clamped to >= 0. Effectively unbounded when no
+  // deadline is set.
+  int64_t remaining_nanos() const {
+    if (clock_ == nullptr) return std::numeric_limits<int64_t>::max();
+    const int64_t left = expiry_nanos_ - clock_->NowNanos();
+    return left > 0 ? left : 0;
+  }
+
+  bool expired() const { return has_deadline() && remaining_nanos() == 0; }
+
+  // The earlier of the two deadlines. When the deadlines live on different
+  // clocks their expiries are incomparable; `*this` (the more recently
+  // imposed one, in ScopedDeadline's usage) wins.
+  Deadline EarlierOf(const Deadline& other) const {
+    if (!has_deadline()) return other;
+    if (!other.has_deadline() || clock_ != other.clock_) return *this;
+    return expiry_nanos_ <= other.expiry_nanos_ ? *this : other;
+  }
+
+ private:
+  Clock* clock_ = nullptr;  // null = no deadline
+  int64_t expiry_nanos_ = 0;
+};
+
+// The deadline governing the current operation on this thread; Infinite
+// when no ScopedDeadline is active.
+Deadline CurrentDeadline();
+
+// Pushes `deadline` as the current call context for this thread, restoring
+// the previous one on destruction. Nested scopes intersect: the effective
+// deadline is the earlier of the new and enclosing one, so an inner layer
+// can only tighten the budget, never extend it.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(Deadline deadline);
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  Deadline previous_;
+};
+
+}  // namespace admit
+}  // namespace dstore
+
+#endif  // DSTORE_ADMIT_DEADLINE_H_

@@ -1,0 +1,63 @@
+#include "admit/introspect.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace dstore {
+namespace admit {
+
+namespace {
+
+struct Registry {
+  Mutex mu;
+  // Ordered map: iteration order == registration order (ids ascend).
+  std::map<int, std::function<std::string()>> entries GUARDED_BY(mu);
+  int next_id GUARDED_BY(mu) = 1;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // leaked: process lifetime
+  return *registry;
+}
+
+}  // namespace
+
+int RegisterIntrospection(std::function<std::string()> describe) {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  const int id = registry.next_id++;
+  registry.entries.emplace(id, std::move(describe));
+  return id;
+}
+
+void UnregisterIntrospection(int id) {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  registry.entries.erase(id);
+}
+
+std::string DescribeAdmissionState() {
+  // Copy the closures out so they run without the registry lock — a
+  // describe closure takes its component's lock, and holding both invites
+  // an ordering cycle.
+  std::vector<std::function<std::string()>> closures;
+  {
+    Registry& registry = GlobalRegistry();
+    MutexLock lock(registry.mu);
+    closures.reserve(registry.entries.size());
+    for (const auto& [id, fn] : registry.entries) closures.push_back(fn);
+  }
+  if (closures.empty()) return "no admission components registered\n";
+  std::string out;
+  for (const auto& fn : closures) {
+    out += fn();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace admit
+}  // namespace dstore

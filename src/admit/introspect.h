@@ -1,0 +1,45 @@
+#ifndef DSTORE_ADMIT_INTROSPECT_H_
+#define DSTORE_ADMIT_INTROSPECT_H_
+
+#include <functional>
+#include <string>
+
+namespace dstore {
+namespace admit {
+
+// Process-wide introspection of live admission-control components. Each
+// limiter/breaker/queue wrapper registers a closure that renders its
+// DebugLine(); udsm_cli's `admit` command calls DescribeAdmissionState() to
+// dump the lot — breaker states, concurrency limits, shed counters — the
+// operator's one-stop view of who is shedding what and why.
+//
+// Registration order is preserved in the output. Thread-safe; closures are
+// invoked without the registry lock held, so they may take their own locks.
+
+// Registers `describe`; returns an id for UnregisterIntrospection. The
+// closure must stay valid until unregistered.
+int RegisterIntrospection(std::function<std::string()> describe);
+void UnregisterIntrospection(int id);
+
+// One line per registered component, registration order, '\n'-terminated.
+// "no admission components registered\n" when empty.
+std::string DescribeAdmissionState();
+
+// RAII registration, for components that own their describe closure.
+class ScopedIntrospection {
+ public:
+  explicit ScopedIntrospection(std::function<std::string()> describe)
+      : id_(RegisterIntrospection(std::move(describe))) {}
+  ~ScopedIntrospection() { UnregisterIntrospection(id_); }
+
+  ScopedIntrospection(const ScopedIntrospection&) = delete;
+  ScopedIntrospection& operator=(const ScopedIntrospection&) = delete;
+
+ private:
+  int id_;
+};
+
+}  // namespace admit
+}  // namespace dstore
+
+#endif  // DSTORE_ADMIT_INTROSPECT_H_

@@ -1,0 +1,95 @@
+#include "admit/limiter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dstore {
+namespace admit {
+
+AdaptiveLimiter::AdaptiveLimiter(const Options& options)
+    : options_(options),
+      limit_(options.initial_limit),
+      // Start with the cooldown window already elapsed: the very first
+      // overload signal must shrink the limit; the cooldown only spaces
+      // *subsequent* decreases.
+      since_decrease_(static_cast<int64_t>(options.initial_limit)) {
+  if (options_.publish_metrics) {
+    auto* registry = obs::MetricsRegistry::Default();
+    const obs::Labels labels = {{"limiter", options_.name}};
+    obs_limit_ = registry->GetGauge("dstore_admit_limit", labels,
+                                    "Current adaptive concurrency limit.");
+    obs_in_flight_ = registry->GetGauge(
+        "dstore_admit_inflight", labels,
+        "Operations currently admitted by the limiter.");
+    obs_rejected_ = registry->GetCounter(
+        "dstore_admit_limiter_rejected_total", labels,
+        "Operations shed because the concurrency limit was reached.");
+    obs_decreases_ = registry->GetCounter(
+        "dstore_admit_limiter_decreases_total", labels,
+        "Multiplicative-decrease steps taken on overload signals.");
+    obs_limit_->Set(limit_);
+  }
+}
+
+bool AdaptiveLimiter::TryAcquire() {
+  MutexLock lock(mu_);
+  if (in_flight_ >= static_cast<int64_t>(limit_)) {
+    ++rejected_;
+    if (obs_rejected_ != nullptr) obs_rejected_->Increment();
+    return false;
+  }
+  ++in_flight_;
+  if (obs_in_flight_ != nullptr) obs_in_flight_->Set(
+      static_cast<double>(in_flight_));
+  return true;
+}
+
+void AdaptiveLimiter::Release(const Status& status) {
+  MutexLock lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  ++since_decrease_;
+  if (IsOverloadSignal(status)) {
+    // Cooldown: one decrease per window of `limit` completions, so a burst
+    // of failures from the same overload episode backs off once.
+    if (since_decrease_ >= static_cast<int64_t>(limit_)) {
+      limit_ = std::max(options_.min_limit, limit_ * options_.decrease_ratio);
+      since_decrease_ = 0;
+      if (obs_decreases_ != nullptr) obs_decreases_->Increment();
+    }
+  } else {
+    limit_ = std::min(options_.max_limit,
+                      limit_ + options_.increase_per_success / limit_);
+  }
+  if (obs_limit_ != nullptr) obs_limit_->Set(limit_);
+  if (obs_in_flight_ != nullptr) obs_in_flight_->Set(
+      static_cast<double>(in_flight_));
+}
+
+double AdaptiveLimiter::limit() const {
+  MutexLock lock(mu_);
+  return limit_;
+}
+
+int64_t AdaptiveLimiter::in_flight() const {
+  MutexLock lock(mu_);
+  return in_flight_;
+}
+
+uint64_t AdaptiveLimiter::rejected_total() const {
+  MutexLock lock(mu_);
+  return rejected_;
+}
+
+std::string AdaptiveLimiter::DebugLine() const {
+  MutexLock lock(mu_);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "limiter %-16s limit=%.1f in_flight=%lld rejected=%llu",
+                options_.name.c_str(), limit_,
+                static_cast<long long>(in_flight_),
+                static_cast<unsigned long long>(rejected_));
+  return buf;
+}
+
+}  // namespace admit
+}  // namespace dstore

@@ -1,0 +1,84 @@
+#ifndef DSTORE_ADMIT_LIMITER_H_
+#define DSTORE_ADMIT_LIMITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace dstore {
+namespace admit {
+
+// AIMD adaptive concurrency limiter (the TCP congestion-control recipe
+// applied to request admission, as in Netflix's concurrency-limits). The
+// limit grows additively while operations succeed and shrinks
+// multiplicatively on overload signals (TimedOut / Unavailable /
+// Overloaded), so the limit converges on the concurrency the backend can
+// actually sustain instead of a hand-tuned constant.
+//
+// Deterministic: the limit is a pure function of the sequence of
+// TryAcquire/Release calls (no randomness, no wall clock), so unit tests
+// replay exact trajectories. Thread-safe.
+class AdaptiveLimiter {
+ public:
+  struct Options {
+    std::string name = "limiter";  // metrics label
+    double initial_limit = 16;
+    double min_limit = 1;
+    double max_limit = 1024;
+    // Additive increase: each success adds increase_per_success / limit, so
+    // the limit grows by ~1 per "window" of `limit` successes.
+    double increase_per_success = 1.0;
+    // Multiplicative decrease on an overload signal. After a decrease,
+    // further failures are ignored until `limit` more operations complete —
+    // one overload burst causes one backoff step, not a collapse straight
+    // to min_limit.
+    double decrease_ratio = 0.5;
+    bool publish_metrics = true;
+  };
+
+  explicit AdaptiveLimiter(const Options& options);
+
+  // Claims an in-flight slot; false means the caller sheds (Overloaded).
+  // Every true return must be paired with exactly one Release().
+  bool TryAcquire();
+
+  // Completes an operation admitted by TryAcquire and feeds its outcome to
+  // the AIMD controller. Statuses that signal overload shrink the limit;
+  // everything else (including application errors like NotFound) counts as
+  // a success for admission purposes.
+  void Release(const Status& status);
+
+  // True for the status codes the controller treats as overload.
+  static bool IsOverloadSignal(const Status& status) {
+    return status.IsTimedOut() || status.IsUnavailable() ||
+           status.IsOverloaded();
+  }
+
+  double limit() const;
+  int64_t in_flight() const;
+  uint64_t rejected_total() const;
+
+  std::string DebugLine() const;
+
+ private:
+  const Options options_;
+  mutable Mutex mu_;
+  double limit_ GUARDED_BY(mu_);
+  int64_t in_flight_ GUARDED_BY(mu_) = 0;
+  // Operations completed since the last decrease; gates the cooldown.
+  // Initialized to the full window so the first overload signal bites.
+  int64_t since_decrease_ GUARDED_BY(mu_);
+  uint64_t rejected_ GUARDED_BY(mu_) = 0;
+  obs::Gauge* obs_limit_ = nullptr;
+  obs::Gauge* obs_in_flight_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
+  obs::Counter* obs_decreases_ = nullptr;
+};
+
+}  // namespace admit
+}  // namespace dstore
+
+#endif  // DSTORE_ADMIT_LIMITER_H_

@@ -1,0 +1,67 @@
+#ifndef DSTORE_ADMIT_TOKEN_BUCKET_H_
+#define DSTORE_ADMIT_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/sync.h"
+
+namespace dstore {
+namespace admit {
+
+// Classic token-bucket rate limiter: tokens accrue at `rate_per_sec` up to
+// `burst`, and each admitted operation spends one (or more). Fully
+// deterministic given a Clock, so tests drive it with SimulatedClock.
+// Thread-safe; the fast path is one short critical section.
+class TokenBucket {
+ public:
+  struct Options {
+    double rate_per_sec = 1000.0;  // steady-state admission rate
+    double burst = 100.0;          // bucket capacity (initially full)
+  };
+
+  explicit TokenBucket(const Options& options, Clock* clock = nullptr)
+      : options_(options),
+        clock_(clock != nullptr ? clock : RealClock::Default()),
+        tokens_(options.burst),
+        last_refill_nanos_(clock_->NowNanos()) {}
+
+  // Spends `tokens` if available; returns false (caller sheds) otherwise.
+  // Never blocks — admission control sheds instead of queueing callers.
+  bool TryAcquire(double tokens = 1.0) {
+    MutexLock lock(mu_);
+    Refill();
+    if (tokens_ < tokens) return false;
+    tokens_ -= tokens;
+    return true;
+  }
+
+  // Tokens currently available (after refill), for introspection.
+  double Available() {
+    MutexLock lock(mu_);
+    Refill();
+    return tokens_;
+  }
+
+ private:
+  void Refill() REQUIRES(mu_) {
+    const int64_t now = clock_->NowNanos();
+    if (now <= last_refill_nanos_) return;
+    const double elapsed_sec =
+        static_cast<double>(now - last_refill_nanos_) / 1e9;
+    tokens_ += elapsed_sec * options_.rate_per_sec;
+    if (tokens_ > options_.burst) tokens_ = options_.burst;
+    last_refill_nanos_ = now;
+  }
+
+  const Options options_;
+  Clock* clock_;
+  Mutex mu_;
+  double tokens_ GUARDED_BY(mu_);
+  int64_t last_refill_nanos_ GUARDED_BY(mu_);
+};
+
+}  // namespace admit
+}  // namespace dstore
+
+#endif  // DSTORE_ADMIT_TOKEN_BUCKET_H_

@@ -27,6 +27,12 @@ enum class StatusCode {
   // deliberately retains expired entries so callers can revalidate them with
   // the server instead of refetching (paper Section III).
   kExpired = 10,
+  // The request was refused by admission control (rate limit, concurrency
+  // limit, open circuit breaker, or a shed server queue) — the 503-style
+  // overload signal of src/admit/. Distinct from kUnavailable so overload
+  // is never confused with a backend outage, and never fabricated into
+  // kNotFound. Callers should back off rather than retry immediately.
+  kOverloaded = 11,
 };
 
 // Returns a stable human-readable name for `code`, e.g. "NotFound".
@@ -78,6 +84,9 @@ class [[nodiscard]] Status {
   static Status Expired(std::string msg = "") {
     return Status(StatusCode::kExpired, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -92,6 +101,7 @@ class [[nodiscard]] Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsExpired() const { return code_ == StatusCode::kExpired; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -41,6 +41,7 @@ StatusOr<StatusCode> ParseErrorClass(std::string_view name) {
   if (name == "corruption") return StatusCode::kCorruption;
   if (name == "internal") return StatusCode::kInternal;
   if (name == "notfound") return StatusCode::kNotFound;
+  if (name == "overloaded") return StatusCode::kOverloaded;
   return Status::InvalidArgument("unknown fault error class: " +
                                  std::string(name));
 }

@@ -52,6 +52,25 @@ void ThreadedServer::AcceptLoop() {
         }
       }
     }
+    if (max_connections_ > 0) {
+      size_t active;
+      {
+        MutexLock lock(mu_);
+        active = active_conns_.size();
+      }
+      if (active >= static_cast<size_t>(max_connections_)) {
+        // Over the connection cap: shed at the door rather than spawn an
+        // unbounded thread. The shed handler runs on the accept thread, so
+        // it must be brief (write one refusal, return).
+        if (conn_shed_total_ != nullptr) conn_shed_total_->Increment();
+        if (shed_handler_ != nullptr) {
+          shed_handler_(std::move(*client));
+        } else {
+          client->Close();
+        }
+        continue;
+      }
+    }
     const int fd = client->fd();
     MutexLock lock(mu_);
     if (!running_.load()) return;  // raced with Stop(); drop the connection

@@ -39,7 +39,23 @@ class ThreadedServer {
       active_connections_ = registry->GetGauge(
           "dstore_server_active_connections", labels,
           "Connections currently being served.");
+      conn_shed_total_ = registry->GetCounter(
+          "dstore_admit_conn_shed_total", labels,
+          "Connections shed at accept: connection limit reached.");
     }
+  }
+
+  // Admission control at the accept loop: beyond `max_connections` live
+  // connections, a fresh one is handed to `shed_handler` on the accept
+  // thread — a chance to say "503" in whatever protocol the server speaks —
+  // and closed instead of getting a handler thread. Coarser than the
+  // request-level ServerQueue the protocol layer runs (src/admit/), but it
+  // bounds thread count, which the queue cannot. 0 = unlimited. Call
+  // before Start().
+  void SetConnectionLimit(int max_connections,
+                          ConnectionHandler shed_handler = nullptr) {
+    max_connections_ = max_connections;
+    shed_handler_ = std::move(shed_handler);
   }
 
   ~ThreadedServer() { Stop(); }
@@ -62,8 +78,11 @@ class ThreadedServer {
   void AcceptLoop();
 
   ConnectionHandler handler_;
+  int max_connections_ = 0;  // 0 = unlimited
+  ConnectionHandler shed_handler_;
   obs::Counter* connections_total_ = nullptr;   // null when not published
   obs::Gauge* active_connections_ = nullptr;
+  obs::Counter* conn_shed_total_ = nullptr;
   ServerSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};

@@ -10,8 +10,12 @@
 namespace dstore {
 
 namespace {
+// Overloaded counts: an open circuit breaker or shedding server should mark
+// the shard unhealthy (and reads fail over) exactly like an outage would —
+// while remaining a distinct status, never fabricated into NotFound.
 bool IsTransient(const Status& status) {
-  return status.IsUnavailable() || status.IsIOError() || status.IsTimedOut();
+  return status.IsUnavailable() || status.IsIOError() ||
+         status.IsTimedOut() || status.IsOverloaded();
 }
 }  // namespace
 

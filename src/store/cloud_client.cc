@@ -1,8 +1,26 @@
 #include "store/cloud_client.h"
 
+#include "admit/deadline.h"
 #include "obs/trace.h"
 
 namespace dstore {
+
+namespace {
+
+// Maps a non-2xx data-plane answer to its status: the server's admission
+// layer speaks 503 (shed -> Overloaded) and 504 (budget exhausted ->
+// TimedOut); anything else unexpected stays IOError.
+Status HttpError(const std::string& what, int code) {
+  if (code == 503) {
+    return Status::Overloaded(what + " shed by server: HTTP 503");
+  }
+  if (code == 504) {
+    return Status::TimedOut(what + " exceeded deadline: HTTP 504");
+  }
+  return Status::IOError(what + " failed: HTTP " + std::to_string(code));
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<CloudStoreClient>> CloudStoreClient::Connect(
     const std::string& host, uint16_t port, std::string name) {
@@ -24,8 +42,20 @@ Status CloudStoreClient::EnsureConnected() {
   return Status::OK();
 }
 
-StatusOr<HttpResponse> CloudStoreClient::RoundTrip(const HttpRequest& request) {
+StatusOr<HttpResponse> CloudStoreClient::RoundTrip(HttpRequest& request) {
   obs::Span span("http.roundtrip");
+  const admit::Deadline deadline = admit::CurrentDeadline();
+  if (deadline.has_deadline()) {
+    const int64_t remaining = deadline.remaining_nanos();
+    if (remaining <= 0) {
+      return Status::TimedOut("deadline expired before " + request.method +
+                              " round trip to " + name_);
+    }
+    // Propagate the remaining budget (rounded up, so a live sub-ms budget
+    // never reads as zero on the wire).
+    request.headers["x-dstore-deadline-ms"] =
+        std::to_string((remaining + 999'999) / 1'000'000);
+  }
   for (int attempt = 0; attempt < 2; ++attempt) {
     DSTORE_RETURN_IF_ERROR(EnsureConnected());
     if (!conn_->WriteRequest(request).ok()) {
@@ -51,8 +81,7 @@ Status CloudStoreClient::Put(const std::string& key, ValuePtr value) {
   MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
-    return Status::IOError("cloud PUT failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud PUT", response.status_code);
   }
   auto it = response.headers.find("etag");
   if (it != response.headers.end()) last_put_etag_ = it->second;
@@ -67,8 +96,7 @@ StatusOr<ValuePtr> CloudStoreClient::Get(const std::string& key) {
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code == 404) return Status::NotFound("no such key");
   if (response.status_code != 200) {
-    return Status::IOError("cloud GET failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud GET", response.status_code);
   }
   return MakeValue(std::move(response.body));
 }
@@ -90,8 +118,7 @@ StatusOr<ConditionalGetResult> CloudStoreClient::GetIfChanged(
     return result;
   }
   if (response.status_code != 200) {
-    return Status::IOError("cloud conditional GET failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud conditional GET", response.status_code);
   }
   result.value = MakeValue(std::move(response.body));
   return result;
@@ -104,8 +131,7 @@ Status CloudStoreClient::Delete(const std::string& key) {
   MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
-    return Status::IOError("cloud DELETE failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud DELETE", response.status_code);
   }
   return Status::OK();
 }
@@ -118,8 +144,7 @@ StatusOr<bool> CloudStoreClient::Contains(const std::string& key) {
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code == 200) return true;
   if (response.status_code == 404) return false;
-  return Status::IOError("cloud HEAD failed: HTTP " +
-                         std::to_string(response.status_code));
+  return HttpError("cloud HEAD", response.status_code);
 }
 
 StatusOr<std::vector<std::string>> CloudStoreClient::ListKeys() {
@@ -129,8 +154,7 @@ StatusOr<std::vector<std::string>> CloudStoreClient::ListKeys() {
   MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
-    return Status::IOError("cloud /keys failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud /keys", response.status_code);
   }
   std::vector<std::string> keys;
   std::string line;
@@ -153,8 +177,7 @@ StatusOr<size_t> CloudStoreClient::Count() {
   MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
-    return Status::IOError("cloud /count failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud /count", response.status_code);
   }
   return static_cast<size_t>(std::atoll(ToString(response.body).c_str()));
 }
@@ -166,8 +189,7 @@ Status CloudStoreClient::Clear() {
   MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status_code != 200) {
-    return Status::IOError("cloud /clear failed: HTTP " +
-                           std::to_string(response.status_code));
+    return HttpError("cloud /clear", response.status_code);
   }
   return Status::OK();
 }

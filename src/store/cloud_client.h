@@ -17,6 +17,13 @@ namespace dstore {
 // with a true conditional GET (If-None-Match -> 304), so revalidating an
 // unmodified object transfers no body — the bandwidth saving of the paper's
 // Fig. 7 protocol.
+//
+// Deadline-aware (src/admit/): when an ambient admit::Deadline is active,
+// an already-expired budget fails with TimedOut before any bytes are sent,
+// and the remaining budget is forwarded as the x-dstore-deadline-ms header
+// so the server can shed or abandon the request on its side. Overload
+// answers map to distinct statuses: HTTP 503 -> Overloaded, 504 ->
+// TimedOut — never anything resembling a data-plane result.
 class CloudStoreClient : public KeyValueStore {
  public:
   static StatusOr<std::unique_ptr<CloudStoreClient>> Connect(
@@ -41,8 +48,9 @@ class CloudStoreClient : public KeyValueStore {
       : host_(std::move(host)), port_(port), name_(std::move(name)) {}
 
   static std::string ObjectPath(const std::string& key);
-  // Performs one request with reconnect-once semantics.
-  StatusOr<HttpResponse> RoundTrip(const HttpRequest& request) REQUIRES(mu_);
+  // Performs one request with reconnect-once semantics; checks the ambient
+  // deadline first and attaches its remaining budget as a header.
+  StatusOr<HttpResponse> RoundTrip(HttpRequest& request) REQUIRES(mu_);
   Status EnsureConnected() REQUIRES(mu_);
 
   std::string host_;

@@ -1,7 +1,9 @@
 #include "store/cloud_server.h"
 
+#include <cstdlib>
 #include <utility>
 
+#include "admit/deadline.h"
 #include "common/clock.h"
 #include "net/obs_endpoint.h"
 #include "obs/metrics.h"
@@ -23,9 +25,14 @@ HttpResponse MakeResponse(int code, const std::string& reason) {
 }  // namespace
 
 StatusOr<std::unique_ptr<CloudStoreServer>> CloudStoreServer::Start(
-    std::unique_ptr<LatencyModel> latency, uint16_t port) {
+    std::unique_ptr<LatencyModel> latency, uint16_t port,
+    admit::ServerQueue::Options queue_options) {
   auto server = std::unique_ptr<CloudStoreServer>(new CloudStoreServer());
   server->latency_ = std::move(latency);
+  if (queue_options.name == admit::ServerQueue::Options().name) {
+    queue_options.name = "cloud";
+  }
+  server->queue_ = std::make_unique<admit::ServerQueue>(queue_options);
 
   CloudStoreServer* raw = server.get();
   server->server_ = std::make_unique<ThreadedServer>(
@@ -65,10 +72,38 @@ void CloudStoreServer::HandleConnection(Socket socket) {
     auto request = conn.ReadRequest();
     if (!request.ok()) return;  // disconnect
 
-    // Observability routes answer immediately: a metrics scrape or health
-    // probe must not pay the simulated WAN round trip.
+    // Observability routes answer immediately through the queue's priority
+    // lane: a metrics scrape or health probe must not pay the simulated
+    // WAN round trip, and must keep working while the data plane sheds —
+    // overload protection that also blinds the operator is useless.
     HttpResponse response;
-    if (HandleObsRequest(*request, &response)) {
+    {
+      admit::ServerQueue::Admission priority(
+          queue_.get(), admit::ServerQueue::Lane::kPriority);
+      if (HandleObsRequest(*request, &response)) {
+        if (!conn.WriteResponse(response).ok()) return;
+        continue;
+      }
+    }
+
+    // Re-establish the caller's budget from the propagated header, so the
+    // queue wait and the handler both count against it.
+    admit::Deadline deadline;
+    auto dl = request->headers.find("x-dstore-deadline-ms");
+    if (dl != request->headers.end()) {
+      const long long ms = std::atoll(dl->second.c_str());
+      if (ms > 0) deadline = admit::Deadline::After(ms * 1'000'000);
+    }
+    admit::ScopedDeadline scope(deadline);
+
+    admit::ServerQueue::Admission admission(queue_.get());
+    if (!admission.ok()) {
+      // Shed: a *distinct* overload answer (503/504), never anything a
+      // client could mistake for a data-plane result like 404.
+      response = admission.status().IsTimedOut()
+                     ? MakeResponse(504, "Deadline Expired")
+                     : MakeResponse(503, "Overloaded");
+      response.headers["x-dstore-shed"] = "1";
       if (!conn.WriteResponse(response).ok()) return;
       continue;
     }
@@ -79,13 +114,20 @@ void CloudStoreServer::HandleConnection(Socket socket) {
                      {{"method", request->method}},
                      "Cloud store data-plane requests by HTTP method.")
         ->Increment();
-    response = HandleRequest(*request);
-    // Inject the WAN delay: model the round trip plus transfer of both
-    // bodies before the response reaches the client.
-    if (latency_ != nullptr) {
-      const int64_t delay =
-          latency_->SampleNanos(request->body.size() + response.body.size());
-      RealClock::Default()->SleepFor(delay);
+    if (admit::CurrentDeadline().expired()) {
+      // Admitted, but the budget ran out while queued; answer 504 without
+      // doing the work or paying the WAN delay.
+      response = MakeResponse(504, "Deadline Expired");
+    } else {
+      response = HandleRequest(*request);
+      // Inject the WAN delay: model the round trip plus transfer of both
+      // bodies before the response reaches the client.
+      if (latency_ != nullptr) {
+        const int64_t delay =
+            latency_->SampleNanos(request->body.size() +
+                                  response.body.size());
+        RealClock::Default()->SleepFor(delay);
+      }
     }
     request_ms->Record(watch.ElapsedMillis());
     if (!conn.WriteResponse(response).ok()) return;

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "admit/server_queue.h"
 #include "common/status.h"
 #include "common/sync.h"
 #include "net/http.h"
@@ -34,11 +35,22 @@ namespace dstore {
 // The conditional GET path implements the paper's Fig. 7 revalidation
 // protocol server-side: a current object is confirmed with a 304 and no
 // body, saving the transfer.
+// Every data-plane request passes through an admit::ServerQueue before any
+// handler or WAN-delay work: bounded concurrency, a bounded FIFO, and
+// shedding beyond that — 503 "Overloaded" for shed requests, 504 "Timed
+// Out" when the caller's x-dstore-deadline-ms budget expires first. The
+// obs routes take the queue's priority lane, so the server stays
+// scrapeable while it sheds. The x-dstore-deadline-ms request header (sent
+// by CloudStoreClient from the ambient admit::Deadline) is re-established
+// as the handler's deadline, so budget exhaustion is detected server-side
+// before the simulated WAN delay is paid.
 class CloudStoreServer {
  public:
   // Takes ownership of `latency` (pass NoLatency for a LAN-local store).
+  // `queue_options.name` defaults to "cloud" when left at its stock value.
   static StatusOr<std::unique_ptr<CloudStoreServer>> Start(
-      std::unique_ptr<LatencyModel> latency, uint16_t port = 0);
+      std::unique_ptr<LatencyModel> latency, uint16_t port = 0,
+      admit::ServerQueue::Options queue_options = {});
 
   ~CloudStoreServer();
 
@@ -47,6 +59,10 @@ class CloudStoreServer {
 
   // Test/inspection hook: number of stored objects.
   size_t ObjectCount() const;
+
+  // The admission queue in front of the data plane (never null once
+  // started).
+  admit::ServerQueue* queue() { return queue_.get(); }
 
  private:
   struct Object {
@@ -60,6 +76,7 @@ class CloudStoreServer {
   HttpResponse HandleRequest(const HttpRequest& request);
 
   std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<admit::ServerQueue> queue_;
   std::unique_ptr<ThreadedServer> server_;
   int objects_collector_id_ = 0;  // scrape-time object-count gauge refresh
   mutable Mutex mu_;

@@ -14,16 +14,34 @@
 namespace dstore {
 
 // RetryingStore: retries transient failures (Unavailable, IOError,
-// TimedOut) with exponential backoff before giving up. Cloud stores fail
-// transiently in practice — the studies the paper cites observed sub-1%
-// failure rates — and a client library is where retries belong, since no
-// server cooperation is needed.
+// TimedOut) with capped exponential backoff and full jitter before giving
+// up. Cloud stores fail transiently in practice — the studies the paper
+// cites observed sub-1% failure rates — and a client library is where
+// retries belong, since no server cooperation is needed.
+//
+// Admission-control integration (src/admit/):
+//  - Overloaded is deliberately NOT transient: it is the backend (or a
+//    breaker/limiter) explicitly asking for less traffic, and retrying it
+//    immediately would turn one overload into a retry storm.
+//  - An ambient admit::Deadline bounds the whole retry loop: no further
+//    attempt starts once the budget cannot cover the next backoff sleep,
+//    and the loop returns the last real error rather than burning budget.
 class RetryingStore : public KeyValueStore {
  public:
   struct Options {
     int max_attempts = 3;
     int64_t initial_backoff_nanos = 1'000'000;  // 1 ms
     double backoff_multiplier = 2.0;
+    // Exponential growth stops here — without a cap, attempt 10 of a long
+    // retry budget would sleep for minutes.
+    int64_t max_backoff_nanos = 250'000'000;  // 250 ms
+    // Full jitter: sleep Uniform[0, backoff) instead of exactly backoff,
+    // so clients that failed together do not retry together (the AWS
+    // architecture-blog result: full jitter empties a contended resource
+    // fastest). Seeded, so tests replay exact schedules; disable for
+    // exact-backoff assertions.
+    bool full_jitter = true;
+    uint64_t jitter_seed = 42;
   };
 
   struct RetryStats {
@@ -36,7 +54,8 @@ class RetryingStore : public KeyValueStore {
                 Clock* clock = nullptr)
       : inner_(std::move(inner)),
         options_(options),
-        clock_(clock != nullptr ? clock : RealClock::Default()) {
+        clock_(clock != nullptr ? clock : RealClock::Default()),
+        rng_(options.jitter_seed) {
     auto* registry = obs::MetricsRegistry::Default();
     const obs::Labels labels = {{"store", inner_->Name()}};
     obs_retries_ = registry->GetCounter(
@@ -76,6 +95,7 @@ class RetryingStore : public KeyValueStore {
   Options options_;
   Clock* clock_;
   mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
   RetryStats stats_ GUARDED_BY(mu_);
   // Process-wide mirrors of stats_, labelled by inner store name.
   obs::Counter* obs_retries_;

@@ -1,0 +1,272 @@
+// End-to-end overload demo for the admission-control subsystem: two cloud
+// backends behind one ShardedStore, one of them stalled (fixed 15ms service
+// time behind a one-slot admission queue). Under a deadline-bounded workload
+// the stalled shard must shed with *distinct* overload statuses (TimedOut /
+// Overloaded — never a fabricated NotFound for a present key), the healthy
+// shard's tail latency must stay near its unstalled baseline, the stalled
+// shard's circuit breaker must open and later recover, the server must stay
+// observable through the priority lane, and the dstore_admit_* accounting
+// must cover every shed / rejected / short-circuited request.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "admit/admit_store.h"
+#include "admit/breaker.h"
+#include "admit/deadline.h"
+#include "admit/limiter.h"
+#include "common/clock.h"
+#include "net/http.h"
+#include "net/latency_model.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "shard/sharded_store.h"
+#include "store/cloud_client.h"
+#include "store/cloud_server.h"
+
+namespace dstore {
+namespace {
+
+using admit::AdmittingStore;
+using admit::CircuitBreaker;
+using admit::CircuitBreakerStore;
+using admit::Deadline;
+using admit::ScopedDeadline;
+
+constexpr int64_t kStallNanos = 15'000'000;     // stalled service time, 15ms
+constexpr int64_t kDeadlineNanos = 12'000'000;  // per-op budget under overload
+constexpr int kKeys = 40;
+
+std::string KeyAt(int i) { return "ovl_key_" + std::to_string(i); }
+
+// p99 over raw samples. At 300 samples this discards the worst three — a
+// couple of scheduler preemptions under a parallel ctest run don't define
+// the tail, but a stalled-shard leak (every routed op eating 15ms) still
+// would.
+int64_t P99Nanos(std::vector<int64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  const size_t index =
+      std::min(samples.size() - 1,
+               static_cast<size_t>(static_cast<double>(samples.size()) * 0.99));
+  return samples[index];
+}
+
+TEST(AdmitOverloadTest, StalledBackendIsContained) {
+  // --- topology: healthy (LAN-fast) vs stalled (15ms, 1 slot, depth 1) ---
+  auto healthy_server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(healthy_server.ok()) << healthy_server.status().ToString();
+
+  admit::ServerQueue::Options stalled_queue;
+  stalled_queue.name = "stalled";
+  stalled_queue.max_concurrency = 1;
+  stalled_queue.max_queue_depth = 1;
+  stalled_queue.queue_budget_nanos = 30'000'000;  // 30ms
+  auto stalled_server = CloudStoreServer::Start(
+      std::make_unique<FixedLatency>(kStallNanos), /*port=*/0, stalled_queue);
+  ASSERT_TRUE(stalled_server.ok()) << stalled_server.status().ToString();
+
+  // --- client stacks: breaker( admitting( cloud )) per shard ---
+  auto make_stack = [](uint16_t port, const std::string& name,
+                       CircuitBreakerStore** breaker_out) {
+    auto client = CloudStoreClient::Connect("127.0.0.1", port, name);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    auto admitting = std::make_shared<AdmittingStore>(
+        std::shared_ptr<KeyValueStore>(*std::move(client)));
+    CircuitBreaker::Options breaker_options;
+    breaker_options.open_nanos = 300'000'000;  // quick recovery for the test
+    breaker_options.success_threshold = 1;
+    auto stack = std::make_shared<CircuitBreakerStore>(std::move(admitting),
+                                                       breaker_options);
+    *breaker_out = stack.get();
+    return std::shared_ptr<KeyValueStore>(std::move(stack));
+  };
+  CircuitBreakerStore* healthy_stack = nullptr;
+  CircuitBreakerStore* stalled_stack = nullptr;
+  ShardedStore store(
+      {{"healthy", make_stack((*healthy_server)->port(), "healthy_client",
+                              &healthy_stack)},
+       {"stalled", make_stack((*stalled_server)->port(), "stalled_client",
+                              &stalled_stack)}});
+
+  // --- seed (no deadline: the stalled shard is merely slow) and attribute
+  // keys to shards by asking the healthy server what it actually holds ---
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(store.PutString(KeyAt(i), "v" + std::to_string(i)).ok());
+  }
+  auto healthy_probe =
+      CloudStoreClient::Connect("127.0.0.1", (*healthy_server)->port());
+  ASSERT_TRUE(healthy_probe.ok());
+  auto healthy_listing = (*healthy_probe)->ListKeys();
+  ASSERT_TRUE(healthy_listing.ok());
+  const std::set<std::string> healthy_set(healthy_listing->begin(),
+                                          healthy_listing->end());
+  std::vector<std::string> healthy_keys, stalled_keys;
+  for (int i = 0; i < kKeys; ++i) {
+    (healthy_set.count(KeyAt(i)) != 0 ? healthy_keys : stalled_keys)
+        .push_back(KeyAt(i));
+  }
+  ASSERT_FALSE(healthy_keys.empty());
+  ASSERT_FALSE(stalled_keys.empty());
+
+  // --- unstalled baseline: healthy-key p99 with nobody else running ---
+  RealClock* clock = RealClock::Default();
+  std::vector<int64_t> baseline;
+  for (int i = 0; i < 300; ++i) {
+    Stopwatch watch(clock);
+    ASSERT_TRUE(store.Get(healthy_keys[i % healthy_keys.size()]).ok());
+    baseline.push_back(watch.ElapsedNanos());
+  }
+  const int64_t baseline_p99 = P99Nanos(baseline);
+
+  // --- accounting snapshot before the storm ---
+  auto* registry = obs::MetricsRegistry::Default();
+  const obs::Labels client_labels = {{"store", "stalled_client"}};
+  obs::Counter* late = registry->GetCounter(
+      "dstore_admit_late_total", client_labels, "");
+  obs::Counter* deadline_expired = registry->GetCounter(
+      "dstore_admit_deadline_expired_total", client_labels, "");
+  const uint64_t sheds_before = (*stalled_server)->queue()->shed_total();
+  const uint64_t breaker_before = stalled_stack->breaker()
+                                      ->short_circuited_total();
+  const uint64_t late_before = late->Value();
+  const uint64_t expired_before = deadline_expired->Value();
+
+  // --- the storm: deadline-bounded traffic into the stalled shard, from
+  // the sharded stack and from independent direct connections (which is
+  // what actually saturates the server's one-slot queue) ---
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> overload_failures{0};  // TimedOut / Overloaded seen
+  std::atomic<uint64_t> roundtrip_fastfails{0};
+  std::atomic<uint64_t> wrong_status_failures{0};
+
+  auto classify = [&](const Status& status) {
+    if (status.ok()) return;
+    if (status.IsTimedOut() || status.IsOverloaded()) {
+      // The client-local "deadline expired before ... round trip" fast-fail
+      // is the one overload answer no dstore_admit_* counter meters; keep
+      // it out of the accounting check below.
+      if (status.ToString().find("round trip") != std::string::npos) {
+        roundtrip_fastfails.fetch_add(1);
+      } else {
+        overload_failures.fetch_add(1);
+      }
+    } else {
+      ADD_FAILURE() << "non-overload failure for present key: "
+                    << status.ToString();
+      wrong_status_failures.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> attackers;
+  attackers.emplace_back([&] {
+    for (uint64_t i = 0; !stop.load(); ++i) {
+      ScopedDeadline scope(Deadline::After(kDeadlineNanos));
+      classify(store.Get(stalled_keys[i % stalled_keys.size()]).status());
+    }
+  });
+  for (int t = 0; t < 3; ++t) {
+    attackers.emplace_back([&, t] {
+      auto direct = CloudStoreClient::Connect(
+          "127.0.0.1", (*stalled_server)->port(),
+          "direct" + std::to_string(t));
+      ASSERT_TRUE(direct.ok());
+      for (uint64_t i = 0; !stop.load(); ++i) {
+        ScopedDeadline scope(Deadline::After(kDeadlineNanos));
+        classify((*direct)->Get(stalled_keys[i % stalled_keys.size()])
+                     .status());
+      }
+    });
+  }
+
+  // Let the overload establish itself before measuring: enough distinct
+  // overload answers, and the stalled shard's breaker has actually tripped
+  // and short-circuited (guaranteed eventually — the 15ms stall can never
+  // beat the 12ms budget, so the stack attacker's failure streak must trip
+  // it; only how soon is timing-dependent).
+  while (overload_failures.load() < 20 ||
+         stalled_stack->breaker()->short_circuited_total() <= breaker_before) {
+    clock->SleepFor(1'000'000);
+  }
+
+  // --- the server stays observable while shedding: /healthz rides the
+  // priority lane past the saturated queue ---
+  {
+    auto socket = Socket::ConnectTcp("127.0.0.1", (*stalled_server)->port());
+    ASSERT_TRUE(socket.ok());
+    HttpConnection conn(*std::move(socket));
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/healthz";
+    ASSERT_TRUE(conn.WriteRequest(request).ok());
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+  }
+
+  // --- healthy-shard tail latency during the storm ---
+  std::vector<int64_t> under_load;
+  for (int i = 0; i < 300; ++i) {
+    Stopwatch watch(clock);
+    ASSERT_TRUE(store.Get(healthy_keys[i % healthy_keys.size()]).ok());
+    under_load.push_back(watch.ElapsedNanos());
+  }
+  stop.store(true);
+  for (auto& thread : attackers) thread.join();
+
+  // Containment: the stalled shard must not drag the healthy shard's tail.
+  // The 5ms floor absorbs scheduler jitter when the baseline is tens of
+  // microseconds on loopback (under a parallel ctest run the box is
+  // saturated); a real leak of the 15ms stall still trips it.
+  const int64_t allowed = std::max<int64_t>(2 * baseline_p99, 5'000'000);
+  EXPECT_LE(P99Nanos(under_load), allowed)
+      << "healthy p99 " << P99Nanos(under_load) << "ns vs baseline "
+      << baseline_p99 << "ns";
+
+  // The breaker actually opened on the stalled shard.
+  EXPECT_GT(stalled_stack->breaker()->short_circuited_total(),
+            breaker_before);
+
+  // Accounting: every overload answer a client saw is metered somewhere in
+  // dstore_admit_* — a server-queue shed (503/504), a breaker short-circuit,
+  // a deadline gate, or a late-success conversion.
+  const uint64_t accounted =
+      ((*stalled_server)->queue()->shed_total() - sheds_before) +
+      (stalled_stack->breaker()->short_circuited_total() - breaker_before) +
+      (late->Value() - late_before) +
+      (deadline_expired->Value() - expired_before);
+  EXPECT_EQ(wrong_status_failures.load(), 0u);
+  EXPECT_GT(overload_failures.load(), 0u);
+  EXPECT_GE(accounted, overload_failures.load())
+      << "sheds=" << ((*stalled_server)->queue()->shed_total() - sheds_before)
+      << " breaker="
+      << (stalled_stack->breaker()->short_circuited_total() - breaker_before)
+      << " late=" << (late->Value() - late_before)
+      << " expired=" << (deadline_expired->Value() - expired_before)
+      << " fastfails=" << roundtrip_fastfails.load();
+
+  // --- recovery: once the storm stops and the open interval passes, the
+  // stalled shard serves again (slowly, but correctly) ---
+  Status recovered = Status::Unavailable("never attempted");
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    clock->SleepFor(100'000'000);
+    recovered = store.Get(stalled_keys[0]).status();
+    if (recovered.ok()) break;
+  }
+  EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+  EXPECT_EQ(stalled_stack->breaker()->state(),
+            CircuitBreaker::State::kClosed);
+
+  (void)healthy_stack;
+  (*healthy_server)->Stop();
+  (*stalled_server)->Stop();
+}
+
+}  // namespace
+}  // namespace dstore

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "admit/admit_store.h"
+#include "admit/limiter.h"
+#include "admit/token_bucket.h"
 #include "cache/lru_cache.h"
 #include "common/random.h"
 #include "fault/fault_store.h"
@@ -94,6 +97,32 @@ StoreFixture MakeFaultWrappedFixture() {
   return {std::make_unique<FaultInjectingStore>(
               std::shared_ptr<KeyValueStore>(std::move(base.store)),
               std::move(plan)),
+          base.teardown};
+}
+
+// Wraps a base fixture's store in the full admission stack (adaptive
+// limiter + token bucket + circuit breaker) configured so nothing can ever
+// trip or shed. Pass-through admission must be behaviour-identical to the
+// bare store, the same way a probability-0 fault plan is.
+template <FixtureFactory kBase>
+StoreFixture MakeAdmitWrappedFixture() {
+  StoreFixture base = kBase();
+  admit::AdmittingStore::Options options;
+  admit::AdaptiveLimiter::Options limiter_options;
+  limiter_options.initial_limit = 1e6;
+  limiter_options.min_limit = 1e6;
+  limiter_options.max_limit = 1e6;
+  options.limiter = std::make_shared<admit::AdaptiveLimiter>(limiter_options);
+  admit::TokenBucket::Options bucket_options;
+  bucket_options.rate_per_sec = 1e9;
+  bucket_options.burst = 1e9;
+  options.rate_limiter = std::make_shared<admit::TokenBucket>(bucket_options);
+  auto admitting = std::make_shared<admit::AdmittingStore>(
+      std::shared_ptr<KeyValueStore>(std::move(base.store)), options);
+  admit::CircuitBreaker::Options breaker_options;
+  breaker_options.failure_threshold = 1'000'000'000;
+  return {std::make_unique<admit::CircuitBreakerStore>(std::move(admitting),
+                                                       breaker_options),
           base.teardown};
 }
 
@@ -321,7 +350,13 @@ INSTANTIATE_TEST_SUITE_P(
         Param{"shard8", &MakeShardedMemoryFixture<8>, true},
         Param{"shard_mirror", &MakeShardedMirroredFixture, true},
         Param{"shard3_fault0",
-              &MakeFaultWrappedFixture<&MakeShardedMemoryFixture<3>>, true}),
+              &MakeFaultWrappedFixture<&MakeShardedMemoryFixture<3>>, true},
+        Param{"memory_admit", &MakeAdmitWrappedFixture<&MakeMemoryFixture>,
+              true},
+        Param{"cloud_admit", &MakeAdmitWrappedFixture<&MakeCloudFixture>,
+              true},
+        Param{"shard3_admit",
+              &MakeAdmitWrappedFixture<&MakeShardedMemoryFixture<3>>, true}),
     [](const ::testing::TestParamInfo<Param>& info) {
       return info.param.name;
     });

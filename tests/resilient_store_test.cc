@@ -83,6 +83,7 @@ TEST(RetryingStoreTest, BackoffUsesClock) {
   options.max_attempts = 3;
   options.initial_backoff_nanos = 1000;
   options.backoff_multiplier = 2.0;
+  options.full_jitter = false;  // assert exact backoff values
   RetryingStore store(flaky, options, &clock);
   ASSERT_TRUE(store.Get("k").ok());
   // Slept 1000 then 2000 virtual nanos.
@@ -98,6 +99,7 @@ TEST(RetryingStoreTest, BackoffSleepIsAccounted) {
   options.max_attempts = 3;
   options.initial_backoff_nanos = 1000;
   options.backoff_multiplier = 2.0;
+  options.full_jitter = false;  // assert exact backoff values
   RetryingStore store(flaky, options, &clock);
   ASSERT_TRUE(store.Get("k").ok());
   EXPECT_EQ(store.GetRetryStats().backoff_nanos, 3000u);  // 1000 + 2000
@@ -124,6 +126,7 @@ TEST(RetryingStoreTest, PublishesObsCounters) {
   options.max_attempts = 3;
   options.initial_backoff_nanos = 500;
   options.backoff_multiplier = 2.0;
+  options.full_jitter = false;  // assert exact backoff values
   RetryingStore store(flaky, options, &clock);
   EXPECT_TRUE(store.Get("k").status().IsUnavailable());
 
