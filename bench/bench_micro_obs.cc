@@ -1,0 +1,149 @@
+// Microbenchmarks for the observability subsystem (src/obs/): the
+// per-primitive cost of spans, wire-context parsing, and exemplar-stamped
+// histogram records, plus the headline per-op overhead of tracing that is
+// compiled in but not sampling. The contract (docs/testing.md,
+// "Observability") is that the dormant instrumentation — spans opened and
+// closed on every request while the sample rate is 0 — adds no more than
+// ~2% to a realistic backend operation; scripts/bench_snapshot.sh extracts
+// the paired rows below into BENCH_obs.json.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/file_store.h"
+
+namespace dstore {
+namespace {
+
+std::filesystem::path BenchDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dstore_obsbench_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+// --- Primitive costs ------------------------------------------------------
+
+// The fast path every request pays when head sampling is off: the root
+// consults the sampling counter, loses, and suppresses its children.
+void BM_SpanUnsampled(benchmark::State& state) {
+  obs::Tracer tracer;  // rate 0
+  for (auto _ : state) {
+    obs::Span root("op", &tracer);
+    obs::Span child("child", &tracer);
+    benchmark::DoNotOptimize(child.recording());
+  }
+}
+BENCHMARK(BM_SpanUnsampled);
+
+// A fully recorded four-span tree per iteration, including the finished
+// trace's stage rollup and ring insertion.
+void BM_SpanSampledTree(benchmark::State& state) {
+  obs::Tracer tracer(nullptr, /*keep=*/4);
+  tracer.SetSampleRate(1.0);
+  for (auto _ : state) {
+    obs::Span root("op", &tracer);
+    {
+      obs::Span::Options options;
+      options.tracer = &tracer;
+      options.stage = obs::Stage::kNetwork;
+      obs::Span wire("http.roundtrip", options);
+      wire.SetAttribute("path", "/objects/6b6579");
+    }
+    obs::Span decode("transform.decode", &tracer);
+  }
+}
+BENCHMARK(BM_SpanSampledTree);
+
+void BM_CurrentTraceContext(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  obs::Span root("op", &tracer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::CurrentTraceContext());
+  }
+}
+BENCHMARK(BM_CurrentTraceContext);
+
+void BM_TraceContextHeaderRoundTrip(benchmark::State& state) {
+  obs::TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  ctx.span_id = 0x1122334455667788ULL;
+  ctx.sampled = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::ParseTraceContext(ctx.ToHeader()));
+  }
+}
+BENCHMARK(BM_TraceContextHeaderRoundTrip);
+
+// Histogram::Record outside any trace (two thread-local loads) and inside a
+// sampled trace (an exemplar store under the per-histogram mutex).
+void BM_HistogramRecord(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("bench_ms");
+  obs::Tracer tracer;
+  tracer.SetSampleRate(traced ? 1.0 : 0.0);
+  obs::Span root("op", &tracer);
+  for (auto _ : state) {
+    h->Record(1.25);
+  }
+  state.SetLabel(traced ? "with-exemplar" : "untraced");
+}
+BENCHMARK(BM_HistogramRecord)->Arg(0)->Arg(1);
+
+// --- Headline per-op overhead ---------------------------------------------
+
+// A realistic object read — an object-store-sized value from a file-backed
+// store — under the three tracing regimes. Arg 0: no spans at all (the op
+// as an uninstrumented store performs it). Arg 1: the request opens the
+// span tree a DSCL read opens, but the sample rate is 0 — the dormant cost
+// every request pays, contracted to ≤2% over arg 0. Arg 2: every request
+// fully recorded (rate 1.0), the price of always-on tracing.
+// scripts/bench_snapshot.sh compares the three rows in BENCH_obs.json.
+void BM_ObsFileReadOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  auto store = std::shared_ptr<KeyValueStore>(
+      std::move(FileStore::Open(BenchDir() / std::to_string(mode))).value());
+  Random rng(3);
+  (void)store->Put("k", MakeValue(rng.RandomBytes(256 * 1024)));
+
+  obs::Tracer tracer(nullptr, /*keep=*/4);
+  tracer.SetSampleRate(mode == 2 ? 1.0 : 0.0);
+  for (auto _ : state) {
+    if (mode == 0) {
+      benchmark::DoNotOptimize(store->Get("k"));
+      continue;
+    }
+    // The span footprint of one enhanced read: root, lookup, backend get,
+    // decode — the shape TracingAcceptanceTest captures.
+    obs::Span root("enhanced.get", &tracer);
+    {
+      obs::Span lookup("cache.lookup", &tracer);
+    }
+    {
+      obs::Span::Options options;
+      options.tracer = &tracer;
+      options.stage = obs::Stage::kBackend;
+      obs::Span fetch("base.get", options);
+      benchmark::DoNotOptimize(store->Get("k"));
+    }
+    obs::Span decode("transform.decode", &tracer);
+  }
+  static const char* kLabels[] = {"no-spans", "disabled", "always-on"};
+  state.SetLabel(kLabels[mode]);
+}
+BENCHMARK(BM_ObsFileReadOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -21,6 +21,8 @@
 //   monitor                 print the performance monitor report
 //   stats                   dump process metrics in Prometheus text format
 //   trace KEY               run a force-sampled get and print its span tree
+//   slow                    print captured slow/error traces (worst first)
+//   version                 print this binary's build identity
 //   topology                ring ownership + per-shard key counts (shard store)
 //   addshard NAME           grow a shard store online (memory-backed shard)
 //   rmshard NAME            shrink a shard store online
@@ -35,6 +37,7 @@
 #include "admit/admit_store.h"
 #include "admit/introspect.h"
 #include "admit/limiter.h"
+#include "obs/build_info.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
 #include "shard/sharded_store.h"
@@ -51,8 +54,8 @@ namespace {
 constexpr char kHelp[] =
     "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
     "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
-    "          stats | trace K | topology | addshard NAME | rmshard NAME |\n"
-    "          admit | help | quit\n"
+    "          stats | trace K | slow | version | topology | addshard NAME |\n"
+    "          rmshard NAME | admit | help | quit\n"
     "types:    memory | file | sql | shard | admit (memory behind a\n"
     "          concurrency limiter + circuit breaker; inspect with `admit`)\n";
 
@@ -317,6 +320,19 @@ struct Shell {
       } else {
         std::fputs(trace->ToText().c_str(), stdout);
       }
+    } else if (command == "slow") {
+      // Tail-captured slow and error traces, worst first, with remote
+      // segments stitched in. Arm capture on first use so a plain shell
+      // session records from here on.
+      obs::Tracer* tracer = obs::Tracer::Default();
+      if (tracer->SlowTraces().empty()) {
+        obs::Tracer::SlowCaptureOptions options;
+        options.threshold_ms = 10;
+        tracer->EnableSlowCapture(options);
+      }
+      std::fputs(obs::RenderSlowTracesText(tracer).c_str(), stdout);
+    } else if (command == "version") {
+      std::printf("%s\n", obs::BuildInfoJson().c_str());
     } else {
       std::printf("unknown command '%s' (try `help`)\n", command.c_str());
     }

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Seeds the bench trajectory: builds the microbenchmarks in Release, runs
-# bench_micro_stores (store substrate) and bench_micro_admit (admission
-# layer), and writes a machine-readable BENCH_admit.json at the repo root.
+# bench_micro_stores (store substrate), bench_micro_admit (admission
+# layer), and bench_micro_obs (tracing), and writes machine-readable
+# BENCH_admit.json and BENCH_obs.json files at the repo root.
 #
 #   scripts/bench_snapshot.sh            # full snapshot
 #   scripts/bench_snapshot.sh --quick    # shorter benchmark runs
 #
-# The snapshot records the raw google-benchmark rows plus the derived
-# pass-through overhead of the untripped admission stack (the paired
-# BM_AdmitFileReadOverhead baseline/wrapped rows); the contract is ≤5%
-# (docs/testing.md, "Overload protection"). The build tree lands in
-# build-bench/ so the default build/ directory is left alone.
+# The snapshots record the raw google-benchmark rows plus the derived
+# headline overheads: the pass-through cost of the untripped admission
+# stack (paired BM_AdmitFileReadOverhead rows, contract ≤5%) and the
+# per-op cost of tracing that is compiled in but not sampling (the
+# BM_ObsFileReadOverhead no-spans/disabled/always-on rows, contract ≤2%
+# for the disabled regime — docs/testing.md, "Observability"). The build
+# tree lands in build-bench/ so the default build/ directory is left
+# alone.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,20 +26,24 @@ fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-bench -j"$(nproc)" \
-  --target bench_micro_stores bench_micro_admit
+  --target bench_micro_stores bench_micro_admit bench_micro_obs
 
 out_dir="build-bench/bench"
 ./build-bench/bench/bench_micro_stores ${MIN_TIME} \
   --benchmark_out="${out_dir}/stores.json" --benchmark_out_format=json
 ./build-bench/bench/bench_micro_admit ${MIN_TIME} \
   --benchmark_out="${out_dir}/admit.json" --benchmark_out_format=json
+./build-bench/bench/bench_micro_obs ${MIN_TIME} \
+  --benchmark_out="${out_dir}/obs.json" --benchmark_out_format=json
 
-python3 - "${out_dir}/stores.json" "${out_dir}/admit.json" <<'PY'
+python3 - "${out_dir}/stores.json" "${out_dir}/admit.json" \
+  "${out_dir}/obs.json" <<'PY'
 import json
 import sys
 
 stores = json.load(open(sys.argv[1]))
 admit = json.load(open(sys.argv[2]))
+obs = json.load(open(sys.argv[3]))
 
 def rows(doc):
     return [
@@ -77,4 +85,32 @@ print(f"admission pass-through overhead: {overhead_pct:.2f}% "
 if overhead_pct > 5.0:
     print("WARNING: pass-through overhead exceeds the 5% budget")
 print("wrote BENCH_admit.json")
+
+no_spans = cpu_ns(obs, "BM_ObsFileReadOverhead/0")
+disabled = cpu_ns(obs, "BM_ObsFileReadOverhead/1")
+always_on = cpu_ns(obs, "BM_ObsFileReadOverhead/2")
+disabled_pct = 100.0 * (disabled - no_spans) / no_spans
+always_on_pct = 100.0 * (always_on - no_spans) / no_spans
+
+obs_snapshot = {
+    "context": obs.get("context", {}),
+    "tracing_per_op": {
+        "no_spans_cpu_ns": no_spans,
+        "disabled_cpu_ns": disabled,
+        "always_on_cpu_ns": always_on,
+        "disabled_overhead_percent": round(disabled_pct, 2),
+        "always_on_overhead_percent": round(always_on_pct, 2),
+        "disabled_budget_percent": 2.0,
+    },
+    "bench_micro_obs": rows(obs),
+}
+with open("BENCH_obs.json", "w") as f:
+    json.dump(obs_snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"tracing per-op overhead: disabled {disabled_pct:.2f}% "
+      f"(budget 2%), always-on {always_on_pct:.2f}%")
+if disabled_pct > 2.0:
+    print("WARNING: disabled-tracing overhead exceeds the 2% budget")
+print("wrote BENCH_obs.json")
 PY

@@ -7,6 +7,7 @@
 #   scripts/check.sh chaos                   # chaos-labelled suites only
 #   scripts/check.sh shard                   # sharding suites only
 #   scripts/check.sh admit                   # admission-control suites only
+#   scripts/check.sh obs                     # observability suites only
 #   scripts/check.sh analyze                 # static analysis + lint gate
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
@@ -81,6 +82,14 @@ elif [[ "${1:-}" == "admit" ]]; then
   export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
   echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
   CTEST_ARGS=(-L admit "$@")
+elif [[ "${1:-}" == "obs" ]]; then
+  # Observability suites (tests labelled "obs"): the metrics/tracer units,
+  # the monitor bridge, and the distributed-tracing e2e suite that drives
+  # real servers, scatter-gather fan-out, and the socket fault injector —
+  # in Release and TSan (the tracer, exemplar stamps, and segment rings are
+  # touched from every request thread).
+  shift
+  CTEST_ARGS=(-L obs "$@")
 else
   CTEST_ARGS=("$@")
 fi

@@ -43,7 +43,7 @@ AdmittingStore::AdmittingStore(std::shared_ptr<KeyValueStore> inner,
 
 template <typename R, typename Op>
 R AdmittingStore::WithAdmission(const char* op_name, Op&& op) {
-  obs::Span span(std::string("admit.") + op_name);
+  obs::Span span(std::string("admit.") + op_name, obs::Stage::kAdmit);
   const Deadline deadline = CurrentDeadline();
   if (options_.enforce_deadline && deadline.expired()) {
     if (obs_deadline_expired_ != nullptr) obs_deadline_expired_->Increment();
@@ -70,6 +70,7 @@ R AdmittingStore::WithAdmission(const char* op_name, Op&& op) {
   if (options_.limiter != nullptr) {
     options_.limiter->Release(StatusOf(result));
   }
+  span.SetStatus(StatusOf(result));
   return result;
 }
 

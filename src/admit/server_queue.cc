@@ -51,7 +51,8 @@ void ServerQueue::ShedLocked(obs::Counter* counter) {
   if (counter != nullptr) counter->Increment();
 }
 
-Status ServerQueue::Enter(Lane lane) {
+Status ServerQueue::Enter(Lane lane, int64_t* wait_nanos) {
+  if (wait_nanos != nullptr) *wait_nanos = 0;
   std::optional<fault::Fault> injected;
   if (lane == Lane::kNormal && options_.fault_plan != nullptr) {
     injected = options_.fault_plan->Evaluate("admit.queue", "enter");
@@ -99,10 +100,10 @@ Status ServerQueue::Enter(Lane lane) {
                          std::min(budget_left, deadline_left)));
   }
   if (waiter.admitted) {
+    const int64_t waited = clock_->NowNanos() - waiter.enqueue_nanos;
+    if (wait_nanos != nullptr) *wait_nanos = waited;
     if (obs_wait_ms_ != nullptr) {
-      obs_wait_ms_->Record(
-          static_cast<double>(clock_->NowNanos() - waiter.enqueue_nanos) /
-          1e6);
+      obs_wait_ms_->Record(static_cast<double>(waited) / 1e6);
     }
     if (obs_admitted_ != nullptr) obs_admitted_->Increment();
     return Status::OK();

@@ -58,7 +58,11 @@ class ServerQueue {
   // Blocks until a slot is free (normal lane, possibly queueing), or
   // returns Overloaded (shed) / TimedOut (deadline expired while queued).
   // Every OK return must be paired with one Exit() on the same lane.
-  Status Enter(Lane lane = Lane::kNormal) EXCLUDES(mu_);
+  // `wait_nanos`, when non-null, receives the time spent queued (0 when
+  // admitted immediately or shed at the door) — the queue-stage latency a
+  // server span attributes to Stage::kQueue.
+  Status Enter(Lane lane = Lane::kNormal, int64_t* wait_nanos = nullptr)
+      EXCLUDES(mu_);
 
   // Releases the slot and hands it to the first still-fresh waiter,
   // shedding any older-than-budget waiters ahead of it.
@@ -69,7 +73,9 @@ class ServerQueue {
   class Admission {
    public:
     explicit Admission(ServerQueue* queue, Lane lane = Lane::kNormal)
-        : queue_(queue), lane_(lane), status_(queue->Enter(lane)) {}
+        : queue_(queue),
+          lane_(lane),
+          status_(queue->Enter(lane, &wait_nanos_)) {}
     ~Admission() {
       if (status_.ok()) queue_->Exit(lane_);
     }
@@ -78,10 +84,13 @@ class ServerQueue {
 
     bool ok() const { return status_.ok(); }
     const Status& status() const { return status_; }
+    // Time this request spent waiting in the queue (0 if never queued).
+    int64_t wait_nanos() const { return wait_nanos_; }
 
    private:
     ServerQueue* queue_;
     Lane lane_;
+    int64_t wait_nanos_ = 0;
     Status status_;
   };
 

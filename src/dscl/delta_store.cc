@@ -12,7 +12,7 @@ DeltaStore::DeltaStore(std::shared_ptr<KeyValueStore> base,
 
 StatusOr<Bytes> DeltaStore::Reconstruct(const std::string& key,
                                         uint64_t chain_length) {
-  obs::Span span("delta.reconstruct");
+  obs::Span span("delta.reconstruct", obs::Stage::kTransform);
   DSTORE_ASSIGN_OR_RETURN(ValuePtr base_value, base_->Get(BaseKey(key)));
   Bytes current = *base_value;
   for (uint64_t i = 1; i <= chain_length; ++i) {
@@ -72,7 +72,7 @@ Status DeltaStore::Put(const std::string& key, ValuePtr value) {
   }
 
   const Bytes delta = [&] {
-    obs::Span span("delta.encode");
+    obs::Span span("delta.encode", obs::Stage::kTransform);
     return EncodeDelta(previous, *value, options_.delta);
   }();
   const bool delta_worthwhile =

@@ -30,13 +30,13 @@ EnhancedStore::EnhancedStore(std::shared_ptr<KeyValueStore> base,
 
 StatusOr<Bytes> EnhancedStore::Encode(const Bytes& value) const {
   if (chain_ == nullptr || chain_->empty()) return value;
-  obs::Span span("transform.encode");
+  obs::Span span("transform.encode", obs::Stage::kTransform);
   return chain_->Apply(value);
 }
 
 StatusOr<ValuePtr> EnhancedStore::Decode(const Bytes& value) const {
   if (chain_ == nullptr || chain_->empty()) return MakeValue(Bytes(value));
-  obs::Span span("transform.decode");
+  obs::Span span("transform.decode", obs::Stage::kTransform);
   DSTORE_ASSIGN_OR_RETURN(Bytes decoded, chain_->Reverse(value));
   return MakeValue(std::move(decoded));
 }
@@ -55,7 +55,7 @@ Status EnhancedStore::Put(const std::string& key, ValuePtr value) {
   obs::Span span("enhanced.put");
   DSTORE_ASSIGN_OR_RETURN(Bytes encoded, Encode(*value));
   {
-    obs::Span base_span("base.put");
+    obs::Span base_span("base.put", obs::Stage::kBackend);
     DSTORE_RETURN_IF_ERROR(base_->Put(key, MakeValue(Bytes(encoded))));
   }
 
@@ -73,7 +73,7 @@ Status EnhancedStore::Put(const std::string& key, ValuePtr value) {
 
 StatusOr<ValuePtr> EnhancedStore::FetchAndCache(const std::string& key) {
   auto encoded = [&] {
-    obs::Span span("base.get");
+    obs::Span span("base.get", obs::Stage::kBackend);
     return base_->Get(key);
   }();
   DSTORE_RETURN_IF_ERROR(encoded.status());
@@ -88,7 +88,7 @@ StatusOr<ValuePtr> EnhancedStore::Get(const std::string& key) {
 
   if (cache_ == nullptr) {
     auto encoded = [&] {
-      obs::Span span("base.get");
+      obs::Span span("base.get", obs::Stage::kBackend);
       return base_->Get(key);
     }();
     DSTORE_RETURN_IF_ERROR(encoded.status());
@@ -112,7 +112,7 @@ StatusOr<ValuePtr> EnhancedStore::Get(const std::string& key) {
     revalidations_.fetch_add(1, std::memory_order_relaxed);
     obs_revalidations_->Increment();
     auto conditional = [&] {
-      obs::Span span("base.conditional_get");
+      obs::Span span("base.conditional_get", obs::Stage::kBackend);
       return base_->GetIfChanged(key, entry->etag);
     }();
     if (conditional.ok()) {

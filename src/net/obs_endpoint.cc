@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/build_info.h"
+
 namespace dstore {
 
 namespace {
@@ -33,6 +35,19 @@ bool HandleObsRequest(const HttpRequest& request, HttpResponse* response,
   if (request.path == "/traces") {
     *response =
         TextResponse(obs::RenderTracesJson(tracer), "application/json");
+    return true;
+  }
+  if (request.path == "/debug/slow") {
+    *response =
+        TextResponse(obs::RenderSlowTracesJson(tracer), "application/json");
+    return true;
+  }
+  if (request.path == "/debug/slow.txt") {
+    *response = TextResponse(obs::RenderSlowTracesText(tracer), "text/plain");
+    return true;
+  }
+  if (request.path == "/version") {
+    *response = TextResponse(obs::BuildInfoJson(), "application/json");
     return true;
   }
   if (request.path == "/healthz") {

@@ -13,9 +13,12 @@ namespace dstore {
 // HTTP surface of the observability subsystem. Every server exposes the
 // same routes:
 //
-//   GET /metrics        Prometheus text exposition
+//   GET /metrics        Prometheus text exposition (with exemplars)
 //   GET /metrics.json   the same data as JSON
 //   GET /traces         recently sampled traces as a JSON array
+//   GET /debug/slow     slowest/error traces, cross-process stitched (JSON)
+//   GET /debug/slow.txt the same as an indented text report
+//   GET /version        build identity (version, git sha, build type)
 //   GET /healthz        liveness probe, 200 "ok"
 //
 // HTTP-speaking servers (the cloud store) fold these into their existing

@@ -1,0 +1,53 @@
+#include "obs/build_info.h"
+
+#include "obs/escape.h"
+#include "obs/metrics.h"
+
+#ifndef DSTORE_VERSION
+#define DSTORE_VERSION "unknown"
+#endif
+#ifndef DSTORE_GIT_SHA
+#define DSTORE_GIT_SHA "unknown"
+#endif
+#ifndef DSTORE_BUILD_TYPE
+#define DSTORE_BUILD_TYPE "unknown"
+#endif
+#ifndef DSTORE_SANITIZE_NAME
+#define DSTORE_SANITIZE_NAME "none"
+#endif
+
+namespace dstore {
+namespace obs {
+
+const char* BuildVersion() { return DSTORE_VERSION; }
+const char* BuildGitSha() { return DSTORE_GIT_SHA; }
+const char* BuildTypeName() { return DSTORE_BUILD_TYPE; }
+const char* BuildSanitizer() { return DSTORE_SANITIZE_NAME; }
+
+std::string BuildInfoJson() {
+  std::string out = "{\"version\":\"";
+  AppendJsonEscaped(&out, BuildVersion());
+  out += "\",\"git_sha\":\"";
+  AppendJsonEscaped(&out, BuildGitSha());
+  out += "\",\"build_type\":\"";
+  AppendJsonEscaped(&out, BuildTypeName());
+  out += "\",\"sanitizer\":\"";
+  AppendJsonEscaped(&out, BuildSanitizer());
+  out += "\"}";
+  return out;
+}
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry
+      ->GetGauge("dstore_build_info",
+                 {{"version", BuildVersion()},
+                  {"git_sha", BuildGitSha()},
+                  {"build_type", BuildTypeName()},
+                  {"sanitizer", BuildSanitizer()}},
+                 "Constant 1, labeled with the identity of this binary.")
+      ->Set(1);
+}
+
+}  // namespace obs
+}  // namespace dstore

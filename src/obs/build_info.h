@@ -1,0 +1,34 @@
+#ifndef DSTORE_OBS_BUILD_INFO_H_
+#define DSTORE_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace dstore {
+namespace obs {
+
+class MetricsRegistry;
+
+// Identity of the running binary, baked in at compile time by CMake
+// (DSTORE_VERSION, DSTORE_GIT_SHA, DSTORE_BUILD_TYPE, DSTORE_SANITIZE_NAME
+// compile definitions on the obs library; each falls back to "unknown" /
+// "none" when absent so non-CMake builds still link).
+
+const char* BuildVersion();
+const char* BuildGitSha();
+const char* BuildTypeName();
+const char* BuildSanitizer();
+
+// {"version":...,"git_sha":...,"build_type":...,"sanitizer":...} — the body
+// served by every server's /version endpoint.
+std::string BuildInfoJson();
+
+// Registers the conventional constant-1 info gauge
+// dstore_build_info{version=,git_sha=,build_type=,sanitizer=} so scrapes can
+// join any metric to the exact binary that produced it.
+// MetricsRegistry::Default() calls this automatically.
+void RegisterBuildInfo(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace dstore
+
+#endif  // DSTORE_OBS_BUILD_INFO_H_

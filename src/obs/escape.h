@@ -1,0 +1,96 @@
+#ifndef DSTORE_OBS_ESCAPE_H_
+#define DSTORE_OBS_ESCAPE_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dstore {
+namespace obs {
+
+// Escaping helpers shared by the trace and metrics renderers. Exposition
+// output must stay parseable no matter what ends up in a label value or
+// span attribute — keys are user data, so backslashes, quotes, newlines,
+// and raw control bytes all flow through here.
+
+// JSON string-body escaping per RFC 8259: quote, backslash, and every
+// control character below 0x20 (the common ones as two-character escapes,
+// the rest as \u00XX).
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Prometheus text-format label-value escaping: backslash, double-quote,
+// and line-feed (exposition format v0.0.4).
+inline void AppendPromLabelEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Prometheus `# HELP` text escaping: backslash and line-feed only (quotes
+// are legal in help text).
+inline void AppendPromHelpEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace dstore
+
+#endif  // DSTORE_OBS_ESCAPE_H_

@@ -2,6 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "obs/escape.h"
 
 namespace dstore {
 namespace obs {
@@ -31,24 +36,6 @@ std::string FormatNumber(double v) {
   return buf;
 }
 
-void AppendEscapedLabelValue(std::string* out, const std::string& value) {
-  for (char c : value) {
-    switch (c) {
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      default:
-        *out += c;
-    }
-  }
-}
-
 // Renders {k1="v1",k2="v2"} with an optional extra label (used for `le`).
 // Returns "" when there are no labels at all.
 std::string LabelString(const Labels& labels, const std::string& extra_key = "",
@@ -61,18 +48,121 @@ std::string LabelString(const Labels& labels, const std::string& extra_key = "",
     first = false;
     out += k;
     out += "=\"";
-    AppendEscapedLabelValue(&out, v);
+    AppendPromLabelEscaped(&out, v);
     out += '"';
   }
   if (!extra_key.empty()) {
     if (!first) out += ',';
     out += extra_key;
     out += "=\"";
-    AppendEscapedLabelValue(&out, extra_value);
+    AppendPromLabelEscaped(&out, extra_value);
     out += '"';
   }
   out += '}';
   return out;
+}
+
+// --- cross-process stitching for /debug/slow ---
+
+// Segments of the same trace recorded from remote callers, keyed by the
+// client span they hang under. A segment is grafted at most once (`used`)
+// so a malformed id cycle cannot recurse forever.
+struct StitchContext {
+  std::multimap<uint64_t, std::shared_ptr<const Trace>> segments;
+  std::set<const Trace*> used;
+};
+
+StitchContext CollectSegments(Tracer* tracer, const Trace& trace) {
+  StitchContext ctx;
+  for (const auto& member :
+       tracer->Family(trace.trace_hi(), trace.trace_lo())) {
+    if (member.get() == &trace) continue;
+    if (!member->IsSegment()) continue;
+    ctx.segments.emplace(member->parent_span_id(), member);
+  }
+  return ctx;
+}
+
+void StitchedNodeJson(const SpanNode& node, StitchContext* ctx, bool remote,
+                      std::string* out) {
+  char buf[96];
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(out, node.name);
+  *out += "\",\"span_id\":\"";
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(node.span_id));
+  *out += buf;
+  *out += '"';
+  if (remote) *out += ",\"remote\":true";
+  if (node.stage != Stage::kOther) {
+    *out += ",\"stage\":\"";
+    *out += StageName(node.stage);
+    *out += '"';
+  }
+  if (node.error) *out += ",\"error\":true";
+  if (!node.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += '"';
+      AppendJsonEscaped(out, node.attrs[i].first);
+      *out += "\":\"";
+      AppendJsonEscaped(out, node.attrs[i].second);
+      *out += '"';
+    }
+    *out += '}';
+  }
+  std::snprintf(buf, sizeof(buf), ",\"duration_ms\":%.6f,\"children\":[",
+                node.DurationMillis());
+  *out += buf;
+  bool first = true;
+  for (const auto& child : node.children) {
+    if (!first) *out += ',';
+    first = false;
+    StitchedNodeJson(*child, ctx, remote, out);
+  }
+  // Graft remote segments whose root hung under this span.
+  auto [begin, end] = ctx->segments.equal_range(node.span_id);
+  for (auto it = begin; it != end; ++it) {
+    const Trace* segment = it->second.get();
+    if (!ctx->used.insert(segment).second) continue;
+    if (!first) *out += ',';
+    first = false;
+    StitchedNodeJson(segment->root(), ctx, /*remote=*/true, out);
+  }
+  *out += "]}";
+}
+
+void StitchedNodeText(const SpanNode& node, StitchContext* ctx, bool remote,
+                      int depth, std::string* out) {
+  char buf[64];
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  *out += node.name;
+  std::snprintf(buf, sizeof(buf), "  %.3f ms", node.DurationMillis());
+  *out += buf;
+  if (remote) *out += " (remote)";
+  if (node.stage != Stage::kOther) {
+    *out += " [";
+    *out += StageName(node.stage);
+    *out += ']';
+  }
+  if (node.error) *out += " ERROR";
+  for (const auto& attr : node.attrs) {
+    *out += ' ';
+    *out += attr.first;
+    *out += '=';
+    *out += attr.second;
+  }
+  *out += '\n';
+  for (const auto& child : node.children) {
+    StitchedNodeText(*child, ctx, remote, depth + 1, out);
+  }
+  auto [begin, end] = ctx->segments.equal_range(node.span_id);
+  for (auto it = begin; it != end; ++it) {
+    const Trace* segment = it->second.get();
+    if (!ctx->used.insert(segment).second) continue;
+    StitchedNodeText(segment->root(), ctx, /*remote=*/true, depth + 1, out);
+  }
 }
 
 }  // namespace
@@ -83,7 +173,9 @@ std::string RenderPrometheusText(MetricsRegistry* registry) {
   std::string out;
   for (const FamilySnapshot& family : registry->Snapshot()) {
     if (!family.help.empty()) {
-      out += "# HELP " + family.name + " " + family.help + "\n";
+      out += "# HELP " + family.name + " ";
+      AppendPromHelpEscaped(&out, family.help);
+      out += "\n";
     }
     out += "# TYPE " + family.name + " " + KindName(family.kind) + "\n";
     for (const InstrumentSnapshot& inst : family.instruments) {
@@ -96,7 +188,14 @@ std::string RenderPrometheusText(MetricsRegistry* registry) {
           char buf[32];
           std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
           out += family.name + "_bucket" + LabelString(inst.labels, "le", le) +
-                 " " + buf + "\n";
+                 " " + buf;
+          if (i < inst.exemplars.size() &&
+              !inst.exemplars[i].trace_id.empty()) {
+            // OpenMetrics exemplar: link this bucket to a captured trace.
+            out += " # {trace_id=\"" + inst.exemplars[i].trace_id + "\"} " +
+                   FormatNumber(inst.exemplars[i].value);
+          }
+          out += "\n";
         }
         char buf[32];
         out += family.name + "_sum" + LabelString(inst.labels) + " " +
@@ -121,8 +220,11 @@ std::string RenderMetricsJson(MetricsRegistry* registry) {
   for (const FamilySnapshot& family : registry->Snapshot()) {
     if (!first_family) out += ',';
     first_family = false;
-    out += "{\"name\":\"" + family.name + "\",\"type\":\"" +
-           KindName(family.kind) + "\",\"metrics\":[";
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, family.name);
+    out += "\",\"type\":\"";
+    out += KindName(family.kind);
+    out += "\",\"metrics\":[";
     bool first_inst = true;
     for (const InstrumentSnapshot& inst : family.instruments) {
       if (!first_inst) out += ',';
@@ -132,8 +234,10 @@ std::string RenderMetricsJson(MetricsRegistry* registry) {
       for (const auto& [k, v] : inst.labels) {
         if (!first_label) out += ',';
         first_label = false;
-        out += "\"" + k + "\":\"";
-        AppendEscapedLabelValue(&out, v);
+        out += '"';
+        AppendJsonEscaped(&out, k);
+        out += "\":\"";
+        AppendJsonEscaped(&out, v);
         out += '"';
       }
       out += '}';
@@ -148,7 +252,15 @@ std::string RenderMetricsJson(MetricsRegistry* registry) {
           const std::string le =
               i < bounds.size() ? FormatNumber(bounds[i]) : "\"+Inf\"";
           std::snprintf(buf, sizeof(buf), "%" PRIu64, inst.buckets[i]);
-          out += "{\"le\":" + le + ",\"count\":" + buf + "}";
+          out += "{\"le\":" + le + ",\"count\":" + buf;
+          if (i < inst.exemplars.size() &&
+              !inst.exemplars[i].trace_id.empty()) {
+            out += ",\"exemplar\":{\"trace_id\":\"" +
+                   inst.exemplars[i].trace_id +
+                   "\",\"value\":" + FormatNumber(inst.exemplars[i].value) +
+                   "}";
+          }
+          out += "}";
         }
         out += ']';
       } else {
@@ -172,6 +284,64 @@ std::string RenderTracesJson(Tracer* tracer) {
     out += trace->ToJson();
   }
   out += "]";
+  return out;
+}
+
+std::string RenderSlowTracesJson(Tracer* tracer) {
+  if (tracer == nullptr) tracer = Tracer::Default();
+  std::string out = "{\"slow\":[";
+  bool first = true;
+  for (const auto& trace : tracer->SlowTraces()) {
+    if (trace->IsSegment()) continue;  // shown inline under their client span
+    if (!first) out += ',';
+    first = false;
+    StitchContext ctx = CollectSegments(tracer, *trace);
+    char buf[96];
+    out += "{\"trace_id\":\"" + trace->TraceId() + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"duration_ms\":%.6f,\"error\":%s,",
+                  trace->DurationMillis(), trace->error() ? "true" : "false");
+    out += buf;
+    out += "\"stages\":{";
+    const auto& stages = trace->StageMillis();
+    for (size_t i = 0; i < kStageCount; ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "\"%s\":%.6f",
+                    StageName(static_cast<Stage>(i)), stages[i]);
+      out += buf;
+    }
+    out += "},\"root\":";
+    StitchedNodeJson(trace->root(), &ctx, /*remote=*/false, &out);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderSlowTracesText(Tracer* tracer) {
+  if (tracer == nullptr) tracer = Tracer::Default();
+  std::string out;
+  size_t rank = 0;
+  for (const auto& trace : tracer->SlowTraces()) {
+    if (trace->IsSegment()) continue;
+    StitchContext ctx = CollectSegments(tracer, *trace);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "#%zu trace ", ++rank);
+    out += buf;
+    out += trace->TraceId();
+    std::snprintf(buf, sizeof(buf), "  %.3f ms%s\n", trace->DurationMillis(),
+                  trace->error() ? "  ERROR" : "");
+    out += buf;
+    out += "stages:";
+    const auto& stages = trace->StageMillis();
+    for (size_t i = 0; i < kStageCount; ++i) {
+      std::snprintf(buf, sizeof(buf), " %s=%.3f",
+                    StageName(static_cast<Stage>(i)), stages[i]);
+      out += buf;
+    }
+    out += '\n';
+    StitchedNodeText(trace->root(), &ctx, /*remote=*/false, 0, &out);
+  }
+  if (out.empty()) out = "no slow traces captured\n";
   return out;
 }
 

@@ -10,20 +10,31 @@ namespace dstore {
 namespace obs {
 
 // Renderers for scraping a running process. The HTTP glue that serves these
-// (`GET /metrics`, `/metrics.json`, `/traces`, `/healthz`) lives in
-// net/obs_endpoint.h; these functions only produce the bodies, so they are
-// also usable from CLIs and tests.
+// (`GET /metrics`, `/metrics.json`, `/traces`, `/debug/slow`, `/version`,
+// `/healthz`) lives in net/obs_endpoint.h; these functions only produce the
+// bodies, so they are also usable from CLIs and tests.
 
 // Prometheus text exposition format (v0.0.4): `# HELP` / `# TYPE` headers
 // per family, histograms as cumulative `_bucket{le=...}` series plus
-// `_sum` and `_count`. Runs the registry's collectors first.
+// `_sum` and `_count`. Buckets with a stamped exemplar carry it in
+// OpenMetrics syntax (` # {trace_id="..."} value`) so an outlier bucket
+// links to its captured trace. Runs the registry's collectors first.
 std::string RenderPrometheusText(MetricsRegistry* registry = nullptr);
 
 // Same data as JSON: {"families":[{"name":...,"type":...,"metrics":[...]}]}.
+// Histogram buckets with an exemplar carry {"exemplar":{"trace_id":...,
+// "value":...}}.
 std::string RenderMetricsJson(MetricsRegistry* registry = nullptr);
 
 // Recently finished traces as a JSON array (newest last).
 std::string RenderTracesJson(Tracer* tracer = nullptr);
+
+// The tracer's slow/error ring (worst first) with cross-process stitching:
+// segments recorded from remote callers (same trace id) are grafted under
+// the client span they hung from, so one entry shows the full
+// client -> shard -> server tree. {"slow":[...]} / an indented text report.
+std::string RenderSlowTracesJson(Tracer* tracer = nullptr);
+std::string RenderSlowTracesText(Tracer* tracer = nullptr);
 
 }  // namespace obs
 }  // namespace dstore

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/build_info.h"
+#include "obs/trace.h"
+
 namespace dstore {
 namespace obs {
 
@@ -43,7 +46,9 @@ const std::vector<double>& Histogram::BucketBounds() {
   return bounds;
 }
 
-Histogram::Histogram() : buckets_(BucketBounds().size() + 1) {}
+Histogram::Histogram()
+    : buckets_(BucketBounds().size() + 1),
+      exemplars_(BucketBounds().size() + 1) {}
 
 size_t Histogram::BucketIndex(double value) {
   const std::vector<double>& bounds = BucketBounds();
@@ -61,11 +66,20 @@ double Histogram::BucketWidthFor(double value) {
 }
 
 void Histogram::Record(double value) {
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  const size_t index = BucketIndex(value);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + value,
                                      std::memory_order_relaxed)) {
+  }
+  // Stamp the bucket's exemplar when a sampled trace is recording on this
+  // thread (two thread-local loads when there is none — the common case).
+  const TraceContext ctx = CurrentTraceContext();
+  if (ctx.valid() && ctx.sampled) {
+    MutexLock lock(exemplar_mu_);
+    exemplars_[index].value = value;
+    exemplars_[index].trace_id = ctx.TraceId();
   }
 }
 
@@ -80,6 +94,11 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return counts;
+}
+
+std::vector<HistogramExemplar> Histogram::Exemplars() const {
+  MutexLock lock(exemplar_mu_);
+  return exemplars_;
 }
 
 double Histogram::Percentile(double p) const {
@@ -139,6 +158,7 @@ MetricsRegistry* MetricsRegistry::Default() {
                       "lock-order graph (potential deadlocks)"),
         std::memory_order_release);
     sync::SetLockOrderViolationHook(&CountLockOrderViolation);
+    RegisterBuildInfo(r);
     return r;
   }();
   return registry;
@@ -263,6 +283,7 @@ std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::Snapshot()
       inst.buckets = entry.second->BucketCounts();
       inst.count = entry.second->Count();
       inst.sum = entry.second->Sum();
+      inst.exemplars = entry.second->Exemplars();
       snapshot.instruments.push_back(std::move(inst));
     }
     out.push_back(std::move(snapshot));

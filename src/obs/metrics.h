@@ -60,12 +60,26 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+// A recent observation attached to one histogram bucket, linking the bucket
+// to the trace that produced it (OpenMetrics "exemplar"): a p999 outlier in
+// dstore_op_latency_ms resolves directly to its captured trace. An empty
+// trace_id means the bucket has no exemplar yet.
+struct HistogramExemplar {
+  double value = 0;
+  std::string trace_id;  // 32 lowercase hex chars
+};
+
 // Latency histogram with log-linear buckets: each power of ten is divided
 // into 9 linear steps (1,2,...,9 x 10^k), spanning 1 microsecond to 10
 // seconds when values are in milliseconds. Record() is two relaxed atomic
 // adds plus a small binary search; percentiles are interpolated inside the
 // owning bucket, so they are accurate to one bucket width without keeping
 // raw samples (unlike PerformanceMonitor's bounded recent window).
+//
+// When a sampled trace is active on the recording thread, Record()
+// additionally stamps the owning bucket's exemplar with that trace id
+// (last write wins). The check is two thread-local loads, so unsampled
+// requests pay nothing beyond the atomic adds.
 class Histogram {
  public:
   void Record(double value);
@@ -86,6 +100,10 @@ class Histogram {
   // Per-bucket counts (size = BucketBounds().size() + 1, last is overflow).
   std::vector<uint64_t> BucketCounts() const;
 
+  // Per-bucket exemplars, same indexing as BucketCounts(); entries with an
+  // empty trace_id have never been stamped.
+  std::vector<HistogramExemplar> Exemplars() const;
+
  private:
   friend class MetricsRegistry;
   Histogram();
@@ -95,6 +113,8 @@ class Histogram {
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0};
+  mutable Mutex exemplar_mu_;
+  std::vector<HistogramExemplar> exemplars_ GUARDED_BY(exemplar_mu_);
 };
 
 // Registry of metric families. A family is (name, type, help); each family
@@ -132,6 +152,7 @@ class MetricsRegistry {
     std::vector<uint64_t> buckets;   // histogram (non-cumulative)
     uint64_t count = 0;              // histogram
     double sum = 0;                  // histogram
+    std::vector<HistogramExemplar> exemplars;  // histogram, per bucket
   };
   struct FamilySnapshot {
     std::string name;

@@ -1,47 +1,179 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+
+#include "common/hash.h"
+#include "obs/escape.h"
+#include "obs/metrics.h"
 
 namespace dstore {
 namespace obs {
+
+namespace internal {
+
+// The live identity of a trace in progress, shared between the rooting
+// thread and any workers parenting spans through a TraceHandle. Worker
+// subtrees park in `adopted` until the root span ends and folds them in.
+struct ActiveTraceState {
+  Tracer* tracer = nullptr;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  bool head_sampled = false;
+
+  Mutex mu;
+  std::vector<std::unique_ptr<SpanNode>> adopted GUARDED_BY(mu);
+};
+
+}  // namespace internal
 
 namespace {
 
 // Per-thread active trace: the tree under construction and the chain of
 // open spans. One active trace per thread at a time; spans from any layer
-// attach to it without plumbing.
+// attach to it without plumbing. `suppress_depth` > 0 means the current
+// request's root was not sampled: every span opened until it unwinds is a
+// no-op, so an unsampled request can never shed stray single-span traces.
 struct ThreadTraceState {
-  Tracer* tracer = nullptr;
+  std::shared_ptr<internal::ActiveTraceState> active;
   std::unique_ptr<SpanNode> root;
   std::vector<SpanNode*> open;
+  bool detached = false;
+  int suppress_depth = 0;
 };
 
 thread_local ThreadTraceState t_trace;
 
-void AppendJsonEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      default:
-        *out += c;
+// Ids must be unique across the processes of one deployment — client and
+// server both mint span ids into the same trace — so the counter is offset
+// by a per-process seed (startup nanos + ASLR'd stack address) before the
+// full-avalanche mix.
+uint64_t IdSeed() {
+  static const uint64_t seed = [] {
+    uint64_t s = static_cast<uint64_t>(RealClock::Default()->NowNanos());
+    s ^= Mix64(reinterpret_cast<uintptr_t>(&s));
+    return Mix64(s);
+  }();
+  return seed;
+}
+
+uint64_t NextId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id =
+      Mix64(IdSeed() + counter.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+bool ParseHex(const char* s, size_t n, uint64_t* out) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const char c = s[i];
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return false;
     }
+    v = (v << 4) | static_cast<uint64_t>(d);
   }
+  *out = v;
+  return true;
+}
+
+size_t CountNodes(const SpanNode& node) {
+  size_t n = 1;
+  for (const auto& child : node.children) n += CountNodes(*child);
+  return n;
+}
+
+// Exclusive-time stage rollup: a span's self-time (duration minus the sum
+// of its children's durations, clamped at zero for overlapping clocks) is
+// attributed to its own stage, else to the nearest tagged ancestor, else
+// kOther. Also folds the error flags up.
+void AccumulateStages(const SpanNode& node, Stage inherited,
+                      std::array<double, kStageCount>* stages, bool* error) {
+  const Stage stage = node.stage != Stage::kOther ? node.stage : inherited;
+  if (node.error) *error = true;
+  double child_ms = 0;
+  for (const auto& child : node.children) {
+    child_ms += child->DurationMillis();
+    AccumulateStages(*child, stage, stages, error);
+  }
+  double self_ms = node.DurationMillis() - child_ms;
+  if (self_ms < 0) self_ms = 0;
+  (*stages)[static_cast<size_t>(stage)] += self_ms;
+}
+
+SpanNode* FindNode(SpanNode* node, uint64_t span_id) {
+  if (node->span_id == span_id) return node;
+  for (auto& child : node->children) {
+    if (SpanNode* hit = FindNode(child.get(), span_id)) return hit;
+  }
+  return nullptr;
+}
+
+const std::string* FindAttr(const SpanNode& node, const std::string& key) {
+  for (const auto& attr : node.attrs) {
+    if (attr.first == key) return &attr.second;
+  }
+  for (const auto& child : node.children) {
+    if (const std::string* hit = FindAttr(*child, key)) return hit;
+  }
+  return nullptr;
+}
+
+void AppendStagesJson(const std::array<double, kStageCount>& stages,
+                      std::string* out) {
+  *out += '{';
+  char buf[64];
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (i > 0) *out += ',';
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.6f",
+                  StageName(static_cast<Stage>(i)), stages[i]);
+    *out += buf;
+  }
+  *out += '}';
 }
 
 void NodeToJson(const SpanNode& node, std::string* out) {
   char buf[96];
   *out += "{\"name\":\"";
   AppendJsonEscaped(out, node.name);
+  *out += "\",\"span_id\":\"";
+  AppendHex64(out, node.span_id);
+  *out += '"';
+  if (node.stage != Stage::kOther) {
+    *out += ",\"stage\":\"";
+    *out += StageName(node.stage);
+    *out += '"';
+  }
+  if (node.error) *out += ",\"error\":true";
+  if (!node.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += '"';
+      AppendJsonEscaped(out, node.attrs[i].first);
+      *out += "\":\"";
+      AppendJsonEscaped(out, node.attrs[i].second);
+      *out += '"';
+    }
+    *out += '}';
+  }
   std::snprintf(buf, sizeof(buf),
-                "\",\"start_nanos\":%lld,\"duration_ms\":%.6f,\"children\":[",
+                ",\"start_nanos\":%lld,\"duration_ms\":%.6f,\"children\":[",
                 static_cast<long long>(node.start_nanos),
                 node.DurationMillis());
   *out += buf;
@@ -56,71 +188,296 @@ void NodeToText(const SpanNode& node, int depth, std::string* out) {
   char buf[64];
   for (int i = 0; i < depth; ++i) *out += "  ";
   *out += node.name;
-  std::snprintf(buf, sizeof(buf), "  %.3f ms\n", node.DurationMillis());
+  std::snprintf(buf, sizeof(buf), "  %.3f ms", node.DurationMillis());
   *out += buf;
+  if (node.stage != Stage::kOther) {
+    *out += " [";
+    *out += StageName(node.stage);
+    *out += ']';
+  }
+  if (node.error) *out += " ERROR";
+  for (const auto& attr : node.attrs) {
+    *out += ' ';
+    *out += attr.first;
+    *out += '=';
+    *out += attr.second;
+  }
+  *out += '\n';
   for (const auto& child : node.children) {
     NodeToText(*child, depth + 1, out);
   }
 }
 
-size_t CountNodes(const SpanNode& node) {
-  size_t n = 1;
-  for (const auto& child : node.children) n += CountNodes(*child);
-  return n;
-}
-
 }  // namespace
 
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kAdmit:
+      return "admit";
+    case Stage::kNetwork:
+      return "network";
+    case Stage::kBackend:
+      return "backend";
+    case Stage::kTransform:
+      return "transform";
+    case Stage::kOther:
+      break;
+  }
+  return "other";
+}
+
+// --- TraceContext ---
+
+std::string TraceContext::TraceId() const {
+  std::string out;
+  AppendHex64(&out, trace_hi);
+  AppendHex64(&out, trace_lo);
+  return out;
+}
+
+std::string TraceContext::ToHeader() const {
+  std::string out = TraceId();
+  out += '-';
+  AppendHex64(&out, span_id);
+  out += sampled ? "-01" : "-00";
+  return out;
+}
+
+std::optional<TraceContext> ParseTraceContext(const std::string& header) {
+  // "<32 hex>-<16 hex>-<2 hex>": exactly 52 bytes. Anything else — too
+  // short, oversized, wrong separators, non-hex — is ignored.
+  if (header.size() != 52 || header[32] != '-' || header[49] != '-') {
+    return std::nullopt;
+  }
+  TraceContext ctx;
+  uint64_t flags = 0;
+  if (!ParseHex(header.data(), 16, &ctx.trace_hi) ||
+      !ParseHex(header.data() + 16, 16, &ctx.trace_lo) ||
+      !ParseHex(header.data() + 33, 16, &ctx.span_id) ||
+      !ParseHex(header.data() + 50, 2, &flags)) {
+    return std::nullopt;
+  }
+  ctx.sampled = (flags & 1) != 0;
+  // All-zero trace or span ids carry no identity worth continuing.
+  if (!ctx.valid() || ctx.span_id == 0) return std::nullopt;
+  return ctx;
+}
+
 // --- Trace ---
+
+Trace::Trace(std::unique_ptr<SpanNode> root, uint64_t trace_hi,
+             uint64_t trace_lo)
+    : root_(std::move(root)), trace_hi_(trace_hi), trace_lo_(trace_lo) {
+  AccumulateStages(*root_, Stage::kOther, &stage_millis_, &error_);
+}
+
+std::string Trace::TraceId() const {
+  std::string out;
+  AppendHex64(&out, trace_hi_);
+  AppendHex64(&out, trace_lo_);
+  return out;
+}
 
 size_t Trace::SpanCount() const { return CountNodes(*root_); }
 
 std::string Trace::ToText() const {
-  std::string out;
+  std::string out = "trace ";
+  out += TraceId();
+  if (IsSegment()) {
+    out += "  under span ";
+    AppendHex64(&out, parent_span_id());
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  %.3f ms%s\n", DurationMillis(),
+                error_ ? "  ERROR" : "");
+  out += buf;
+  out += "stages:";
+  for (size_t i = 0; i < kStageCount; ++i) {
+    std::snprintf(buf, sizeof(buf), " %s=%.3f",
+                  StageName(static_cast<Stage>(i)), stage_millis_[i]);
+    out += buf;
+  }
+  out += '\n';
   NodeToText(*root_, 0, &out);
   return out;
 }
 
 std::string Trace::ToJson() const {
-  std::string out;
+  std::string out = "{\"trace_id\":\"";
+  out += TraceId();
+  out += '"';
+  if (IsSegment()) {
+    out += ",\"parent_span_id\":\"";
+    AppendHex64(&out, parent_span_id());
+    out += '"';
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"duration_ms\":%.6f,\"error\":%s,",
+                DurationMillis(), error_ ? "true" : "false");
+  out += buf;
+  out += "\"stages\":";
+  AppendStagesJson(stage_millis_, &out);
+  out += ",\"root\":";
   NodeToJson(*root_, &out);
+  out += '}';
   return out;
+}
+
+std::string Trace::ToWideEventJson() const {
+  std::string out = "{\"event\":\"trace\",\"trace_id\":\"";
+  out += TraceId();
+  out += "\",\"span_id\":\"";
+  AppendHex64(&out, root_->span_id);
+  out += '"';
+  if (IsSegment()) {
+    out += ",\"parent_span_id\":\"";
+    AppendHex64(&out, parent_span_id());
+    out += '"';
+  }
+  out += ",\"op\":\"";
+  AppendJsonEscaped(&out, root_->name);
+  out += '"';
+  if (const std::string* status = FindAttr(*root_, "status")) {
+    out += ",\"status\":\"";
+    AppendJsonEscaped(&out, *status);
+    out += '"';
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"duration_ms\":%.6f,\"error\":%s,\"spans\":%zu,",
+                DurationMillis(), error_ ? "true" : "false", SpanCount());
+  out += buf;
+  out += "\"stages\":";
+  AppendStagesJson(stage_millis_, &out);
+  out += '}';
+  return out;
+}
+
+// --- TraceHandle ---
+
+TraceHandle::TraceHandle() = default;
+TraceHandle::~TraceHandle() = default;
+TraceHandle::TraceHandle(const TraceHandle&) = default;
+TraceHandle& TraceHandle::operator=(const TraceHandle&) = default;
+
+TraceContext TraceHandle::context() const {
+  if (state_ == nullptr) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_hi = state_->trace_hi;
+  ctx.trace_lo = state_->trace_lo;
+  ctx.span_id = span_id_;
+  ctx.sampled = state_->head_sampled;
+  return ctx;
+}
+
+TraceContext CurrentTraceContext() {
+  ThreadTraceState& t = t_trace;
+  if (t.active == nullptr || t.open.empty()) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_hi = t.active->trace_hi;
+  ctx.trace_lo = t.active->trace_lo;
+  ctx.span_id = t.open.back()->span_id;
+  ctx.sampled = t.active->head_sampled;
+  return ctx;
+}
+
+TraceHandle CurrentTraceHandle() {
+  ThreadTraceState& t = t_trace;
+  TraceHandle handle;
+  if (t.active == nullptr || t.open.empty()) return handle;
+  handle.state_ = t.active;
+  handle.span_id_ = t.open.back()->span_id;
+  return handle;
 }
 
 // --- Tracer ---
 
-Tracer::Tracer(const Clock* clock, size_t keep)
-    : clock_(clock != nullptr ? clock : RealClock::Default()), keep_(keep) {}
+Tracer::Tracer(const Clock* clock, size_t keep, MetricsRegistry* registry)
+    : clock_(clock != nullptr ? clock : RealClock::Default()),
+      keep_(keep),
+      keep_segments_(keep * 4 > 64 ? keep * 4 : 64),
+      registry_(registry) {
+  if (registry_ != nullptr) {
+    MutexLock lock(mu_);
+    obs_rate_ = registry_->GetGauge(
+        "dstore_trace_sample_rate", {},
+        "Configured head-sampling rate of the tracer, clamped to [0,1].");
+    obs_rate_->Set(0);
+  }
+}
 
 Tracer* Tracer::Default() {
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = new Tracer(nullptr, 16, MetricsRegistry::Default());
   return tracer;
 }
 
 void Tracer::SetSampleRate(double rate) {
-  if (rate < 0) rate = 0;
+  if (!(rate > 0)) rate = 0;  // negatives and NaN both mean "off"
   if (rate > 1) rate = 1;
   rate_.store(rate, std::memory_order_relaxed);
-}
-
-bool Tracer::ShouldSample() {
-  const double rate = rate_.load(std::memory_order_relaxed);
-  if (rate <= 0) return false;
-  MutexLock lock(mu_);
-  credit_ += rate;
-  if (credit_ >= 1.0) {
-    credit_ -= 1.0;
-    return true;
+  uint64_t period = 0;
+  if (rate > 0) {
+    period = static_cast<uint64_t>(std::llround(1.0 / rate));
+    if (period < 1) period = 1;
   }
-  return false;
+  sample_period_.store(period, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  if (obs_rate_ != nullptr) obs_rate_->Set(rate);
 }
 
-void Tracer::Finish(std::unique_ptr<SpanNode> root) {
-  auto trace = std::shared_ptr<const Trace>(new Trace(std::move(root)));
+bool Tracer::HeadSample() {
+  const uint64_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period == 0) return false;
+  return sample_counter_.fetch_add(1, std::memory_order_relaxed) % period == 0;
+}
+
+void Tracer::EnableSlowCapture(const SlowCaptureOptions& options) {
   MutexLock lock(mu_);
-  ++finished_;
-  recent_.push_back(std::move(trace));
-  while (recent_.size() > keep_) recent_.pop_front();
+  slow_options_ = options;
+  if (slow_options_.keep == 0) slow_options_.keep = 1;
+  tail_enabled_.store(true, std::memory_order_relaxed);
+  tail_capture_unsampled_.store(options.capture_unsampled,
+                                std::memory_order_relaxed);
+}
+
+void Tracer::DisableSlowCapture() {
+  tail_enabled_.store(false, std::memory_order_relaxed);
+  tail_capture_unsampled_.store(false, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  slow_.clear();
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::SlowTraces() const {
+  MutexLock lock(mu_);
+  // slow_ is kept ascending by (error, duration); report worst first.
+  return std::vector<std::shared_ptr<const Trace>>(slow_.rbegin(),
+                                                   slow_.rend());
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::Family(
+    uint64_t trace_hi, uint64_t trace_lo) const {
+  std::vector<std::shared_ptr<const Trace>> out;
+  MutexLock lock(mu_);
+  auto add = [&](const std::shared_ptr<const Trace>& trace) {
+    if (trace->trace_hi() != trace_hi || trace->trace_lo() != trace_lo) {
+      return;
+    }
+    for (const auto& have : out) {
+      if (have.get() == trace.get()) return;  // in more than one ring
+    }
+    out.push_back(trace);
+  };
+  for (const auto& trace : recent_) add(trace);
+  for (const auto& trace : segments_) add(trace);
+  for (const auto& trace : slow_) add(trace);
+  return out;
+}
+
+void Tracer::SetWideEventSink(std::function<void(const std::string&)> sink) {
+  MutexLock lock(mu_);
+  wide_sink_ = std::move(sink);
 }
 
 std::vector<std::shared_ptr<const Trace>> Tracer::RecentTraces() const {
@@ -139,53 +496,270 @@ uint64_t Tracer::TraceCount() const {
   return finished_;
 }
 
+void Tracer::Finish(std::unique_ptr<SpanNode> root,
+                    std::shared_ptr<internal::ActiveTraceState> state) {
+  // Fold in subtrees recorded by worker threads, oldest first so a nested
+  // fan-out finds its (earlier-started) parent subtree already attached.
+  {
+    std::vector<std::unique_ptr<SpanNode>> adopted;
+    {
+      MutexLock lock(state->mu);
+      adopted.swap(state->adopted);
+    }
+    std::sort(adopted.begin(), adopted.end(),
+              [](const std::unique_ptr<SpanNode>& a,
+                 const std::unique_ptr<SpanNode>& b) {
+                if (a->start_nanos != b->start_nanos) {
+                  return a->start_nanos < b->start_nanos;
+                }
+                if (a->name != b->name) return a->name < b->name;
+                return a->span_id < b->span_id;
+              });
+    for (auto& sub : adopted) {
+      SpanNode* parent = FindNode(root.get(), sub->parent_span_id);
+      if (parent == nullptr) parent = root.get();
+      parent->children.push_back(std::move(sub));
+    }
+  }
+
+  const bool segment = root->parent_span_id != 0;
+  auto trace = std::shared_ptr<const Trace>(
+      new Trace(std::move(root), state->trace_hi, state->trace_lo));
+
+  bool published = false;
+  std::function<void(const std::string&)> sink;
+  {
+    MutexLock lock(mu_);
+    if (segment) {
+      segments_.push_back(trace);
+      while (segments_.size() > keep_segments_) segments_.pop_front();
+      published = true;
+    } else if (state->head_sampled) {
+      ++finished_;
+      recent_.push_back(trace);
+      while (recent_.size() > keep_) recent_.pop_front();
+      published = true;
+    }
+    if (tail_enabled_.load(std::memory_order_relaxed) &&
+        (trace->error() ||
+         trace->DurationMillis() >= slow_options_.threshold_ms)) {
+      slow_.push_back(trace);
+      std::sort(slow_.begin(), slow_.end(),
+                [](const std::shared_ptr<const Trace>& a,
+                   const std::shared_ptr<const Trace>& b) {
+                  if (a->error() != b->error()) return b->error();
+                  return a->DurationMillis() < b->DurationMillis();
+                });
+      if (slow_.size() > slow_options_.keep) slow_.erase(slow_.begin());
+      published = true;
+    }
+    if (published) sink = wide_sink_;
+  }
+
+  if (!published) return;  // speculative tail capture that stayed fast
+  PublishStageMetrics(*trace);
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("dstore_traces_finished_total",
+                     {{"kind", segment ? "segment" : "root"}},
+                     "Traces published to the recent/slow/segment rings.")
+        ->Increment();
+  }
+  if (sink) sink(trace->ToWideEventJson());
+}
+
+void Tracer::PublishStageMetrics(const Trace& trace) {
+  if (registry_ == nullptr) return;
+  std::array<Histogram*, kStageCount> stage_hist;
+  {
+    MutexLock lock(mu_);
+    for (size_t i = 0; i < kStageCount; ++i) {
+      if (obs_stage_[i] == nullptr) {
+        obs_stage_[i] = registry_->GetHistogram(
+            "dstore_stage_latency_ms",
+            {{"stage", StageName(static_cast<Stage>(i))}},
+            "Exclusive per-trace milliseconds attributed to each stage.");
+      }
+      stage_hist[i] = obs_stage_[i];
+    }
+  }
+  const std::array<double, kStageCount>& millis = trace.StageMillis();
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (millis[i] > 0) stage_hist[i]->Record(millis[i]);
+  }
+}
+
 // --- Span ---
 
 Span::Span(std::string name, Tracer* tracer, bool force_sample) {
-  if (!t_trace.open.empty()) {
+  Options options;
+  options.tracer = tracer;
+  options.force_sample = force_sample;
+  Init(std::move(name), options);
+}
+
+Span::Span(std::string name, Stage stage) {
+  Options options;
+  options.stage = stage;
+  Init(std::move(name), options);
+}
+
+Span::Span(std::string name, const Options& options) {
+  Init(std::move(name), options);
+}
+
+void Span::Init(std::string name, const Options& options) {
+  ThreadTraceState& t = t_trace;
+  if (!t.open.empty()) {
     // Child of the active span, whatever tracer started the trace.
-    tracer_ = t_trace.tracer;
+    tracer_ = t.active->tracer;
     auto node = std::make_unique<SpanNode>();
     node->name = std::move(name);
+    node->span_id = NextId();
+    node->parent_span_id = t.open.back()->span_id;
+    node->stage = options.stage;
     node->start_nanos = tracer_->clock()->NowNanos();
     node_ = node.get();
-    t_trace.open.back()->children.push_back(std::move(node));
-    t_trace.open.push_back(node_);
+    t.open.back()->children.push_back(std::move(node));
+    t.open.push_back(node_);
     return;
   }
 
-  Tracer* chosen = tracer != nullptr ? tracer : Tracer::Default();
-  if (!force_sample && !chosen->ShouldSample()) return;  // not recorded
+  if (t.suppress_depth > 0) {
+    // Under an unsampled root: stay a no-op, keep the depth symmetric.
+    ++t.suppress_depth;
+    suppressing_ = true;
+    return;
+  }
+
+  if (options.parent != nullptr) {
+    // Root of a detached subtree on a worker thread; adopted by the parent
+    // trace when its root ends.
+    if (!options.parent->valid()) {
+      t.suppress_depth = 1;
+      suppressing_ = true;
+      return;
+    }
+    std::shared_ptr<internal::ActiveTraceState> state = options.parent->state_;
+    tracer_ = state->tracer;
+    root_ = true;
+    detached_ = true;
+    auto node = std::make_unique<SpanNode>();
+    node->name = std::move(name);
+    node->span_id = NextId();
+    node->parent_span_id = options.parent->span_id_;
+    node->stage = options.stage;
+    node->start_nanos = tracer_->clock()->NowNanos();
+    node_ = node.get();
+    t.active = std::move(state);
+    t.root = std::move(node);
+    t.open.push_back(node_);
+    t.detached = true;
+    return;
+  }
+
+  Tracer* chosen =
+      options.tracer != nullptr ? options.tracer : Tracer::Default();
+
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t parent_span = 0;
+  bool head_sampled = false;
+  if (options.remote_parent != nullptr) {
+    // Continue a wire context: record a segment of the caller's trace. An
+    // unsampled context means the caller is not recording — neither do we.
+    const TraceContext& ctx = *options.remote_parent;
+    if (!ctx.valid() || !ctx.sampled) {
+      t.suppress_depth = 1;
+      suppressing_ = true;
+      return;
+    }
+    trace_hi = ctx.trace_hi;
+    trace_lo = ctx.trace_lo;
+    parent_span = ctx.span_id;
+    head_sampled = true;
+  } else {
+    head_sampled = options.force_sample || chosen->HeadSample();
+    if (!head_sampled && !chosen->TailArmed()) {
+      // Not recorded — and neither is anything beneath this root, so inner
+      // layers cannot shed stray single-span traces of their own.
+      t.suppress_depth = 1;
+      suppressing_ = true;
+      return;
+    }
+    trace_hi = NextId();
+    trace_lo = NextId();
+  }
 
   tracer_ = chosen;
   root_ = true;
+  auto state = std::make_shared<internal::ActiveTraceState>();
+  state->tracer = chosen;
+  state->trace_hi = trace_hi;
+  state->trace_lo = trace_lo;
+  state->head_sampled = head_sampled;
   auto node = std::make_unique<SpanNode>();
   node->name = std::move(name);
-  node->start_nanos = tracer_->clock()->NowNanos();
+  node->span_id = NextId();
+  node->parent_span_id = parent_span;
+  node->stage = options.stage;
+  node->start_nanos = chosen->clock()->NowNanos();
   node_ = node.get();
-  t_trace.tracer = tracer_;
-  t_trace.root = std::move(node);
-  t_trace.open.push_back(node_);
+  t.active = std::move(state);
+  t.root = std::move(node);
+  t.open.push_back(node_);
+  t.detached = false;
 }
 
 void Span::End() {
+  ThreadTraceState& t = t_trace;
+  if (suppressing_) {
+    suppressing_ = false;
+    if (t.suppress_depth > 0) --t.suppress_depth;
+    return;
+  }
   if (node_ == nullptr) return;
   node_->end_nanos = tracer_->clock()->NowNanos();
   // Close any children left open (ended out of order or leaked): they end
   // with this span.
-  while (!t_trace.open.empty() && t_trace.open.back() != node_) {
-    t_trace.open.back()->end_nanos = node_->end_nanos;
-    t_trace.open.pop_back();
+  while (!t.open.empty() && t.open.back() != node_) {
+    t.open.back()->end_nanos = node_->end_nanos;
+    t.open.pop_back();
   }
-  if (!t_trace.open.empty()) t_trace.open.pop_back();
+  if (!t.open.empty()) t.open.pop_back();
   node_ = nullptr;
-  if (root_) {
-    t_trace.open.clear();
-    std::unique_ptr<SpanNode> root = std::move(t_trace.root);
-    Tracer* tracer = tracer_;
-    t_trace.tracer = nullptr;
-    if (root != nullptr) tracer->Finish(std::move(root));
+  if (!root_) return;
+
+  std::unique_ptr<SpanNode> root = std::move(t.root);
+  std::shared_ptr<internal::ActiveTraceState> state = std::move(t.active);
+  t.open.clear();
+  t.detached = false;
+  if (root == nullptr || state == nullptr) return;
+  if (detached_) {
+    // Park the finished subtree for the owning root to adopt. If that root
+    // already finished (worker outlived it), the subtree is dropped.
+    MutexLock lock(state->mu);
+    state->adopted.push_back(std::move(root));
+    return;
   }
+  state->tracer->Finish(std::move(root), std::move(state));
+}
+
+void Span::SetAttribute(const std::string& key, std::string value) {
+  if (node_ == nullptr) return;
+  node_->attrs.emplace_back(key, std::move(value));
+}
+
+void Span::SetStatus(const Status& status) {
+  if (node_ == nullptr) return;
+  node_->attrs.emplace_back("status",
+                            std::string(StatusCodeToString(status.code())));
+  if (!status.ok() && !status.IsNotFound()) node_->error = true;
+}
+
+void Span::MarkError() {
+  if (node_ == nullptr) return;
+  node_->error = true;
 }
 
 }  // namespace obs

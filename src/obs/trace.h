@@ -1,39 +1,107 @@
 #ifndef DSTORE_OBS_TRACE_H_
 #define DSTORE_OBS_TRACE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/status.h"
 #include "common/sync.h"
 
 namespace dstore {
 namespace obs {
 
-// Request-scoped tracing for the layered Get/Put path: one sampled cloud
-// read yields a tree like
+class MetricsRegistry;
+
+// Request-scoped, identity-carrying tracing for the layered Get/Put path:
+// one sampled cloud read yields a tree like
 //
-//   get
+//   get                                  trace 4f1c...9a  span 7be2...
 //   +- cache.lookup
 //   +- base.get
-//   |  +- http.roundtrip
-//   +- transform.decode
+//   |  +- http.roundtrip                 [network]
+//   +- transform.decode                  [transform]
 //
-// with per-layer timings. Layers open a Span (RAII) around their work;
-// spans started while another span is active on the same thread become its
-// children, so no context has to be threaded through the KeyValueStore
-// interface. Only root spans consult the sampling rate; when a root is not
-// sampled, every span under it is a no-op (two thread-local loads).
+// with per-layer timings, a 128-bit trace id shared by every span of the
+// request, a 64-bit span id per span, and a stage tag used for latency
+// attribution (where did each millisecond go: queue / admit / network /
+// backend / transform).
+//
+// Layers open a Span (RAII) around their work; spans started while another
+// span is active on the same thread become its children, so no context has
+// to be threaded through the KeyValueStore interface. Three escapes carry a
+// trace across boundaries the thread-local chain cannot:
+//
+//  * the wire: CurrentTraceContext() serializes as the `x-dstore-trace`
+//    header; a server parses it back and opens its root span with
+//    Span::Options::remote_parent, producing a *segment* — a trace that
+//    remembers which foreign span it hangs under. Exposition stitches
+//    segments sharing a trace id into one cross-process tree.
+//  * thread pools: CurrentTraceHandle() captures the live trace; a worker
+//    opens a span with Span::Options::parent and the finished subtree is
+//    adopted back into the parent trace when the root ends (how
+//    ShardedStore's scatter-gather fan-out stays one trace).
+//  * tail sampling: with slow-capture enabled the tracer records even
+//    head-unsampled roots speculatively and keeps only the slowest and
+//    error traces, so the p999 outlier is captured regardless of the head
+//    sampling rate.
+//
+// Only root spans consult the sampling rate; when a root is not sampled,
+// every span under it is a no-op (a thread-local depth counter).
+
+// Latency-attribution stage of a span. kOther both tags untagged work and
+// absorbs a span's self-time when no tagged ancestor exists.
+enum class Stage : uint8_t {
+  kOther = 0,
+  kQueue,      // server admission queue wait
+  kAdmit,      // client-side admission decorators (limiter, breaker)
+  kNetwork,    // wire time: round trips, simulated WAN delay
+  kBackend,    // the authoritative store doing the work
+  kTransform,  // encode/decode: compression, encryption, delta
+};
+inline constexpr size_t kStageCount = 6;
+const char* StageName(Stage stage);
+
+// Name of the HTTP header that carries the trace context across processes.
+inline constexpr char kTraceHeaderName[] = "x-dstore-trace";
+
+// The portable identity of an in-flight trace: enough to continue it on
+// another thread or another process. Wire form (ToHeader/Parse):
+// "<32 hex trace id>-<16 hex span id>-<2 hex flags>", flags bit 0 = sampled.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;  // the span this context points at (parent-to-be)
+  bool sampled = false;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  std::string TraceId() const;  // 32 lowercase hex chars
+  std::string ToHeader() const;
+};
+
+// Parses an `x-dstore-trace` header value. Returns nullopt for anything
+// malformed or oversized — a hostile or corrupt header must never crash the
+// server, it is simply ignored and the request runs untraced.
+std::optional<TraceContext> ParseTraceContext(const std::string& header);
 
 // One timed node in a finished trace.
 struct SpanNode {
   std::string name;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 for the local root
+  Stage stage = Stage::kOther;
+  bool error = false;
   int64_t start_nanos = 0;
   int64_t end_nanos = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
   std::vector<std::unique_ptr<SpanNode>> children;
 
   double DurationMillis() const {
@@ -41,74 +109,206 @@ struct SpanNode {
   }
 };
 
-// A finished trace: the tree under one sampled root span.
+// A finished trace: the tree under one sampled root span. A trace whose
+// root has a nonzero parent_span_id() is a *segment* — the server-side part
+// of a cross-process trace, stitched under the client span with that id.
 class Trace {
  public:
   const SpanNode& root() const { return *root_; }
 
+  uint64_t trace_hi() const { return trace_hi_; }
+  uint64_t trace_lo() const { return trace_lo_; }
+  std::string TraceId() const;
+  // The foreign span this segment hangs under; 0 for a locally rooted trace.
+  uint64_t parent_span_id() const { return root_->parent_span_id; }
+  bool IsSegment() const { return parent_span_id() != 0; }
+
+  double DurationMillis() const { return root_->DurationMillis(); }
+  // True if any span in the tree recorded an error status.
+  bool error() const { return error_; }
+
   // Total spans in the tree.
   size_t SpanCount() const;
 
+  // Exclusive (self-time) milliseconds attributed to each stage; a span's
+  // self-time goes to its own stage, or to the nearest tagged ancestor, or
+  // to kOther. For a sequential trace the entries sum to the root duration.
+  const std::array<double, kStageCount>& StageMillis() const {
+    return stage_millis_;
+  }
+
   // Indented tree with millisecond durations, for humans.
   std::string ToText() const;
-  // {"name":...,"start_nanos":...,"duration_ms":...,"children":[...]}
+  // {"trace_id":...,"duration_ms":...,"stages":{...},"root":{...}}
   std::string ToJson() const;
+  // The request as one wide-event JSON line (no per-span tree).
+  std::string ToWideEventJson() const;
 
  private:
   friend class Tracer;
-  explicit Trace(std::unique_ptr<SpanNode> root) : root_(std::move(root)) {}
+  Trace(std::unique_ptr<SpanNode> root, uint64_t trace_hi, uint64_t trace_lo);
+
   std::unique_ptr<SpanNode> root_;
+  uint64_t trace_hi_ = 0;
+  uint64_t trace_lo_ = 0;
+  bool error_ = false;
+  std::array<double, kStageCount> stage_millis_{};
 };
 
-// Owns the sampling decision and a ring of recently finished traces.
+namespace internal {
+struct ActiveTraceState;
+}  // namespace internal
+
+// Capture of a live trace for cross-thread child spans (scatter-gather,
+// async pools). Copyable; cheap (one shared_ptr). A handle is only valid
+// while the root span that produced it is still open — the usual shape is
+// "capture before Submit, workers finish before the root ends".
+class TraceHandle {
+ public:
+  TraceHandle();
+  ~TraceHandle();
+  TraceHandle(const TraceHandle&);
+  TraceHandle& operator=(const TraceHandle&);
+
+  bool valid() const { return state_ != nullptr; }
+  TraceContext context() const;
+
+ private:
+  friend class Span;
+  friend TraceHandle CurrentTraceHandle();
+
+  std::shared_ptr<internal::ActiveTraceState> state_;
+  uint64_t span_id_ = 0;
+};
+
+// The identity of the trace recording on this thread, or an invalid
+// context when none is. Cheap: two thread-local loads.
+TraceContext CurrentTraceContext();
+
+// Handle to the trace recording on this thread, for parenting spans on
+// other threads; invalid when none is recording.
+TraceHandle CurrentTraceHandle();
+
+// Owns the sampling decision and rings of recently finished traces.
 class Tracer {
  public:
-  explicit Tracer(const Clock* clock = nullptr, size_t keep = 16);
+  // `registry` (may be null) receives the dstore_trace_sample_rate gauge,
+  // dstore_stage_latency_ms histograms, and dstore_traces_finished_total;
+  // null keeps the tracer metrics-silent (hermetic tests).
+  explicit Tracer(const Clock* clock = nullptr, size_t keep = 16,
+                  MetricsRegistry* registry = nullptr);
 
-  // Fraction of root spans recorded, in [0,1]; 0 disables tracing. Roots
-  // are sampled deterministically (every 1/rate-th root), so a rate of
-  // 0.01 keeps exactly one trace per 100 requests.
+  // Fraction of root spans recorded, clamped to [0,1]; 0 disables head
+  // sampling. Roots are sampled deterministically (every 1/rate-th root),
+  // so a rate of 0.01 keeps exactly one trace per 100 requests.
   void SetSampleRate(double rate);
   double SampleRate() const { return rate_.load(std::memory_order_relaxed); }
 
-  // Most recent finished traces, newest last. Empty until a sampled root
-  // span ends.
+  // Tail-based capture of slow and error traces. While enabled the tracer
+  // records roots even when head sampling says no, and publishes them only
+  // if they finish at/above `threshold_ms` or with an error; the ring keeps
+  // the `keep` slowest (errors outrank slowness). Head-sampled traces are
+  // additionally considered, so /debug/slow always has the worst requests.
+  struct SlowCaptureOptions {
+    double threshold_ms = 100.0;
+    size_t keep = 8;
+    // Also record head-unsampled roots speculatively (true tail sampling).
+    // Off, only head-sampled traces compete for the slow ring.
+    bool capture_unsampled = true;
+  };
+  void EnableSlowCapture(const SlowCaptureOptions& options);
+  void DisableSlowCapture();
+
+  // Slow/error traces, slowest first. Never evicted by the recent ring.
+  std::vector<std::shared_ptr<const Trace>> SlowTraces() const;
+
+  // Every retained trace or segment with this trace id (recent, slow, and
+  // segment rings), for cross-process stitching.
+  std::vector<std::shared_ptr<const Trace>> Family(uint64_t trace_hi,
+                                                   uint64_t trace_lo) const;
+
+  // Opt-in structured wide events: one JSON line per published trace or
+  // segment, delivered synchronously from the finishing thread. Pass
+  // nullptr to disable. The sink must not open spans.
+  void SetWideEventSink(std::function<void(const std::string&)> sink);
+
+  // Most recent finished local-root traces, newest last. Segments are kept
+  // separately (Family) and do not appear here.
   std::vector<std::shared_ptr<const Trace>> RecentTraces() const;
   std::shared_ptr<const Trace> LatestTrace() const;
 
   uint64_t TraceCount() const;
 
-  // The process-wide tracer the DSCL layers publish into by default.
+  // The process-wide tracer the DSCL layers publish into by default; its
+  // metrics land in MetricsRegistry::Default().
   static Tracer* Default();
 
  private:
   friend class Span;
 
-  bool ShouldSample();
-  void Finish(std::unique_ptr<SpanNode> root);
+  bool HeadSample();
+  bool TailArmed() const {
+    return tail_capture_unsampled_.load(std::memory_order_relaxed);
+  }
+  bool TailEnabled() const {
+    return tail_enabled_.load(std::memory_order_relaxed);
+  }
+  void Finish(std::unique_ptr<SpanNode> root,
+              std::shared_ptr<internal::ActiveTraceState> state);
   const Clock* clock() const { return clock_; }
+
+  void PublishStageMetrics(const Trace& trace);
 
   const Clock* clock_;
   const size_t keep_;
+  const size_t keep_segments_;
+  MetricsRegistry* const registry_;
   std::atomic<double> rate_{0};
+  std::atomic<uint64_t> sample_period_{0};  // 0 = head sampling off
+  std::atomic<uint64_t> sample_counter_{0};
+  std::atomic<bool> tail_enabled_{false};
+  std::atomic<bool> tail_capture_unsampled_{false};
+
   mutable Mutex mu_;
-  double credit_ GUARDED_BY(mu_) = 0;
+  SlowCaptureOptions slow_options_ GUARDED_BY(mu_);
   uint64_t finished_ GUARDED_BY(mu_) = 0;
   std::deque<std::shared_ptr<const Trace>> recent_ GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<const Trace>> segments_ GUARDED_BY(mu_);
+  // Ascending by (error, duration): front is the first to evict.
+  std::vector<std::shared_ptr<const Trace>> slow_ GUARDED_BY(mu_);
+  std::function<void(const std::string&)> wide_sink_ GUARDED_BY(mu_);
+
+  // Registry instruments, created on demand under mu_.
+  class Gauge* obs_rate_ GUARDED_BY(mu_) = nullptr;
+  std::array<class Histogram*, kStageCount> obs_stage_ GUARDED_BY(mu_) = {};
 };
 
 // RAII span. The constructor starts the clock; End() (or destruction)
 // stops it. Must be ended on the thread that created it, innermost first —
 // the natural shape when spans are scoped locals. A span whose root was not
-// sampled records nothing.
+// sampled records nothing (and suppresses sampling for its children, so an
+// unsampled request can never shed stray single-span traces).
 class Span {
  public:
-  // Opens a span named `name` on `tracer` (default: Tracer::Default()).
-  // If another span is active on this thread, this becomes its child
-  // regardless of sampling rate; otherwise it is a root and is recorded
-  // only if sampling says so (or `force_sample` is set).
+  struct Options {
+    Tracer* tracer = nullptr;       // null = Tracer::Default()
+    Stage stage = Stage::kOther;
+    bool force_sample = false;      // roots only: bypass head sampling
+    // Roots only: continue the trace identified by this wire context. An
+    // unsampled or invalid context suppresses recording for the scope.
+    const TraceContext* remote_parent = nullptr;
+    // Roots only: attach to the live trace captured by CurrentTraceHandle()
+    // on another thread. An invalid handle suppresses recording.
+    const TraceHandle* parent = nullptr;
+  };
+
+  // Opens a span named `name`. If another span is active on this thread,
+  // this becomes its child regardless of sampling rate; otherwise it is a
+  // root and is recorded only if sampling (or the options) say so.
   explicit Span(std::string name, Tracer* tracer = nullptr,
                 bool force_sample = false);
+  Span(std::string name, Stage stage);
+  Span(std::string name, const Options& options);
   ~Span() { End(); }
 
   Span(const Span&) = delete;
@@ -119,10 +319,23 @@ class Span {
   // True if this span is being recorded into a trace.
   bool recording() const { return node_ != nullptr; }
 
+  // Attach a key/value attribute (status, key, bytes, shed reason...).
+  // No-ops when not recording.
+  void SetAttribute(const std::string& key, std::string value);
+  // Records `status` as the "status" attribute and marks the span as an
+  // error for non-OK, non-NotFound codes (NotFound is a data answer).
+  void SetStatus(const Status& status);
+  // Marks the span as an error without a Status (e.g. an HTTP 5xx).
+  void MarkError();
+
  private:
+  void Init(std::string name, const Options& options);
+
   Tracer* tracer_ = nullptr;
   SpanNode* node_ = nullptr;  // null when not recording or after End()
   bool root_ = false;
+  bool detached_ = false;     // subtree adopted by a TraceHandle parent
+  bool suppressing_ = false;  // holds a +1 on the thread suppression depth
 };
 
 }  // namespace obs

@@ -122,6 +122,7 @@ std::shared_ptr<ShardedStore::Shard> ShardedStore::ForwardTarget(
 
 Status ShardedStore::Put(const std::string& key, ValuePtr value) {
   obs::Span span("shard.put");
+  span.SetAttribute("key", key);
   ReaderLock lock(resize_mu_);
   if (shards_.empty()) return Status::Unavailable("no shards configured");
   auto shard = shards_.at(*ring_.OwnerOf(key));
@@ -160,6 +161,7 @@ Status ShardedStore::Delete(const std::string& key) {
 
 StatusOr<ValuePtr> ShardedStore::Get(const std::string& key) {
   obs::Span span("shard.get");
+  span.SetAttribute("key", key);
   ReaderLock lock(resize_mu_);
   return GetLocked(key);
 }
@@ -239,13 +241,26 @@ void ShardedStore::RunBatches(std::vector<std::function<void()>> batches) {
     batches.front()();
     return;
   }
+  // Capture the live trace once: each worker roots a "shard.batch" span on
+  // it, and the finished subtrees (including every http.roundtrip they
+  // contain) are adopted back into this trace when its root ends — one
+  // client trace stitches the whole fan-out. Invalid when not sampling, in
+  // which case the workers record nothing.
+  const obs::TraceHandle trace = obs::CurrentTraceHandle();
   const size_t total = batches.size();
   Mutex mu;
   CondVar done_cv;
   size_t done = 0;
-  for (auto& batch : batches) {
-    pool_->Submit([&mu, &done_cv, &done, batch = std::move(batch)] {
-      batch();
+  for (size_t i = 0; i < batches.size(); ++i) {
+    pool_->Submit([&mu, &done_cv, &done, &trace, i,
+                   batch = std::move(batches[i])] {
+      {
+        obs::Span::Options options;
+        options.parent = &trace;
+        obs::Span span("shard.batch", options);
+        span.SetAttribute("batch", std::to_string(i));
+        batch();
+      }
       MutexLock lock(mu);
       ++done;
       done_cv.NotifyOne();

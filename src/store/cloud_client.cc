@@ -43,7 +43,14 @@ Status CloudStoreClient::EnsureConnected() {
 }
 
 StatusOr<HttpResponse> CloudStoreClient::RoundTrip(HttpRequest& request) {
-  obs::Span span("http.roundtrip");
+  obs::Span span("http.roundtrip", obs::Stage::kNetwork);
+  span.SetAttribute("method", request.method);
+  span.SetAttribute("path", request.path);
+  // Propagate the trace identity so the server's spans join this trace.
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
+  if (trace_ctx.valid() && trace_ctx.sampled) {
+    request.headers[obs::kTraceHeaderName] = trace_ctx.ToHeader();
+  }
   const admit::Deadline deadline = admit::CurrentDeadline();
   if (deadline.has_deadline()) {
     const int64_t remaining = deadline.remaining_nanos();
@@ -67,8 +74,12 @@ StatusOr<HttpResponse> CloudStoreClient::RoundTrip(HttpRequest& request) {
       conn_->Close();
       continue;
     }
+    span.SetAttribute("http.status", std::to_string(response->status_code));
+    span.SetAttribute("bytes", std::to_string(response->body.size()));
+    if (response->status_code >= 500) span.MarkError();
     return response;
   }
+  span.MarkError();
   return Status::Unavailable("cloud store connection failed");
 }
 

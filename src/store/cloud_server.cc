@@ -1,12 +1,14 @@
 #include "store/cloud_server.h"
 
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "admit/deadline.h"
 #include "common/clock.h"
 #include "net/obs_endpoint.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/key_value.h"
 
 namespace dstore {
@@ -96,40 +98,83 @@ void CloudStoreServer::HandleConnection(Socket socket) {
     }
     admit::ScopedDeadline scope(deadline);
 
-    admit::ServerQueue::Admission admission(queue_.get());
-    if (!admission.ok()) {
-      // Shed: a *distinct* overload answer (503/504), never anything a
-      // client could mistake for a data-plane result like 404.
-      response = admission.status().IsTimedOut()
-                     ? MakeResponse(504, "Deadline Expired")
-                     : MakeResponse(503, "Overloaded");
-      response.headers["x-dstore-shed"] = "1";
-      if (!conn.WriteResponse(response).ok()) return;
-      continue;
+    // Re-establish the caller's trace the same way: the span tree recorded
+    // here becomes a segment of the client's trace, stitched under the
+    // client span named in the header. A malformed or oversized header
+    // parses to nullopt and the request simply runs untraced.
+    std::optional<obs::TraceContext> trace_ctx;
+    auto th = request->headers.find(obs::kTraceHeaderName);
+    if (th != request->headers.end()) {
+      trace_ctx = obs::ParseTraceContext(th->second);
     }
+    {
+      obs::Span::Options span_options;
+      span_options.remote_parent =
+          trace_ctx.has_value() ? &*trace_ctx : nullptr;
+      obs::Span request_span("server.request", span_options);
+      request_span.SetAttribute("method", request->method);
+      request_span.SetAttribute("path", request->path);
 
-    Stopwatch watch(RealClock::Default());
-    registry
-        ->GetCounter("dstore_cloud_requests_total",
-                     {{"method", request->method}},
-                     "Cloud store data-plane requests by HTTP method.")
-        ->Increment();
-    if (admit::CurrentDeadline().expired()) {
-      // Admitted, but the budget ran out while queued; answer 504 without
-      // doing the work or paying the WAN delay.
-      response = MakeResponse(504, "Deadline Expired");
-    } else {
-      response = HandleRequest(*request);
-      // Inject the WAN delay: model the round trip plus transfer of both
-      // bodies before the response reaches the client.
-      if (latency_ != nullptr) {
-        const int64_t delay =
-            latency_->SampleNanos(request->body.size() +
-                                  response.body.size());
-        RealClock::Default()->SleepFor(delay);
+      int64_t queue_wait_nanos = 0;
+      {
+        obs::Span queue_span("server.queue", obs::Stage::kQueue);
+        admit::ServerQueue::Admission admission(queue_.get());
+        queue_wait_nanos = admission.wait_nanos();
+        if (queue_wait_nanos > 0) {
+          queue_span.SetAttribute(
+              "queue_wait_ms",
+              std::to_string(
+                  static_cast<double>(queue_wait_nanos) / 1e6));
+        }
+        if (!admission.ok()) {
+          // Shed: a *distinct* overload answer (503/504), never anything a
+          // client could mistake for a data-plane result like 404.
+          queue_span.SetAttribute(
+              "shed_reason",
+              admission.status().IsTimedOut() ? "deadline" : "overload");
+          queue_span.MarkError();
+          response = admission.status().IsTimedOut()
+                         ? MakeResponse(504, "Deadline Expired")
+                         : MakeResponse(503, "Overloaded");
+          response.headers["x-dstore-shed"] = "1";
+        } else {
+          queue_span.End();
+          Stopwatch watch(RealClock::Default());
+          registry
+              ->GetCounter("dstore_cloud_requests_total",
+                           {{"method", request->method}},
+                           "Cloud store data-plane requests by HTTP method.")
+              ->Increment();
+          if (admit::CurrentDeadline().expired()) {
+            // Admitted, but the budget ran out while queued; answer 504
+            // without doing the work or paying the WAN delay.
+            response = MakeResponse(504, "Deadline Expired");
+          } else {
+            {
+              obs::Span handle_span("server.handle", obs::Stage::kBackend);
+              response = HandleRequest(*request);
+            }
+            // Inject the WAN delay: model the round trip plus transfer of
+            // both bodies before the response reaches the client.
+            if (latency_ != nullptr) {
+              obs::Span wan_span("server.wan", obs::Stage::kNetwork);
+              const int64_t delay =
+                  latency_->SampleNanos(request->body.size() +
+                                        response.body.size());
+              RealClock::Default()->SleepFor(delay);
+            }
+          }
+          request_ms->Record(watch.ElapsedMillis());
+        }
       }
+      request_span.SetAttribute("http.status",
+                                std::to_string(response.status_code));
+      request_span.SetAttribute("bytes",
+                                std::to_string(response.body.size()));
+      if (response.status_code >= 500) request_span.MarkError();
     }
-    request_ms->Record(watch.ElapsedMillis());
+    // The request span ends (and its segment is published) before the
+    // response leaves, so a sampling client sees its segments on arrival.
     if (!conn.WriteResponse(response).ok()) return;
   }
 }

@@ -4,6 +4,7 @@
 // through EnhancedStore producing a nested span tree, and the registry
 // histogram agreeing with PerformanceMonitor's exact recent percentiles.
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "dscl/enhanced_store.h"
 #include "dscl/transformer.h"
 #include "net/latency_model.h"
+#include "obs/build_info.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -358,6 +360,390 @@ TEST(MonitorRegistryTest, NullRegistryKeepsMonitorLocal) {
   PerformanceMonitor monitor(16, nullptr);
   monitor.Record("s", "get", 1.0);
   EXPECT_EQ(monitor.Summary("s", "get").count, 1u);
+}
+
+// --- Wire context ---
+
+TEST(TraceContextTest, HeaderRoundTrips) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  ctx.span_id = 0x1122334455667788ULL;
+  ctx.sampled = true;
+  const std::string header = ctx.ToHeader();
+  ASSERT_EQ(header.size(), 52u);
+  EXPECT_EQ(header, "0123456789abcdeffedcba9876543210-1122334455667788-01");
+
+  auto parsed = ParseTraceContext(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_hi, ctx.trace_hi);
+  EXPECT_EQ(parsed->trace_lo, ctx.trace_lo);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+  EXPECT_TRUE(parsed->sampled);
+
+  ctx.sampled = false;
+  auto unsampled = ParseTraceContext(ctx.ToHeader());
+  ASSERT_TRUE(unsampled.has_value());
+  EXPECT_FALSE(unsampled->sampled);
+}
+
+TEST(TraceContextTest, MalformedHeadersAreIgnored) {
+  const std::string good =
+      "0123456789abcdeffedcba9876543210-1122334455667788-01";
+  ASSERT_TRUE(ParseTraceContext(good).has_value());
+
+  std::vector<std::string> bad = {
+      "",                                  // empty
+      "garbage",                           // nonsense
+      good.substr(0, 51),                  // truncated
+      good + "0",                          // one char too long
+      std::string(64 * 1024, 'a'),         // oversized / hostile
+      std::string(52, '-'),                // separators everywhere
+  };
+  // Right length, wrong separator positions.
+  std::string sep = good;
+  sep[32] = '_';
+  bad.push_back(sep);
+  // Non-hex digit inside the trace id.
+  std::string nonhex = good;
+  nonhex[5] = 'g';
+  bad.push_back(nonhex);
+  // All-zero trace id and all-zero span id are both invalid identities.
+  bad.push_back(std::string(32, '0') + "-1122334455667788-01");
+  bad.push_back("0123456789abcdeffedcba9876543210-" + std::string(16, '0') +
+                "-01");
+  for (const std::string& header : bad) {
+    EXPECT_FALSE(ParseTraceContext(header).has_value())
+        << "accepted: " << header.substr(0, 64);
+  }
+}
+
+// --- Sampling controls ---
+
+TEST(TracerTest, SampleRateClampsToUnitInterval) {
+  Tracer tracer;
+  tracer.SetSampleRate(7.5);
+  EXPECT_DOUBLE_EQ(tracer.SampleRate(), 1.0);
+  tracer.SetSampleRate(-3.0);
+  EXPECT_DOUBLE_EQ(tracer.SampleRate(), 0.0);
+  tracer.SetSampleRate(std::nan(""));
+  EXPECT_DOUBLE_EQ(tracer.SampleRate(), 0.0);
+  {
+    Span root("r", &tracer);
+    EXPECT_FALSE(root.recording());
+  }
+}
+
+TEST(TracerTest, SampleRateGaugeTracksSetting) {
+  MetricsRegistry registry;
+  Tracer tracer(nullptr, 16, &registry);
+  tracer.SetSampleRate(0.25);
+  EXPECT_NE(RenderPrometheusText(&registry).find("dstore_trace_sample_rate "
+                                                 "0.25"),
+            std::string::npos);
+  tracer.SetSampleRate(9);  // clamped; the gauge shows the effective rate
+  EXPECT_NE(RenderPrometheusText(&registry).find("dstore_trace_sample_rate 1"),
+            std::string::npos);
+}
+
+TEST(TracerTest, UnsampledRootSuppressesForcedDescendants) {
+  Tracer tracer;  // rate 0
+  Span root("unsampled", &tracer);
+  ASSERT_FALSE(root.recording());
+  // Inner layers must not shed stray single-span traces, even if they ask
+  // for force_sample: the root's decision governs the whole request.
+  Span forced("forced", &tracer, /*force_sample=*/true);
+  EXPECT_FALSE(forced.recording());
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+}
+
+// --- Tail-based slow capture ---
+
+TEST(TracerTest, SlowCaptureKeepsWorstTracesErrorsFirst) {
+  SimulatedClock clock;
+  Tracer tracer(&clock, 4);
+  Tracer::SlowCaptureOptions options;
+  options.threshold_ms = 10;
+  options.keep = 2;
+  tracer.EnableSlowCapture(options);
+
+  // Head sampling stays at 0: everything below is speculative tail capture.
+  {
+    Span s("fast", &tracer);
+    clock.Advance(1'000'000);  // 1 ms, under threshold -> dropped
+  }
+  {
+    Span s("slow20", &tracer);
+    clock.Advance(20'000'000);
+  }
+  {
+    Span s("slow30", &tracer);
+    clock.Advance(30'000'000);
+  }
+  {
+    Span s("err", &tracer);  // fast but failed: errors outrank slowness
+    clock.Advance(1'000'000);
+    s.MarkError();
+  }
+
+  auto slow = tracer.SlowTraces();
+  ASSERT_EQ(slow.size(), 2u);  // keep=2: slow20 was evicted
+  EXPECT_EQ(slow[0]->root().name, "err");
+  EXPECT_TRUE(slow[0]->error());
+  EXPECT_EQ(slow[1]->root().name, "slow30");
+  // Tail-captured traces are not head-sampled; they must not inflate the
+  // trace counter or the recent ring.
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+  EXPECT_EQ(tracer.LatestTrace(), nullptr);
+
+  tracer.DisableSlowCapture();
+  EXPECT_TRUE(tracer.SlowTraces().empty());
+}
+
+// --- Cross-thread fan-out ---
+
+TEST(TraceHandleTest, WorkerSubtreeIsAdoptedIntoParentTrace) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  {
+    Span root("scatter", &tracer);
+    ASSERT_TRUE(root.recording());
+    const TraceHandle handle = CurrentTraceHandle();
+    ASSERT_TRUE(handle.valid());
+    std::thread worker([&] {
+      Span::Options options;
+      options.tracer = &tracer;
+      options.parent = &handle;
+      Span span("shard.batch", options);
+      EXPECT_TRUE(span.recording());
+      span.SetAttribute("batch", "0");
+    });
+    worker.join();
+  }
+  auto trace = tracer.LatestTrace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->SpanCount(), 2u);
+  ASSERT_EQ(trace->root().children.size(), 1u);
+  EXPECT_EQ(trace->root().children[0]->name, "shard.batch");
+  EXPECT_EQ(trace->root().children[0]->parent_span_id,
+            trace->root().span_id);
+}
+
+TEST(TraceHandleTest, InvalidHandleSuppressesWorkerSpan) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  const TraceHandle handle;  // no live trace captured
+  Span::Options options;
+  options.tracer = &tracer;
+  options.parent = &handle;
+  {
+    Span span("orphan", options);
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+}
+
+// --- Cross-process segments and stitching ---
+
+TEST(TracerTest, RemoteParentYieldsStitchedSegment) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  Tracer::SlowCaptureOptions options;
+  options.threshold_ms = 0;  // everything is slow-eligible
+  tracer.EnableSlowCapture(options);
+
+  TraceContext wire_ctx;
+  {
+    Span client("client.get", &tracer);
+    Span::Options rpc_options;
+    rpc_options.tracer = &tracer;
+    rpc_options.stage = Stage::kNetwork;
+    Span rpc("http.roundtrip", rpc_options);
+    wire_ctx = CurrentTraceContext();
+    ASSERT_TRUE(wire_ctx.valid());
+    ASSERT_TRUE(wire_ctx.sampled);
+  }
+  // "The server": re-establish the parsed wire context as a remote parent.
+  auto parsed = ParseTraceContext(wire_ctx.ToHeader());
+  ASSERT_TRUE(parsed.has_value());
+  {
+    Span::Options server_options;
+    server_options.tracer = &tracer;
+    server_options.remote_parent = &*parsed;
+    Span server("server.request", server_options);
+    ASSERT_TRUE(server.recording());
+    Span handle("server.handle", &tracer);
+  }
+
+  auto family = tracer.Family(wire_ctx.trace_hi, wire_ctx.trace_lo);
+  ASSERT_EQ(family.size(), 2u);
+  const Trace* segment = nullptr;
+  for (const auto& t : family) {
+    if (t->IsSegment()) segment = t.get();
+  }
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(segment->parent_span_id(), wire_ctx.span_id);
+  EXPECT_EQ(segment->TraceId(), wire_ctx.TraceId());
+  EXPECT_EQ(segment->SpanCount(), 2u);
+
+  // Exposition grafts the segment under the client's http.roundtrip span.
+  const std::string json = RenderSlowTracesJson(&tracer);
+  EXPECT_NE(json.find("\"name\":\"server.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"remote\":true"), std::string::npos);
+  const std::string text = RenderSlowTracesText(&tracer);
+  EXPECT_NE(text.find("server.request"), std::string::npos);
+  EXPECT_NE(text.find(" (remote)"), std::string::npos);
+  EXPECT_NE(text.find("server.handle"), std::string::npos);
+}
+
+TEST(TracerTest, UnsampledRemoteParentSuppressesServerSpans) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  TraceContext ctx;
+  ctx.trace_hi = 1;
+  ctx.trace_lo = 2;
+  ctx.span_id = 3;
+  ctx.sampled = false;  // caller decided not to sample
+  Span::Options options;
+  options.tracer = &tracer;
+  options.remote_parent = &ctx;
+  {
+    Span server("server.request", options);
+    EXPECT_FALSE(server.recording());
+    Span inner("server.handle", &tracer);
+    EXPECT_FALSE(inner.recording());
+  }
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+  EXPECT_TRUE(tracer.Family(1, 2).empty());
+}
+
+// --- Wide events ---
+
+TEST(TracerTest, WideEventSinkSeesOnlyPublishedTraces) {
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  std::vector<std::string> lines;
+  tracer.SetWideEventSink([&](const std::string& line) {
+    lines.push_back(line);
+  });
+  {
+    Span root("op.get", &tracer);
+    Span child("base.get", &tracer);
+  }
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].find('\n'), std::string::npos);  // one line per event
+  EXPECT_NE(lines[0].find("\"event\":\"trace\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"op\":\"op.get\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"spans\":2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"stages\":"), std::string::npos);
+
+  tracer.SetSampleRate(0);
+  {
+    Span root("quiet", &tracer);
+  }
+  EXPECT_EQ(lines.size(), 1u);  // unpublished roots emit nothing
+
+  tracer.SetWideEventSink(nullptr);
+  tracer.SetSampleRate(1.0);
+  {
+    Span root("after-detach", &tracer);
+  }
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+// --- Exemplars ---
+
+TEST(HistogramTest, ExemplarStampedOnlyInsideSampledTrace) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("obs_exemplar_ms");
+
+  h->Record(5.0);  // no active trace: no exemplar
+  for (const auto& e : h->Exemplars()) EXPECT_TRUE(e.trace_id.empty());
+
+  Tracer tracer;
+  tracer.SetSampleRate(1.0);
+  std::string trace_id;
+  {
+    Span root("op", &tracer);
+    ASSERT_TRUE(root.recording());
+    trace_id = CurrentTraceContext().TraceId();
+    h->Record(5.0);
+  }
+  bool stamped = false;
+  for (const auto& e : h->Exemplars()) {
+    if (e.trace_id.empty()) continue;
+    EXPECT_EQ(e.trace_id, trace_id);
+    EXPECT_DOUBLE_EQ(e.value, 5.0);
+    stamped = true;
+  }
+  EXPECT_TRUE(stamped);
+
+  // OpenMetrics syntax on the owning bucket line.
+  const std::string text = RenderPrometheusText(&registry);
+  EXPECT_NE(text.find(" # {trace_id=\"" + trace_id + "\"} 5"),
+            std::string::npos);
+  const std::string json = RenderMetricsJson(&registry);
+  EXPECT_NE(json.find("\"exemplar\":{\"trace_id\":\"" + trace_id + "\""),
+            std::string::npos);
+}
+
+TEST(HistogramTest, UnsampledTraceLeavesNoExemplar) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("obs_exemplar_quiet_ms");
+  Tracer tracer;  // rate 0
+  {
+    Span root("op", &tracer);
+    h->Record(5.0);
+  }
+  for (const auto& e : h->Exemplars()) EXPECT_TRUE(e.trace_id.empty());
+}
+
+// --- Exposition hardening ---
+
+TEST(ExpositionTest, HostileLabelValuesStayWellFormed) {
+  MetricsRegistry registry;
+  // Control characters, quotes, backslashes, newlines — the values a path
+  // or key label can pick up from untrusted input.
+  const std::string hostile = std::string("a\"b\\c\nd\te") + '\x01' + 'f';
+  registry.GetCounter("obs_hostile_total", {{"path", hostile}})->Increment();
+  const std::string text = RenderPrometheusText(&registry);
+  // Prometheus label escaping: backslash, quote, newline. Tabs and other
+  // controls pass through (the format allows them inside quotes).
+  EXPECT_NE(text.find(std::string("path=\"a\\\"b\\\\c\\nd\te") + '\x01' +
+                      "f\""),
+            std::string::npos);
+
+  const std::string json = RenderMetricsJson(&registry);
+  // JSON must escape the control characters or the document is invalid.
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\u0001f"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(ExpositionTest, HelpTextIsEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("obs_help_total", {},
+                      "line one\nline two \\ backslash")->Increment();
+  const std::string text = RenderPrometheusText(&registry);
+  EXPECT_NE(text.find(
+                "# HELP obs_help_total line one\\nline two \\\\ backslash"),
+            std::string::npos);
+}
+
+// --- Build identity ---
+
+TEST(BuildInfoTest, JsonAndGaugeArePresent) {
+  const std::string json = BuildInfoJson();
+  EXPECT_NE(json.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"sanitizer\":\""), std::string::npos);
+  EXPECT_NE(std::string(BuildVersion()).find('.'), std::string::npos);
+
+  // The default registry carries the dstore_build_info gauge.
+  const std::string text = RenderPrometheusText(nullptr);
+  EXPECT_NE(text.find("dstore_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("version=\""), std::string::npos);
 }
 
 }  // namespace
