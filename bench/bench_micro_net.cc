@@ -4,10 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "cache/lru_cache.h"
 #include "common/random.h"
+#include "net/async_server.h"
 #include "net/framing.h"
 #include "net/http.h"
 #include "net/socket.h"
@@ -172,6 +176,90 @@ void BM_HttpRoundTrip(benchmark::State& state) {
                           2 * state.range(0));
 }
 BENCHMARK(BM_HttpRoundTrip)->Arg(16)->Arg(100000);
+
+// The server-core capacity story (docs/udsm_guide.md §11): tail latency
+// with N live connections on one server and a burst of them concurrently
+// active. The threaded core pays a kernel thread per connection, so every
+// burst is a pile of thread wakeups fighting the scheduler; the reactor
+// multiplexes all N connections onto two I/O threads and must hold 10x the
+// connections at equal-or-better tail latency. Each iteration writes one
+// frame on `kBurst` consecutive connections (rotating through all N so
+// every connection carries traffic) and then reads the `kBurst` responses.
+// Args: {async core?, connection count}. Iterations are fixed so each row
+// runs its setup (N connects) once; the p99 over per-request wall samples
+// lands in the p99_us counter, which scripts/bench_snapshot.sh compares
+// across rows into BENCH_net.json.
+void BM_ConcurrentConnections(benchmark::State& state) {
+  const bool async_core = state.range(0) != 0;
+  const int conns = static_cast<int>(state.range(1));
+  constexpr size_t kBurst = 64;  // concurrently in-flight requests
+  AsyncServerOptions options;
+  options.core = async_core ? ServerCore::kAsync : ServerCore::kThreaded;
+  auto server = MakeFramedServer(
+      [](const Bytes& request) { return request; }, std::move(options));
+  if (!server->Start(0).ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  std::vector<Socket> sockets;
+  sockets.reserve(static_cast<size_t>(conns));
+  for (int i = 0; i < conns; ++i) {
+    auto socket = Socket::ConnectTcp("127.0.0.1", server->port());
+    if (!socket.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    sockets.push_back(std::move(*socket));
+  }
+
+  const Bytes payload = ToBytes("ping-payload-64b-");
+  std::vector<double> samples;
+  samples.reserve(8192);
+  size_t next = 0;
+  bool failed = false;
+  for (auto _ : state) {
+    const size_t base = next;
+    next = (next + kBurst) % sockets.size();
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t k = 0; k < kBurst && !failed; ++k) {
+      failed = !WriteFrame(&sockets[(base + k) % sockets.size()], payload).ok();
+    }
+    for (size_t k = 0; k < kBurst && !failed; ++k) {
+      failed = !ReadFrame(&sockets[(base + k) % sockets.size()]).ok();
+    }
+    if (failed) {
+      state.SkipWithError("round trip failed");
+      break;
+    }
+    samples.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      static_cast<double>(kBurst));
+  }
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    state.counters["p99_us"] =
+        samples[std::min(samples.size() - 1,
+                         static_cast<size_t>(static_cast<double>(
+                             samples.size()) * 0.99))];
+  }
+  state.counters["connections"] = conns;
+  state.SetLabel(async_core ? "async" : "threaded");
+  sockets.clear();
+  server->Stop();
+}
+// Five repetitions reported as aggregates: a single-CPU box makes any one
+// p99 estimate hostage to a rare scheduler stall, so the headline the
+// snapshot script reads is the median p99 across repetitions.
+BENCHMARK(BM_ConcurrentConnections)
+    ->Args({0, 100})    // threaded core at its comfortable scale
+    ->Args({1, 100})    // async core, same scale
+    ->Args({1, 1000})   // async core, 10x the connections
+    ->Iterations(2000)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace dstore

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Seeds the bench trajectory: builds the microbenchmarks in Release, runs
 # bench_micro_stores (store substrate), bench_micro_admit (admission
-# layer), and bench_micro_obs (tracing), and writes machine-readable
-# BENCH_admit.json and BENCH_obs.json files at the repo root.
+# layer), bench_micro_obs (tracing), and bench_micro_net (server cores),
+# and writes machine-readable BENCH_admit.json, BENCH_obs.json, and
+# BENCH_net.json files at the repo root.
 #
 #   scripts/bench_snapshot.sh            # full snapshot
 #   scripts/bench_snapshot.sh --quick    # shorter benchmark runs
 #
 # The snapshots record the raw google-benchmark rows plus the derived
 # headline overheads: the pass-through cost of the untripped admission
-# stack (paired BM_AdmitFileReadOverhead rows, contract ≤5%) and the
+# stack (paired BM_AdmitFileReadOverhead rows, contract ≤5%), the
 # per-op cost of tracing that is compiled in but not sampling (the
 # BM_ObsFileReadOverhead no-spans/disabled/always-on rows, contract ≤2%
-# for the disabled regime — docs/testing.md, "Observability"). The build
-# tree lands in build-bench/ so the default build/ directory is left
-# alone.
+# for the disabled regime — docs/testing.md, "Observability"), and the
+# server-core capacity headline (BM_ConcurrentConnections: the async
+# reactor must hold ≥10x the threaded core's connection count at
+# equal-or-better p99 — docs/udsm_guide.md §11). The build tree lands in
+# build-bench/ so the default build/ directory is left alone.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,7 +29,8 @@ fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-bench -j"$(nproc)" \
-  --target bench_micro_stores bench_micro_admit bench_micro_obs
+  --target bench_micro_stores bench_micro_admit bench_micro_obs \
+  bench_micro_net
 
 out_dir="build-bench/bench"
 ./build-bench/bench/bench_micro_stores ${MIN_TIME} \
@@ -35,15 +39,20 @@ out_dir="build-bench/bench"
   --benchmark_out="${out_dir}/admit.json" --benchmark_out_format=json
 ./build-bench/bench/bench_micro_obs ${MIN_TIME} \
   --benchmark_out="${out_dir}/obs.json" --benchmark_out_format=json
+# The capacity rows pin their iteration counts (setup opens N sockets once
+# per row), so MIN_TIME does not apply; the plain round-trip rows honor it.
+./build-bench/bench/bench_micro_net ${MIN_TIME} \
+  --benchmark_out="${out_dir}/net.json" --benchmark_out_format=json
 
 python3 - "${out_dir}/stores.json" "${out_dir}/admit.json" \
-  "${out_dir}/obs.json" <<'PY'
+  "${out_dir}/obs.json" "${out_dir}/net.json" <<'PY'
 import json
 import sys
 
 stores = json.load(open(sys.argv[1]))
 admit = json.load(open(sys.argv[2]))
 obs = json.load(open(sys.argv[3]))
+net = json.load(open(sys.argv[4]))
 
 def rows(doc):
     return [
@@ -113,4 +122,57 @@ print(f"tracing per-op overhead: disabled {disabled_pct:.2f}% "
 if disabled_pct > 2.0:
     print("WARNING: disabled-tracing overhead exceeds the 2% budget")
 print("wrote BENCH_obs.json")
+
+def capacity_row(doc, core_arg, conns):
+    # The capacity rows report aggregates over repetitions; the median p99
+    # is the headline (a lone p99 on a small box is hostage to one
+    # scheduler stall). Falls back to a plain row if repetitions change.
+    prefix = f"BM_ConcurrentConnections/{core_arg}/{conns}/"
+    plain = None
+    for b in doc["benchmarks"]:
+        if not b["name"].startswith(prefix):
+            continue
+        if b.get("aggregate_name") == "median":
+            return b
+        if "aggregate_name" not in b:
+            plain = b
+    if plain is not None:
+        return plain
+    raise KeyError(prefix)
+
+threaded = capacity_row(net, 0, 100)
+async_same = capacity_row(net, 1, 100)
+async_10x = capacity_row(net, 1, 1000)
+threaded_conns = threaded["connections"]
+async_conns = async_10x["connections"]
+ratio = async_conns / threaded_conns
+threaded_p99 = threaded["p99_us"]
+async_p99 = async_10x["p99_us"]
+
+net_snapshot = {
+    "context": net.get("context", {}),
+    "server_core_capacity": {
+        "threaded_connections": threaded_conns,
+        "threaded_p99_us": round(threaded_p99, 2),
+        "async_same_scale_p99_us": round(async_same["p99_us"], 2),
+        "async_connections": async_conns,
+        "async_p99_us": round(async_p99, 2),
+        "capacity_ratio": round(ratio, 1),
+        "capacity_ratio_floor": 10.0,
+        "p99_contract": "async p99 at 10x connections <= threaded p99",
+    },
+    "bench_micro_net": rows(net),
+}
+with open("BENCH_net.json", "w") as f:
+    json.dump(net_snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"server-core capacity: async {async_conns:.0f} conns "
+      f"p99 {async_p99:.1f}us vs threaded {threaded_conns:.0f} conns "
+      f"p99 {threaded_p99:.1f}us ({ratio:.0f}x, floor 10x)")
+if ratio < 10.0:
+    print("WARNING: async connection count below the 10x capacity floor")
+if async_p99 > threaded_p99:
+    print("WARNING: async p99 at 10x connections exceeds the threaded p99")
+print("wrote BENCH_net.json")
 PY

@@ -8,6 +8,7 @@
 #   scripts/check.sh shard                   # sharding suites only
 #   scripts/check.sh admit                   # admission-control suites only
 #   scripts/check.sh obs                     # observability suites only
+#   scripts/check.sh net                     # server-core suites only
 #   scripts/check.sh analyze                 # static analysis + lint gate
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
@@ -82,6 +83,15 @@ elif [[ "${1:-}" == "admit" ]]; then
   export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
   echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
   CTEST_ARGS=(-L admit "$@")
+elif [[ "${1:-}" == "net" ]]; then
+  # Server-core suites (tests labelled "net"): the socket/framing/HTTP
+  # units, the async-core family (reactor, pipelining, backpressure,
+  # fault-injection, threaded fallback — tests/net_async_test.cc), plus
+  # the overload and tracing e2e suites that now run against the async
+  # core — in Release and TSan (the reactor's connection state is touched
+  # from I/O threads, worker threads, and Stop()).
+  shift
+  CTEST_ARGS=(-L net "$@")
 elif [[ "${1:-}" == "obs" ]]; then
   # Observability suites (tests labelled "obs"): the metrics/tracer units,
   # the monitor bridge, and the distributed-tracing e2e suite that drives

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <string_view>
+#include <utility>
 
 #include "net/framing.h"
 
@@ -43,6 +45,94 @@ void AppendHeaders(const std::map<std::string, std::string>& headers,
 }
 
 }  // namespace
+
+HttpParseOutcome ParseHttpRequest(const uint8_t* data, size_t size,
+                                  HttpRequest* out, size_t* consumed,
+                                  std::string* error) {
+  constexpr size_t kMaxHeaderBytes = 64 * 1024;
+  if (size == 0) return HttpParseOutcome::kNeedMore;
+  const std::string_view view(reinterpret_cast<const char*>(data), size);
+  const size_t head_end = view.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (size > kMaxHeaderBytes) {
+      if (error != nullptr) *error = "HTTP header block too long";
+      return HttpParseOutcome::kError;
+    }
+    return HttpParseOutcome::kNeedMore;
+  }
+  if (head_end > kMaxHeaderBytes) {
+    if (error != nullptr) *error = "HTTP header block too long";
+    return HttpParseOutcome::kError;
+  }
+
+  HttpRequest request;
+  const std::string_view head = view.substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view start_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  const size_t sp1 = start_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    if (error != nullptr) {
+      *error = "malformed HTTP request line: " + std::string(start_line);
+    }
+    return HttpParseOutcome::kError;
+  }
+  request.method = std::string(start_line.substr(0, sp1));
+  request.path = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(pos, next - pos);
+    pos = next + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "malformed HTTP header: " + std::string(line);
+      }
+      return HttpParseOutcome::kError;
+    }
+    request.headers[ToLower(Trim(std::string(line.substr(0, colon))))] =
+        Trim(std::string(line.substr(colon + 1)));
+  }
+
+  size_t body_length = 0;
+  auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    char* end = nullptr;
+    body_length = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || body_length > kMaxFrameBytes) {
+      if (error != nullptr) *error = "HTTP body too large";
+      return HttpParseOutcome::kError;
+    }
+  }
+  const size_t body_start = head_end + 4;
+  if (size - body_start < body_length) return HttpParseOutcome::kNeedMore;
+  request.body.assign(data + body_start, data + body_start + body_length);
+  *consumed = body_start + body_length;
+  *out = std::move(request);
+  return HttpParseOutcome::kParsed;
+}
+
+void SerializeHttpResponse(const HttpResponse& response, Bytes* out) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                     response.reason + "\r\n";
+  AppendHeaders(response.headers, response.body.size(), &head);
+  out->insert(out->end(), head.begin(), head.end());
+  out->insert(out->end(), response.body.begin(), response.body.end());
+}
+
+void SerializeHttpRequest(const HttpRequest& request, Bytes* out) {
+  std::string head = request.method + " " + request.path + " HTTP/1.1\r\n";
+  AppendHeaders(request.headers, request.body.size(), &head);
+  out->insert(out->end(), head.begin(), head.end());
+  out->insert(out->end(), request.body.begin(), request.body.end());
+}
 
 Status HttpConnection::WriteRequest(const HttpRequest& request) {
   std::string head = request.method + " " + request.path + " HTTP/1.1\r\n";

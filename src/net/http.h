@@ -28,6 +28,37 @@ struct HttpResponse {
   Bytes body;
 };
 
+// --- Incremental (non-blocking) parsing -------------------------------------
+//
+// The async server core (net/async_server.h) receives bytes in arbitrary
+// fragments and may hold several pipelined requests in one buffer, so it
+// needs a parser that consumes exactly one request from the front of a
+// buffer and reports "not enough bytes yet" without blocking.
+
+enum class HttpParseOutcome {
+  kNeedMore,  // the buffer holds only a prefix of a request
+  kParsed,    // one full request was consumed (*consumed bytes)
+  kError,     // the bytes cannot be the start of a valid request
+};
+
+// Attempts to parse one complete HTTP/1.1 request from data[0..size). On
+// kParsed fills `*out` and sets `*consumed` to the bytes eaten (the caller
+// drops them and may immediately re-parse the remainder — pipelining). On
+// kError `*error` (when non-null) describes the problem. Header block is
+// capped at 64 KiB and bodies at kMaxFrameBytes, mirroring the blocking
+// reader's limits.
+HttpParseOutcome ParseHttpRequest(const uint8_t* data, size_t size,
+                                  HttpRequest* out, size_t* consumed,
+                                  std::string* error = nullptr);
+
+// Serializes status line + headers (adding content-length when absent) +
+// body, appending to `*out`. The inverse of HttpConnection::ReadResponse.
+void SerializeHttpResponse(const HttpResponse& response, Bytes* out);
+
+// Serializes a request the same way (used by pipelining tests and clients
+// that batch several requests into one write).
+void SerializeHttpRequest(const HttpRequest& request, Bytes* out);
+
 // Buffered reader/writer for one HTTP connection. Not thread-safe; callers
 // serialize access (one in-flight request per connection, as HTTP/1.1
 // without pipelining).

@@ -19,6 +19,14 @@ HttpResponse TextResponse(std::string body, const std::string& content_type) {
 
 }  // namespace
 
+bool IsObsRequest(const HttpRequest& request) {
+  if (request.method != "GET") return false;
+  const std::string& path = request.path;
+  return path == "/metrics" || path == "/metrics.json" || path == "/traces" ||
+         path == "/debug/slow" || path == "/debug/slow.txt" ||
+         path == "/version" || path == "/healthz";
+}
+
 bool HandleObsRequest(const HttpRequest& request, HttpResponse* response,
                       obs::MetricsRegistry* registry, obs::Tracer* tracer) {
   if (request.method != "GET") return false;
@@ -63,8 +71,22 @@ StatusOr<std::unique_ptr<ObsHttpServer>> ObsHttpServer::Start(
   server->registry_ = registry;
   server->tracer_ = tracer;
   ObsHttpServer* raw = server.get();
-  server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); });
+  // The scrape sidecar is pure control plane: a couple of I/O threads and
+  // workers are plenty, and it rides whichever core the process selects.
+  AsyncServerOptions options;
+  options.io_threads = 1;
+  options.worker_threads = 2;
+  server->server_ = MakeHttpServer(
+      [raw](const HttpRequest& request) {
+        HttpResponse response;
+        if (!HandleObsRequest(request, &response, raw->registry_,
+                              raw->tracer_)) {
+          response.status_code = 404;
+          response.reason = "Not Found";
+        }
+        return response;
+      },
+      std::move(options));
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
   return server;
 }
@@ -73,20 +95,6 @@ ObsHttpServer::~ObsHttpServer() { Stop(); }
 
 void ObsHttpServer::Stop() {
   if (server_ != nullptr) server_->Stop();
-}
-
-void ObsHttpServer::HandleConnection(Socket socket) {
-  HttpConnection conn(std::move(socket));
-  for (;;) {
-    auto request = conn.ReadRequest();
-    if (!request.ok()) return;  // disconnect
-    HttpResponse response;
-    if (!HandleObsRequest(*request, &response, registry_, tracer_)) {
-      response.status_code = 404;
-      response.reason = "Not Found";
-    }
-    if (!conn.WriteResponse(response).ok()) return;
-  }
 }
 
 }  // namespace dstore

@@ -4,8 +4,8 @@
 #include <memory>
 
 #include "common/status.h"
+#include "net/async_server.h"
 #include "net/http.h"
-#include "net/server.h"
 #include "obs/exposition.h"
 
 namespace dstore {
@@ -24,6 +24,14 @@ namespace dstore {
 // HTTP-speaking servers (the cloud store) fold these into their existing
 // request handler via HandleObsRequest; framed-protocol servers (cache,
 // SQL) run an ObsHttpServer sidecar listener on a separate port.
+
+// True when `request` targets one of the observability routes above — the
+// route test a server uses to decide whether a request takes the admission
+// queue's priority lane. Split out from HandleObsRequest so data-plane
+// requests never enter the priority lane just to discover they are not obs
+// traffic (which used to inflate dstore_admit_queue_priority_total by one
+// per data-plane request).
+bool IsObsRequest(const HttpRequest& request);
 
 // If `request` targets an observability route, fills `*response` and
 // returns true; otherwise leaves `*response` alone and returns false.
@@ -48,11 +56,9 @@ class ObsHttpServer {
  private:
   ObsHttpServer() = default;
 
-  void HandleConnection(Socket socket);
-
   obs::MetricsRegistry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
-  std::unique_ptr<ThreadedServer> server_;
+  std::unique_ptr<Server> server_;
 };
 
 }  // namespace dstore

@@ -1,0 +1,146 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace dstore {
+
+namespace {
+std::string Errno() { return std::strerror(errno); }
+}  // namespace
+
+Reactor::~Reactor() { Stop(); }
+
+Status Reactor::Start() {
+  if (running_.load()) return Status::OK();
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Status::IOError("epoll_create1: " + Errno());
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::IOError("eventfd: " + Errno());
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: drained explicitly in Loop()
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const Status status = Status::IOError("epoll_ctl(wakeup): " + Errno());
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return status;
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void Reactor::Stop() {
+  if (!running_.exchange(false)) return;
+  const uint64_t one = 1;
+  // Wake the loop so it observes running_ == false.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+  MutexLock lock(mu_);
+  callbacks_.clear();
+  tasks_.clear();
+}
+
+Status Reactor::Add(int fd, uint32_t events, EventCallback callback) {
+  {
+    MutexLock lock(mu_);
+    callbacks_[fd] = std::make_shared<EventCallback>(std::move(callback));
+  }
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    const Status status = Status::IOError("epoll_ctl(add): " + Errno());
+    MutexLock lock(mu_);
+    callbacks_.erase(fd);
+    return status;
+  }
+  return Status::OK();
+}
+
+Status Reactor::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IOError("epoll_ctl(mod): " + Errno());
+  }
+  return Status::OK();
+}
+
+void Reactor::Remove(int fd) {
+  // EPOLL_CTL_DEL may fail if the fd was never added or is already closed;
+  // either way the callback entry is what makes events deliverable.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  MutexLock lock(mu_);
+  callbacks_.erase(fd);
+}
+
+void Reactor::RunInLoop(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::Loop() {
+  std::vector<epoll_event> events(64);
+  while (running_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; Stop() is tearing us down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        (void)!::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // Copy the callback out under the lock so a concurrent Remove() (or a
+      // Remove() performed by an earlier callback in this batch) simply
+      // drops the event instead of racing the invocation.
+      std::shared_ptr<EventCallback> callback;
+      {
+        MutexLock lock(mu_);
+        auto it = callbacks_.find(fd);
+        if (it != callbacks_.end()) callback = it->second;
+      }
+      if (callback != nullptr) (*callback)(events[i].events);
+    }
+    // Deferred tasks run after the event batch: a task posted by a callback
+    // in this batch (e.g. "resume reading") still runs promptly.
+    for (;;) {
+      std::function<void()> task;
+      {
+        MutexLock lock(mu_);
+        if (tasks_.empty()) break;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+    if (n == static_cast<int>(events.size())) events.resize(events.size() * 2);
+  }
+}
+
+}  // namespace dstore

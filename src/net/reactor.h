@@ -1,0 +1,86 @@
+#ifndef DSTORE_NET_REACTOR_H_
+#define DSTORE_NET_REACTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace dstore {
+
+// One epoll event loop on one thread. The async server core (see
+// net/async_server.h) runs a small pool of these, each multiplexing a slice
+// of the live connections — the io-thread model that replaces the seed's
+// thread-per-connection servers.
+//
+// Descriptors are registered edge-triggered (EPOLLET is added to whatever
+// event mask the caller passes), so a callback must drain its descriptor to
+// EAGAIN before returning; readiness is only reported again after new bytes
+// (or buffer space) arrive. All callbacks for a given descriptor run on this
+// reactor's single loop thread, which is what lets per-connection parse
+// state go unlocked in the server core.
+//
+// Thread-safety: Add/Modify/Remove/RunInLoop may be called from any thread
+// (epoll_ctl is kernel-serialized; the callback table has its own lock).
+// Remove() only unregisters — the descriptor stays open and owned by the
+// caller, so a freshly accepted connection can never collide with a dying
+// one's fd while late completion callbacks still hold it.
+class Reactor {
+ public:
+  // `events` is the epoll readiness bitmask (EPOLLIN | EPOLLOUT | ...).
+  using EventCallback = std::function<void(uint32_t events)>;
+
+  Reactor() = default;
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Creates the epoll instance and wakeup eventfd and starts the loop
+  // thread.
+  Status Start();
+
+  // Wakes the loop, joins the thread, and closes the epoll/eventfd
+  // descriptors. Registered fds are NOT closed (the caller owns them).
+  // Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  // Registers `fd` with `events | EPOLLET`. `callback` runs on the loop
+  // thread each time the descriptor becomes ready.
+  Status Add(int fd, uint32_t events, EventCallback callback);
+
+  // Rearms `fd` with a new event mask (EPOLLET re-added internally).
+  Status Modify(int fd, uint32_t events);
+
+  // Unregisters `fd`. Safe against concurrent event delivery: the callback
+  // table entry is removed under lock, so a ready event that races with
+  // removal is dropped.
+  void Remove(int fd);
+
+  // Runs `task` on the loop thread as soon as possible. Used to re-enter a
+  // connection's read path after backpressure clears, where edge-triggered
+  // epoll would never re-report the (already buffered) data.
+  void RunInLoop(std::function<void()> task);
+
+ private:
+  void Loop();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: poked by RunInLoop() and Stop()
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  mutable Mutex mu_;
+  std::map<int, std::shared_ptr<EventCallback>> callbacks_ GUARDED_BY(mu_);
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+};
+
+}  // namespace dstore
+
+#endif  // DSTORE_NET_REACTOR_H_

@@ -74,6 +74,13 @@ class ThreadedServer {
   bool running() const { return running_.load(); }
   uint16_t port() const { return listener_.port(); }
 
+  // Connections currently being served (introspection for tests and the
+  // core-agnostic Server interface in net/async_server.h).
+  size_t ActiveConnectionCount() const {
+    MutexLock lock(mu_);
+    return active_conns_.size();
+  }
+
  private:
   void AcceptLoop();
 
@@ -86,7 +93,7 @@ class ThreadedServer {
   ServerSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  Mutex mu_;
+  mutable Mutex mu_;
   std::vector<std::thread> connection_threads_ GUARDED_BY(mu_);
   // Live connections by a per-connection id, NOT by fd: a handler closes
   // its socket before it can deregister, so the kernel may hand the same

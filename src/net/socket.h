@@ -71,6 +71,8 @@ class ServerSocket {
 
   uint16_t port() const { return port_; }
   bool valid() const { return fd_.load() >= 0; }
+  // Raw descriptor (-1 after Close), for registration with a Reactor.
+  int fd() const { return fd_.load(); }
 
   // Closing from another thread unblocks Accept().
   void Close();

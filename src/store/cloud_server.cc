@@ -28,7 +28,7 @@ HttpResponse MakeResponse(int code, const std::string& reason) {
 
 StatusOr<std::unique_ptr<CloudStoreServer>> CloudStoreServer::Start(
     std::unique_ptr<LatencyModel> latency, uint16_t port,
-    admit::ServerQueue::Options queue_options) {
+    admit::ServerQueue::Options queue_options, ServerCore core) {
   auto server = std::unique_ptr<CloudStoreServer>(new CloudStoreServer());
   server->latency_ = std::move(latency);
   if (queue_options.name == admit::ServerQueue::Options().name) {
@@ -37,11 +37,27 @@ StatusOr<std::unique_ptr<CloudStoreServer>> CloudStoreServer::Start(
   server->queue_ = std::make_unique<admit::ServerQueue>(queue_options);
 
   CloudStoreServer* raw = server.get();
-  server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); },
-      /*component=*/"cloud");
+  AsyncServerOptions server_options;
+  server_options.component = "cloud";
+  server_options.core = core;
+  // A queued request blocks its worker thread in ServerQueue::Enter, and
+  // pipelining means outstanding requests are bounded by admission capacity
+  // rather than connection count — so the worker pool must cover every
+  // admissible-or-queued request (plus headroom for priority-lane scrapes)
+  // or the pool itself becomes a hidden second queue that the admission
+  // metrics never see. See docs/udsm_guide.md §11.
+  server_options.worker_threads =
+      queue_options.max_concurrency + queue_options.max_queue_depth + 2;
+  server->server_ = MakeHttpServer(
+      [raw](const HttpRequest& request) {
+        return raw->HandleHttpRequest(request);
+      },
+      std::move(server_options));
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
   obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+  server->request_ms_ = registry->GetHistogram(
+      "dstore_cloud_request_ms", {},
+      "Cloud store request service time (handler + injected WAN delay).");
   obs::Gauge* objects = registry->GetGauge(
       "dstore_cloud_objects", {}, "Objects currently stored.");
   server->objects_collector_id_ = registry->AddCollector(
@@ -64,120 +80,112 @@ size_t CloudStoreServer::ObjectCount() const {
   return objects_.size();
 }
 
-void CloudStoreServer::HandleConnection(Socket socket) {
+HttpResponse CloudStoreServer::HandleHttpRequest(const HttpRequest& request) {
   obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
-  obs::Histogram* request_ms = registry->GetHistogram(
-      "dstore_cloud_request_ms", {},
-      "Cloud store request service time (handler + injected WAN delay).");
-  HttpConnection conn(std::move(socket));
-  for (;;) {
-    auto request = conn.ReadRequest();
-    if (!request.ok()) return;  // disconnect
 
-    // Observability routes answer immediately through the queue's priority
-    // lane: a metrics scrape or health probe must not pay the simulated
-    // WAN round trip, and must keep working while the data plane sheds —
-    // overload protection that also blinds the operator is useless.
-    HttpResponse response;
-    {
-      admit::ServerQueue::Admission priority(
-          queue_.get(), admit::ServerQueue::Lane::kPriority);
-      if (HandleObsRequest(*request, &response)) {
-        if (!conn.WriteResponse(response).ok()) return;
-        continue;
-      }
-    }
-
-    // Re-establish the caller's budget from the propagated header, so the
-    // queue wait and the handler both count against it.
-    admit::Deadline deadline;
-    auto dl = request->headers.find("x-dstore-deadline-ms");
-    if (dl != request->headers.end()) {
-      const long long ms = std::atoll(dl->second.c_str());
-      if (ms > 0) deadline = admit::Deadline::After(ms * 1'000'000);
-    }
-    admit::ScopedDeadline scope(deadline);
-
-    // Re-establish the caller's trace the same way: the span tree recorded
-    // here becomes a segment of the client's trace, stitched under the
-    // client span named in the header. A malformed or oversized header
-    // parses to nullopt and the request simply runs untraced.
-    std::optional<obs::TraceContext> trace_ctx;
-    auto th = request->headers.find(obs::kTraceHeaderName);
-    if (th != request->headers.end()) {
-      trace_ctx = obs::ParseTraceContext(th->second);
-    }
-    {
-      obs::Span::Options span_options;
-      span_options.remote_parent =
-          trace_ctx.has_value() ? &*trace_ctx : nullptr;
-      obs::Span request_span("server.request", span_options);
-      request_span.SetAttribute("method", request->method);
-      request_span.SetAttribute("path", request->path);
-
-      int64_t queue_wait_nanos = 0;
-      {
-        obs::Span queue_span("server.queue", obs::Stage::kQueue);
-        admit::ServerQueue::Admission admission(queue_.get());
-        queue_wait_nanos = admission.wait_nanos();
-        if (queue_wait_nanos > 0) {
-          queue_span.SetAttribute(
-              "queue_wait_ms",
-              std::to_string(
-                  static_cast<double>(queue_wait_nanos) / 1e6));
-        }
-        if (!admission.ok()) {
-          // Shed: a *distinct* overload answer (503/504), never anything a
-          // client could mistake for a data-plane result like 404.
-          queue_span.SetAttribute(
-              "shed_reason",
-              admission.status().IsTimedOut() ? "deadline" : "overload");
-          queue_span.MarkError();
-          response = admission.status().IsTimedOut()
-                         ? MakeResponse(504, "Deadline Expired")
-                         : MakeResponse(503, "Overloaded");
-          response.headers["x-dstore-shed"] = "1";
-        } else {
-          queue_span.End();
-          Stopwatch watch(RealClock::Default());
-          registry
-              ->GetCounter("dstore_cloud_requests_total",
-                           {{"method", request->method}},
-                           "Cloud store data-plane requests by HTTP method.")
-              ->Increment();
-          if (admit::CurrentDeadline().expired()) {
-            // Admitted, but the budget ran out while queued; answer 504
-            // without doing the work or paying the WAN delay.
-            response = MakeResponse(504, "Deadline Expired");
-          } else {
-            {
-              obs::Span handle_span("server.handle", obs::Stage::kBackend);
-              response = HandleRequest(*request);
-            }
-            // Inject the WAN delay: model the round trip plus transfer of
-            // both bodies before the response reaches the client.
-            if (latency_ != nullptr) {
-              obs::Span wan_span("server.wan", obs::Stage::kNetwork);
-              const int64_t delay =
-                  latency_->SampleNanos(request->body.size() +
-                                        response.body.size());
-              RealClock::Default()->SleepFor(delay);
-            }
-          }
-          request_ms->Record(watch.ElapsedMillis());
-        }
-      }
-      request_span.SetAttribute("http.status",
-                                std::to_string(response.status_code));
-      request_span.SetAttribute("bytes",
-                                std::to_string(response.body.size()));
-      if (response.status_code >= 500) request_span.MarkError();
-    }
-    // The request span ends (and its segment is published) before the
-    // response leaves, so a sampling client sees its segments on arrival.
-    if (!conn.WriteResponse(response).ok()) return;
+  // Observability routes answer immediately through the queue's priority
+  // lane: a metrics scrape or health probe must not pay the simulated
+  // WAN round trip, and must keep working while the data plane sheds —
+  // overload protection that also blinds the operator is useless. The
+  // route check comes first so data-plane requests never touch the
+  // priority lane (entering it for every request used to inflate
+  // dstore_admit_queue_priority_total by one per data-plane request).
+  HttpResponse response;
+  if (IsObsRequest(request)) {
+    admit::ServerQueue::Admission priority(
+        queue_.get(), admit::ServerQueue::Lane::kPriority);
+    if (HandleObsRequest(request, &response)) return response;
   }
+
+  // Re-establish the caller's budget from the propagated header, so the
+  // queue wait and the handler both count against it.
+  admit::Deadline deadline;
+  auto dl = request.headers.find("x-dstore-deadline-ms");
+  if (dl != request.headers.end()) {
+    const long long ms = std::atoll(dl->second.c_str());
+    if (ms > 0) deadline = admit::Deadline::After(ms * 1'000'000);
+  }
+  admit::ScopedDeadline scope(deadline);
+
+  // Re-establish the caller's trace the same way: the span tree recorded
+  // here becomes a segment of the client's trace, stitched under the
+  // client span named in the header. A malformed or oversized header
+  // parses to nullopt and the request simply runs untraced. The span tree
+  // lives entirely on this worker thread — the server core runs one
+  // handler invocation per request, even when requests are pipelined.
+  std::optional<obs::TraceContext> trace_ctx;
+  auto th = request.headers.find(obs::kTraceHeaderName);
+  if (th != request.headers.end()) {
+    trace_ctx = obs::ParseTraceContext(th->second);
+  }
+  {
+    obs::Span::Options span_options;
+    span_options.remote_parent = trace_ctx.has_value() ? &*trace_ctx : nullptr;
+    obs::Span request_span("server.request", span_options);
+    request_span.SetAttribute("method", request.method);
+    request_span.SetAttribute("path", request.path);
+
+    int64_t queue_wait_nanos = 0;
+    {
+      obs::Span queue_span("server.queue", obs::Stage::kQueue);
+      admit::ServerQueue::Admission admission(queue_.get());
+      queue_wait_nanos = admission.wait_nanos();
+      if (queue_wait_nanos > 0) {
+        queue_span.SetAttribute(
+            "queue_wait_ms",
+            std::to_string(static_cast<double>(queue_wait_nanos) / 1e6));
+      }
+      if (!admission.ok()) {
+        // Shed: a *distinct* overload answer (503/504), never anything a
+        // client could mistake for a data-plane result like 404.
+        queue_span.SetAttribute(
+            "shed_reason",
+            admission.status().IsTimedOut() ? "deadline" : "overload");
+        queue_span.MarkError();
+        response = admission.status().IsTimedOut()
+                       ? MakeResponse(504, "Deadline Expired")
+                       : MakeResponse(503, "Overloaded");
+        response.headers["x-dstore-shed"] = "1";
+      } else {
+        queue_span.End();
+        Stopwatch watch(RealClock::Default());
+        registry
+            ->GetCounter("dstore_cloud_requests_total",
+                         {{"method", request.method}},
+                         "Cloud store data-plane requests by HTTP method.")
+            ->Increment();
+        if (admit::CurrentDeadline().expired()) {
+          // Admitted, but the budget ran out while queued; answer 504
+          // without doing the work or paying the WAN delay.
+          response = MakeResponse(504, "Deadline Expired");
+        } else {
+          {
+            obs::Span handle_span("server.handle", obs::Stage::kBackend);
+            response = HandleRequest(request);
+          }
+          // Inject the WAN delay: model the round trip plus transfer of
+          // both bodies before the response reaches the client.
+          if (latency_ != nullptr) {
+            obs::Span wan_span("server.wan", obs::Stage::kNetwork);
+            const int64_t delay = latency_->SampleNanos(
+                request.body.size() + response.body.size());
+            RealClock::Default()->SleepFor(delay);
+          }
+        }
+        request_ms_->Record(watch.ElapsedMillis());
+      }
+    }
+    request_span.SetAttribute("http.status",
+                              std::to_string(response.status_code));
+    request_span.SetAttribute("bytes", std::to_string(response.body.size()));
+    if (response.status_code >= 500) request_span.MarkError();
+  }
+  // The request span ends (and its segment is published) when this handler
+  // returns — before the server core writes the response — so a sampling
+  // client still sees its segments on arrival.
+  return response;
 }
+
 
 HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
   const std::string& path = request.path;

@@ -8,9 +8,10 @@
 #include "admit/server_queue.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "net/async_server.h"
 #include "net/http.h"
 #include "net/latency_model.h"
-#include "net/server.h"
+#include "obs/metrics.h"
 
 namespace dstore {
 
@@ -48,9 +49,13 @@ class CloudStoreServer {
  public:
   // Takes ownership of `latency` (pass NoLatency for a LAN-local store).
   // `queue_options.name` defaults to "cloud" when left at its stock value.
+  // `core` picks the transport engine (async reactor by default; the
+  // threaded fallback is kept for one transition PR — see
+  // net/async_server.h).
   static StatusOr<std::unique_ptr<CloudStoreServer>> Start(
       std::unique_ptr<LatencyModel> latency, uint16_t port = 0,
-      admit::ServerQueue::Options queue_options = {});
+      admit::ServerQueue::Options queue_options = {},
+      ServerCore core = DefaultServerCore());
 
   ~CloudStoreServer();
 
@@ -72,12 +77,16 @@ class CloudStoreServer {
 
   CloudStoreServer() = default;
 
-  void HandleConnection(Socket socket);
+  // Full per-request pipeline (obs priority lane, deadline + trace
+  // re-establishment, admission, handler, WAN delay); runs on a worker
+  // thread of the server core, one invocation per pipelined request.
+  HttpResponse HandleHttpRequest(const HttpRequest& request);
   HttpResponse HandleRequest(const HttpRequest& request);
 
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<admit::ServerQueue> queue_;
-  std::unique_ptr<ThreadedServer> server_;
+  std::unique_ptr<Server> server_;
+  obs::Histogram* request_ms_ = nullptr;
   int objects_collector_id_ = 0;  // scrape-time object-count gauge refresh
   mutable Mutex mu_;
   std::unordered_map<std::string, Object> objects_ GUARDED_BY(mu_);

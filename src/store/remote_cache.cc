@@ -32,9 +32,11 @@ StatusOr<std::unique_ptr<RemoteCacheServer>> RemoteCacheServer::Start(
   auto server = std::unique_ptr<RemoteCacheServer>(new RemoteCacheServer());
   server->backing_ = std::move(backing);
   RemoteCacheServer* raw = server.get();
-  server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); },
-      /*component=*/"cache");
+  AsyncServerOptions server_options;
+  server_options.component = "cache";
+  server->server_ = MakeFramedServer(
+      [raw](const Bytes& request) { return raw->HandleRequest(request); },
+      std::move(server_options));
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
   server->stats_collector_id_ = PublishCacheMetrics(
       obs::MetricsRegistry::Default(), server->backing_.get(),
@@ -50,15 +52,6 @@ void RemoteCacheServer::Stop() {
     stats_collector_id_ = 0;
   }
   if (server_ != nullptr) server_->Stop();
-}
-
-void RemoteCacheServer::HandleConnection(Socket socket) {
-  for (;;) {
-    auto request = ReadFrame(&socket);
-    if (!request.ok()) return;
-    const Bytes response = HandleRequest(*request);
-    if (!WriteFrame(&socket, response).ok()) return;
-  }
 }
 
 Bytes RemoteCacheServer::HandleRequest(const Bytes& request) {

@@ -9,7 +9,7 @@
 #include "cache/cache.h"
 #include "common/status.h"
 #include "common/sync.h"
-#include "net/server.h"
+#include "net/async_server.h"
 #include "net/socket.h"
 #include "store/key_value.h"
 
@@ -51,11 +51,10 @@ class RemoteCacheServer {
  private:
   RemoteCacheServer() = default;
 
-  void HandleConnection(Socket socket);
   Bytes HandleRequest(const Bytes& request);
 
   std::unique_ptr<Cache> backing_;
-  std::unique_ptr<ThreadedServer> server_;
+  std::unique_ptr<Server> server_;
   int stats_collector_id_ = 0;  // backing-cache stats published on scrape
 };
 

@@ -48,9 +48,11 @@ StatusOr<std::unique_ptr<SqlServer>> SqlServer::Start(
   DSTORE_RETURN_IF_ERROR(server->EnsureKvTable());
 
   SqlServer* raw = server.get();
-  server->server_ = std::make_unique<ThreadedServer>(
-      [raw](Socket socket) { raw->HandleConnection(std::move(socket)); },
-      /*component=*/"sql");
+  AsyncServerOptions server_options;
+  server_options.component = "sql";
+  server->server_ = MakeFramedServer(
+      [raw](const Bytes& request) { return raw->HandleRequest(request); },
+      std::move(server_options));
   DSTORE_RETURN_IF_ERROR(server->server_->Start(port));
   return server;
 }
@@ -65,15 +67,6 @@ Status SqlServer::EnsureKvTable() {
   auto result = db_->Execute(
       "CREATE TABLE IF NOT EXISTS kv (k TEXT PRIMARY KEY, v BLOB)");
   return result.ok() ? Status::OK() : result.status();
-}
-
-void SqlServer::HandleConnection(Socket socket) {
-  for (;;) {
-    auto request = ReadFrame(&socket);
-    if (!request.ok()) return;  // client disconnected
-    const Bytes response = HandleRequest(*request);
-    if (!WriteFrame(&socket, response).ok()) return;
-  }
 }
 
 Bytes SqlServer::HandleRequest(const Bytes& request) {

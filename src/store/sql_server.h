@@ -5,7 +5,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "net/server.h"
+#include "net/async_server.h"
 #include "store/sql/database.h"
 
 namespace dstore {
@@ -37,12 +37,11 @@ class SqlServer {
  private:
   SqlServer() = default;
 
-  void HandleConnection(Socket socket);
   Bytes HandleRequest(const Bytes& request);
   Status EnsureKvTable();
 
   std::unique_ptr<sql::Database> db_;
-  std::unique_ptr<ThreadedServer> server_;
+  std::unique_ptr<Server> server_;
 };
 
 }  // namespace dstore

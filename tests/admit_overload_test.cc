@@ -268,5 +268,97 @@ TEST(AdmitOverloadTest, StalledBackendIsContained) {
   (*stalled_server)->Stop();
 }
 
+// The same overload discipline when the storm arrives pipelined on a single
+// connection instead of across many blocking clients: each pipelined request
+// takes its own admission, excess is shed per request with distinct overload
+// statuses (never a fabricated data-plane answer), every shed is metered,
+// responses come back in request order on the one connection, and the
+// priority lane keeps the server observable throughout.
+TEST(AdmitOverloadTest, PipelinedStormIsShedPerRequest) {
+  constexpr int kBurst = 30;
+  admit::ServerQueue::Options queue_options;
+  queue_options.name = "pipestorm";
+  queue_options.max_concurrency = 1;
+  queue_options.max_queue_depth = 2;
+  queue_options.queue_budget_nanos = 30'000'000;  // 30ms
+  auto server = CloudStoreServer::Start(
+      std::make_unique<FixedLatency>(kStallNanos), /*port=*/0, queue_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Seed one object through the front door.
+  {
+    auto socket = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(socket.ok());
+    HttpConnection conn(*std::move(socket));
+    HttpRequest put;
+    put.method = "PUT";
+    put.path = "/objects/feed";
+    put.body = ToBytes("v");
+    ASSERT_TRUE(conn.WriteRequest(put).ok());
+    auto seeded = conn.ReadResponse();
+    ASSERT_TRUE(seeded.ok());
+    ASSERT_EQ(seeded->status_code, 200);
+  }
+  const uint64_t sheds_before = (*server)->queue()->shed_total();
+
+  // The storm: one write carrying kBurst deadline-bounded pipelined GETs.
+  auto socket = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(socket.ok());
+  Bytes wire;
+  for (int i = 0; i < kBurst; ++i) {
+    HttpRequest get;
+    get.method = "GET";
+    get.path = "/objects/feed";
+    get.headers["x-dstore-deadline-ms"] = "25";
+    SerializeHttpRequest(get, &wire);
+  }
+  ASSERT_TRUE(socket->WriteFull(wire).ok());
+
+  // While the queue saturates, /healthz on a second connection still
+  // answers through the priority lane.
+  {
+    auto probe = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(probe.ok());
+    HttpConnection conn(*std::move(probe));
+    HttpRequest health;
+    health.method = "GET";
+    health.path = "/healthz";
+    ASSERT_TRUE(conn.WriteRequest(health).ok());
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+  }
+
+  int ok_count = 0, shed_count = 0, expired_count = 0;
+  HttpConnection conn(*std::move(socket));
+  for (int i = 0; i < kBurst; ++i) {
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok())
+        << "response " << i << ": " << response.status().ToString();
+    if (response->status_code == 200) {
+      ++ok_count;
+    } else if (response->headers.count("x-dstore-shed") != 0) {
+      // Queue shed: overload (503) or expired-while-queued (504), never a
+      // status a client could mistake for a data-plane result.
+      EXPECT_TRUE(response->status_code == 503 || response->status_code == 504)
+          << response->status_code;
+      ++shed_count;
+    } else {
+      // Admitted, but the deadline ran out while queued.
+      EXPECT_EQ(response->status_code, 504) << "response " << i;
+      ++expired_count;
+    }
+  }
+  EXPECT_EQ(ok_count + shed_count + expired_count, kBurst);
+  // One slot and a 15ms stall against a 25ms budget: the first request
+  // succeeds, and a burst this deep must overflow the two queue positions.
+  EXPECT_GE(ok_count, 1);
+  EXPECT_GT(shed_count, 0);
+  // Every shed answer on the wire is metered by the queue, one per request.
+  EXPECT_EQ((*server)->queue()->shed_total() - sheds_before,
+            static_cast<uint64_t>(shed_count));
+  (*server)->Stop();
+}
+
 }  // namespace
 }  // namespace dstore

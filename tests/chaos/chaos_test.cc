@@ -19,10 +19,13 @@
 #include "dscl/enhanced_store.h"
 #include "fault/fault.h"
 #include "fault/fault_store.h"
+#include "net/http.h"
 #include "net/latency_model.h"
+#include "net/socket.h"
 #include "obs/exposition.h"
 #include "store/cloud_client.h"
 #include "store/cloud_server.h"
+#include "store/key_value.h"
 #include "store/memory_store.h"
 #include "store/resilient_store.h"
 #include "store/sql/database.h"
@@ -132,9 +135,13 @@ void RunStorePhase(uint64_t seed, SoakOutcome* outcome) {
 
 // Phase 2: a real CloudStoreServer/Client pair over loopback TCP with the
 // socket-level injector breaking connects, reads, writes, and accepts.
-void RunNetworkPhase(uint64_t seed, SoakOutcome* outcome) {
+// Runs against either server core: the async reactor by default, the
+// threaded fallback when asked, with identical assertions.
+void RunNetworkPhase(uint64_t seed, SoakOutcome* outcome,
+                     ServerCore core = DefaultServerCore()) {
   SCOPED_TRACE("network phase, seed=" + std::to_string(seed));
-  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>(),
+                                        /*port=*/0, {}, core);
   ASSERT_TRUE(server.ok()) << server.status().ToString();
   auto client = CloudStoreClient::Connect("127.0.0.1", (*server)->port());
   ASSERT_TRUE(client.ok()) << client.status().ToString();
@@ -161,6 +168,78 @@ void RunNetworkPhase(uint64_t seed, SoakOutcome* outcome) {
   ASSERT_TRUE(verify_client.ok()) << verify_client.status().ToString();
   Status final = workload.VerifyFinalState(verify_client->get());
   ASSERT_TRUE(final.ok()) << final.ToString();
+
+  EXPECT_GT(plan->injected_total(), 0u) << "seed=" << seed;
+  outcome->net_faults += plan->injected_total();
+  (*server)->Stop();
+}
+
+// Phase 2b: HTTP pipelining under the socket fault mix. One connection
+// carries a burst of pipelined PUTs while reads, writes, and accepts break
+// underneath it. The invariants the injector must not bend: the i-th
+// response answers the i-th request (checked via etag — an out-of-order
+// response would carry another body's hash), and every acknowledged write
+// survives to a clean verification pass.
+void RunPipelinedNetworkPhase(uint64_t seed, SoakOutcome* outcome) {
+  SCOPED_TRACE("pipelined network phase, seed=" + std::to_string(seed));
+  auto server = CloudStoreServer::Start(std::make_unique<NoLatency>());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto plan = *fault::FaultPlan::FromSpec(seed, kNetFaultSpec);
+  std::vector<std::pair<std::string, Bytes>> acknowledged;  // path -> body
+  {
+    fault::ScopedSocketFaultInjector scoped(
+        std::make_shared<fault::PlanSocketFaultInjector>(plan));
+    Random rng(seed ^ 0x9199);
+    int key_counter = 0;
+    for (int burst = 0; burst < 20; ++burst) {
+      auto conn = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+      if (!conn.ok()) continue;  // injected refusal: nothing acknowledged
+      const int n = 8 + static_cast<int>(rng.Uniform(8));
+      Bytes wire;
+      std::vector<std::pair<std::string, Bytes>> burst_requests;
+      for (int i = 0; i < n; ++i) {
+        HttpRequest request;
+        request.method = "PUT";
+        request.path = "/objects/p" + std::to_string(seed) + "-" +
+                       std::to_string(key_counter++);
+        request.body = ToBytes("pv" + std::to_string(key_counter) + "-" +
+                               std::to_string(rng.Uniform(1 << 20)));
+        SerializeHttpRequest(request, &wire);
+        burst_requests.emplace_back(request.path, request.body);
+      }
+      if (!conn->WriteFull(wire).ok()) continue;  // burst died in flight
+      HttpConnection http(std::move(*conn));
+      for (int i = 0; i < n; ++i) {
+        auto response = http.ReadResponse();
+        if (!response.ok()) break;  // connection killed mid-pipeline
+        ASSERT_EQ(response->status_code, 200) << "seed=" << seed;
+        ASSERT_EQ(response->headers.at("etag"),
+                  ComputeEtag(burst_requests[i].second))
+            << "response " << i << " answered a different request, seed="
+            << seed;
+        acknowledged.push_back(burst_requests[i]);
+      }
+    }
+  }
+  ASSERT_FALSE(acknowledged.empty()) << "seed=" << seed;
+
+  // Injector gone: every acknowledged write must be readable, intact,
+  // through a clean connection.
+  auto verify = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(verify.ok()) << verify.status().ToString();
+  HttpConnection http(std::move(*verify));
+  for (const auto& [path, body] : acknowledged) {
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    ASSERT_TRUE(http.WriteRequest(request).ok());
+    auto response = http.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status_code, 200)
+        << "acknowledged write lost: " << path << " seed=" << seed;
+    ASSERT_EQ(response->body, body) << path << " seed=" << seed;
+  }
 
   EXPECT_GT(plan->injected_total(), 0u) << "seed=" << seed;
   outcome->net_faults += plan->injected_total();
@@ -251,6 +330,8 @@ TEST(ChaosSoakTest, SeedMatrixSurvivesInjectedFaults) {
     if (HasFatalFailure()) return;
     RunNetworkPhase(seed, &outcome);
     if (HasFatalFailure()) return;
+    RunPipelinedNetworkPhase(seed, &outcome);
+    if (HasFatalFailure()) return;
     RunWalPhase(seed, &outcome);
     if (HasFatalFailure()) return;
 
@@ -268,6 +349,14 @@ TEST(ChaosSoakTest, SeedMatrixSurvivesInjectedFaults) {
     EXPECT_NE(metrics.find("dstore_fault_injected_total"), std::string::npos);
     EXPECT_NE(metrics.find("dstore_fault_crashes_total"), std::string::npos);
   }
+}
+
+// The threaded fallback core must survive the same network fault mix with
+// the same invariants while it remains in the tree.
+TEST(ChaosSoakTest, NetworkPhaseSurvivesOnThreadedCore) {
+  SoakOutcome outcome;
+  RunNetworkPhase(SeedMatrix().front(), &outcome, ServerCore::kThreaded);
+  EXPECT_GT(outcome.net_faults, 0u);
 }
 
 }  // namespace

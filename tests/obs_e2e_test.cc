@@ -393,6 +393,66 @@ TEST_F(ObsE2eTest, HostileTraceHeadersAreIgnoredByServer) {
   EXPECT_EQ(family[0]->root().name, "server.request");
 }
 
+// N pipelined requests on one connection, each carrying its own sampled
+// trace context. The async core parses them in one read and runs the
+// handlers concurrently on worker threads, so this pins the isolation
+// contract: every request yields exactly one segment under its own trace
+// id and its own parent span — never a pipeline-sibling's — and per-stage
+// attribution still accounts for each segment's wall time.
+TEST_F(ObsE2eTest, PipelinedRequestsKeepTracesApart) {
+  constexpr int kPipelined = 8;
+  // Unique per run: the default tracer's segment ring outlives the fixture.
+  static uint64_t unique_base = 0x5000;
+  unique_base += 0x100;
+
+  auto socket = Socket::ConnectTcp("127.0.0.1", servers_[0]->port());
+  ASSERT_TRUE(socket.ok());
+  Bytes wire;
+  for (int i = 0; i < kPipelined; ++i) {
+    obs::TraceContext ctx;
+    ctx.trace_hi = 0xAAAA;
+    ctx.trace_lo = unique_base + static_cast<uint64_t>(i);
+    ctx.span_id = 0x7000 + static_cast<uint64_t>(i);
+    ctx.sampled = true;
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/count";
+    request.headers[obs::kTraceHeaderName] = ctx.ToHeader();
+    SerializeHttpRequest(request, &wire);
+  }
+  ASSERT_TRUE(socket->WriteFull(wire).ok());  // the whole burst in one write
+
+  HttpConnection conn(*std::move(socket));
+  for (int i = 0; i < kPipelined; ++i) {
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok()) << "response " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+  }
+
+  for (int i = 0; i < kPipelined; ++i) {
+    auto family =
+        tracer_->Family(0xAAAA, unique_base + static_cast<uint64_t>(i));
+    ASSERT_EQ(family.size(), 1u)
+        << "request " << i << " recorded " << family.size() << " segments";
+    const auto& segment = family[0];
+    EXPECT_TRUE(segment->IsSegment());
+    EXPECT_EQ(segment->parent_span_id(), 0x7000 + static_cast<uint64_t>(i))
+        << "segment " << i << " stitched under a sibling's span";
+    EXPECT_EQ(segment->root().name, "server.request");
+    EXPECT_EQ(CountSpansNamed(segment->root(), "server.request"), 1u);
+
+    // Stage attribution holds per segment even under pipelined concurrency:
+    // each handler's span tree lives on its own worker thread.
+    double sum = 0;
+    for (double stage_ms : segment->StageMillis()) sum += stage_ms;
+    EXPECT_GE(segment->DurationMillis(), 5.0);  // the simulated WAN delay
+    EXPECT_NEAR(sum, segment->DurationMillis(),
+                0.05 * segment->DurationMillis())
+        << "segment " << i << ":\n" << segment->ToText();
+  }
+}
+
 // An unsampled client adds no header and the servers record nothing: the
 // whole request runs with tracing compiled in but off.
 TEST_F(ObsE2eTest, UnsampledRequestsLeaveNoTraces) {
