@@ -7,7 +7,7 @@
 //
 // Commands:
 //   open NAME TYPE [PATH]   register a store (TYPE: memory | file | sql |
-//                           shard [N] — N memory-backed shards, default 3)
+//                           lsm | shard [N] — N memory shards, default 3)
 //   use NAME                select the current store
 //   stores                  list registered stores
 //   put KEY VALUE...        store a value (VALUE may contain spaces)
@@ -24,6 +24,8 @@
 //   slow                    print captured slow/error traces (worst first)
 //   version                 print this binary's build identity
 //   topology                ring ownership + per-shard key counts (shard store)
+//   lsm stats               level shape, bloom hit rate, compaction debt
+//   lsm compact             flush + compact the lsm store to a steady state
 //   addshard NAME           grow a shard store online (memory-backed shard)
 //   rmshard NAME            shrink a shard store online
 //   help                    this text
@@ -42,6 +44,7 @@
 #include "obs/trace.h"
 #include "shard/sharded_store.h"
 #include "store/file_store.h"
+#include "store/lsm/lsm_store.h"
 #include "store/memory_store.h"
 #include "store/sql_client.h"
 #include "store/sql_server.h"
@@ -55,8 +58,8 @@ constexpr char kHelp[] =
     "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
     "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
     "          stats | trace K | slow | version | topology | addshard NAME |\n"
-    "          rmshard NAME | admit | help | quit\n"
-    "types:    memory | file | sql | shard | admit (memory behind a\n"
+    "          rmshard NAME | admit | lsm stats | lsm compact | help | quit\n"
+    "types:    memory | file | sql | lsm | shard | admit (memory behind a\n"
     "          concurrency limiter + circuit breaker; inspect with `admit`)\n";
 
 struct Shell {
@@ -92,6 +95,14 @@ struct Shell {
     } else if (type == "file") {
       if (path.empty()) path = "/tmp/udsm_cli_" + name;
       auto store = FileStore::Open(path);
+      status = store.ok()
+                   ? udsm.RegisterStore(
+                         name, std::shared_ptr<KeyValueStore>(
+                                   *std::move(store)))
+                   : store.status();
+    } else if (type == "lsm") {
+      if (path.empty()) path = "/tmp/udsm_cli_" + name;
+      auto store = lsm::LsmStore::Open(path);
       status = store.ok()
                    ? udsm.RegisterStore(
                          name, std::shared_ptr<KeyValueStore>(
@@ -137,8 +148,9 @@ struct Shell {
           name,
           std::make_shared<admit::CircuitBreakerStore>(std::move(admitting)));
     } else {
-      std::printf("unknown store type '%s' (memory|file|sql|shard|admit)\n",
-                  type.c_str());
+      std::printf(
+          "unknown store type '%s' (memory|file|sql|lsm|shard|admit)\n",
+          type.c_str());
       return;
     }
     if (status.ok()) {
@@ -290,6 +302,54 @@ struct Shell {
                   shard_name.c_str(), sharded->shard_count(),
                   static_cast<unsigned long long>(
                       sharded->keys_migrated_total()));
+    } else if (command == "lsm") {
+      std::string sub;
+      args >> sub;
+      lsm::LsmStore* store = udsm.GetNative<lsm::LsmStore>(current);
+      if (store == nullptr) {
+        std::printf("error: '%s' is not an lsm store\n", current.c_str());
+        return;
+      }
+      if (sub == "compact") {
+        const Status status = store->CompactAll();
+        if (!status.ok()) {
+          std::printf("error: %s\n", status.ToString().c_str());
+          return;
+        }
+      } else if (sub != "stats" && !sub.empty()) {
+        std::printf("usage: lsm stats | lsm compact\n");
+        return;
+      }
+      const lsm::LsmStats stats = store->GetStats();
+      std::printf("memtable: %zu bytes, %zu entries%s\n", stats.memtable_bytes,
+                  stats.memtable_entries,
+                  stats.has_immutable ? " (+1 immutable flushing)" : "");
+      for (size_t level = 0; level < stats.levels.size(); ++level) {
+        const auto& l = stats.levels[level];
+        if (l.files == 0) continue;
+        std::printf("L%zu: %zu files, %llu bytes, %llu entries\n", level,
+                    l.files, static_cast<unsigned long long>(l.bytes),
+                    static_cast<unsigned long long>(l.entries));
+      }
+      const double hit_rate =
+          stats.bloom_checks == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(stats.bloom_negatives) /
+                    static_cast<double>(stats.bloom_checks);
+      std::printf(
+          "flushes: %llu  compactions: %llu  tombstones dropped: %llu\n",
+          static_cast<unsigned long long>(stats.flushes),
+          static_cast<unsigned long long>(stats.compactions),
+          static_cast<unsigned long long>(stats.tombstones_dropped));
+      std::printf("bloom: %llu checks, %.1f%% skipped, %llu false positives\n",
+                  static_cast<unsigned long long>(stats.bloom_checks),
+                  hit_rate,
+                  static_cast<unsigned long long>(stats.bloom_false_positives));
+      std::printf("compaction debt: %llu bytes  last sequence: %llu  "
+                  "snapshots: %zu\n",
+                  static_cast<unsigned long long>(stats.compaction_debt_bytes),
+                  static_cast<unsigned long long>(stats.last_sequence),
+                  stats.live_snapshots);
     } else if (command == "admit") {
       // Live admission-control state: breaker states, concurrency limits,
       // shed counters — every registered component, one line each.

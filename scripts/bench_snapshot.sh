@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Seeds the bench trajectory: builds the microbenchmarks in Release, runs
 # bench_micro_stores (store substrate), bench_micro_admit (admission
-# layer), bench_micro_obs (tracing), and bench_micro_net (server cores),
-# and writes machine-readable BENCH_admit.json, BENCH_obs.json, and
-# BENCH_net.json files at the repo root.
+# layer), bench_micro_obs (tracing), bench_micro_net (server cores), and
+# bench_micro_lsm (the LSM engine vs FileStore), and writes
+# machine-readable BENCH_admit.json, BENCH_obs.json, BENCH_net.json, and
+# BENCH_lsm.json files at the repo root.
 #
 #   scripts/bench_snapshot.sh            # full snapshot
 #   scripts/bench_snapshot.sh --quick    # shorter benchmark runs
@@ -13,10 +14,13 @@
 # stack (paired BM_AdmitFileReadOverhead rows, contract ≤5%), the
 # per-op cost of tracing that is compiled in but not sampling (the
 # BM_ObsFileReadOverhead no-spans/disabled/always-on rows, contract ≤2%
-# for the disabled regime — docs/testing.md, "Observability"), and the
+# for the disabled regime — docs/testing.md, "Observability"), the
 # server-core capacity headline (BM_ConcurrentConnections: the async
 # reactor must hold ≥10x the threaded core's connection count at
-# equal-or-better p99 — docs/udsm_guide.md §11). The build tree lands in
+# equal-or-better p99 — docs/udsm_guide.md §11), and the LSM engine
+# headlines (BM_RandomWrite buffered rows: random-write throughput ≥5x
+# FileStore at equal value sizes; BM_RandomRead: post-compaction read p99
+# ≤2x FileStore — docs/udsm_guide.md §12). The build tree lands in
 # build-bench/ so the default build/ directory is left alone.
 set -euo pipefail
 
@@ -30,7 +34,7 @@ fi
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-bench -j"$(nproc)" \
   --target bench_micro_stores bench_micro_admit bench_micro_obs \
-  bench_micro_net
+  bench_micro_net bench_micro_lsm
 
 out_dir="build-bench/bench"
 ./build-bench/bench/bench_micro_stores ${MIN_TIME} \
@@ -43,9 +47,11 @@ out_dir="build-bench/bench"
 # per row), so MIN_TIME does not apply; the plain round-trip rows honor it.
 ./build-bench/bench/bench_micro_net ${MIN_TIME} \
   --benchmark_out="${out_dir}/net.json" --benchmark_out_format=json
+./build-bench/bench/bench_micro_lsm ${MIN_TIME} \
+  --benchmark_out="${out_dir}/lsm.json" --benchmark_out_format=json
 
 python3 - "${out_dir}/stores.json" "${out_dir}/admit.json" \
-  "${out_dir}/obs.json" "${out_dir}/net.json" <<'PY'
+  "${out_dir}/obs.json" "${out_dir}/net.json" "${out_dir}/lsm.json" <<'PY'
 import json
 import sys
 
@@ -53,6 +59,7 @@ stores = json.load(open(sys.argv[1]))
 admit = json.load(open(sys.argv[2]))
 obs = json.load(open(sys.argv[3]))
 net = json.load(open(sys.argv[4]))
+lsm = json.load(open(sys.argv[5]))
 
 def rows(doc):
     return [
@@ -175,4 +182,58 @@ if ratio < 10.0:
 if async_p99 > threaded_p99:
     print("WARNING: async p99 at 10x connections exceeds the threaded p99")
 print("wrote BENCH_net.json")
+
+def lsm_row(name):
+    for b in lsm["benchmarks"]:
+        if b["name"] == name:
+            return b
+    raise KeyError(name)
+
+# Write headline: buffered rows at matched durability (FileStore's default
+# regime) isolate log-append-vs-file-per-key; 8 writers is the concurrent
+# row. Durable rows record the group-commit story alongside.
+file_w = lsm_row("BM_RandomWrite/0/8/0/real_time")
+lsm_w = lsm_row("BM_RandomWrite/1/8/0/real_time")
+write_speedup = lsm_w["items_per_second"] / file_w["items_per_second"]
+file_wd = lsm_row("BM_RandomWrite/0/16/1/real_time")
+lsm_wd = lsm_row("BM_RandomWrite/1/16/1/real_time")
+durable_speedup = lsm_wd["items_per_second"] / file_wd["items_per_second"]
+
+# Read headline: post-compaction random point reads, p99 vs p99.
+file_r = lsm_row("BM_RandomRead/0/real_time")
+lsm_r = lsm_row("BM_RandomRead/1/real_time")
+read_p99_ratio = lsm_r["p99_us"] / file_r["p99_us"]
+
+lsm_snapshot = {
+    "context": lsm.get("context", {}),
+    "lsm_vs_filestore": {
+        "write_file_items_per_sec": round(file_w["items_per_second"], 1),
+        "write_lsm_items_per_sec": round(lsm_w["items_per_second"], 1),
+        "write_speedup": round(write_speedup, 2),
+        "write_speedup_floor": 5.0,
+        "durable_write_file_items_per_sec":
+            round(file_wd["items_per_second"], 1),
+        "durable_write_lsm_items_per_sec":
+            round(lsm_wd["items_per_second"], 1),
+        "durable_write_speedup": round(durable_speedup, 2),
+        "read_file_p99_us": round(file_r["p99_us"], 3),
+        "read_lsm_p99_us": round(lsm_r["p99_us"], 3),
+        "read_p99_ratio": round(read_p99_ratio, 3),
+        "read_p99_ratio_ceiling": 2.0,
+    },
+    "bench_micro_lsm": rows(lsm),
+}
+with open("BENCH_lsm.json", "w") as f:
+    json.dump(lsm_snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"lsm vs filestore: random-write {write_speedup:.1f}x "
+      f"(floor 5x, durable group-commit {durable_speedup:.1f}x), "
+      f"read p99 {lsm_r['p99_us']:.1f}us vs {file_r['p99_us']:.1f}us "
+      f"({read_p99_ratio:.2f}x, ceiling 2x)")
+if write_speedup < 5.0:
+    print("WARNING: lsm random-write speedup below the 5x floor")
+if read_p99_ratio > 2.0:
+    print("WARNING: lsm read p99 above 2x the FileStore p99")
+print("wrote BENCH_lsm.json")
 PY

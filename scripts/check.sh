@@ -9,6 +9,7 @@
 #   scripts/check.sh admit                   # admission-control suites only
 #   scripts/check.sh obs                     # observability suites only
 #   scripts/check.sh net                     # server-core suites only
+#   scripts/check.sh lsm                     # LSM engine suites only
 #   scripts/check.sh analyze                 # static analysis + lint gate
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
@@ -92,6 +93,27 @@ elif [[ "${1:-}" == "net" ]]; then
   # from I/O threads, worker threads, and Stop()).
   shift
   CTEST_ARGS=(-L net "$@")
+elif [[ "${1:-}" == "lsm" ]]; then
+  # LSM engine suites (tests labelled "lsm"): the engine units, the
+  # conformance rows, the crash-recovery matrix, and the lsm chaos soak.
+  # Runs Release + AddressSanitizer instead of the usual Release + TSan:
+  # the engine's crash/recovery cycles churn file buffers, readers, and
+  # block-cache entries, which is exactly the lifetime territory ASan
+  # polices (TSan still covers the store via the chaos and full modes).
+  shift
+  export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
+  echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
+  CTEST_ARGS=(-L lsm "$@")
+
+  echo "=== Release build ==="
+  run_suite build-check-release -DCMAKE_BUILD_TYPE=Release
+
+  echo "=== AddressSanitizer build ==="
+  run_suite build-check-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDSTORE_SANITIZE=address
+
+  echo "All checks passed."
+  exit 0
 elif [[ "${1:-}" == "obs" ]]; then
   # Observability suites (tests labelled "obs"): the metrics/tracer units,
   # the monitor bridge, and the distributed-tracing e2e suite that drives

@@ -162,8 +162,18 @@ class FaultPlan {
 //   file.put.before_write   temp file never created
 //   file.put.torn_write     half the value reaches the temp file
 //   file.put.before_rename  temp file complete but never renamed in
+//   file.put.before_dirsync renamed, but the directory entry not yet durable
 //   file.put.after_rename   durable, but the client sees an error
 //   cache.snapshot.torn_save  snapshot value truncated mid-write
+//   lsm.wal.before_append   nothing reaches the LSM WAL
+//   lsm.wal.torn_append     half the record's bytes reach the WAL
+//   lsm.wal.before_fsync    appended but unsynced bytes are discarded
+//   lsm.wal.after_fsync     durable, but the client sees an error
+//   lsm.sst.torn_write      half the SST reaches its temp file
+//   lsm.sst.before_rename   SST temp complete but never published
+//   lsm.manifest.torn_write    half the manifest reaches its temp file
+//   lsm.manifest.before_rename manifest temp complete, old version still live
+//   lsm.manifest.after_rename  durable, but the caller sees an error
 
 // True when `point` is armed and its countdown reaches zero on this call.
 bool CrashPointFires(std::string_view point);

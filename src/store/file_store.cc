@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "fault/fault.h"
+#include "store/fs_util.h"
 
 namespace dstore {
 
@@ -85,6 +86,18 @@ Status FileStore::Put(const std::string& key, ValuePtr value) {
   if (::rename(temp_path.c_str(), PathFor(key).c_str()) != 0) {
     ::unlink(temp_path.c_str());
     return Status::IOError("rename: " + Errno());
+  }
+  if (fault::CrashPointFires("file.put.before_dirsync")) {
+    // Crash after rename but before the directory entry is durable: the
+    // kernel may or may not have flushed it, so recovery must tolerate
+    // either the old or the new value — never a torn one.
+    return fault::CrashedStatus("file.put.before_dirsync");
+  }
+  // rename() swaps the directory entry atomically, but only in the page
+  // cache; a power cut here could roll the directory back and lose the
+  // fully-synced file. Syncing the parent closes that gap.
+  if (options_.sync_writes) {
+    DSTORE_RETURN_IF_ERROR(SyncDir(root_));
   }
   if (fault::CrashPointFires("file.put.after_rename")) {
     // Crash after publication: the new value is durable even though the

@@ -1,0 +1,59 @@
+#include "store/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dstore {
+
+Status SyncDir(const std::filesystem::path& dir) {
+  const std::string path = dir.empty() ? "." : dir.string();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir for fsync: " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("fsync dir: " + path + ": " + err);
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close dir: " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFileDurably(const std::filesystem::path& path, const Bytes& data,
+                        size_t limit) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("create " + path.string() + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < limit) {
+    const ssize_t n = ::write(fd, data.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("write " + path.string() + ": " + err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("fsync " + path.string() + ": " + err);
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close " + path.string() + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace dstore

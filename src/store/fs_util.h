@@ -1,0 +1,35 @@
+#ifndef DSTORE_STORE_FS_UTIL_H_
+#define DSTORE_STORE_FS_UTIL_H_
+
+#include <filesystem>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dstore {
+
+// Durability helpers shared by the on-disk stores (FileStore, the SQL WAL,
+// the LSM engine).
+//
+// POSIX rename() makes a file *visible* atomically, but the new directory
+// entry itself lives in the page cache until the directory is fsynced: a
+// power cut immediately after rename can bring the machine back up with the
+// old directory contents and the fully-written file gone. Every
+// temp-write -> rename publish path therefore ends with SyncDir() on the
+// parent, and newly created append files (WAL segments) sync their parent
+// once at creation so the segment cannot vanish out from under its synced
+// contents.
+
+// fsyncs the directory itself (not its contents). An empty path syncs ".".
+Status SyncDir(const std::filesystem::path& dir);
+
+// Writes the first `limit` bytes of `data` to a freshly created `path` and
+// fsyncs it. `limit` below data.size() models a torn write for crash tests;
+// pass data.size() for a normal full write. Does NOT sync the parent
+// directory — publish paths do that after their rename.
+Status WriteFileDurably(const std::filesystem::path& path, const Bytes& data,
+                        size_t limit);
+
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_FS_UTIL_H_

@@ -1,0 +1,57 @@
+#include "store/lsm/bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace dstore {
+namespace lsm {
+
+Bytes BloomFilter::Build(const std::vector<uint64_t>& key_hashes,
+                         int bits_per_key) {
+  if (key_hashes.empty()) return Bytes{0};
+  // k = bits_per_key * ln(2), clamped to a sane range.
+  int k = static_cast<int>(bits_per_key * 0.69);
+  k = std::max(1, std::min(k, 30));
+
+  size_t bits = key_hashes.size() * static_cast<size_t>(bits_per_key);
+  bits = std::max<size_t>(bits, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  Bytes filter(bytes + 1, 0);
+  filter[bytes] = static_cast<uint8_t>(k);
+  for (const uint64_t h : key_hashes) {
+    uint64_t probe = h;
+    const uint64_t delta = (h >> 17) | (h << 47);  // second hash via rotate
+    for (int i = 0; i < k; ++i) {
+      const size_t bit = probe % bits;
+      filter[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      probe += delta;
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::MayContain(const Bytes& filter, uint64_t hash) {
+  if (filter.size() < 2) return filter.empty();  // empty filter: no keys
+  const size_t bytes = filter.size() - 1;
+  const size_t bits = bytes * 8;
+  const int k = filter[bytes];
+  if (k < 1 || k > 30) return true;  // malformed: fail open
+  uint64_t probe = hash;
+  const uint64_t delta = (hash >> 17) | (hash << 47);
+  for (int i = 0; i < k; ++i) {
+    const size_t bit = probe % bits;
+    if ((filter[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    probe += delta;
+  }
+  return true;
+}
+
+uint64_t BloomFilter::HashKey(const std::string& key) {
+  return Mix64(Fnv1a64(key.data(), key.size()));
+}
+
+}  // namespace lsm
+}  // namespace dstore

@@ -1,0 +1,42 @@
+#ifndef DSTORE_STORE_LSM_BLOOM_H_
+#define DSTORE_STORE_LSM_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dstore {
+namespace lsm {
+
+// Per-SST Bloom filter over user keys. A negative answer skips the table's
+// index and data blocks entirely, which is what keeps point lookups cheap
+// once compaction has spread keys across several levels. Double hashing
+// (Kirsch–Mitzenmacher) derives all k probes from one 64-bit hash, so
+// membership tests cost one hash plus k bit reads.
+//
+// Layout of the built filter block: the bit array followed by one trailing
+// byte holding k (the probe count). An empty filter (no keys) is a single
+// zero byte and matches nothing.
+
+class BloomFilter {
+ public:
+  // bits_per_key ~10 gives a ~1% false-positive rate.
+  static Bytes Build(const std::vector<uint64_t>& key_hashes,
+                     int bits_per_key);
+
+  // True if the key that produced `hash` may be in the filter; false means
+  // definitely absent. Tolerates arbitrary (possibly corrupt) bytes by
+  // answering "maybe" for malformed filters — correctness never depends on
+  // a filter, only speed.
+  static bool MayContain(const Bytes& filter, uint64_t hash);
+
+  // The hash fed to Build/MayContain for a user key.
+  static uint64_t HashKey(const std::string& key);
+};
+
+}  // namespace lsm
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_LSM_BLOOM_H_

@@ -1,0 +1,45 @@
+#include "store/lsm/memtable.h"
+
+namespace dstore {
+namespace lsm {
+
+namespace {
+// Rough per-entry bookkeeping cost (map node, key object, shared_ptr).
+constexpr size_t kEntryOverhead = 64;
+}  // namespace
+
+void MemTable::Add(uint64_t seq, EntryType type, const std::string& key,
+                   ValuePtr value) {
+  const size_t added =
+      key.size() + (value ? value->size() : 0) + kEntryOverhead;
+  WriterLock lock(mu_);
+  map_[InternalKey{key, seq}] = Entry{type, std::move(value)};
+  bytes_.fetch_add(added, std::memory_order_relaxed);
+}
+
+MemTable::GetResult MemTable::Get(const std::string& key,
+                                  uint64_t snapshot) const {
+  ReaderLock lock(mu_);
+  // Internal order puts higher sequences first, so lower_bound on
+  // (key, snapshot) lands on the newest entry with seq <= snapshot.
+  auto it = map_.lower_bound(InternalKey{key, snapshot});
+  if (it == map_.end() || it->first.user != key) return {};
+  return {true, it->second};
+}
+
+void MemTable::ForEach(
+    const std::function<void(const std::string& key, uint64_t seq,
+                             const Entry& entry)>& fn) const {
+  ReaderLock lock(mu_);
+  for (const auto& [ikey, entry] : map_) {
+    fn(ikey.user, ikey.seq, entry);
+  }
+}
+
+size_t MemTable::entries() const {
+  ReaderLock lock(mu_);
+  return map_.size();
+}
+
+}  // namespace lsm
+}  // namespace dstore

@@ -1,0 +1,81 @@
+#ifndef DSTORE_STORE_LSM_MEMTABLE_H_
+#define DSTORE_STORE_LSM_MEMTABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/sync.h"
+#include "store/lsm/format.h"
+
+namespace dstore {
+namespace lsm {
+
+// The in-memory write buffer: a sorted multi-version map in internal-key
+// order (user key ascending, sequence descending). Every mutation lands
+// here right after its WAL append; once the table reaches the configured
+// size it is frozen (becomes the immutable memtable) and flushed to an L0
+// SST by the background thread.
+//
+// Thread-safe: writers are serialized by LsmStore's lock, but readers pin a
+// shared_ptr to the table and read *outside* that lock while new entries
+// are still being inserted, so lookups take a reader lock internally.
+// Multi-versioning is what makes snapshot reads work before a flush: an
+// overwrite inserts a second entry under a higher sequence instead of
+// replacing the first.
+class MemTable {
+ public:
+  struct Entry {
+    EntryType type = EntryType::kPut;
+    ValuePtr value;  // null for tombstones
+  };
+
+  struct GetResult {
+    bool found = false;  // an entry (put or tombstone) <= snapshot exists
+    Entry entry;
+  };
+
+  MemTable() = default;
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(uint64_t seq, EntryType type, const std::string& key,
+           ValuePtr value);
+
+  // The newest entry for `key` with sequence <= snapshot, if any.
+  GetResult Get(const std::string& key, uint64_t snapshot) const;
+
+  // Visits every entry in internal-key order (flush, merged listings).
+  void ForEach(const std::function<void(const std::string& key, uint64_t seq,
+                                        const Entry& entry)>& fn) const;
+
+  size_t entries() const;
+
+  // Keys + values + per-entry overhead; drives the flush trigger. Lock-free
+  // so the write path can consult it cheaply.
+  size_t ApproximateBytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct InternalKey {
+    std::string user;
+    uint64_t seq;
+
+    bool operator<(const InternalKey& other) const {
+      return InternalKeyBefore(user, seq, other.user, other.seq);
+    }
+  };
+
+  mutable SharedMutex mu_;
+  std::map<InternalKey, Entry> map_ GUARDED_BY(mu_);
+  std::atomic<size_t> bytes_{0};
+};
+
+}  // namespace lsm
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_LSM_MEMTABLE_H_

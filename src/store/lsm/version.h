@@ -1,0 +1,96 @@
+#ifndef DSTORE_STORE_LSM_VERSION_H_
+#define DSTORE_STORE_LSM_VERSION_H_
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/lsm/sst.h"
+
+namespace dstore {
+namespace lsm {
+
+// The LSM's view of "which SSTs exist at which level" — an immutable value
+// object. Flush and compaction build a *new* Version (copy-on-edit) and swap
+// the store's shared_ptr; readers that pinned the old one keep a fully
+// consistent tree (the shared_ptr in each FileMeta keeps obsolete readers
+// open until the last pinned Version drops them).
+//
+// The MANIFEST file persists the current version plus the file-number and
+// sequence counters. It is small, so instead of a log of incremental edits
+// (LevelDB-style) we atomically rewrite the whole snapshot on every edit:
+// temp write -> fsync -> rename over MANIFEST -> directory fsync. Either the
+// old or the new version is on disk, never a mix.
+//
+// Crash points: lsm.manifest.torn_write, lsm.manifest.before_rename,
+// lsm.manifest.after_rename.
+
+inline constexpr int kNumLevels = 7;
+
+// One SST, as referenced by a Version and by the manifest.
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t size = 0;
+  uint64_t entries = 0;
+  uint64_t max_seq = 0;
+  std::string smallest;
+  std::string largest;
+  // Open read handle; not serialized. Populated by LsmStore for files in
+  // live versions.
+  std::shared_ptr<SstReader> reader;
+
+  bool OverlapsRange(const std::string& lo, const std::string& hi) const {
+    return !(largest < lo || hi < smallest);
+  }
+  bool ContainsKey(const std::string& key) const {
+    return smallest <= key && key <= largest;
+  }
+};
+
+struct Version {
+  // levels[0]: overlap-tolerant, sorted by file number ascending (oldest
+  // first) — readers must scan newest-first. levels[1..]: key-disjoint,
+  // sorted by smallest key.
+  std::vector<std::vector<FileMeta>> levels{kNumLevels};
+
+  uint64_t LevelBytes(int level) const;
+  size_t TotalFiles() const;
+
+  // Files in `level` whose key range intersects [lo, hi].
+  std::vector<const FileMeta*> Overlapping(int level, const std::string& lo,
+                                           const std::string& hi) const;
+
+  // The single file in a key-disjoint level (1+) that can contain `key`,
+  // or null. Binary search on the sorted level.
+  const FileMeta* FindFile(int level, const std::string& key) const;
+
+  // True when no level deeper than `level` has a file whose range covers
+  // `key` — the compaction output is then the bottom level for that key and
+  // its tombstones can be dropped instead of rewritten.
+  bool IsBaseLevelForKey(int level, const std::string& key) const;
+};
+
+// What the MANIFEST persists. FileMeta::reader is left null by LoadManifest;
+// LsmStore opens the readers afterwards.
+struct ManifestState {
+  uint64_t next_file_number = 1;
+  uint64_t last_sequence = 0;
+  // WAL segments numbered below this are fully represented by SSTs and are
+  // deleted at open.
+  uint64_t wal_floor = 0;
+  std::vector<std::vector<FileMeta>> levels{kNumLevels};
+};
+
+// Atomically replaces the MANIFEST with `state`.
+Status SaveManifest(const std::filesystem::path& dir,
+                    const ManifestState& state);
+
+// Loads the MANIFEST; a missing file yields the defaults (fresh store).
+StatusOr<ManifestState> LoadManifest(const std::filesystem::path& dir);
+
+}  // namespace lsm
+}  // namespace dstore
+
+#endif  // DSTORE_STORE_LSM_VERSION_H_

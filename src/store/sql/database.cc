@@ -10,6 +10,7 @@
 
 #include "compress/crc32.h"
 #include "fault/fault.h"
+#include "store/fs_util.h"
 #include "store/sql/parser.h"
 
 namespace dstore::sql {
@@ -310,10 +311,18 @@ StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& path,
   DSTORE_RETURN_IF_ERROR(db->ReplayWal());
 
   const std::string wal_path = path + ".wal";
+  const bool wal_existed = std::filesystem::exists(wal_path, ec);
   MutexLock lock(db->mu_);
   db->wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (db->wal_fd_ < 0) {
     return Status::IOError("open WAL: " + Errno());
+  }
+  if (!wal_existed) {
+    // A freshly created segment is only a page-cache directory entry until
+    // the parent is fsynced; without this, a crash could discard the whole
+    // WAL even though individual commits were fsynced into it.
+    DSTORE_RETURN_IF_ERROR(
+        SyncDir(std::filesystem::path(wal_path).parent_path()));
   }
   const off_t size = ::lseek(db->wal_fd_, 0, SEEK_END);
   db->wal_bytes_ = size < 0 ? 0 : static_cast<size_t>(size);

@@ -20,6 +20,7 @@
 #include "store/cloud_server.h"
 #include "store/file_store.h"
 #include "store/key_value.h"
+#include "store/lsm/lsm_store.h"
 #include "shard/sharded_store.h"
 #include "store/memory_store.h"
 #include "store/remote_cache.h"
@@ -53,6 +54,49 @@ StoreFixture MakeFileFixture() {
   return {*std::move(store), [path] {
             std::error_code ec;
             std::filesystem::remove_all(path, ec);
+          }};
+}
+
+// Small memtable so the conformance workload (1 MiB values) actually
+// exercises flushes and L0 reads, not just the memtable.
+std::unique_ptr<lsm::LsmStore> OpenLsmAt(const std::filesystem::path& root) {
+  lsm::LsmOptions options;
+  options.memtable_bytes = 256u << 10;
+  auto store = lsm::LsmStore::Open(root, options);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return store.ok() ? *std::move(store) : nullptr;
+}
+
+StoreFixture MakeLsmFixture() {
+  static int counter = 0;
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("dstore_kv_conformance_lsm_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++));
+  return {OpenLsmAt(root), [root] {
+            std::error_code ec;
+            std::filesystem::remove_all(root, ec);
+          }};
+}
+
+// ShardedStore over three LsmStore shards: routing must compose with a
+// real persistent backend, not just MemoryStore.
+StoreFixture MakeShardedLsmFixture() {
+  static int counter = 0;
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("dstore_kv_conformance_lsm_shards_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++));
+  ShardedStore::ShardList shards;
+  for (int i = 0; i < 3; ++i) {
+    shards.emplace_back(
+        "lsm" + std::to_string(i),
+        std::shared_ptr<KeyValueStore>(
+            OpenLsmAt(root / ("shard" + std::to_string(i)))));
+  }
+  return {std::make_unique<ShardedStore>(std::move(shards)), [root] {
+            std::error_code ec;
+            std::filesystem::remove_all(root, ec);
           }};
 }
 
@@ -334,12 +378,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         Param{"memory", &MakeMemoryFixture, true},
         Param{"file", &MakeFileFixture, true},
+        Param{"lsm", &MakeLsmFixture, true},
         Param{"sql", &MakeSqlFixture, true},
         Param{"cloud", &MakeCloudFixture, true},
         Param{"rediscache", &MakeRemoteCacheFixture, true},
         Param{"memory_fault0", &MakeFaultWrappedFixture<&MakeMemoryFixture>,
               true},
         Param{"file_fault0", &MakeFaultWrappedFixture<&MakeFileFixture>, true},
+        Param{"lsm_fault0", &MakeFaultWrappedFixture<&MakeLsmFixture>, true},
         Param{"sql_fault0", &MakeFaultWrappedFixture<&MakeSqlFixture>, true},
         Param{"cloud_fault0", &MakeFaultWrappedFixture<&MakeCloudFixture>,
               true},
@@ -349,6 +395,7 @@ INSTANTIATE_TEST_SUITE_P(
         Param{"shard3", &MakeShardedMemoryFixture<3>, true},
         Param{"shard8", &MakeShardedMemoryFixture<8>, true},
         Param{"shard_mirror", &MakeShardedMirroredFixture, true},
+        Param{"shard3_lsm", &MakeShardedLsmFixture, true},
         Param{"shard3_fault0",
               &MakeFaultWrappedFixture<&MakeShardedMemoryFixture<3>>, true},
         Param{"memory_admit", &MakeAdmitWrappedFixture<&MakeMemoryFixture>,
