@@ -6,6 +6,7 @@
 
 #include <thread>
 
+#include "common/clock.h"
 #include "common/listenable_future.h"
 #include "common/thread_pool.h"
 #include "store/memory_store.h"
@@ -62,7 +63,7 @@ void BM_SyncVsAsyncBatch(benchmark::State& state) {
   class SlowStore : public MemoryStore {
    public:
     StatusOr<ValuePtr> Get(const std::string& key) override {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      RealClock::Default()->SleepFor(1 * 1'000'000);
       return MemoryStore::Get(key);
     }
   };
@@ -97,7 +98,7 @@ void BM_AsyncPoolSizeSweep(benchmark::State& state) {
   class SlowStore : public MemoryStore {
    public:
     StatusOr<ValuePtr> Get(const std::string& key) override {
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      RealClock::Default()->SleepFor(200 * 1'000);
       return MemoryStore::Get(key);
     }
   };

@@ -21,11 +21,11 @@ namespace {
 class SlowStore : public MemoryStore {
  public:
   Status Put(const std::string& key, ValuePtr value) override {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    RealClock::Default()->SleepFor(10 * 1'000'000);
     return MemoryStore::Put(key, std::move(value));
   }
   StatusOr<ValuePtr> Get(const std::string& key) override {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    RealClock::Default()->SleepFor(10 * 1'000'000);
     return MemoryStore::Get(key);
   }
 };
@@ -74,7 +74,7 @@ int main() {
   }
   std::printf("main thread is free while reads are in flight...\n");
   while (completed.load() < kBatch) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    RealClock::Default()->SleepFor(1 * 1'000'000);
   }
   std::printf("callbacks delivered %d results in %6.1f ms\n", completed.load(),
               watch.ElapsedMillis());

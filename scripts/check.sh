@@ -18,11 +18,15 @@
 # seed is printed in the test output — replay it in isolation with
 # DSTORE_CHAOS_SEEDS=<seed>.
 #
-# The analyze mode runs the repo lint gate (tools/dstore_lint.py), then —
-# when clang is installed — a -DDSTORE_ANALYZE=ON build that promotes
-# clang's -Wthread-safety capability analysis to an error, and clang-tidy
-# over the compilation database. See docs/testing.md ("Static analysis")
-# for the annotation conventions and the runtime lock-order validator.
+# The analyze mode runs the repo lint gate (tools/dstore_lint.py), the
+# reactor blocking-context analyzer (tools/dstore_blocking.py — the full
+# tree must be clean AND the seeded fixture in tests/analysis/ must still
+# trip exactly one violation, proving the gate bites), then — when clang is
+# installed — a -DDSTORE_ANALYZE=ON build that promotes clang's
+# -Wthread-safety capability analysis to an error, and clang-tidy over the
+# compilation database. See docs/testing.md ("Static analysis" and
+# "Blocking-context analysis") for the annotation conventions and the
+# runtime lock-order / blocking-context validators.
 #
 # Build trees land in build-check-release/, build-check-tsan/, and
 # build-check-analyze/ so the default build/ directory is left alone.
@@ -41,7 +45,19 @@ run_suite() {
 if [[ "${1:-}" == "analyze" ]]; then
   shift
   echo "=== Lint gate (tools/dstore_lint.py) ==="
+  python3 tools/dstore_lint.py --self-test
   python3 tools/dstore_lint.py
+
+  echo "=== Blocking-context analysis (tools/dstore_blocking.py) ==="
+  # Self-test first (also resolves the frontend: libclang when the bindings
+  # work, the dependency-free text frontend otherwise), then the full tree
+  # (must be clean), then the seeded fixture (must report exactly one
+  # violation — a zero here means the gate stopped biting).
+  python3 tools/dstore_blocking.py --self-test \
+    --build-dir build-check-analyze
+  python3 tools/dstore_blocking.py --build-dir build-check-analyze
+  python3 tools/dstore_blocking.py --build-dir build-check-analyze \
+    --expect-violations 1 tests/analysis/blocking_fixture.cc
 
   if command -v clang++ > /dev/null 2>&1; then
     echo "=== Thread-safety analysis build (clang, -Werror=thread-safety) ==="

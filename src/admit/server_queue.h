@@ -61,8 +61,10 @@ class ServerQueue {
   // `wait_nanos`, when non-null, receives the time spent queued (0 when
   // admitted immediately or shed at the door) — the queue-stage latency a
   // server span attributes to Stage::kQueue.
+  // May park the calling thread in the queue: never enter from a reactor
+  // loop thread (the async servers admit on worker threads).
   Status Enter(Lane lane = Lane::kNormal, int64_t* wait_nanos = nullptr)
-      EXCLUDES(mu_);
+      EXCLUDES(mu_) DSTORE_BLOCKING;
 
   // Releases the slot and hands it to the first still-fresh waiter,
   // shedding any older-than-budget waiters ahead of it.

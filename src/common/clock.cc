@@ -13,6 +13,10 @@ int64_t RealClock::NowNanos() const {
 
 void RealClock::SleepFor(int64_t nanos) {
   if (nanos <= 0) return;
+  // Can't thread a caller site through the virtual signature; the report
+  // names this frame plus the loop context, which is enough to find the
+  // offending SleepFor under a debugger or in the static analyzer output.
+  sync_internal::CheckBlocking("Clock::SleepFor");
   std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
 }
 

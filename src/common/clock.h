@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/sync.h"
+
 namespace dstore {
 
 // Time source abstraction. Production code uses RealClock; unit tests use
@@ -16,8 +18,11 @@ class Clock {
   // Monotonic time in nanoseconds. Only differences are meaningful.
   virtual int64_t NowNanos() const = 0;
 
-  // Blocks (or advances virtual time) for `nanos` nanoseconds.
-  virtual void SleepFor(int64_t nanos) = 0;
+  // Blocks (or advances virtual time) for `nanos` nanoseconds. The real
+  // implementation is a true sleep and must never run on a reactor loop
+  // thread (RealClock::SleepFor enforces this at runtime; the signature
+  // stays annotation-only because SimulatedClock's override is instant).
+  virtual void SleepFor(int64_t nanos) DSTORE_BLOCKING = 0;
 
   int64_t NowMicros() const { return NowNanos() / 1000; }
   int64_t NowMillis() const { return NowNanos() / 1000000; }

@@ -33,17 +33,27 @@ class ListenableFuture {
     return state_->value.has_value();
   }
 
-  // Blocks until the value is available and returns a copy of it.
-  T Get() const {
+  // Blocks until the value is available and returns a copy of it. Never call
+  // from a reactor loop thread — chain with AddListener/Then instead. The
+  // check fires even when the future is already complete: whether a given
+  // Get() happens to win the race is not a property to depend on.
+  T Get(const char* file = __builtin_FILE(),
+        int line = __builtin_LINE()) const DSTORE_BLOCKING {
+    sync_internal::CheckBlocking("ListenableFuture::Get", file, line);
     MutexLock lock(state_->mu);
+    DSTORE_BLOCKING_OK("already reported at Get() entry");
     while (!state_->value.has_value()) state_->cv.Wait(state_->mu);
     return *state_->value;
   }
 
   // Blocks up to `timeout`; returns nullopt if the future is still pending.
-  std::optional<T> Get(std::chrono::nanoseconds timeout) const {
+  std::optional<T> Get(std::chrono::nanoseconds timeout,
+                       const char* file = __builtin_FILE(),
+                       int line = __builtin_LINE()) const DSTORE_BLOCKING {
+    sync_internal::CheckBlocking("ListenableFuture::Get", file, line);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     MutexLock lock(state_->mu);
+    DSTORE_BLOCKING_OK("already reported at Get() entry");
     while (!state_->value.has_value()) {
       if (!state_->cv.WaitUntil(state_->mu, deadline) &&
           !state_->value.has_value()) {

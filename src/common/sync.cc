@@ -10,13 +10,18 @@
 namespace dstore {
 namespace sync_internal {
 
-std::atomic<int8_t> g_checking_state{-1};  // -1 uninit, 0 off, 1 on
+std::atomic<int8_t> g_checking_state{-1};   // -1 uninit, 0 off, 1 on
+std::atomic<int8_t> g_blocking_state{-1};   // -1 uninit, 0 off, 1 on
 
 namespace {
 
 std::atomic<bool> g_aborts{true};
 std::atomic<uint64_t> g_violations{0};
 std::atomic<void (*)()> g_violation_hook{nullptr};
+
+std::atomic<bool> g_blocking_aborts{true};
+std::atomic<uint64_t> g_blocking_violations{0};
+std::atomic<void (*)()> g_blocking_violation_hook{nullptr};
 
 // The validator's own state is guarded by a raw std::mutex on purpose: it
 // must not recurse into the instrumented Mutex. This file is the one place
@@ -195,6 +200,47 @@ void OnRelease(LockRecord* rec) {
   }
 }
 
+bool BlockingCheckEnabledSlow() {
+  // Default: on when assertions are on (debug builds), off in NDEBUG builds;
+  // DSTORE_BLOCKING_CHECK=0|1 overrides either way.
+#ifdef NDEBUG
+  int8_t enabled = 0;
+#else
+  int8_t enabled = 1;
+#endif
+  if (const char* env = std::getenv("DSTORE_BLOCKING_CHECK")) {
+    if (std::strcmp(env, "0") == 0) enabled = 0;
+    if (std::strcmp(env, "1") == 0) enabled = 1;
+  }
+  int8_t expected = -1;
+  g_blocking_state.compare_exchange_strong(expected, enabled,
+                                           std::memory_order_acq_rel);
+  return g_blocking_state.load(std::memory_order_acquire) > 0;
+}
+
+void ReportBlockingViolation(const char* what, const char* file, int line) {
+  g_blocking_violations.fetch_add(1, std::memory_order_relaxed);
+  if (void (*hook)() = g_blocking_violation_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
+  const LoopContextState& ctx = t_loop_ctx;
+  std::fprintf(
+      stderr,
+      "dstore: BLOCKING CALL ON REACTOR LOOP THREAD\n"
+      "  blocking primitive: %s\n"
+      "    called at %s:%d\n"
+      "  loop context:       %s entered at %s:%d\n"
+      "  An I/O loop thread must never block: every connection multiplexed\n"
+      "  on this loop is stalled for the duration. Move the call to the\n"
+      "  worker pool / a reactor timer, or — if the wait is provably bounded\n"
+      "  and intentional — suppress with DSTORE_BLOCKING_OK(\"reason\").\n"
+      "  (counted as dstore_reactor_blocking_violations_total)\n",
+      what, file, line, ctx.name != nullptr ? ctx.name : "(loop)",
+      ctx.file != nullptr ? ctx.file : "?", ctx.line);
+  std::fflush(stderr);
+  if (g_blocking_aborts.load(std::memory_order_relaxed)) std::abort();
+}
+
 }  // namespace sync_internal
 
 namespace sync {
@@ -220,6 +266,32 @@ void ResetLockOrderGraphForTest() {
   std::lock_guard<std::mutex> g(sync_internal::g_graph_mu);
   sync_internal::Graph().edges.clear();
   sync_internal::Graph().adjacency.clear();
+}
+
+uint64_t BlockingViolations() {
+  return sync_internal::g_blocking_violations.load(std::memory_order_relaxed);
+}
+
+void SetBlockingViolationHook(void (*hook)()) {
+  sync_internal::g_blocking_violation_hook.store(hook,
+                                                 std::memory_order_release);
+}
+
+void SetBlockingChecking(bool enabled) {
+  sync_internal::g_blocking_state.store(enabled ? 1 : 0,
+                                        std::memory_order_release);
+}
+
+void SetBlockingAborts(bool enabled) {
+  sync_internal::g_blocking_aborts.store(enabled, std::memory_order_relaxed);
+}
+
+void ReinitBlockingCheckFromEnvForTest() {
+  sync_internal::g_blocking_state.store(-1, std::memory_order_release);
+}
+
+bool OnReactorLoopThread() {
+  return sync_internal::t_loop_ctx.name != nullptr;
 }
 
 }  // namespace sync

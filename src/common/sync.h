@@ -92,6 +92,50 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   DSTORE_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// Blocking-context annotations (reactor loop-thread safety).
+// ---------------------------------------------------------------------------
+//
+// PR 7's epoll reactor made "never block a loop thread" a load-bearing
+// invariant: one blocking call on an I/O thread stalls every connection
+// multiplexed on it. These macros make the invariant checkable, with the
+// same annotate-then-enforce split as the lock layer above:
+//
+//   DSTORE_BLOCKING        on a function that may sleep, wait, or perform
+//                          blocking I/O (fsync wrappers, CondVar::Wait,
+//                          ListenableFuture::Get, Clock::SleepFor, blocking
+//                          socket ops, ...).
+//   DSTORE_NONBLOCKING_CTX on a function the Reactor invokes on a loop
+//                          thread (epoll callbacks, RunInLoop bodies, parser
+//                          and backpressure paths). tools/dstore_blocking.py
+//                          walks the call graph from every such root and
+//                          fails the build if a DSTORE_BLOCKING call is
+//                          transitively reachable.
+//   DSTORE_BLOCKING_OK(reason)
+//                          statement-scope suppression: the rest of the
+//                          enclosing scope may make blocking calls. Both the
+//                          static checker and the runtime check honor it.
+//                          Use sparingly, with a reason that explains why
+//                          the wait is bounded or the context is not
+//                          actually a loop thread.
+//
+// At runtime (default on when NDEBUG is unset; DSTORE_BLOCKING_CHECK=0|1
+// overrides) the Reactor marks its loop threads via ScopedLoopContext and
+// every annotated primitive calls sync_internal::CheckBlocking(), which
+// aborts naming the primitive, its call site, and the loop the thread
+// belongs to. Violations are also counted and exported as
+// dstore_reactor_blocking_violations_total. See docs/testing.md §6.
+
+#define DSTORE_BLOCKING DSTORE_THREAD_ANNOTATION_(annotate("dstore_blocking"))
+#define DSTORE_NONBLOCKING_CTX \
+  DSTORE_THREAD_ANNOTATION_(annotate("dstore_nonblocking_ctx"))
+
+#define DSTORE_BLOCKING_OK_CAT2_(a, b) a##b
+#define DSTORE_BLOCKING_OK_CAT_(a, b) DSTORE_BLOCKING_OK_CAT2_(a, b)
+#define DSTORE_BLOCKING_OK(reason)                            \
+  ::dstore::sync_internal::BlockingOkScope DSTORE_BLOCKING_OK_CAT_( \
+      dstore_blocking_ok_, __COUNTER__)(reason)
+
 namespace dstore {
 
 class CondVar;
@@ -127,6 +171,82 @@ inline bool CheckingEnabled() {
   return CheckingEnabledSlow();
 }
 
+// ---- Blocking-context runtime check ----
+
+// -1 until first use, then 0 (off) or 1 (on); see BlockingCheckEnabledSlow.
+extern std::atomic<int8_t> g_blocking_state;
+bool BlockingCheckEnabledSlow();
+
+inline bool BlockingCheckEnabled() {
+  int8_t s = g_blocking_state.load(std::memory_order_acquire);
+  if (s >= 0) return s > 0;
+  return BlockingCheckEnabledSlow();
+}
+
+// Per-thread loop-context marker. `name` is non-null while the thread is a
+// reactor loop thread (or a test pretending to be one); allow_depth counts
+// nested DSTORE_BLOCKING_OK scopes. Constant-initialized so the thread_local
+// access compiles to a plain TLS load with no guard.
+struct LoopContextState {
+  const char* name;  // null = ordinary thread
+  const char* file;  // where the loop context was entered
+  int line;
+  int allow_depth;
+};
+
+inline thread_local LoopContextState t_loop_ctx{nullptr, nullptr, 0, 0};
+
+// Prints the violation (primitive, call site, loop context), bumps the
+// counter / hook, and aborts unless SetBlockingAborts(false).
+void ReportBlockingViolation(const char* what, const char* file, int line);
+
+// Called by every DSTORE_BLOCKING primitive before it blocks. `what` names
+// the primitive; file/line default to the primitive's implementation site —
+// wrappers with defaulted __builtin_FILE()/__builtin_LINE() parameters pass
+// the caller's site through instead.
+inline void CheckBlocking(const char* what,
+                          const char* file = __builtin_FILE(),
+                          int line = __builtin_LINE()) {
+  if (!BlockingCheckEnabled()) return;
+  const LoopContextState& ctx = t_loop_ctx;
+  if (ctx.name == nullptr || ctx.allow_depth > 0) return;
+  ReportBlockingViolation(what, file, line);
+}
+
+// RAII: marks the current thread as a reactor loop thread for the scope's
+// lifetime. The Reactor installs one at the top of its Loop(); tests install
+// one to exercise the check without a real reactor. Nestable (restores the
+// previous state), though nesting does not occur in practice.
+class ScopedLoopContext {
+ public:
+  explicit ScopedLoopContext(const char* name,
+                             const char* file = __builtin_FILE(),
+                             int line = __builtin_LINE())
+      : saved_(t_loop_ctx) {
+    t_loop_ctx = LoopContextState{name, file, line, 0};
+  }
+  ~ScopedLoopContext() { t_loop_ctx = saved_; }
+
+  ScopedLoopContext(const ScopedLoopContext&) = delete;
+  ScopedLoopContext& operator=(const ScopedLoopContext&) = delete;
+
+ private:
+  LoopContextState saved_;
+};
+
+// RAII behind DSTORE_BLOCKING_OK(reason): while alive, blocking calls on
+// this thread are permitted even inside a loop context.
+class BlockingOkScope {
+ public:
+  explicit BlockingOkScope(const char* /*reason*/) {
+    ++t_loop_ctx.allow_depth;
+  }
+  ~BlockingOkScope() { --t_loop_ctx.allow_depth; }
+
+  BlockingOkScope(const BlockingOkScope&) = delete;
+  BlockingOkScope& operator=(const BlockingOkScope&) = delete;
+};
+
 }  // namespace sync_internal
 
 namespace sync {
@@ -147,6 +267,29 @@ void SetLockOrderAborts(bool enabled);
 
 // Drops all recorded acquisition edges (test isolation).
 void ResetLockOrderGraphForTest();
+
+// ---- Blocking-context check (reactor loop threads) ----
+
+// Process-wide count of blocking calls observed on loop threads (also
+// exported as dstore_reactor_blocking_violations_total once obs is up).
+uint64_t BlockingViolations();
+
+// Installed by obs/metrics.cc to mirror violations into the registry.
+void SetBlockingViolationHook(void (*hook)());
+
+// Overrides for tests and tools, mirroring the lock-order knobs. Checking
+// defaults to on in debug builds (NDEBUG unset) and off otherwise; env
+// DSTORE_BLOCKING_CHECK=0|1 overrides the default, and this call overrides
+// both. Aborting defaults to on; tests observing the counter turn it off.
+void SetBlockingChecking(bool enabled);
+void SetBlockingAborts(bool enabled);
+
+// Re-derives the checking default from NDEBUG + DSTORE_BLOCKING_CHECK, as
+// if the process had just started (tests that setenv() use this).
+void ReinitBlockingCheckFromEnvForTest();
+
+// True if the calling thread currently carries a reactor loop context.
+bool OnReactorLoopThread();
 
 }  // namespace sync
 
@@ -316,19 +459,29 @@ class CondVar {
   // (`while (!done_) cv_.Wait(mu_);`), and keeping the predicate in the
   // caller's scope is what lets the thread-safety analysis see that guarded
   // members are read with the mutex held (a lambda would be analyzed as a
-  // separate unannotated function).
-  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  // separate unannotated function). The __builtin_FILE/__builtin_LINE
+  // defaults capture the wait site, which is what a blocking-context
+  // violation report names.
+  void Wait(Mutex& mu, const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) REQUIRES(mu) DSTORE_BLOCKING {
+    sync_internal::CheckBlocking("CondVar::Wait", file, line);
+    cv_.wait(mu);
+  }
 
   // Returns false on timeout (the mutex is reacquired either way).
   template <typename Rep, typename Period>
-  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
-      REQUIRES(mu) {
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               const char* file = __builtin_FILE(),
+               int line = __builtin_LINE()) REQUIRES(mu) DSTORE_BLOCKING {
+    sync_internal::CheckBlocking("CondVar::WaitFor", file, line);
     return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
   }
 
   template <typename Clock, typename Duration>
-  bool WaitUntil(Mutex& mu, std::chrono::time_point<Clock, Duration> deadline)
-      REQUIRES(mu) {
+  bool WaitUntil(Mutex& mu, std::chrono::time_point<Clock, Duration> deadline,
+                 const char* file = __builtin_FILE(),
+                 int line = __builtin_LINE()) REQUIRES(mu) DSTORE_BLOCKING {
+    sync_internal::CheckBlocking("CondVar::WaitUntil", file, line);
     return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
   }
 

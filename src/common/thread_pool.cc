@@ -24,6 +24,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Shutdown() {
+  sync_internal::CheckBlocking("ThreadPool::Shutdown");
   {
     MutexLock lock(mu_);
     if (shutdown_) {

@@ -31,11 +31,12 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   // Stops accepting tasks, finishes everything already queued, joins workers.
-  // Idempotent; also called by the destructor.
-  void Shutdown();
+  // Idempotent; also called by the destructor. Blocks on the join — never
+  // call from a reactor loop thread.
+  void Shutdown() DSTORE_BLOCKING;
 
   // Blocks until the queue is empty and all workers are idle.
-  void Wait();
+  void Wait() DSTORE_BLOCKING;
 
   size_t num_threads() const { return workers_.size(); }
 

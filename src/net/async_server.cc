@@ -52,6 +52,13 @@ using RequestTask = std::function<Bytes()>;
 using Parser = std::function<ParseOutcome(const uint8_t* data, size_t size,
                                           size_t* consumed, RequestTask* task)>;
 
+// The parser closures run on reactor loop threads (from
+// Connection::ReadLocked), so both factories are DSTORE_NONBLOCKING_CTX
+// roots: nothing a parser reaches may block. The request task they yield is
+// NOT covered — it runs on the worker pool.
+Parser MakeHttpParser(HttpHandler handler) DSTORE_NONBLOCKING_CTX;
+Parser MakeFramedParser(FramedHandler handler) DSTORE_NONBLOCKING_CTX;
+
 Parser MakeHttpParser(HttpHandler handler) {
   auto shared = std::make_shared<HttpHandler>(std::move(handler));
   return [shared](const uint8_t* data, size_t size, size_t* consumed,
@@ -96,12 +103,16 @@ Parser MakeFramedParser(FramedHandler handler) {
 }
 
 // ---------------------------------------------------------------------------
-// Fault-injector-aware descriptor I/O. These mirror Socket::ReadFull /
-// WriteFull (net/socket.cc) so the chaos suites' refusals, resets, short
-// writes, and stalls fire identically on the async core — but they never
-// close the descriptor: the Connection owns it until its last reference
-// drops (the fd-reuse guarantee), so an injected reset becomes shutdown(),
-// which puts the same FIN on the wire as the blocking path's close().
+// Descriptor I/O. ReadChunk/WriteChunk are pure nonblocking syscall loops —
+// safe on a reactor loop thread. Fault-injector consultation lives in the
+// callers: the async Connection consults in its locked read/flush paths and
+// defers injected stalls through Reactor::RunAfter (a loop thread must
+// never sleep — the watchdog and the blocking-context check both police
+// this), while the threaded fallback consults inline and may legally sleep
+// on its per-connection thread. Injected resets become shutdown(), which
+// puts the same FIN on the wire as the blocking path's close(), because the
+// Connection owns its descriptor until the last reference drops (the
+// fd-reuse guarantee).
 // ---------------------------------------------------------------------------
 
 struct IoResult {
@@ -109,20 +120,14 @@ struct IoResult {
   size_t n = 0;  // bytes transferred (writes may move bytes before kError)
 };
 
-void Stall(const fault::SocketFault& f) {
+// Applies an injected stall by sleeping. Only the threaded core (own thread
+// per connection) may call this; the async core turns stalls into reactor
+// timers instead.
+void Stall(const fault::SocketFault& f) DSTORE_BLOCKING {
   if (f.stall_nanos > 0) RealClock::Default()->SleepFor(f.stall_nanos);
 }
 
 IoResult ReadChunk(int fd, uint8_t* buf, size_t cap) {
-  if (auto injector = fault::InstalledSocketFaultInjector()) {
-    if (auto f = injector->OnRead(cap)) {
-      Stall(*f);
-      if (!f->error.ok()) {
-        if (f->reset) ::shutdown(fd, SHUT_RDWR);
-        return {IoResult::kError, 0};
-      }
-    }
-  }
   for (;;) {
     const ssize_t n = ::recv(fd, buf, cap, 0);
     if (n > 0) return {IoResult::kOk, static_cast<size_t>(n)};
@@ -136,25 +141,6 @@ IoResult ReadChunk(int fd, uint8_t* buf, size_t cap) {
 }
 
 IoResult WriteChunk(int fd, const uint8_t* data, size_t len) {
-  if (auto injector = fault::InstalledSocketFaultInjector()) {
-    if (auto f = injector->OnWrite(len)) {
-      Stall(*f);
-      if (!f->error.ok()) {
-        // Short write: part of the message escapes before the failure, so
-        // the peer sees a torn frame (same contract as Socket::WriteFull).
-        size_t prefix = std::min(f->allow_prefix, len);
-        const uint8_t* p = data;
-        while (prefix > 0) {
-          const ssize_t n = ::send(fd, p, prefix, MSG_NOSIGNAL);
-          if (n <= 0) break;
-          p += n;
-          prefix -= static_cast<size_t>(n);
-        }
-        if (f->reset) ::shutdown(fd, SHUT_RDWR);
-        return {IoResult::kError, static_cast<size_t>(p - data)};
-      }
-    }
-  }
   size_t written = 0;
   while (written < len) {
     const ssize_t n = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
@@ -169,6 +155,22 @@ IoResult WriteChunk(int fd, const uint8_t* data, size_t len) {
     return {IoResult::kError, written};
   }
   return {IoResult::kOk, written};
+}
+
+// The error half of an injected write fault (the short-write prefix that
+// escapes before the failure, so the peer sees a torn frame — same contract
+// as Socket::WriteFull — plus the optional reset).
+void ApplyWriteFault(int fd, const fault::SocketFault& f, const uint8_t* data,
+                     size_t len) {
+  size_t prefix = std::min(f.allow_prefix, len);
+  const uint8_t* p = data;
+  while (prefix > 0) {
+    const ssize_t n = ::send(fd, p, prefix, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    p += n;
+    prefix -= static_cast<size_t>(n);
+  }
+  if (f.reset) ::shutdown(fd, SHUT_RDWR);
 }
 
 Status SetNonBlocking(int fd) {
@@ -237,7 +239,12 @@ class AsyncServer : public Server {
   class Connection;
 
   int listener_fd() const { return listener_.fd(); }
-  void OnAcceptable();
+  void OnAcceptable() DSTORE_NONBLOCKING_CTX;
+  // Takes ownership of a freshly accepted descriptor: applies the
+  // connection limit, creates the Connection, and registers it with a
+  // reactor. Runs on the accept loop thread (directly from OnAcceptable,
+  // or from a reactor timer when an injected accept stall deferred it).
+  void RegisterAccepted(int fd) DSTORE_NONBLOCKING_CTX;
   void EraseConnection(uint64_t id);
 
   Parser parser_;
@@ -276,7 +283,13 @@ class AsyncServer::Connection
   int fd() const { return fd_; }
 
   // Reactor-thread entry point for readiness events.
-  void OnEvent(uint32_t events) EXCLUDES(mu_);
+  void OnEvent(uint32_t events) EXCLUDES(mu_) DSTORE_NONBLOCKING_CTX;
+
+  // Reactor-timer entry points: an injected stall on this connection's
+  // read/write path has elapsed; apply the deferred fault outcome and
+  // continue. Loop-thread only.
+  void ResumeRead() EXCLUDES(mu_) DSTORE_NONBLOCKING_CTX;
+  void ResumeWrite() EXCLUDES(mu_) DSTORE_NONBLOCKING_CTX;
 
   // Worker-thread entry point: response for request `seq` is ready.
   void CompleteRequest(uint64_t seq, Bytes response) EXCLUDES(mu_);
@@ -287,8 +300,16 @@ class AsyncServer::Connection
 
  private:
   void ReadLocked(std::vector<std::pair<uint64_t, RequestTask>>* to_dispatch)
-      REQUIRES(mu_);
-  void FlushLocked() REQUIRES(mu_);
+      REQUIRES(mu_) DSTORE_NONBLOCKING_CTX;
+  void FlushLocked() REQUIRES(mu_) DSTORE_NONBLOCKING_CTX;
+  // Consults the socket fault injector for the next read/write chunk.
+  // Returns false when the caller must stop (a stall timer was scheduled,
+  // or an injected error closed the connection). A stall parks the
+  // connection (read_stalled_/write_stalled_) and schedules Resume* via
+  // Reactor::RunAfter, so the loop thread keeps serving every other
+  // connection while this one waits out its fault.
+  bool ConsultReadFaultLocked(size_t cap) REQUIRES(mu_);
+  bool ConsultWriteFaultLocked() REQUIRES(mu_);
   // Drains completed responses (in seq order) into the output buffer.
   void PromotePendingLocked() REQUIRES(mu_);
   bool ShouldPauseLocked() const REQUIRES(mu_) {
@@ -332,6 +353,17 @@ class AsyncServer::Connection
   bool parse_blocked_ GUARDED_BY(mu_) = false;
   bool read_closed_ GUARDED_BY(mu_) = false;
   bool closed_ GUARDED_BY(mu_) = false;
+  // Injected-stall deferral state. While *_stalled_ is set the matching
+  // I/O direction is parked until the Resume* timer fires and applies the
+  // saved post-stall fault outcome; skip_*_consult_ then suppresses exactly
+  // one re-consultation so the injector still sees one consult per chunk
+  // (the contract the chaos plans and tests count on).
+  bool read_stalled_ GUARDED_BY(mu_) = false;
+  bool write_stalled_ GUARDED_BY(mu_) = false;
+  bool skip_read_consult_ GUARDED_BY(mu_) = false;
+  bool skip_write_consult_ GUARDED_BY(mu_) = false;
+  fault::SocketFault pending_read_fault_ GUARDED_BY(mu_);
+  fault::SocketFault pending_write_fault_ GUARDED_BY(mu_);
 };
 
 void AsyncServer::Connection::OnEvent(uint32_t events) {
@@ -363,9 +395,119 @@ void AsyncServer::Connection::OnEvent(uint32_t events) {
   Epilogue(std::move(to_dispatch), /*resume_read=*/false, close_now);
 }
 
+bool AsyncServer::Connection::ConsultReadFaultLocked(size_t cap) {
+  if (skip_read_consult_) {
+    // The stall that just elapsed already consulted for this chunk.
+    skip_read_consult_ = false;
+    return true;
+  }
+  auto injector = fault::InstalledSocketFaultInjector();
+  if (injector == nullptr) return true;
+  auto f = injector->OnRead(cap);
+  if (!f) return true;
+  if (f->stall_nanos > 0) {
+    // Defer: park this connection's read path and let the loop thread keep
+    // serving its other connections. ResumeRead applies the post-stall
+    // outcome (error/reset or a normal read) when the timer fires.
+    read_stalled_ = true;
+    pending_read_fault_ = *f;
+    reactor_->RunAfter(f->stall_nanos,
+                       [self = shared_from_this()] { self->ResumeRead(); });
+    return false;
+  }
+  if (!f->error.ok()) {
+    if (f->reset) ::shutdown(fd_, SHUT_RDWR);
+    CloseLocked();
+    return false;
+  }
+  return true;
+}
+
+bool AsyncServer::Connection::ConsultWriteFaultLocked() {
+  if (skip_write_consult_) {
+    skip_write_consult_ = false;
+    return true;
+  }
+  auto injector = fault::InstalledSocketFaultInjector();
+  if (injector == nullptr) return true;
+  auto f = injector->OnWrite(outbuf_.size() - out_pos_);
+  if (!f) return true;
+  if (f->stall_nanos > 0) {
+    write_stalled_ = true;
+    pending_write_fault_ = *f;
+    reactor_->RunAfter(f->stall_nanos,
+                       [self = shared_from_this()] { self->ResumeWrite(); });
+    return false;
+  }
+  if (!f->error.ok()) {
+    ApplyWriteFault(fd_, *f, outbuf_.data() + out_pos_,
+                    outbuf_.size() - out_pos_);
+    CloseLocked();
+    return false;
+  }
+  return true;
+}
+
+void AsyncServer::Connection::ResumeRead() {
+  std::vector<std::pair<uint64_t, RequestTask>> to_dispatch;
+  bool close_now = false;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    read_stalled_ = false;
+    const fault::SocketFault f = pending_read_fault_;
+    pending_read_fault_ = fault::SocketFault{};
+    if (!f.error.ok()) {
+      if (f.reset) ::shutdown(fd_, SHUT_RDWR);
+      CloseLocked();
+    } else {
+      // The stall was the whole fault: read the chunk it delayed without
+      // consulting again (one consult per chunk, stall or not).
+      skip_read_consult_ = true;
+      UpdatePausedLocked();
+      ReadLocked(&to_dispatch);
+      if (!closed_) {
+        UpdatePausedLocked();
+        if (DrainedLocked()) CloseLocked();
+      }
+    }
+    close_now = closed_;
+  }
+  Epilogue(std::move(to_dispatch), /*resume_read=*/false, close_now);
+}
+
+void AsyncServer::Connection::ResumeWrite() {
+  bool resume_read = false;
+  bool close_now = false;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    write_stalled_ = false;
+    const fault::SocketFault f = pending_write_fault_;
+    pending_write_fault_ = fault::SocketFault{};
+    if (!f.error.ok()) {
+      ApplyWriteFault(fd_, f, outbuf_.data() + out_pos_,
+                      outbuf_.size() - out_pos_);
+      CloseLocked();
+    } else {
+      skip_write_consult_ = true;
+      FlushLocked();
+      if (!closed_) {
+        const bool was_paused = paused_;
+        UpdatePausedLocked();
+        resume_read = was_paused && !paused_;
+        if (DrainedLocked()) CloseLocked();
+      }
+    }
+    close_now = closed_;
+  }
+  Epilogue({}, resume_read, close_now);
+}
+
 void AsyncServer::Connection::ReadLocked(
     std::vector<std::pair<uint64_t, RequestTask>>* to_dispatch) {
   uint8_t chunk[16384];
+  if (read_stalled_) return;  // a ResumeRead timer owns this path
   for (;;) {
     // Parse before reading: a read resumed after a backpressure pause
     // starts with complete requests already sitting in the buffer, and an
@@ -399,6 +541,7 @@ void AsyncServer::Connection::ReadLocked(
     }
     if (paused_ || read_closed_ || closed_) return;
 
+    if (!ConsultReadFaultLocked(sizeof(chunk))) return;
     const IoResult r = ReadChunk(fd_, chunk, sizeof(chunk));
     if (r.kind == IoResult::kWouldBlock) return;
     if (r.kind == IoResult::kEof) {
@@ -426,8 +569,9 @@ void AsyncServer::Connection::PromotePendingLocked() {
 }
 
 void AsyncServer::Connection::FlushLocked() {
-  if (closed_) return;
+  if (closed_ || write_stalled_) return;  // ResumeWrite owns a stalled flush
   while (out_pos_ < outbuf_.size()) {
+    if (!ConsultWriteFaultLocked()) return;
     const IoResult r =
         WriteChunk(fd_, outbuf_.data() + out_pos_, outbuf_.size() - out_pos_);
     out_pos_ += r.n;
@@ -599,7 +743,28 @@ void AsyncServer::OnAcceptable() {
     }
     if (auto injector = fault::InstalledSocketFaultInjector()) {
       if (auto f = injector->OnAccept()) {
-        Stall(*f);
+        if (f->stall_nanos > 0) {
+          // Injected accept stall: this connection's registration waits out
+          // the fault on a reactor timer while the accept loop keeps
+          // draining the backlog (sleeping here would freeze every
+          // connection on this loop thread). The guard closes the fd if
+          // the timer is dropped at Stop() or the stall ends in an error.
+          struct FdGuard {
+            int fd;
+            ~FdGuard() {
+              if (fd >= 0) ::close(fd);
+            }
+          };
+          auto guard = std::make_shared<FdGuard>(FdGuard{fd});
+          const bool drop = !f->error.ok();
+          reactors_[0]->RunAfter(f->stall_nanos, [this, guard, drop] {
+            if (drop || !running_.load()) return;  // guard closes the fd
+            const int accepted = guard->fd;
+            guard->fd = -1;  // ownership moves to RegisterAccepted
+            RegisterAccepted(accepted);
+          });
+          continue;
+        }
         if (!f->error.ok()) {
           // Injected accept failure: drop the fresh connection on the
           // floor; the client sees EOF/reset on its next read or write.
@@ -608,48 +773,51 @@ void AsyncServer::OnAcceptable() {
         }
       }
     }
-    {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    }
-    std::shared_ptr<Connection> connection;
-    Reactor* reactor =
-        reactors_[next_reactor_.fetch_add(1) % reactors_.size()].get();
-    {
-      MutexLock lock(mu_);
-      if (options_.max_connections > 0 &&
-          connections_.size() >=
-              static_cast<size_t>(options_.max_connections)) {
-        if (metrics_.conn_shed_total != nullptr) {
-          metrics_.conn_shed_total->Increment();
-        }
-        ::close(fd);
-        continue;
-      }
-      const uint64_t id = next_conn_id_++;
-      connection = std::make_shared<Connection>(this, id, fd, reactor);
-      connections_.emplace(id, connection);
-      if (metrics_.connections_total != nullptr) {
-        metrics_.connections_total->Increment();
-      }
-      if (metrics_.active_connections != nullptr) {
-        metrics_.active_connections->Increment();
-      }
-    }
-    std::weak_ptr<Connection> weak = connection;
-    const Status added = reactor->Add(fd, EPOLLIN, [weak](uint32_t events) {
-      if (auto conn = weak.lock()) conn->OnEvent(events);
-    });
-    if (!added.ok()) {
-      EraseConnection(connection->id());
-      continue;
-    }
-    // Bytes may already be waiting (client wrote immediately after
-    // connect); ET reports transitions, so take the first read explicitly.
-    reactor->RunInLoop([weak] {
-      if (auto conn = weak.lock()) conn->OnEvent(EPOLLIN);
-    });
+    RegisterAccepted(fd);
   }
+}
+
+void AsyncServer::RegisterAccepted(int fd) {
+  {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  std::shared_ptr<Connection> connection;
+  Reactor* reactor =
+      reactors_[next_reactor_.fetch_add(1) % reactors_.size()].get();
+  {
+    MutexLock lock(mu_);
+    if (options_.max_connections > 0 &&
+        connections_.size() >= static_cast<size_t>(options_.max_connections)) {
+      if (metrics_.conn_shed_total != nullptr) {
+        metrics_.conn_shed_total->Increment();
+      }
+      ::close(fd);
+      return;
+    }
+    const uint64_t id = next_conn_id_++;
+    connection = std::make_shared<Connection>(this, id, fd, reactor);
+    connections_.emplace(id, connection);
+    if (metrics_.connections_total != nullptr) {
+      metrics_.connections_total->Increment();
+    }
+    if (metrics_.active_connections != nullptr) {
+      metrics_.active_connections->Increment();
+    }
+  }
+  std::weak_ptr<Connection> weak = connection;
+  const Status added = reactor->Add(fd, EPOLLIN, [weak](uint32_t events) {
+    if (auto conn = weak.lock()) conn->OnEvent(events);
+  });
+  if (!added.ok()) {
+    EraseConnection(connection->id());
+    return;
+  }
+  // Bytes may already be waiting (client wrote immediately after
+  // connect); ET reports transitions, so take the first read explicitly.
+  reactor->RunInLoop([weak] {
+    if (auto conn = weak.lock()) conn->OnEvent(EPOLLIN);
+  });
 }
 
 void AsyncServer::EraseConnection(uint64_t id) {
@@ -722,6 +890,18 @@ class ThreadedCoreServer : public Server {
         continue;
       }
       uint8_t chunk[16384];
+      // Consult the injector inline: this is the connection's own thread,
+      // so an injected stall may legally sleep right here (the async core
+      // defers the same stall through a reactor timer instead).
+      if (auto injector = fault::InstalledSocketFaultInjector()) {
+        if (auto f = injector->OnRead(sizeof(chunk))) {
+          Stall(*f);
+          if (!f->error.ok()) {
+            if (f->reset) ::shutdown(socket.fd(), SHUT_RDWR);
+            return;
+          }
+        }
+      }
       const IoResult r = ReadChunk(socket.fd(), chunk, sizeof(chunk));
       if (r.kind != IoResult::kOk) return;  // EOF, error, or injected reset
       inbuf.insert(inbuf.end(), chunk, chunk + r.n);

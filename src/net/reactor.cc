@@ -2,18 +2,99 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
+#include "obs/metrics.h"
+
 namespace dstore {
 
 namespace {
+
 std::string Errno() { return std::strerror(errno); }
+
+// ---- Loop-stall watchdog ----
+//
+// A single process-wide sampler thread (started lazily with the first
+// reactor, leaked like the other singletons) walks the set of live reactors
+// every ~50ms and publishes the worst "time spent inside one event batch" as
+// the dstore_reactor_stall_ms gauge. The runtime blocking check catches
+// annotated primitives; this catches everything else that can freeze a loop
+// (long compute, un-annotated syscalls) with no per-event overhead — the
+// loop only stamps one atomic per batch.
+
+constexpr int64_t kWatchdogPeriodNanos = 50 * 1000 * 1000;  // 50ms
+
+struct WatchdogState {
+  Mutex mu{"reactor-watchdog"};
+  std::vector<const Reactor*> reactors;  // GUARDED_BY(mu), see accessors
+  bool thread_started = false;           // GUARDED_BY(mu)
+};
+
+WatchdogState& Watchdog() {
+  static WatchdogState* state = new WatchdogState();  // leaked singleton
+  return *state;
+}
+
+int64_t SampleWorstStallMillis() {
+  WatchdogState& w = Watchdog();
+  int64_t worst_nanos = 0;
+  MutexLock lock(w.mu);
+  for (const Reactor* r : w.reactors) {
+    const int64_t busy = r->BusyNanos();
+    if (busy > worst_nanos) worst_nanos = busy;
+  }
+  return worst_nanos / 1000000;
+}
+
+void WatchdogLoop() {
+  obs::Gauge* gauge = obs::MetricsRegistry::Default()->GetGauge(
+      "dstore_reactor_stall_ms", {},
+      "Age in ms of the oldest in-progress reactor event batch (0 = all "
+      "loops idle); a growing value means a loop thread is stalled");
+  for (;;) {
+    gauge->Set(static_cast<double>(SampleWorstStallMillis()));
+    RealClock::Default()->SleepFor(kWatchdogPeriodNanos);
+  }
+}
+
+void RegisterWithWatchdog(const Reactor* reactor) {
+  WatchdogState& w = Watchdog();
+  bool start = false;
+  {
+    MutexLock lock(w.mu);
+    w.reactors.push_back(reactor);
+    if (!w.thread_started) {
+      w.thread_started = true;
+      start = true;
+    }
+  }
+  if (start) {
+    std::thread(&WatchdogLoop).detach();
+  }
+}
+
+void UnregisterFromWatchdog(const Reactor* reactor) {
+  WatchdogState& w = Watchdog();
+  MutexLock lock(w.mu);
+  auto& v = w.reactors;
+  v.erase(std::remove(v.begin(), v.end(), reactor), v.end());
+}
+
 }  // namespace
+
+namespace reactor_internal {
+
+int64_t WorstStallMillis() { return SampleWorstStallMillis(); }
+
+}  // namespace reactor_internal
 
 Reactor::~Reactor() { Stop(); }
 
@@ -27,33 +108,57 @@ Status Reactor::Start() {
     epoll_fd_ = -1;
     return Status::IOError("eventfd: " + Errno());
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;  // level-triggered: drained explicitly in Loop()
-  ev.data.fd = wake_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
-    const Status status = Status::IOError("epoll_ctl(wakeup): " + Errno());
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  if (timer_fd_ < 0) {
+    const Status status = Status::IOError("timerfd_create: " + Errno());
     ::close(wake_fd_);
     ::close(epoll_fd_);
     wake_fd_ = epoll_fd_ = -1;
     return status;
   }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: drained explicitly in Loop()
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const Status status = Status::IOError("epoll_ctl(wakeup): " + Errno());
+    ::close(timer_fd_);
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    timer_fd_ = wake_fd_ = epoll_fd_ = -1;
+    return status;
+  }
+  epoll_event tev{};
+  tev.events = EPOLLIN;  // level-triggered: drained in FireDueTimers()
+  tev.data.fd = timer_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &tev) != 0) {
+    const Status status = Status::IOError("epoll_ctl(timer): " + Errno());
+    ::close(timer_fd_);
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    timer_fd_ = wake_fd_ = epoll_fd_ = -1;
+    return status;
+  }
   running_.store(true);
   thread_ = std::thread([this] { Loop(); });
+  RegisterWithWatchdog(this);
   return Status::OK();
 }
 
 void Reactor::Stop() {
   if (!running_.exchange(false)) return;
+  UnregisterFromWatchdog(this);
   const uint64_t one = 1;
   // Wake the loop so it observes running_ == false.
   (void)!::write(wake_fd_, &one, sizeof(one));
   if (thread_.joinable()) thread_.join();
+  ::close(timer_fd_);
   ::close(wake_fd_);
   ::close(epoll_fd_);
-  wake_fd_ = epoll_fd_ = -1;
+  timer_fd_ = wake_fd_ = epoll_fd_ = -1;
   MutexLock lock(mu_);
   callbacks_.clear();
   tasks_.clear();
+  timers_.clear();
 }
 
 Status Reactor::Add(int fd, uint32_t events, EventCallback callback) {
@@ -100,11 +205,73 @@ void Reactor::RunInLoop(std::function<void()> task) {
   (void)!::write(wake_fd_, &one, sizeof(one));
 }
 
+void Reactor::RunAfter(int64_t delay_nanos, std::function<void()> task) {
+  if (delay_nanos <= 0) {
+    RunInLoop(std::move(task));
+    return;
+  }
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  const int64_t deadline =
+      ts.tv_sec * 1000000000LL + ts.tv_nsec + delay_nanos;
+  MutexLock lock(mu_);
+  const bool new_earliest =
+      timers_.empty() || deadline < timers_.begin()->first;
+  timers_.emplace(deadline, std::move(task));
+  if (new_earliest) ArmTimerLocked();
+}
+
+void Reactor::ArmTimerLocked() {
+  if (timer_fd_ < 0 || timers_.empty()) return;
+  const int64_t deadline = timers_.begin()->first;
+  itimerspec spec{};
+  spec.it_value.tv_sec = deadline / 1000000000LL;
+  spec.it_value.tv_nsec = deadline % 1000000000LL;
+  // TFD_TIMER_ABSTIME: a deadline already in the past fires immediately.
+  (void)::timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr);
+}
+
+void Reactor::FireDueTimers() {
+  uint64_t expirations;
+  (void)!::read(timer_fd_, &expirations, sizeof(expirations));
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  const int64_t now = ts.tv_sec * 1000000000LL + ts.tv_nsec;
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      if (timers_.empty() || timers_.begin()->first > now) {
+        ArmTimerLocked();
+        break;
+      }
+      task = std::move(timers_.begin()->second);
+      timers_.erase(timers_.begin());
+    }
+    // Run outside the lock: a timer task may call RunAfter/RunInLoop.
+    task();
+  }
+}
+
+int64_t Reactor::BusyNanos() const {
+  const int64_t since = busy_since_nanos_.load(std::memory_order_acquire);
+  if (since == 0) return 0;
+  const int64_t age = RealClock::Default()->NowNanos() - since;
+  return age > 0 ? age : 0;
+}
+
 void Reactor::Loop() {
+  // Every callback and task below runs inside this context: annotated
+  // blocking primitives abort (checked builds) and tools/dstore_blocking.py
+  // treats the loop body as a DSTORE_NONBLOCKING_CTX root.
+  sync_internal::ScopedLoopContext loop_ctx(name_);
   std::vector<epoll_event> events(64);
   while (running_.load()) {
+    busy_since_nanos_.store(0, std::memory_order_release);
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()), /*timeout=*/-1);
+    busy_since_nanos_.store(RealClock::Default()->NowNanos(),
+                            std::memory_order_release);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd gone; Stop() is tearing us down
@@ -114,6 +281,10 @@ void Reactor::Loop() {
       if (fd == wake_fd_) {
         uint64_t drained;
         (void)!::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == timer_fd_) {
+        FireDueTimers();
         continue;
       }
       // Copy the callback out under the lock so a concurrent Remove() (or a
@@ -141,6 +312,7 @@ void Reactor::Loop() {
     }
     if (n == static_cast<int>(events.size())) events.resize(events.size() * 2);
   }
+  busy_since_nanos_.store(0, std::memory_order_release);
 }
 
 }  // namespace dstore

@@ -1,6 +1,7 @@
 #ifndef DSTORE_NET_REACTOR_H_
 #define DSTORE_NET_REACTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -30,12 +31,23 @@ namespace dstore {
 // Remove() only unregisters — the descriptor stays open and owned by the
 // caller, so a freshly accepted connection can never collide with a dying
 // one's fd while late completion callbacks still hold it.
+//
+// Blocking-context enforcement: the loop thread runs inside a
+// sync_internal::ScopedLoopContext, so any DSTORE_BLOCKING primitive a
+// callback (or RunInLoop task) reaches aborts in checked builds and counts
+// toward dstore_reactor_blocking_violations_total. A process-wide watchdog
+// additionally samples how long each live reactor has been inside one event
+// batch and exports the worst age as the dstore_reactor_stall_ms gauge —
+// the runtime net that catches stalls the annotations cannot see (long
+// compute, un-annotated third-party calls).
 class Reactor {
  public:
   // `events` is the epoll readiness bitmask (EPOLLIN | EPOLLOUT | ...).
   using EventCallback = std::function<void(uint32_t events)>;
 
-  Reactor() = default;
+  // `name` labels blocking-violation reports and watchdog diagnostics; it
+  // must outlive the reactor (string literals only).
+  explicit Reactor(const char* name = "reactor-loop") : name_(name) {}
   ~Reactor();
 
   Reactor(const Reactor&) = delete;
@@ -69,17 +81,48 @@ class Reactor {
   // epoll would never re-report the (already buffered) data.
   void RunInLoop(std::function<void()> task);
 
- private:
-  void Loop();
+  // Runs `task` on the loop thread once `delay_nanos` have elapsed (a
+  // non-positive delay degenerates to RunInLoop). Backed by a timerfd, so
+  // waiting costs the loop nothing — this is how anything that *wants* a
+  // delay on the loop (injected chaos stalls, retry backoff) waits without
+  // blocking it. Callable from any thread. Pending timers are dropped at
+  // Stop().
+  void RunAfter(int64_t delay_nanos, std::function<void()> task);
 
+  // Monotonic age (ns) of the event batch the loop is currently inside, or
+  // 0 when the loop is idle in epoll_wait. Sampled by the watchdog.
+  int64_t BusyNanos() const;
+
+  const char* name() const { return name_; }
+
+ private:
+  void Loop() DSTORE_NONBLOCKING_CTX;
+  // Pops due timers and re-arms the timerfd for the next deadline.
+  void FireDueTimers() EXCLUDES(mu_) DSTORE_NONBLOCKING_CTX;
+  void ArmTimerLocked() REQUIRES(mu_);
+
+  const char* name_;
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: poked by RunInLoop() and Stop()
+  int wake_fd_ = -1;   // eventfd: poked by RunInLoop() and Stop()
+  int timer_fd_ = -1;  // timerfd: armed for the earliest RunAfter deadline
   std::thread thread_;
   std::atomic<bool> running_{false};
+  // 0 = idle; otherwise NowNanos() at the moment the loop began the batch.
+  std::atomic<int64_t> busy_since_nanos_{0};
   mutable Mutex mu_;
   std::map<int, std::shared_ptr<EventCallback>> callbacks_ GUARDED_BY(mu_);
   std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::multimap<int64_t, std::function<void()>> timers_ GUARDED_BY(mu_);
 };
+
+namespace reactor_internal {
+
+// Test/diagnostic view of the loop-stall watchdog: worst current batch age
+// across all live reactors, in milliseconds (what dstore_reactor_stall_ms
+// exports). 0 when every loop is idle.
+int64_t WorstStallMillis();
+
+}  // namespace reactor_internal
 
 }  // namespace dstore
 

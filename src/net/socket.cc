@@ -38,6 +38,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 }
 
 StatusOr<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  sync_internal::CheckBlocking("Socket::ConnectTcp");
   if (auto injector = fault::InstalledSocketFaultInjector()) {
     if (auto f = injector->OnConnect(host, port)) {
       Stall(*f);
@@ -65,6 +66,7 @@ StatusOr<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
 }
 
 Status Socket::WriteFull(const void* data, size_t len) {
+  sync_internal::CheckBlocking("Socket::WriteFull");
   const auto* p = static_cast<const uint8_t*>(data);
   if (auto injector = fault::InstalledSocketFaultInjector()) {
     if (auto f = injector->OnWrite(len)) {
@@ -97,6 +99,7 @@ Status Socket::WriteFull(const void* data, size_t len) {
 }
 
 Status Socket::ReadFull(void* out, size_t len) {
+  sync_internal::CheckBlocking("Socket::ReadFull");
   auto* p = static_cast<uint8_t*>(out);
   if (auto injector = fault::InstalledSocketFaultInjector()) {
     if (auto f = injector->OnRead(len)) {
@@ -180,6 +183,7 @@ StatusOr<ServerSocket> ServerSocket::Listen(uint16_t port) {
 }
 
 StatusOr<Socket> ServerSocket::Accept() {
+  sync_internal::CheckBlocking("ServerSocket::Accept");
   const int fd = fd_.load();
   if (fd < 0) return Status::Unavailable("listener closed");
   const int client = ::accept(fd, nullptr, nullptr);

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -14,6 +15,11 @@ namespace dstore {
 // cloud store both run over real sockets so client latency includes genuine
 // IPC, system-call, and copy costs — the effect the paper measures when
 // comparing in-process and remote-process caches.
+//
+// Every op below runs the descriptor in blocking mode (connect handshake,
+// full-message send/recv loops): all are DSTORE_BLOCKING. The reactor path
+// (src/net/reactor.h, async_server.cc) never uses these — it works on raw
+// nonblocking fds.
 class Socket {
  public:
   Socket() : fd_(-1) {}
@@ -26,19 +32,20 @@ class Socket {
   Socket& operator=(const Socket&) = delete;
 
   // Connects to host:port (IPv4 dotted quad or "localhost").
-  static StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port);
+  static StatusOr<Socket> ConnectTcp(const std::string& host,
+                                     uint16_t port) DSTORE_BLOCKING;
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
   // Writes all `len` bytes or fails.
-  Status WriteFull(const void* data, size_t len);
-  Status WriteFull(const Bytes& data) {
+  Status WriteFull(const void* data, size_t len) DSTORE_BLOCKING;
+  Status WriteFull(const Bytes& data) DSTORE_BLOCKING {
     return WriteFull(data.data(), data.size());
   }
 
   // Reads exactly `len` bytes or fails (EOF mid-read is an IOError).
-  Status ReadFull(void* out, size_t len);
+  Status ReadFull(void* out, size_t len) DSTORE_BLOCKING;
 
   // Disables Nagle's algorithm; our request/response protocols are latency-
   // sensitive small writes.
@@ -67,7 +74,7 @@ class ServerSocket {
   static StatusOr<ServerSocket> Listen(uint16_t port);
 
   // Blocks until a client connects. Fails with Unavailable after Close().
-  StatusOr<Socket> Accept();
+  StatusOr<Socket> Accept() DSTORE_BLOCKING;
 
   uint16_t port() const { return port_; }
   bool valid() const { return fd_.load() >= 0; }

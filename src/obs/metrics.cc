@@ -147,6 +147,17 @@ void CountLockOrderViolation() {
   }
 }
 
+// Same contract for the blocking-context check: invoked from
+// sync_internal::ReportBlockingViolation on whatever thread misbehaved —
+// must stay a single relaxed atomic add.
+std::atomic<Counter*> g_blocking_violations{nullptr};
+
+void CountBlockingViolation() {
+  if (Counter* c = g_blocking_violations.load(std::memory_order_acquire)) {
+    c->Increment();
+  }
+}
+
 }  // namespace
 
 MetricsRegistry* MetricsRegistry::Default() {
@@ -158,6 +169,13 @@ MetricsRegistry* MetricsRegistry::Default() {
                       "lock-order graph (potential deadlocks)"),
         std::memory_order_release);
     sync::SetLockOrderViolationHook(&CountLockOrderViolation);
+    g_blocking_violations.store(
+        r->GetCounter("dstore_reactor_blocking_violations_total", {},
+                      "Blocking primitive calls observed on reactor loop "
+                      "threads (see docs/testing.md, blocking-context "
+                      "analysis)"),
+        std::memory_order_release);
+    sync::SetBlockingViolationHook(&CountBlockingViolation);
     RegisterBuildInfo(r);
     return r;
   }();

@@ -9,6 +9,7 @@
 namespace dstore {
 
 Status SyncDir(const std::filesystem::path& dir) {
+  sync_internal::CheckBlocking("SyncDir");
   const std::string path = dir.empty() ? "." : dir.string();
   const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
@@ -28,6 +29,7 @@ Status SyncDir(const std::filesystem::path& dir) {
 
 Status WriteFileDurably(const std::filesystem::path& path, const Bytes& data,
                         size_t limit) {
+  sync_internal::CheckBlocking("WriteFileDurably");
   const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) {
     return Status::IOError("create " + path.string() + ": " +

@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace dstore {
 
@@ -20,15 +21,18 @@ namespace dstore {
 // once at creation so the segment cannot vanish out from under its synced
 // contents.
 
+// Both helpers fsync and therefore block for a device round-trip: they are
+// DSTORE_BLOCKING and must run on worker threads, never on a reactor loop.
+
 // fsyncs the directory itself (not its contents). An empty path syncs ".".
-Status SyncDir(const std::filesystem::path& dir);
+Status SyncDir(const std::filesystem::path& dir) DSTORE_BLOCKING;
 
 // Writes the first `limit` bytes of `data` to a freshly created `path` and
 // fsyncs it. `limit` below data.size() models a torn write for crash tests;
 // pass data.size() for a normal full write. Does NOT sync the parent
 // directory — publish paths do that after their rename.
 Status WriteFileDurably(const std::filesystem::path& path, const Bytes& data,
-                        size_t limit);
+                        size_t limit) DSTORE_BLOCKING;
 
 }  // namespace dstore
 

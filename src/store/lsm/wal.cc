@@ -103,6 +103,7 @@ StatusOr<uint64_t> WalWriter::Append(const Bytes& payload) {
 }
 
 Status WalWriter::Sync(uint64_t offset) {
+  sync_internal::CheckBlocking("WalWriter::Sync");
   mu_.Lock();
   for (;;) {
     if (synced_ >= offset) {

@@ -68,7 +68,9 @@ class WalWriter {
 
   // Blocks until every byte up to `offset` is durable. Group-commit: if
   // another committer is mid-fsync, waits for that round and re-checks.
-  Status Sync(uint64_t offset) EXCLUDES(mu_);
+  // fsyncs (or waits on a committer that is fsyncing): never call on a
+  // reactor loop thread.
+  Status Sync(uint64_t offset) EXCLUDES(mu_) DSTORE_BLOCKING;
 
   const std::string& path() const { return path_; }
   uint64_t bytes() EXCLUDES(mu_);

@@ -16,6 +16,7 @@
 #include "cache/lru_cache.h"
 #include "cache/expiring_cache.h"
 #include "chaos_harness.h"
+#include "common/sync.h"
 #include "dscl/enhanced_store.h"
 #include "fault/fault.h"
 #include "fault/fault_store.h"
@@ -323,7 +324,33 @@ void RunWalPhase(uint64_t seed, SoakOutcome* outcome) {
   std::filesystem::remove_all(dir, ec);
 }
 
+// Armed for the whole soak: the network phases drive real reactor loops
+// under injected socket faults — exactly where a blocking call on an I/O
+// thread would hide. Counting (not aborting) lets a violation surface as a
+// plain test failure with the seed attached.
+class ChaosBlockingCheckEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    sync::SetBlockingChecking(true);
+    sync::SetBlockingAborts(false);
+    baseline_ = sync::BlockingViolations();
+  }
+  void TearDown() override {
+    EXPECT_EQ(sync::BlockingViolations(), baseline_)
+        << "a reactor loop thread made a blocking call during the chaos soak";
+    sync::SetBlockingAborts(true);
+    sync::SetBlockingChecking(false);
+  }
+
+ private:
+  uint64_t baseline_ = 0;
+};
+
+const auto* const kChaosBlockingCheckEnv =
+    ::testing::AddGlobalTestEnvironment(new ChaosBlockingCheckEnvironment);
+
 TEST(ChaosSoakTest, SeedMatrixSurvivesInjectedFaults) {
+  const uint64_t blocking_before = sync::BlockingViolations();
   for (uint64_t seed : SeedMatrix()) {
     SoakOutcome outcome;
     RunStorePhase(seed, &outcome);
@@ -348,15 +375,23 @@ TEST(ChaosSoakTest, SeedMatrixSurvivesInjectedFaults) {
     const std::string metrics = obs::RenderPrometheusText();
     EXPECT_NE(metrics.find("dstore_fault_injected_total"), std::string::npos);
     EXPECT_NE(metrics.find("dstore_fault_crashes_total"), std::string::npos);
+
+    // Injected stalls wait on reactor timers, never on the loop itself: the
+    // runtime blocking check stayed silent through every phase of this seed.
+    EXPECT_EQ(sync::BlockingViolations(), blocking_before) << "seed=" << seed;
   }
 }
 
 // The threaded fallback core must survive the same network fault mix with
 // the same invariants while it remains in the tree.
 TEST(ChaosSoakTest, NetworkPhaseSurvivesOnThreadedCore) {
+  const uint64_t blocking_before = sync::BlockingViolations();
   SoakOutcome outcome;
   RunNetworkPhase(SeedMatrix().front(), &outcome, ServerCore::kThreaded);
   EXPECT_GT(outcome.net_faults, 0u);
+  // The threaded core has no loop threads, so nothing here may trip the
+  // reactor blocking check either.
+  EXPECT_EQ(sync::BlockingViolations(), blocking_before);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/status.h"
 
 namespace dstore {
@@ -18,7 +19,7 @@ TEST(ListenableFutureTest, GetBlocksUntilSet) {
   EXPECT_FALSE(future.IsDone());
 
   std::thread setter([promise] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    RealClock::Default()->SleepFor(30 * 1'000'000);
     promise.Set(7);
   });
   EXPECT_EQ(future.Get(), 7);

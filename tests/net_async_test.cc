@@ -15,8 +15,10 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "fault/fault.h"
 #include "net/async_server.h"
+#include "net/reactor.h"
 #include "net/framing.h"
 #include "net/http.h"
 #include "net/latency_model.h"
@@ -36,7 +38,7 @@ bool WaitFor(const std::function<bool()>& pred,
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (std::chrono::steady_clock::now() < deadline) {
     if (pred()) return true;
-    std::this_thread::sleep_for(milliseconds(2));
+    RealClock::Default()->SleepFor((2) * 1'000'000LL);
   }
   return pred();
 }
@@ -44,6 +46,31 @@ bool WaitFor(const std::function<bool()>& pred,
 uint64_t CounterValue(const std::string& name, const obs::Labels& labels) {
   return obs::MetricsRegistry::Default()->GetCounter(name, labels, "")->Value();
 }
+
+// The whole net family runs with the blocking-context check counting (not
+// aborting): if any reactor loop thread reaches a DSTORE_BLOCKING primitive
+// anywhere in the suite — fault injection, backpressure, shutdown races —
+// the suite fails here even though no individual test looked.
+class BlockingCheckEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    sync::SetBlockingChecking(true);
+    sync::SetBlockingAborts(false);
+    baseline_ = sync::BlockingViolations();
+  }
+  void TearDown() override {
+    EXPECT_EQ(sync::BlockingViolations(), baseline_)
+        << "a reactor loop thread made a blocking call during the net suite";
+    sync::SetBlockingAborts(true);
+    sync::SetBlockingChecking(false);
+  }
+
+ private:
+  uint64_t baseline_ = 0;
+};
+
+const auto* const kBlockingCheckEnv =
+    ::testing::AddGlobalTestEnvironment(new BlockingCheckEnvironment);
 
 // --- Incremental HTTP parser ------------------------------------------------
 
@@ -114,7 +141,7 @@ TEST(AsyncServerTest, HttpPipelinedResponsesInRequestOrder) {
   constexpr int kRequests = 4;
   auto server = MakeHttpServer([](const HttpRequest& request) {
     const int index = request.path.back() - '0';
-    std::this_thread::sleep_for(milliseconds((kRequests - 1 - index) * 40));
+    RealClock::Default()->SleepFor(((kRequests - 1 - index) * 40) * 1'000'000LL);
     HttpResponse response;
     response.body = ToBytes("reply:" + request.path);
     return response;
@@ -145,7 +172,7 @@ TEST(AsyncServerTest, FramedPipelinedResponsesInRequestOrder) {
   constexpr int kRequests = 5;
   auto server = MakeFramedServer([](const Bytes& request) {
     const int index = request.back() - '0';
-    std::this_thread::sleep_for(milliseconds((kRequests - 1 - index) * 25));
+    RealClock::Default()->SleepFor(((kRequests - 1 - index) * 25) * 1'000'000LL);
     return ToBytes("echo:" + ToString(request));
   });
   ASSERT_TRUE(server->Start(0).ok());
@@ -214,7 +241,7 @@ TEST(AsyncServerTest, HttpRequestSplitMidHeaderReassembled) {
   // second request in the same write.
   const size_t cut = wire.size() / 3;
   ASSERT_TRUE(client->WriteFull(wire.data(), cut).ok());
-  std::this_thread::sleep_for(milliseconds(20));
+  RealClock::Default()->SleepFor((20) * 1'000'000LL);
   Bytes rest(wire.begin() + static_cast<long>(cut), wire.end());
   SerializeHttpRequest(request, &rest);
   ASSERT_TRUE(client->WriteFull(rest).ok());
@@ -324,7 +351,7 @@ TEST(AsyncServerTest, StopDuringInFlightRequestsJoinsCleanly) {
   std::atomic<int> started{0};
   auto server = MakeHttpServer([&started](const HttpRequest&) {
     started.fetch_add(1);
-    std::this_thread::sleep_for(milliseconds(150));
+    RealClock::Default()->SleepFor((150) * 1'000'000LL);
     return HttpResponse{};
   });
   ASSERT_TRUE(server->Start(0).ok());
@@ -500,6 +527,115 @@ TEST(AsyncServerFaultTest, ReadStallDelaysResponse) {
       << "stall did not delay the request";
   EXPECT_GE(injector->read_stalls.load(), 1);
   server->Stop();
+}
+
+// Regression for the loop-stall bug the blocking-context work surfaced: the
+// injected read stall used to SleepFor *on the reactor I/O thread*, so every
+// connection multiplexed on that loop froze for the stall's duration. The
+// fix defers the resume via a reactor timer (RunAfter), so a stalled
+// connection waits alone. One io thread forces both connections onto the
+// same loop — the configuration where the old bug was guaranteed to bite.
+TEST(AsyncServerFaultTest, ReadStallDoesNotBlockOtherConnections) {
+  auto injector = std::make_shared<ServerSideFaultInjector>();
+  injector->stall_nanos = 300'000'000;  // 300ms
+  fault::ScopedSocketFaultInjector scoped(injector);
+
+  const uint64_t violations_before = sync::BlockingViolations();
+
+  AsyncServerOptions options;
+  options.io_threads = 1;
+  auto server = MakeFramedServer(
+      [](const Bytes& request) { return request; }, std::move(options));
+  ASSERT_TRUE(server->Start(0).ok());
+
+  auto stalled = Socket::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(stalled.ok());
+  const auto stall_start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(WriteFrame(&*stalled, ToBytes("stalled")).ok());
+  ASSERT_TRUE(WaitFor([&] { return injector->read_stalls.load() >= 1; }))
+      << "stall never fired";
+
+  // While connection A sits in its 300ms stall, connection B — on the same
+  // loop — must still round-trip promptly. Under the old sleeping-loop
+  // behavior this took the full stall; 150ms is a generous bound for an
+  // unstalled echo even on a loaded CI box.
+  auto other = Socket::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(other.ok());
+  const auto other_start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(WriteFrame(&*other, ToBytes("prompt")).ok());
+  auto other_reply = ReadFrame(&*other);
+  ASSERT_TRUE(other_reply.ok());
+  EXPECT_EQ(ToString(*other_reply), "prompt");
+  const auto other_elapsed = std::chrono::steady_clock::now() - other_start;
+  EXPECT_LT(std::chrono::duration_cast<milliseconds>(other_elapsed).count(),
+            150)
+      << "the stalled connection blocked the shared loop";
+
+  // The stalled connection still pays its own delay — per-connection chaos
+  // semantics survive the fix.
+  auto stalled_reply = ReadFrame(&*stalled);
+  ASSERT_TRUE(stalled_reply.ok());
+  EXPECT_EQ(ToString(*stalled_reply), "stalled");
+  const auto stalled_elapsed = std::chrono::steady_clock::now() - stall_start;
+  EXPECT_GE(
+      std::chrono::duration_cast<milliseconds>(stalled_elapsed).count(), 250)
+      << "stall no longer delays its own connection";
+
+  server->Stop();
+  // The loop never slept: the runtime blocking check (armed suite-wide by
+  // BlockingCheckEnvironment) saw nothing.
+  EXPECT_EQ(sync::BlockingViolations(), violations_before);
+}
+
+// --- Blocking-context runtime enforcement -----------------------------------
+
+// A DSTORE_BLOCKING primitive reached from a RunInLoop task must abort (in
+// checked mode with aborts on) naming the primitive and the loop.
+TEST(ReactorBlockingDeathTest, SleepOnLoopThreadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sync::SetBlockingChecking(true);
+        sync::SetBlockingAborts(true);
+        Reactor reactor("death-test-loop");
+        ASSERT_TRUE(reactor.Start().ok());
+        reactor.RunInLoop(
+            [] { RealClock::Default()->SleepFor(1'000'000); });
+        // The abort lands first; this keeps the child alive long enough.
+        RealClock::Default()->SleepFor(5'000'000'000LL);
+      },
+      "BLOCKING CALL ON REACTOR LOOP THREAD");
+}
+
+// The loop-stall watchdog is the net under the annotations: a loop that sits
+// inside one event batch — for any reason the static analyzer cannot see —
+// shows up in the dstore_reactor_stall_ms gauge while it is stuck.
+TEST(ReactorWatchdogTest, StallGaugeRisesDuringDeliberateStall) {
+  Reactor reactor("watchdog-test-loop");
+  ASSERT_TRUE(reactor.Start().ok());
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> done{false};
+  reactor.RunInLoop([&] {
+    // Suppressed on purpose: the whole point is to hold the loop inside a
+    // batch so the watchdog (not the blocking check) reports it.
+    DSTORE_BLOCKING_OK("deliberate stall: exercising the loop watchdog");
+    while (!release.load()) {
+      RealClock::Default()->SleepFor(5'000'000);
+    }
+    done = true;
+  });
+
+  EXPECT_TRUE(WaitFor(
+      [] { return reactor_internal::WorstStallMillis() >= 100; }))
+      << "watchdog never saw the stalled loop";
+
+  release = true;
+  ASSERT_TRUE(WaitFor([&] { return done.load(); }));
+  EXPECT_TRUE(WaitFor(
+      [] { return reactor_internal::WorstStallMillis() < 100; }))
+      << "stall age did not recover after the loop went idle";
+  reactor.Stop();
 }
 
 // --- Threaded fallback ------------------------------------------------------

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "net/framing.h"
 #include "net/http.h"
 #include "net/latency_model.h"
@@ -116,7 +117,7 @@ TEST(ThreadedServerTest, StopUnblocksIdleConnections) {
   ASSERT_TRUE(server.Start(0).ok());
   auto conn = Socket::ConnectTcp("127.0.0.1", server.port());
   ASSERT_TRUE(conn.ok());
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  RealClock::Default()->SleepFor(20 * 1'000'000);
   server.Stop();  // must not hang
 }
 

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
+
 namespace dstore {
 namespace {
 
@@ -82,7 +84,7 @@ TEST(SyncTest, SharedMutexAllowsConcurrentReaders) {
       int prev = peak.load();
       while (prev < now && !peak.compare_exchange_weak(prev, now)) {
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      RealClock::Default()->SleepFor(20 * 1'000'000);
       readers.fetch_sub(1);
     });
   }
@@ -106,7 +108,7 @@ TEST(SyncTest, CondVarWakesWaiter) {
   CondVar cv;
   bool ready = false;
   std::thread producer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    RealClock::Default()->SleepFor(10 * 1'000'000);
     {
       MutexLock lock(mu);
       ready = true;
@@ -239,6 +241,130 @@ TEST_F(LockOrderTest, SharedMutexFeedsTheSameGraph) {
     MutexLock la(a);  // s -> a: cycle
   }
   EXPECT_EQ(NewViolations(), 1u);
+}
+
+// --- Blocking-context check ----------------------------------------------
+
+// Every blocking-check test: checking on (NDEBUG builds default it off),
+// counting instead of aborting, and a counter baseline. A
+// ScopedLoopContext stands in for a real Reactor loop thread — it is
+// exactly what Reactor::Loop installs.
+class BlockingCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sync::SetBlockingChecking(true);
+    sync::SetBlockingAborts(false);
+    baseline_ = sync::BlockingViolations();
+  }
+  void TearDown() override {
+    sync::SetBlockingViolationHook(nullptr);
+    sync::SetBlockingAborts(true);
+    sync::SetBlockingChecking(false);
+  }
+
+  uint64_t NewViolations() const {
+    return sync::BlockingViolations() - baseline_;
+  }
+
+  // One representative annotated primitive: a CondVar wait that times out
+  // immediately.
+  void CallBlockingPrimitive() {
+    Mutex mu;
+    CondVar cv;
+    MutexLock lock(mu);
+    (void)cv.WaitFor(mu, std::chrono::milliseconds(1));
+  }
+
+ private:
+  uint64_t baseline_ = 0;
+};
+
+TEST_F(BlockingCheckTest, OffLoopThreadIsAllowed) {
+  EXPECT_FALSE(sync::OnReactorLoopThread());
+  CallBlockingPrimitive();
+  RealClock::Default()->SleepFor(1000);
+  EXPECT_EQ(NewViolations(), 0u);
+}
+
+TEST_F(BlockingCheckTest, OnLoopThreadIsCounted) {
+  sync_internal::ScopedLoopContext ctx("test-loop");
+  EXPECT_TRUE(sync::OnReactorLoopThread());
+  CallBlockingPrimitive();
+  EXPECT_EQ(NewViolations(), 1u);
+  RealClock::Default()->SleepFor(1000);
+  EXPECT_EQ(NewViolations(), 2u);
+}
+
+TEST_F(BlockingCheckTest, ContextEndsWithScope) {
+  {
+    sync_internal::ScopedLoopContext ctx("test-loop");
+  }
+  EXPECT_FALSE(sync::OnReactorLoopThread());
+  CallBlockingPrimitive();
+  EXPECT_EQ(NewViolations(), 0u);
+}
+
+TEST_F(BlockingCheckTest, BlockingOkScopeSuppresses) {
+  sync_internal::ScopedLoopContext ctx("test-loop");
+  {
+    DSTORE_BLOCKING_OK("test: bounded 1ms wait, reviewed");
+    CallBlockingPrimitive();
+    EXPECT_EQ(NewViolations(), 0u);
+  }
+  // The suppression ends with its scope: the same call now counts.
+  CallBlockingPrimitive();
+  EXPECT_EQ(NewViolations(), 1u);
+}
+
+TEST_F(BlockingCheckTest, NestedOkScopesBothHonored) {
+  sync_internal::ScopedLoopContext ctx("test-loop");
+  {
+    DSTORE_BLOCKING_OK("outer");
+    {
+      DSTORE_BLOCKING_OK("inner");
+      CallBlockingPrimitive();
+    }
+    CallBlockingPrimitive();  // outer scope still open
+  }
+  EXPECT_EQ(NewViolations(), 0u);
+}
+
+TEST_F(BlockingCheckTest, DisablingTheCheckSilencesIt) {
+  sync::SetBlockingChecking(false);
+  sync_internal::ScopedLoopContext ctx("test-loop");
+  CallBlockingPrimitive();
+  EXPECT_EQ(NewViolations(), 0u);
+}
+
+TEST_F(BlockingCheckTest, EnvVarOverrideDisables) {
+  // DSTORE_BLOCKING_CHECK=0 must win over the build-type default, exactly
+  // like DSTORE_LOCK_CHECK for the lock-order validator.
+  ::setenv("DSTORE_BLOCKING_CHECK", "0", /*overwrite=*/1);
+  sync::ReinitBlockingCheckFromEnvForTest();
+  {
+    sync_internal::ScopedLoopContext ctx("test-loop");
+    CallBlockingPrimitive();
+  }
+  EXPECT_EQ(NewViolations(), 0u);
+
+  ::setenv("DSTORE_BLOCKING_CHECK", "1", /*overwrite=*/1);
+  sync::ReinitBlockingCheckFromEnvForTest();
+  {
+    sync_internal::ScopedLoopContext ctx("test-loop");
+    CallBlockingPrimitive();
+  }
+  EXPECT_EQ(NewViolations(), 1u);
+  ::unsetenv("DSTORE_BLOCKING_CHECK");
+  sync::ReinitBlockingCheckFromEnvForTest();
+}
+
+TEST_F(BlockingCheckTest, ViolationInvokesInstalledHook) {
+  static std::atomic<int> hook_calls{0};
+  hook_calls = 0;
+  sync::SetBlockingViolationHook([] { hook_calls.fetch_add(1); });
+  sync_internal::ScopedLoopContext ctx("test-loop");
+  CallBlockingPrimitive();
+  EXPECT_EQ(hook_calls.load(), 1);
 }
 
 // --- Death test: the default policy aborts with a self-describing report --

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
+
 namespace dstore {
 namespace {
 
@@ -38,7 +40,7 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
       int prev = max_in_flight.load();
       while (prev < now && !max_in_flight.compare_exchange_weak(prev, now)) {
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      RealClock::Default()->SleepFor(20 * 1'000'000);
       in_flight.fetch_sub(1);
     });
   }
@@ -63,7 +65,7 @@ TEST(ThreadPoolTest, SubmitAfterShutdownIsDropped) {
   std::atomic<bool> ran{false};
   pool.Submit([&ran] { ran = true; });
   // Shutdown is already complete; the task must not run.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  RealClock::Default()->SleepFor(20 * 1'000'000);
   EXPECT_FALSE(ran.load());
 }
 
@@ -83,11 +85,11 @@ TEST(ThreadPoolTest, QueueDepthReflectsBacklog) {
   std::atomic<bool> release{false};
   pool.Submit([&release] {
     while (!release.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      RealClock::Default()->SleepFor(1 * 1'000'000);
     }
   });
   // Give the worker time to dequeue the blocker.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  RealClock::Default()->SleepFor(20 * 1'000'000);
   for (int i = 0; i < 5; ++i) {
     pool.Submit([] {});
   }
@@ -106,7 +108,7 @@ TEST(ThreadPoolTest, TasksSubmittedFromTasks) {
   });
   // Wait() may return between the outer and inner task; poll instead.
   for (int i = 0; i < 200 && count.load() < 2; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    RealClock::Default()->SleepFor(5 * 1'000'000);
   }
   EXPECT_EQ(count.load(), 2);
 }

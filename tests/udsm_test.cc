@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/lru_cache.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/sync.h"
 #include "store/file_store.h"
@@ -139,7 +140,7 @@ TEST(UdsmTest, AsyncCallbacksFire) {
   });
   (void)future.Get();  // ensure completion
   for (int i = 0; i < 100 && !fired.load(); ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    RealClock::Default()->SleepFor(2 * 1'000'000);
   }
   MutexLock lock(mu);
   EXPECT_TRUE(fired.load());
@@ -152,7 +153,7 @@ TEST(UdsmTest, AsyncOverlapsSlowOperations) {
   class SlowStore : public MemoryStore {
    public:
     StatusOr<ValuePtr> Get(const std::string& key) override {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      RealClock::Default()->SleepFor(20 * 1'000'000);
       return MemoryStore::Get(key);
     }
   };
@@ -267,7 +268,7 @@ TEST(WorkloadGeneratorTest, HitRateExtrapolation) {
   class SlowStore : public MemoryStore {
    public:
     StatusOr<ValuePtr> Get(const std::string& key) override {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      RealClock::Default()->SleepFor(5 * 1'000'000);
       return MemoryStore::Get(key);
     }
   };

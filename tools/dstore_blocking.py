@@ -1,0 +1,809 @@
+#!/usr/bin/env python3
+"""Reactor-context blocking-call analyzer for dstore.
+
+    python3 tools/dstore_blocking.py [options] [paths...]
+
+Walks the static call graph from every function annotated
+DSTORE_NONBLOCKING_CTX (reactor loop bodies, epoll callbacks, loop-posted
+task handlers) and reports any transitively reachable call to a function
+annotated DSTORE_BLOCKING (fsync paths, CondVar::Wait, ListenableFuture::Get,
+blocking socket ops, Clock::SleepFor, ...). A call lexically covered by a
+DSTORE_BLOCKING_OK(reason) scope in the same function is suppressed — that
+is the reviewed, documented escape hatch (see docs/testing.md).
+
+With no paths, analyzes src/. Exits non-zero when violations are found
+(or, with --expect-violations, when the expected count is NOT found — the
+mode scripts/check.sh uses to prove the gate still bites on the seeded
+fixture in tests/analysis/).
+
+Frontends (--frontend=auto|libclang|text, default auto):
+
+  libclang   Parses real ASTs via the clang python bindings and a
+             compile_commands.json (written by every CMake configure since
+             CMAKE_EXPORT_COMPILE_COMMANDS went in). Precise: overloads and
+             member functions resolve by USR, lambdas attribute to their
+             enclosing function.
+  text       A dependency-free lexical frontend: strips comments/strings/
+             preprocessor lines, recovers function definitions by brace
+             matching, and matches calls by name. Deliberately conservative
+             — any call whose *name* matches an annotated-blocking function
+             is flagged. Two documented blind spots: calls made through
+             std::function/function-pointer values are invisible (this is
+             what makes worker-pool task closures, which are dispatched
+             through std::function, correctly out of scope), and lambda
+             bodies are excluded from their enclosing function (a lambda's
+             execution context is unknowable lexically; the repo discipline
+             is that anything a loop-side lambda calls is itself annotated
+             DSTORE_NONBLOCKING_CTX and therefore a root of its own — the
+             runtime check in common/sync.h covers the remainder).
+
+auto picks libclang when the bindings import AND pass an embedded smoke
+test, else falls back to text with a note — so CI legs without the
+bindings still gate on the text frontend instead of skipping.
+"""
+
+import argparse
+import bisect
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ["src"]
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+BLOCKING = "DSTORE_BLOCKING"
+NONBLOCKING = "DSTORE_NONBLOCKING_CTX"
+OK_MACRO = "DSTORE_BLOCKING_OK"
+
+ANNOT_RE = re.compile(r"\b(DSTORE_BLOCKING|DSTORE_NONBLOCKING_CTX)\b")
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+# Like CALL_RE but capturing an explicit A::B:: qualifier chain when present;
+# the last component disambiguates which class's method is being called.
+QCALL_RE = re.compile(r"\b((?:[A-Za-z_]\w*::)*)([A-Za-z_]\w*)\s*\(")
+OK_RE = re.compile(r"\bDSTORE_BLOCKING_OK\s*\(")
+CLASS_HEADER_RE = re.compile(r"\b(?:class|struct)\s+((?:\w+::)*\w+)[^;{]*$")
+
+# Names that look like calls lexically but never are (control flow, casts,
+# declaration specifiers) plus this repo's attribute-style macros, which all
+# take parenthesized arguments in function headers and bodies.
+NOT_A_CALL = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "throw", "new", "delete",
+    "void", "int", "char", "bool", "auto", "float", "double", "short",
+    "long", "unsigned", "signed", "operator", "defined", "assert",
+    "alignas", "typeid", "co_await", "co_return", "co_yield",
+    # thread-safety / blocking annotation macros (common/sync.h)
+    "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED",
+    "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED",
+    "TRY_ACQUIRE", "EXCLUDES", "RETURN_CAPABILITY", "CAPABILITY",
+    "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+    "DSTORE_THREAD_ANNOTATION_", OK_MACRO,
+}
+
+NON_FUNC_HEADER_RE = re.compile(
+    r"\b(class|struct|union|enum|namespace)\s+[\w:]*\s*(final\s*)?"
+    r"(:\s*[^:{].*)?$"
+)
+
+LAMBDA_INTRO_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(\([^()]*\))?\s*(mutable\b\s*)?(noexcept\b\s*)?"
+    r"(->\s*[\w:<>,&*\s]+?)?\s*\{"
+)
+
+
+# ---------------------------------------------------------------------------
+# Text frontend: lexical scan
+# ---------------------------------------------------------------------------
+
+def strip_code(text):
+    """Blanks comments, string/char literals, and preprocessor lines with
+    spaces (newlines kept) so offsets and line numbers stay valid."""
+    out = list(text)
+    n = len(text)
+    i = 0
+    state = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out[i] = " "
+            elif c == "'":
+                state = "chr"
+                out[i] = " "
+        elif state == "line":
+            if c == "\n":
+                state = None
+            else:
+                out[i] = " "
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                out[i] = out[i + 1] = " "
+                state = None
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+        elif state in ("str", "chr"):
+            if c == "\\":
+                out[i] = " "
+                if i + 1 < n and text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            quote = '"' if state == "str" else "'"
+            out[i] = " "
+            if c == quote:
+                state = None
+        i += 1
+    # Preprocessor lines (including backslash continuations).
+    lines = "".join(out).split("\n")
+    in_directive = False
+    for idx, line in enumerate(lines):
+        if in_directive or line.lstrip().startswith("#"):
+            in_directive = line.rstrip().endswith("\\")
+            lines[idx] = " " * len(line)
+        else:
+            in_directive = False
+    return "\n".join(lines)
+
+
+def strip_lambdas(body):
+    """Blanks lambda bodies (braces included) inside a function body."""
+    out = body
+    while True:
+        m = LAMBDA_INTRO_RE.search(out)
+        if not m:
+            return out
+        open_brace = m.end() - 1
+        end = match_brace(out, open_brace)
+        out = out[:open_brace] + " " * (end - open_brace + 1) + out[end + 1:]
+
+
+def match_brace(text, open_pos):
+    """Offset of the '}' matching the '{' at open_pos (len-1 if unbalanced)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def header_function_name(header):
+    """(name, qualifier-or-None, offset-in-header) if `header` reads like a
+    function signature, else None. The first call-like identifier wins: in
+    every signature form this repo uses (free function, qualified method,
+    constructor with init list, trailing annotations) that is the function's
+    name; an explicit `Class::Name` prefix yields the qualifier."""
+    if not header.strip():
+        return None
+    if re.search(r"=\s*$", header):
+        return None  # brace initializer, not a body
+    if NON_FUNC_HEADER_RE.search(header):
+        return None
+    for m in QCALL_RE.finditer(header):
+        name = m.group(2)
+        if name in NOT_A_CALL:
+            continue
+        qual = m.group(1).rstrip(":").split("::")[-1] if m.group(1) else None
+        return name, qual, m.start(2)
+    return None
+
+
+class FuncDef:
+    def __init__(self, name, qual, rel, name_off, body_start, body_end,
+                 annotations):
+        self.name = name
+        self.qual = qual  # enclosing/explicit class name, or None
+        self.rel = rel
+        self.name_off = name_off
+        self.body_start = body_start
+        self.body_end = body_end
+        self.annotations = annotations
+        self.calls = []  # (qualifier-hint, callee, offset, suppressed)
+
+
+def scan_file(rel, text):
+    """Returns (defs, annotated_decls) for one stripped file. A stack of
+    open class/struct blocks supplies the qualifier for methods defined (or
+    declared) in-class, so `CondVar::Wait` and `Reactor::Loop` resolve even
+    though their headers spell only `Wait` / `Loop`."""
+    defs = []
+    decls = []  # (name, qual, offset, annotations)
+    n = len(text)
+    i = 0
+    header_start = 0
+    blocks = []  # innermost-last: class name or None per open non-func brace
+    while i < n:
+        c = text[i]
+        if c == ";":
+            stmt = text[header_start:i]
+            annots = set(ANNOT_RE.findall(stmt))
+            if annots:
+                found = header_function_name(stmt)
+                if found:
+                    name, qual, rel_off = found
+                    if qual is None:
+                        qual = _enclosing_class(blocks)
+                    decls.append((name, qual, header_start + rel_off,
+                                  annots))
+            header_start = i + 1
+        elif c == "}":
+            if blocks:
+                blocks.pop()
+            header_start = i + 1
+        elif c == "{":
+            header = text[header_start:i]
+            found = header_function_name(header)
+            if found:
+                name, qual, rel_off = found
+                if qual is None:
+                    qual = _enclosing_class(blocks)
+                end = match_brace(text, i)
+                annots = set(ANNOT_RE.findall(header))
+                defs.append(FuncDef(name, qual, rel, header_start + rel_off,
+                                    i, end, annots))
+                i = end
+                header_start = i + 1
+            else:
+                m = CLASS_HEADER_RE.search(header)
+                blocks.append(m.group(1).split("::")[-1] if m else None)
+                header_start = i + 1
+        i += 1
+    return defs, decls
+
+
+def _enclosing_class(blocks):
+    for name in reversed(blocks):
+        if name is not None:
+            return name
+    return None
+
+
+def extract_calls(func, text):
+    """Fills func.calls with (callee, offset, suppressed) from its body.
+    A DSTORE_BLOCKING_OK(...) declaration suppresses every later call while
+    its enclosing brace scope is still open, mirroring the runtime
+    BlockingOkScope object's lifetime."""
+    body = strip_lambdas(text[func.body_start:func.body_end + 1])
+    base = func.body_start
+    events = []  # (offset, kind, payload); kind order breaks offset ties
+    for m in re.finditer(r"[{}]", body):
+        events.append((m.start(), 0, m.group(0)))
+    for m in OK_RE.finditer(body):
+        events.append((m.start(), 1, ("ok", None)))
+    for m in QCALL_RE.finditer(body):
+        if m.group(2) in NOT_A_CALL:
+            continue
+        qual = m.group(1).rstrip(":").split("::")[-1] if m.group(1) else None
+        events.append((m.start(2), 2, (qual, m.group(2))))
+    events.sort(key=lambda e: (e[0], e[1]))
+    depth = 0
+    ok_depths = []  # brace depths at which an OK scope is active
+    for offset, kind, payload in events:
+        if kind == 0:
+            if payload == "{":
+                depth += 1
+            else:
+                depth -= 1
+                while ok_depths and ok_depths[-1] > depth:
+                    ok_depths.pop()
+        elif kind == 1:
+            ok_depths.append(depth)
+        else:
+            qual, name = payload
+            func.calls.append((qual, name, base + offset, bool(ok_depths)))
+
+
+def _quals_compatible(a, b):
+    """Qualifier match with conservative unknowns: None (unknown) matches
+    anything; known qualifiers must agree."""
+    return a is None or b is None or a == b
+
+
+class TextModel:
+    """Whole-program model: name -> defs, plus annotation records."""
+
+    def __init__(self):
+        self.defs = {}            # name -> [FuncDef]
+        self.blocking = {}        # name -> [(qual, rel, offset)]
+        self.nonblocking = {}     # name -> [(qual, rel, offset)]
+        self.line_index = {}      # rel -> newline offsets (for line numbers)
+
+    def line_of(self, rel, offset):
+        return bisect.bisect_right(self.line_index[rel], offset) + 1
+
+    def add_file(self, rel, raw_text):
+        text = strip_code(raw_text)
+        self.line_index[rel] = [m.start() for m in re.finditer(r"\n", text)]
+        defs, decls = scan_file(rel, text)
+        for func in defs:
+            extract_calls(func, text)
+            self.defs.setdefault(func.name, []).append(func)
+            self._record_annotations(func.name, func.qual, rel,
+                                     func.name_off, func.annotations)
+        for name, qual, offset, annots in decls:
+            self._record_annotations(name, qual, rel, offset, annots)
+
+    def _record_annotations(self, name, qual, rel, offset, annots):
+        if BLOCKING in annots:
+            self.blocking.setdefault(name, []).append((qual, rel, offset))
+        if NONBLOCKING in annots:
+            self.nonblocking.setdefault(name, []).append((qual, rel, offset))
+
+    def blocking_record(self, hint, name):
+        """The annotation record a call (hint, name) resolves to, or None."""
+        for qual, rel, offset in self.blocking.get(name, []):
+            if _quals_compatible(hint, qual):
+                return (qual, rel, offset)
+        return None
+
+    def is_nonblocking(self, func):
+        if NONBLOCKING in func.annotations:
+            return True
+        return any(_quals_compatible(func.qual, qual)
+                   for qual, _, _ in self.nonblocking.get(func.name, []))
+
+    def is_blocking(self, func):
+        if BLOCKING in func.annotations:
+            return True
+        return any(_quals_compatible(func.qual, qual)
+                   for qual, _, _ in self.blocking.get(func.name, []))
+
+    def callee_defs(self, hint, name):
+        """Defs a call may target. A qualifier hint filters when it matches
+        at least one candidate; a hint no candidate carries (a namespace
+        prefix, say) falls back to every candidate — conservative."""
+        candidates = self.defs.get(name, [])
+        if hint is not None:
+            filtered = [d for d in candidates
+                        if d.qual is not None and d.qual == hint]
+            if filtered:
+                return filtered
+        return candidates
+
+
+def analyze_text(file_texts):
+    """file_texts: {relpath: source}. Returns a list of violation dicts."""
+    model = TextModel()
+    for rel in sorted(file_texts):
+        model.add_file(rel, file_texts[rel])
+
+    # BFS over function definitions from every nonblocking-context root.
+    # Blocking-annotated defs are never traversed into: a call reaching one
+    # is the violation itself (reported at the call site).
+    roots = [func for funcs in model.defs.values() for func in funcs
+             if model.is_nonblocking(func) and not model.is_blocking(func)]
+    violations = []
+    seen = set()
+    parent = {}  # id(def) -> (parent def, callsite rel, callsite offset)
+    visited = {id(func) for func in roots}
+    queue = list(roots)
+    while queue:
+        func = queue.pop(0)
+        for hint, callee, offset, suppressed in func.calls:
+            if suppressed:
+                continue
+            record = model.blocking_record(hint, callee)
+            if record is not None:
+                key = (callee, func.rel, offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                violations.append(_make_violation(
+                    model, parent, func, callee, record, offset))
+                continue
+            for target in model.callee_defs(hint, callee):
+                if id(target) in visited or model.is_blocking(target):
+                    continue
+                visited.add(id(target))
+                parent[id(target)] = (func, func.rel, offset)
+                queue.append(target)
+    violations.sort(key=lambda v: (v["call_site"], v["callee"]))
+    return violations
+
+
+def _display(func):
+    return "%s::%s" % (func.qual, func.name) if func.qual else func.name
+
+
+def _make_violation(model, parent, caller, callee, record, offset):
+    # Reconstruct the root -> ... -> caller chain for the report.
+    chain = [caller]
+    hops = {}
+    node = caller
+    while id(node) in parent:
+        prev, site_rel, site_off = parent[id(node)]
+        hops[_display(node)] = "%s:%d" % (
+            site_rel, model.line_of(site_rel, site_off))
+        chain.append(prev)
+        node = prev
+    chain.reverse()
+    root = chain[0]
+    qual, blk_rel, blk_off = record
+    callee_display = "%s::%s" % (qual, callee) if qual else callee
+    return {
+        "root": _display(root),
+        "root_site": "%s:%d" % (root.rel, model.line_of(root.rel,
+                                                        root.name_off)),
+        "chain": [_display(f) for f in chain],
+        "hops": hops,
+        "callee": callee_display,
+        "callee_site": "%s:%d" % (blk_rel, model.line_of(blk_rel, blk_off)),
+        "call_site": "%s:%d" % (caller.rel,
+                                model.line_of(caller.rel, offset)),
+    }
+
+
+def print_violation(v, out=sys.stdout):
+    print("dstore-blocking: blocking call reachable from reactor context",
+          file=out)
+    print("  root:  %s (%s) [%s]" % (v["root"], v["root_site"], NONBLOCKING),
+          file=out)
+    for i in range(1, len(v["chain"])):
+        name = v["chain"][i]
+        print("    -> %s (called at %s)" % (name, v["hops"].get(name, "?")),
+              file=out)
+    print("  call:  %s at %s -> %s (%s) [%s]" %
+          (v["callee"], v["call_site"], v["callee"], v["callee_site"],
+           BLOCKING), file=out)
+    print("  fix:   move the work to the ThreadPool, defer it with "
+          "Reactor::RunAfter,", file=out)
+    print("         or wrap a reviewed exception in "
+          "DSTORE_BLOCKING_OK(\"reason\")", file=out)
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend (optional; auto-falls back to text when unavailable)
+# ---------------------------------------------------------------------------
+
+def _libclang_args_for(path, build_dir):
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    if os.path.isfile(cc_path):
+        with open(cc_path, encoding="utf-8") as f:
+            for entry in json.load(f):
+                if os.path.realpath(entry["file"]) == os.path.realpath(path):
+                    args = entry.get("arguments")
+                    if args is None:
+                        args = entry["command"].split()
+                    # Drop compiler, -c/-o pairs, and the source file itself.
+                    cleaned = []
+                    skip = False
+                    for a in args[1:]:
+                        if skip:
+                            skip = False
+                            continue
+                        if a in ("-c", "-o"):
+                            skip = (a == "-o")
+                            continue
+                        if os.path.realpath(a) == os.path.realpath(path):
+                            continue
+                        cleaned.append(a)
+                    return cleaned
+    return ["-std=c++20", "-I" + os.path.join(REPO_ROOT, "src")]
+
+
+def analyze_libclang(files, build_dir, unsaved=None):
+    """AST-precise analysis. `files` is a list of paths; `unsaved` maps
+    path -> contents for self-test sources that exist only in memory.
+    Raises on any bindings/parse failure — callers fall back to text."""
+    import clang.cindex as ci  # noqa: deferred, optional dependency
+
+    if os.environ.get("DSTORE_LIBCLANG"):
+        ci.Config.set_library_file(os.environ["DSTORE_LIBCLANG"])
+    index = ci.Index.create()
+
+    FUNC_KINDS = {
+        ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+        ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+        ci.CursorKind.FUNCTION_TEMPLATE,
+    }
+
+    blocking = {}      # usr -> (display, "file:line")
+    nonblocking = {}   # usr -> (display, "file:line")
+    calls = {}         # usr -> [(callee usr, "file:line", suppressed)]
+    names = {}         # usr -> display name
+
+    def annotations_of(cursor):
+        out = set()
+        for child in cursor.get_children():
+            if child.kind == ci.CursorKind.ANNOTATE_ATTR:
+                out.add(child.spelling)
+        return out
+
+    def site(cursor):
+        loc = cursor.location
+        fname = loc.file.name if loc.file else "?"
+        return "%s:%d" % (os.path.relpath(fname, REPO_ROOT), loc.line)
+
+    def record_function(cursor):
+        usr = cursor.get_usr()
+        if not usr:
+            return
+        names.setdefault(usr, cursor.spelling)
+        annots = annotations_of(cursor)
+        if "dstore_blocking" in annots:
+            blocking.setdefault(usr, (cursor.spelling, site(cursor)))
+        if "dstore_nonblocking_ctx" in annots:
+            nonblocking.setdefault(usr, (cursor.spelling, site(cursor)))
+        if not cursor.is_definition():
+            return
+        out = calls.setdefault(usr, [])
+        ok_offsets = []  # offsets of BlockingOkScope declarations
+
+        def walk(node, in_lambda):
+            for child in node.get_children():
+                kind = child.kind
+                if kind == ci.CursorKind.LAMBDA_EXPR:
+                    walk(child, True)
+                    continue
+                if kind == ci.CursorKind.DECL_STMT:
+                    for d in child.get_children():
+                        if (d.kind == ci.CursorKind.VAR_DECL and
+                                "BlockingOkScope" in d.type.spelling):
+                            ok_offsets.append(child.extent.start.offset)
+                if kind == ci.CursorKind.CALL_EXPR and not in_lambda:
+                    ref = child.referenced
+                    if ref is not None and ref.kind in FUNC_KINDS:
+                        callee_usr = ref.get_usr()
+                        if callee_usr:
+                            names.setdefault(callee_usr, ref.spelling)
+                            ref_annots = annotations_of(ref)
+                            if "dstore_blocking" in ref_annots:
+                                blocking.setdefault(
+                                    callee_usr, (ref.spelling, site(ref)))
+                            if "dstore_nonblocking_ctx" in ref_annots:
+                                nonblocking.setdefault(
+                                    callee_usr, (ref.spelling, site(ref)))
+                            suppressed = any(
+                                o <= child.extent.start.offset
+                                for o in ok_offsets)
+                            out.append((callee_usr, site(child), suppressed))
+                walk(child, in_lambda)
+
+        walk(cursor, False)
+
+    unsaved_list = [(p, s) for p, s in (unsaved or {}).items()]
+    for path in files:
+        tu = index.parse(path, args=_libclang_args_for(path, build_dir),
+                         unsaved_files=unsaved_list or None)
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind in FUNC_KINDS and \
+                    cursor.location.file is not None:
+                record_function(cursor)
+
+    violations = []
+    seen = set()
+    parent = {}
+    queue = [u for u in sorted(nonblocking) if u in calls]
+    visited = set(queue) | set(nonblocking)
+    while queue:
+        current = queue.pop(0)
+        for callee_usr, call_site, suppressed in calls.get(current, []):
+            if suppressed:
+                continue
+            if callee_usr in blocking:
+                key = (callee_usr, call_site)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = [names[current]]
+                node = current
+                hops = {}
+                while node in parent:
+                    prev, prev_site = parent[node]
+                    hops[names[node]] = prev_site
+                    chain.append(names[prev])
+                    node = prev
+                chain.reverse()
+                root_usr = node
+                violations.append({
+                    "root": names[root_usr],
+                    "root_site": nonblocking[root_usr][1],
+                    "chain": chain,
+                    "hops": hops,
+                    "callee": blocking[callee_usr][0],
+                    "callee_site": blocking[callee_usr][1],
+                    "call_site": call_site,
+                })
+            elif callee_usr in calls and callee_usr not in visited:
+                visited.add(callee_usr)
+                parent[callee_usr] = (current, call_site)
+                queue.append(callee_usr)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures (shared by --self-test and the auto-frontend smoke test)
+# ---------------------------------------------------------------------------
+
+SELF_TEST_SOURCE = """
+#define DSTORE_BLOCKING __attribute__((annotate("dstore_blocking")))
+#define DSTORE_NONBLOCKING_CTX \\
+    __attribute__((annotate("dstore_nonblocking_ctx")))
+struct BlockingOkScope { BlockingOkScope(const char*); ~BlockingOkScope(); };
+#define DSTORE_BLOCKING_OK(reason) BlockingOkScope ok_scope(reason)
+
+void PretendFsync() DSTORE_BLOCKING;
+void PretendFsync() {}
+
+void Helper() { PretendFsync(); }
+
+void SuppressedHelper() {
+  { DSTORE_BLOCKING_OK("reviewed: bounded and rare");
+    PretendFsync(); }
+  int after_scope = 0; (void)after_scope;
+}
+
+void EscapedScope() {
+  { DSTORE_BLOCKING_OK("only covers this block"); }
+  PretendFsync();  // OK scope closed: must be reported
+}
+
+void LoopCallback() DSTORE_NONBLOCKING_CTX;
+void LoopCallback() {
+  Helper();
+  SuppressedHelper();
+  EscapedScope();
+}
+"""
+
+# Expected: Helper -> PretendFsync and EscapedScope -> PretendFsync; the
+# suppressed call inside SuppressedHelper's OK scope must NOT appear.
+SELF_TEST_EXPECT = 2
+
+
+def run_self_test(frontend, build_dir):
+    if frontend == "libclang":
+        path = os.path.join(REPO_ROOT, "dstore_blocking_selftest.cc")
+        violations = analyze_libclang([path], build_dir,
+                                      unsaved={path: SELF_TEST_SOURCE})
+    else:
+        violations = analyze_text({"selftest.cc": SELF_TEST_SOURCE})
+    callers = sorted(v["chain"][-1] for v in violations)
+    ok = (len(violations) == SELF_TEST_EXPECT and
+          callers == ["EscapedScope", "Helper"] and
+          all(v["callee"] == "PretendFsync" for v in violations))
+    return ok, violations
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for root, dirs, entries in os.walk(p):
+            dirs[:] = [d for d in dirs if not d.startswith(("build", "."))]
+            for name in entries:
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(root, name))
+    return sorted(files)
+
+
+def pick_frontend(requested, build_dir):
+    """Resolves 'auto' by smoke-testing libclang; returns (frontend, note)."""
+    if requested != "auto":
+        return requested, None
+    try:
+        ok, _ = run_self_test("libclang", build_dir)
+        if ok:
+            return "libclang", None
+        return "text", "libclang bindings present but failed the smoke test"
+    except Exception as e:  # ImportError, LibclangError, parse failures
+        return "text", "libclang unavailable (%s: %s)" % (
+            type(e).__name__, str(e).split("\n")[0][:100])
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="dstore_blocking.py",
+        description="Static blocking-call analysis for reactor contexts.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--frontend", choices=["auto", "libclang", "text"],
+                        default="auto")
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT,
+                                                            "build"),
+                        help="build dir holding compile_commands.json "
+                             "(libclang frontend only)")
+    parser.add_argument("--expect-violations", type=int, default=None,
+                        metavar="N",
+                        help="exit 0 iff exactly N violations are found "
+                             "(fixture gate mode)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded analyzer self-test and exit")
+    args = parser.parse_args(argv)
+
+    frontend, note = pick_frontend(args.frontend, args.build_dir)
+    if note:
+        print("dstore_blocking: note: %s; using text frontend" % note,
+              file=sys.stderr)
+
+    if args.self_test:
+        ok, violations = run_self_test(frontend, args.build_dir)
+        if not ok:
+            print("dstore_blocking: SELF-TEST FAILED (%s frontend): "
+                  "expected %d violations (Helper, EscapedScope), got:" %
+                  (frontend, SELF_TEST_EXPECT), file=sys.stderr)
+            for v in violations:
+                print_violation(v, out=sys.stderr)
+            return 1
+        print("dstore_blocking: self-test passed (%s frontend, %d/%d "
+              "expected violations)" % (frontend, len(violations),
+                                        SELF_TEST_EXPECT))
+        return 0
+
+    paths = args.paths or [os.path.join(REPO_ROOT, d) for d in DEFAULT_DIRS]
+    files = collect_files(paths)
+    if not files:
+        print("dstore_blocking: no C++ files under %s" % paths,
+              file=sys.stderr)
+        return 2
+
+    if frontend == "libclang":
+        try:
+            # Headers are reached through the .cc files that include them.
+            tu_files = [f for f in files if f.endswith((".cc", ".cpp"))] \
+                or files
+            violations = analyze_libclang(tu_files, args.build_dir)
+        except Exception as e:
+            print("dstore_blocking: libclang frontend failed (%s); "
+                  "falling back to text" % e, file=sys.stderr)
+            frontend = "text"
+    if frontend == "text":
+        file_texts = {}
+        for path in files:
+            rel = os.path.relpath(path, REPO_ROOT)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                file_texts[rel] = f.read()
+        violations = analyze_text(file_texts)
+
+    for v in violations:
+        print_violation(v)
+
+    if args.expect_violations is not None:
+        if len(violations) == args.expect_violations:
+            print("dstore_blocking: gate OK — found the %d expected "
+                  "violation(s) (%s frontend)" %
+                  (len(violations), frontend))
+            return 0
+        print("dstore_blocking: GATE FAILED TO BITE — expected %d "
+              "violation(s), found %d (%s frontend)" %
+              (args.expect_violations, len(violations), frontend),
+              file=sys.stderr)
+        return 1
+
+    if violations:
+        print("dstore_blocking: %d violation(s) (%s frontend)" %
+              (len(violations), frontend), file=sys.stderr)
+        return 1
+    print("dstore_blocking: clean — no blocking calls reachable from "
+          "reactor contexts (%s frontend, %d files)" %
+          (frontend, len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,6 +28,14 @@ or a bare `// NOLINT` comment):
                     `call(...).ok()` for an intentional discard; the
                     [[nodiscard]] attribute on Status/StatusOr makes the
                     compiler flag the rest.
+  raw-sleep         ::sleep / usleep / std::this_thread::sleep_for|until
+                    outside src/common/clock.cc. Everything else must go
+                    through Clock::SleepFor, which is DSTORE_BLOCKING-
+                    annotated — a raw sleep is invisible to the reactor
+                    blocking-context check and to SimulatedClock tests.
+
+`--self-test` runs the embedded rule fixtures (each rule must fire on its
+positive snippet and stay quiet on its negative/suppressed one) and exits.
 """
 
 import os
@@ -51,6 +59,15 @@ RAW_SYNC_RE = re.compile(
     r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
     r"scoped_lock)\b"
 )
+
+# The one place a raw sleep is the implementation, not a bug: the real
+# clock. (The annotated Clock::SleepFor wrapper lives there.)
+RAW_SLEEP_ALLOWED = {
+    os.path.join("src", "common", "clock.cc"),
+}
+
+RAW_SLEEP_RE = re.compile(
+    r"this_thread::sleep_(for|until)\b|(?<![\w.])(::)?u?sleep\s*\(")
 
 NAKED_NEW_RE = re.compile(r"(=|return)\s+new\b")
 SMART_WRAP_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<")
@@ -97,13 +114,17 @@ def strip_strings(line):
 
 def lint_file(path, rel, findings):
     with open(path, encoding="utf-8", errors="replace") as f:
-        lines = f.read().split("\n")
+        lint_text(rel, f.read(), findings)
 
+
+def lint_text(rel, text, findings):
+    lines = text.split("\n")
     is_header = rel.endswith((".h", ".hpp"))
     if is_header:
         lint_include_guard(rel, lines, findings)
 
     raw_sync_ok = rel in RAW_SYNC_ALLOWED
+    raw_sleep_ok = rel in RAW_SLEEP_ALLOWED
     depth = 0  # unbalanced-paren depth from preceding lines
     prev_continues = False  # previous line left a statement unfinished
     for i, raw in enumerate(lines, start=1):
@@ -124,6 +145,13 @@ def lint_file(path, rel, findings):
                 findings.append(
                     (rel, i, "raw-sync: use the annotated wrappers in "
                      "common/sync.h instead of raw std synchronization"))
+
+        if not raw_sleep_ok and RAW_SLEEP_RE.search(line):
+            if not suppressed(raw, "raw-sleep"):
+                findings.append(
+                    (rel, i, "raw-sleep: use Clock::SleepFor (annotated "
+                     "DSTORE_BLOCKING, simulated-clock aware) instead of a "
+                     "raw sleep"))
 
         if NAKED_NEW_RE.search(line) and not SMART_WRAP_RE.search(line) \
                 and "static" not in line:
@@ -174,6 +202,59 @@ def lint_include_guard(rel, lines, findings):
     findings.append((rel, 1, "include-guard: header has no include guard"))
 
 
+# Each fixture: (filename, source, rule names that must fire — and no
+# others). Exercises every rule's positive, negative, and NOLINT
+# suppression path.
+SELF_TEST_FIXTURES = [
+    ("fx_raw_sync.cc", "std::mutex mu;\n", ["raw-sync"]),
+    ("fx_raw_sync_ok.cc",
+     "std::mutex mu;  // NOLINT(dstore-raw-sync)\n", []),
+    ("fx_raw_sleep.cc",
+     "void F() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n"
+     "void G() { usleep(100); }\n"
+     "void H() { ::sleep(1); }\n",
+     ["raw-sleep", "raw-sleep", "raw-sleep"]),
+    ("fx_raw_sleep_ok.cc",
+     "void F() { clock->SleepFor(1000); }\n"
+     "void G() { usleep(100); }  // NOLINT(dstore-raw-sleep)\n", []),
+    ("fx_naked_new.cc", "void F() { auto* p = new Widget(); }\n",
+     ["naked-new"]),
+    ("fx_naked_new_ok.cc",
+     "void F() { auto p = std::unique_ptr<W>(new W()); }\n"
+     "void G() { static W* w = new W(); }\n", []),
+    ("fx_naked_delete.cc", "void F(W* p) {\n  delete p;\n}\n",
+     ["naked-delete"]),
+    ("fx_guard.h", "int x;\n", ["include-guard"]),
+    ("fx_guard_ok.h",
+     "#ifndef FX_GUARD_OK_H_\n#define FX_GUARD_OK_H_\n#endif\n", []),
+    ("fx_discard.cc", "void F() {\n  store->Put(key, value);\n}\n",
+     ["discarded-status"]),
+    ("fx_discard_ok.cc",
+     "void F() {\n  (void)store->Put(key, value);\n"
+     "  if (!store->Put(key, value).ok()) return;\n}\n", []),
+]
+
+
+def run_self_test():
+    failures = []
+    for name, source, expected in SELF_TEST_FIXTURES:
+        findings = []
+        lint_text(name, source, findings)
+        got = sorted(f[2].split(":")[0] for f in findings)
+        want = sorted(expected)
+        if got != want:
+            failures.append("%s: expected rules %s, got %s" %
+                            (name, want or "none", got or "none"))
+    if failures:
+        print("dstore_lint: SELF-TEST FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("dstore_lint: self-test passed (%d fixtures)" %
+          len(SELF_TEST_FIXTURES))
+    return 0
+
+
 def collect_files(argv):
     paths = argv or [os.path.join(REPO_ROOT, d) for d in DEFAULT_DIRS]
     files = []
@@ -193,6 +274,8 @@ def main(argv):
     if "--list-rules" in argv:
         print(__doc__)
         return 0
+    if "--self-test" in argv:
+        return run_self_test()
     findings = []
     for path in collect_files([a for a in argv if not a.startswith("-")]):
         rel = os.path.relpath(path, REPO_ROOT)
