@@ -1,0 +1,166 @@
+// Microbenchmarks for the replication layer (src/replica/): replicated-put
+// overhead over a bare backend at W=1 (ack on primary apply) and W=2/W=3
+// (quorum waits), and read latency with read-repair off and on. FileStore
+// replicas give the puts a realistic backend cost — the contract is about
+// the replication machinery's overhead on a real store, not on an
+// in-memory map. scripts/bench_snapshot.sh derives BENCH_replica.json from
+// these rows (W=1 pass-through budget: <= 10% over bare).
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "replica/group.h"
+#include "replica/replicated_store.h"
+#include "replica/transport.h"
+#include "store/file_store.h"
+#include "store/key_value.h"
+
+namespace dstore {
+namespace {
+
+using replica::ReplicaGroup;
+using replica::ReplicatedStore;
+
+constexpr int kKeySpace = 512;
+constexpr size_t kValueBytes = 256;
+
+std::filesystem::path FreshDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dstore_replicabench_" + std::to_string(::getpid()) + "_" +
+                    tag);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+std::shared_ptr<FileStore> MakeBackend(const std::string& tag) {
+  return std::shared_ptr<FileStore>(
+      std::move(FileStore::Open(FreshDir(tag))).value());
+}
+
+std::unique_ptr<ReplicatedStore> MakeReplicated(const std::string& tag,
+                                                int write_quorum,
+                                                int read_quorum,
+                                                bool read_repair) {
+  std::vector<ReplicaGroup::ReplicaSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back({"r" + std::to_string(i),
+                     std::make_shared<replica::LocalReplica>(
+                         MakeBackend(tag + "_r" + std::to_string(i)))});
+  }
+  ReplicaGroup::Options options;
+  options.name = "bench_" + tag;
+  options.write_quorum = write_quorum;
+  options.read_quorum = read_quorum;
+  options.read_repair = read_repair;
+  options.replicator_idle_nanos = 200'000;  // keep async catch-up tight
+  auto group = ReplicaGroup::Create(std::move(specs), options);
+  return std::make_unique<ReplicatedStore>(
+      std::shared_ptr<ReplicaGroup>(std::move(group).value()));
+}
+
+std::string KeyAt(uint64_t i) { return "user:" + std::to_string(i % kKeySpace); }
+
+// Baseline: the same put on a bare FileStore — what a replica's backend
+// costs without any replication machinery in front of it.
+void BM_BareFilePut(benchmark::State& state) {
+  auto store = MakeBackend("bare_put");
+  const ValuePtr value = MakeValue(std::string(kValueBytes, 'v'));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Put(KeyAt(i++), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BareFilePut)->Unit(benchmark::kMicrosecond);
+
+// Replicated put at W = Arg. W=1 acks on the primary's apply (the log
+// append + bookkeeping is the whole overhead — the 10% budget row); W=2
+// waits for one backup, W=3 for both.
+void BM_ReplicatedPut(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  auto store = MakeReplicated("put_w" + std::to_string(w), w,
+                              /*read_quorum=*/1, /*read_repair=*/false);
+  const ValuePtr value = MakeValue(std::string(kValueBytes, 'v'));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Put(KeyAt(i++), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  // Leave the group converged so teardown never races a mid-stream apply.
+  (void)store->group()->WaitForReplication();
+}
+BENCHMARK(BM_ReplicatedPut)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void Prefill(KeyValueStore* store) {
+  const ValuePtr value = MakeValue(std::string(kValueBytes, 'v'));
+  for (int i = 0; i < kKeySpace; ++i) {
+    (void)store->Put(KeyAt(static_cast<uint64_t>(i)), value);
+  }
+}
+
+// Records the p99 over per-op wall samples alongside the mean row, the way
+// the net capacity bench does — the snapshot script compares p99s.
+void RecordP99(benchmark::State& state, std::vector<double>* samples) {
+  if (samples->empty()) return;
+  std::sort(samples->begin(), samples->end());
+  state.counters["p99_us"] =
+      (*samples)[std::min(samples->size() - 1,
+                          static_cast<size_t>(
+                              static_cast<double>(samples->size()) * 0.99))];
+}
+
+void BM_BareFileGet(benchmark::State& state) {
+  auto store = MakeBackend("bare_get");
+  Prefill(store.get());
+  std::vector<double> samples;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const int64_t start = RealClock::Default()->NowNanos();
+    benchmark::DoNotOptimize(store->Get(KeyAt(i++)));
+    samples.push_back(
+        static_cast<double>(RealClock::Default()->NowNanos() - start) / 1e3);
+  }
+  RecordP99(state, &samples);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BareFileGet)->Unit(benchmark::kMicrosecond);
+
+// Replicated read with read-repair off (Arg 0: R=1, serve from the most
+// caught-up replica) and on (Arg 1: R=2, compare a second replica and
+// rewrite divergence — here there is none, so the row prices the
+// always-paid comparison read).
+void BM_ReplicatedGet(benchmark::State& state) {
+  const bool repair = state.range(0) != 0;
+  auto store = MakeReplicated(repair ? "get_repair" : "get_plain",
+                              /*write_quorum=*/2, repair ? 2 : 1, repair);
+  Prefill(store.get());
+  (void)store->group()->WaitForReplication();
+  std::vector<double> samples;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const int64_t start = RealClock::Default()->NowNanos();
+    benchmark::DoNotOptimize(store->Get(KeyAt(i++)));
+    samples.push_back(
+        static_cast<double>(RealClock::Default()->NowNanos() - start) / 1e3);
+  }
+  RecordP99(state, &samples);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(repair ? "repair_on" : "repair_off");
+}
+BENCHMARK(BM_ReplicatedGet)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dstore
+
+BENCHMARK_MAIN();

@@ -7,7 +7,10 @@
 //
 // Commands:
 //   open NAME TYPE [PATH]   register a store (TYPE: memory | file | sql |
-//                           lsm | shard [N] — N memory shards, default 3)
+//                           lsm | shard [N] — N memory shards, default 3 |
+//                           replicated [n] [w] [r] — n memory replicas
+//                           behind one primary-backup group, ack at W=w,
+//                           read R=r; defaults 3/2/2)
 //   use NAME                select the current store
 //   stores                  list registered stores
 //   put KEY VALUE...        store a value (VALUE may contain spaces)
@@ -28,6 +31,9 @@
 //   lsm compact             flush + compact the lsm store to a steady state
 //   addshard NAME           grow a shard store online (memory-backed shard)
 //   rmshard NAME            shrink a shard store online
+//   replica status          group epoch + per-replica role/lag/hints
+//   replica promote [NAME]  manual failover (most-caught-up backup when
+//                           NAME is omitted)
 //   help                    this text
 //   quit                    exit
 
@@ -42,6 +48,7 @@
 #include "obs/build_info.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
+#include "replica/replicated_store.h"
 #include "shard/sharded_store.h"
 #include "store/file_store.h"
 #include "store/lsm/lsm_store.h"
@@ -58,9 +65,12 @@ constexpr char kHelp[] =
     "commands: open NAME TYPE [PATH] | use NAME | stores | put K V | get K |\n"
     "          del K | has K | ls | count | clear | sql STMT | monitor |\n"
     "          stats | trace K | slow | version | topology | addshard NAME |\n"
-    "          rmshard NAME | admit | lsm stats | lsm compact | help | quit\n"
+    "          rmshard NAME | admit | lsm stats | lsm compact |\n"
+    "          replica status | replica promote [NAME] | help | quit\n"
     "types:    memory | file | sql | lsm | shard | admit (memory behind a\n"
-    "          concurrency limiter + circuit breaker; inspect with `admit`)\n";
+    "          concurrency limiter + circuit breaker; inspect with `admit`) |\n"
+    "          replicated [n] [w] [r] (n memory replicas, ack at W=w, read\n"
+    "          R=r; defaults 3/2/2 — inspect with `replica status`)\n";
 
 struct Shell {
   Udsm udsm;
@@ -134,6 +144,26 @@ struct Shell {
       options.name = name;
       status = udsm.RegisterStore(
           name, std::make_shared<ShardedStore>(std::move(shards), options));
+    } else if (type == "replicated") {
+      // n memory replicas behind one primary-backup group. The trailing
+      // tokens are [n] [w] [r]; quorums are validated by Create.
+      std::istringstream numbers(path);
+      int n = 3, w = 2, r = 2;
+      numbers >> n >> w >> r;
+      if (n < 1) n = 1;
+      std::vector<replica::ReplicatedStore::Backend> backends;
+      for (int i = 0; i < n; ++i) {
+        backends.push_back(
+            {"r" + std::to_string(i), std::make_shared<MemoryStore>()});
+      }
+      replica::ReplicaGroup::Options options;
+      options.name = name;
+      options.write_quorum = w;
+      options.read_quorum = r;
+      auto store =
+          replica::ReplicatedStore::Create(std::move(backends), options);
+      status = store.ok() ? udsm.RegisterStore(name, *std::move(store))
+                          : store.status();
     } else if (type == "admit") {
       // Memory store behind the full client-side admission stack, so the
       // `admit` command has live limiter/breaker state to dump.
@@ -149,7 +179,8 @@ struct Shell {
           std::make_shared<admit::CircuitBreakerStore>(std::move(admitting)));
     } else {
       std::printf(
-          "unknown store type '%s' (memory|file|sql|lsm|shard|admit)\n",
+          "unknown store type '%s' "
+          "(memory|file|sql|lsm|shard|admit|replicated)\n",
           type.c_str());
       return;
     }
@@ -350,6 +381,45 @@ struct Shell {
                   static_cast<unsigned long long>(stats.compaction_debt_bytes),
                   static_cast<unsigned long long>(stats.last_sequence),
                   stats.live_snapshots);
+    } else if (command == "replica") {
+      std::string sub, target;
+      args >> sub >> target;
+      auto* replicated = udsm.GetNative<replica::ReplicatedStore>(current);
+      if (replicated == nullptr) {
+        std::printf("error: '%s' is not a replicated store\n",
+                    current.c_str());
+        return;
+      }
+      replica::ReplicaGroup* group = replicated->group();
+      if (sub == "promote") {
+        const Status status = group->Promote(target);
+        if (!status.ok()) {
+          std::printf("error: %s\n", status.ToString().c_str());
+          return;
+        }
+        std::printf("promoted %s (epoch %llu)\n",
+                    group->primary_name().c_str(),
+                    static_cast<unsigned long long>(group->epoch()));
+      } else if (sub == "status" || sub.empty()) {
+        const auto status = group->GetStatus();
+        std::printf("group %s: epoch %llu, last seq %llu, primary %s\n",
+                    status.name.c_str(),
+                    static_cast<unsigned long long>(status.epoch),
+                    static_cast<unsigned long long>(status.last_seq),
+                    status.primary.c_str());
+        for (const auto& info : status.replicas) {
+          std::printf("  %-8s %s %s  applied %llu  lag %llu  hints %llu  "
+                      "breaker %s\n",
+                      info.name.c_str(), info.primary ? "primary" : "backup ",
+                      info.up ? "up  " : "down",
+                      static_cast<unsigned long long>(info.applied),
+                      static_cast<unsigned long long>(info.lag),
+                      static_cast<unsigned long long>(info.hints),
+                      info.breaker.c_str());
+        }
+      } else {
+        std::printf("usage: replica status | replica promote [NAME]\n");
+      }
     } else if (command == "admit") {
       // Live admission-control state: breaker states, concurrency limits,
       // shed counters — every registered component, one line each.

@@ -2,9 +2,10 @@
 # Seeds the bench trajectory: builds the microbenchmarks in Release, runs
 # bench_micro_stores (store substrate), bench_micro_admit (admission
 # layer), bench_micro_obs (tracing), bench_micro_net (server cores), and
-# bench_micro_lsm (the LSM engine vs FileStore), and writes
-# machine-readable BENCH_admit.json, BENCH_obs.json, BENCH_net.json, and
-# BENCH_lsm.json files at the repo root.
+# bench_micro_lsm (the LSM engine vs FileStore), and bench_micro_replica
+# (the replication layer), and writes machine-readable BENCH_admit.json,
+# BENCH_obs.json, BENCH_net.json, BENCH_lsm.json, and BENCH_replica.json
+# files at the repo root.
 #
 #   scripts/bench_snapshot.sh            # full snapshot
 #   scripts/bench_snapshot.sh --quick    # shorter benchmark runs
@@ -34,7 +35,7 @@ fi
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-bench -j"$(nproc)" \
   --target bench_micro_stores bench_micro_admit bench_micro_obs \
-  bench_micro_net bench_micro_lsm
+  bench_micro_net bench_micro_lsm bench_micro_replica
 
 out_dir="build-bench/bench"
 ./build-bench/bench/bench_micro_stores ${MIN_TIME} \
@@ -49,9 +50,12 @@ out_dir="build-bench/bench"
   --benchmark_out="${out_dir}/net.json" --benchmark_out_format=json
 ./build-bench/bench/bench_micro_lsm ${MIN_TIME} \
   --benchmark_out="${out_dir}/lsm.json" --benchmark_out_format=json
+./build-bench/bench/bench_micro_replica ${MIN_TIME} \
+  --benchmark_out="${out_dir}/replica.json" --benchmark_out_format=json
 
 python3 - "${out_dir}/stores.json" "${out_dir}/admit.json" \
-  "${out_dir}/obs.json" "${out_dir}/net.json" "${out_dir}/lsm.json" <<'PY'
+  "${out_dir}/obs.json" "${out_dir}/net.json" "${out_dir}/lsm.json" \
+  "${out_dir}/replica.json" <<'PY'
 import json
 import sys
 
@@ -60,6 +64,7 @@ admit = json.load(open(sys.argv[2]))
 obs = json.load(open(sys.argv[3]))
 net = json.load(open(sys.argv[4]))
 lsm = json.load(open(sys.argv[5]))
+replica = json.load(open(sys.argv[6]))
 
 def rows(doc):
     return [
@@ -236,4 +241,51 @@ if write_speedup < 5.0:
 if read_p99_ratio > 2.0:
     print("WARNING: lsm read p99 above 2x the FileStore p99")
 print("wrote BENCH_lsm.json")
+
+def replica_row(name):
+    for b in replica["benchmarks"]:
+        if b["name"] == name:
+            return b
+    raise KeyError(name)
+
+# Put headline: the W=1 row acks on the primary's apply, so its delta over
+# the bare FileStore put is the replication machinery's pass-through cost
+# (log append + bookkeeping; budget 10%). W=2/W=3 record what each extra
+# quorum member costs. Read headline: p99 with read-repair off vs on.
+bare_put = replica_row("BM_BareFilePut")["cpu_time"]
+w1_put = replica_row("BM_ReplicatedPut/1")["cpu_time"]
+w2_put = replica_row("BM_ReplicatedPut/2")["cpu_time"]
+w3_put = replica_row("BM_ReplicatedPut/3")["cpu_time"]
+w1_pct = 100.0 * (w1_put - bare_put) / bare_put
+bare_get_p99 = replica_row("BM_BareFileGet")["p99_us"]
+get_plain = replica_row("BM_ReplicatedGet/0")["p99_us"]
+get_repair = replica_row("BM_ReplicatedGet/1")["p99_us"]
+
+replica_snapshot = {
+    "context": replica.get("context", {}),
+    "replicated_put": {
+        "bare_file_put_cpu_us": round(bare_put, 3),
+        "w1_put_cpu_us": round(w1_put, 3),
+        "w2_put_cpu_us": round(w2_put, 3),
+        "w3_put_cpu_us": round(w3_put, 3),
+        "w1_overhead_percent": round(w1_pct, 2),
+        "w1_budget_percent": 10.0,
+    },
+    "replicated_read": {
+        "bare_file_get_p99_us": round(bare_get_p99, 3),
+        "repair_off_p99_us": round(get_plain, 3),
+        "repair_on_p99_us": round(get_repair, 3),
+    },
+    "bench_micro_replica": rows(replica),
+}
+with open("BENCH_replica.json", "w") as f:
+    json.dump(replica_snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"replicated put: W=1 {w1_pct:.2f}% over bare (budget 10%), "
+      f"W=2 {w2_put:.1f}us, W=3 {w3_put:.1f}us; read p99 "
+      f"repair-off {get_plain:.1f}us, repair-on {get_repair:.1f}us")
+if w1_pct > 10.0:
+    print("WARNING: W=1 replicated-put overhead exceeds the 10% budget")
+print("wrote BENCH_replica.json")
 PY

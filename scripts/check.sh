@@ -10,6 +10,7 @@
 #   scripts/check.sh obs                     # observability suites only
 #   scripts/check.sh net                     # server-core suites only
 #   scripts/check.sh lsm                     # LSM engine suites only
+#   scripts/check.sh replica                 # replication suites only
 #   scripts/check.sh analyze                 # static analysis + lint gate
 #
 # The chaos mode runs the seeded fault-injection soak (tests/chaos/, see
@@ -130,6 +131,16 @@ elif [[ "${1:-}" == "lsm" ]]; then
 
   echo "All checks passed."
   exit 0
+elif [[ "${1:-}" == "replica" ]]; then
+  # Replication suites (tests labelled "replica"): the group/log/session
+  # units, the replicated conformance rows, and the failover chaos soak
+  # (kill/restart the primary mid-workload under seeded socket faults) —
+  # in Release and TSan (the replicator thread, quorum waiters, and
+  # promotion all share the group lock with the client paths).
+  shift
+  export DSTORE_CHAOS_SEEDS="${DSTORE_CHAOS_SEEDS:-1,7,1337}"
+  echo "chaos seed matrix: ${DSTORE_CHAOS_SEEDS}"
+  CTEST_ARGS=(-L replica "$@")
 elif [[ "${1:-}" == "obs" ]]; then
   # Observability suites (tests labelled "obs"): the metrics/tracer units,
   # the monitor bridge, and the distributed-tracing e2e suite that drives

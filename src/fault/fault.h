@@ -174,6 +174,14 @@ class FaultPlan {
 //   lsm.manifest.torn_write    half the manifest reaches its temp file
 //   lsm.manifest.before_rename manifest temp complete, old version still live
 //   lsm.manifest.after_rename  durable, but the caller sees an error
+//   replica.log.torn_append    half the record reaches the replication log
+//   replica.log.before_sync    appended but unsynced bytes are discarded
+//   replica.log.after_sync     durable, but the caller sees an error
+//
+// The replication layer also consults FaultPlan sites "replica.handoff"
+// (op replay: break hinted-handoff replay to a rejoining replica) and
+// "replica.promote" (op promote: abort or delay a failover promotion);
+// see src/replica/group.h.
 
 // True when `point` is armed and its countdown reaches zero on this call.
 bool CrashPointFires(std::string_view point);

@@ -1,0 +1,47 @@
+#include "replica/placement.h"
+
+namespace dstore {
+namespace replica {
+
+StatusOr<std::shared_ptr<ShardedStore>> BuildReplicatedRing(
+    const ReplicatedRingOptions& options) {
+  if (options.backend_factory == nullptr) {
+    return Status::InvalidArgument("replicated ring needs a backend factory");
+  }
+  if (options.groups == 0 || options.replication_factor == 0) {
+    return Status::InvalidArgument("groups and replication_factor must be > 0");
+  }
+  if (options.nodes.size() < options.replication_factor) {
+    return Status::InvalidArgument(
+        "replicated ring needs at least replication_factor nodes");
+  }
+  shard::HashRing ring(options.ring);
+  for (const auto& node : options.nodes) ring.AddShard(node);
+
+  ShardedStore::ShardList shards;
+  for (size_t g = 0; g < options.groups; ++g) {
+    const std::string group_name =
+        options.group.name + "-g" + std::to_string(g);
+    const std::vector<std::string> owners =
+        ring.OwnersFor(group_name, options.replication_factor);
+    std::vector<ReplicatedStore::Backend> backends;
+    for (const auto& node : owners) {
+      auto store = options.backend_factory(node, group_name);
+      if (store == nullptr) {
+        return Status::InvalidArgument("backend factory returned null for " +
+                                       node + "/" + group_name);
+      }
+      backends.push_back({node, std::move(store)});
+    }
+    ReplicaGroup::Options group_options = options.group;
+    group_options.name = group_name;
+    DSTORE_ASSIGN_OR_RETURN(
+        auto group_store,
+        ReplicatedStore::Create(std::move(backends), std::move(group_options)));
+    shards.emplace_back(group_name, std::move(group_store));
+  }
+  return std::make_shared<ShardedStore>(std::move(shards), options.shard);
+}
+
+}  // namespace replica
+}  // namespace dstore

@@ -1,0 +1,47 @@
+#ifndef DSTORE_REPLICA_PLACEMENT_H_
+#define DSTORE_REPLICA_PLACEMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replica/replicated_store.h"
+#include "shard/ring.h"
+#include "shard/sharded_store.h"
+
+namespace dstore {
+namespace replica {
+
+// Builds the paper-shaped topology: a ShardedStore whose shards are replica
+// groups, each group's members placed on distinct nodes by the consistent
+// ring's successor lists (HashRing::OwnersFor). Group g's replica set is
+// the first `replication_factor` distinct nodes clockwise of g's point, so
+// adding or removing one node reshuffles only the groups whose owner lists
+// changed.
+struct ReplicatedRingOptions {
+  // Node names; must have at least `replication_factor` entries.
+  std::vector<std::string> nodes;
+  // Number of replica groups (ring slots the outer store shards over).
+  size_t groups = 8;
+  size_t replication_factor = 3;
+  // Builds the backend holding node `node`'s copy of group `group`. Each
+  // (node, group) pair must get its own store — groups do not share key
+  // namespaces.
+  std::function<std::shared_ptr<KeyValueStore>(const std::string& node,
+                                               const std::string& group)>
+      backend_factory;
+  // Template for every group (name is overridden per group).
+  ReplicaGroup::Options group;
+  // The outer sharded store and the placement ring over node names.
+  ShardedStore::Options shard;
+  shard::HashRing::Options ring;
+};
+
+StatusOr<std::shared_ptr<ShardedStore>> BuildReplicatedRing(
+    const ReplicatedRingOptions& options);
+
+}  // namespace replica
+}  // namespace dstore
+
+#endif  // DSTORE_REPLICA_PLACEMENT_H_

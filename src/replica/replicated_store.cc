@@ -1,0 +1,83 @@
+#include "replica/replicated_store.h"
+
+namespace dstore {
+namespace replica {
+
+StatusOr<std::shared_ptr<ReplicatedStore>> ReplicatedStore::Create(
+    std::vector<Backend> backends, ReplicaGroup::Options options) {
+  std::vector<ReplicaGroup::ReplicaSpec> specs;
+  specs.reserve(backends.size());
+  for (auto& backend : backends) {
+    if (backend.store == nullptr) {
+      return Status::InvalidArgument("null replica backend");
+    }
+    specs.push_back({std::move(backend.name),
+                     std::make_shared<LocalReplica>(std::move(backend.store))});
+  }
+  DSTORE_ASSIGN_OR_RETURN(auto group,
+                          ReplicaGroup::Create(std::move(specs),
+                                               std::move(options)));
+  return std::make_shared<ReplicatedStore>(
+      std::shared_ptr<ReplicaGroup>(std::move(group)));
+}
+
+uint64_t ReplicatedStore::SessionMinSeq() const {
+  Session* session = CurrentSession();
+  return session == nullptr ? 0 : session->HighWaterFor(group_->name());
+}
+
+void ReplicatedStore::NoteSessionWrite(uint64_t seq) const {
+  Session* session = CurrentSession();
+  if (session != nullptr) session->NoteWrite(group_->name(), seq);
+}
+
+Status ReplicatedStore::Put(const std::string& key, ValuePtr value) {
+  DSTORE_ASSIGN_OR_RETURN(uint64_t seq,
+                          group_->Write(OpType::kPut, key, std::move(value)));
+  NoteSessionWrite(seq);
+  return Status::OK();
+}
+
+StatusOr<ValuePtr> ReplicatedStore::Get(const std::string& key) {
+  return group_->Read(key, SessionMinSeq());
+}
+
+Status ReplicatedStore::Delete(const std::string& key) {
+  DSTORE_ASSIGN_OR_RETURN(uint64_t seq,
+                          group_->Write(OpType::kDelete, key, nullptr));
+  NoteSessionWrite(seq);
+  return Status::OK();
+}
+
+StatusOr<bool> ReplicatedStore::Contains(const std::string& key) {
+  return group_->ContainsRead(key, SessionMinSeq());
+}
+
+StatusOr<std::vector<std::string>> ReplicatedStore::ListKeys() {
+  return group_->ListKeysRead(SessionMinSeq());
+}
+
+StatusOr<size_t> ReplicatedStore::Count() {
+  return group_->CountRead(SessionMinSeq());
+}
+
+Status ReplicatedStore::Clear() {
+  DSTORE_ASSIGN_OR_RETURN(uint64_t seq,
+                          group_->Write(OpType::kClear, std::string(),
+                                        nullptr));
+  NoteSessionWrite(seq);
+  return Status::OK();
+}
+
+std::string ReplicatedStore::Name() const {
+  const auto status = group_->GetStatus();
+  std::string name = "replicated(" + status.name;
+  for (const auto& replica : status.replicas) {
+    name += "," + replica.name;
+  }
+  name += ")";
+  return name;
+}
+
+}  // namespace replica
+}  // namespace dstore

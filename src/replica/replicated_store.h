@@ -1,0 +1,59 @@
+#ifndef DSTORE_REPLICA_REPLICATED_STORE_H_
+#define DSTORE_REPLICA_REPLICATED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "replica/group.h"
+#include "replica/session.h"
+#include "store/key_value.h"
+
+namespace dstore {
+namespace replica {
+
+// KeyValueStore facade over one ReplicaGroup: the decorator that makes a
+// replica group composable with every other layer (sharding above it,
+// retries/monitoring around it, any backend inside it). Writes replicate
+// through the group's primary and ack at the configured W; reads come from
+// the most-caught-up admissible replica, gated by the ambient Session's
+// high-water mark when one is installed (see session.h).
+class ReplicatedStore : public KeyValueStore {
+ public:
+  struct Backend {
+    std::string name;
+    std::shared_ptr<KeyValueStore> store;
+  };
+
+  // Wraps each backend in a LocalReplica; the first backend starts as
+  // primary.
+  static StatusOr<std::shared_ptr<ReplicatedStore>> Create(
+      std::vector<Backend> backends, ReplicaGroup::Options options);
+
+  // Adopts an already-built group (remote transports, tests).
+  explicit ReplicatedStore(std::shared_ptr<ReplicaGroup> group)
+      : group_(std::move(group)) {}
+
+  Status Put(const std::string& key, ValuePtr value) override;
+  StatusOr<ValuePtr> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<bool> Contains(const std::string& key) override;
+  StatusOr<std::vector<std::string>> ListKeys() override;
+  StatusOr<size_t> Count() override;
+  Status Clear() override;
+  std::string Name() const override;
+
+  ReplicaGroup* group() { return group_.get(); }
+
+ private:
+  uint64_t SessionMinSeq() const;
+  void NoteSessionWrite(uint64_t seq) const;
+
+  const std::shared_ptr<ReplicaGroup> group_;
+};
+
+}  // namespace replica
+}  // namespace dstore
+
+#endif  // DSTORE_REPLICA_REPLICATED_STORE_H_

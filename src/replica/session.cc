@@ -1,0 +1,42 @@
+#include "replica/session.h"
+
+namespace dstore {
+namespace replica {
+
+namespace {
+thread_local Session* g_current_session = nullptr;
+}  // namespace
+
+uint64_t Session::HighWaterFor(const std::string& group) const {
+  MutexLock lock(mu_);
+  auto it = marks_.find(group);
+  return it == marks_.end() ? 0 : it->second;
+}
+
+void Session::NoteWrite(const std::string& group, uint64_t seq) {
+  MutexLock lock(mu_);
+  uint64_t& mark = marks_[group];
+  if (seq > mark) mark = seq;
+}
+
+std::string Session::Describe() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [group, seq] : marks_) {
+    if (!out.empty()) out += ' ';
+    out += group + "=" + std::to_string(seq);
+  }
+  return out;
+}
+
+Session* CurrentSession() { return g_current_session; }
+
+ScopedSession::ScopedSession(Session* session)
+    : previous_(g_current_session) {
+  g_current_session = session;
+}
+
+ScopedSession::~ScopedSession() { g_current_session = previous_; }
+
+}  // namespace replica
+}  // namespace dstore

@@ -1,0 +1,57 @@
+#ifndef DSTORE_REPLICA_SESSION_H_
+#define DSTORE_REPLICA_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/sync.h"
+
+namespace dstore {
+namespace replica {
+
+// A client session's read-your-writes state: one high-water mark per replica
+// group, advanced to the log sequence of every write the session had
+// acknowledged. Reads made under the session only accept replicas whose
+// applied watermark has reached the mark — so a session never observes a
+// store that is missing its own writes, even right after a failover (the
+// promoted primary's prefix contains every acked sequence when W >= 2, so
+// the mark stays satisfiable).
+//
+// Sessions are ambient, like admit::Deadline: install one with
+// ScopedSession and every ReplicatedStore operation on the thread — however
+// many decorator layers sit in between — picks it up without any API
+// change. Thread-safe (one session may serve several threads).
+class Session {
+ public:
+  uint64_t HighWaterFor(const std::string& group) const;
+  void NoteWrite(const std::string& group, uint64_t seq);
+
+  // "group=seq group=seq ..." in group order (status surfaces, tests).
+  std::string Describe() const;
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> marks_ GUARDED_BY(mu_);
+};
+
+// The session active on this thread, or null.
+Session* CurrentSession();
+
+// Installs `session` as this thread's ambient session for the scope.
+// Nesting restores the previous session on destruction.
+class ScopedSession {
+ public:
+  explicit ScopedSession(Session* session);
+  ~ScopedSession();
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+ private:
+  Session* previous_;
+};
+
+}  // namespace replica
+}  // namespace dstore
+
+#endif  // DSTORE_REPLICA_SESSION_H_

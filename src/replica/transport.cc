@@ -1,0 +1,83 @@
+#include "replica/transport.h"
+
+namespace dstore {
+namespace replica {
+
+namespace {
+constexpr char kFencedPrefix[] = "fenced:";
+}  // namespace
+
+Status FencedStatus(uint64_t entry_epoch, uint64_t accepted_epoch) {
+  return Status::Unavailable(std::string(kFencedPrefix) + " write epoch " +
+                             std::to_string(entry_epoch) +
+                             " superseded by epoch " +
+                             std::to_string(accepted_epoch));
+}
+
+bool IsFenced(const Status& status) {
+  return status.IsUnavailable() &&
+         status.message().rfind(kFencedPrefix, 0) == 0;
+}
+
+Status LocalReplica::Apply(const LogEntry& entry, uint64_t epoch) {
+  {
+    MutexLock lock(mu_);
+    if (epoch < state_.epoch) return FencedStatus(epoch, state_.epoch);
+    state_.epoch = epoch;
+    if (entry.seq <= state_.applied) return Status::OK();  // replay
+  }
+  // The store call runs outside the metadata lock (it may be slow or
+  // fault-injected); entries arrive from one replicator thread in order,
+  // so there is no concurrent-apply race to guard.
+  Status status;
+  switch (entry.op) {
+    case OpType::kPut:
+      status = store_->Put(entry.key, entry.value);
+      break;
+    case OpType::kDelete:
+      status = store_->Delete(entry.key);
+      break;
+    case OpType::kClear:
+      status = store_->Clear();
+      break;
+  }
+  if (!status.ok()) return status;
+  MutexLock lock(mu_);
+  if (entry.seq > state_.applied) state_.applied = entry.seq;
+  return Status::OK();
+}
+
+Status LocalReplica::Fence(uint64_t epoch, uint64_t max_applied) {
+  MutexLock lock(mu_);
+  if (epoch > state_.epoch) state_.epoch = epoch;
+  if (state_.applied > max_applied) state_.applied = max_applied;
+  return Status::OK();
+}
+
+StatusOr<ReplicaState> LocalReplica::Probe() {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+Status CloudReplica::Apply(const LogEntry& entry, uint64_t epoch) {
+  // The client maps the server's 412 fencing answer to an Unavailable
+  // status whose message carries the same "fenced:" prefix IsFenced keys
+  // on, so local and remote replicas reject stale epochs identically.
+  return client_->ReplicaApply(std::string(OpName(entry.op)), entry.key,
+                               entry.value.get(), entry.seq, epoch);
+}
+
+Status CloudReplica::Fence(uint64_t epoch, uint64_t max_applied) {
+  return client_->ReplicaFence(epoch, max_applied);
+}
+
+StatusOr<ReplicaState> CloudReplica::Probe() {
+  DSTORE_ASSIGN_OR_RETURN(auto state, client_->ReplicaStatus());
+  ReplicaState out;
+  out.epoch = state.first;
+  out.applied = state.second;
+  return out;
+}
+
+}  // namespace replica
+}  // namespace dstore

@@ -1,0 +1,93 @@
+#ifndef DSTORE_REPLICA_TRANSPORT_H_
+#define DSTORE_REPLICA_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "replica/log.h"
+#include "store/cloud_client.h"
+#include "store/key_value.h"
+
+namespace dstore {
+namespace replica {
+
+// A replica's durable high-water marks: the leadership epoch it has accepted
+// and the highest log sequence it has applied.
+struct ReplicaState {
+  uint64_t epoch = 0;
+  uint64_t applied = 0;
+};
+
+// The status a replica answers when an apply carries a stale epoch — the
+// fencing that stops a deposed primary's late writes from landing after
+// failover. Deliberately NOT a transient error: the caller's leadership is
+// gone, so retrying or failing over on its behalf would be wrong.
+Status FencedStatus(uint64_t entry_epoch, uint64_t accepted_epoch);
+bool IsFenced(const Status& status);
+
+// How a ReplicaGroup talks to one replica. Two implementations: LocalReplica
+// wraps an in-process KeyValueStore plus in-memory epoch/applied state;
+// CloudReplica speaks the /replica/* verbs of a CloudStoreServer, whose
+// state survives the client (so a rejoining group handle probes the truth).
+class ReplicaTransport {
+ public:
+  virtual ~ReplicaTransport() = default;
+
+  // Applies one log entry under `epoch`. Fenced (see above) when the
+  // replica has accepted a higher epoch; idempotent when `entry.seq` is at
+  // or below the replica's applied watermark.
+  virtual Status Apply(const LogEntry& entry, uint64_t epoch) = 0;
+
+  // Raises the replica's accepted epoch and caps its applied watermark at
+  // `max_applied` (a new primary's history may be shorter than a deposed
+  // one's — the surplus is fenced off and repaired by anti-entropy).
+  virtual Status Fence(uint64_t epoch, uint64_t max_applied) = 0;
+
+  // The replica's current state (used on rejoin and by status surfaces).
+  virtual StatusOr<ReplicaState> Probe() = 0;
+
+  // The read surface — the replica's backing store. Never null.
+  virtual KeyValueStore* store() = 0;
+};
+
+// In-process replica: any KeyValueStore plus local metadata.
+class LocalReplica : public ReplicaTransport {
+ public:
+  explicit LocalReplica(std::shared_ptr<KeyValueStore> store)
+      : store_(std::move(store)) {}
+
+  Status Apply(const LogEntry& entry, uint64_t epoch) override;
+  Status Fence(uint64_t epoch, uint64_t max_applied) override;
+  StatusOr<ReplicaState> Probe() override;
+  KeyValueStore* store() override { return store_.get(); }
+
+ private:
+  const std::shared_ptr<KeyValueStore> store_;
+  Mutex mu_;
+  ReplicaState state_ GUARDED_BY(mu_);
+};
+
+// Remote replica behind a CloudStoreServer: applies and fencing go over the
+// /replica/* verbs, so the epoch/applied watermarks live server-side and
+// fencing holds across independent client handles (split-brain safety).
+class CloudReplica : public ReplicaTransport {
+ public:
+  explicit CloudReplica(std::unique_ptr<CloudStoreClient> client)
+      : client_(std::move(client)) {}
+
+  Status Apply(const LogEntry& entry, uint64_t epoch) override;
+  Status Fence(uint64_t epoch, uint64_t max_applied) override;
+  StatusOr<ReplicaState> Probe() override;
+  KeyValueStore* store() override { return client_.get(); }
+
+ private:
+  const std::unique_ptr<CloudStoreClient> client_;
+};
+
+}  // namespace replica
+}  // namespace dstore
+
+#endif  // DSTORE_REPLICA_TRANSPORT_H_

@@ -48,6 +48,27 @@ const std::string* HashRing::OwnerOfPoint(uint64_t point) const {
   return &it->second;
 }
 
+std::vector<std::string> HashRing::OwnersForPoint(uint64_t point,
+                                                  size_t n) const {
+  std::vector<std::string> owners;
+  if (points_.empty() || n == 0) return owners;
+  const size_t want = std::min(n, shards_.size());
+  owners.reserve(want);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const auto& p, uint64_t value) { return p.first < value; });
+  // Walk at most one full lap, collecting the first occurrence of each
+  // shard; distinctness is what makes the list a valid replica set.
+  for (size_t seen = 0; seen < points_.size() && owners.size() < want;
+       ++seen, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(owners.begin(), owners.end(), it->second) == owners.end()) {
+      owners.push_back(it->second);
+    }
+  }
+  return owners;
+}
+
 std::map<std::string, double> HashRing::OwnershipFractions() const {
   std::map<std::string, double> fractions;
   if (points_.empty()) return fractions;

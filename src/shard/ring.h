@@ -48,6 +48,17 @@ class HashRing {
   }
   const std::string* OwnerOfPoint(uint64_t point) const;
 
+  // The first `n` *distinct* shards encountered walking clockwise from the
+  // key's point — the successor list replica groups use for placement (the
+  // key's owner first, then the next n-1 distinct shards). Returns fewer
+  // than `n` names when the ring has fewer shards. Deterministic for a
+  // given topology, and stable in the consistent-hashing sense: adding or
+  // removing an unrelated shard leaves a key's surviving owners in order.
+  std::vector<std::string> OwnersFor(std::string_view key, size_t n) const {
+    return OwnersForPoint(KeyPoint(key), n);
+  }
+  std::vector<std::string> OwnersForPoint(uint64_t point, size_t n) const;
+
   size_t shard_count() const { return shards_.size(); }
   size_t vnode_count() const { return points_.size(); }
   std::vector<std::string> Shards() const {  // sorted

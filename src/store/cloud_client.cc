@@ -1,5 +1,7 @@
 #include "store/cloud_client.h"
 
+#include <cstdlib>
+
 #include "admit/deadline.h"
 #include "obs/trace.h"
 
@@ -203,6 +205,66 @@ Status CloudStoreClient::Clear() {
     return HttpError("cloud /clear", response.status_code);
   }
   return Status::OK();
+}
+
+Status CloudStoreClient::ReplicaApply(const std::string& op,
+                                      const std::string& key,
+                                      const Bytes* value, uint64_t seq,
+                                      uint64_t epoch) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/replica/apply";
+  request.headers["x-dstore-replica-op"] = op;
+  request.headers["x-dstore-replica-key"] = HexEncode(ToBytes(key));
+  request.headers["x-dstore-replica-seq"] = std::to_string(seq);
+  request.headers["x-dstore-replica-epoch"] = std::to_string(epoch);
+  if (value != nullptr) request.body = *value;
+  MutexLock lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code == 412) {
+    // The "fenced:" prefix is the contract replica::IsFenced matches; keep
+    // them in sync.
+    auto it = response.headers.find("x-dstore-replica-epoch");
+    return Status::Unavailable(
+        "fenced: write epoch " + std::to_string(epoch) +
+        " superseded by epoch " +
+        (it == response.headers.end() ? "?" : it->second));
+  }
+  if (response.status_code != 200) {
+    return HttpError("replica apply", response.status_code);
+  }
+  return Status::OK();
+}
+
+Status CloudStoreClient::ReplicaFence(uint64_t epoch, uint64_t max_applied) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/replica/fence";
+  request.headers["x-dstore-replica-epoch"] = std::to_string(epoch);
+  request.headers["x-dstore-replica-applied"] = std::to_string(max_applied);
+  MutexLock lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return HttpError("replica fence", response.status_code);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::pair<uint64_t, uint64_t>> CloudStoreClient::ReplicaStatus() {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/replica/status";
+  MutexLock lock(mu_);
+  DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code != 200) {
+    return HttpError("replica status", response.status_code);
+  }
+  const std::string body = ToString(response.body);
+  char* end = nullptr;
+  const uint64_t epoch = std::strtoull(body.c_str(), &end, 10);
+  const uint64_t applied =
+      end == nullptr ? 0 : std::strtoull(end, nullptr, 10);
+  return std::make_pair(epoch, applied);
 }
 
 std::string CloudStoreClient::last_put_etag() const {

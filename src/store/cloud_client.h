@@ -1,9 +1,11 @@
 #ifndef DSTORE_STORE_CLOUD_CLIENT_H_
 #define DSTORE_STORE_CLOUD_CLIENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "common/sync.h"
 #include "net/http.h"
@@ -39,6 +41,20 @@ class CloudStoreClient : public KeyValueStore {
   StatusOr<ConditionalGetResult> GetIfChanged(const std::string& key,
                                               const std::string& etag) override;
   std::string Name() const override { return name_; }
+
+  // --- Replication verbs (the /replica/* routes of cloud_server.h) ---
+  // These carry primitives rather than replica/ types so the store layer
+  // stays below src/replica/ in the dependency graph.
+
+  // Applies one replication log entry under `epoch`; `value` may be null
+  // for delete/clear. A stale epoch (HTTP 412) surfaces as Unavailable
+  // with a "fenced:" message prefix — the marker replica::IsFenced keys on.
+  Status ReplicaApply(const std::string& op, const std::string& key,
+                      const Bytes* value, uint64_t seq, uint64_t epoch);
+  // Raises the replica's accepted epoch and caps its applied watermark.
+  Status ReplicaFence(uint64_t epoch, uint64_t max_applied);
+  // {accepted epoch, applied watermark}.
+  StatusOr<std::pair<uint64_t, uint64_t>> ReplicaStatus();
 
   // Etag of the last Put, for callers that track versions.
   std::string last_put_etag() const;

@@ -187,8 +187,81 @@ HttpResponse CloudStoreServer::HandleHttpRequest(const HttpRequest& request) {
 }
 
 
+HttpResponse CloudStoreServer::HandleReplicaRequest(
+    const HttpRequest& request) {
+  auto header_u64 = [&request](const char* name) -> uint64_t {
+    auto it = request.headers.find(name);
+    if (it == request.headers.end()) return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+
+  if (request.path == "/replica/status" && request.method == "GET") {
+    MutexLock lock(mu_);
+    HttpResponse response = MakeResponse(200, "OK");
+    response.body = ToBytes(std::to_string(replica_epoch_) + " " +
+                            std::to_string(replica_applied_));
+    return response;
+  }
+
+  if (request.path == "/replica/fence" && request.method == "POST") {
+    const uint64_t epoch = header_u64("x-dstore-replica-epoch");
+    const uint64_t cap = header_u64("x-dstore-replica-applied");
+    MutexLock lock(mu_);
+    if (epoch > replica_epoch_) replica_epoch_ = epoch;
+    if (replica_applied_ > cap) replica_applied_ = cap;
+    return MakeResponse(200, "OK");
+  }
+
+  if (request.path == "/replica/apply" && request.method == "POST") {
+    const uint64_t epoch = header_u64("x-dstore-replica-epoch");
+    const uint64_t seq = header_u64("x-dstore-replica-seq");
+    auto op_it = request.headers.find("x-dstore-replica-op");
+    auto key_it = request.headers.find("x-dstore-replica-key");
+    const std::string op =
+        op_it == request.headers.end() ? "" : op_it->second;
+    const std::string hexkey =
+        key_it == request.headers.end() ? "" : key_it->second;
+    MutexLock lock(mu_);
+    // Fencing: an apply from an epoch below the highest this replica has
+    // accepted is a deposed primary's late write — refuse it with an
+    // answer no data-plane path produces.
+    if (epoch < replica_epoch_) {
+      HttpResponse response = MakeResponse(412, "Precondition Failed");
+      response.headers["x-dstore-replica-epoch"] =
+          std::to_string(replica_epoch_);
+      return response;
+    }
+    replica_epoch_ = epoch;
+    if (seq > replica_applied_) {  // at-or-below = idempotent replay, skip
+      if (op == "put") {
+        Object object;
+        object.value = request.body;
+        object.etag = ComputeEtag(object.value);
+        objects_[hexkey] = std::move(object);
+      } else if (op == "delete") {
+        objects_.erase(hexkey);
+      } else if (op == "clear") {
+        objects_.clear();
+      } else {
+        return MakeResponse(400, "Bad Replica Op");
+      }
+      replica_applied_ = seq;
+    }
+    HttpResponse response = MakeResponse(200, "OK");
+    response.headers["x-dstore-replica-applied"] =
+        std::to_string(replica_applied_);
+    return response;
+  }
+
+  return MakeResponse(404, "Not Found");
+}
+
 HttpResponse CloudStoreServer::HandleRequest(const HttpRequest& request) {
   const std::string& path = request.path;
+
+  if (path.rfind("/replica/", 0) == 0) {
+    return HandleReplicaRequest(request);
+  }
 
   if (path.rfind(kObjectPrefix, 0) == 0) {
     const std::string hexkey = path.substr(sizeof(kObjectPrefix) - 1);

@@ -29,6 +29,19 @@ namespace dstore {
 //   GET    /count              -> decimal count
 //   POST   /clear              -> 200
 //
+// plus the replication verbs src/replica/ speaks when this server hosts a
+// replica of a primary-backup group (state lives server-side, so fencing
+// holds across independent client handles):
+//
+//   POST   /replica/apply      headers x-dstore-replica-{op,key,seq,epoch},
+//                              body = value -> 200 | 412 when the epoch is
+//                              below the highest this replica accepted
+//                              (a deposed primary's late write, fenced)
+//   POST   /replica/fence      headers x-dstore-replica-{epoch,applied} ->
+//                              raises the accepted epoch, caps the applied
+//                              watermark
+//   GET    /replica/status     -> "<epoch> <applied>"
+//
 // plus the observability routes from net/obs_endpoint.h (GET /metrics,
 // /metrics.json, /traces, /healthz), served without the injected WAN delay
 // — a scrape must not pay the simulated round trip.
@@ -82,6 +95,7 @@ class CloudStoreServer {
   // thread of the server core, one invocation per pipelined request.
   HttpResponse HandleHttpRequest(const HttpRequest& request);
   HttpResponse HandleRequest(const HttpRequest& request);
+  HttpResponse HandleReplicaRequest(const HttpRequest& request);
 
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<admit::ServerQueue> queue_;
@@ -90,6 +104,9 @@ class CloudStoreServer {
   int objects_collector_id_ = 0;  // scrape-time object-count gauge refresh
   mutable Mutex mu_;
   std::unordered_map<std::string, Object> objects_ GUARDED_BY(mu_);
+  // Replication watermarks (see /replica/* above).
+  uint64_t replica_epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t replica_applied_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dstore

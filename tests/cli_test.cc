@@ -166,6 +166,35 @@ TEST(CliTest, ShardTopologyWorkflow) {
   EXPECT_EQ(out.rfind("shard extra"), out.find("shard extra"));
 }
 
+TEST(CliTest, ReplicaStatusAndPromoteWorkflow) {
+  const std::string out = RunCli(
+      "open r replicated 3 2 2\n"
+      "put greeting hello\n"
+      "get greeting\n"
+      "replica status\n"
+      "replica promote r1\n"
+      "replica status\n"
+      "get greeting\n"
+      "count\n"
+      "quit\n");
+  EXPECT_NE(out.find("opened r (replicated)"), std::string::npos);
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  EXPECT_NE(out.find("epoch 1"), std::string::npos);
+  EXPECT_NE(out.find("primary r0"), std::string::npos);
+  // Manual failover drill: r1 takes over at epoch 2 and the data survives.
+  EXPECT_NE(out.find("promoted r1 (epoch 2)"), std::string::npos);
+  EXPECT_NE(out.find("primary r1"), std::string::npos);
+  EXPECT_NE(out.find("\n1\n"), std::string::npos);
+}
+
+TEST(CliTest, ReplicaRejectsStatusOnNonReplicatedStore) {
+  const std::string out = RunCli(
+      "open m memory\n"
+      "replica status\n"
+      "quit\n");
+  EXPECT_NE(out.find("not a replicated store"), std::string::npos);
+}
+
 TEST(CliTest, ShardRejectsTopologyOnNonShardStore) {
   const std::string out = RunCli(
       "open m memory\n"

@@ -24,6 +24,8 @@
 #include "shard/sharded_store.h"
 #include "store/memory_store.h"
 #include "store/remote_cache.h"
+#include "replica/placement.h"
+#include "replica/replicated_store.h"
 #include "udsm/mirrored_store.h"
 #include "store/sql_client.h"
 #include "store/sql_server.h"
@@ -192,6 +194,80 @@ StoreFixture MakeShardedMirroredFixture() {
                         std::make_shared<MirroredStore>(std::move(replicas)));
   }
   return {std::make_unique<ShardedStore>(std::move(shards)), [] {}};
+}
+
+// Factories below hand back shared_ptr-owned stores (ReplicatedStore and
+// the replicated ring build as shared_ptr); this forwarder makes them fit
+// the fixture's unique_ptr without giving up shared ownership.
+class SharedStoreView : public KeyValueStore {
+ public:
+  explicit SharedStoreView(std::shared_ptr<KeyValueStore> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Put(const std::string& key, ValuePtr value) override {
+    return inner_->Put(key, std::move(value));
+  }
+  StatusOr<ValuePtr> Get(const std::string& key) override {
+    return inner_->Get(key);
+  }
+  Status Delete(const std::string& key) override {
+    return inner_->Delete(key);
+  }
+  StatusOr<bool> Contains(const std::string& key) override {
+    return inner_->Contains(key);
+  }
+  StatusOr<std::vector<std::string>> ListKeys() override {
+    return inner_->ListKeys();
+  }
+  StatusOr<size_t> Count() override { return inner_->Count(); }
+  Status Clear() override { return inner_->Clear(); }
+  StatusOr<ConditionalGetResult> GetIfChanged(
+      const std::string& key, const std::string& etag) override {
+    return inner_->GetIfChanged(key, etag);
+  }
+  std::vector<StatusOr<ValuePtr>> MultiGet(
+      const std::vector<std::string>& keys) override {
+    return inner_->MultiGet(keys);
+  }
+  Status MultiPut(
+      const std::vector<std::pair<std::string, ValuePtr>>& entries) override {
+    return inner_->MultiPut(entries);
+  }
+  std::string Name() const override { return inner_->Name(); }
+
+ private:
+  const std::shared_ptr<KeyValueStore> inner_;
+};
+
+// A 3-replica primary-backup group over memory backends (W=2, R=2): the
+// replication layer must be behaviour-identical to a bare store.
+StoreFixture MakeReplicated3Fixture() {
+  std::vector<replica::ReplicatedStore::Backend> backends;
+  for (int i = 0; i < 3; ++i) {
+    backends.push_back(
+        {"r" + std::to_string(i), std::make_shared<MemoryStore>()});
+  }
+  replica::ReplicaGroup::Options options;
+  options.name = "conformance";
+  auto store = replica::ReplicatedStore::Create(std::move(backends), options);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return {std::make_unique<SharedStoreView>(*store), [] {}};
+}
+
+// The paper-shaped topology: a sharded store whose shards are replica
+// groups placed on distinct nodes by the ring's successor lists.
+StoreFixture MakeShardedReplicatedFixture() {
+  replica::ReplicatedRingOptions options;
+  options.nodes = {"n0", "n1", "n2", "n3"};
+  options.groups = 3;
+  options.replication_factor = 3;
+  options.group.name = "conf-ring";
+  options.backend_factory = [](const std::string&, const std::string&) {
+    return std::make_shared<MemoryStore>();
+  };
+  auto store = replica::BuildReplicatedRing(options);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return {std::make_unique<SharedStoreView>(*store), [] {}};
 }
 
 struct Param {
@@ -398,6 +474,10 @@ INSTANTIATE_TEST_SUITE_P(
         Param{"shard3_lsm", &MakeShardedLsmFixture, true},
         Param{"shard3_fault0",
               &MakeFaultWrappedFixture<&MakeShardedMemoryFixture<3>>, true},
+        Param{"replicated3", &MakeReplicated3Fixture, true},
+        Param{"replicated3_fault0",
+              &MakeFaultWrappedFixture<&MakeReplicated3Fixture>, true},
+        Param{"shard3_replicated", &MakeShardedReplicatedFixture, true},
         Param{"memory_admit", &MakeAdmitWrappedFixture<&MakeMemoryFixture>,
               true},
         Param{"cloud_admit", &MakeAdmitWrappedFixture<&MakeCloudFixture>,

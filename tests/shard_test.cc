@@ -3,6 +3,7 @@
 // rebalancing with a forwarding window, per-shard health, and same-seed
 // determinism of placements and migration traces.
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -128,6 +129,58 @@ TEST(HashRingTest, EmptyRingHasNoOwner) {
   ring.AddShard("only");
   EXPECT_EQ(*ring.OwnerOf("k"), "only");
   EXPECT_DOUBLE_EQ(ring.OwnershipFractions().at("only"), 1.0);
+}
+
+TEST(HashRingTest, OwnersForReturnsDistinctSuccessors) {
+  HashRing ring;
+  for (int i = 0; i < 5; ++i) ring.AddShard("s" + std::to_string(i));
+  for (const auto& key : TestKeys(2000)) {
+    const auto owners = ring.OwnersFor(key, 3);
+    ASSERT_EQ(owners.size(), 3u) << key;
+    // The first owner is the single-owner answer; the rest are distinct.
+    EXPECT_EQ(owners[0], *ring.OwnerOf(key)) << key;
+    EXPECT_EQ(std::set<std::string>(owners.begin(), owners.end()).size(), 3u)
+        << key;
+  }
+}
+
+TEST(HashRingTest, OwnersForClampsToRingSize) {
+  HashRing ring;
+  EXPECT_TRUE(ring.OwnersFor("k", 3).empty());
+  ring.AddShard("a");
+  ring.AddShard("b");
+  const auto owners = ring.OwnersFor("k", 5);
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_NE(owners[0], owners[1]);
+  EXPECT_TRUE(ring.OwnersFor("k", 0).empty());
+}
+
+TEST(HashRingTest, OwnersForIsStableUnderUnrelatedChanges) {
+  // An owner list only changes when a shard enters or leaves ITS successor
+  // window — adding and removing an unrelated shard must leave every list
+  // whose membership it never touched exactly as it was.
+  HashRing ring;
+  for (int i = 0; i < 6; ++i) ring.AddShard("s" + std::to_string(i));
+  const auto keys = TestKeys(2000);
+  std::map<std::string, std::vector<std::string>> before;
+  for (const auto& key : keys) before[key] = ring.OwnersFor(key, 3);
+
+  ring.AddShard("joiner");
+  for (const auto& key : keys) {
+    const auto owners = ring.OwnersFor(key, 3);
+    if (owners != before[key]) {
+      // Any change must be the joiner entering the window (displacing a
+      // suffix of the old list); the surviving members keep their order.
+      EXPECT_NE(std::find(owners.begin(), owners.end(), "joiner"),
+                owners.end())
+          << key;
+    }
+  }
+
+  ring.RemoveShard("joiner");
+  for (const auto& key : keys) {
+    EXPECT_EQ(ring.OwnersFor(key, 3), before[key]) << key;
+  }
 }
 
 // --- ShardedStore fixtures -------------------------------------------------
