@@ -86,6 +86,7 @@ StatusOr<std::unique_ptr<ReplicaGroup>> ReplicaGroup::Create(
   {
     MutexLock lock(group->mu_);
     group->next_seq_ = group->log_->last_seq();
+    std::vector<StatusOr<ReplicaState>> probes;
     for (auto& spec : replicas) {
       Member member;
       member.name = std::move(spec.name);
@@ -94,19 +95,45 @@ StatusOr<std::unique_ptr<ReplicaGroup>> ReplicaGroup::Create(
       breaker.name = group->options_.name + "/" + member.name;
       if (breaker.clock == nullptr) breaker.clock = group->clock_;
       member.breaker = std::make_unique<admit::CircuitBreaker>(breaker);
-      StatusOr<ReplicaState> probe = member.transport->Probe();
-      if (probe.ok()) {
-        member.applied = std::min(probe->applied, group->next_seq_);
-        group->epoch_ = std::max(group->epoch_, probe->epoch);
-        // Cold-start ack estimate: every acked entry is on some replica, so
-        // the highest reachable watermark bounds what promotion must keep.
-        group->acked_seq_ = std::max(group->acked_seq_, member.applied);
-      } else {
+      probes.push_back(member.transport->Probe());
+      group->members_.push_back(std::move(member));
+    }
+    // The group's epoch is the highest any reachable replica has accepted;
+    // only members at that epoch may vouch for their own watermark.
+    for (const auto& probe : probes) {
+      if (probe.ok()) group->epoch_ = std::max(group->epoch_, probe->epoch);
+    }
+    for (size_t i = 0; i < group->members_.size(); ++i) {
+      Member& member = group->members_[i];
+      const StatusOr<ReplicaState>& probe = probes[i];
+      if (!probe.ok()) {
         member.up = false;
         member.next_probe_nanos =
             group->clock_->NowNanos() + group->options_.rejoin_probe_nanos;
+        continue;
       }
-      group->members_.push_back(std::move(member));
+      if (probe->epoch == group->epoch_ || probe->applied == 0) {
+        member.applied = std::min(probe->applied, group->next_seq_);
+        // Cold-start ack estimate: every acked entry is on some replica, so
+        // the highest current-epoch watermark bounds what promotion must
+        // keep.
+        group->acked_seq_ = std::max(group->acked_seq_, member.applied);
+        continue;
+      }
+      // Stale-epoch replica at cold start — e.g. a primary deposed by a
+      // promotion this handle never saw. Its self-reported applied still
+      // counts a truncated old-epoch tail, and with no prior clamp of our
+      // own the divergence point is unknown: trust nothing. Fence it to
+      // zero and rebuild it by full replay — or, when the log's prefix is
+      // already trimmed, leave it down for the ReplaceReplica bootstrap.
+      member.applied = 0;
+      if (member.transport->Fence(group->epoch_, 0).ok()) {
+        group->fenced_total_->Increment();
+        if (group->log_->base_seq() == 0) continue;
+      }
+      member.up = false;
+      member.next_probe_nanos =
+          group->clock_->NowNanos() + group->options_.rejoin_probe_nanos;
     }
     group->epoch_gauge_->Set(static_cast<double>(group->epoch_));
     group->RefreshGaugesLocked();
@@ -134,67 +161,130 @@ StatusOr<uint64_t> ReplicaGroup::Write(OpType op, const std::string& key,
   }
   obs::Span span("replica." + std::string(OpName(op)));
   span.SetAttribute("group", options_.name);
-  MutexLock lock(mu_);
-  if (!members_[primary_].up && options_.failover_after > 0) {
-    (void)PromoteLocked(std::string(), "primary down at write");
-  }
-  Member& primary = members_[primary_];
-  if (!primary.up) {
-    write_errors_total_->Increment();
-    return Status::Unavailable("group " + options_.name + ": no live primary");
-  }
-  if (PotentialAcksLocked(next_seq_ + 1) < options_.write_quorum) {
-    write_errors_total_->Increment();
-    return Status::Unavailable(
-        "group " + options_.name + ": write quorum unavailable (need w=" +
-        std::to_string(options_.write_quorum) + ")");
-  }
+  // Writers serialize on write_mu_; mu_ guards only the bookkeeping
+  // segments, so the log fsync and the primary's apply RPC below never
+  // block reads, status, promotion, or the replicator.
+  MutexLock write_lock(write_mu_);
   LogEntry entry;
-  entry.seq = next_seq_ + 1;
-  entry.epoch = epoch_;
   entry.op = op;
   entry.key = key;
   entry.value = std::move(value);
-  Status status = log_->Append(entry);
-  if (!status.ok()) {
-    write_errors_total_->Increment();
-    span.SetStatus(status);
-    return status;
+  std::shared_ptr<ReplicaTransport> primary_transport;
+  size_t primary_index = 0;
+  uint64_t write_epoch = 0;
+  bool apply_inline = false;
+  {
+    MutexLock lock(mu_);
+    if (!members_[primary_].up && options_.failover_after > 0) {
+      (void)PromoteLocked(std::string(), "primary down at write");
+    }
+    if (!members_[primary_].up) {
+      write_errors_total_->Increment();
+      return Status::Unavailable("group " + options_.name +
+                                 ": no live primary");
+    }
+    if (PotentialAcksLocked(next_seq_ + 1) < options_.write_quorum) {
+      write_errors_total_->Increment();
+      return Status::Unavailable(
+          "group " + options_.name + ": write quorum unavailable (need w=" +
+          std::to_string(options_.write_quorum) + ")");
+    }
+    entry.seq = next_seq_ + 1;
+    entry.epoch = epoch_;
+    write_epoch = epoch_;
+    primary_index = primary_;
+    primary_transport = members_[primary_].transport;
+    // Apply inline only when the primary holds the full prefix. A hole — a
+    // previously failed inline apply — is instead backfilled in order by
+    // the replicator, so the primary's watermark can never jump a gap and
+    // later claim history its backend does not hold.
+    apply_inline = members_[primary_].applied == next_seq_;
   }
-  next_seq_ = entry.seq;
-  status = primary.transport->Apply(entry, epoch_);
-  if (!status.ok()) {
-    write_errors_total_->Increment();
-    span.SetStatus(status);
-    OnPrimaryFailureLocked(status);
-    return status;
-  }
-  primary.fail_streak = 0;
-  if (entry.seq > primary.applied) primary.applied = entry.seq;
-  RefreshGaugesLocked();
-  work_cv_.NotifyAll();
-  ack_cv_.NotifyAll();
 
-  if (options_.write_quorum > 1) {
+  Status status = log_->Append(entry);  // durable-mode fsync, outside mu_
+  if (!status.ok()) {
+    MutexLock lock(mu_);
+    write_errors_total_->Increment();
+    if (epoch_ != write_epoch) {
+      // A promotion truncated the log mid-append; the refusal is the
+      // failover speaking, not an I/O fault.
+      return Status::Unavailable("group " + options_.name +
+                                 ": superseded by failover during write");
+    }
+    span.SetStatus(status);
+    return status;
+  }
+  {
+    MutexLock lock(mu_);
+    if (epoch_ != write_epoch) {
+      // A promotion raced the append. If the entry landed anyway (the new
+      // history happened to end exactly at its predecessor), drop it: it
+      // carries the deposed epoch and was never acked.
+      (void)log_->TruncateTo(entry.seq - 1);
+      write_errors_total_->Increment();
+      return Status::Unavailable("group " + options_.name +
+                                 ": superseded by failover during write");
+    }
+    next_seq_ = entry.seq;
+    if (apply_inline) inline_primary_ = primary_transport;
+    RefreshGaugesLocked();
+    work_cv_.NotifyAll();  // backups may stream the new entry now
+  }
+
+  if (apply_inline) {
+    status = primary_transport->Apply(entry, write_epoch);
+    MutexLock lock(mu_);
+    if (inline_primary_ == primary_transport) inline_primary_ = nullptr;
+    Member& primary = members_[primary_index];
+    const bool valid =
+        primary.transport == primary_transport && epoch_ == write_epoch;
+    if (!status.ok()) {
+      write_errors_total_->Increment();
+      span.SetStatus(status);
+      if (valid && primary_index == primary_) OnPrimaryFailureLocked(status);
+      // The entry stays logged with the watermark pinned below it; the
+      // replicator now owns backfilling the primary's hole.
+      work_cv_.NotifyAll();
+      return status;
+    }
+    if (valid) {
+      primary.fail_streak = 0;
+      if (entry.seq == primary.applied + 1) primary.applied = entry.seq;
+      ack_cv_.NotifyAll();
+    }
+  }
+
+  {
+    MutexLock lock(mu_);
     const uint64_t seq = entry.seq;
-    const int64_t deadline =
-        RealClock::Default()->NowNanos() + options_.write_wait_nanos;
+    const int64_t deadline = clock_->NowNanos() + options_.write_wait_nanos;
     while (AckCountLocked(seq) < options_.write_quorum) {
+      if (stop_) {
+        write_errors_total_->Increment();
+        return Status::Unavailable("group " + options_.name +
+                                   ": shutting down");
+      }
+      if (next_seq_ < seq) {
+        // A promotion truncated the (unacked) entry out of the log.
+        write_errors_total_->Increment();
+        return Status::Unavailable("group " + options_.name +
+                                   ": write truncated by failover");
+      }
       if (PotentialAcksLocked(seq) < options_.write_quorum) {
         write_errors_total_->Increment();
         return Status::Unavailable(
             "group " + options_.name +
             ": write quorum lost while awaiting replication");
       }
-      if (RealClock::Default()->NowNanos() >= deadline) {
+      if (clock_->NowNanos() >= deadline) {
         write_errors_total_->Increment();
         return Status::TimedOut("group " + options_.name +
                                 ": replication quorum wait timed out");
       }
       ack_cv_.WaitFor(mu_, std::chrono::milliseconds(20));
     }
+    if (seq > acked_seq_) acked_seq_ = seq;
   }
-  if (entry.seq > acked_seq_) acked_seq_ = entry.seq;
   writes_total_->Increment();
   span.SetAttribute("seq", std::to_string(entry.seq));
   return entry.seq;
@@ -569,7 +659,10 @@ StatusOr<ReplicaGroup::RepairStats> ReplicaGroup::RepairPass() {
   obs::Span span("replica.repair");
   span.SetAttribute("group", options_.name);
   RepairStats stats;
-  MutexLock lock(mu_);  // quiesce writes: digests race nothing
+  // Quiesce writes for the pass: write_mu_ blocks writers, mu_ holds off
+  // the replicator's target selection, so the digests race nothing.
+  MutexLock write_lock(write_mu_);
+  MutexLock lock(mu_);
   if (!members_[primary_].up) {
     return Status::Unavailable("group " + options_.name +
                                ": no live primary to repair from");
@@ -666,7 +759,7 @@ ReplicaGroup::GroupStatus ReplicaGroup::GetStatus() {
 }
 
 Status ReplicaGroup::WaitForReplication(int64_t timeout_nanos) {
-  const int64_t deadline = RealClock::Default()->NowNanos() + timeout_nanos;
+  const int64_t deadline = clock_->NowNanos() + timeout_nanos;
   MutexLock lock(mu_);
   for (;;) {
     bool caught_up = true;
@@ -674,7 +767,7 @@ Status ReplicaGroup::WaitForReplication(int64_t timeout_nanos) {
       if (m.up && m.applied < next_seq_) caught_up = false;
     }
     if (caught_up) return Status::OK();
-    if (RealClock::Default()->NowNanos() >= deadline) {
+    if (clock_->NowNanos() >= deadline) {
       return Status::TimedOut("group " + options_.name +
                               ": replication did not drain in time");
     }
@@ -729,7 +822,33 @@ bool ReplicaGroup::ReplicateOnceLocked() {
     Member& member = members_[i];
     if (member.up || member.transport != transport) continue;
     if (!probe.ok()) continue;
-    const uint64_t applied = std::min(probe->applied, next_seq_);
+    if (probe->epoch > epoch_) {
+      // The replica accepted a newer epoch than this handle knows: we are
+      // the stale side. Leave it down rather than graft our superseded
+      // history onto it.
+      continue;
+    }
+    uint64_t applied = std::min(probe->applied, next_seq_);
+    if (probe->epoch < epoch_ && probe->applied > 0) {
+      // Stale-epoch rejoiner — e.g. a deposed primary that was down during
+      // the promotion and missed its fence. Its self-reported watermark
+      // still counts the truncated old-epoch tail, so trust only the
+      // group's own clamp (promotion caps every member, down ones
+      // included), and fence the replica so replay actually re-applies
+      // past the clamp instead of being skipped as idempotent.
+      applied = std::min(applied, member.applied);
+      const uint64_t fence_epoch = epoch_;
+      mu_.Unlock();
+      const Status fenced = transport->Fence(fence_epoch, applied);
+      mu_.Lock();
+      if (stop_) return false;
+      if (member.up || member.transport != transport ||
+          epoch_ != fence_epoch) {
+        continue;
+      }
+      if (!fenced.ok()) continue;  // retry at the next probe
+      fenced_total_->Increment();
+    }
     if (applied < log_->base_seq()) continue;  // needs ReplaceReplica
     member.applied = applied;
     member.up = true;
@@ -743,11 +862,16 @@ bool ReplicaGroup::ReplicateOnceLocked() {
     return true;
   }
 
-  // Stream the next entry to the most-behind live backup.
+  // Stream the next entry to the most-behind live replica — the primary
+  // included: a failed inline apply leaves a hole at the front of the
+  // primary's suffix that only ordered replay may fill (Write never jumps
+  // the watermark). Skip the transport a Write() is applying to inline, so
+  // a backfilled entry cannot land after a later one on a shared key.
   size_t target = members_.size();
   for (size_t i = 0; i < members_.size(); ++i) {
-    if (i == primary_ || !members_[i].up) continue;
+    if (!members_[i].up) continue;
     if (members_[i].applied >= next_seq_) continue;
+    if (members_[i].transport == inline_primary_) continue;
     if (target == members_.size() ||
         members_[i].applied < members_[target].applied) {
       target = i;
@@ -796,11 +920,15 @@ bool ReplicaGroup::ReplicateOnceLocked() {
   Member& m = members_[target];
   if (m.transport != transport || epoch_ != epoch_snapshot) return true;
   if (status.ok()) {
-    if (entry->seq > m.applied) m.applied = entry->seq;
+    if (entry->seq == m.applied + 1) m.applied = entry->seq;
     m.fail_streak = 0;
     MaybeTrimLocked();
     RefreshGaugesLocked();
     ack_cv_.NotifyAll();
+  } else if (target == primary_ && IsTransient(status)) {
+    // Backfilling the primary's own hole failed: this is a primary
+    // failure, so route it through the failover counter.
+    OnPrimaryFailureLocked(status);
   } else if (IsTransient(status) || IsFenced(status)) {
     m.fail_streak++;
     if (m.fail_streak >= options_.down_after) {

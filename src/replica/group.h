@@ -22,16 +22,22 @@
 namespace dstore {
 namespace replica {
 
-// One primary-backup replica group: the unit a ring slot maps to. The
-// primary serializes writes into a GroupLog and applies them locally; a
-// background replicator streams the log in order to each backup, so every
-// backup always holds a *prefix* of the primary's history. A write is acked
-// once `write_quorum` replicas (primary included) have applied it — which is
-// what makes failover lossless: with W >= 2 every acked entry is on at least
-// one backup, and promotion picks the backup with the longest prefix.
+// One primary-backup replica group: the unit a ring slot maps to. Writes
+// serialize into a GroupLog (the authoritative history) and apply to the
+// primary inline; a background replicator streams the log in order to every
+// replica that is behind — backups always, and the primary itself when a
+// failed inline apply left a hole — so each replica always holds a *prefix*
+// of the log. A write is acked once `write_quorum` replicas (primary
+// included) have applied it — which is what makes failover lossless: with
+// W >= 2 every acked entry is on at least one backup, and promotion picks
+// the backup with the longest prefix.
 //
 //  * Hinted handoff: a down replica pins its unapplied log suffix (the
-//    "hints"); on rejoin the replicator replays it in order.
+//    "hints"); on rejoin the replicator replays it in order. A rejoiner's
+//    self-reported watermark is only trusted at the current epoch; a
+//    stale-epoch rejoiner (a deposed primary that was down during the
+//    promotion) is clamped to the group's own last-known watermark and
+//    fenced before it serves again.
 //  * Failover: manual (Promote) or automatic after `failover_after`
 //    consecutive transient primary failures. Promotion bumps the group
 //    epoch, truncates the log to the new primary's applied watermark, and
@@ -210,6 +216,12 @@ class ReplicaGroup {
   Clock* const clock_;
   std::unique_ptr<GroupLog> log_;
 
+  // Writers (and RepairPass, which quiesces them) serialize here: log
+  // appends must be seq-contiguous and primary applies seq-ordered. mu_ is
+  // only ever held for bookkeeping — never across the log fsync or a
+  // replica RPC — so reads, status, promotion, and the replicator do not
+  // wait behind a write's network or disk latency.
+  Mutex write_mu_ ACQUIRED_BEFORE(mu_);
   mutable Mutex mu_;
   CondVar work_cv_;  // replicator wakeups (appends, rejoin requests, stop)
   CondVar ack_cv_;   // quorum waiters (applied advances, down transitions)
@@ -223,6 +235,11 @@ class ReplicaGroup {
   // would turn a blip into acknowledged-write loss.
   uint64_t acked_seq_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;
+  // Transport currently receiving a Write()'s inline primary apply. The
+  // replicator must not stream to it meanwhile: a concurrent backfill of an
+  // earlier entry could land after the inline apply of a later one and
+  // leave the older value on a shared key.
+  std::shared_ptr<ReplicaTransport> inline_primary_ GUARDED_BY(mu_);
   std::string promotion_trace_ GUARDED_BY(mu_);
   std::thread replicator_;
 

@@ -217,11 +217,34 @@ Status GroupLog::Append(const LogEntry& entry) {
 }
 
 Status GroupLog::AppendDurableLocked(const LogEntry& entry) {
+  if (fd_ < 0) {
+    return Status::IOError("replication log " + path_.string() +
+                           " lost its append descriptor");
+  }
   Bytes record;
   AppendFramedRecord(&record, EncodeLogEntry(entry));
+  // A failed append must leave the file exactly at the durable watermark:
+  // torn or duplicate bytes past it would make a retried append land behind
+  // garbage, and recovery would then truncate away later fully-synced
+  // records. (Crash points are exempt: they model process death, and the
+  // torn artifact is what reopen-recovery is supposed to find.)
+  auto restore = [this]() REQUIRES(mu_) {
+    if (::ftruncate(fd_, static_cast<off_t>(synced_bytes_)) == 0 &&
+        ::lseek(fd_, static_cast<off_t>(synced_bytes_), SEEK_SET) >= 0) {
+      return;
+    }
+    // Unrestorable: drop the descriptor so later appends fail loudly
+    // instead of corrupting the record stream.
+    ::close(fd_);
+    fd_ = -1;
+  };
   const bool torn = fault::CrashPointFires("replica.log.torn_append");
   const size_t to_write = torn ? record.size() / 2 : record.size();
-  DSTORE_RETURN_IF_ERROR(WriteAll(fd_, record.data(), to_write, path_.string()));
+  const Status written = WriteAll(fd_, record.data(), to_write, path_.string());
+  if (!written.ok()) {
+    restore();
+    return written;
+  }
   if (torn) return fault::CrashedStatus("replica.log.torn_append");
   if (fault::CrashPointFires("replica.log.before_sync")) {
     // A crash before fsync loses whatever only the page cache held; model
@@ -231,6 +254,7 @@ Status GroupLog::AppendDurableLocked(const LogEntry& entry) {
     return fault::CrashedStatus("replica.log.before_sync");
   }
   if (::fsync(fd_) != 0) {
+    restore();
     return Status::IOError("fsync replication log " + path_.string());
   }
   synced_bytes_ += record.size();

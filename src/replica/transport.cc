@@ -27,8 +27,10 @@ Status LocalReplica::Apply(const LogEntry& entry, uint64_t epoch) {
     if (entry.seq <= state_.applied) return Status::OK();  // replay
   }
   // The store call runs outside the metadata lock (it may be slow or
-  // fault-injected); entries arrive from one replicator thread in order,
-  // so there is no concurrent-apply race to guard.
+  // fault-injected); the group applies to any one replica from a single
+  // thread at a time and in seq order (writers serialize on the group's
+  // write mutex, and the replicator never streams to a transport with an
+  // inline apply in flight), so there is no concurrent-apply race to guard.
   Status status;
   switch (entry.op) {
     case OpType::kPut:
@@ -49,7 +51,10 @@ Status LocalReplica::Apply(const LogEntry& entry, uint64_t epoch) {
 
 Status LocalReplica::Fence(uint64_t epoch, uint64_t max_applied) {
   MutexLock lock(mu_);
-  if (epoch > state_.epoch) state_.epoch = epoch;
+  // A stale-epoch fence is a deposed handle trying to cap a more current
+  // replica's watermark — refuse it the way Apply refuses stale writes.
+  if (epoch < state_.epoch) return FencedStatus(epoch, state_.epoch);
+  state_.epoch = epoch;
   if (state_.applied > max_applied) state_.applied = max_applied;
   return Status::OK();
 }

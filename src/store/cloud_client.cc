@@ -244,6 +244,15 @@ Status CloudStoreClient::ReplicaFence(uint64_t epoch, uint64_t max_applied) {
   request.headers["x-dstore-replica-applied"] = std::to_string(max_applied);
   MutexLock lock(mu_);
   DSTORE_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status_code == 412) {
+    // Same "fenced:" contract as ReplicaApply: our fencing epoch is itself
+    // superseded, so this handle's leadership is gone.
+    auto it = response.headers.find("x-dstore-replica-epoch");
+    return Status::Unavailable(
+        "fenced: fence epoch " + std::to_string(epoch) +
+        " superseded by epoch " +
+        (it == response.headers.end() ? "?" : it->second));
+  }
   if (response.status_code != 200) {
     return HttpError("replica fence", response.status_code);
   }

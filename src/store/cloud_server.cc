@@ -207,7 +207,15 @@ HttpResponse CloudStoreServer::HandleReplicaRequest(
     const uint64_t epoch = header_u64("x-dstore-replica-epoch");
     const uint64_t cap = header_u64("x-dstore-replica-applied");
     MutexLock lock(mu_);
-    if (epoch > replica_epoch_) replica_epoch_ = epoch;
+    // A stale-epoch fence is a deposed handle trying to cap a more current
+    // replica's watermark — refuse it the way stale applies are refused.
+    if (epoch < replica_epoch_) {
+      HttpResponse response = MakeResponse(412, "Precondition Failed");
+      response.headers["x-dstore-replica-epoch"] =
+          std::to_string(replica_epoch_);
+      return response;
+    }
+    replica_epoch_ = epoch;
     if (replica_applied_ > cap) replica_applied_ = cap;
     return MakeResponse(200, "OK");
   }

@@ -4,15 +4,22 @@
 // handles over shared cloud replicas), read repair, anti-entropy, replica
 // replacement, and read-your-writes sessions.
 
+#include <sys/resource.h>
+
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/clock.h"
 
 #include "fault/fault.h"
 #include "net/latency_model.h"
@@ -105,6 +112,42 @@ bool DrainConverged(ReplicaGroup* group) {
   }
   return false;
 }
+
+// Delegating store whose next N Put calls answer a transient error —
+// models a primary whose backend hiccups mid-apply.
+class FlakyStore : public KeyValueStore {
+ public:
+  explicit FlakyStore(std::shared_ptr<KeyValueStore> inner)
+      : inner_(std::move(inner)) {}
+  void FailNextPuts(int n) { fail_puts_.store(n); }
+
+  Status Put(const std::string& key, ValuePtr value) override {
+    int left = fail_puts_.load();
+    while (left > 0) {
+      if (fail_puts_.compare_exchange_weak(left, left - 1)) {
+        return Status::Unavailable("injected put failure");
+      }
+    }
+    return inner_->Put(key, std::move(value));
+  }
+  StatusOr<ValuePtr> Get(const std::string& key) override {
+    return inner_->Get(key);
+  }
+  Status Delete(const std::string& key) override { return inner_->Delete(key); }
+  StatusOr<bool> Contains(const std::string& key) override {
+    return inner_->Contains(key);
+  }
+  StatusOr<std::vector<std::string>> ListKeys() override {
+    return inner_->ListKeys();
+  }
+  StatusOr<size_t> Count() override { return inner_->Count(); }
+  Status Clear() override { return inner_->Clear(); }
+  std::string Name() const override { return "flaky(" + inner_->Name() + ")"; }
+
+ private:
+  std::shared_ptr<KeyValueStore> inner_;
+  std::atomic<int> fail_puts_{0};
+};
 
 uint64_t CounterValue(const std::string& name, const std::string& group) {
   return obs::MetricsRegistry::Default()
@@ -232,6 +275,41 @@ TEST(ReplicaLogTest, CrashPointsModelDurabilityBoundaries) {
   }
 }
 
+TEST(ReplicaLogTest, FailedAppendRestoresDurableWatermark) {
+  const auto dir = FreshDir("ioerr");
+  auto log = GroupLog::Open("g", dir);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_TRUE((*log)->Append(MakePut(1, "k1", "v1")).ok());
+
+  // Cap the file size a few bytes past the durable watermark so the next
+  // append tears mid-record with a real write error (EFBIG) — the process
+  // survives, unlike the crash points. SIGXFSZ must be ignored for write()
+  // to report the error instead of killing the test.
+  signal(SIGXFSZ, SIG_IGN);
+  struct rlimit saved;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &saved), 0);
+  struct rlimit capped = saved;
+  capped.rlim_cur = std::filesystem::file_size(dir / "g.rlog") + 8;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &capped), 0);
+  const Status failed =
+      (*log)->Append(MakePut(2, "k2", std::string(4096, 'x')));
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &saved), 0);
+  EXPECT_TRUE(failed.IsIOError()) << failed.ToString();
+  EXPECT_EQ((*log)->last_seq(), 1u);
+
+  // The torn bytes were rolled back to the durable watermark: the retried
+  // append lands cleanly, and recovery finds both records — no garbage in
+  // between to truncate them away.
+  ASSERT_TRUE((*log)->Append(MakePut(2, "k2", "v2")).ok());
+  EXPECT_EQ((*log)->last_seq(), 2u);
+  (*log).reset();
+  auto reopened = GroupLog::Open("g", dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->last_seq(), 2u);
+  EXPECT_EQ(ToString(*(*reopened)->EntryAt(2)->value), "v2");
+  std::filesystem::remove_all(dir);
+}
+
 // --- Quorum writes ---------------------------------------------------------
 
 TEST(ReplicaGroupTest, WriteAcksAtQuorumAndConvergesEverywhere) {
@@ -345,6 +423,131 @@ TEST(ReplicaGroupTest, PromotionFencesTheDeposedPrimary) {
   // The group itself keeps writing under the new epoch.
   ASSERT_TRUE(
       (*group)->Write(OpType::kPut, "b", MakeValue(std::string_view("2"))).ok());
+}
+
+// A failed inline primary apply must leave a hole the replicator backfills
+// in order — never a watermark that jumps the gap and claims history the
+// primary's backend does not hold.
+TEST(ReplicaGroupTest, FailedPrimaryApplyIsBackfilledNotSkipped) {
+  auto flaky_backend = std::make_shared<MemoryStore>();
+  auto flaky = std::make_shared<FlakyStore>(flaky_backend);
+  std::vector<ReplicaGroup::ReplicaSpec> specs;
+  specs.push_back({"r0", std::make_shared<replica::LocalReplica>(flaky)});
+  std::vector<std::shared_ptr<MemoryStore>> backends = {flaky_backend};
+  for (int i = 1; i < 3; ++i) {
+    auto backend = std::make_shared<MemoryStore>();
+    backends.push_back(backend);
+    specs.push_back({"r" + std::to_string(i),
+                     std::make_shared<replica::LocalReplica>(backend)});
+  }
+  auto group = ReplicaGroup::Create(specs, FastOptions("t_backfill"));
+  ASSERT_TRUE(group.ok());
+  ASSERT_TRUE(
+      (*group)->Write(OpType::kPut, "k1", MakeValue(std::string_view("v1")))
+          .ok());
+
+  // One transient backend hiccup: the write surfaces an error (uncertain —
+  // the entry is logged and the backups hold it) and the primary is left
+  // with a hole at seq 2.
+  flaky->FailNextPuts(1);
+  const auto failed =
+      (*group)->Write(OpType::kPut, "k2", MakeValue(std::string_view("v2")));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ((*group)->log()->last_seq(), 2u);
+
+  ASSERT_TRUE(
+      (*group)->Write(OpType::kPut, "k3", MakeValue(std::string_view("v3")))
+          .ok());
+  ASSERT_TRUE(DrainConverged(group->get()));
+  // The replicator filled the hole in order: the primary's backend really
+  // holds k2, and anti-entropy finds nothing to mop up (with a jumped
+  // watermark it would instead "repair" k2 *away* from the backups).
+  EXPECT_EQ(*flaky_backend->GetString("k2"), "v2");
+  EXPECT_EQ(*flaky_backend->GetString("k3"), "v3");
+  auto stats = (*group)->RepairPass();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->keys_repaired, 0u);
+  // A single hiccup is below failover_after: no promotion fired.
+  EXPECT_EQ((*group)->primary_name(), "r0");
+  EXPECT_EQ((*group)->epoch(), 1u);
+}
+
+// A deposed primary that was down during the promotion (so it missed the
+// fence) rejoins with a self-reported watermark that counts its truncated
+// old-epoch tail. The group must not trust it: clamp to its own last-known
+// mark, fence, and re-replay the new history over the divergence.
+TEST(ReplicaGroupTest, StaleEpochRejoinerIsFencedAndClamped) {
+  std::vector<std::shared_ptr<MemoryStore>> backends;
+  std::vector<std::shared_ptr<replica::LocalReplica>> transports;
+  std::vector<ReplicaGroup::ReplicaSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    auto backend = std::make_shared<MemoryStore>();
+    auto transport = std::make_shared<replica::LocalReplica>(backend);
+    backends.push_back(backend);
+    transports.push_back(transport);
+    specs.push_back({"r" + std::to_string(i), transport});
+  }
+  auto group = ReplicaGroup::Create(specs, FastOptions("t_stale"));
+  ASSERT_TRUE(group.ok());
+  ASSERT_TRUE(
+      (*group)->Write(OpType::kPut, "a", MakeValue(std::string_view("acked")))
+          .ok());
+  ASSERT_TRUE((*group)->WaitForReplication().ok());
+
+  // The primary dies unfenced and, in its dying moments, applies an
+  // old-epoch seq-2 entry the new history will never contain.
+  ASSERT_TRUE((*group)->MarkDown("r0").ok());
+  ASSERT_TRUE((*group)->Promote("r1").ok());
+  ASSERT_TRUE(transports[0]->Apply(MakePut(2, "a", "divergent"), 1).ok());
+
+  // The new primary writes its own seq 2 under epoch 2.
+  ASSERT_TRUE(
+      (*group)
+          ->Write(OpType::kPut, "a", MakeValue(std::string_view("current")))
+          .ok());
+
+  // Rejoin: the probe answers applied=2 at the stale epoch. Trusting it
+  // would skip replay entirely and leave the divergent value serving reads.
+  ASSERT_TRUE((*group)->Rejoin("r0").ok());
+  ASSERT_TRUE(DrainConverged(group->get()));
+  EXPECT_EQ(*backends[0]->GetString("a"), "current");
+  // And the rejoiner is fenced now: stale-epoch traffic is refused.
+  const Status late = transports[0]->Apply(MakePut(3, "late", "x"), 1);
+  EXPECT_TRUE(replica::IsFenced(late)) << late.ToString();
+}
+
+// The quorum-wait deadline must live on the injected clock: a write stuck
+// behind backups that never ack times out when *simulated* time passes —
+// ten simulated minutes in one Advance, a fraction of a real second. A
+// real-clock deadline would block here for ten real minutes.
+TEST(ReplicaGroupTest, WriteDeadlinesUseInjectedClock) {
+  SimulatedClock clock;
+  ReplicaGroup::Options options = FastOptions("t_simclock");
+  options.clock = &clock;
+  options.down_after = 1'000'000;              // failing backups stay up
+  options.write_wait_nanos = 600'000'000'000;  // 10 simulated minutes
+
+  std::vector<ReplicaGroup::ReplicaSpec> specs;
+  specs.push_back({"r0", std::make_shared<replica::LocalReplica>(
+                             std::make_shared<MemoryStore>())});
+  for (int i = 1; i < 3; ++i) {
+    auto flaky = std::make_shared<FlakyStore>(std::make_shared<MemoryStore>());
+    flaky->FailNextPuts(1 << 30);
+    specs.push_back({"r" + std::to_string(i),
+                     std::make_shared<replica::LocalReplica>(flaky)});
+  }
+  auto group = ReplicaGroup::Create(specs, options);
+  ASSERT_TRUE(group.ok());
+
+  std::thread advancer([&] {
+    RealClock::Default()->SleepFor(100'000'000);  // let the write block
+    clock.Advance(601'000'000'000);
+  });
+  const auto result =
+      (*group)->Write(OpType::kPut, "k", MakeValue(std::string_view("v")));
+  advancer.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimedOut()) << result.status().ToString();
 }
 
 TEST(ReplicaGroupTest, AutoPromoteOnDeadPrimaryKeepsAckedWrites) {
